@@ -1,0 +1,47 @@
+// Shared helpers for the experiment binaries: CDF printing and fleet
+// caching (several experiments read the same three datasets).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiments/fleet.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace tdat::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s)\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+// Prints an empirical CDF as "value fraction" rows, thinned for readability.
+inline void print_cdf(const std::string& label, const std::vector<double>& xs,
+                      std::size_t points = 12) {
+  if (xs.empty()) {
+    std::printf("%s: (no samples)\n", label.c_str());
+    return;
+  }
+  std::printf("%s  (n=%zu)\n", label.c_str(), xs.size());
+  for (const CdfPoint& p : thin_cdf(empirical_cdf(xs), points)) {
+    std::printf("  %10.2f  %5.1f%%\n", p.value, p.fraction * 100.0);
+  }
+}
+
+// The three paper datasets, simulated once per process.
+inline const FleetResult& dataset(int which) {
+  static const FleetResult a1 = run_fleet(isp_a1_config());
+  static const FleetResult a2 = run_fleet(isp_a2_config());
+  static const FleetResult rv = run_fleet(rv_config());
+  switch (which) {
+    case 0: return a1;
+    case 1: return a2;
+    default: return rv;
+  }
+}
+
+}  // namespace tdat::bench

@@ -1,0 +1,48 @@
+// Figure 16: transfer-duration CDF grouped by the dominant delay factor.
+// Paper: TCP-receiver-window-limited transfers are fastest, congestion-
+// window next; loss-limited transfers waste RTOs and stretch to hundreds of
+// seconds; BGP-application-limited also run long.
+#include <map>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace tdat;
+  bench::print_header("Figure 16 — transfer duration by dominant delay factor",
+                      "Fig. 16");
+
+  // Pool all three datasets, bucket by the single largest factor.
+  std::map<Factor, std::vector<double>> buckets;
+  for (int i = 0; i < 3; ++i) {
+    for (const TransferRecord& t : bench::dataset(i).transfers) {
+      if (t.analysis.transfer.empty()) continue;
+      Factor best = Factor::kBgpSenderApp;
+      double best_ratio = -1;
+      for (std::size_t f = 0; f < kFactorCount; ++f) {
+        if (t.analysis.report.factor_ratio[f] > best_ratio) {
+          best_ratio = t.analysis.report.factor_ratio[f];
+          best = static_cast<Factor>(f);
+        }
+      }
+      if (best_ratio > 0.05) {
+        buckets[best].push_back(to_seconds(t.analysis.transfer_duration()));
+      }
+    }
+  }
+
+  TextTable t({"Dominant factor", "n", "p50 (s)", "p90 (s)", "max (s)"});
+  for (const auto& [factor, durations] : buckets) {
+    auto d = durations;
+    if (d.empty()) continue;
+    t.add_row({to_string(factor), std::to_string(d.size()),
+               fmt_double(percentile(d, 50), 2), fmt_double(percentile(d, 90), 2),
+               fmt_double(percentile(d, 100), 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  for (const auto& [factor, durations] : buckets) {
+    bench::print_cdf(to_string(factor), durations, 8);
+    std::printf("\n");
+  }
+  return 0;
+}

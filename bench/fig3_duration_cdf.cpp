@@ -1,0 +1,31 @@
+// Figure 3: CDF of table transfer duration for the three traces. Paper:
+// most transfers finish within a few minutes; ISP_A (Quagga) and RouteViews
+// are slower (50th pct ~2.5 min, 80th ~5 min at full 300k-prefix scale);
+// some transfers exceed 10 minutes. At our ~1/100 table scale the absolute
+// durations shrink proportionally, but the ordering (Quagga/RV slower than
+// ISP_A-1) and the heavy tail must hold.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace tdat;
+  bench::print_header("Figure 3 — CDF of table transfer duration (seconds)",
+                      "Fig. 3");
+  for (int i = 0; i < 3; ++i) {
+    const FleetResult& fleet = bench::dataset(i);
+    bench::print_cdf(fleet.config.name, fleet.durations_seconds());
+    std::printf("\n");
+  }
+
+  // Key percentiles side by side.
+  TextTable t({"Trace", "p50 (s)", "p80 (s)", "p95 (s)", "max (s)"});
+  for (int i = 0; i < 3; ++i) {
+    const FleetResult& fleet = bench::dataset(i);
+    auto d = fleet.durations_seconds();
+    if (d.empty()) continue;
+    t.add_row({fleet.config.name, fmt_double(percentile(d, 50), 2),
+               fmt_double(percentile(d, 80), 2), fmt_double(percentile(d, 95), 2),
+               fmt_double(percentile(d, 100), 2)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 4: CDF of the stretch ratio — per router, the longest transfer
+// duration divided by the shortest (same table). Paper: routers commonly
+// stretch 2-5x (22% / 59% / 100% of routers under 2-5x in ISP_A-1 /
+// ISP_A-2 / RV respectively), with an order of magnitude in the tail.
+#include <map>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace tdat;
+  bench::print_header("Figure 4 — stretch of table transfers per router",
+                      "Fig. 4");
+  for (int i = 0; i < 3; ++i) {
+    const FleetResult& fleet = bench::dataset(i);
+    std::map<std::size_t, std::vector<double>> by_router;
+    for (const TransferRecord& t : fleet.transfers) {
+      const double d = to_seconds(t.analysis.transfer_duration());
+      if (d > 0) by_router[t.router].push_back(d);
+    }
+    std::vector<double> stretch;
+    for (const auto& [router, durations] : by_router) {
+      // Paper: routers with more than two transfers.
+      if (durations.size() < 3) continue;
+      const auto [mn, mx] = std::minmax_element(durations.begin(), durations.end());
+      if (*mn > 0) stretch.push_back(*mx / *mn);
+    }
+    bench::print_cdf(fleet.config.name + " stretch ratio", stretch);
+    std::size_t over5 = 0;
+    for (double s : stretch) over5 += s > 5.0 ? 1 : 0;
+    if (!stretch.empty()) {
+      std::printf("  routers stretched >5x: %zu/%zu\n\n", over5, stretch.size());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 9: session failure and peer-group blocking. Two collector sessions
+// share a peer group; one collector fails at t1. The router retransmits to
+// the dead peer until the BGP hold timer expires at t2, and — because the
+// group queue clears only on delivery to ALL members — the healthy session
+// is paused for the whole (t2 - t1) interval, exchanging only keepalives.
+#include "bench_util.hpp"
+#include "bgp/table_gen.hpp"
+#include "core/detectors.hpp"
+#include "core/series_names.hpp"
+#include "sim/peer_group.hpp"
+#include "timerange/render.hpp"
+
+int main() {
+  using namespace tdat;
+  bench::print_header("Figure 9 — session failure and peer-group blocking",
+                      "Fig. 9");
+
+  SimWorld world(909);
+  Rng rng(910);
+  TableGenConfig tg;
+  tg.prefix_count = 40'000;
+  PeerGroup group(serialize_updates(generate_table(tg, rng)), 40);
+
+  SessionSpec healthy;  // the Quagga session of Fig. 9
+  SessionSpec doomed;   // the Vendor session that fails at t1
+  doomed.receiver_ip = 0x0a09090a;
+  // The paper's ISP_A hold time: 180 s.
+  healthy.bgp.hold_time = 180 * kMicrosPerSec;
+  doomed.bgp.hold_time = 180 * kMicrosPerSec;
+  healthy.bgp.keepalive_interval = 30 * kMicrosPerSec;
+  doomed.bgp.keepalive_interval = 30 * kMicrosPerSec;
+  healthy.collector.keepalive_interval = 30 * kMicrosPerSec;
+  doomed.collector.keepalive_interval = 30 * kMicrosPerSec;
+  doomed.sender_tcp.send_buf_capacity = 8 * 1024;
+  const auto a_id = world.add_session(healthy, &group);
+  const auto b_id = world.add_session(doomed, &group);
+  world.start_session(a_id, 0);
+  world.start_session(b_id, 0);
+
+  const Micros t1 = kMicrosPerSec;  // collector failure
+  world.run_until(t1);
+  world.receiver(b_id).die();
+  world.run_until(600 * kMicrosPerSec);
+
+  const Micros t2 = world.sender(b_id).failed_at();
+  std::printf("t1 (collector failure) = %.1f s, t2 (hold timer fired) = %.1f s\n",
+              to_seconds(t1), to_seconds(t2));
+  std::printf("healthy member finished at %.1f s\n\n",
+              to_seconds(world.sender(a_id).finished_at()));
+
+  const auto ta = analyze_trace(world.take_trace(), AnalyzerOptions{});
+  const auto& first = ta.results.at(0);
+  const auto& second = ta.results.at(1);
+  const auto& victim =
+      first.bundle.flow.stream_length > second.bundle.flow.stream_length ? first
+                                                                         : second;
+  const auto& failed = &victim == &first ? second : first;
+
+  const auto blocked = detect_peer_group_blocking(victim, failed);
+  std::printf("detected blocking: %s, blocked time %.1f s (expected ~ t2-t1 = %.1f s)\n",
+              blocked.detected ? "yes" : "no", to_seconds(blocked.blocked_time),
+              to_seconds(t2 - t1));
+  for (const TimeRange& e : blocked.episodes) {
+    std::printf("  episode [%.1f s, %.1f s]\n", to_seconds(e.begin),
+                to_seconds(e.end));
+  }
+
+  // Square-wave view across the failure (Fig. 9's two-connection picture).
+  const TimeRange window{0, std::min<Micros>(t2 + 60 * kMicrosPerSec,
+                                             400 * kMicrosPerSec)};
+  EventSeries victim_tx =
+      victim.series().get(series::kTransmission).renamed("Healthy.Tx");
+  EventSeries failed_retx =
+      failed.series().get(series::kRetransmission).renamed("Failed.Retx");
+  EventSeries victim_ka =
+      victim.series().get(series::kKeepAliveOnly).renamed("Healthy.KAonly");
+  std::printf("\n%s\n",
+              render_series({&victim_tx, &failed_retx, &victim_ka}, window).c_str());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// End-to-end throughput of the analysis pipeline (§V-C): the Perl prototype
+// processed the 47 GB RouteViews trace in 64 minutes — 26 seconds per TCP
+// connection on average. These benches measure our per-stage and full-
+// pipeline cost on a synthetic transfer of realistic shape.
+#include <benchmark/benchmark.h>
+
+#include "bgp/table_gen.hpp"
+#include "core/analyzer.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace tdat;
+
+PcapFile make_trace(std::size_t prefixes) {
+  SimWorld world(4242);
+  SessionSpec spec;
+  spec.up_fwd.random_loss = 0.005;  // some loss so every stage has work
+  Rng rng(4243);
+  TableGenConfig tg;
+  tg.prefix_count = prefixes;
+  const auto s = world.add_session(spec, serialize_updates(generate_table(tg, rng)));
+  world.start_session(s, 0);
+  world.run_until(600 * kMicrosPerSec);
+  return world.take_trace();
+}
+
+void BM_Simulate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_trace(static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Simulate)->Arg(2'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+void BM_PcapDecode(benchmark::State& state) {
+  const PcapFile trace = make_trace(5'000);
+  std::uint64_t bytes = 0;
+  for (const auto& r : trace.records) bytes += r.data.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_pcap(trace));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PcapDecode)->Unit(benchmark::kMillisecond);
+
+void BM_PcapDecodeVerifyChecksums(benchmark::State& state) {
+  const PcapFile trace = make_trace(5'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_pcap(trace, true));
+  }
+}
+BENCHMARK(BM_PcapDecodeVerifyChecksums)->Unit(benchmark::kMillisecond);
+
+void BM_FullAnalysis(benchmark::State& state) {
+  // The headline number: seconds per analyzed connection, to set against
+  // the paper's 26 s/connection in Perl.
+  const PcapFile trace = make_trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_trace(trace, AnalyzerOptions{}));
+  }
+  state.counters["connections"] = 1;
+}
+BENCHMARK(BM_FullAnalysis)->Arg(2'000)->Arg(10'000)->Arg(40'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SeriesOnly(benchmark::State& state) {
+  const PcapFile trace = make_trace(10'000);
+  const auto conns = split_connections(decode_pcap(trace));
+  const auto profile = compute_profile(conns.at(0));
+  const AnalyzerOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_series(conns[0], profile, opts));
+  }
+}
+BENCHMARK(BM_SeriesOnly)->Unit(benchmark::kMillisecond);
+
+void BM_MessageExtraction(benchmark::State& state) {
+  const PcapFile trace = make_trace(10'000);
+  const auto conns = split_connections(decode_pcap(trace));
+  const auto profile = compute_profile(conns.at(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_bgp_messages(conns[0], profile.data_dir));
+  }
+}
+BENCHMARK(BM_MessageExtraction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

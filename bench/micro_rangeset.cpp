@@ -1,0 +1,108 @@
+// Micro-benchmarks for the RangeSet data structure: the §V-C ablation. The
+// original T-DAT stored time ranges as Perl big-integer sets (one bit per
+// microsecond); the interval representation is asymptotically smaller and
+// faster. BM_BitmapUnion shows what the per-microsecond representation
+// costs on the same workload.
+#include <benchmark/benchmark.h>
+
+#include "timerange/range_set.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tdat::Micros;
+using tdat::RangeSet;
+
+RangeSet make_set(std::uint64_t seed, int n, Micros domain) {
+  tdat::Rng rng(seed);
+  RangeSet s;
+  for (int i = 0; i < n; ++i) {
+    const Micros b = rng.uniform(0, domain);
+    s.insert(b, b + rng.uniform(1, domain / n));
+  }
+  return s;
+}
+
+void BM_InsertAppend(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    RangeSet s;
+    for (int i = 0; i < n; ++i) {
+      s.insert(i * 10, i * 10 + 5);
+    }
+    benchmark::DoNotOptimize(s.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InsertAppend)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_InsertRandom(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_set(7, n, 10'000'000));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InsertRandom)->Arg(1'000)->Arg(10'000);
+
+void BM_Union(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const RangeSet a = make_set(1, n, 100'000'000);
+  const RangeSet b = make_set(2, n, 100'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.set_union(b));
+  }
+}
+BENCHMARK(BM_Union)->Arg(100)->Arg(1'000)->Arg(10'000);
+
+void BM_Intersection(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const RangeSet a = make_set(3, n, 100'000'000);
+  const RangeSet b = make_set(4, n, 100'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.set_intersection(b));
+  }
+}
+BENCHMARK(BM_Intersection)->Arg(100)->Arg(1'000)->Arg(10'000);
+
+void BM_Difference(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const RangeSet a = make_set(5, n, 100'000'000);
+  const RangeSet b = make_set(6, n, 100'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.set_difference(b));
+  }
+}
+BENCHMARK(BM_Difference)->Arg(1'000);
+
+void BM_PointQuery(benchmark::State& state) {
+  const RangeSet a = make_set(8, 10'000, 100'000'000);
+  tdat::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.contains(rng.uniform(0, 100'000'000)));
+  }
+}
+BENCHMARK(BM_PointQuery);
+
+// Ablation: the per-microsecond bitmap the Perl prototype effectively used.
+// Same logical union, three orders of magnitude more work per second of
+// covered trace time.
+void BM_BitmapUnion(benchmark::State& state) {
+  const Micros domain = state.range(0);
+  std::vector<bool> a(static_cast<std::size_t>(domain)), b(a);
+  tdat::Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = static_cast<std::size_t>(rng.uniform(0, domain - 1000));
+    for (std::size_t j = s; j < s + 1000; ++j) (i % 2 ? a : b)[j] = true;
+  }
+  for (auto _ : state) {
+    std::vector<bool> u(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) u[i] = a[i] || b[i];
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_BitmapUnion)->Arg(1'000'000)->Arg(10'000'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+#include "bgp/mct.hpp"
+
+namespace tdat {
+
+MctResult mct_transfer_end(const std::vector<TimedBgpMessage>& messages,
+                           Micros start, const MctOptions& opts) {
+  MctResult res;
+  res.end = start;
+  std::set<Prefix> seen;
+  Micros last_update_ts = start;
+
+  for (const TimedBgpMessage& tm : messages) {
+    if (tm.ts < start) continue;
+    const BgpUpdate* upd = tm.msg.as_update();
+    if (upd == nullptr) continue;  // OPEN/KEEPALIVE/NOTIFICATION don't count
+
+    if (tm.ts - last_update_ts > opts.max_silence) break;
+
+    if (!upd->withdrawn.empty()) {
+      res.ended_by_repeat = true;
+      break;
+    }
+    bool repeat = false;
+    for (const Prefix& p : upd->nlri) {
+      if (!seen.insert(p).second) {
+        repeat = true;
+        break;
+      }
+    }
+    if (repeat) {
+      res.ended_by_repeat = true;
+      break;
+    }
+    ++res.update_count;
+    res.prefix_count = seen.size();
+    last_update_ts = tm.ts;
+    res.end = tm.ts;
+  }
+  return res;
+}
+
+}  // namespace tdat

@@ -1,0 +1,39 @@
+// Minimum Collection Time (MCT) — identification of the END of a BGP table
+// transfer from a stream of received BGP messages, after Zhang et al.,
+// "Identifying BGP routing table transfers" (SIGCOMM MineNet 2005), ref [36].
+//
+// Per the paper's footnote 4, the TCP connection start marks the transfer
+// start; MCT is only used to estimate where the transfer ends. The signature
+// of a table transfer is that every prefix is announced exactly once: the
+// transfer ends at the last update before (a) a prefix repeats, (b) a
+// withdrawal appears (both mean ordinary routing dynamics resumed), or
+// (c) the stream goes silent for longer than `max_silence` (which must be
+// generous: legitimate transfers pause for up to a BGP hold-time under
+// peer-group blocking, §II-B3).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "bgp/msg_stream.hpp"
+#include "util/time.hpp"
+
+namespace tdat {
+
+struct MctOptions {
+  Micros max_silence = 300 * kMicrosPerSec;
+};
+
+struct MctResult {
+  Micros end = 0;               // timestamp of the last in-transfer update
+  std::size_t update_count = 0; // UPDATE messages attributed to the transfer
+  std::size_t prefix_count = 0; // distinct prefixes announced
+  bool ended_by_repeat = false; // saw a duplicate announcement / withdrawal
+};
+
+// Messages must be in timestamp order; only messages with ts >= start are
+// considered. If no update follows `start`, `end` == `start`.
+[[nodiscard]] MctResult mct_transfer_end(const std::vector<TimedBgpMessage>& messages,
+                                         Micros start, const MctOptions& opts = {});
+
+}  // namespace tdat

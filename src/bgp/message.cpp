@@ -1,0 +1,305 @@
+#include "bgp/message.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+
+namespace tdat {
+namespace {
+
+constexpr std::uint8_t kAttrOrigin = 1;
+constexpr std::uint8_t kAttrAsPath = 2;
+constexpr std::uint8_t kAttrNextHop = 3;
+constexpr std::uint8_t kAttrMed = 4;
+constexpr std::uint8_t kAttrLocalPref = 5;
+constexpr std::uint8_t kAttrCommunities = 8;
+
+constexpr std::uint8_t kFlagOptional = 0x80;
+constexpr std::uint8_t kFlagTransitive = 0x40;
+constexpr std::uint8_t kFlagExtendedLen = 0x10;
+
+[[nodiscard]] std::size_t prefix_octets(std::uint8_t length) {
+  return (static_cast<std::size_t>(length) + 7) / 8;
+}
+
+void write_prefix(ByteWriter& w, const Prefix& p) {
+  w.u8(p.length);
+  const std::size_t n = prefix_octets(p.length);
+  for (std::size_t i = 0; i < n; ++i) {
+    w.u8(static_cast<std::uint8_t>(p.addr >> (24 - 8 * i)));
+  }
+}
+
+bool read_prefix(ByteReader& r, Prefix& out) {
+  out.length = r.u8();
+  if (!r.ok() || out.length > 32) return false;
+  out.addr = 0;
+  const std::size_t n = prefix_octets(out.length);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.addr |= static_cast<std::uint32_t>(r.u8()) << (24 - 8 * i);
+  }
+  return r.ok();
+}
+
+void write_attribute(ByteWriter& w, std::uint8_t flags, std::uint8_t type_code,
+                     std::span<const std::uint8_t> value) {
+  if (value.size() > 255) flags |= kFlagExtendedLen;
+  w.u8(flags);
+  w.u8(type_code);
+  if (flags & kFlagExtendedLen) {
+    w.u16be(static_cast<std::uint16_t>(value.size()));
+  } else {
+    w.u8(static_cast<std::uint8_t>(value.size()));
+  }
+  w.bytes(value);
+}
+
+std::vector<std::uint8_t> encode_attributes(const PathAttributes& attrs) {
+  ByteWriter w;
+  {  // ORIGIN — well-known mandatory
+    const std::uint8_t v[1] = {attrs.origin};
+    write_attribute(w, kFlagTransitive, kAttrOrigin, v);
+  }
+  {  // AS_PATH
+    ByteWriter path;
+    for (const AsPathSegment& seg : attrs.as_path) {
+      path.u8(seg.type);
+      path.u8(static_cast<std::uint8_t>(seg.asns.size()));
+      for (std::uint16_t asn : seg.asns) path.u16be(asn);
+    }
+    write_attribute(w, kFlagTransitive, kAttrAsPath, path.data());
+  }
+  {  // NEXT_HOP
+    ByteWriter nh;
+    nh.u32be(attrs.next_hop);
+    write_attribute(w, kFlagTransitive, kAttrNextHop, nh.data());
+  }
+  if (attrs.med) {
+    ByteWriter v;
+    v.u32be(*attrs.med);
+    write_attribute(w, kFlagOptional, kAttrMed, v.data());
+  }
+  if (attrs.local_pref) {
+    ByteWriter v;
+    v.u32be(*attrs.local_pref);
+    write_attribute(w, kFlagTransitive, kAttrLocalPref, v.data());
+  }
+  if (!attrs.communities.empty()) {
+    ByteWriter v;
+    for (std::uint32_t c : attrs.communities) v.u32be(c);
+    write_attribute(w, kFlagOptional | kFlagTransitive, kAttrCommunities, v.data());
+  }
+  for (const auto& raw : attrs.unrecognized) {
+    write_attribute(w, raw.flags, raw.type_code, raw.value);
+  }
+  return w.take();
+}
+
+bool decode_attributes(std::span<const std::uint8_t> data, PathAttributes& out) {
+  ByteReader r(data);
+  while (r.remaining() > 0) {
+    const std::uint8_t flags = r.u8();
+    const std::uint8_t type_code = r.u8();
+    std::size_t len = 0;
+    if (flags & kFlagExtendedLen) {
+      len = r.u16be();
+    } else {
+      len = r.u8();
+    }
+    const auto value = r.bytes(len);
+    if (!r.ok()) return false;
+    ByteReader v(value);
+    switch (type_code) {
+      case kAttrOrigin:
+        if (len != 1) return false;
+        out.origin = v.u8();
+        break;
+      case kAttrAsPath: {
+        while (v.remaining() > 0) {
+          AsPathSegment seg;
+          seg.type = v.u8();
+          const std::uint8_t count = v.u8();
+          for (std::uint8_t i = 0; i < count; ++i) seg.asns.push_back(v.u16be());
+          if (!v.ok()) return false;
+          out.as_path.push_back(std::move(seg));
+        }
+        break;
+      }
+      case kAttrNextHop:
+        if (len != 4) return false;
+        out.next_hop = v.u32be();
+        break;
+      case kAttrMed:
+        if (len != 4) return false;
+        out.med = v.u32be();
+        break;
+      case kAttrLocalPref:
+        if (len != 4) return false;
+        out.local_pref = v.u32be();
+        break;
+      case kAttrCommunities: {
+        if (len % 4 != 0) return false;
+        while (v.remaining() > 0) out.communities.push_back(v.u32be());
+        break;
+      }
+      default:
+        out.unrecognized.push_back(
+            {flags, type_code, std::vector<std::uint8_t>(value.begin(), value.end())});
+        break;
+    }
+    if (!v.ok()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(BgpType type) {
+  switch (type) {
+    case BgpType::kOpen: return "OPEN";
+    case BgpType::kUpdate: return "UPDATE";
+    case BgpType::kNotification: return "NOTIFICATION";
+    case BgpType::kKeepAlive: return "KEEPALIVE";
+  }
+  return "?";
+}
+
+std::string Prefix::to_string() const {
+  return ipv4_to_string(addr) + "/" + std::to_string(length);
+}
+
+std::string PathAttributes::as_path_string() const {
+  std::string out;
+  for (const AsPathSegment& seg : as_path) {
+    for (std::uint16_t asn : seg.asns) {
+      if (!out.empty()) out += ' ';
+      out += std::to_string(asn);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> serialize_message(const BgpMessage& msg) {
+  ByteWriter body;
+  switch (msg.type()) {
+    case BgpType::kOpen: {
+      const auto& open = std::get<BgpOpen>(msg.body);
+      body.u8(open.version);
+      body.u16be(open.my_as);
+      body.u16be(open.hold_time);
+      body.u32be(open.bgp_id);
+      body.u8(static_cast<std::uint8_t>(open.opt_params.size()));
+      body.bytes(open.opt_params);
+      break;
+    }
+    case BgpType::kUpdate: {
+      const auto& upd = std::get<BgpUpdate>(msg.body);
+      ByteWriter withdrawn;
+      for (const Prefix& p : upd.withdrawn) write_prefix(withdrawn, p);
+      body.u16be(static_cast<std::uint16_t>(withdrawn.size()));
+      body.bytes(withdrawn.data());
+      const auto attrs =
+          upd.nlri.empty() ? std::vector<std::uint8_t>{} : encode_attributes(upd.attrs);
+      body.u16be(static_cast<std::uint16_t>(attrs.size()));
+      body.bytes(attrs);
+      for (const Prefix& p : upd.nlri) write_prefix(body, p);
+      break;
+    }
+    case BgpType::kKeepAlive:
+      break;
+    case BgpType::kNotification: {
+      const auto& notif = std::get<BgpNotification>(msg.body);
+      body.u8(notif.code);
+      body.u8(notif.subcode);
+      body.bytes(notif.data);
+      break;
+    }
+  }
+
+  ByteWriter w;
+  w.fill(16, 0xff);  // marker
+  w.u16be(static_cast<std::uint16_t>(kBgpHeaderLen + body.size()));
+  w.u8(static_cast<std::uint8_t>(msg.type()));
+  w.bytes(body.data());
+  TDAT_ENSURES(w.size() <= kBgpMaxMessageLen);
+  return w.take();
+}
+
+std::size_t peek_message_length(std::span<const std::uint8_t> data) {
+  if (data.size() < kBgpHeaderLen) return 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (data[i] != 0xff) return 0;
+  }
+  const std::size_t len = static_cast<std::size_t>(data[16]) << 8 | data[17];
+  if (len < kBgpHeaderLen || len > kBgpMaxMessageLen) return 0;
+  return len;
+}
+
+Result<BgpMessage> parse_message(std::span<const std::uint8_t> data) {
+  const std::size_t len = peek_message_length(data);
+  if (len == 0) return Err<BgpMessage>("bgp: bad header");
+  if (data.size() < len) return Err<BgpMessage>("bgp: truncated message");
+
+  const std::uint8_t type = data[18];
+  ByteReader r(data.subspan(kBgpHeaderLen, len - kBgpHeaderLen));
+  BgpMessage msg;
+  switch (static_cast<BgpType>(type)) {
+    case BgpType::kOpen: {
+      BgpOpen open;
+      open.version = r.u8();
+      open.my_as = r.u16be();
+      open.hold_time = r.u16be();
+      open.bgp_id = r.u32be();
+      const std::uint8_t opt_len = r.u8();
+      const auto opt = r.bytes(opt_len);
+      if (!r.ok()) return Err<BgpMessage>("bgp: truncated OPEN");
+      open.opt_params.assign(opt.begin(), opt.end());
+      msg.body = std::move(open);
+      break;
+    }
+    case BgpType::kUpdate: {
+      BgpUpdate upd;
+      const std::uint16_t withdrawn_len = r.u16be();
+      {
+        ByteReader wr(r.bytes(withdrawn_len));
+        while (wr.ok() && wr.remaining() > 0) {
+          Prefix p;
+          if (!read_prefix(wr, p)) return Err<BgpMessage>("bgp: bad withdrawn prefix");
+          upd.withdrawn.push_back(p);
+        }
+      }
+      const std::uint16_t attr_len = r.u16be();
+      const auto attr_bytes = r.bytes(attr_len);
+      if (!r.ok()) return Err<BgpMessage>("bgp: truncated UPDATE");
+      if (!decode_attributes(attr_bytes, upd.attrs)) {
+        return Err<BgpMessage>("bgp: bad path attributes");
+      }
+      while (r.remaining() > 0) {
+        Prefix p;
+        if (!read_prefix(r, p)) return Err<BgpMessage>("bgp: bad NLRI prefix");
+        upd.nlri.push_back(p);
+      }
+      msg.body = std::move(upd);
+      break;
+    }
+    case BgpType::kKeepAlive:
+      if (len != kBgpHeaderLen) return Err<BgpMessage>("bgp: KEEPALIVE with body");
+      msg.body = BgpKeepAlive{};
+      break;
+    case BgpType::kNotification: {
+      BgpNotification notif;
+      notif.code = r.u8();
+      notif.subcode = r.u8();
+      if (!r.ok()) return Err<BgpMessage>("bgp: truncated NOTIFICATION");
+      const auto rest = r.bytes(r.remaining());
+      notif.data.assign(rest.begin(), rest.end());
+      msg.body = std::move(notif);
+      break;
+    }
+    default:
+      return Err<BgpMessage>("bgp: unknown message type " + std::to_string(type));
+  }
+  return msg;
+}
+
+}  // namespace tdat

@@ -1,0 +1,129 @@
+// BGP-4 message model and wire codec (RFC 4271), covering what BGP
+// monitoring needs: OPEN, UPDATE (withdrawn routes, path attributes, NLRI),
+// KEEPALIVE, and NOTIFICATION. AS numbers are 2-octet, matching the traces
+// of the paper's measurement period.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace tdat {
+
+inline constexpr std::size_t kBgpHeaderLen = 19;
+inline constexpr std::size_t kBgpMaxMessageLen = 4096;
+
+enum class BgpType : std::uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepAlive = 4,
+};
+
+[[nodiscard]] const char* to_string(BgpType type);
+
+// An IPv4 prefix as carried in NLRI / withdrawn-routes fields.
+struct Prefix {
+  std::uint32_t addr = 0;  // host order, low bits beyond `length` must be 0
+  std::uint8_t length = 0;
+
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct AsPathSegment {
+  enum : std::uint8_t { kAsSet = 1, kAsSequence = 2 };
+  std::uint8_t type = kAsSequence;
+  std::vector<std::uint16_t> asns;
+
+  friend bool operator==(const AsPathSegment&, const AsPathSegment&) = default;
+};
+
+// The well-known attributes BGP monitoring cares about. Unrecognized
+// attributes are preserved raw so parse/serialize round-trips.
+struct PathAttributes {
+  std::uint8_t origin = 0;  // 0=IGP 1=EGP 2=INCOMPLETE
+  std::vector<AsPathSegment> as_path;
+  std::uint32_t next_hop = 0;
+  std::optional<std::uint32_t> med;
+  std::optional<std::uint32_t> local_pref;
+  std::vector<std::uint32_t> communities;
+
+  struct RawAttribute {
+    std::uint8_t flags = 0;
+    std::uint8_t type_code = 0;
+    std::vector<std::uint8_t> value;
+    friend bool operator==(const RawAttribute&, const RawAttribute&) = default;
+  };
+  std::vector<RawAttribute> unrecognized;
+
+  friend bool operator==(const PathAttributes&, const PathAttributes&) = default;
+  [[nodiscard]] std::string as_path_string() const;
+};
+
+struct BgpOpen {
+  std::uint8_t version = 4;
+  std::uint16_t my_as = 0;
+  std::uint16_t hold_time = 180;
+  std::uint32_t bgp_id = 0;
+  std::vector<std::uint8_t> opt_params;  // preserved raw
+
+  friend bool operator==(const BgpOpen&, const BgpOpen&) = default;
+};
+
+struct BgpUpdate {
+  std::vector<Prefix> withdrawn;
+  PathAttributes attrs;  // meaningful only when nlri is non-empty
+  std::vector<Prefix> nlri;
+
+  friend bool operator==(const BgpUpdate&, const BgpUpdate&) = default;
+};
+
+struct BgpKeepAlive {
+  friend bool operator==(const BgpKeepAlive&, const BgpKeepAlive&) = default;
+};
+
+struct BgpNotification {
+  std::uint8_t code = 0;
+  std::uint8_t subcode = 0;
+  std::vector<std::uint8_t> data;
+
+  friend bool operator==(const BgpNotification&, const BgpNotification&) = default;
+};
+
+struct BgpMessage {
+  std::variant<BgpOpen, BgpUpdate, BgpKeepAlive, BgpNotification> body;
+
+  [[nodiscard]] BgpType type() const {
+    switch (body.index()) {
+      case 0: return BgpType::kOpen;
+      case 1: return BgpType::kUpdate;
+      case 2: return BgpType::kKeepAlive;
+      default: return BgpType::kNotification;
+    }
+  }
+  [[nodiscard]] const BgpUpdate* as_update() const {
+    return std::get_if<BgpUpdate>(&body);
+  }
+
+  friend bool operator==(const BgpMessage&, const BgpMessage&) = default;
+};
+
+// Serializes one message with header (marker, length, type).
+[[nodiscard]] std::vector<std::uint8_t> serialize_message(const BgpMessage& msg);
+
+// Parses exactly one complete message starting at data[0]; `data` must hold
+// at least the length declared in the header.
+[[nodiscard]] Result<BgpMessage> parse_message(std::span<const std::uint8_t> data);
+
+// Peeks the declared total length of the message starting at data[0], or 0
+// if fewer than kBgpHeaderLen bytes are available or the header is invalid.
+[[nodiscard]] std::size_t peek_message_length(std::span<const std::uint8_t> data);
+
+}  // namespace tdat

@@ -1,0 +1,97 @@
+#include "bgp/mrt.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "util/bytes.hpp"
+
+namespace tdat {
+namespace {
+
+constexpr std::uint16_t kMrtTypeBgp4mp = 16;
+constexpr std::uint16_t kMrtSubtypeMessage = 1;
+constexpr std::uint16_t kAfiIpv4 = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const { std::fclose(f); }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_mrt(const std::vector<MrtRecord>& records) {
+  ByteWriter w;
+  for (const MrtRecord& rec : records) {
+    // BGP4MP_MESSAGE body: peer AS, local AS, ifindex, AFI, peer IP,
+    // local IP, then the BGP message.
+    const std::size_t body_len = 2 + 2 + 2 + 2 + 4 + 4 + rec.bgp_message.size();
+    w.u32be(static_cast<std::uint32_t>(rec.ts / kMicrosPerSec));
+    w.u16be(kMrtTypeBgp4mp);
+    w.u16be(kMrtSubtypeMessage);
+    w.u32be(static_cast<std::uint32_t>(body_len));
+    w.u16be(rec.peer_as);
+    w.u16be(rec.local_as);
+    w.u16be(0);  // interface index
+    w.u16be(kAfiIpv4);
+    w.u32be(rec.peer_ip);
+    w.u32be(rec.local_ip);
+    w.bytes(rec.bgp_message);
+  }
+  return w.take();
+}
+
+Result<std::vector<MrtRecord>> parse_mrt(std::span<const std::uint8_t> image) {
+  std::vector<MrtRecord> out;
+  ByteReader r(image);
+  while (r.remaining() > 0) {
+    if (r.remaining() < 12) {
+      return Err<std::vector<MrtRecord>>("mrt: truncated record header");
+    }
+    MrtRecord rec;
+    rec.ts = static_cast<Micros>(r.u32be()) * kMicrosPerSec;
+    const std::uint16_t type = r.u16be();
+    const std::uint16_t subtype = r.u16be();
+    const std::uint32_t len = r.u32be();
+    const auto body = r.bytes(len);
+    if (!r.ok()) return Err<std::vector<MrtRecord>>("mrt: truncated record body");
+    if (type != kMrtTypeBgp4mp || subtype != kMrtSubtypeMessage) {
+      continue;  // other record types are skippable by design
+    }
+    ByteReader b(body);
+    rec.peer_as = b.u16be();
+    rec.local_as = b.u16be();
+    (void)b.u16be();  // interface index
+    const std::uint16_t afi = b.u16be();
+    if (afi != kAfiIpv4) continue;
+    rec.peer_ip = b.u32be();
+    rec.local_ip = b.u32be();
+    const auto msg = b.bytes(b.remaining());
+    if (!b.ok()) return Err<std::vector<MrtRecord>>("mrt: bad BGP4MP body");
+    rec.bgp_message.assign(msg.begin(), msg.end());
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+bool write_mrt_file(const std::string& path, const std::vector<MrtRecord>& records) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  const auto image = serialize_mrt(records);
+  return std::fwrite(image.data(), 1, image.size(), f.get()) == image.size();
+}
+
+Result<std::vector<MrtRecord>> read_mrt_file(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Err<std::vector<MrtRecord>>("mrt: cannot open " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  const long len = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (len < 0) return Err<std::vector<MrtRecord>>("mrt: cannot stat " + path);
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(len));
+  if (!image.empty() &&
+      std::fread(image.data(), 1, image.size(), f.get()) != image.size()) {
+    return Err<std::vector<MrtRecord>>("mrt: short read on " + path);
+  }
+  return parse_mrt(image);
+}
+
+}  // namespace tdat

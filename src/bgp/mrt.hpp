@@ -1,0 +1,39 @@
+// MRT export format (draft-ietf-grow-mrt / RFC 6396 subset): BGP4MP
+// MESSAGE records, the format Quagga collectors archive BGP updates in and
+// what pcap2bgp emits (§II-A, Table VI).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/msg_stream.hpp"
+#include "util/result.hpp"
+
+namespace tdat {
+
+struct MrtRecord {
+  Micros ts = 0;  // stored with second granularity on the wire
+  std::uint16_t peer_as = 0;
+  std::uint16_t local_as = 0;
+  std::uint32_t peer_ip = 0;
+  std::uint32_t local_ip = 0;
+  std::vector<std::uint8_t> bgp_message;  // raw BGP message incl. header
+
+  [[nodiscard]] Result<BgpMessage> parse() const { return parse_message(bgp_message); }
+};
+
+// Serializes records as MRT type 16 (BGP4MP), subtype 1 (BGP4MP_MESSAGE),
+// IPv4 AFI.
+[[nodiscard]] std::vector<std::uint8_t> serialize_mrt(
+    const std::vector<MrtRecord>& records);
+
+[[nodiscard]] Result<std::vector<MrtRecord>> parse_mrt(
+    std::span<const std::uint8_t> image);
+
+[[nodiscard]] bool write_mrt_file(const std::string& path,
+                                  const std::vector<MrtRecord>& records);
+[[nodiscard]] Result<std::vector<MrtRecord>> read_mrt_file(const std::string& path);
+
+}  // namespace tdat

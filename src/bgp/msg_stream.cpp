@@ -1,0 +1,36 @@
+#include "bgp/msg_stream.hpp"
+
+namespace tdat {
+
+std::vector<TimedBgpMessage> BgpMessageStream::feed(
+    std::span<const std::uint8_t> bytes, Micros ts) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  std::vector<TimedBgpMessage> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::span rest = std::span(buf_).subspan(pos);
+    if (rest.size() < kBgpHeaderLen) break;
+    const std::size_t len = peek_message_length(rest);
+    if (len == 0) {
+      // Bad framing: resynchronize by advancing one byte.
+      ++pos;
+      ++skipped_;
+      continue;
+    }
+
+    if (rest.size() < len) break;  // wait for more bytes
+    auto parsed = parse_message(rest.first(len));
+    if (parsed.ok()) {
+      out.push_back({ts, std::move(parsed).value(),
+                     stream_base_ + static_cast<std::int64_t>(pos + len)});
+    } else {
+      ++parse_errors_;
+    }
+    pos += len;
+  }
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+  stream_base_ += static_cast<std::int64_t>(pos);
+  return out;
+}
+
+}  // namespace tdat

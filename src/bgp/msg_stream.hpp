@@ -1,0 +1,43 @@
+// Message framing over a reconstructed TCP byte stream: feed chunks in
+// stream order, get out complete BGP messages with the timestamp at which
+// each message became fully available to the receiver.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "util/time.hpp"
+
+namespace tdat {
+
+struct TimedBgpMessage {
+  Micros ts = 0;
+  BgpMessage msg;
+  // Stream offset one past the message's last byte (relative to the first
+  // byte fed into the stream); -1 when unknown. Lets callers map a message
+  // back to TCP sequence space (e.g. to find the ACK that covered it).
+  std::int64_t end_offset = -1;
+};
+
+class BgpMessageStream {
+ public:
+  // Returns all messages completed by this chunk. Undecodable bytes at the
+  // head of the stream (lost framing) are skipped one byte at a time until a
+  // valid marker is found; `skipped_bytes()` reports how many.
+  [[nodiscard]] std::vector<TimedBgpMessage> feed(std::span<const std::uint8_t> bytes,
+                                                  Micros ts);
+
+  [[nodiscard]] std::uint64_t skipped_bytes() const { return skipped_; }
+  [[nodiscard]] std::uint64_t parse_errors() const { return parse_errors_; }
+  [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::int64_t stream_base_ = 0;  // stream offset of buf_[0]
+  std::uint64_t skipped_ = 0;
+  std::uint64_t parse_errors_ = 0;
+};
+
+}  // namespace tdat

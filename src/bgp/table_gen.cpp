@@ -1,0 +1,85 @@
+#include "bgp/table_gen.hpp"
+
+#include <algorithm>
+
+namespace tdat {
+
+std::vector<BgpUpdate> generate_table(const TableGenConfig& config, Rng& rng) {
+  std::vector<BgpUpdate> out;
+  std::size_t generated = 0;
+  // Walk the prefix space deterministically so all prefixes are distinct:
+  // successive /24-or-shorter blocks carved out of 1.0.0.0 upward.
+  std::uint32_t cursor = 0x01000000;
+
+  while (generated < config.prefix_count) {
+    BgpUpdate upd;
+    // Path shared by this update's prefixes.
+    const int path_len = static_cast<int>(rng.uniform(2, 6));
+    AsPathSegment seg;
+    for (int i = 0; i < path_len; ++i) {
+      seg.asns.push_back(static_cast<std::uint16_t>(
+          rng.uniform(config.origin_as_min, config.origin_as_max)));
+    }
+    upd.attrs.as_path.push_back(std::move(seg));
+    upd.attrs.origin = static_cast<std::uint8_t>(rng.uniform(0, 2));
+    upd.attrs.next_hop = config.next_hop;
+    if (rng.chance(0.5)) upd.attrs.med = static_cast<std::uint32_t>(rng.uniform(0, 100));
+    if (rng.chance(config.community_probability)) {
+      upd.attrs.communities.push_back(
+          static_cast<std::uint32_t>(rng.uniform(1, 1 << 24)));
+    }
+
+    // 1..2*mean prefixes in this update.
+    const auto max_batch = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(2.0 * config.prefixes_per_update));
+    auto batch = static_cast<std::size_t>(rng.uniform(1, max_batch));
+    batch = std::min(batch, config.prefix_count - generated);
+    for (std::size_t i = 0; i < batch; ++i) {
+      Prefix p;
+      p.length = static_cast<std::uint8_t>(rng.uniform(16, 24));
+      const std::uint32_t mask = p.length == 0 ? 0 : ~std::uint32_t{0} << (32 - p.length);
+      p.addr = cursor & mask;
+      // Advance past this prefix's block so prefixes never overlap.
+      cursor = p.addr + (p.length == 0 ? 0 : (1u << (32 - p.length)));
+      upd.nlri.push_back(p);
+    }
+    generated += batch;
+    out.push_back(std::move(upd));
+  }
+  return out;
+}
+
+std::vector<BgpUpdate> generate_update_burst(const std::vector<BgpUpdate>& table,
+                                             double reannounce_fraction,
+                                             double withdraw_fraction, Rng& rng) {
+  std::vector<BgpUpdate> out;
+  for (const BgpUpdate& orig : table) {
+    if (rng.chance(withdraw_fraction)) {
+      BgpUpdate withdraw;
+      withdraw.withdrawn = orig.nlri;
+      out.push_back(std::move(withdraw));
+    } else if (rng.chance(reannounce_fraction)) {
+      BgpUpdate re = orig;
+      // The routing event rerouted these prefixes: new path, same NLRI.
+      re.attrs.as_path.clear();
+      AsPathSegment seg;
+      const int len = static_cast<int>(rng.uniform(2, 6));
+      for (int i = 0; i < len; ++i) {
+        seg.asns.push_back(static_cast<std::uint16_t>(rng.uniform(1000, 64000)));
+      }
+      re.attrs.as_path.push_back(std::move(seg));
+      out.push_back(std::move(re));
+    }
+  }
+  return out;
+}
+
+std::uint64_t serialized_size(const std::vector<BgpUpdate>& updates) {
+  std::uint64_t total = 0;
+  for (const BgpUpdate& upd : updates) {
+    total += serialize_message(BgpMessage{upd}).size();
+  }
+  return total;
+}
+
+}  // namespace tdat

@@ -1,0 +1,42 @@
+// Synthetic routing-table generator: produces a full-table announcement as a
+// realistic sequence of UPDATE messages (prefixes grouped by shared path
+// attributes, Zipf-ish AS path lengths). This stands in for the operational
+// routers' real tables, which are proprietary; the *volume and packing*
+// (5-8 MB full table, a few prefixes per update) is what matters to the
+// transport behaviour the analyzer studies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "util/rng.hpp"
+
+namespace tdat {
+
+struct TableGenConfig {
+  std::size_t prefix_count = 20'000;
+  // Mean number of prefixes sharing one UPDATE (real tables average ~4).
+  double prefixes_per_update = 4.0;
+  std::uint16_t origin_as_min = 1000;
+  std::uint16_t origin_as_max = 64000;
+  std::uint32_t next_hop = 0x0a000001;  // 10.0.0.1
+  double community_probability = 0.3;
+};
+
+// Deterministic for a given (config, rng state).
+[[nodiscard]] std::vector<BgpUpdate> generate_table(const TableGenConfig& config,
+                                                    Rng& rng);
+
+// Total serialized size of the table announcement in bytes.
+[[nodiscard]] std::uint64_t serialized_size(const std::vector<BgpUpdate>& updates);
+
+// The massive update burst a routing event triggers (link failure, policy
+// change): a fraction of the table is re-announced with different AS paths,
+// and a smaller fraction withdrawn. This is the post-transfer workload of
+// the paper's future work (§VII).
+[[nodiscard]] std::vector<BgpUpdate> generate_update_burst(
+    const std::vector<BgpUpdate>& table, double reannounce_fraction,
+    double withdraw_fraction, Rng& rng);
+
+}  // namespace tdat

@@ -1,0 +1,68 @@
+#include "core/ack_shift.hpp"
+
+#include <algorithm>
+
+#include "tcp/flights.hpp"
+
+namespace tdat {
+
+ShiftedTrace shift_acks(const Connection& conn, const ConnectionProfile& profile,
+                        const AnalyzerOptions& opts) {
+  ShiftedTrace out;
+  out.ts.reserve(conn.packets.size());
+  for (const DecodedPacket& pkt : conn.packets) out.ts.push_back(pkt.ts);
+  if (opts.location == SnifferLocation::kNearSender || !opts.enable_ack_shift) {
+    return out;
+  }
+
+  // Timestamps of data-direction payload packets, for "next data after t".
+  std::vector<Micros> data_ts;
+  std::vector<FlightItem> acks;
+  for (std::size_t i = 0; i < conn.packets.size(); ++i) {
+    const DecodedPacket& pkt = conn.packets[i];
+    if (packet_dir(conn.key, pkt) == profile.data_dir) {
+      if (pkt.has_payload()) data_ts.push_back(pkt.ts);
+    } else if (pkt.tcp.flags.ack && !pkt.tcp.flags.syn) {
+      acks.push_back({pkt.ts, pkt.payload_len, i});
+    }
+  }
+  if (acks.empty() || data_ts.empty()) return out;
+
+  const Micros gap = std::max<Micros>(
+      kMicrosPerMilli,
+      static_cast<Micros>(static_cast<double>(profile.rtt()) *
+                          opts.flight_gap_rtt_fraction));
+  const auto flights = group_flights(acks, gap);
+
+  // d2 is a path property, roughly one RTT. An ACK whose next data packet
+  // arrives much later than that did NOT promptly liberate data (the sender
+  // was idle), so it yields no estimate — "(if it exists)" in the paper.
+  // Without this bound, app-limited idle gaps would be swallowed by the
+  // shift instead of measured. The reference tracks the last accepted
+  // estimate because queueing at a bottleneck inflates the true d2
+  // gradually over a transfer; an application pacing timer, by contrast,
+  // jumps far past the cap at once and is rejected.
+  Micros d2_ref = profile.rtt();
+
+  for (const Flight& flight : flights) {
+    const Micros d2_cap = 2 * std::max(d2_ref, profile.rtt());
+    Micros d2_min = -1;
+    for (std::size_t i = flight.first; i <= flight.last; ++i) {
+      // First data packet captured after this ACK.
+      auto it = std::upper_bound(data_ts.begin(), data_ts.end(), acks[i].ts);
+      if (it == data_ts.end()) continue;
+      const Micros d2 = *it - acks[i].ts;
+      if (d2 > 0 && d2 <= d2_cap && (d2_min < 0 || d2 < d2_min)) d2_min = d2;
+    }
+    if (d2_min > 0) d2_ref = d2_min;
+    if (d2_min <= 0) continue;  // no estimate for this flight
+    for (std::size_t i = flight.first; i <= flight.last; ++i) {
+      out.ts[acks[i].ref] += d2_min;
+    }
+    ++out.flights_shifted;
+    out.max_shift = std::max(out.max_shift, d2_min);
+  }
+  return out;
+}
+
+}  // namespace tdat

@@ -1,0 +1,39 @@
+// Accommodating the sniffer location (§III-B1, Figs. 12-13).
+//
+// With the sniffer near the receiver, an ACK is captured roughly d2 before
+// the sender perceives it (d2 = Sniffer->Sender->Sniffer delay). T-DAT
+// rewrites the trace into an approximate sender-side view by shifting ACKs
+// *forward* by d2 so that the gap between a shifted ACK and the data it
+// liberates reflects sender behaviour (e.g. application idle time), not
+// path delay.
+//
+// d2 is estimated per ACK as the time from the ACK's capture to the arrival
+// of the next data packet (exact when the connection is window-bound, loose
+// otherwise), and the whole ACK *flight* is shifted by the flight's minimum
+// estimate — the most precise one (Fig. 13).
+#pragma once
+
+#include <vector>
+
+#include "core/options.hpp"
+#include "tcp/connection.hpp"
+#include "tcp/profile.hpp"
+
+namespace tdat {
+
+struct ShiftedTrace {
+  // Effective timestamp for every packet in the connection (parallel to
+  // Connection::packets). Data-direction packets keep their capture time;
+  // reverse-direction packets may be shifted forward.
+  std::vector<Micros> ts;
+  std::size_t flights_shifted = 0;
+  Micros max_shift = 0;
+};
+
+// When the trace is already sender-side (location == kNearSender), this is
+// the identity mapping — "safely executed without effect" per the paper.
+[[nodiscard]] ShiftedTrace shift_acks(const Connection& conn,
+                                      const ConnectionProfile& profile,
+                                      const AnalyzerOptions& opts);
+
+}  // namespace tdat

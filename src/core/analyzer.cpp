@@ -1,0 +1,45 @@
+#include "core/analyzer.hpp"
+
+namespace tdat {
+
+ConnectionAnalysis analyze_connection(const Connection& conn,
+                                      const AnalyzerOptions& opts) {
+  ConnectionAnalysis out;
+  out.key = conn.key;
+  out.profile = compute_profile(conn);
+  out.bundle = build_series(conn, out.profile, opts);
+
+  auto extracted = extract_bgp_messages(conn, out.profile.data_dir);
+  out.messages = std::move(extracted.messages);
+
+  // A table transfer starts right after the TCP connection is established
+  // (RFC 4271); MCT estimates where it ends.
+  const Micros start = conn.start_time();
+  out.mct = mct_transfer_end(out.messages, start);
+  if (out.mct.update_count > 0 && out.mct.end > start) {
+    out.transfer = {start, out.mct.end};
+  } else {
+    out.transfer = {};
+  }
+  out.report = classify_delay(out.bundle.registry, out.transfer, opts);
+  return out;
+}
+
+TraceAnalysis analyze_packets(std::vector<DecodedPacket> packets,
+                              const AnalyzerOptions& opts) {
+  TraceAnalysis out;
+  out.connections = split_connections(packets);
+  out.results.reserve(out.connections.size());
+  for (std::size_t i = 0; i < out.connections.size(); ++i) {
+    ConnectionAnalysis r = analyze_connection(out.connections[i], opts);
+    r.conn_index = i;
+    out.results.push_back(std::move(r));
+  }
+  return out;
+}
+
+TraceAnalysis analyze_trace(const PcapFile& file, const AnalyzerOptions& opts) {
+  return analyze_packets(decode_pcap(file, opts.verify_checksums), opts);
+}
+
+}  // namespace tdat

@@ -1,0 +1,46 @@
+// T-DAT top level (Fig. 10): pre-process the raw packet trace (connection
+// extraction, profiles, ACK shifting), generate the event series, locate the
+// BGP table transfer (TCP start + MCT end, §II-A), and classify the delay
+// factors over the transfer window.
+#pragma once
+
+#include <vector>
+
+#include "bgp/mct.hpp"
+#include "core/delay_report.hpp"
+#include "core/pcap2bgp.hpp"
+#include "core/series_builder.hpp"
+#include "pcap/pcap_file.hpp"
+#include "tcp/profile.hpp"
+
+namespace tdat {
+
+struct ConnectionAnalysis {
+  std::size_t conn_index = 0;  // into TraceAnalysis::connections
+  ConnKey key;
+  ConnectionProfile profile;
+  SeriesBundle bundle;                   // the 34 series + labeled packets
+  std::vector<TimedBgpMessage> messages; // extracted by pcap2bgp
+  MctResult mct;
+  TimeRange transfer;                    // the analysis period
+  DelayReport report;
+
+  [[nodiscard]] Micros transfer_duration() const { return transfer.length(); }
+  [[nodiscard]] const SeriesRegistry& series() const { return bundle.registry; }
+};
+
+struct TraceAnalysis {
+  std::vector<Connection> connections;
+  std::vector<ConnectionAnalysis> results;  // parallel to connections
+};
+
+[[nodiscard]] ConnectionAnalysis analyze_connection(const Connection& conn,
+                                                    const AnalyzerOptions& opts);
+
+[[nodiscard]] TraceAnalysis analyze_packets(std::vector<DecodedPacket> packets,
+                                            const AnalyzerOptions& opts);
+
+[[nodiscard]] TraceAnalysis analyze_trace(const PcapFile& file,
+                                          const AnalyzerOptions& opts);
+
+}  // namespace tdat

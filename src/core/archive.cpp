@@ -1,0 +1,53 @@
+#include "core/archive.hpp"
+
+#include <algorithm>
+
+namespace tdat {
+
+std::vector<TimedBgpMessage> archive_messages_for(
+    const std::vector<MrtRecord>& records, std::uint32_t peer_ip) {
+  std::vector<TimedBgpMessage> out;
+  for (const MrtRecord& rec : records) {
+    if (rec.peer_ip != peer_ip) continue;
+    auto parsed = rec.parse();
+    if (!parsed.ok()) continue;
+    out.push_back({rec.ts, std::move(parsed).value()});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TimedBgpMessage& a, const TimedBgpMessage& b) {
+                     return a.ts < b.ts;
+                   });
+  return out;
+}
+
+ConnectionAnalysis analyze_connection_with_archive(
+    const Connection& conn, const std::vector<MrtRecord>& archive,
+    const AnalyzerOptions& opts) {
+  ConnectionAnalysis out;
+  out.key = conn.key;
+  out.profile = compute_profile(conn);
+  out.bundle = build_series(conn, out.profile, opts);
+
+  // The peer is the data sender's side of the connection key.
+  std::uint32_t peer_ip = conn.key.ip_a;
+  if (out.profile.data_dir == Dir::kBToA) peer_ip = conn.key.ip_b;
+  out.messages = archive_messages_for(archive, peer_ip);
+
+  const Micros start = conn.start_time();
+  // Archives may carry second-granular timestamps (the MRT wire format),
+  // so a message logged within the connection's first second can be stamped
+  // "before" the µs-precise TCP start. Run MCT from the containing second.
+  const Micros mct_start = (start / kMicrosPerSec) * kMicrosPerSec;
+  out.mct = mct_transfer_end(out.messages, mct_start);
+  if (out.mct.update_count > 0 && out.mct.end > start) {
+    // MRT timestamps are second-granular; extend the window to the end of
+    // the last update's second so sub-second activity is not clipped.
+    out.transfer = {start, out.mct.end + kMicrosPerSec};
+  } else {
+    out.transfer = {};
+  }
+  out.report = classify_delay(out.bundle.registry, out.transfer, opts);
+  return out;
+}
+
+}  // namespace tdat

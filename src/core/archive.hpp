@@ -1,0 +1,30 @@
+// MRT-archive-based transfer identification: the paper's Quagga collectors
+// archive every received update in MRT format ("BGP (MRT): Yes" in
+// Table I), so the table transfer's end can be located by running MCT on
+// the archive directly, instead of reconstructing messages from the packet
+// trace with pcap2bgp (which is the fallback for vendor collectors).
+//
+// MRT timestamps carry SECOND granularity — a real artifact of the format
+// the paper's data shares — so archive-based transfer windows are coarser
+// than pcap2bgp-based ones by up to a second on each end.
+#pragma once
+
+#include "bgp/mrt.hpp"
+#include "core/analyzer.hpp"
+
+namespace tdat {
+
+// Extracts the parseable messages a given peer sent, in timestamp order.
+// `peer_ip` is the operational router's address (host order).
+[[nodiscard]] std::vector<TimedBgpMessage> archive_messages_for(
+    const std::vector<MrtRecord>& records, std::uint32_t peer_ip);
+
+// Like analyze_connection, but locates the table transfer from the
+// collector's MRT archive instead of the reconstructed packet stream. The
+// event series still come from the packet trace (they must — the archive
+// has no transport information).
+[[nodiscard]] ConnectionAnalysis analyze_connection_with_archive(
+    const Connection& conn, const std::vector<MrtRecord>& archive,
+    const AnalyzerOptions& opts);
+
+}  // namespace tdat

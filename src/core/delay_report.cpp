@@ -1,0 +1,72 @@
+#include "core/delay_report.hpp"
+
+namespace tdat {
+
+RangeSet factor_ranges(const SeriesRegistry& reg, Factor f) {
+  auto get = [&](const char* name) -> RangeSet {
+    return reg.has(name) ? reg.get(name).ranges() : RangeSet{};
+  };
+  switch (f) {
+    case Factor::kBgpSenderApp:
+      return get(series::kSendAppLimited);
+    case Factor::kTcpCongestionWindow:
+      return get(series::kCwndBndOut);
+    case Factor::kSenderLocalLoss:
+      return get(series::kSendLocalLoss);
+    case Factor::kBgpReceiverApp:
+      // Small or closed advertised window: the receiving application is not
+      // keeping up with the sender.
+      return get(series::kSmallAdvBndOut);
+    case Factor::kTcpAdvertisedWindow:
+      // Window-bound but NOT because the app fell behind: the configured
+      // window itself (e.g. RouteViews' 16 KB) is the limit. Wire-paced
+      // periods are excluded — when the bottleneck queue inflates until the
+      // window fills, the window is a symptom, not the cause.
+      return get(series::kAdvBndOut)
+          .set_difference(get(series::kSmallAdvBndOut))
+          .set_difference(get(series::kBandwidthLimited));
+    case Factor::kReceiverLocalLoss:
+      return get(series::kRecvLocalLoss);
+    case Factor::kBandwidthLimited:
+      return get(series::kBandwidthLimited);
+    case Factor::kNetworkLoss:
+      return get(series::kNetworkLoss);
+  }
+  return {};
+}
+
+DelayReport classify_delay(const SeriesRegistry& reg, TimeRange window,
+                           const AnalyzerOptions& opts) {
+  DelayReport rep;
+  rep.window = window;
+  const auto period = static_cast<double>(window.length());
+  if (window.empty()) return rep;
+
+  std::array<RangeSet, kFactorCount> sets;
+  RangeSet clip;
+  clip.insert(window);
+  for (std::size_t i = 0; i < kFactorCount; ++i) {
+    sets[i] = factor_ranges(reg, static_cast<Factor>(i)).set_intersection(clip);
+    rep.factor_delay[i] = sets[i].size();
+    rep.factor_ratio[i] = static_cast<double>(rep.factor_delay[i]) / period;
+  }
+
+  for (std::size_t g = 0; g < kGroupCount; ++g) {
+    RangeSet merged;
+    Micros best = -1;
+    for (Factor f : factors_in(static_cast<FactorGroup>(g))) {
+      const auto i = static_cast<std::size_t>(f);
+      merged = merged.set_union(sets[i]);
+      if (rep.factor_delay[i] > best) {
+        best = rep.factor_delay[i];
+        rep.dominant_factor[g] = f;
+      }
+    }
+    rep.group_delay[g] = merged.size();
+    rep.group_ratio[g] = static_cast<double>(rep.group_delay[g]) / period;
+    rep.group_major[g] = rep.group_ratio[g] > opts.major_threshold;
+  }
+  return rep;
+}
+
+}  // namespace tdat

@@ -1,0 +1,53 @@
+// Output step of T-DAT (§III-D): maps the conclusive series onto the eight
+// delay factors, computes the raw 8-vector of delay ratios over the analysis
+// period, folds factors into the three top-level groups (sender / receiver /
+// network) via set union, and flags "major" groups above the threshold.
+#pragma once
+
+#include <array>
+
+#include "core/options.hpp"
+#include "core/series_names.hpp"
+#include "timerange/event_series.hpp"
+
+namespace tdat {
+
+struct DelayReport {
+  TimeRange window;  // the analysis period (table transfer duration)
+
+  // Raw vector V = (r_1 .. r_8): fraction of the period each factor covers.
+  std::array<double, kFactorCount> factor_ratio{};
+  std::array<Micros, kFactorCount> factor_delay{};  // absolute covered time
+
+  // G = (Rs, Rr, Rn): per-group union coverage.
+  std::array<double, kGroupCount> group_ratio{};
+  std::array<Micros, kGroupCount> group_delay{};
+  std::array<bool, kGroupCount> group_major{};
+  // Largest factor within each group (meaningful when group_delay > 0).
+  std::array<Factor, kGroupCount> dominant_factor{};
+
+  [[nodiscard]] bool has_major() const {
+    return group_major[0] || group_major[1] || group_major[2];
+  }
+  [[nodiscard]] double ratio(Factor f) const {
+    return factor_ratio[static_cast<std::size_t>(f)];
+  }
+  [[nodiscard]] double ratio(FactorGroup g) const {
+    return group_ratio[static_cast<std::size_t>(g)];
+  }
+  [[nodiscard]] bool major(FactorGroup g) const {
+    return group_major[static_cast<std::size_t>(g)];
+  }
+  [[nodiscard]] Factor dominant(FactorGroup g) const {
+    return dominant_factor[static_cast<std::size_t>(g)];
+  }
+};
+
+// The conclusive series backing each factor.
+[[nodiscard]] RangeSet factor_ranges(const SeriesRegistry& reg, Factor f);
+
+[[nodiscard]] DelayReport classify_delay(const SeriesRegistry& reg,
+                                         TimeRange window,
+                                         const AnalyzerOptions& opts);
+
+}  // namespace tdat

@@ -1,0 +1,243 @@
+#include "core/detectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/knee.hpp"
+#include "util/stats.hpp"
+
+#include "tcp/seq.hpp"
+
+namespace tdat {
+
+TimerGapResult detect_timer_gaps(const SeriesRegistry& reg, TimeRange window,
+                                 const TimerGapOptions& opts) {
+  TimerGapResult res;
+  if (!reg.has(series::kSendAppLimited) || window.empty()) return res;
+
+  // Gap lengths of sender-idle events in the plausible timer band.
+  std::vector<double> gaps_ms;
+  for (const Event& e : reg.get(series::kSendAppLimited).query(window)) {
+    const Micros len = e.range.length();
+    if (len >= opts.min_gap && len <= opts.max_gap) {
+      gaps_ms.push_back(to_millis(len));
+    }
+  }
+  if (gaps_ms.size() < opts.min_count) return res;
+  std::sort(gaps_ms.begin(), gaps_ms.end());
+  res.sorted_gaps_ms = gaps_ms;
+
+  // A pacing timer shows as a flat cluster followed by a rise: the knee of
+  // the sorted curve (L-method, [27]) separates them. The timer value is
+  // the median of the flat part.
+  const auto knee = find_knee(gaps_ms);
+  std::size_t cluster_end = gaps_ms.size();
+  if (knee && knee->index >= opts.min_count) cluster_end = knee->index;
+  std::vector<double> cluster(gaps_ms.begin(),
+                              gaps_ms.begin() + static_cast<std::ptrdiff_t>(cluster_end));
+  if (cluster.size() < opts.min_count) return res;
+
+  const double timer_ms = percentile(cluster, 50.0);
+  const double lo = percentile(cluster, 10.0);
+  const double hi = percentile(cluster, 90.0);
+  if (timer_ms <= 0.0 || (hi - lo) / timer_ms > opts.max_spread) return res;
+
+  res.detected = true;
+  res.timer = static_cast<Micros>(std::llround(timer_ms * kMicrosPerMilli));
+  // Attribute to the timer every gap within +-30% of the inferred period.
+  for (double g : gaps_ms) {
+    if (g >= 0.7 * timer_ms && g <= 1.3 * timer_ms) {
+      ++res.gap_count;
+      res.introduced_delay += static_cast<Micros>(std::llround(g * kMicrosPerMilli));
+    }
+  }
+  return res;
+}
+
+ConsecutiveLossResult detect_consecutive_losses(const SeriesRegistry& reg,
+                                                TimeRange window,
+                                                const ConsecutiveLossOptions& opts) {
+  ConsecutiveLossResult res;
+  if (!reg.has(series::kLossRecovery) || !reg.has(series::kRetransmission) ||
+      window.empty()) {
+    return res;
+  }
+  const EventSeries& retx = reg.get(series::kRetransmission);
+  // Each merged loss-recovery range is one episode; count the retransmitted
+  // packets it contains.
+  for (const TimeRange& episode : reg.get(series::kLossRecovery).ranges().ranges()) {
+    if (!episode.overlaps(window)) continue;
+    std::size_t packets = 0;
+    for (const Event& e : retx.query(episode)) packets += std::max<std::uint64_t>(e.packets, 1);
+    res.max_consecutive = std::max(res.max_consecutive, packets);
+    if (packets >= opts.min_consecutive) {
+      ++res.episodes;
+      res.introduced_delay += episode.length();
+    }
+  }
+  res.detected = res.episodes > 0;
+  return res;
+}
+
+namespace {
+
+// Pauses in the victim connection: long stretches INSIDE the transfer where
+// only keepalives flow and the sender is otherwise idle. The candidate unit
+// is a KeepAliveOnly range (it spans the whole pause between two update
+// packets); the periodic keepalives fragment SendAppLimited, so we require
+// the sender-idle series to cover most of the range rather than all of it.
+RangeSet pause_candidates(const ConnectionAnalysis& paused,
+                          const PeerGroupBlockOptions& opts) {
+  const SeriesRegistry& reg = paused.series();
+  if (!reg.has(series::kSendAppLimited) || !reg.has(series::kKeepAliveOnly) ||
+      paused.transfer.empty()) {
+    return {};
+  }
+  const RangeSet& idle = reg.get(series::kSendAppLimited).ranges();
+  RangeSet out;
+  RangeSet transfer_clip;
+  transfer_clip.insert(paused.transfer);
+  for (const TimeRange& r : reg.get(series::kKeepAliveOnly).ranges().ranges()) {
+    if (r.length() < opts.min_pause) continue;
+    // Only pauses genuinely inside the table transfer count; the quiet tail
+    // after the transfer completes is normal keepalive traffic.
+    if (transfer_clip.size_within(r) < opts.min_pause) continue;
+    if (2 * idle.size_within(r) >= r.length()) out.insert(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+PeerGroupBlockResult detect_peer_group_pause(const ConnectionAnalysis& paused,
+                                             const PeerGroupBlockOptions& opts) {
+  PeerGroupBlockResult res;
+  const RangeSet candidates = pause_candidates(paused, opts);
+  for (const TimeRange& r : candidates.ranges()) {
+    res.episodes.push_back(r);
+    res.blocked_time += r.length();
+  }
+  res.detected = !res.episodes.empty();
+  return res;
+}
+
+PeerGroupBlockResult detect_peer_group_blocking(
+    const ConnectionAnalysis& paused, const ConnectionAnalysis& failed_member,
+    const PeerGroupBlockOptions& opts) {
+  PeerGroupBlockResult res;
+  const SeriesRegistry& other = failed_member.series();
+  if (!other.has(series::kLossRecovery)) return res;
+  // Quagga.SendAppLimited ∩ Vendor.Loss (§IV-B). The failed member's trouble
+  // window runs from its first unrecovered loss to its session teardown, so
+  // extend each of its loss ranges to the teardown if one follows.
+  RangeSet member_trouble = other.get(series::kLossRecovery).ranges();
+  if (other.has(series::kTeardown)) {
+    member_trouble =
+        member_trouble.set_union(other.get(series::kTeardown).ranges());
+  }
+  if (!member_trouble.empty()) {
+    // Bridge the gap between loss onset and teardown: the member is in
+    // trouble for the whole span.
+    member_trouble = RangeSet({member_trouble.span()});
+  }
+  const RangeSet blocked =
+      pause_candidates(paused, opts).set_intersection(member_trouble);
+  for (const TimeRange& r : blocked.ranges()) {
+    if (r.length() < opts.min_pause) continue;
+    res.episodes.push_back(r);
+    res.blocked_time += r.length();
+  }
+  res.detected = !res.episodes.empty();
+  return res;
+}
+
+RangeSet CaptureVoidResult::exclude_from(TimeRange window) const {
+  RangeSet out;
+  out.insert(window);
+  for (const TimeRange& v : voids) {
+    RangeSet hole;
+    hole.insert(v);
+    out = out.set_difference(hole);
+  }
+  return out;
+}
+
+CaptureVoidResult detect_capture_voids(const Connection& conn,
+                                       const ConnectionProfile& profile) {
+  CaptureVoidResult res;
+  // Anchor stream offsets like the classifier does.
+  std::optional<std::uint32_t> anchor;
+  for (const DecodedPacket& pkt : conn.packets) {
+    if (packet_dir(conn.key, pkt) != profile.data_dir) continue;
+    if (pkt.tcp.flags.syn) {
+      anchor = pkt.tcp.seq + 1;
+      break;
+    }
+    if (pkt.has_payload()) {
+      anchor = pkt.tcp.seq;
+      break;
+    }
+  }
+  if (!anchor) return res;
+
+  SeqUnwrapper data_unwrap(*anchor);
+  SeqUnwrapper ack_unwrap(*anchor);
+  RangeSet captured;  // stream byte ranges the sniffer saw
+  Micros last_data_ts = conn.start_time();
+  std::int64_t reported_up_to = 0;  // missing bytes already accounted
+
+  for (const DecodedPacket& pkt : conn.packets) {
+    if (packet_dir(conn.key, pkt) == profile.data_dir) {
+      if (!pkt.has_payload()) continue;
+      const std::int64_t b = data_unwrap.unwrap(pkt.tcp.seq);
+      captured.insert(b, b + static_cast<std::int64_t>(pkt.payload_len));
+      last_data_ts = pkt.ts;
+    } else if (pkt.tcp.flags.ack && !pkt.tcp.flags.syn) {
+      const std::int64_t off = ack_unwrap.unwrap(pkt.tcp.ack);
+      if (off <= reported_up_to) continue;
+      // The receiver has everything below `off`; whatever the sniffer did
+      // not capture in [reported_up_to, off) was dropped by the capture,
+      // not by the network (the network's losses are never acknowledged).
+      RangeSet acked;
+      acked.insert(reported_up_to, off);
+      const Micros missing = acked.set_difference(captured).size();
+      if (missing > 0) {
+        res.missing_bytes += static_cast<std::uint64_t>(missing);
+        res.voids.push_back({last_data_ts, pkt.ts});
+      }
+      reported_up_to = off;
+    }
+  }
+  // Merge adjacent/overlapping void periods.
+  const RangeSet merged(res.voids);
+  res.voids.assign(merged.ranges().begin(), merged.ranges().end());
+  res.detected = res.missing_bytes > 0;
+  return res;
+}
+
+ZeroAckBugResult detect_zero_ack_bug(const SeriesRegistry& reg, TimeRange window) {
+  ZeroAckBugResult res;
+  if (!reg.has(series::kZeroAdvBndOut) || !reg.has(series::kUpstreamLoss)) {
+    return res;
+  }
+  // The contradiction: persistent upstream losses while the receiver window
+  // is closed (i.e. while almost nothing should be in flight at all).
+  const RangeSet zero = reg.get(series::kZeroAdvBndOut).ranges();
+  if (window.empty() || zero.empty()) return res;
+  for (const Event& e : reg.get(series::kUpstreamLoss).query(window)) {
+    // The loss belongs to a zero-window episode if its recovery period
+    // touches one.
+    Micros overlap = 0;
+    for (const TimeRange& z : zero.overlapping(e.range)) {
+      overlap += std::min(z.end, e.range.end) - std::max(z.begin, e.range.begin);
+    }
+    if (overlap > 0) {
+      ++res.occurrences;
+      res.overlap += overlap;
+    }
+  }
+  res.detected = res.occurrences > 0;
+  return res;
+}
+
+}  // namespace tdat

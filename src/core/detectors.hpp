@@ -1,0 +1,103 @@
+// Detectors for the known transport problems of §II, built on the event
+// series exactly as §IV-B describes: BGP pacing-timer gaps (knee of the gap
+// distribution), consecutive packet losses, peer-group blocking
+// (cross-connection set intersection), and the zero-window-probe bug
+// (ZeroAckBug := ZeroAdvBndOut ∩ UpstreamLoss).
+#pragma once
+
+#include <vector>
+
+#include "core/analyzer.hpp"
+
+namespace tdat {
+
+// ---- BGP timer gaps (§II-B1, §IV-B, Fig. 17) ------------------------------
+struct TimerGapOptions {
+  // Plausible pacing-timer band; gaps outside are ignored.
+  Micros min_gap = 10 * kMicrosPerMilli;
+  Micros max_gap = 2 * kMicrosPerSec;
+  std::size_t min_count = 8;      // need this many gaps to call it a timer
+  double max_spread = 0.35;       // relative spread of the timer cluster
+};
+
+struct TimerGapResult {
+  bool detected = false;
+  Micros timer = 0;               // inferred timer period
+  std::size_t gap_count = 0;      // gaps attributed to the timer
+  Micros introduced_delay = 0;    // total time spent in timer gaps
+  std::vector<double> sorted_gaps_ms;  // the Fig. 17 curve
+};
+
+[[nodiscard]] TimerGapResult detect_timer_gaps(const SeriesRegistry& reg,
+                                               TimeRange window,
+                                               const TimerGapOptions& opts = {});
+
+// ---- consecutive losses (§II-B2, §IV-B) -----------------------------------
+struct ConsecutiveLossOptions {
+  // 8 back-to-back losses collapse cwnd and ssthresh to the floor given a
+  // 64 KB window and 1400-byte MSS (the paper's conservative threshold).
+  std::size_t min_consecutive = 8;
+};
+
+struct ConsecutiveLossResult {
+  bool detected = false;
+  std::size_t episodes = 0;
+  std::size_t max_consecutive = 0;  // largest run of retransmissions
+  Micros introduced_delay = 0;      // total length of qualifying episodes
+};
+
+[[nodiscard]] ConsecutiveLossResult detect_consecutive_losses(
+    const SeriesRegistry& reg, TimeRange window,
+    const ConsecutiveLossOptions& opts = {});
+
+// ---- peer-group blocking (§II-B3, §IV-B, Fig. 9) --------------------------
+struct PeerGroupBlockOptions {
+  Micros min_pause = 30 * kMicrosPerSec;  // pathological pauses only
+};
+
+struct PeerGroupBlockResult {
+  bool detected = false;
+  Micros blocked_time = 0;
+  std::vector<TimeRange> episodes;
+};
+
+// Single-connection screen: long sender-idle pauses during which only
+// keepalives flow (the victim's signature).
+[[nodiscard]] PeerGroupBlockResult detect_peer_group_pause(
+    const ConnectionAnalysis& paused, const PeerGroupBlockOptions& opts = {});
+
+// Cross-connection confirmation: the victim's pauses coincide with a fellow
+// group member's loss/retransmission trouble —
+//   victim.SendAppLimited ∩ member.LossRecovery.
+[[nodiscard]] PeerGroupBlockResult detect_peer_group_blocking(
+    const ConnectionAnalysis& paused, const ConnectionAnalysis& failed_member,
+    const PeerGroupBlockOptions& opts = {});
+
+// ---- capture voids (§II-A) -------------------------------------------------
+// "tcpdump can sometimes drop packets and leaves void periods in the trace.
+// We exclude those periods from the following analysis." A void betrays
+// itself when the receiver acknowledges stream bytes the sniffer never
+// captured.
+struct CaptureVoidResult {
+  bool detected = false;
+  std::uint64_t missing_bytes = 0;   // acknowledged but never captured
+  std::vector<TimeRange> voids;      // periods to exclude from analysis
+
+  // Subtracts the voids from an analysis window.
+  [[nodiscard]] RangeSet exclude_from(TimeRange window) const;
+};
+
+[[nodiscard]] CaptureVoidResult detect_capture_voids(const Connection& conn,
+                                                     const ConnectionProfile& profile);
+
+// ---- zero-window probe bug (§IV-B) ----------------------------------------
+struct ZeroAckBugResult {
+  bool detected = false;
+  std::size_t occurrences = 0;  // upstream-loss events inside zero-window time
+  Micros overlap = 0;
+};
+
+[[nodiscard]] ZeroAckBugResult detect_zero_ack_bug(const SeriesRegistry& reg,
+                                                   TimeRange window);
+
+}  // namespace tdat

@@ -1,0 +1,101 @@
+#include "core/export.hpp"
+
+#include <cstdio>
+
+namespace tdat {
+namespace {
+
+void append_kv(std::string& out, const char* key, std::int64_t value,
+               bool trailing_comma = true) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+  if (trailing_comma) out += ',';
+}
+
+std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string series_to_json(const EventSeries& series) {
+  std::string out = "{\"name\":\"" + series.name() + "\",\"size_us\":" +
+                    std::to_string(series.size()) + ",\"events\":[";
+  bool first = true;
+  for (const Event& e : series.events()) {
+    if (!first) out += ',';
+    first = false;
+    out += '{';
+    append_kv(out, "begin", e.range.begin);
+    append_kv(out, "end", e.range.end);
+    append_kv(out, "packets", static_cast<std::int64_t>(e.packets));
+    append_kv(out, "bytes", static_cast<std::int64_t>(e.bytes));
+    append_kv(out, "trace_ref", e.trace_ref, /*trailing_comma=*/false);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string registry_to_json(const SeriesRegistry& registry) {
+  std::string out = "{";
+  bool first = true;
+  for (const std::string& name : registry.names()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + series_to_json(registry.get(name));
+  }
+  out += '}';
+  return out;
+}
+
+std::string report_to_json(const DelayReport& report) {
+  std::string out = "{\"window\":{";
+  append_kv(out, "begin", report.window.begin);
+  append_kv(out, "end", report.window.end, false);
+  out += "},\"factors\":{";
+  for (std::size_t i = 0; i < kFactorCount; ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += to_string(static_cast<Factor>(i));
+    out += "\":";
+    out += json_double(report.factor_ratio[i]);
+  }
+  out += "},\"groups\":{";
+  for (std::size_t g = 0; g < kGroupCount; ++g) {
+    if (g != 0) out += ',';
+    out += '"';
+    out += to_string(static_cast<FactorGroup>(g));
+    out += "\":{\"ratio\":";
+    out += json_double(report.group_ratio[g]);
+    out += ",\"major\":";
+    out += report.group_major[g] ? "true" : "false";
+    out += ",\"dominant\":\"";
+    out += to_string(report.dominant_factor[g]);
+    out += "\"}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string analysis_to_json(const ConnectionAnalysis& analysis) {
+  std::string out = "{\"connection\":\"" + analysis.key.to_string() + "\",";
+  append_kv(out, "rtt_us", analysis.profile.rtt());
+  append_kv(out, "mss", analysis.profile.mss());
+  append_kv(out, "max_advertised_window",
+            analysis.profile.max_advertised_window());
+  out += "\"transfer\":{";
+  append_kv(out, "begin", analysis.transfer.begin);
+  append_kv(out, "end", analysis.transfer.end);
+  append_kv(out, "updates", static_cast<std::int64_t>(analysis.mct.update_count));
+  append_kv(out, "prefixes", static_cast<std::int64_t>(analysis.mct.prefix_count),
+            false);
+  out += "},\"report\":" + report_to_json(analysis.report) + "}";
+  return out;
+}
+
+}  // namespace tdat

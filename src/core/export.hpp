@@ -1,0 +1,26 @@
+// Machine-readable export (§V-D): the paper proposes the event series as
+// "sanitized input to other TCP analysis studies" — e.g. flow-clock
+// extraction wants SendAppLimited, TCP-flavor inference wants CwndBndOut.
+// JSON is the interchange format here; CSV lives in timerange/render.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+
+namespace tdat {
+
+// {"name": ..., "events": [{"begin": .., "end": .., "packets": .., "bytes": ..}]}
+[[nodiscard]] std::string series_to_json(const EventSeries& series);
+
+// All series of a registry, keyed by name.
+[[nodiscard]] std::string registry_to_json(const SeriesRegistry& registry);
+
+// Factor ratios, group vector, major flags over the analysis window.
+[[nodiscard]] std::string report_to_json(const DelayReport& report);
+
+// One connection's full analysis summary: key, profile, transfer, report.
+[[nodiscard]] std::string analysis_to_json(const ConnectionAnalysis& analysis);
+
+}  // namespace tdat

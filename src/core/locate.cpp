@@ -1,0 +1,82 @@
+#include "core/locate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "tcp/seq.hpp"
+
+namespace tdat {
+
+SnifferLocationEstimate infer_sniffer_location(const Connection& conn,
+                                               const ConnectionProfile& profile,
+                                               const LocateOptions& opts) {
+  SnifferLocationEstimate out;
+
+  // Anchor data stream offsets at the data direction's first byte.
+  std::optional<std::uint32_t> anchor;
+  for (const DecodedPacket& pkt : conn.packets) {
+    if (packet_dir(conn.key, pkt) != profile.data_dir) continue;
+    if (pkt.tcp.flags.syn) {
+      anchor = pkt.tcp.seq + 1;
+      break;
+    }
+    if (pkt.has_payload()) {
+      anchor = pkt.tcp.seq;
+      break;
+    }
+  }
+  if (!anchor) return out;
+
+  SeqUnwrapper data_unwrap(*anchor);
+  SeqUnwrapper ack_unwrap(*anchor);
+  std::map<std::int64_t, Micros> last_data_ending_at;  // stream end -> capture ts
+  std::vector<Micros> data_ts;
+
+  // d1 samples: ACK covering exactly a segment's end, minus that segment's
+  // capture time.
+  for (const DecodedPacket& pkt : conn.packets) {
+    if (packet_dir(conn.key, pkt) == profile.data_dir) {
+      if (!pkt.has_payload()) continue;
+      const std::int64_t begin = data_unwrap.unwrap(pkt.tcp.seq);
+      last_data_ending_at[begin + static_cast<std::int64_t>(pkt.payload_len)] =
+          pkt.ts;
+      data_ts.push_back(pkt.ts);
+    } else if (pkt.tcp.flags.ack && !pkt.tcp.flags.syn) {
+      const std::int64_t off = ack_unwrap.unwrap(pkt.tcp.ack);
+      auto it = last_data_ending_at.find(off);
+      if (it == last_data_ending_at.end()) continue;
+      const Micros gap = pkt.ts - it->second;
+      if (gap > 0 && (out.d1 < 0 || gap < out.d1)) out.d1 = gap;
+    }
+  }
+
+  // d2 samples: ACK to the next data packet (the minimum is the tightest
+  // liberation, as in the ACK-shifting step).
+  for (const DecodedPacket& pkt : conn.packets) {
+    if (packet_dir(conn.key, pkt) == profile.data_dir || !pkt.tcp.flags.ack ||
+        pkt.tcp.flags.syn) {
+      continue;
+    }
+    auto it = std::upper_bound(data_ts.begin(), data_ts.end(), pkt.ts);
+    if (it == data_ts.end()) continue;
+    const Micros gap = *it - pkt.ts;
+    if (gap > 0 && (out.d2 < 0 || gap < out.d2)) out.d2 = gap;
+  }
+
+  if (out.d1 <= 0 || out.d2 <= 0) return out;  // not confident, kMiddle
+  const double ratio = static_cast<double>(out.d2) / static_cast<double>(out.d1);
+  if (ratio >= opts.decisive_ratio) {
+    out.location = SnifferLocation::kNearReceiver;
+    out.confident = true;
+  } else if (ratio <= 1.0 / opts.decisive_ratio) {
+    out.location = SnifferLocation::kNearSender;
+    out.confident = true;
+  } else {
+    out.location = SnifferLocation::kMiddle;
+    out.confident = true;
+  }
+  return out;
+}
+
+}  // namespace tdat

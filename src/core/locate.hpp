@@ -1,0 +1,40 @@
+// Sniffer-location inference (§III-C2). T-DAT takes the location as a
+// user setting, but the paper notes it "is possible to infer the location
+// based on the inter-arrival time of packets and ACKs (d1 and d2)" after
+// Siekkinen et al. [28]. This implements that inference:
+//
+//   d1 = Sniffer -> Receiver -> Sniffer delay, estimated as the minimum gap
+//        between a data packet and the ACK that covers exactly its end
+//        (the minimum dodges delayed ACKs);
+//   d2 = Sniffer -> Sender -> Sniffer delay, estimated as the minimum gap
+//        between an ACK and the next data packet it liberated.
+//
+// d1 << d2 places the sniffer near the receiver (the paper's Fig. 2
+// deployment); d1 >> d2 near the sender; comparable values, mid-path.
+#pragma once
+
+#include <optional>
+
+#include "core/options.hpp"
+#include "tcp/connection.hpp"
+#include "tcp/profile.hpp"
+
+namespace tdat {
+
+struct SnifferLocationEstimate {
+  SnifferLocation location = SnifferLocation::kMiddle;
+  Micros d1 = -1;          // -1: no sample
+  Micros d2 = -1;
+  bool confident = false;  // both estimates exist and are clearly apart
+};
+
+struct LocateOptions {
+  // |d1/d2| beyond this ratio decides a side; below it, mid-path.
+  double decisive_ratio = 4.0;
+};
+
+[[nodiscard]] SnifferLocationEstimate infer_sniffer_location(
+    const Connection& conn, const ConnectionProfile& profile,
+    const LocateOptions& opts = {});
+
+}  // namespace tdat

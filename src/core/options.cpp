@@ -1,0 +1,60 @@
+#include "core/options.hpp"
+
+namespace tdat {
+
+const char* to_string(Factor f) {
+  switch (f) {
+    case Factor::kBgpSenderApp: return "BGP sender app";
+    case Factor::kTcpCongestionWindow: return "TCP congestion window";
+    case Factor::kSenderLocalLoss: return "Sender local packet loss";
+    case Factor::kBgpReceiverApp: return "BGP receiver app";
+    case Factor::kTcpAdvertisedWindow: return "TCP advertised window";
+    case Factor::kReceiverLocalLoss: return "Receiver local packet loss";
+    case Factor::kBandwidthLimited: return "Bandwidth limited";
+    case Factor::kNetworkLoss: return "Network packet loss";
+  }
+  return "?";
+}
+
+const char* to_string(FactorGroup g) {
+  switch (g) {
+    case FactorGroup::kSender: return "Sender-side";
+    case FactorGroup::kReceiver: return "Receiver-side";
+    case FactorGroup::kNetwork: return "Network";
+  }
+  return "?";
+}
+
+FactorGroup group_of(Factor f) {
+  switch (f) {
+    case Factor::kBgpSenderApp:
+    case Factor::kTcpCongestionWindow:
+    case Factor::kSenderLocalLoss:
+      return FactorGroup::kSender;
+    case Factor::kBgpReceiverApp:
+    case Factor::kTcpAdvertisedWindow:
+    case Factor::kReceiverLocalLoss:
+      return FactorGroup::kReceiver;
+    case Factor::kBandwidthLimited:
+    case Factor::kNetworkLoss:
+      return FactorGroup::kNetwork;
+  }
+  return FactorGroup::kNetwork;
+}
+
+std::array<Factor, 3> factors_in(FactorGroup g) {
+  switch (g) {
+    case FactorGroup::kSender:
+      return {Factor::kBgpSenderApp, Factor::kTcpCongestionWindow,
+              Factor::kSenderLocalLoss};
+    case FactorGroup::kReceiver:
+      return {Factor::kBgpReceiverApp, Factor::kTcpAdvertisedWindow,
+              Factor::kReceiverLocalLoss};
+    case FactorGroup::kNetwork:
+      return {Factor::kBandwidthLimited, Factor::kNetworkLoss,
+              Factor::kNetworkLoss};
+  }
+  return {Factor::kNetworkLoss, Factor::kNetworkLoss, Factor::kNetworkLoss};
+}
+
+}  // namespace tdat

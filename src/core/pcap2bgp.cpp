@@ -1,0 +1,109 @@
+#include "core/pcap2bgp.hpp"
+
+#include "tcp/reassembler.hpp"
+#include "tcp/seq.hpp"
+
+#include <algorithm>
+
+namespace tdat {
+
+Pcap2BgpResult extract_bgp_messages(const Connection& conn, Dir data_dir) {
+  Pcap2BgpResult out;
+
+  // Anchor the stream at ISN+1 if the SYN was captured, else at the first
+  // data segment.
+  std::optional<std::uint32_t> anchor;
+  for (const DecodedPacket& pkt : conn.packets) {
+    if (packet_dir(conn.key, pkt) != data_dir) continue;
+    if (pkt.tcp.flags.syn) {
+      anchor = pkt.tcp.seq + 1;
+      break;
+    }
+    if (pkt.has_payload()) {
+      anchor = pkt.tcp.seq;
+      break;
+    }
+  }
+  if (!anchor) return out;
+
+  Reassembler reasm(*anchor);
+  BgpMessageStream stream;
+  for (const DecodedPacket& pkt : conn.packets) {
+    if (packet_dir(conn.key, pkt) != data_dir || !pkt.has_payload()) continue;
+    for (const StreamChunk& chunk : reasm.feed(pkt.tcp.seq, pkt.payload(), pkt.ts)) {
+      auto msgs = stream.feed(chunk.bytes, chunk.ts);
+      out.messages.insert(out.messages.end(),
+                          std::make_move_iterator(msgs.begin()),
+                          std::make_move_iterator(msgs.end()));
+    }
+  }
+  out.skipped_bytes = stream.skipped_bytes();
+  out.parse_errors = stream.parse_errors();
+
+  // Sniffer-position correction: the tap may capture packets that are then
+  // dropped between it and the receiver (receiver-local losses, §II-B2), so
+  // stream completion at the sniffer can precede actual receipt by whole
+  // recovery episodes. A message provably reached the receiver once a
+  // cumulative ACK covered its last byte — lift each timestamp to that ACK.
+  std::vector<std::pair<std::int64_t, Micros>> ack_steps;  // (offset, ts)
+  {
+    SeqUnwrapper unwrap(*anchor);
+    std::int64_t max_off = 0;
+    for (const DecodedPacket& pkt : conn.packets) {
+      if (packet_dir(conn.key, pkt) == data_dir || !pkt.tcp.flags.ack ||
+          pkt.tcp.flags.syn) {
+        continue;
+      }
+      const std::int64_t off = unwrap.unwrap(pkt.tcp.ack);
+      if (off > max_off) {
+        max_off = off;
+        ack_steps.emplace_back(off, pkt.ts);
+      }
+    }
+  }
+  if (!ack_steps.empty()) {
+    for (TimedBgpMessage& tm : out.messages) {
+      if (tm.end_offset < 0) continue;
+      auto it = std::lower_bound(
+          ack_steps.begin(), ack_steps.end(), tm.end_offset,
+          [](const auto& step, std::int64_t off) { return step.first < off; });
+      if (it != ack_steps.end()) tm.ts = std::max(tm.ts, it->second);
+    }
+    // Lifting can reorder timestamps only if ACK data raced; keep monotone.
+    for (std::size_t i = 1; i < out.messages.size(); ++i) {
+      out.messages[i].ts = std::max(out.messages[i].ts, out.messages[i - 1].ts);
+    }
+  }
+  return out;
+}
+
+std::vector<MrtRecord> to_mrt_records(const Connection& conn, Dir data_dir,
+                                      const std::vector<TimedBgpMessage>& messages) {
+  std::uint16_t peer_as = 0;
+  for (const TimedBgpMessage& tm : messages) {
+    if (const auto* open = std::get_if<BgpOpen>(&tm.msg.body)) {
+      peer_as = open->my_as;
+      break;
+    }
+  }
+  // Peer = the data sender; local = the collector.
+  std::uint32_t peer_ip = conn.key.ip_a;
+  std::uint32_t local_ip = conn.key.ip_b;
+  if (data_dir == Dir::kBToA) std::swap(peer_ip, local_ip);
+
+  std::vector<MrtRecord> out;
+  out.reserve(messages.size());
+  for (const TimedBgpMessage& tm : messages) {
+    MrtRecord rec;
+    rec.ts = tm.ts;
+    rec.peer_as = peer_as;
+    rec.local_as = 65000;
+    rec.peer_ip = peer_ip;
+    rec.local_ip = local_ip;
+    rec.bgp_message = serialize_message(tm.msg);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace tdat

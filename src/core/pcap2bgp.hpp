@@ -1,0 +1,32 @@
+// pcap2bgp (§II-A, Table VI): reconstructs the TCP data stream of a BGP
+// session from a raw packet trace — handling out-of-order delivery and
+// retransmissions — then extracts the individual BGP messages and can store
+// them in MRT format. This is how table transfers are delimited for vendor
+// collectors that keep no BGP archive of their own.
+#pragma once
+
+#include "bgp/mrt.hpp"
+#include "bgp/msg_stream.hpp"
+#include "tcp/connection.hpp"
+#include "tcp/profile.hpp"
+
+namespace tdat {
+
+struct Pcap2BgpResult {
+  std::vector<TimedBgpMessage> messages;  // data-direction messages, timed by
+                                          // when the stream completed them
+  std::uint64_t skipped_bytes = 0;        // framing resync losses
+  std::uint64_t parse_errors = 0;
+};
+
+// Extracts the BGP messages carried in `data_dir` of the connection.
+[[nodiscard]] Pcap2BgpResult extract_bgp_messages(const Connection& conn,
+                                                  Dir data_dir);
+
+// Converts extracted messages to MRT BGP4MP records. The peer AS is taken
+// from the first OPEN message seen (0 if none).
+[[nodiscard]] std::vector<MrtRecord> to_mrt_records(
+    const Connection& conn, Dir data_dir,
+    const std::vector<TimedBgpMessage>& messages);
+
+}  // namespace tdat

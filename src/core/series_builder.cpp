@@ -1,0 +1,557 @@
+#include "core/series_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/series_names.hpp"
+#include "tcp/flights.hpp"
+#include "util/assert.hpp"
+
+namespace tdat {
+namespace {
+
+// A BGP KEEPALIVE on the wire: 16-byte marker of 0xff, length 19, type 4.
+bool is_bgp_keepalive(std::span<const std::uint8_t> payload) {
+  if (payload.size() != 19) return false;
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (payload[i] != 0xff) return false;
+  }
+  return payload[16] == 0 && payload[17] == 19 && payload[18] == 4;
+}
+
+struct AckEvent {
+  Micros t = 0;           // shifted (sender-view) time
+  std::int64_t off = 0;   // cumulative-ack stream offset
+  std::int64_t window = 0;  // scaled advertised window in bytes
+  std::size_t pkt_index = 0;
+};
+
+// One maximal period with outstanding data, plus what bounded it.
+struct OutstandingPeriod {
+  TimeRange range;
+  std::int64_t max_outstanding = 0;
+  std::int64_t min_window_gap = std::numeric_limits<std::int64_t>::max();
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  bool adv_bounded = false;
+  bool cwnd_bounded = false;
+};
+
+}  // namespace
+
+SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profile,
+                          const AnalyzerOptions& opts) {
+  SeriesBundle out;
+  const Micros rtt = profile.rtt();
+  const std::int64_t mss = profile.mss();
+
+  ClassifyOptions copts;
+  copts.reorder_threshold = std::max<Micros>(
+      kMicrosPerMilli,
+      static_cast<Micros>(static_cast<double>(rtt) * opts.reorder_rtt_fraction));
+  out.flow = classify_data_packets(conn, profile.data_dir, copts);
+  out.shifted = shift_acks(conn, profile, opts);
+  SeriesRegistry& reg = out.registry;
+
+  // ---- gather views ------------------------------------------------------
+  std::vector<Micros> data_ts;         // data-direction payload packets
+  std::vector<FlightItem> data_items;
+  std::vector<Micros> nonka_ts;        // non-keepalive data packets
+  std::vector<Micros> ka_ts;           // keepalive packets
+  EventSeries transmission(series::kTransmission);
+  EventSeries keepalive(series::kKeepAlive);
+
+  for (const LabeledDataPacket& lp : out.flow.data) {
+    data_ts.push_back(lp.ts);
+    data_items.push_back({lp.ts, static_cast<std::uint64_t>(lp.length()),
+                          lp.packet_index});
+    const DecodedPacket& pkt = conn.packets[lp.packet_index];
+    if (is_bgp_keepalive(pkt.payload())) {
+      ka_ts.push_back(lp.ts);
+      keepalive.add({lp.ts, lp.ts + 1}, 1, pkt.payload_len,
+                    static_cast<std::int64_t>(pkt.index));
+    } else {
+      nonka_ts.push_back(lp.ts);
+    }
+  }
+  if (out.flow.data.empty()) {
+    out.data_span = {};
+  } else {
+    out.data_span = {out.flow.data.front().ts, out.flow.data.back().ts + 1};
+  }
+
+  // Serialization-time estimate: the smallest positive spacing between
+  // consecutive data packets approximates the bottleneck's per-packet wire
+  // time (clamped to a sane band).
+  Micros wire_time = 50;
+  {
+    Micros best = -1;
+    for (std::size_t i = 1; i < data_ts.size(); ++i) {
+      const Micros d = data_ts[i] - data_ts[i - 1];
+      if (d > 0 && (best < 0 || d < best)) best = d;
+    }
+    if (best > 0) wire_time = std::clamp<Micros>(best, 1, kMicrosPerMilli);
+  }
+  for (const LabeledDataPacket& lp : out.flow.data) {
+    transmission.add({lp.ts, lp.ts + wire_time}, 1,
+                     static_cast<std::uint64_t>(lp.length()),
+                     static_cast<std::int64_t>(lp.packet_index));
+  }
+  reg.put(std::move(transmission));
+  reg.put(std::move(keepalive));
+
+  // ---- ACK view (shifted), window steps ----------------------------------
+  const std::uint8_t wscale =
+      (profile.a_to_b.window_scale && profile.b_to_a.window_scale)
+          ? profile.receiver().window_scale.value_or(0)
+          : 0;
+  std::vector<AckEvent> acks;
+  EventSeries ack_arrival(series::kAckArrival);
+  for (std::size_t i = 0; i < conn.packets.size(); ++i) {
+    const DecodedPacket& pkt = conn.packets[i];
+    if (packet_dir(conn.key, pkt) == profile.data_dir) continue;
+    if (!pkt.tcp.flags.ack || pkt.tcp.flags.syn || pkt.tcp.flags.rst) continue;
+    if (!out.flow.has_anchor) continue;
+    AckEvent ev;
+    ev.t = out.shifted.ts[i];
+    ev.off = static_cast<std::int64_t>(
+        static_cast<std::int32_t>(pkt.tcp.ack - out.flow.anchor_seq));
+    ev.window = static_cast<std::int64_t>(pkt.tcp.window) << wscale;
+    ev.pkt_index = i;
+    acks.push_back(ev);
+  }
+  // Shifting can reorder ACKs across flights; re-sort by shifted time,
+  // tie-breaking on capture order so ACKs of one burst (equal timestamps)
+  // keep their cumulative sequence — the LAST of a burst carries the
+  // authoritative window.
+  std::sort(acks.begin(), acks.end(), [](const AckEvent& a, const AckEvent& b) {
+    return a.t != b.t ? a.t < b.t : a.pkt_index < b.pkt_index;
+  });
+  for (const AckEvent& ev : acks) ack_arrival.add({ev.t, ev.t + 1}, 1, 0,
+                                                  static_cast<std::int64_t>(ev.pkt_index));
+  reg.put(std::move(ack_arrival));
+
+  // Advertised-window step function and its small/large/zero slices.
+  EventSeries adv(series::kAdvWindow);
+  EventSeries small_adv(series::kSmallAdvWindow);
+  EventSeries large_adv(series::kLargeAdvWindow);
+  EventSeries zero_adv(series::kZeroAdvWindow);
+  const std::int64_t max_adv = profile.max_advertised_window();
+  const std::int64_t small_cut = static_cast<std::int64_t>(opts.small_window_mss) * mss;
+  for (std::size_t i = 0; i < acks.size(); ++i) {
+    const Micros t0 = acks[i].t;
+    const Micros t1 = i + 1 < acks.size() ? acks[i + 1].t
+                                          : std::max(t0 + 1, out.data_span.end);
+    if (t1 <= t0) continue;
+    const std::int64_t w = acks[i].window;
+    adv.add({t0, t1}, 0, static_cast<std::uint64_t>(w));
+    if (w == 0) zero_adv.add({t0, t1}, 0, 0);
+    if (w < small_cut) small_adv.add({t0, t1}, 0, static_cast<std::uint64_t>(w));
+    if (w > max_adv - small_cut) {
+      large_adv.add({t0, t1}, 0, static_cast<std::uint64_t>(w));
+    }
+  }
+  reg.put(std::move(adv));
+
+  // ---- loss series (Extraction) ------------------------------------------
+  EventSeries retransmission(series::kRetransmission);
+  EventSeries upstream(series::kUpstreamLoss);
+  EventSeries downstream(series::kDownstreamLoss);
+  EventSeries out_of_seq(series::kOutOfSequence);
+  EventSeries duplicate(series::kDuplicate);
+  EventSeries rto_rec(series::kRtoRecovery);
+  EventSeries fast_rec(series::kFastRecovery);
+  const Micros rto_cut = std::max<Micros>(2 * rtt, 100 * kMicrosPerMilli);
+  for (const LabeledDataPacket& lp : out.flow.data) {
+    // The recovery period runs from when the loss became visible to when
+    // the retransmission arrived (§III-C1: the *period*, not the instant).
+    Micros begin = lp.loss_begin < lp.ts ? lp.loss_begin : lp.ts - kMicrosPerMilli;
+    begin = std::max(begin, out.data_span.begin);
+    const TimeRange recovery{begin, lp.ts + 1};
+    const auto bytes = static_cast<std::uint64_t>(lp.length());
+    const auto ref = static_cast<std::int64_t>(lp.packet_index);
+    switch (lp.label) {
+      case DataLabel::kRetransmitUpstream:
+        upstream.add(recovery, 1, bytes, ref);
+        retransmission.add(recovery, 1, bytes, ref);
+        (recovery.length() > rto_cut ? rto_rec : fast_rec).add(recovery, 1, bytes, ref);
+        break;
+      case DataLabel::kRetransmitDownstream:
+        downstream.add(recovery, 1, bytes, ref);
+        retransmission.add(recovery, 1, bytes, ref);
+        (recovery.length() > rto_cut ? rto_rec : fast_rec).add(recovery, 1, bytes, ref);
+        break;
+      case DataLabel::kReordering:
+        out_of_seq.add(recovery, 1, bytes, ref);
+        break;
+      case DataLabel::kDuplicate:
+        duplicate.add(recovery, 1, bytes, ref);
+        break;
+      case DataLabel::kInOrder:
+        break;
+    }
+  }
+
+  // ---- Outstanding sweep (+ window-bound attribution) ---------------------
+  //
+  // The sweep walks data and (shifted) ACK events in time order, tracking
+  // the unacknowledged byte count and the advertised window. Outstanding
+  // periods (for the Outstanding series) are maximal ranges with data in
+  // flight. Window attribution is done per inter-event interval, because a
+  // long transfer phase can alternate between receiver-window-bound and
+  // congestion-window-bound (e.g. after every loss the cwnd dips below the
+  // advertised window for many RTTs): an interval with data in flight is
+  //   - AdvBndOut  if outstanding came within adv_bound_mss*MSS of the
+  //     advertised window (the receiver's window is the bind), else
+  //   - CwndBndOut if TCP had more data buffered but chose not to send
+  //     (inferable: later data exists and was not sent in this interval) —
+  //     cwnd is the only remaining window-side explanation. Loss-recovery
+  //     intervals are carved out of CwndBndOut afterwards.
+  EventSeries outstanding(series::kOutstanding);
+  const std::int64_t adv_bound_cut =
+      static_cast<std::int64_t>(opts.adv_bound_mss) * mss;
+  EventSeries adv_bnd(series::kAdvBndOut);
+  RangeSet cwnd_candidates;
+  {
+    std::size_t di = 0;
+    std::size_t ai = 0;
+    std::int64_t max_sent = 0;
+    std::int64_t max_acked = 0;
+    std::int64_t window = max_adv;  // before the first ACK, assume fully open
+    OutstandingPeriod cur;
+    bool open = false;
+    Micros prev_t = -1;
+    const std::int64_t last_data_off = out.flow.stream_length;
+
+    auto account_interval = [&](Micros from, Micros to) {
+      if (from < 0 || to <= from) return;
+      const std::int64_t outs = max_sent - max_acked;
+      if (outs <= 0) return;
+      if (window - outs < adv_bound_cut) {
+        adv_bnd.add({from, to}, 0, static_cast<std::uint64_t>(outs));
+      } else if (max_sent < last_data_off) {
+        // More table data followed later, yet TCP held back while the
+        // receiver window had room: congestion-window bound.
+        cwnd_candidates.insert(from, to);
+      }
+    };
+
+    while (di < out.flow.data.size() || ai < acks.size()) {
+      const bool take_data =
+          ai >= acks.size() ||
+          (di < out.flow.data.size() && out.flow.data[di].ts <= acks[ai].t);
+      Micros t = 0;
+      if (take_data) {
+        const LabeledDataPacket& lp = out.flow.data[di++];
+        t = lp.ts;
+        account_interval(prev_t, t);
+        max_sent = std::max(max_sent, lp.stream_end);
+        if (open || max_sent - max_acked > 0) {
+          if (!open) {
+            cur = OutstandingPeriod{};
+            cur.range.begin = t;
+            open = true;
+          }
+          ++cur.packets;
+          cur.bytes += static_cast<std::uint64_t>(lp.length());
+          const std::int64_t outs = max_sent - max_acked;
+          cur.max_outstanding = std::max(cur.max_outstanding, outs);
+          cur.min_window_gap = std::min(cur.min_window_gap, window - outs);
+        }
+      } else {
+        const AckEvent& ev = acks[ai++];
+        t = ev.t;
+        account_interval(prev_t, t);
+        max_acked = std::max(max_acked, ev.off);
+        window = ev.window;
+        if (open && max_sent - max_acked <= 0) {
+          cur.range.end = t;
+          outstanding.add(cur.range, cur.packets, cur.bytes);
+          open = false;
+        }
+      }
+      prev_t = std::max(prev_t, t);
+    }
+    if (open) {
+      cur.range.end = prev_t + 1;
+      outstanding.add(cur.range, cur.packets, cur.bytes);
+    }
+  }
+  reg.put(std::move(outstanding));
+
+  // ---- flights -------------------------------------------------------------
+  const Micros flight_gap = std::max<Micros>(
+      kMicrosPerMilli, static_cast<Micros>(static_cast<double>(rtt) *
+                                           opts.flight_gap_rtt_fraction));
+  EventSeries data_flights(series::kDataFlight);
+  for (const Flight& f : group_flights(data_items, flight_gap)) {
+    data_flights.add({f.start, std::max(f.end, f.start + 1)}, f.packets, f.bytes);
+  }
+  reg.put(std::move(data_flights));
+
+  // Bandwidth-limited candidates: a bottleneck link paces arrivals at a
+  // constant *rate*, so the normalized gap (inter-arrival divided by the
+  // later packet's size, i.e. seconds-per-byte) is constant even when
+  // segment sizes vary. Take the time-weighted median of the normalized
+  // gaps (the pacing that holds for most of the transfer time) and group
+  // packets into runs whose pairs stay within a factor of it; runs lasting
+  // well over an RTT are wire-paced. These are only *candidates*: window,
+  // application, and loss explanations take precedence and are subtracted
+  // at the Operation stage below, mirroring T-RAT's rule ordering.
+  // Keepalives (including the periodic post-transfer ones) are not part of
+  // the bulk stream; their pacing must not enter the pacing estimate.
+  RangeSet bw_candidates;
+  std::vector<Micros> bulk_ts;
+  std::vector<std::uint64_t> bulk_bytes;
+  for (const LabeledDataPacket& lp : out.flow.data) {
+    const DecodedPacket& pkt = conn.packets[lp.packet_index];
+    if (is_bgp_keepalive(pkt.payload())) continue;
+    bulk_ts.push_back(lp.ts);
+    bulk_bytes.push_back(static_cast<std::uint64_t>(lp.length()));
+  }
+  if (bulk_ts.size() > opts.bw_min_flight_packets) {
+    struct Pair {
+      double norm;   // gap / bytes of the later packet
+      Micros gap;
+    };
+    std::vector<Pair> pairs;
+    Micros total_gap = 0;
+    for (std::size_t i = 1; i < bulk_ts.size(); ++i) {
+      const Micros gap = bulk_ts[i] - bulk_ts[i - 1];
+      const auto bytes = std::max<std::uint64_t>(bulk_bytes[i], 1);
+      pairs.push_back({static_cast<double>(gap) / static_cast<double>(bytes), gap});
+      total_gap += gap;
+    }
+    std::vector<Pair> by_norm = pairs;
+    std::sort(by_norm.begin(), by_norm.end(),
+              [](const Pair& a, const Pair& b) { return a.norm < b.norm; });
+    double wmedian = 0.0;
+    Micros acc = 0;
+    for (const Pair& p : by_norm) {
+      acc += p.gap;
+      if (2 * acc >= total_gap) {
+        wmedian = p.norm;
+        break;
+      }
+    }
+    const double run_cut = opts.bw_uniformity_factor * wmedian;
+    std::size_t run_start = 0;
+    auto flush_run = [&](std::size_t end_idx) {  // run covers [run_start, end_idx]
+      const std::size_t n = end_idx - run_start + 1;
+      const Micros span_len = bulk_ts[end_idx] - bulk_ts[run_start];
+      if (n < opts.bw_min_flight_packets || span_len < 2 * rtt) return;
+      // Uniformity lower bound: genuine wire pacing keeps every gap near
+      // the pacing value. A bursty flow (application timer, window bursts)
+      // has a count-median far BELOW the time-weighted median even though
+      // no single gap exceeds the upper cut.
+      std::vector<double> run_norms;
+      run_norms.reserve(n - 1);
+      for (std::size_t k = run_start + 1; k <= end_idx; ++k) {
+        run_norms.push_back(pairs[k - 1].norm);
+      }
+      std::nth_element(run_norms.begin(), run_norms.begin() + run_norms.size() / 2,
+                       run_norms.end());
+      const double count_median = run_norms[run_norms.size() / 2];
+      if (count_median * opts.bw_uniformity_factor < wmedian) return;
+      // An application timer also produces uniform gaps. Two tie-breakers
+      // separate it from wire pacing:
+      //  - on a wire the gap tracks packet size (gap = size/rate), so
+      //    normalizing by size REDUCES relative variance; a timer's raw
+      //    gaps are already constant and normalizing adds size noise;
+      //  - no pair may arrive much faster than the claimed pacing — a
+      //    back-to-back pair proves the wire is far faster than the gaps.
+      double raw_mean = 0, norm_mean = 0;
+      double min_norm = std::numeric_limits<double>::max();
+      for (std::size_t k = run_start + 1; k <= end_idx; ++k) {
+        raw_mean += static_cast<double>(pairs[k - 1].gap);
+        norm_mean += pairs[k - 1].norm;
+        min_norm = std::min(min_norm, pairs[k - 1].norm);
+      }
+      raw_mean /= static_cast<double>(n - 1);
+      norm_mean /= static_cast<double>(n - 1);
+      double raw_var = 0, norm_var = 0;
+      for (std::size_t k = run_start + 1; k <= end_idx; ++k) {
+        const double dr = static_cast<double>(pairs[k - 1].gap) - raw_mean;
+        const double dn = pairs[k - 1].norm - norm_mean;
+        raw_var += dr * dr;
+        norm_var += dn * dn;
+      }
+      if (raw_mean <= 0 || norm_mean <= 0) return;
+      const double raw_cov = std::sqrt(raw_var) / raw_mean;
+      const double norm_cov = std::sqrt(norm_var) / norm_mean;
+      if (norm_cov > raw_cov) return;           // timer signature
+      if (4 * min_norm < norm_mean) return;     // fast (sub-pacing) pairs exist
+      bw_candidates.insert(bulk_ts[run_start], bulk_ts[end_idx] + 1);
+    };
+    for (std::size_t i = 1; i < bulk_ts.size(); ++i) {
+      if (pairs[i - 1].norm > run_cut) {
+        flush_run(i - 1);
+        run_start = i;
+      }
+    }
+    flush_run(bulk_ts.size() - 1);
+  }
+
+  // Congestion-window bound: intervals where TCP held back despite an open
+  // window and pending data — minus loss recovery (its own factor) and
+  // minus wire-paced runs (from the sniffer, bytes queued at an upstream
+  // bottleneck are indistinguishable from bytes TCP chose not to send, and
+  // the pacing signature is the stronger evidence).
+  EventSeries cwnd_bnd = EventSeries::from_ranges(
+      series::kCwndBndOut, cwnd_candidates.set_difference(retransmission.ranges())
+                               .set_difference(bw_candidates));
+  {
+    std::vector<FlightItem> ack_items;
+    for (const AckEvent& ev : acks) ack_items.push_back({ev.t, 0, ev.pkt_index});
+    EventSeries ack_flights(series::kAckFlight);
+    for (const Flight& f : group_flights(ack_items, flight_gap)) {
+      ack_flights.add({f.start, std::max(f.end, f.start + 1)}, f.packets, 0);
+    }
+    reg.put(std::move(ack_flights));
+  }
+
+  // ---- handshake / teardown / idle ----------------------------------------
+  {
+    EventSeries handshake(series::kHandshake);
+    if (!conn.packets.empty()) {
+      const Micros t0 = conn.packets.front().ts;
+      Micros t1 = t0;
+      if (profile.rtt_handshake) {
+        t1 = t0 + *profile.rtt_handshake;
+      } else if (!data_ts.empty()) {
+        t1 = data_ts.front();
+      }
+      if (t1 > t0) handshake.add(TimeRange{t0, t1});
+    }
+    reg.put(std::move(handshake));
+
+    EventSeries teardown(series::kTeardown);
+    Micros fin_ts = -1;
+    for (const DecodedPacket& pkt : conn.packets) {
+      if (pkt.tcp.flags.fin || pkt.tcp.flags.rst) {
+        fin_ts = pkt.ts;
+        break;
+      }
+    }
+    if (fin_ts >= 0) {
+      teardown.add(TimeRange{fin_ts, std::max(conn.packets.back().ts, fin_ts) + 1});
+    }
+    reg.put(std::move(teardown));
+
+    EventSeries idle(series::kIdle);
+    const Micros idle_cut = std::max<Micros>(2 * rtt, 10 * kMicrosPerMilli);
+    for (std::size_t i = 1; i < conn.packets.size(); ++i) {
+      const Micros gap_len = conn.packets[i].ts - conn.packets[i - 1].ts;
+      if (gap_len > idle_cut) {
+        idle.add(TimeRange{conn.packets[i - 1].ts, conn.packets[i].ts});
+      }
+    }
+    reg.put(std::move(idle));
+  }
+
+  // ---- KeepAliveOnly: gaps between non-keepalive data that carry only
+  // keepalives (the signature of a paused-but-alive session, Fig. 9).
+  {
+    EventSeries ka_only(series::kKeepAliveOnly);
+    for (std::size_t i = 1; i < nonka_ts.size(); ++i) {
+      const Micros lo = nonka_ts[i - 1];
+      const Micros hi = nonka_ts[i];
+      auto first = std::upper_bound(ka_ts.begin(), ka_ts.end(), lo);
+      if (first != ka_ts.end() && *first < hi) {
+        ka_only.add({lo, hi}, static_cast<std::uint64_t>(
+                                  std::upper_bound(first, ka_ts.end(), hi) - first));
+      }
+    }
+    // Tail: keepalives after the last data message (post-transfer quiet).
+    if (!nonka_ts.empty()) {
+      auto first = std::upper_bound(ka_ts.begin(), ka_ts.end(), nonka_ts.back());
+      if (first != ka_ts.end()) {
+        ka_only.add({nonka_ts.back(), ka_ts.back() + 1},
+                    static_cast<std::uint64_t>(ka_ts.end() - first));
+      }
+    }
+    reg.put(std::move(ka_only));
+  }
+
+  // ---- Interpretation (Rule 2): sniffer location --------------------------
+  EventSeries send_local(series::kSendLocalLoss);
+  EventSeries recv_local(series::kRecvLocalLoss);
+  EventSeries net_loss(series::kNetworkLoss);
+  switch (opts.location) {
+    case SnifferLocation::kNearReceiver:
+      recv_local = downstream.renamed(series::kRecvLocalLoss);
+      net_loss = upstream.renamed(series::kNetworkLoss);
+      break;
+    case SnifferLocation::kNearSender:
+      send_local = upstream.renamed(series::kSendLocalLoss);
+      net_loss = downstream.renamed(series::kNetworkLoss);
+      break;
+    case SnifferLocation::kMiddle:
+      net_loss = upstream.unite(downstream, series::kNetworkLoss);
+      break;
+  }
+  reg.put(reg.get(series::kKeepAlive).renamed(series::kBgpKeepAlive));
+
+  // ---- Operation (Rules 3 & 4): set algebra --------------------------------
+  // Sender application idle: within the data span, no outstanding data, the
+  // window is open, and no loss recovery in progress — TCP could send, BGP
+  // did not produce.
+  {
+    RangeSet span;
+    span.insert(out.data_span);
+    RangeSet app = span.set_difference(reg.get(series::kOutstanding).ranges())
+                       .set_difference(zero_adv.ranges())
+                       .set_difference(retransmission.ranges())
+                       .set_difference(bw_candidates);
+    if (reg.has(series::kHandshake)) {
+      app = app.set_difference(reg.get(series::kHandshake).ranges());
+    }
+    reg.put(EventSeries::from_ranges(series::kSendAppLimited, std::move(app)));
+  }
+  {
+    EventSeries small_bnd =
+        adv_bnd.intersect(small_adv, series::kSmallAdvBndOut)
+            .unite(zero_adv, series::kSmallAdvBndOut);
+    EventSeries large_bnd = adv_bnd.intersect(large_adv, series::kLargeAdvBndOut);
+    EventSeries zero_bnd = zero_adv.renamed(series::kZeroAdvBndOut);
+    EventSeries loss_all = upstream.unite(downstream, series::kLossRecovery);
+    EventSeries window_all = adv_bnd.unite(cwnd_bnd, series::kWindowLimited)
+                                 .unite(zero_bnd, series::kWindowLimited);
+
+    // Wire-paced candidates minus window and loss explanations: what
+    // remains is genuinely limited by the path's bandwidth. (The uniformity
+    // checks above make the pacing signature strong evidence, so it takes
+    // precedence over the residual sender-idle inference.)
+    RangeSet bw = bw_candidates;
+    bw = bw.set_difference(adv_bnd.ranges());
+    bw = bw.set_difference(small_bnd.ranges());
+    bw = bw.set_difference(retransmission.ranges());
+    reg.put(EventSeries::from_ranges(series::kBandwidthLimited, std::move(bw)));
+
+    reg.put(std::move(small_bnd));
+    reg.put(std::move(large_bnd));
+    reg.put(std::move(zero_bnd));
+    reg.put(std::move(loss_all));
+    reg.put(std::move(window_all));
+  }
+
+  reg.put(std::move(small_adv));
+  reg.put(std::move(large_adv));
+  reg.put(std::move(zero_adv));
+  reg.put(std::move(retransmission));
+  reg.put(std::move(upstream));
+  reg.put(std::move(downstream));
+  reg.put(std::move(out_of_seq));
+  reg.put(std::move(duplicate));
+  reg.put(std::move(rto_rec));
+  reg.put(std::move(fast_rec));
+  reg.put(std::move(adv_bnd));
+  reg.put(std::move(cwnd_bnd));
+  reg.put(std::move(send_local));
+  reg.put(std::move(recv_local));
+  reg.put(std::move(net_loss));
+  return out;
+}
+
+}  // namespace tdat

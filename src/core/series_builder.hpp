@@ -1,0 +1,25 @@
+// Series generation (§III-C): transforms one connection's (ACK-shifted)
+// packet trace into the 34 internal event series listed in
+// series_names.hpp, via the three rules Extraction / Interpretation /
+// Operation.
+#pragma once
+
+#include "core/ack_shift.hpp"
+#include "core/options.hpp"
+#include "tcp/classify.hpp"
+#include "timerange/event_series.hpp"
+
+namespace tdat {
+
+struct SeriesBundle {
+  SeriesRegistry registry;
+  ClassifiedFlow flow;      // per-data-packet labels (reused by detectors)
+  ShiftedTrace shifted;     // the sender-view timestamps used throughout
+  TimeRange data_span;      // [first data packet, last data packet]
+};
+
+[[nodiscard]] SeriesBundle build_series(const Connection& conn,
+                                        const ConnectionProfile& profile,
+                                        const AnalyzerOptions& opts);
+
+}  // namespace tdat

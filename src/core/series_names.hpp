@@ -1,0 +1,49 @@
+// Names of the 34 internal event series T-DAT generates (§III-C). Grouped
+// by the rule that produces them: Extraction works on the packet trace
+// alone; Interpretation renames series under the sniffer-location setting;
+// Operation applies heuristics and set algebra over existing series.
+#pragma once
+
+namespace tdat::series {
+
+// --- Extraction (Rule 1) ---
+inline constexpr const char* kTransmission = "Transmission";
+inline constexpr const char* kAckArrival = "AckArrival";
+inline constexpr const char* kOutstanding = "Outstanding";
+inline constexpr const char* kAdvWindow = "AdvWindow";
+inline constexpr const char* kRetransmission = "Retransmission";
+inline constexpr const char* kUpstreamLoss = "UpstreamLoss";
+inline constexpr const char* kDownstreamLoss = "DownstreamLoss";
+inline constexpr const char* kOutOfSequence = "OutOfSequence";
+inline constexpr const char* kDuplicate = "Duplicate";
+inline constexpr const char* kZeroAdvWindow = "ZeroAdvWindow";
+inline constexpr const char* kKeepAlive = "KeepAlive";
+inline constexpr const char* kKeepAliveOnly = "KeepAliveOnly";
+inline constexpr const char* kIdle = "Idle";
+inline constexpr const char* kDataFlight = "DataFlight";
+inline constexpr const char* kAckFlight = "AckFlight";
+inline constexpr const char* kHandshake = "Handshake";
+inline constexpr const char* kTeardown = "Teardown";
+inline constexpr const char* kRtoRecovery = "RtoRecovery";
+inline constexpr const char* kFastRecovery = "FastRecovery";
+
+// --- Interpretation (Rule 2) ---
+inline constexpr const char* kSendLocalLoss = "SendLocalLoss";
+inline constexpr const char* kRecvLocalLoss = "RecvLocalLoss";
+inline constexpr const char* kNetworkLoss = "NetworkLoss";
+inline constexpr const char* kBgpKeepAlive = "BgpKeepAlive";
+
+// --- Operation (Rules 3 & 4) ---
+inline constexpr const char* kSendAppLimited = "SendAppLimited";
+inline constexpr const char* kSmallAdvWindow = "SmallAdvWindow";
+inline constexpr const char* kLargeAdvWindow = "LargeAdvWindow";
+inline constexpr const char* kAdvBndOut = "AdvBndOut";
+inline constexpr const char* kCwndBndOut = "CwndBndOut";
+inline constexpr const char* kSmallAdvBndOut = "SmallAdvBndOut";
+inline constexpr const char* kLargeAdvBndOut = "LargeAdvBndOut";
+inline constexpr const char* kZeroAdvBndOut = "ZeroAdvBndOut";
+inline constexpr const char* kBandwidthLimited = "BandwidthLimited";
+inline constexpr const char* kLossRecovery = "LossRecovery";
+inline constexpr const char* kWindowLimited = "WindowLimited";
+
+}  // namespace tdat::series

@@ -1,0 +1,78 @@
+#include "core/timeseq.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "tcp/seq.hpp"
+#include "util/assert.hpp"
+
+namespace tdat {
+
+std::string render_time_sequence(const Connection& conn,
+                                 const ClassifiedFlow& flow, TimeRange window,
+                                 const TimeSeqOptions& opts) {
+  TDAT_EXPECTS(opts.width > 0 && opts.height > 0);
+  if (window.empty() || flow.data.empty()) return "(no data)\n";
+
+  // Stream-offset extent of the window.
+  std::int64_t lo = -1, hi = -1;
+  for (const LabeledDataPacket& lp : flow.data) {
+    if (!window.contains(lp.ts)) continue;
+    if (lo < 0 || lp.stream_begin < lo) lo = lp.stream_begin;
+    if (lp.stream_end > hi) hi = lp.stream_end;
+  }
+  if (lo < 0 || hi <= lo) return "(no data in window)\n";
+
+  std::vector<std::string> grid(opts.height, std::string(opts.width, ' '));
+  const double tb = static_cast<double>(window.length()) / static_cast<double>(opts.width);
+  const double sb = static_cast<double>(hi - lo) / static_cast<double>(opts.height);
+  auto col_of = [&](Micros t) {
+    return std::min(opts.width - 1,
+                    static_cast<std::size_t>(static_cast<double>(t - window.begin) / tb));
+  };
+  auto row_of = [&](std::int64_t off) {
+    const auto r = std::min(
+        opts.height - 1,
+        static_cast<std::size_t>(static_cast<double>(off - lo) / sb));
+    return opts.height - 1 - r;  // stream offset grows upward
+  };
+
+  // Cumulative ACK frontier (drawn first so data marks overwrite it).
+  if (flow.has_anchor) {
+    SeqUnwrapper unwrap(flow.anchor_seq);
+    for (const DecodedPacket& pkt : conn.packets) {
+      if (packet_dir(conn.key, pkt) == flow.dir || !pkt.tcp.flags.ack ||
+          pkt.tcp.flags.syn || !window.contains(pkt.ts)) {
+        continue;
+      }
+      const std::int64_t off = unwrap.unwrap(pkt.tcp.ack);
+      if (off < lo || off > hi) continue;
+      grid[row_of(std::min(off, hi - 1))][col_of(pkt.ts)] = 'a';
+    }
+  }
+
+  for (const LabeledDataPacket& lp : flow.data) {
+    if (!window.contains(lp.ts)) continue;
+    char mark = '.';
+    switch (lp.label) {
+      case DataLabel::kInOrder: mark = '.'; break;
+      case DataLabel::kRetransmitDownstream:
+      case DataLabel::kRetransmitUpstream: mark = 'R'; break;
+      case DataLabel::kReordering: mark = 'o'; break;
+      case DataLabel::kDuplicate: mark = 'D'; break;
+    }
+    grid[row_of(lp.stream_begin)][col_of(lp.ts)] = mark;
+  }
+
+  std::string out;
+  out += "stream offset " + std::to_string(lo) + ".." + std::to_string(hi) +
+         " bytes; time " + format_seconds(window.begin) + ".." +
+         format_seconds(window.end) + "\n";
+  for (const std::string& row : grid) {
+    out += "|" + row + "|\n";
+  }
+  out += "legend: . data  R retransmit  o reorder  D duplicate  a ack frontier\n";
+  return out;
+}
+
+}  // namespace tdat

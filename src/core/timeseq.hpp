@@ -1,0 +1,30 @@
+// Time-sequence rendering — the tcptrace/BGPlot-style view the paper's
+// Figs. 5-9 are drawn in: x = time, y = stream offset; data packets, their
+// retransmissions, and the cumulative-ACK frontier on one canvas.
+//
+//   .  in-order data        R  retransmission (downstream or upstream)
+//   o  reordering           D  duplicate
+//   a  cumulative ACK frontier
+#pragma once
+
+#include <string>
+
+#include "tcp/classify.hpp"
+#include "timerange/range_set.hpp"
+#include "tcp/profile.hpp"
+
+namespace tdat {
+
+struct TimeSeqOptions {
+  std::size_t width = 100;   // time buckets
+  std::size_t height = 20;   // stream-offset buckets
+};
+
+// Renders the data direction of `conn` over `window`. `flow` must be the
+// classification of the same connection/direction.
+[[nodiscard]] std::string render_time_sequence(const Connection& conn,
+                                               const ClassifiedFlow& flow,
+                                               TimeRange window,
+                                               const TimeSeqOptions& opts = {});
+
+}  // namespace tdat

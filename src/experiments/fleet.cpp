@@ -1,0 +1,236 @@
+#include "experiments/fleet.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "bgp/table_gen.hpp"
+
+namespace tdat {
+namespace {
+
+// Per-router behaviour drawn once from the fleet seed, so a router's
+// transfers are comparable (same table, same path) and differ only in the
+// transient impairments — which is what the stretch-ratio experiment
+// (Fig. 4) measures.
+struct RouterProfile {
+  Micros one_way = 0;
+  std::size_t prefixes = 0;
+  std::uint64_t table_seed = 0;
+  GroundTruth traits;  // which problems this router CAN exhibit
+  Micros timer_value = 0;
+  std::size_t msgs_per_tick = 0;
+};
+
+RouterProfile sample_router(const FleetConfig& cfg, Rng& rng) {
+  RouterProfile r;
+  r.one_way = cfg.ebgp ? from_millis(rng.uniform(8, 50))
+                       : from_millis(rng.uniform(1, 10));
+  r.prefixes = static_cast<std::size_t>(
+      static_cast<double>(cfg.prefix_base) * rng.uniform_real(0.8, 1.25));
+  r.table_seed = static_cast<std::uint64_t>(rng.uniform(1, 1 << 30));
+
+  if (rng.chance(cfg.p_timer)) {
+    r.traits.timer = true;
+    // 200 ms is the prevalent vendor default (§IV-B); others appear too.
+    const Micros values[] = {80, 100, 200, 200, 200, 400};
+    r.timer_value = from_millis(values[rng.uniform(0, 5)]);
+    r.msgs_per_tick = static_cast<std::size_t>(
+        rng.uniform(static_cast<std::int64_t>(cfg.timer_msgs_min),
+                    static_cast<std::int64_t>(cfg.timer_msgs_max)));
+    r.traits.timer_value = r.timer_value;
+  }
+  r.traits.local_loss = rng.chance(cfg.p_local_loss);
+  r.traits.net_loss = rng.chance(cfg.p_net_loss);
+  r.traits.slow_collector = rng.chance(cfg.p_slow_collector);
+  r.traits.probe_bug = rng.chance(cfg.p_probe_bug);
+  return r;
+}
+
+}  // namespace
+
+std::vector<double> FleetResult::durations_seconds() const {
+  std::vector<double> out;
+  out.reserve(transfers.size());
+  for (const TransferRecord& t : transfers) {
+    out.push_back(to_seconds(t.analysis.transfer_duration()));
+  }
+  return out;
+}
+
+FleetResult run_fleet(const FleetConfig& cfg, const AnalyzerOptions& opts) {
+  FleetResult result;
+  result.config = cfg;
+  Rng fleet_rng(cfg.seed);
+
+  for (std::size_t router = 0; router < cfg.routers; ++router) {
+    Rng router_rng = fleet_rng.fork();
+    const RouterProfile profile = sample_router(cfg, router_rng);
+
+    // The router's table is fixed across its transfers.
+    Rng table_rng(profile.table_seed);
+    TableGenConfig tg;
+    tg.prefix_count = profile.prefixes;
+    const auto messages = serialize_updates(generate_table(tg, table_rng));
+
+    const auto n_transfers = static_cast<std::size_t>(router_rng.uniform(
+        static_cast<std::int64_t>(cfg.transfers_min),
+        static_cast<std::int64_t>(cfg.transfers_max)));
+
+    for (std::size_t xfer = 0; xfer < n_transfers; ++xfer) {
+      const auto world_seed = static_cast<std::uint64_t>(
+          router_rng.uniform(1, std::numeric_limits<std::int32_t>::max()));
+      SimWorld world(world_seed);
+      Rng jitter(world_seed ^ 0x51ed);
+
+      SessionSpec spec;
+      spec.up_fwd.propagation_delay = profile.one_way;
+      spec.up_rev.propagation_delay = profile.one_way;
+      spec.receiver_tcp.recv_buf_capacity = cfg.recv_window;
+      spec.sender_tcp.min_rto = cfg.sender_min_rto;
+      spec.sender_tcp.rto_backoff = cfg.sender_rto_backoff;
+      spec.bgp.my_as = static_cast<std::uint16_t>(64000 + router);
+
+      // Baseline collector behaviour: ingesting and archiving updates is
+      // never free, and the load varies between transfers — the ordinary
+      // variability behind modest stretch ratios (Fig. 4).
+      spec.collector.read_interval = from_millis(jitter.uniform(10, 40));
+      spec.collector.read_chunk =
+          static_cast<std::size_t>(jitter.uniform(4, 16)) * 1024;
+
+      GroundTruth truth;
+      // What reset the session: a collector restart stresses the receiving
+      // side (it is re-ingesting tables from everyone at once); a router
+      // reset stresses the sending side (it is rebuilding sessions with all
+      // its peers). The stress shows up on top of the router's traits.
+      if (jitter.chance(cfg.p_receiver_triggered)) {
+        truth.trigger = Trigger::kReceiverReset;
+        spec.receiver_tcp.recv_buf_capacity =
+            std::min<std::uint32_t>(cfg.recv_window, 12 * 1024);
+        spec.collector.read_interval = from_millis(jitter.uniform(80, 200));
+        spec.collector.read_chunk = static_cast<std::size_t>(jitter.uniform(4, 8)) * 1024;
+      } else {
+        truth.trigger = Trigger::kSenderReset;
+        // A rebooting router usually trickles its table out between its
+        // other sessions' work — but §II-B2's routers do the opposite and
+        // blast queued updates to all peers at once, which is exactly what
+        // overruns the collector's interface queue. Routers with the
+        // local-loss trait keep their blast.
+        if (!profile.traits.timer && !profile.traits.local_loss &&
+            jitter.chance(0.7)) {
+          spec.bgp.timer_driven = true;
+          spec.bgp.timer_interval = from_millis(jitter.uniform(20, 60));
+          spec.bgp.msgs_per_tick = static_cast<std::size_t>(jitter.uniform(20, 60));
+        }
+      }
+      if (profile.traits.timer) {
+        truth.timer = true;
+        truth.timer_value = profile.timer_value;
+        spec.bgp.timer_driven = true;
+        spec.bgp.timer_interval = profile.timer_value;
+        spec.bgp.msgs_per_tick = profile.msgs_per_tick;
+      }
+      // Transient impairments: present in SOME of the router's transfers,
+      // which is what stretches the slow ones relative to its fastest.
+      if (profile.traits.local_loss && jitter.chance(0.6)) {
+        truth.local_loss = true;
+        spec.down_fwd.queue_packets = static_cast<std::size_t>(jitter.uniform(6, 12));
+        spec.down_fwd.rate_bytes_per_sec = jitter.uniform(1'000'000, 3'000'000);
+        spec.sender_tcp.initial_cwnd_segments = 40;
+      }
+      if (profile.traits.net_loss && jitter.chance(0.6)) {
+        truth.net_loss = true;
+        spec.up_fwd.random_loss = jitter.uniform_real(0.005, cfg.net_loss_max);
+      }
+      if (profile.traits.slow_collector && jitter.chance(0.5)) {
+        truth.slow_collector = true;
+        spec.receiver_tcp.recv_buf_capacity =
+            std::min<std::uint32_t>(cfg.recv_window, 8 * 1024);
+        spec.collector.read_interval = from_millis(jitter.uniform(100, 250));
+        spec.collector.read_chunk = static_cast<std::size_t>(jitter.uniform(4, 8)) * 1024;
+      }
+      if (profile.traits.probe_bug && truth.slow_collector) {
+        truth.probe_bug = true;
+        spec.sender_tcp.zero_window_probe_bug = true;
+        spec.receiver_tcp.recv_buf_capacity = 4 * 1024;
+        spec.collector.read_chunk = 2 * 1024;
+      }
+
+      const auto session = world.add_session(spec, messages);
+      world.start_session(session, 0);
+      world.run_until(900 * kMicrosPerSec);
+
+      TransferRecord rec;
+      rec.router = router;
+      rec.transfer_index = xfer;
+      rec.truth = truth;
+      rec.sender_finished = world.sender(session).finished_sending();
+      const PcapFile trace = world.take_trace();
+      rec.trace_packets = trace.records.size();
+      for (const PcapRecord& p : trace.records) rec.trace_bytes += p.data.size();
+      result.total_packets += rec.trace_packets;
+      result.total_bytes += rec.trace_bytes;
+
+      TraceAnalysis ta = analyze_trace(trace, opts);
+      if (ta.results.empty()) continue;
+      rec.analysis = std::move(ta.results[0]);
+      result.transfers.push_back(std::move(rec));
+    }
+  }
+  return result;
+}
+
+FleetConfig isp_a1_config() {
+  FleetConfig cfg;
+  cfg.name = "ISP_A-1 (Vendor)";
+  cfg.collector = CollectorKind::kVendor;
+  cfg.routers = 24;
+  // The vendor bug caused frequent session resets, hence many transfers.
+  cfg.transfers_min = 4;
+  cfg.transfers_max = 10;
+  cfg.seed = 0xA1;
+  cfg.p_timer = 0.6;  // vendor routers: timer pacing prevalent
+  cfg.timer_msgs_min = 50;  // big batches per tick: quick transfers overall
+  cfg.timer_msgs_max = 120;
+  cfg.p_slow_collector = 0.35;  // the ISP_A collectors were often loaded
+  cfg.p_probe_bug = 0.08;
+  return cfg;
+}
+
+FleetConfig isp_a2_config() {
+  FleetConfig cfg;
+  cfg.name = "ISP_A-2 (Quagga)";
+  cfg.collector = CollectorKind::kQuagga;
+  cfg.routers = 27;
+  cfg.transfers_min = 2;
+  cfg.transfers_max = 5;
+  cfg.seed = 0xA2;
+  cfg.p_timer = 0.45;
+  // The ISP_A collectors failed from time to time and were often loaded:
+  // receiver-side limits are common in this dataset (§IV-A).
+  cfg.p_slow_collector = 0.5;
+  return cfg;
+}
+
+FleetConfig rv_config() {
+  FleetConfig cfg;
+  cfg.name = "RouteViews";
+  cfg.collector = CollectorKind::kVendor;
+  cfg.routers = 20;  // scaled from 59 peers
+  cfg.transfers_min = 2;
+  cfg.transfers_max = 4;
+  cfg.ebgp = true;
+  cfg.recv_window = 16 * 1024;  // the paper's RouteViews setting
+  cfg.sender_min_rto = kMicrosPerSec;
+  cfg.sender_rto_backoff = 3.0;  // "backs off to seconds after 2-3 timeouts"
+  cfg.seed = 0x57;
+  cfg.p_timer = 0.3;
+  cfg.p_net_loss = 0.55;  // wide-area paths: loss is pervasive, and every
+                          // loss leaves the transfer cwnd-bound for many
+                          // RTTs (the paper's dominant RV sender factor)
+  cfg.net_loss_max = 0.08;  // bursts bad enough to lose retransmissions too,
+                            // escalating the RTO (the paper's 31 s episodes)
+  cfg.p_slow_collector = 0.1;
+  return cfg;
+}
+
+}  // namespace tdat

@@ -1,0 +1,107 @@
+// Fleet simulation: scaled-down stand-ins for the paper's three datasets
+// (Table I) — ISP_A-1 (vendor collector, frequent session resets), ISP_A-2
+// (Quagga collector) and RouteViews (eBGP, small 16 KB advertised window,
+// aggressive RTO backoff).
+//
+// Each simulated router gets a behaviour profile drawn deterministically
+// from the fleet seed: path RTT, table size, an optional BGP pacing timer,
+// loss characteristics, collector load, and (rarely) the zero-window probe
+// bug. Every transfer is simulated as real wire traffic, captured by the
+// sniffer tap, and analyzed by T-DAT; the ground-truth labels ride along so
+// experiments can compare inference against what was injected.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "sim/world.hpp"
+
+namespace tdat {
+
+enum class CollectorKind : std::uint8_t { kVendor, kQuagga };
+
+struct FleetConfig {
+  std::string name = "fleet";
+  CollectorKind collector = CollectorKind::kVendor;
+  std::size_t routers = 24;
+  // Transfers per router (uniform in [min, max]); the vendor reset bug of
+  // ISP_A-1 shows up as a high transfer count.
+  std::size_t transfers_min = 2;
+  std::size_t transfers_max = 6;
+  bool ebgp = false;  // eBGP: wide-area RTTs
+  std::uint32_t recv_window = 64 * 1024;
+  // TCP retransmission behaviour of the *routers* peering with this
+  // collector; the paper observed RouteViews peers backing off to seconds
+  // after two or three timeouts.
+  Micros sender_min_rto = 300 * kMicrosPerMilli;
+  double sender_rto_backoff = 2.0;
+  // Scaled "full table" size in prefixes (the real table is ~300k). Large
+  // enough that a table spans several receive windows, so receiver-side
+  // flow control has room to act as it does at full scale.
+  std::size_t prefix_base = 12'000;
+  std::uint64_t seed = 1;
+
+  // Behaviour mix (per router).
+  double p_timer = 0.45;          // timer-driven pacing (§II-B1)
+  // Messages released per timer tick (uniform range). Vendor routers in
+  // ISP_A-1 push large batches per tick, so their transfers are quick
+  // despite the gaps; Quagga-facing routers trickle more slowly.
+  std::size_t timer_msgs_min = 15;
+  std::size_t timer_msgs_max = 45;
+  double p_local_loss = 0.20;     // receiver-interface tail drops (§II-B2)
+  double p_net_loss = 0.15;       // random in-network loss
+  double net_loss_max = 0.03;     // worst-case loss rate on a bad transfer
+  double p_slow_collector = 0.20; // overloaded receiving BGP process
+  double p_probe_bug = 0.05;      // zero-window probe bug (§IV-B)
+  // Per-transfer trigger mix: the rest are router (sender) resets.
+  double p_receiver_triggered = 0.25;
+};
+
+// What caused the session reset that started this transfer (the paper
+// infers this with the method of [9] and marks it in Fig. 14). The
+// triggering end is re-establishing sessions with ALL its peers at once,
+// so it tends to be the stressed, bottleneck side.
+enum class Trigger : std::uint8_t { kUnknown, kSenderReset, kReceiverReset };
+
+// Ground truth injected into one transfer.
+struct GroundTruth {
+  Trigger trigger = Trigger::kUnknown;
+  bool timer = false;
+  Micros timer_value = 0;
+  bool local_loss = false;
+  bool net_loss = false;
+  bool slow_collector = false;
+  bool probe_bug = false;
+};
+
+struct TransferRecord {
+  std::size_t router = 0;
+  std::size_t transfer_index = 0;
+  GroundTruth truth;
+  ConnectionAnalysis analysis;
+  std::uint64_t trace_packets = 0;
+  std::uint64_t trace_bytes = 0;
+  bool sender_finished = false;
+};
+
+struct FleetResult {
+  FleetConfig config;
+  std::vector<TransferRecord> transfers;
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_bytes = 0;
+
+  [[nodiscard]] std::vector<double> durations_seconds() const;
+};
+
+// Simulates and analyzes the whole fleet. Runtime scales with routers x
+// transfers x prefix_base; the defaults run in a few seconds.
+[[nodiscard]] FleetResult run_fleet(const FleetConfig& config,
+                                    const AnalyzerOptions& opts = {});
+
+// The paper's three datasets, scaled (Table I).
+[[nodiscard]] FleetConfig isp_a1_config();  // ISP_A-1: vendor collector, reset bug
+[[nodiscard]] FleetConfig isp_a2_config();  // ISP_A-2: Quagga collector
+[[nodiscard]] FleetConfig rv_config();      // RouteViews: eBGP, 16 KB window
+
+}  // namespace tdat

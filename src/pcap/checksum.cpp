@@ -1,0 +1,38 @@
+#include "pcap/checksum.hpp"
+
+namespace tdat {
+namespace {
+
+std::uint32_t ones_sum(std::span<const std::uint8_t> data, std::uint32_t acc) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    acc += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) acc += static_cast<std::uint32_t>(data[i]) << 8;
+  return acc;
+}
+
+std::uint16_t fold(std::uint32_t acc) {
+  while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return fold(ones_sum(data, 0));
+}
+
+std::uint16_t tcp_checksum(std::uint32_t src_ip, std::uint32_t dst_ip,
+                           std::span<const std::uint8_t> segment) {
+  std::uint32_t acc = 0;
+  acc += src_ip >> 16;
+  acc += src_ip & 0xffff;
+  acc += dst_ip >> 16;
+  acc += dst_ip & 0xffff;
+  acc += 6;  // IP protocol number for TCP in the pseudo-header
+  acc += static_cast<std::uint32_t>(segment.size());
+  return fold(ones_sum(segment, acc));
+}
+
+}  // namespace tdat

@@ -1,0 +1,18 @@
+// RFC 1071 internet checksum, used for IPv4 header and TCP checksums.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tdat {
+
+// Ones-complement sum over the data (padded with a zero byte if odd length).
+// Returns the final folded, complemented checksum in host order.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+// TCP checksum including the IPv4 pseudo-header. `segment` is the TCP header
+// plus payload with its checksum field zeroed.
+[[nodiscard]] std::uint16_t tcp_checksum(std::uint32_t src_ip, std::uint32_t dst_ip,
+                                         std::span<const std::uint8_t> segment);
+
+}  // namespace tdat

@@ -1,0 +1,131 @@
+#include "pcap/decode.hpp"
+
+#include "pcap/checksum.hpp"
+#include "util/bytes.hpp"
+
+namespace tdat {
+namespace {
+
+constexpr std::size_t kEthHeaderLen = 14;
+
+bool decode_tcp_options(ByteReader& r, std::size_t options_len, TcpHeader& tcp) {
+  std::size_t consumed = 0;
+  while (consumed < options_len) {
+    const std::uint8_t kind = r.u8();
+    ++consumed;
+    if (!r.ok()) return false;
+    if (kind == 0) break;       // end of options
+    if (kind == 1) continue;    // NOP padding
+    const std::uint8_t len = r.u8();
+    ++consumed;
+    if (!r.ok() || len < 2 || consumed + (len - 2) > options_len) return false;
+    switch (kind) {
+      case 2: {  // MSS
+        if (len != 4) return false;
+        tcp.mss = r.u16be();
+        break;
+      }
+      case 3: {  // window scale
+        if (len != 3) return false;
+        tcp.window_scale = r.u8();
+        break;
+      }
+      case 4: {  // SACK permitted
+        if (len != 2) return false;
+        tcp.sack_permitted = true;
+        break;
+      }
+      case 8: {  // timestamps (RFC 1323)
+        if (len != 10) return false;
+        tcp.ts_val = r.u32be();
+        tcp.ts_ecr = r.u32be();
+        break;
+      }
+      default:
+        r.skip(len - 2);
+        break;
+    }
+    consumed += len - 2;
+    if (!r.ok()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<DecodedPacket> decode_frame(Micros ts, std::size_t index,
+                                          std::span<const std::uint8_t> frame,
+                                          bool verify_checksums) {
+  ByteReader r(frame);
+  r.skip(12);  // MAC addresses carry no information in our traces
+  const std::uint16_t ethertype = r.u16be();
+  if (!r.ok() || ethertype != kEtherTypeIpv4) return std::nullopt;
+
+  DecodedPacket pkt;
+  pkt.ts = ts;
+  pkt.index = index;
+
+  // IPv4 header.
+  const std::size_t ip_start = r.offset();
+  const std::uint8_t ver_ihl = r.u8();
+  if ((ver_ihl >> 4) != 4) return std::nullopt;
+  pkt.ip.header_len = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
+  if (pkt.ip.header_len < 20) return std::nullopt;
+  r.skip(1);  // DSCP/ECN
+  pkt.ip.total_length = r.u16be();
+  pkt.ip.ident = r.u16be();
+  r.skip(2);  // flags + fragment offset (traces contain no fragments)
+  pkt.ip.ttl = r.u8();
+  pkt.ip.protocol = r.u8();
+  r.skip(2);  // header checksum (verified below if requested)
+  pkt.ip.src = r.u32be();
+  pkt.ip.dst = r.u32be();
+  r.skip(pkt.ip.header_len - 20);  // IP options
+  if (!r.ok() || pkt.ip.protocol != kIpProtoTcp) return std::nullopt;
+  if (pkt.ip.total_length < pkt.ip.header_len ||
+      ip_start + pkt.ip.total_length > frame.size()) {
+    return std::nullopt;  // truncated capture
+  }
+
+  // TCP header.
+  const std::size_t tcp_start = r.offset();
+  pkt.tcp.src_port = r.u16be();
+  pkt.tcp.dst_port = r.u16be();
+  pkt.tcp.seq = r.u32be();
+  pkt.tcp.ack = r.u32be();
+  const std::uint8_t data_offset = r.u8();
+  pkt.tcp.header_len = static_cast<std::size_t>(data_offset >> 4) * 4;
+  if (pkt.tcp.header_len < 20) return std::nullopt;
+  const std::uint8_t flags = r.u8();
+  pkt.tcp.flags.fin = flags & 0x01;
+  pkt.tcp.flags.syn = flags & 0x02;
+  pkt.tcp.flags.rst = flags & 0x04;
+  pkt.tcp.flags.psh = flags & 0x08;
+  pkt.tcp.flags.ack = flags & 0x10;
+  pkt.tcp.flags.urg = flags & 0x20;
+  pkt.tcp.window = r.u16be();
+  r.skip(2);  // checksum
+  r.skip(2);  // urgent pointer
+  if (!decode_tcp_options(r, pkt.tcp.header_len - 20, pkt.tcp)) {
+    return std::nullopt;
+  }
+  if (!r.ok()) return std::nullopt;
+
+  const std::size_t tcp_total = pkt.ip.total_length - pkt.ip.header_len;
+  if (tcp_total < pkt.tcp.header_len) return std::nullopt;
+  pkt.payload_offset = tcp_start + pkt.tcp.header_len;
+  pkt.payload_len = tcp_total - pkt.tcp.header_len;
+
+  if (verify_checksums) {
+    const auto ip_hdr = frame.subspan(ip_start, pkt.ip.header_len);
+    if (internet_checksum(ip_hdr) != 0) return std::nullopt;
+    const auto segment = frame.subspan(tcp_start, tcp_total);
+    // A correct checksum over data that includes the checksum field sums to 0.
+    if (tcp_checksum(pkt.ip.src, pkt.ip.dst, segment) != 0) return std::nullopt;
+  }
+
+  pkt.frame.assign(frame.begin(), frame.end());
+  return pkt;
+}
+
+}  // namespace tdat

@@ -1,0 +1,19 @@
+// Frame decoding: Ethernet II -> IPv4 -> TCP. Non-TCP or malformed frames
+// decode to nullopt; the caller decides whether to skip or count them.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "pcap/packet.hpp"
+
+namespace tdat {
+
+// Decodes one captured frame. `verify_checksums` additionally validates the
+// IPv4 header checksum and the TCP checksum; packets failing verification
+// decode to nullopt (damaged captures should not reach the analyzer).
+[[nodiscard]] std::optional<DecodedPacket> decode_frame(
+    Micros ts, std::size_t index, std::span<const std::uint8_t> frame,
+    bool verify_checksums = false);
+
+}  // namespace tdat

@@ -1,0 +1,89 @@
+#include "pcap/encode.hpp"
+
+#include "pcap/checksum.hpp"
+#include "util/assert.hpp"
+#include "util/bytes.hpp"
+
+namespace tdat {
+
+std::vector<std::uint8_t> encode_tcp_frame(const TcpSegmentSpec& spec) {
+  // TCP options (SYN segments): MSS and window scale, NOP-padded to 4 bytes.
+  ByteWriter opts;
+  if (spec.mss) {
+    opts.u8(2);
+    opts.u8(4);
+    opts.u16be(*spec.mss);
+  }
+  if (spec.window_scale) {
+    opts.u8(3);
+    opts.u8(3);
+    opts.u8(*spec.window_scale);
+    opts.u8(1);  // NOP pad to 32-bit boundary
+  }
+  if (spec.ts_val) {
+    opts.u8(1);  // NOP
+    opts.u8(1);  // NOP (the conventional NOP-NOP-TS alignment)
+    opts.u8(8);
+    opts.u8(10);
+    opts.u32be(*spec.ts_val);
+    opts.u32be(spec.ts_ecr);
+  }
+  TDAT_ENSURES(opts.size() % 4 == 0);
+
+  const std::size_t tcp_header_len = 20 + opts.size();
+  const std::size_t tcp_total = tcp_header_len + spec.payload.size();
+  const std::size_t ip_total = 20 + tcp_total;
+  TDAT_EXPECTS(ip_total <= 0xffff);
+
+  // TCP segment with zero checksum, then patch.
+  ByteWriter tcp;
+  tcp.u16be(spec.src_port);
+  tcp.u16be(spec.dst_port);
+  tcp.u32be(spec.seq);
+  tcp.u32be(spec.ack);
+  tcp.u8(static_cast<std::uint8_t>((tcp_header_len / 4) << 4));
+  std::uint8_t flags = 0;
+  if (spec.flags.fin) flags |= 0x01;
+  if (spec.flags.syn) flags |= 0x02;
+  if (spec.flags.rst) flags |= 0x04;
+  if (spec.flags.psh) flags |= 0x08;
+  if (spec.flags.ack) flags |= 0x10;
+  if (spec.flags.urg) flags |= 0x20;
+  tcp.u8(flags);
+  tcp.u16be(spec.window);
+  const std::size_t checksum_at = tcp.size();
+  tcp.u16be(0);
+  tcp.u16be(0);  // urgent pointer
+  tcp.bytes(opts.data());
+  tcp.bytes(spec.payload);
+  tcp.patch_u16be(checksum_at,
+                  tcp_checksum(spec.src_ip, spec.dst_ip, tcp.data()));
+
+  // IPv4 header with zero checksum, then patch.
+  ByteWriter ip;
+  ip.u8(0x45);  // version 4, IHL 5
+  ip.u8(0);
+  ip.u16be(static_cast<std::uint16_t>(ip_total));
+  ip.u16be(spec.ip_ident);
+  ip.u16be(0x4000);  // don't fragment
+  ip.u8(64);         // TTL
+  ip.u8(kIpProtoTcp);
+  const std::size_t ip_checksum_at = ip.size();
+  ip.u16be(0);
+  ip.u32be(spec.src_ip);
+  ip.u32be(spec.dst_ip);
+  ip.patch_u16be(ip_checksum_at, internet_checksum(ip.data()));
+
+  // Ethernet II frame. MACs are synthetic constants.
+  ByteWriter frame;
+  const std::uint8_t dst_mac[6] = {0x02, 0, 0, 0, 0, 0x02};
+  const std::uint8_t src_mac[6] = {0x02, 0, 0, 0, 0, 0x01};
+  frame.bytes(dst_mac);
+  frame.bytes(src_mac);
+  frame.u16be(kEtherTypeIpv4);
+  frame.bytes(ip.data());
+  frame.bytes(tcp.data());
+  return frame.take();
+}
+
+}  // namespace tdat

@@ -1,0 +1,36 @@
+// Frame construction: builds valid Ethernet II / IPv4 / TCP wire bytes with
+// correct checksums. Used by the trace simulator so that the whole analysis
+// pipeline runs on real packet bytes, exactly as it would on a tcpdump trace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "pcap/packet.hpp"
+
+namespace tdat {
+
+struct TcpSegmentSpec {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint16_t window = 0;
+  TcpFlags flags;
+  std::uint16_t ip_ident = 0;
+  std::optional<std::uint16_t> mss;            // emitted as a TCP option
+  std::optional<std::uint8_t> window_scale;    // emitted as a TCP option
+  // RFC 1323 timestamps: emitted (NOP-NOP-TS) when ts_val is set.
+  std::optional<std::uint32_t> ts_val;
+  std::uint32_t ts_ecr = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+// Builds the full layer-2 frame for the segment.
+[[nodiscard]] std::vector<std::uint8_t> encode_tcp_frame(const TcpSegmentSpec& spec);
+
+}  // namespace tdat

@@ -1,0 +1,74 @@
+// Decoded packet model: Ethernet II / IPv4 / TCP, the only stack the BGP
+// monitoring traces in the paper use. Addresses and ports are kept in host
+// byte order after decoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace tdat {
+
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+  bool urg = false;
+
+  friend bool operator==(const TcpFlags&, const TcpFlags&) = default;
+};
+
+struct Ipv4Header {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint8_t protocol = 0;  // 6 = TCP
+  std::uint8_t ttl = 0;
+  std::uint16_t ident = 0;
+  std::uint16_t total_length = 0;
+  std::size_t header_len = 0;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint16_t window = 0;  // raw, pre-scaling
+  TcpFlags flags;
+  std::size_t header_len = 0;
+  // From options (MSS/wscale/SACK-permitted appear on SYN segments only,
+  // timestamps on every segment once negotiated — RFC 793 / 1323):
+  std::optional<std::uint16_t> mss;
+  std::optional<std::uint8_t> window_scale;
+  bool sack_permitted = false;
+  std::optional<std::uint32_t> ts_val;  // TSval of the timestamps option
+  std::optional<std::uint32_t> ts_ecr;  // TSecr
+};
+
+// One captured packet: raw frame bytes plus decoded header views. `index` is
+// the packet's position in its trace and is used as the trace_ref carried by
+// event series.
+struct DecodedPacket {
+  Micros ts = 0;
+  std::size_t index = 0;
+  Ipv4Header ip;
+  TcpHeader tcp;
+  std::vector<std::uint8_t> frame;   // full layer-2 frame as captured
+  std::size_t payload_offset = 0;    // offset of the TCP payload in `frame`
+  std::size_t payload_len = 0;
+
+  [[nodiscard]] std::span<const std::uint8_t> payload() const {
+    return std::span(frame).subspan(payload_offset, payload_len);
+  }
+  [[nodiscard]] bool has_payload() const { return payload_len > 0; }
+};
+
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+}  // namespace tdat

@@ -1,0 +1,132 @@
+#include "pcap/pcap_file.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "pcap/decode.hpp"
+#include "util/bytes.hpp"
+
+namespace tdat {
+namespace {
+
+constexpr std::uint32_t kMagicMicrosLE = 0xa1b2c3d4;  // as read little-endian
+constexpr std::uint32_t kMagicMicrosBE = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNanosLE = 0xa1b23c4d;
+constexpr std::uint32_t kMagicNanosBE = 0x4d3cb2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Result<PcapFile> parse_pcap(std::span<const std::uint8_t> image) {
+  ByteReader r(image);
+  const std::uint32_t magic = r.u32le();
+  if (!r.ok()) return Err<PcapFile>("pcap: file shorter than global header");
+
+  bool swapped = false;
+  bool nanos = false;
+  switch (magic) {
+    case kMagicMicrosLE: break;
+    case kMagicNanosLE: nanos = true; break;
+    case kMagicMicrosBE: swapped = true; break;
+    case kMagicNanosBE: swapped = true; nanos = true; break;
+    default: return Err<PcapFile>("pcap: bad magic number");
+  }
+  auto u16 = [&]() { return swapped ? r.u16be() : r.u16le(); };
+  auto u32 = [&]() { return swapped ? r.u32be() : r.u32le(); };
+
+  const std::uint16_t major = u16();
+  (void)u16();  // minor version
+  (void)u32();  // thiszone
+  (void)u32();  // sigfigs
+  const std::uint32_t snaplen = u32();
+  const std::uint32_t linktype = u32();
+  if (!r.ok()) return Err<PcapFile>("pcap: truncated global header");
+  if (major != 2) return Err<PcapFile>("pcap: unsupported version");
+  if (linktype != kLinkTypeEthernet) {
+    return Err<PcapFile>("pcap: unsupported link type " + std::to_string(linktype));
+  }
+
+  PcapFile out;
+  out.nanosecond = nanos;
+  out.snaplen = snaplen;
+  while (r.remaining() >= 16) {
+    const std::uint32_t ts_sec = u32();
+    const std::uint32_t ts_frac = u32();
+    const std::uint32_t incl_len = u32();
+    const std::uint32_t orig_len = u32();
+    if (!r.ok() || incl_len > snaplen + 65535 || r.remaining() < incl_len) {
+      break;  // truncated tail: keep what we have
+    }
+    PcapRecord rec;
+    rec.ts = static_cast<Micros>(ts_sec) * kMicrosPerSec +
+             (nanos ? ts_frac / 1000 : ts_frac);
+    rec.orig_len = orig_len;
+    const auto bytes = r.bytes(incl_len);
+    rec.data.assign(bytes.begin(), bytes.end());
+    out.records.push_back(std::move(rec));
+  }
+  return out;
+}
+
+Result<PcapFile> read_pcap_file(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Err<PcapFile>("pcap: cannot open " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  const long len = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (len < 0) return Err<PcapFile>("pcap: cannot stat " + path);
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(len));
+  if (!image.empty() &&
+      std::fread(image.data(), 1, image.size(), f.get()) != image.size()) {
+    return Err<PcapFile>("pcap: short read on " + path);
+  }
+  return parse_pcap(image);
+}
+
+std::vector<std::uint8_t> serialize_pcap(const PcapFile& file) {
+  ByteWriter w;
+  w.u32le(kMagicMicrosLE);
+  w.u16le(2);   // major
+  w.u16le(4);   // minor
+  w.u32le(0);   // thiszone
+  w.u32le(0);   // sigfigs
+  w.u32le(file.snaplen);
+  w.u32le(kLinkTypeEthernet);
+  for (const PcapRecord& rec : file.records) {
+    w.u32le(static_cast<std::uint32_t>(rec.ts / kMicrosPerSec));
+    w.u32le(static_cast<std::uint32_t>(rec.ts % kMicrosPerSec));
+    w.u32le(static_cast<std::uint32_t>(rec.data.size()));
+    w.u32le(rec.orig_len != 0 ? rec.orig_len
+                              : static_cast<std::uint32_t>(rec.data.size()));
+    w.bytes(rec.data);
+  }
+  return w.take();
+}
+
+bool write_pcap_file(const std::string& path, const PcapFile& file) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  const auto image = serialize_pcap(file);
+  return std::fwrite(image.data(), 1, image.size(), f.get()) == image.size();
+}
+
+std::vector<DecodedPacket> decode_pcap(const PcapFile& file,
+                                       bool verify_checksums) {
+  std::vector<DecodedPacket> out;
+  out.reserve(file.records.size());
+  for (std::size_t i = 0; i < file.records.size(); ++i) {
+    const PcapRecord& rec = file.records[i];
+    if (rec.data.size() < rec.orig_len) continue;  // truncated capture
+    if (auto pkt = decode_frame(rec.ts, i, rec.data, verify_checksums)) {
+      out.push_back(std::move(*pkt));
+    }
+  }
+  return out;
+}
+
+}  // namespace tdat

@@ -1,0 +1,50 @@
+// Classic pcap file format reader/writer (the tcpdump on-disk format).
+//
+// Supports all four global-header variants: microsecond (0xa1b2c3d4) and
+// nanosecond (0xa1b23c4d) magic, in either byte order. The writer emits the
+// native microsecond little-endian form. Link type must be Ethernet (1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pcap/packet.hpp"
+#include "util/result.hpp"
+
+namespace tdat {
+
+// A raw captured record, before protocol decoding.
+struct PcapRecord {
+  Micros ts = 0;
+  std::uint32_t orig_len = 0;  // length on the wire (may exceed captured size)
+  std::vector<std::uint8_t> data;
+};
+
+struct PcapFile {
+  std::vector<PcapRecord> records;
+  bool nanosecond = false;
+  std::uint32_t snaplen = 65535;
+};
+
+// Parses an in-memory pcap image. Records after a corrupt record header are
+// dropped (matching tcpdump's behaviour on truncated files) but a malformed
+// global header is an error.
+[[nodiscard]] Result<PcapFile> parse_pcap(std::span<const std::uint8_t> image);
+
+[[nodiscard]] Result<PcapFile> read_pcap_file(const std::string& path);
+
+// Serializes to the µs little-endian pcap format.
+[[nodiscard]] std::vector<std::uint8_t> serialize_pcap(const PcapFile& file);
+
+[[nodiscard]] bool write_pcap_file(const std::string& path, const PcapFile& file);
+
+// Decodes every record into a TCP packet, skipping non-TCP/undecodable
+// records. Packet `index` is the record's position in the file, so event
+// series can refer back to the exact capture record.
+[[nodiscard]] std::vector<DecodedPacket> decode_pcap(const PcapFile& file,
+                                                     bool verify_checksums = false);
+
+}  // namespace tdat

@@ -1,0 +1,274 @@
+#include "sim/bgp_apps.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tdat {
+
+std::vector<std::vector<std::uint8_t>> serialize_updates(
+    const std::vector<BgpUpdate>& updates) {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(updates.size());
+  for (const BgpUpdate& upd : updates) {
+    out.push_back(serialize_message(BgpMessage{upd}));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- sender --
+
+BgpSenderApp::BgpSenderApp(Scheduler& sched, BgpSenderConfig config,
+                           std::vector<std::vector<std::uint8_t>> messages)
+    : sched_(sched), config_(config), own_messages_(std::move(messages)) {}
+
+BgpSenderApp::BgpSenderApp(Scheduler& sched, BgpSenderConfig config,
+                           PeerGroup* group)
+    : sched_(sched), config_(config), group_(group) {
+  TDAT_EXPECTS(group_ != nullptr);
+  member_id_ = group_->attach();
+}
+
+void BgpSenderApp::start(std::uint32_t remote_ip, std::uint16_t remote_port) {
+  TDAT_EXPECTS(endpoint_ != nullptr);
+  running_ = true;
+  last_heard_ = sched_.now();
+  endpoint_->connect(remote_ip, remote_port);
+  check_hold_timer();
+}
+
+std::optional<std::span<const std::uint8_t>> BgpSenderApp::next_message() const {
+  if (group_ != nullptr) return group_->peek(member_id_);
+  if (own_next_ >= own_messages_.size()) return std::nullopt;
+  return std::span<const std::uint8_t>(own_messages_[own_next_]);
+}
+
+void BgpSenderApp::consume_message() {
+  if (group_ != nullptr) {
+    group_->consume(member_id_);
+  } else {
+    ++own_next_;
+  }
+}
+
+void BgpSenderApp::enqueue(std::vector<std::vector<std::uint8_t>> messages) {
+  TDAT_EXPECTS(group_ == nullptr);
+  own_messages_.insert(own_messages_.end(),
+                       std::make_move_iterator(messages.begin()),
+                       std::make_move_iterator(messages.end()));
+  finished_ = false;
+  if (!config_.timer_driven) pump();
+}
+
+void BgpSenderApp::on_connected() {
+  BgpOpen open;
+  open.my_as = config_.my_as;
+  open.bgp_id = config_.bgp_id;
+  open.hold_time = static_cast<std::uint16_t>(config_.hold_time / kMicrosPerSec);
+  const auto open_bytes = serialize_message(BgpMessage{open});
+  (void)endpoint_->send(open_bytes);
+  const auto ka = serialize_message(BgpMessage{BgpKeepAlive{}});
+  (void)endpoint_->send(ka);
+
+  if (config_.timer_driven) {
+    sched_.after(config_.timer_interval, [this] { on_pacing_tick(); });
+  } else {
+    pump();
+  }
+  sched_.after(config_.keepalive_interval, [this] { keepalive_tick(); });
+}
+
+void BgpSenderApp::keepalive_tick() {
+  if (!running_) return;
+  // Keepalives are what a blocked peer-group member keeps exchanging while
+  // its updates are stalled (§II-B3) — send them regardless of pump state.
+  if (endpoint_->established()) {
+    const auto ka = serialize_message(BgpMessage{BgpKeepAlive{}});
+    if (endpoint_->send_space() >= ka.size()) (void)endpoint_->send(ka);
+  }
+  sched_.after(config_.keepalive_interval, [this] { keepalive_tick(); });
+}
+
+void BgpSenderApp::pump() {
+  if (!running_ || endpoint_ == nullptr || !endpoint_->established()) return;
+  // Batch whole messages into one socket write, like a real BGP speaker
+  // filling its output buffer: TCP then cuts MSS-sized segments instead of
+  // one tiny segment per message.
+  std::vector<std::uint8_t> batch;
+  std::size_t space = endpoint_->send_space();
+  while (true) {
+    const auto msg = next_message();
+    if (!msg || batch.size() + msg->size() > space) break;
+    batch.insert(batch.end(), msg->begin(), msg->end());
+    consume_message();
+  }
+  if (!batch.empty()) (void)endpoint_->send(batch);
+  const bool done = group_ != nullptr ? group_->finished(member_id_)
+                                      : own_next_ >= own_messages_.size();
+  if (done && !finished_) {
+    finished_ = true;
+    finished_at_ = sched_.now();
+  }
+}
+
+void BgpSenderApp::on_pacing_tick() {
+  if (!running_) return;
+  if (endpoint_->established()) {
+    std::vector<std::uint8_t> batch;
+    const std::size_t space = endpoint_->send_space();
+    std::size_t sent = 0;
+    while (sent < config_.msgs_per_tick) {
+      const auto msg = next_message();
+      if (!msg || batch.size() + msg->size() > space) break;
+      batch.insert(batch.end(), msg->begin(), msg->end());
+      consume_message();
+      ++sent;
+    }
+    if (!batch.empty()) (void)endpoint_->send(batch);
+    const bool done = group_ != nullptr ? group_->finished(member_id_)
+                                        : own_next_ >= own_messages_.size();
+    if (done && !finished_) {
+      finished_ = true;
+      finished_at_ = sched_.now();
+    }
+  }
+  sched_.after(config_.timer_interval, [this] { on_pacing_tick(); });
+}
+
+void BgpSenderApp::on_send_space() {
+  if (!config_.timer_driven) pump();
+}
+
+void BgpSenderApp::on_data_available() {
+  // Any message from the collector refreshes the hold timer.
+  const auto bytes = endpoint_->read(endpoint_->available());
+  const auto msgs = in_stream_.feed(bytes, sched_.now());
+  if (!msgs.empty() || !bytes.empty()) last_heard_ = sched_.now();
+}
+
+void BgpSenderApp::on_reset() {
+  running_ = false;
+  if (group_ != nullptr && !failed_) group_->remove(member_id_);
+}
+
+void BgpSenderApp::check_hold_timer() {
+  if (!running_) return;
+  if (sched_.now() - last_heard_ > config_.hold_time) {
+    fail_session();
+    return;
+  }
+  sched_.after(kMicrosPerSec, [this] { check_hold_timer(); });
+}
+
+void BgpSenderApp::fail_session() {
+  failed_ = true;
+  failed_at_ = sched_.now();
+  running_ = false;
+  endpoint_->abort();
+  if (group_ != nullptr) group_->remove(member_id_);
+}
+
+// -------------------------------------------------------------- receiver --
+
+BgpReceiverApp::BgpReceiverApp(Scheduler& sched, BgpReceiverConfig config,
+                               CollectorHost* host)
+    : sched_(sched), config_(config), host_(host) {
+  if (host_ != nullptr) host_->attach(this);
+}
+
+void BgpReceiverApp::start(std::uint32_t remote_ip, std::uint16_t remote_port) {
+  TDAT_EXPECTS(endpoint_ != nullptr);
+  running_ = true;
+  endpoint_->listen(remote_ip, remote_port);
+  if (host_ == nullptr) {
+    sched_.after(config_.read_interval, [this] { self_tick(); });
+  }
+  sched_.after(config_.keepalive_interval, [this] { keepalive_tick(); });
+}
+
+void BgpReceiverApp::on_connected() {}
+
+void BgpReceiverApp::on_data_available() {
+  // Reading is paced by drain(); data sits in the socket buffer until then,
+  // which is exactly how a loaded collector closes its advertised window.
+}
+
+void BgpReceiverApp::on_reset() { running_ = false; }
+
+std::size_t BgpReceiverApp::drain(std::size_t budget) {
+  if (!running_ || dead_ || endpoint_ == nullptr) return 0;
+  const std::size_t want = std::min(budget, endpoint_->available());
+  if (want == 0) return 0;
+  const auto bytes = endpoint_->read(want);
+  const auto msgs = in_stream_.feed(bytes, sched_.now());
+  for (const TimedBgpMessage& tm : msgs) {
+    if (tm.msg.type() == BgpType::kOpen && !sent_open_) {
+      sent_open_ = true;
+      BgpOpen open;
+      open.my_as = config_.my_as;
+      open.bgp_id = config_.bgp_id;
+      (void)endpoint_->send(serialize_message(BgpMessage{open}));
+      (void)endpoint_->send(serialize_message(BgpMessage{BgpKeepAlive{}}));
+    }
+    archive_.push_back(tm);
+  }
+  return bytes.size();
+}
+
+void BgpReceiverApp::die() {
+  dead_ = true;
+  running_ = false;
+  if (endpoint_ != nullptr) endpoint_->die();
+}
+
+void BgpReceiverApp::self_tick() {
+  if (!running_ || dead_) return;
+  (void)drain(config_.read_chunk);
+  sched_.after(config_.read_interval, [this] { self_tick(); });
+}
+
+void BgpReceiverApp::keepalive_tick() {
+  if (!running_ || dead_) return;
+  if (endpoint_->established()) {
+    (void)endpoint_->send(serialize_message(BgpMessage{BgpKeepAlive{}}));
+  }
+  sched_.after(config_.keepalive_interval, [this] { keepalive_tick(); });
+}
+
+// ------------------------------------------------------------------ host --
+
+CollectorHost::CollectorHost(Scheduler& sched, std::int64_t read_rate,
+                             Micros tick)
+    : sched_(sched), rate_(read_rate), interval_(tick) {
+  TDAT_EXPECTS(rate_ > 0);
+  TDAT_EXPECTS(interval_ > 0);
+}
+
+void CollectorHost::start() {
+  if (running_) return;
+  running_ = true;
+  sched_.after(interval_, [this] { tick(); });
+}
+
+void CollectorHost::tick() {
+  std::int64_t budget = rate_ * interval_ / kMicrosPerSec;
+  // Round-robin in MSS-sized slices so no session starves.
+  constexpr std::size_t kSlice = 1460;
+  bool progress = true;
+  while (budget > 0 && progress && !apps_.empty()) {
+    progress = false;
+    for (std::size_t i = 0; i < apps_.size() && budget > 0; ++i) {
+      BgpReceiverApp* app = apps_[(rr_ + i) % apps_.size()];
+      const std::size_t got = app->drain(
+          std::min<std::size_t>(kSlice, static_cast<std::size_t>(budget)));
+      if (got > 0) {
+        budget -= static_cast<std::int64_t>(got);
+        progress = true;
+      }
+    }
+  }
+  rr_ = apps_.empty() ? 0 : (rr_ + 1) % apps_.size();
+  sched_.after(interval_, [this] { tick(); });
+}
+
+}  // namespace tdat

@@ -1,0 +1,170 @@
+// The applications on top of the simulated TCP endpoints:
+//
+//  BgpSenderApp    — an operational router announcing its table. Supports
+//                    continuous sending, timer-driven pacing (the gap
+//                    phenomenon of §II-B1 / Houidi et al.), and peer-group
+//                    replication (§II-B3). Runs the BGP hold timer and
+//                    tears the session down when the peer goes silent.
+//  BgpReceiverApp  — a collector session: replies OPEN/KEEPALIVE, archives
+//                    every received message with its arrival time (the
+//                    "MRT archive"), and reads from the socket at the pace
+//                    its host allows — the receiving-application behaviour
+//                    T-DAT's receiver-side factors measure.
+//  CollectorHost   — shared read capacity across concurrent sessions on one
+//                    collector box (drives the Fig. 15 experiment).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bgp/msg_stream.hpp"
+#include "sim/peer_group.hpp"
+#include "sim/tcp_endpoint.hpp"
+
+namespace tdat {
+
+struct BgpSenderConfig {
+  std::uint16_t my_as = 65001;
+  std::uint32_t bgp_id = 0x0a000001;
+  Micros keepalive_interval = 60 * kMicrosPerSec;
+  Micros hold_time = 180 * kMicrosPerSec;
+  // Timer-driven pacing: at most `msgs_per_tick` messages written per
+  // `timer_interval`. Off = write whenever the socket has room.
+  bool timer_driven = false;
+  Micros timer_interval = 200 * kMicrosPerMilli;
+  std::size_t msgs_per_tick = 20;
+};
+
+class BgpSenderApp final : public TcpApp {
+ public:
+  // Ungrouped: the app owns its message queue.
+  BgpSenderApp(Scheduler& sched, BgpSenderConfig config,
+               std::vector<std::vector<std::uint8_t>> messages);
+  // Peer-grouped: messages come from the shared group queue.
+  BgpSenderApp(Scheduler& sched, BgpSenderConfig config, PeerGroup* group);
+
+  void bind(TcpEndpoint* endpoint) { endpoint_ = endpoint; }
+  // Active-opens the TCP connection and starts the BGP machinery.
+  void start(std::uint32_t remote_ip, std::uint16_t remote_port);
+
+  // Queues additional messages behind the current stream — e.g. the massive
+  // update burst a routing event triggers after the initial table transfer
+  // (the paper's §VII future-work case). Ungrouped senders only.
+  void enqueue(std::vector<std::vector<std::uint8_t>> messages);
+
+  void on_connected() override;
+  void on_data_available() override;
+  void on_send_space() override;
+  void on_reset() override;
+
+  [[nodiscard]] bool finished_sending() const { return finished_; }
+  [[nodiscard]] Micros finished_at() const { return finished_at_; }
+  [[nodiscard]] bool session_failed() const { return failed_; }
+  [[nodiscard]] Micros failed_at() const { return failed_at_; }
+
+ private:
+  void pump();
+  void on_pacing_tick();
+  void keepalive_tick();
+  void check_hold_timer();
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> next_message() const;
+  void consume_message();
+  void fail_session();
+
+  Scheduler& sched_;
+  BgpSenderConfig config_;
+  TcpEndpoint* endpoint_ = nullptr;
+  std::vector<std::vector<std::uint8_t>> own_messages_;
+  std::size_t own_next_ = 0;
+  PeerGroup* group_ = nullptr;
+  std::size_t member_id_ = 0;
+  BgpMessageStream in_stream_;
+  Micros last_heard_ = 0;
+  bool running_ = false;
+  bool finished_ = false;
+  Micros finished_at_ = 0;
+  bool failed_ = false;
+  Micros failed_at_ = 0;
+};
+
+class CollectorHost;
+
+struct BgpReceiverConfig {
+  std::uint16_t my_as = 65000;
+  std::uint32_t bgp_id = 0x0a0000fe;
+  Micros keepalive_interval = 60 * kMicrosPerSec;
+  // Self-paced reading when not attached to a CollectorHost:
+  Micros read_interval = 10 * kMicrosPerMilli;
+  std::size_t read_chunk = 64 * 1024;
+};
+
+class BgpReceiverApp final : public TcpApp {
+ public:
+  BgpReceiverApp(Scheduler& sched, BgpReceiverConfig config,
+                 CollectorHost* host = nullptr);
+
+  void bind(TcpEndpoint* endpoint) { endpoint_ = endpoint; }
+  void start(std::uint32_t remote_ip, std::uint16_t remote_port);
+
+  void on_connected() override;
+  void on_data_available() override;
+  void on_reset() override;
+
+  // Reads up to `budget` bytes off the socket; returns bytes consumed.
+  // Called by the CollectorHost (shared capacity) or the self-pacing tick.
+  std::size_t drain(std::size_t budget);
+
+  // Crash emulation for Fig. 9: stop responding at the TCP level entirely.
+  void die();
+
+  [[nodiscard]] const std::vector<TimedBgpMessage>& archive() const {
+    return archive_;
+  }
+  [[nodiscard]] std::size_t backlog() const {
+    return endpoint_ ? endpoint_->available() : 0;
+  }
+  [[nodiscard]] bool is_dead() const { return dead_; }
+
+ private:
+  void self_tick();
+  void keepalive_tick();
+
+  Scheduler& sched_;
+  BgpReceiverConfig config_;
+  CollectorHost* host_;
+  TcpEndpoint* endpoint_ = nullptr;
+  BgpMessageStream in_stream_;
+  std::vector<TimedBgpMessage> archive_;
+  bool running_ = false;
+  bool dead_ = false;
+  bool sent_open_ = false;
+};
+
+// Shared socket-reading capacity of one collector box. Sessions attached to
+// a host are drained round-robin from a common byte budget, so concurrent
+// table transfers contend for the receiving BGP process (Fig. 15).
+class CollectorHost {
+ public:
+  CollectorHost(Scheduler& sched, std::int64_t read_rate_bytes_per_sec,
+                Micros tick = 10 * kMicrosPerMilli);
+
+  void attach(BgpReceiverApp* app) { apps_.push_back(app); }
+  void start();
+
+ private:
+  void tick();
+
+  Scheduler& sched_;
+  std::int64_t rate_;
+  Micros interval_;
+  std::vector<BgpReceiverApp*> apps_;
+  std::size_t rr_ = 0;
+  bool running_ = false;
+};
+
+// Convenience: serialize a table announcement (OPEN handled separately) to
+// the wire messages a sender app pumps.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> serialize_updates(
+    const std::vector<BgpUpdate>& updates);
+
+}  // namespace tdat

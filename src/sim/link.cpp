@@ -1,0 +1,38 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+
+namespace tdat {
+
+void Link::send(SimPacket pkt, Deliver deliver) {
+  if (rng_.chance(config_.random_loss)) {
+    ++stats_.dropped_random;
+    return;
+  }
+  if (in_queue_ >= config_.queue_packets) {
+    ++stats_.dropped_queue;
+    return;
+  }
+  ++in_queue_;
+
+  const Micros start = std::max(sched_.now(), busy_until_);
+  Micros serialization = 0;
+  if (config_.rate_bytes_per_sec > 0) {
+    serialization = static_cast<Micros>(pkt.wire_size()) * kMicrosPerSec /
+                    config_.rate_bytes_per_sec;
+  }
+  busy_until_ = start + serialization;
+  const Micros serialized_at = busy_until_;
+  const Micros arrives_at = serialized_at + config_.propagation_delay;
+
+  // Queue slot frees when serialization completes; delivery happens one
+  // propagation delay later.
+  sched_.at(serialized_at, [this] { --in_queue_; });
+  sched_.at(arrives_at, [this, pkt = std::move(pkt),
+                         deliver = std::move(deliver)]() mutable {
+    ++stats_.delivered;
+    deliver(std::move(pkt));
+  });
+}
+
+}  // namespace tdat

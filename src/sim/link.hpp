@@ -1,0 +1,51 @@
+// One-way link model: serialization at a finite rate, a finite tail-drop
+// queue (the "interface buffer" whose exhaustion produces the bursty,
+// receiver-local losses of §II-B2), propagation delay, and optional random
+// loss. A Link may be shared by many sessions (the collector's ingress
+// interface carries every concurrent table transfer).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/scheduler.hpp"
+#include "sim/sim_packet.hpp"
+#include "util/rng.hpp"
+
+namespace tdat {
+
+struct LinkConfig {
+  Micros propagation_delay = 100;      // one-way, microseconds
+  std::int64_t rate_bytes_per_sec = 0; // 0 = infinitely fast serialization
+  std::size_t queue_packets = 1000;    // tail-drop capacity (incl. in service)
+  double random_loss = 0.0;            // iid drop probability
+};
+
+class Link {
+ public:
+  using Deliver = std::function<void(SimPacket)>;
+
+  Link(Scheduler& sched, const LinkConfig& config, Rng rng)
+      : sched_(sched), config_(config), rng_(std::move(rng)) {}
+
+  // Queues the packet; on the far side `deliver` fires at arrival time.
+  void send(SimPacket pkt, Deliver deliver);
+
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_queue = 0;
+    std::uint64_t dropped_random = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queue_depth() const { return in_queue_; }
+
+ private:
+  Scheduler& sched_;
+  LinkConfig config_;
+  Rng rng_;
+  Stats stats_;
+  Micros busy_until_ = 0;
+  std::size_t in_queue_ = 0;
+};
+
+}  // namespace tdat

@@ -1,0 +1,89 @@
+// BGP peer-group replication queue (§II-B3, after [37]): the router
+// generates each update once into a common bounded queue and replicates it
+// to every member session. A queue slot is cleared only after ALL members
+// have written that message into their TCP connection, so the whole group
+// advances at the pace of its slowest member — and stalls entirely while a
+// failed member keeps the head pinned, until that member is removed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace tdat {
+
+class PeerGroup {
+ public:
+  // `messages` is the shared outbound stream (serialized BGP messages);
+  // `queue_capacity` is how many un-cleared messages may be pending.
+  PeerGroup(std::vector<std::vector<std::uint8_t>> messages,
+            std::size_t queue_capacity)
+      : messages_(std::move(messages)), capacity_(queue_capacity) {
+    TDAT_EXPECTS(capacity_ > 0);
+  }
+
+  // Registers a member; must happen before any member consumes.
+  [[nodiscard]] std::size_t attach() {
+    next_.push_back(0);
+    active_.push_back(true);
+    return next_.size() - 1;
+  }
+
+  // The message the member should send next, if it is currently available
+  // in the shared queue window. nullopt = either the member finished, or it
+  // is blocked waiting for slower members to clear queue space.
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> peek(std::size_t member) const {
+    TDAT_EXPECTS(member < next_.size());
+    const std::size_t i = next_[member];
+    if (i >= messages_.size()) return std::nullopt;  // done
+    if (i >= base_ + capacity_) return std::nullopt;  // group queue full
+    return std::span<const std::uint8_t>(messages_[i]);
+  }
+
+  // Marks the member's current message as written to its connection.
+  void consume(std::size_t member) {
+    TDAT_EXPECTS(member < next_.size());
+    TDAT_EXPECTS(active_[member]);
+    ++next_[member];
+    advance();
+  }
+
+  // Removes a (failed) member; its progress no longer constrains the queue.
+  void remove(std::size_t member) {
+    TDAT_EXPECTS(member < next_.size());
+    active_[member] = false;
+    advance();
+  }
+
+  [[nodiscard]] bool finished(std::size_t member) const {
+    return next_[member] >= messages_.size();
+  }
+  [[nodiscard]] std::size_t message_count() const { return messages_.size(); }
+  [[nodiscard]] std::size_t queue_base() const { return base_; }
+  [[nodiscard]] std::size_t member_position(std::size_t member) const {
+    return next_[member];
+  }
+
+ private:
+  void advance() {
+    std::size_t min_next = messages_.size();
+    bool any_active = false;
+    for (std::size_t m = 0; m < next_.size(); ++m) {
+      if (!active_[m]) continue;
+      any_active = true;
+      min_next = std::min(min_next, next_[m]);
+    }
+    base_ = any_active ? min_next : messages_.size();
+  }
+
+  std::vector<std::vector<std::uint8_t>> messages_;
+  std::size_t capacity_;
+  std::size_t base_ = 0;  // oldest un-cleared message
+  std::vector<std::size_t> next_;
+  std::vector<bool> active_;
+};
+
+}  // namespace tdat

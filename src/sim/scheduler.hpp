@@ -1,0 +1,72 @@
+// Discrete-event scheduler: virtual time in microseconds, min-heap of
+// callbacks. Events at equal times fire in scheduling order (FIFO), which
+// keeps simulations deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace tdat {
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] Micros now() const { return now_; }
+
+  void at(Micros t, Callback fn) {
+    TDAT_EXPECTS(t >= now_);
+    queue_.push(Entry{t, next_seq_++, std::move(fn)});
+  }
+
+  void after(Micros delay, Callback fn) {
+    TDAT_EXPECTS(delay >= 0);
+    at(now_ + delay, std::move(fn));
+  }
+
+  // Runs events until the queue drains or virtual time would pass `t_end`.
+  // Events scheduled exactly at t_end still run.
+  void run_until(Micros t_end) {
+    while (!queue_.empty() && queue_.top().at <= t_end) {
+      step();
+    }
+    now_ = std::max(now_, t_end);
+  }
+
+  void run_to_completion() {
+    while (!queue_.empty()) step();
+  }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    Micros at;
+    std::uint64_t seq;
+    Callback fn;
+
+    bool operator>(const Entry& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  void step() {
+    // Move out before firing: the callback may schedule new events.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = e.at;
+    e.fn();
+  }
+
+  Micros now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+};
+
+}  // namespace tdat

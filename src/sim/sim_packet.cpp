@@ -1,0 +1,24 @@
+#include "sim/sim_packet.hpp"
+
+namespace tdat {
+
+SimPacket make_sim_packet(const TcpSegmentSpec& spec) {
+  SimPacket pkt;
+  auto frame = std::make_shared<std::vector<std::uint8_t>>(encode_tcp_frame(spec));
+  pkt.src_ip = spec.src_ip;
+  pkt.dst_ip = spec.dst_ip;
+  pkt.src_port = spec.src_port;
+  pkt.dst_port = spec.dst_port;
+  pkt.seq = spec.seq;
+  pkt.ack = spec.ack;
+  pkt.window = spec.window;
+  pkt.flags = spec.flags;
+  pkt.mss = spec.mss;
+  pkt.window_scale = spec.window_scale;
+  pkt.payload_len = spec.payload.size();
+  pkt.payload_offset = frame->size() - spec.payload.size();
+  pkt.frame = std::move(frame);
+  return pkt;
+}
+
+}  // namespace tdat

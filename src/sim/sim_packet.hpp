@@ -1,0 +1,39 @@
+// The unit travelling through simulated links: real wire bytes (so the
+// sniffer tap records exactly what tcpdump would) plus decoded fields so
+// endpoints don't re-parse their own frames.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "pcap/encode.hpp"
+#include "pcap/packet.hpp"
+
+namespace tdat {
+
+struct SimPacket {
+  std::shared_ptr<const std::vector<std::uint8_t>> frame;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint16_t window = 0;  // raw (pre-scaling) as carried on the wire
+  TcpFlags flags;
+  std::optional<std::uint16_t> mss;
+  std::optional<std::uint8_t> window_scale;
+  std::size_t payload_offset = 0;
+  std::size_t payload_len = 0;
+
+  [[nodiscard]] std::size_t wire_size() const { return frame->size(); }
+  [[nodiscard]] std::span<const std::uint8_t> payload() const {
+    return std::span(*frame).subspan(payload_offset, payload_len);
+  }
+};
+
+// Encodes the spec into wire bytes and fills the decoded mirror fields.
+[[nodiscard]] SimPacket make_sim_packet(const TcpSegmentSpec& spec);
+
+}  // namespace tdat

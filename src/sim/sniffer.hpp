@@ -1,0 +1,46 @@
+// The passive sniffer of Fig. 2: co-located with the collector, it records
+// every pass-through packet (both directions) into a pcap trace. A drop
+// probability models tcpdump's occasional capture losses, which the paper
+// notes leave void periods in the trace.
+#pragma once
+
+#include "pcap/pcap_file.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sim_packet.hpp"
+#include "util/rng.hpp"
+
+namespace tdat {
+
+class SnifferTap {
+ public:
+  SnifferTap(Scheduler& sched, Rng rng, double drop_probability = 0.0)
+      : sched_(sched), rng_(std::move(rng)), drop_(drop_probability) {}
+
+  // Records the packet at current simulation time. Returns false if the
+  // capture dropped it (the packet still flows through the network).
+  bool record(const SimPacket& pkt) {
+    if (rng_.chance(drop_)) {
+      ++capture_drops_;
+      return false;
+    }
+    PcapRecord rec;
+    rec.ts = sched_.now();
+    rec.orig_len = static_cast<std::uint32_t>(pkt.wire_size());
+    rec.data = *pkt.frame;
+    trace_.records.push_back(std::move(rec));
+    return true;
+  }
+
+  [[nodiscard]] const PcapFile& trace() const { return trace_; }
+  [[nodiscard]] PcapFile take_trace() { return std::move(trace_); }
+  [[nodiscard]] std::uint64_t capture_drops() const { return capture_drops_; }
+
+ private:
+  Scheduler& sched_;
+  Rng rng_;
+  double drop_;
+  PcapFile trace_;
+  std::uint64_t capture_drops_ = 0;
+};
+
+}  // namespace tdat

@@ -1,0 +1,457 @@
+#include "sim/tcp_endpoint.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tdat {
+namespace {
+
+constexpr Micros kRttGranularity = 10 * kMicrosPerMilli;  // RFC 6298 G
+
+}  // namespace
+
+TcpEndpoint::TcpEndpoint(Scheduler& sched, TcpConfig config, TcpApp* app,
+                         std::string name)
+    : sched_(sched), config_(config), app_(app), name_(std::move(name)) {
+  TDAT_EXPECTS(app_ != nullptr);
+  TDAT_EXPECTS(config_.mss > 0);
+  rto_ = std::max<Micros>(kMicrosPerSec, config_.min_rto);
+}
+
+void TcpEndpoint::connect(std::uint32_t remote_ip, std::uint16_t remote_port) {
+  TDAT_EXPECTS(state_ == State::kClosed);
+  remote_ip_ = remote_ip;
+  remote_port_ = remote_port;
+  state_ = State::kSynSent;
+  emit(TcpFlags{.syn = true}, 0, {}, /*is_syn_seq=*/true);
+  arm_rto();
+}
+
+void TcpEndpoint::listen(std::uint32_t remote_ip, std::uint16_t remote_port) {
+  TDAT_EXPECTS(state_ == State::kClosed);
+  remote_ip_ = remote_ip;
+  remote_port_ = remote_port;
+  state_ = State::kListen;
+}
+
+std::size_t TcpEndpoint::send(std::span<const std::uint8_t> bytes) {
+  const std::size_t accepted = std::min(bytes.size(), send_space());
+  send_buf_.insert(send_buf_.end(), bytes.begin(), bytes.begin() + accepted);
+  if (state_ == State::kEstablished) try_transmit();
+  return accepted;
+}
+
+std::size_t TcpEndpoint::send_space() const {
+  return config_.send_buf_capacity - std::min(config_.send_buf_capacity, send_buf_.size());
+}
+
+std::vector<std::uint8_t> TcpEndpoint::read(std::size_t max) {
+  const std::size_t free_before =
+      config_.recv_buf_capacity -
+      std::min(config_.recv_buf_capacity, recv_buf_.size());
+  const std::size_t n = std::min(max, recv_buf_.size());
+  std::vector<std::uint8_t> out(recv_buf_.begin(), recv_buf_.begin() + n);
+  recv_buf_.erase(recv_buf_.begin(), recv_buf_.begin() + n);
+  const std::size_t free_after =
+      config_.recv_buf_capacity -
+      std::min(config_.recv_buf_capacity, recv_buf_.size());
+  // Window-update ACK when the usable window crosses one MSS open.
+  if (state_ == State::kEstablished && !dead_ &&
+      free_before < config_.mss && free_after >= config_.mss) {
+    send_ack_now();
+  }
+  return out;
+}
+
+void TcpEndpoint::abort() {
+  if (state_ == State::kClosed) return;
+  if (!dead_) emit(TcpFlags{.rst = true}, snd_nxt_, {});
+  state_ = State::kClosed;
+  cancel_rto();
+  ++persist_gen_;
+  persist_armed_ = false;
+  ++delack_gen_;
+}
+
+void TcpEndpoint::die() {
+  dead_ = true;
+  cancel_rto();
+  ++persist_gen_;
+  persist_armed_ = false;
+  ++delack_gen_;
+}
+
+std::uint16_t TcpEndpoint::advertised_window_raw() const {
+  // Out-of-order segments occupy receive buffer space too (they are held
+  // for reassembly), so they shrink the advertised window like in-order
+  // data the application has not read yet.
+  const std::size_t occupied =
+      recv_buf_.size() + (reasm_ ? reasm_->buffered_bytes() : 0);
+  const std::size_t used = std::min(config_.recv_buf_capacity, occupied);
+  std::size_t free = config_.recv_buf_capacity - used;
+  // Receiver-side SWS avoidance (RFC 1122): never advertise a silly window;
+  // hold at zero until at least an MSS (or half the buffer) opens up.
+  if (free < std::min<std::size_t>(config_.mss, config_.recv_buf_capacity / 2)) {
+    free = 0;
+  }
+  if (wscale_enabled_ && config_.window_scale) {
+    return static_cast<std::uint16_t>(
+        std::min<std::size_t>(free >> *config_.window_scale, 0xffff));
+  }
+  return static_cast<std::uint16_t>(std::min<std::size_t>(free, 0xffff));
+}
+
+void TcpEndpoint::emit(TcpFlags flags, std::int64_t stream_offset,
+                       std::span<const std::uint8_t> payload, bool is_syn_seq) {
+  if (!output_ || dead_) return;
+  TcpSegmentSpec spec;
+  spec.src_ip = config_.ip;
+  spec.dst_ip = remote_ip_;
+  spec.src_port = config_.port;
+  spec.dst_port = remote_port_;
+  spec.seq = is_syn_seq ? config_.isn : wire_seq(stream_offset);
+  spec.flags = flags;
+  if (flags.syn) {
+    spec.mss = config_.mss;
+    spec.window_scale = config_.window_scale;
+  }
+  if (flags.ack && reasm_) {
+    spec.ack = peer_isn_ + 1 + static_cast<std::uint32_t>(reasm_->next_expected());
+  } else if (flags.ack) {
+    spec.ack = peer_isn_ + 1;  // handshake ACK before data
+  }
+  spec.window = advertised_window_raw();
+  spec.ip_ident = ip_ident_++;
+  spec.payload = payload;
+  last_advertised_raw_ = spec.window;
+  output_(make_sim_packet(spec));
+}
+
+void TcpEndpoint::send_ack_now() {
+  delack_pending_ = false;
+  ++delack_gen_;
+  emit(TcpFlags{.ack = true}, snd_nxt_, {});
+}
+
+std::int64_t TcpEndpoint::usable_window() const {
+  return std::min(cwnd_, peer_window_) - flight_size();
+}
+
+void TcpEndpoint::try_transmit() {
+  if (state_ != State::kEstablished || dead_) return;
+  const std::int64_t buffered_end = snd_una_ + static_cast<std::int64_t>(send_buf_.size());
+  while (snd_nxt_ < buffered_end && usable_window() > 0) {
+    const std::int64_t usable = usable_window();
+    const std::size_t len = static_cast<std::size_t>(
+        std::min<std::int64_t>({config_.mss, buffered_end - snd_nxt_, usable}));
+    if (len == 0) break;
+    // Nagle: hold back a sub-MSS segment while data is outstanding, except
+    // when it would fill the usable window completely (window-limited flows
+    // must not stall on the peer's delayed ACK).
+    if (config_.nagle && len < config_.mss && flight_size() > 0 &&
+        static_cast<std::int64_t>(len) != usable) {
+      break;
+    }
+    transmit_segment(snd_nxt_, len, /*retransmit=*/false);
+    snd_nxt_ += static_cast<std::int64_t>(len);
+  }
+  if (flight_size() > 0 && !rto_armed_) arm_rto();
+  // Zero-window deadlock prevention: persist probes.
+  if (peer_window_ == 0 && flight_size() == 0 && snd_nxt_ < buffered_end &&
+      !persist_armed_) {
+    arm_persist();
+  }
+}
+
+void TcpEndpoint::transmit_segment(std::int64_t offset, std::size_t len,
+                                   bool retransmit) {
+  TDAT_EXPECTS(offset >= snd_una_);
+  const std::size_t start = static_cast<std::size_t>(offset - snd_una_);
+  TDAT_EXPECTS(start + len <= send_buf_.size());
+  std::vector<std::uint8_t> payload(send_buf_.begin() + start,
+                                    send_buf_.begin() + start + len);
+  emit(TcpFlags{.ack = true, .psh = true}, offset, payload);
+  if (retransmit) {
+    ++retransmits_;
+    // Karn's algorithm: a retransmission invalidates the pending RTT probe.
+    if (rtt_probe_armed_ && rtt_probe_end_ > offset) rtt_probe_armed_ = false;
+  } else if (!rtt_probe_armed_) {
+    rtt_probe_armed_ = true;
+    rtt_probe_end_ = offset + static_cast<std::int64_t>(len);
+    rtt_probe_ts_ = sched_.now();
+  }
+}
+
+void TcpEndpoint::arm_rto() {
+  rto_armed_ = true;
+  const std::uint64_t gen = ++rto_gen_;
+  sched_.after(rto_, [this, gen] {
+    if (gen == rto_gen_ && rto_armed_ && !dead_) on_rto();
+  });
+}
+
+void TcpEndpoint::on_rto() {
+  rto_armed_ = false;
+  if (state_ == State::kSynSent) {
+    emit(TcpFlags{.syn = true}, 0, {}, true);
+    rto_ = std::min(static_cast<Micros>(static_cast<double>(rto_) * config_.rto_backoff),
+                    config_.max_rto);
+    arm_rto();
+    return;
+  }
+  if (state_ == State::kSynReceived) {
+    emit(TcpFlags{.syn = true, .ack = true}, 0, {}, true);
+    arm_rto();
+    return;
+  }
+  if (flight_size() <= 0) return;
+
+  ssthresh_ = std::max<std::int64_t>(flight_size() / 2, 2 * config_.mss);
+  cwnd_ = config_.mss;
+  dupacks_ = 0;
+  // Recover hole-by-hole from snd_una_ (NewReno-style recovery window).
+  in_recovery_ = true;
+  recovery_point_ = snd_nxt_;
+  const std::size_t len = static_cast<std::size_t>(std::min<std::int64_t>(
+      {config_.mss, flight_size(), static_cast<std::int64_t>(send_buf_.size())}));
+  if (len > 0) transmit_segment(snd_una_, len, /*retransmit=*/true);
+  rto_ = std::min(static_cast<Micros>(static_cast<double>(rto_) * config_.rto_backoff),
+                  config_.max_rto);
+  arm_rto();
+}
+
+void TcpEndpoint::arm_persist() {
+  persist_armed_ = true;
+  ++persist_arms_;
+  if (persist_backoff_ == 0) persist_backoff_ = config_.persist_initial;
+  const std::uint64_t gen = ++persist_gen_;
+  sched_.after(persist_backoff_, [this, gen] {
+    if (gen == persist_gen_ && persist_armed_ && !dead_) on_persist();
+  });
+}
+
+void TcpEndpoint::on_persist() {
+  persist_armed_ = false;
+  const std::int64_t buffered_end =
+      snd_una_ + static_cast<std::int64_t>(send_buf_.size());
+  if (peer_window_ > 0 || snd_nxt_ >= buffered_end) {
+    persist_backoff_ = 0;
+    try_transmit();
+    return;
+  }
+  // Probe with one byte beyond the advertised window.
+  if (snd_nxt_ == snd_una_) {
+    transmit_segment(snd_nxt_, 1, /*retransmit=*/false);
+    snd_nxt_ += 1;
+    if (!rto_armed_) arm_rto();
+  }
+  persist_backoff_ = std::min(persist_backoff_ * 2, config_.max_rto);
+  arm_persist();
+}
+
+void TcpEndpoint::update_rtt(Micros sample) {
+  if (!have_rtt_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    have_rtt_ = true;
+  } else {
+    const Micros err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
+  }
+  rto_ = std::clamp(srtt_ + std::max(kRttGranularity, 4 * rttvar_),
+                    config_.min_rto, config_.max_rto);
+}
+
+void TcpEndpoint::on_segment(const SimPacket& pkt) {
+  if (dead_) return;
+  if (pkt.flags.rst) {
+    state_ = State::kClosed;
+    cancel_rto();
+    ++persist_gen_;
+    persist_armed_ = false;
+    app_->on_reset();
+    return;
+  }
+
+  switch (state_) {
+    case State::kClosed:
+      return;
+    case State::kListen: {
+      if (!pkt.flags.syn || pkt.flags.ack) return;
+      peer_isn_ = pkt.seq;
+      if (pkt.mss) config_.mss = std::min(config_.mss, *pkt.mss);
+      wscale_enabled_ = pkt.window_scale.has_value() && config_.window_scale.has_value();
+      peer_wscale_ = wscale_enabled_ ? *pkt.window_scale : 0;
+      reasm_.emplace(peer_isn_ + 1);
+      peer_window_ = pkt.window;  // SYN windows are never scaled
+      state_ = State::kSynReceived;
+      emit(TcpFlags{.syn = true, .ack = true}, 0, {}, true);
+      arm_rto();
+      return;
+    }
+    case State::kSynSent: {
+      if (!(pkt.flags.syn && pkt.flags.ack)) return;
+      peer_isn_ = pkt.seq;
+      if (pkt.mss) config_.mss = std::min(config_.mss, *pkt.mss);
+      wscale_enabled_ = pkt.window_scale.has_value() && config_.window_scale.has_value();
+      peer_wscale_ = wscale_enabled_ ? *pkt.window_scale : 0;
+      reasm_.emplace(peer_isn_ + 1);
+      peer_window_ = pkt.window;
+      cancel_rto();
+      rto_ = std::max<Micros>(kMicrosPerSec, config_.min_rto);
+      state_ = State::kEstablished;
+      cwnd_ = static_cast<std::int64_t>(config_.initial_cwnd_segments) * config_.mss;
+      ssthresh_ = static_cast<std::int64_t>(config_.recv_buf_capacity) * 16;
+      send_ack_now();
+      app_->on_connected();
+      try_transmit();
+      return;
+    }
+    case State::kSynReceived: {
+      if (pkt.flags.ack && pkt.ack == config_.isn + 1) {
+        cancel_rto();
+        rto_ = std::max<Micros>(kMicrosPerSec, config_.min_rto);
+        state_ = State::kEstablished;
+        cwnd_ = static_cast<std::int64_t>(config_.initial_cwnd_segments) * config_.mss;
+        ssthresh_ = static_cast<std::int64_t>(config_.recv_buf_capacity) * 16;
+        app_->on_connected();
+        if (pkt.payload_len > 0) on_data(pkt);
+        try_transmit();
+      }
+      return;
+    }
+    case State::kEstablished:
+      break;
+  }
+
+  if (pkt.flags.ack) on_ack(pkt);
+  if (pkt.payload_len > 0) on_data(pkt);
+  if (pkt.flags.fin) {
+    // Minimal teardown: acknowledge; the apps in this simulator end sessions
+    // via abort()/die(), graceful close appears only at trace tails.
+    emit(TcpFlags{.ack = true}, snd_nxt_, {});
+  }
+}
+
+void TcpEndpoint::on_ack(const SimPacket& pkt) {
+  const std::int64_t ack_off =
+      static_cast<std::int64_t>(static_cast<std::int32_t>(pkt.ack - config_.isn - 1));
+  const std::int64_t old_window = peer_window_;
+  peer_window_ = static_cast<std::int64_t>(pkt.window) << peer_wscale_;
+
+  if (ack_off > snd_una_ && ack_off <= snd_nxt_) {
+    const std::int64_t acked = ack_off - snd_una_;
+    send_buf_.erase(send_buf_.begin(), send_buf_.begin() + acked);
+    snd_una_ = ack_off;
+    dupacks_ = 0;
+
+    if (rtt_probe_armed_ && ack_off >= rtt_probe_end_) {
+      update_rtt(sched_.now() - rtt_probe_ts_);
+      rtt_probe_armed_ = false;
+    }
+
+    if (in_recovery_) {
+      if (ack_off >= recovery_point_) {
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;
+      } else {
+        // NewReno partial ACK: the next hole starts at the new snd_una_.
+        const std::size_t len = static_cast<std::size_t>(std::min<std::int64_t>(
+            {config_.mss, recovery_point_ - snd_una_,
+             static_cast<std::int64_t>(send_buf_.size())}));
+        if (len > 0) transmit_segment(snd_una_, len, /*retransmit=*/true);
+      }
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ += std::min<std::int64_t>(acked, config_.mss);  // slow start
+    } else {
+      cwnd_ += std::max<std::int64_t>(1, static_cast<std::int64_t>(config_.mss) *
+                                             config_.mss / cwnd_);
+    }
+
+    if (flight_size() > 0) {
+      arm_rto();
+    } else {
+      cancel_rto();
+    }
+    app_->on_send_space();
+  } else if (ack_off == snd_una_ && flight_size() > 0 && pkt.payload_len == 0 &&
+             peer_window_ == old_window) {
+    ++dupacks_;
+    if (dupacks_ == 3 && !in_recovery_) {
+      enter_fast_retransmit();
+    } else if (in_recovery_ && dupacks_ > 3) {
+      cwnd_ += config_.mss;  // inflation
+    }
+  }
+
+  // Window reopened while we were probing a zero window.
+  if (old_window == 0 && peer_window_ > 0 && persist_armed_) {
+    persist_armed_ = false;
+    ++persist_gen_;
+    persist_backoff_ = 0;
+    if (config_.zero_window_probe_bug && snd_nxt_ == snd_una_ &&
+        !send_buf_.empty()) {
+      // Vendor bug (§IV-B): the probe segment was already created when the
+      // window-opening ACK arrived; the sender discards it but the sequence
+      // space is consumed, so the byte is never transmitted until loss
+      // recovery resends it.
+      snd_nxt_ += 1;
+      ++bug_triggers_;
+      if (!rto_armed_) arm_rto();
+    }
+  }
+  try_transmit();
+}
+
+void TcpEndpoint::enter_fast_retransmit() {
+  ssthresh_ = std::max<std::int64_t>(flight_size() / 2, 2 * config_.mss);
+  in_recovery_ = true;
+  recovery_point_ = snd_nxt_;
+  const std::size_t len = static_cast<std::size_t>(std::min<std::int64_t>(
+      {config_.mss, flight_size(), static_cast<std::int64_t>(send_buf_.size())}));
+  if (len > 0) transmit_segment(snd_una_, len, /*retransmit=*/true);
+  cwnd_ = ssthresh_ + 3 * config_.mss;
+  arm_rto();
+}
+
+void TcpEndpoint::on_data(const SimPacket& pkt) {
+  TDAT_EXPECTS(reasm_.has_value());
+  // Quickack after idle (Linux behaviour): a burst following a quiet period
+  // gets immediate ACKs for its first few segments.
+  if (last_data_rx_ < 0 || sched_.now() - last_data_rx_ >= config_.delack_timeout) {
+    quickack_budget_ = config_.quickack_segments;
+  }
+  last_data_rx_ = sched_.now();
+  const std::int64_t before = reasm_->next_expected();
+  auto chunks = reasm_->feed(pkt.seq, pkt.payload(), sched_.now());
+  bool delivered_any = false;
+  for (StreamChunk& chunk : chunks) {
+    recv_buf_.insert(recv_buf_.end(), chunk.bytes.begin(), chunk.bytes.end());
+    delivered_ += static_cast<std::int64_t>(chunk.bytes.size());
+    delivered_any = true;
+  }
+
+  if (reasm_->next_expected() == before || reasm_->buffered_bytes() > 0) {
+    // Out-of-order or duplicate: immediate duplicate ACK (RFC 5681).
+    send_ack_now();
+  } else if (config_.delayed_ack && quickack_budget_ <= 0) {
+    if (delack_pending_) {
+      send_ack_now();  // every second segment
+    } else {
+      delack_pending_ = true;
+      const std::uint64_t gen = ++delack_gen_;
+      sched_.after(config_.delack_timeout, [this, gen] {
+        if (gen == delack_gen_ && delack_pending_ && !dead_) send_ack_now();
+      });
+    }
+  } else {
+    if (quickack_budget_ > 0) --quickack_budget_;
+    send_ack_now();
+  }
+
+  if (delivered_any) app_->on_data_available();
+}
+
+}  // namespace tdat

@@ -1,0 +1,194 @@
+// Simulated TCP endpoint with window-based congestion control — the
+// "TCP flavours such as Tahoe, Reno, New Reno" assumption T-DAT makes about
+// commercial routers (§III). Implements:
+//
+//  - three-way handshake with MSS / window-scale negotiation,
+//  - send buffer, receiver flow control (advertised window), delayed ACKs,
+//  - slow start / congestion avoidance / fast retransmit / NewReno-style
+//    fast recovery, RTO per RFC 6298 with configurable floor and backoff,
+//  - zero-window persist probes, optionally with the probe-discard bug the
+//    paper uncovered via the ZeroAckBug series (§IV-B),
+//  - crash emulation (`die()`) for the peer-group blocking scenario (Fig 9).
+//
+// Byte accounting uses 64-bit stream offsets (0 = first payload byte); the
+// wire sequence number is isn + 1 + offset. The SYN and FIN occupy one
+// sequence number each, handled explicitly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "sim/scheduler.hpp"
+#include "sim/sim_packet.hpp"
+#include "tcp/reassembler.hpp"
+
+namespace tdat {
+
+// Application callbacks. The endpoint never destroys or outlives decisions
+// of the app; the app owns pacing and reading.
+class TcpApp {
+ public:
+  virtual ~TcpApp() = default;
+  virtual void on_connected() {}
+  // In-order data arrived into the receive buffer; the app reads explicitly
+  // via TcpEndpoint::read (its read pacing is the receiver-app behaviour
+  // T-DAT measures).
+  virtual void on_data_available() {}
+  virtual void on_send_space() {}
+  virtual void on_reset() {}
+};
+
+struct TcpConfig {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+  std::uint32_t isn = 1000;
+  std::size_t send_buf_capacity = 64 * 1024;
+  std::size_t recv_buf_capacity = 64 * 1024;  // max advertised window
+  std::uint16_t mss = 1460;
+  std::optional<std::uint8_t> window_scale;  // offered on SYN
+  bool delayed_ack = true;
+  Micros delack_timeout = 200 * kMicrosPerMilli;
+  // Linux-style quickack: after an idle period of at least delack_timeout,
+  // the next few segments are ACKed immediately instead of delayed.
+  int quickack_segments = 4;
+  Micros min_rto = 300 * kMicrosPerMilli;
+  Micros max_rto = 60 * kMicrosPerSec;
+  double rto_backoff = 2.0;
+  std::uint32_t initial_cwnd_segments = 2;
+  Micros persist_initial = 500 * kMicrosPerMilli;
+  // Nagle-style coalescing: defer sub-MSS segments while data is in flight,
+  // unless the segment would fill the usable window completely. Off by
+  // default: BGP implementations set TCP_NODELAY and batch their writes, so
+  // segments are MSS-sized anyway.
+  bool nagle = false;
+  // Emulates the vendor bug of §IV-B: a zero-window probe that races with a
+  // window-opening ACK is discarded after consuming sequence space.
+  bool zero_window_probe_bug = false;
+};
+
+class TcpEndpoint {
+ public:
+  TcpEndpoint(Scheduler& sched, TcpConfig config, TcpApp* app, std::string name);
+
+  // Where outbound packets go (wired to a Link by the session harness).
+  void set_output(std::function<void(SimPacket)> output) {
+    output_ = std::move(output);
+  }
+
+  void connect(std::uint32_t remote_ip, std::uint16_t remote_port);  // active open
+  void listen(std::uint32_t remote_ip, std::uint16_t remote_port);   // passive open
+
+  // Appends to the send buffer; returns bytes accepted (0 when full).
+  std::size_t send(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] std::size_t send_space() const;
+  [[nodiscard]] std::size_t send_backlog() const { return send_buf_.size(); }
+
+  [[nodiscard]] std::size_t available() const { return recv_buf_.size(); }
+  // Drains up to `max` bytes from the receive buffer, possibly triggering a
+  // window-update ACK.
+  std::vector<std::uint8_t> read(std::size_t max);
+
+  void abort();  // sends RST, closes
+  void die();    // stops responding entirely (process crash)
+
+  void on_segment(const SimPacket& pkt);  // input from the link
+
+  [[nodiscard]] bool established() const { return state_ == State::kEstablished; }
+  [[nodiscard]] bool closed() const { return state_ == State::kClosed; }
+  [[nodiscard]] bool is_dead() const { return dead_; }
+  [[nodiscard]] std::int64_t cwnd() const { return cwnd_; }
+  [[nodiscard]] std::int64_t flight_size() const { return snd_nxt_ - snd_una_; }
+  [[nodiscard]] Micros current_rto() const { return rto_; }
+  [[nodiscard]] std::uint64_t retransmit_count() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t persist_arm_count() const { return persist_arms_; }
+  [[nodiscard]] std::uint64_t probe_bug_triggers() const { return bug_triggers_; }
+  [[nodiscard]] std::int64_t bytes_acked() const { return snd_una_; }
+  [[nodiscard]] std::int64_t bytes_delivered() const { return delivered_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  enum class State : std::uint8_t {
+    kClosed,
+    kListen,
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+  };
+
+  void emit(TcpFlags flags, std::int64_t stream_offset,
+            std::span<const std::uint8_t> payload, bool is_syn_seq = false);
+  void send_ack_now();
+  void try_transmit();
+  void transmit_segment(std::int64_t offset, std::size_t len, bool retransmit);
+  void on_ack(const SimPacket& pkt);
+  void on_data(const SimPacket& pkt);
+  void enter_fast_retransmit();
+  void on_rto();
+  void arm_rto();
+  void cancel_rto() { ++rto_gen_; rto_armed_ = false; }
+  void arm_persist();
+  void on_persist();
+  void update_rtt(Micros sample);
+  [[nodiscard]] std::uint16_t advertised_window_raw() const;
+  [[nodiscard]] std::int64_t usable_window() const;
+  [[nodiscard]] std::uint32_t wire_seq(std::int64_t offset) const {
+    return config_.isn + 1 + static_cast<std::uint32_t>(offset);
+  }
+
+  Scheduler& sched_;
+  TcpConfig config_;
+  TcpApp* app_;
+  std::string name_;
+  std::function<void(SimPacket)> output_;
+
+  State state_ = State::kClosed;
+  bool dead_ = false;
+  std::uint32_t remote_ip_ = 0;
+  std::uint16_t remote_port_ = 0;
+  std::uint16_t ip_ident_ = 1;
+
+  // ---- send side (64-bit stream offsets) ----
+  std::deque<std::uint8_t> send_buf_;   // bytes [snd_una_, snd_una_+size)
+  std::int64_t snd_una_ = 0;
+  std::int64_t snd_nxt_ = 0;
+  std::int64_t cwnd_ = 0;
+  std::int64_t ssthresh_ = 0;
+  std::int64_t peer_window_ = 0;        // scaled advertised window from peer
+  std::uint8_t peer_wscale_ = 0;        // shift to apply to peer's raw window
+  bool wscale_enabled_ = false;
+  int dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recovery_point_ = 0;
+  Micros rto_ = kMicrosPerSec;
+  Micros srtt_ = 0;
+  Micros rttvar_ = 0;
+  bool have_rtt_ = false;
+  std::uint64_t rto_gen_ = 0;
+  bool rto_armed_ = false;
+  std::uint64_t persist_gen_ = 0;
+  bool persist_armed_ = false;
+  Micros persist_backoff_ = 0;
+  std::uint64_t persist_arms_ = 0;
+  std::uint64_t bug_triggers_ = 0;
+  std::uint64_t retransmits_ = 0;
+  // RTT probe (Karn's algorithm: never sample retransmitted data).
+  bool rtt_probe_armed_ = false;
+  std::int64_t rtt_probe_end_ = 0;
+  Micros rtt_probe_ts_ = 0;
+
+  // ---- receive side ----
+  std::optional<Reassembler> reasm_;
+  std::uint32_t peer_isn_ = 0;
+  std::deque<std::uint8_t> recv_buf_;
+  std::int64_t delivered_ = 0;  // in-order bytes placed into recv_buf_
+  bool delack_pending_ = false;
+  std::uint64_t delack_gen_ = 0;
+  Micros last_data_rx_ = -1;
+  int quickack_budget_ = 0;
+  std::uint16_t last_advertised_raw_ = 0;
+};
+
+}  // namespace tdat

@@ -1,0 +1,113 @@
+#include "sim/world.hpp"
+
+#include "util/assert.hpp"
+
+namespace tdat {
+
+SimWorld::SimWorld(std::uint64_t seed, double capture_drop) : rng_(seed) {
+  tap_ = std::make_unique<SnifferTap>(sched_, rng_.fork(), capture_drop);
+}
+
+void SimWorld::use_shared_downstream(const LinkConfig& fwd, const LinkConfig& rev) {
+  TDAT_EXPECTS(sessions_.empty());
+  shared_down_fwd_ = std::make_unique<Link>(sched_, fwd, rng_.fork());
+  shared_down_rev_ = std::make_unique<Link>(sched_, rev, rng_.fork());
+}
+
+void SimWorld::use_collector_host(std::int64_t rate) {
+  TDAT_EXPECTS(sessions_.empty());
+  host_ = std::make_unique<CollectorHost>(sched_, rate);
+}
+
+std::size_t SimWorld::add_session(SessionSpec spec,
+                                  std::vector<std::vector<std::uint8_t>> messages) {
+  auto app = std::make_unique<BgpSenderApp>(sched_, spec.bgp, std::move(messages));
+  return wire_session(std::move(spec), std::move(app));
+}
+
+std::size_t SimWorld::add_session(SessionSpec spec, PeerGroup* group) {
+  auto app = std::make_unique<BgpSenderApp>(sched_, spec.bgp, group);
+  return wire_session(std::move(spec), std::move(app));
+}
+
+std::size_t SimWorld::wire_session(SessionSpec spec,
+                                   std::unique_ptr<BgpSenderApp> sender_app) {
+  const auto index = sessions_.size();
+  auto s = std::make_unique<Session>();
+
+  // Default addressing: routers at 10.0.1.x, ephemeral source ports.
+  if (spec.sender_ip == 0) {
+    spec.sender_ip = 0x0a000100 + static_cast<std::uint32_t>(index + 1);
+  }
+  if (spec.sender_port == 0) {
+    spec.sender_port = static_cast<std::uint16_t>(20000 + index);
+  }
+  spec.sender_tcp.ip = spec.sender_ip;
+  spec.sender_tcp.port = spec.sender_port;
+  if (spec.sender_tcp.isn == 1000) {
+    spec.sender_tcp.isn = static_cast<std::uint32_t>(rng_.uniform(1, 1 << 30));
+  }
+  spec.receiver_tcp.ip = spec.receiver_ip;
+  spec.receiver_tcp.port = spec.receiver_port;
+  if (spec.receiver_tcp.isn == 1000) {
+    spec.receiver_tcp.isn = static_cast<std::uint32_t>(rng_.uniform(1, 1 << 30));
+  }
+
+  s->sender_app = std::move(sender_app);
+  s->receiver_app =
+      std::make_unique<BgpReceiverApp>(sched_, spec.collector, host_.get());
+  s->sender_ep = std::make_unique<TcpEndpoint>(
+      sched_, spec.sender_tcp, s->sender_app.get(), "sender" + std::to_string(index));
+  s->receiver_ep = std::make_unique<TcpEndpoint>(
+      sched_, spec.receiver_tcp, s->receiver_app.get(),
+      "receiver" + std::to_string(index));
+  s->sender_app->bind(s->sender_ep.get());
+  s->receiver_app->bind(s->receiver_ep.get());
+
+  s->up_fwd = std::make_unique<Link>(sched_, spec.up_fwd, rng_.fork());
+  s->up_rev = std::make_unique<Link>(sched_, spec.up_rev, rng_.fork());
+  Link* down_fwd = shared_down_fwd_.get();
+  Link* down_rev = shared_down_rev_.get();
+  if (down_fwd == nullptr) {
+    s->down_fwd = std::make_unique<Link>(sched_, spec.down_fwd, rng_.fork());
+    s->down_rev = std::make_unique<Link>(sched_, spec.down_rev, rng_.fork());
+    down_fwd = s->down_fwd.get();
+    down_rev = s->down_rev.get();
+  }
+
+  // Forward path: sender -> upstream -> tap -> downstream -> receiver.
+  Session* raw = s.get();
+  s->sender_ep->set_output([this, raw, down_fwd](SimPacket pkt) {
+    raw->up_fwd->send(std::move(pkt), [this, raw, down_fwd](SimPacket arrived) {
+      tap_->record(arrived);
+      down_fwd->send(std::move(arrived), [raw](SimPacket delivered) {
+        raw->receiver_ep->on_segment(delivered);
+      });
+    });
+  });
+  // Reverse path: receiver -> downstream -> tap -> upstream -> sender.
+  s->receiver_ep->set_output([this, raw, down_rev](SimPacket pkt) {
+    down_rev->send(std::move(pkt), [this, raw](SimPacket arrived) {
+      tap_->record(arrived);
+      raw->up_rev->send(std::move(arrived), [raw](SimPacket delivered) {
+        raw->sender_ep->on_segment(delivered);
+      });
+    });
+  });
+
+  s->spec = spec;
+  sessions_.push_back(std::move(s));
+  return index;
+}
+
+void SimWorld::start_session(std::size_t index, Micros at) {
+  TDAT_EXPECTS(index < sessions_.size());
+  Session* s = sessions_[index].get();
+  sched_.at(at, [s] {
+    s->receiver_app->start(s->spec.sender_ip, s->spec.sender_port);
+    s->sender_app->start(s->spec.receiver_ip, s->spec.receiver_port);
+  });
+  if (host_ != nullptr) host_->start();
+}
+
+}  // namespace tdat

@@ -1,0 +1,105 @@
+// SimWorld: assembles complete monitoring scenarios shaped like Fig. 1/2 —
+// operational routers (senders) peering with a collector (receiver), a
+// sniffer tap co-located with the collector, an upstream path per session
+// and an optionally *shared* downstream path + collector read capacity so
+// concurrent transfers contend exactly where they do in the paper (the
+// collector's interface queue and its BGP process).
+//
+//   sender ep --> [upstream link] --> TAP --> [downstream link] --> receiver ep
+//   sender ep <-- [upstream rev ] <-- TAP <-- [downstream rev ] <-- receiver ep
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/bgp_apps.hpp"
+#include "sim/link.hpp"
+#include "sim/sniffer.hpp"
+
+namespace tdat {
+
+struct SessionSpec {
+  // Addressing (filled with defaults by add_session when left zero).
+  std::uint32_t sender_ip = 0;
+  std::uint16_t sender_port = 0;
+  std::uint32_t receiver_ip = 0x0a090909;  // 10.9.9.9
+  std::uint16_t receiver_port = 179;
+
+  TcpConfig sender_tcp;    // ip/port/isn filled by add_session
+  TcpConfig receiver_tcp;
+  BgpSenderConfig bgp;
+  BgpReceiverConfig collector;
+
+  // Upstream path (sender <-> sniffer): the wide-area part.
+  LinkConfig up_fwd{.propagation_delay = 5 * kMicrosPerMilli};
+  LinkConfig up_rev{.propagation_delay = 5 * kMicrosPerMilli};
+  // Downstream path (sniffer <-> receiver): local. Ignored when the world
+  // has a shared downstream.
+  LinkConfig down_fwd{.propagation_delay = 50};
+  LinkConfig down_rev{.propagation_delay = 50};
+};
+
+class SimWorld {
+ public:
+  // `capture_drop` is the sniffer's probability of missing a packet
+  // (tcpdump drops, §II-A); the packet still reaches its destination.
+  explicit SimWorld(std::uint64_t seed, double capture_drop = 0.0);
+
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] SnifferTap& tap() { return *tap_; }
+
+  // Routes every session's downstream through one shared link pair
+  // (the collector's interface). Call before add_session.
+  void use_shared_downstream(const LinkConfig& fwd, const LinkConfig& rev);
+  // Shares collector read capacity across sessions. Call before add_session.
+  void use_collector_host(std::int64_t read_rate_bytes_per_sec);
+
+  // Adds a sender-collector session with its own message queue, or one that
+  // consumes from a peer group. Returns the session index.
+  std::size_t add_session(SessionSpec spec,
+                          std::vector<std::vector<std::uint8_t>> messages);
+  std::size_t add_session(SessionSpec spec, PeerGroup* group);
+
+  // Schedules session start (TCP connect, then table transfer) at `at`.
+  void start_session(std::size_t index, Micros at);
+
+  void run_until(Micros t) { sched_.run_until(t); }
+
+  [[nodiscard]] BgpSenderApp& sender(std::size_t i) { return *sessions_[i]->sender_app; }
+  [[nodiscard]] BgpReceiverApp& receiver(std::size_t i) { return *sessions_[i]->receiver_app; }
+  [[nodiscard]] TcpEndpoint& sender_endpoint(std::size_t i) { return *sessions_[i]->sender_ep; }
+  [[nodiscard]] TcpEndpoint& receiver_endpoint(std::size_t i) { return *sessions_[i]->receiver_ep; }
+  [[nodiscard]] Link& upstream_link(std::size_t i) { return *sessions_[i]->up_fwd; }
+  [[nodiscard]] Link& downstream_link(std::size_t i) {
+    return shared_down_fwd_ ? *shared_down_fwd_ : *sessions_[i]->down_fwd;
+  }
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+
+  [[nodiscard]] PcapFile take_trace() { return tap_->take_trace(); }
+
+ private:
+  struct Session {
+    SessionSpec spec;
+    std::unique_ptr<BgpSenderApp> sender_app;
+    std::unique_ptr<BgpReceiverApp> receiver_app;
+    std::unique_ptr<TcpEndpoint> sender_ep;
+    std::unique_ptr<TcpEndpoint> receiver_ep;
+    std::unique_ptr<Link> up_fwd;
+    std::unique_ptr<Link> up_rev;
+    std::unique_ptr<Link> down_fwd;  // null when shared
+    std::unique_ptr<Link> down_rev;
+  };
+
+  std::size_t wire_session(SessionSpec spec,
+                           std::unique_ptr<BgpSenderApp> sender_app);
+
+  Scheduler sched_;
+  Rng rng_;
+  std::unique_ptr<SnifferTap> tap_;
+  std::unique_ptr<Link> shared_down_fwd_;
+  std::unique_ptr<Link> shared_down_rev_;
+  std::unique_ptr<CollectorHost> host_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace tdat

@@ -1,0 +1,157 @@
+#include "tcp/classify.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "tcp/seq.hpp"
+#include "timerange/range_set.hpp"
+#include "util/assert.hpp"
+
+namespace tdat {
+
+const char* to_string(DataLabel label) {
+  switch (label) {
+    case DataLabel::kInOrder: return "in-order";
+    case DataLabel::kRetransmitDownstream: return "retx-downstream";
+    case DataLabel::kRetransmitUpstream: return "retx-upstream";
+    case DataLabel::kReordering: return "reordering";
+    case DataLabel::kDuplicate: return "duplicate";
+  }
+  return "?";
+}
+
+std::size_t ClassifiedFlow::count(DataLabel label) const {
+  return static_cast<std::size_t>(
+      std::count_if(data.begin(), data.end(),
+                    [&](const LabeledDataPacket& p) { return p.label == label; }));
+}
+
+namespace {
+
+struct Hole {
+  std::int64_t end = 0;
+  Micros created = 0;
+};
+
+struct Segment {
+  std::int64_t end = 0;
+  Micros first_seen = 0;
+};
+
+}  // namespace
+
+ClassifiedFlow classify_data_packets(const Connection& conn, Dir data_dir,
+                                     const ClassifyOptions& opts) {
+  ClassifiedFlow flow;
+  flow.dir = data_dir;
+
+  // Anchor stream offset 0 at ISN+1 when the SYN was captured, else at the
+  // first data byte seen.
+  bool anchored = false;
+  std::uint32_t anchor = 0;
+  for (const DecodedPacket& pkt : conn.packets) {
+    if (packet_dir(conn.key, pkt) != data_dir) continue;
+    if (pkt.tcp.flags.syn) {
+      anchor = pkt.tcp.seq + 1;
+      anchored = true;
+      break;
+    }
+    if (pkt.has_payload() && !anchored) {
+      anchor = pkt.tcp.seq;
+      anchored = true;
+      // keep scanning: a SYN later in capture order would be unusual, stop.
+      break;
+    }
+  }
+  if (!anchored) return flow;
+  flow.anchor_seq = anchor;
+  flow.has_anchor = true;
+
+  SeqUnwrapper unwrap(anchor);
+  RangeSet captured;                    // stream bytes seen at the sniffer
+  std::map<std::int64_t, Hole> holes;   // begin -> hole
+  std::map<std::int64_t, Segment> first_tx;  // begin -> first capture of new bytes
+  std::int64_t max_end = 0;
+
+  // Finds the first-capture time of any byte in [b, e).
+  auto original_ts = [&](std::int64_t b, std::int64_t e) -> Micros {
+    auto it = first_tx.upper_bound(b);
+    if (it != first_tx.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > b) return prev->second.first_seen;
+    }
+    if (it != first_tx.end() && it->first < e) return it->second.first_seen;
+    return -1;
+  };
+
+  for (std::size_t i = 0; i < conn.packets.size(); ++i) {
+    const DecodedPacket& pkt = conn.packets[i];
+    if (packet_dir(conn.key, pkt) != data_dir || !pkt.has_payload()) continue;
+
+    LabeledDataPacket lp;
+    lp.packet_index = i;
+    lp.ts = pkt.ts;
+    lp.stream_begin = unwrap.unwrap(pkt.tcp.seq);
+    lp.stream_end = lp.stream_begin + static_cast<std::int64_t>(pkt.payload_len);
+    lp.loss_begin = pkt.ts;
+    const std::int64_t b = lp.stream_begin;
+    const std::int64_t e = lp.stream_end;
+
+    // Bytes of this segment the sniffer has never captured, split at the
+    // stream frontier: below it they fill a hole, above they are new data.
+    const RangeSet uncaptured = captured.complement({b, e});
+    const Micros hole_bytes = uncaptured.size_within({b, std::min(e, max_end)});
+
+    if (b >= max_end) {
+      lp.label = DataLabel::kInOrder;
+      if (b > max_end) {
+        // Sequence hole: the bytes [max_end, b) are missing at the sniffer.
+        holes[max_end] = Hole{b, pkt.ts};
+      }
+    } else if (hole_bytes == 0) {
+      // Every below-frontier byte was captured before: a retransmission the
+      // sniffer has already relayed downstream.
+      const Micros orig = original_ts(b, e);
+      const bool exact_dup =
+          orig >= 0 && pkt.ts - orig <= opts.duplicate_window;
+      lp.label = exact_dup ? DataLabel::kDuplicate : DataLabel::kRetransmitDownstream;
+      lp.loss_begin = orig >= 0 ? orig : pkt.ts;
+    } else {
+      // Fills a sequence hole: reordering or upstream-loss retransmission.
+      // Remove the filled portion from every overlapped hole (splitting
+      // where needed) and date the fill from the oldest overlapped hole.
+      Micros hole_created = -1;
+      auto it = holes.lower_bound(b);
+      if (it != holes.begin() && std::prev(it)->second.end > b) --it;
+      std::vector<std::pair<std::int64_t, Hole>> overlapped;
+      while (it != holes.end() && it->first < e) {
+        if (it->second.end > b) overlapped.emplace_back(it->first, it->second);
+        ++it;
+      }
+      for (const auto& [hb, h] : overlapped) {
+        holes.erase(hb);
+        if (hole_created < 0 || h.created < hole_created) hole_created = h.created;
+        if (hb < b) holes[hb] = Hole{b, h.created};
+        if (h.end > e) holes[e] = Hole{h.end, h.created};
+      }
+      if (hole_created >= 0 && pkt.ts - hole_created < opts.reorder_threshold) {
+        lp.label = DataLabel::kReordering;
+      } else {
+        lp.label = DataLabel::kRetransmitUpstream;
+      }
+      lp.loss_begin = hole_created >= 0 ? hole_created : pkt.ts;
+    }
+
+    // Record first capture of the genuinely new bytes.
+    for (const TimeRange& r : uncaptured.ranges()) {
+      first_tx[r.begin] = Segment{r.end, pkt.ts};
+    }
+    captured.insert(b, e);
+    max_end = std::max(max_end, e);
+    flow.data.push_back(lp);
+  }
+  flow.stream_length = max_end;
+  return flow;
+}
+
+}  // namespace tdat

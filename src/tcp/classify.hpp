@@ -1,0 +1,84 @@
+// Data-packet labeling, including the upstream/downstream loss attribution
+// of §II-B2 (after Jaiswal et al. [17]).
+//
+// The sniffer sits between the upstream path (Sender->Sniffer) and the
+// downstream path (Sniffer->Receiver). For each data packet of the data
+// direction we decide, from the sniffer's view:
+//
+//  - in-order:    extends the highest stream byte captured so far. If it
+//                 leaves a sequence hole behind it, the hole marks packets
+//                 missing on the upstream path.
+//  - downstream retransmission: carries bytes the sniffer has ALREADY
+//                 captured — the original reached the sniffer but was not
+//                 acknowledged in time, so it (or its ACK) was lost on the
+//                 downstream path, i.e. locally to the receiver.
+//  - upstream retransmission: fills a sequence hole long after the hole
+//                 appeared — the original never reached the sniffer.
+//  - reordering:  fills a hole almost immediately; in-network reordering,
+//                 not loss (the filter the paper applies from [17]).
+//  - duplicate:   an exact copy arriving within a tiny window of its twin
+//                 (in-network duplication).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tcp/connection.hpp"
+#include "util/time.hpp"
+
+namespace tdat {
+
+enum class DataLabel : std::uint8_t {
+  kInOrder,
+  kRetransmitDownstream,
+  kRetransmitUpstream,
+  kReordering,
+  kDuplicate,
+};
+
+[[nodiscard]] const char* to_string(DataLabel label);
+
+struct LabeledDataPacket {
+  std::size_t packet_index = 0;  // index into Connection::packets
+  Micros ts = 0;
+  // Unwrapped stream byte offsets, 0 = first payload byte of the flow.
+  std::int64_t stream_begin = 0;
+  std::int64_t stream_end = 0;
+  DataLabel label = DataLabel::kInOrder;
+  // For retransmissions: when the loss episode began. Downstream: the
+  // original transmission's capture time. Upstream: when the sequence hole
+  // appeared at the sniffer. Otherwise equals ts.
+  Micros loss_begin = 0;
+
+  [[nodiscard]] std::int64_t length() const { return stream_end - stream_begin; }
+};
+
+struct ClassifiedFlow {
+  Dir dir = Dir::kAToB;
+  std::vector<LabeledDataPacket> data;  // every payload-carrying packet, in capture order
+  std::int64_t stream_length = 0;       // highest stream byte seen
+  // Wire sequence number of stream offset 0 (ISN+1); lets callers convert
+  // ACK numbers from the reverse direction onto the same stream offsets.
+  std::uint32_t anchor_seq = 0;
+  bool has_anchor = false;
+
+  [[nodiscard]] std::size_t count(DataLabel label) const;
+};
+
+struct ClassifyOptions {
+  // Hole fills arriving sooner than this after the hole appeared are
+  // classified as in-network reordering rather than upstream loss. The
+  // default (set by the caller from the profile) should be a fraction of
+  // RTT: a genuine retransmission needs at least ~1 RTT (fast retransmit)
+  // to arrive, reordered packets arrive within a link-jitter timescale.
+  Micros reorder_threshold = 2 * kMicrosPerMilli;
+  // Exact copies within this window are network duplicates, not
+  // retransmissions.
+  Micros duplicate_window = 500;
+};
+
+[[nodiscard]] ClassifiedFlow classify_data_packets(const Connection& conn,
+                                                   Dir data_dir,
+                                                   const ClassifyOptions& opts);
+
+}  // namespace tdat

@@ -1,0 +1,60 @@
+#include "tcp/connection.hpp"
+
+#include <map>
+
+#include "util/bytes.hpp"
+
+namespace tdat {
+
+std::string ConnKey::to_string() const {
+  return ipv4_to_string(ip_a) + ":" + std::to_string(port_a) + " <-> " +
+         ipv4_to_string(ip_b) + ":" + std::to_string(port_b);
+}
+
+ConnKey make_conn_key(const DecodedPacket& pkt) {
+  const auto src = std::pair(pkt.ip.src, pkt.tcp.src_port);
+  const auto dst = std::pair(pkt.ip.dst, pkt.tcp.dst_port);
+  ConnKey key;
+  const auto& [a, b] = src < dst ? std::pair(src, dst) : std::pair(dst, src);
+  key.ip_a = a.first;
+  key.port_a = a.second;
+  key.ip_b = b.first;
+  key.port_b = b.second;
+  return key;
+}
+
+Dir packet_dir(const ConnKey& key, const DecodedPacket& pkt) {
+  return (pkt.ip.src == key.ip_a && pkt.tcp.src_port == key.port_a)
+             ? Dir::kAToB
+             : Dir::kBToA;
+}
+
+std::vector<Connection> split_connections(const std::vector<DecodedPacket>& trace) {
+  std::vector<Connection> out;
+  struct Active {
+    std::size_t conn_index;
+    bool saw_data_or_close = false;
+  };
+  std::map<ConnKey, Active> active;
+
+  for (const DecodedPacket& pkt : trace) {
+    const ConnKey key = make_conn_key(pkt);
+    auto it = active.find(key);
+    const bool fresh_syn = pkt.tcp.flags.syn && !pkt.tcp.flags.ack;
+    if (it == active.end() ||
+        (fresh_syn && out[it->second.conn_index].packets.size() > 1 &&
+         it->second.saw_data_or_close)) {
+      Connection conn;
+      conn.key = key;
+      out.push_back(std::move(conn));
+      it = active.insert_or_assign(key, Active{out.size() - 1, false}).first;
+    }
+    if (pkt.has_payload() || pkt.tcp.flags.fin || pkt.tcp.flags.rst) {
+      it->second.saw_data_or_close = true;
+    }
+    out[it->second.conn_index].packets.push_back(pkt);
+  }
+  return out;
+}
+
+}  // namespace tdat

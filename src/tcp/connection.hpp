@@ -1,0 +1,58 @@
+// Connection extraction: splits a decoded trace into TCP connections and
+// assigns each packet a direction. A new SYN on a (addr, port) pair that
+// already has a finished connection starts a new connection — BGP sessions
+// reset and re-establish on the same endpoint pair all the time (§II).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pcap/packet.hpp"
+
+namespace tdat {
+
+// Canonical connection key: endpoint A is the numerically smaller
+// (ip, port) pair so both directions map to the same key.
+struct ConnKey {
+  std::uint32_t ip_a = 0;
+  std::uint16_t port_a = 0;
+  std::uint32_t ip_b = 0;
+  std::uint16_t port_b = 0;
+
+  friend bool operator==(const ConnKey&, const ConnKey&) = default;
+  friend auto operator<=>(const ConnKey&, const ConnKey&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] ConnKey make_conn_key(const DecodedPacket& pkt);
+
+enum class Dir : std::uint8_t { kAToB, kBToA };
+
+[[nodiscard]] Dir packet_dir(const ConnKey& key, const DecodedPacket& pkt);
+[[nodiscard]] constexpr Dir reverse(Dir d) {
+  return d == Dir::kAToB ? Dir::kBToA : Dir::kAToB;
+}
+
+struct Connection {
+  ConnKey key;
+  // All packets of the connection in capture order; DecodedPacket::index
+  // still refers to the position in the original trace.
+  std::vector<DecodedPacket> packets;
+
+  [[nodiscard]] Micros start_time() const {
+    return packets.empty() ? 0 : packets.front().ts;
+  }
+  [[nodiscard]] Micros end_time() const {
+    return packets.empty() ? 0 : packets.back().ts;
+  }
+};
+
+// Splits trace packets (in capture order) into connections. A SYN (without
+// ACK) seen on a key whose current connection already carried data or a
+// FIN/RST starts a new connection on that key.
+[[nodiscard]] std::vector<Connection> split_connections(
+    const std::vector<DecodedPacket>& trace);
+
+}  // namespace tdat

@@ -1,0 +1,25 @@
+#include "tcp/flights.hpp"
+
+#include "util/assert.hpp"
+
+namespace tdat {
+
+std::vector<Flight> group_flights(std::span<const FlightItem> items,
+                                  Micros gap_threshold) {
+  TDAT_EXPECTS(gap_threshold >= 0);
+  std::vector<Flight> out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) TDAT_EXPECTS(items[i].ts >= items[i - 1].ts);
+    if (out.empty() || items[i].ts - items[out.back().last].ts > gap_threshold) {
+      out.push_back(Flight{i, i, items[i].ts, items[i].ts, 0, 0});
+    }
+    Flight& f = out.back();
+    f.last = i;
+    f.end = items[i].ts;
+    ++f.packets;
+    f.bytes += items[i].bytes;
+  }
+  return out;
+}
+
+}  // namespace tdat

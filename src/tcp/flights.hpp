@@ -1,0 +1,35 @@
+// Flight grouping: packets sent back-to-back form a flight; a new flight
+// starts when the inter-arrival gap exceeds a threshold. The paper groups
+// both data packets and ACKs this way (after Zhang et al. [38]); ACK flights
+// are the unit the ACK-shifting step moves as a whole (§III-B1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace tdat {
+
+struct FlightItem {
+  Micros ts = 0;
+  std::uint64_t bytes = 0;
+  std::size_t ref = 0;  // caller-side index (e.g. packet index)
+};
+
+struct Flight {
+  std::size_t first = 0;  // index of the first item (into the input span)
+  std::size_t last = 0;   // index of the last item, inclusive
+  Micros start = 0;
+  Micros end = 0;  // timestamp of the last item
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+// Items must be in non-decreasing timestamp order. A gap strictly greater
+// than `gap_threshold` starts a new flight.
+[[nodiscard]] std::vector<Flight> group_flights(std::span<const FlightItem> items,
+                                                Micros gap_threshold);
+
+}  // namespace tdat

@@ -1,0 +1,134 @@
+#include "tcp/profile.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "tcp/seq.hpp"
+
+namespace tdat {
+namespace {
+
+// Scales a raw advertised window by this side's announced shift count.
+// Windows on SYN segments are never scaled (RFC 1323).
+std::uint32_t scaled_window(const DecodedPacket& pkt,
+                            const std::optional<std::uint8_t>& wscale) {
+  if (pkt.tcp.flags.syn) return pkt.tcp.window;
+  return static_cast<std::uint32_t>(pkt.tcp.window)
+         << (wscale ? *wscale : 0);
+}
+
+}  // namespace
+
+ConnectionProfile compute_profile(const Connection& conn) {
+  ConnectionProfile p;
+  if (conn.packets.empty()) return p;
+  p.start = conn.packets.front().ts;
+  p.end = conn.packets.back().ts;
+
+  // First pass: option announcements, so windows can be scaled properly.
+  for (const DecodedPacket& pkt : conn.packets) {
+    DirStats& dir = packet_dir(conn.key, pkt) == Dir::kAToB ? p.a_to_b : p.b_to_a;
+    if (pkt.tcp.flags.syn && !dir.saw_syn) {
+      dir.saw_syn = true;
+      dir.mss = pkt.tcp.mss;
+      dir.window_scale = pkt.tcp.window_scale;
+    }
+  }
+  // Window scaling is only in effect if both sides announced it.
+  const bool scaling_on = p.a_to_b.window_scale && p.b_to_a.window_scale;
+  if (!scaling_on) {
+    p.a_to_b.window_scale.reset();
+    p.b_to_a.window_scale.reset();
+  }
+
+  bool first_a = true;
+  bool first_b = true;
+  Micros syn_ts = -1;
+  std::uint32_t syn_ack_expected = 0;  // ack value that completes the handshake
+  bool saw_syn_ack = false;
+
+  for (const DecodedPacket& pkt : conn.packets) {
+    const Dir d = packet_dir(conn.key, pkt);
+    DirStats& dir = d == Dir::kAToB ? p.a_to_b : p.b_to_a;
+    bool& first = d == Dir::kAToB ? first_a : first_b;
+    if (first) {
+      dir.isn = pkt.tcp.seq;
+      first = false;
+    }
+    ++dir.packets;
+    if (pkt.has_payload()) {
+      ++dir.data_packets;
+      dir.payload_bytes += pkt.payload_len;
+    } else if (pkt.tcp.flags.ack && !pkt.tcp.flags.syn && !pkt.tcp.flags.fin &&
+               !pkt.tcp.flags.rst) {
+      ++dir.pure_acks;
+    }
+    dir.max_window_scaled =
+        std::max(dir.max_window_scaled, scaled_window(pkt, dir.window_scale));
+
+    // Handshake RTT: SYN -> SYN/ACK -> handshake-completing ACK.
+    if (pkt.tcp.flags.syn && !pkt.tcp.flags.ack && syn_ts < 0) {
+      syn_ts = pkt.ts;
+    } else if (pkt.tcp.flags.syn && pkt.tcp.flags.ack && !saw_syn_ack) {
+      saw_syn_ack = true;
+      syn_ack_expected = pkt.tcp.seq + 1;
+    } else if (saw_syn_ack && !p.rtt_handshake && pkt.tcp.flags.ack &&
+               !pkt.tcp.flags.syn && syn_ts >= 0 &&
+               seq_ge(pkt.tcp.ack, syn_ack_expected)) {
+      p.rtt_handshake = pkt.ts - syn_ts;
+    }
+  }
+
+  p.data_dir = p.a_to_b.payload_bytes >= p.b_to_a.payload_bytes ? Dir::kAToB
+                                                                : Dir::kBToA;
+
+  // Timestamp-echo RTT samples (Veal et al.): the receiver stamps TSval on
+  // its ACKs; the sender echoes the newest one in TSecr on its next data.
+  // The gap from a TSval's first appearance to its first echo bounds the
+  // sniffer->sender->sniffer loop.
+  {
+    std::map<std::uint32_t, Micros> tsval_first_seen;
+    for (const DecodedPacket& pkt : conn.packets) {
+      const Dir d = packet_dir(conn.key, pkt);
+      if (d != p.data_dir && pkt.tcp.ts_val) {
+        tsval_first_seen.try_emplace(*pkt.tcp.ts_val, pkt.ts);
+      } else if (d == p.data_dir && pkt.has_payload() && pkt.tcp.ts_ecr) {
+        auto it = tsval_first_seen.find(*pkt.tcp.ts_ecr);
+        if (it == tsval_first_seen.end()) continue;
+        const Micros sample = pkt.ts - it->second;
+        if (sample > 0 && (!p.rtt_timestamp_sample ||
+                           sample < *p.rtt_timestamp_sample)) {
+          p.rtt_timestamp_sample = sample;
+        }
+        // Echoed values never yield tighter samples later; drop them.
+        tsval_first_seen.erase(tsval_first_seen.begin(), std::next(it));
+      }
+    }
+  }
+
+  // Minimum data -> covering-ACK sample in the data direction. One
+  // outstanding probe at a time is enough for a minimum.
+  bool probe_armed = false;
+  Micros probe_ts = 0;
+  std::uint32_t probe_end_seq = 0;
+  for (const DecodedPacket& pkt : conn.packets) {
+    const Dir d = packet_dir(conn.key, pkt);
+    if (d == p.data_dir && pkt.has_payload()) {
+      if (!probe_armed) {
+        probe_armed = true;
+        probe_ts = pkt.ts;
+        probe_end_seq = pkt.tcp.seq + static_cast<std::uint32_t>(pkt.payload_len);
+      }
+    } else if (d != p.data_dir && pkt.tcp.flags.ack && probe_armed &&
+               seq_ge(pkt.tcp.ack, probe_end_seq)) {
+      const Micros sample = pkt.ts - probe_ts;
+      if (sample > 0 && (!p.rtt_min_sample || sample < *p.rtt_min_sample)) {
+        p.rtt_min_sample = sample;
+      }
+      probe_armed = false;
+    }
+  }
+  return p;
+}
+
+}  // namespace tdat

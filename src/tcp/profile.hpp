@@ -1,0 +1,79 @@
+// Connection-level profile: the information the paper extracts with a
+// patched tcptrace (§III-B) — start/end, RTT estimate, MSS, window scale,
+// maximum advertised window, and per-direction volume counters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "tcp/connection.hpp"
+
+namespace tdat {
+
+struct DirStats {
+  std::uint64_t packets = 0;
+  std::uint64_t data_packets = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t pure_acks = 0;
+  bool saw_syn = false;
+  std::uint32_t isn = 0;  // sequence number on the first packet seen
+  std::optional<std::uint16_t> mss;          // announced by this side
+  std::optional<std::uint8_t> window_scale;  // announced by this side
+  std::uint32_t max_window_scaled = 0;       // advertised *by* this side
+};
+
+struct ConnectionProfile {
+  Micros start = 0;
+  Micros end = 0;
+  // Direction carrying the bulk of the payload: Sender -> Receiver in the
+  // paper's terminology. Defaults to kAToB for empty connections.
+  Dir data_dir = Dir::kAToB;
+  DirStats a_to_b;
+  DirStats b_to_a;
+
+  // RTT spread of the three-way handshake as seen at the sniffer (first SYN
+  // to the handshake-completing ACK): a full-path RTT regardless of sniffer
+  // position. Absent if no complete handshake was captured.
+  std::optional<Micros> rtt_handshake;
+  // Minimum data->covering-ACK delay in the data direction: the
+  // sniffer-to-receiver-and-back component (d1 of Fig. 12).
+  std::optional<Micros> rtt_min_sample;
+  // Timestamp-echo RTT (RFC 1323 / Veal et al. [31]): minimum delay from a
+  // reverse-direction TSval to the data-direction segment echoing it in
+  // TSecr — the sniffer-to-sender-and-back loop (d2), available even when
+  // the handshake was not captured. Requires the connection to negotiate
+  // timestamps.
+  std::optional<Micros> rtt_timestamp_sample;
+
+  [[nodiscard]] const DirStats& sender() const {
+    return data_dir == Dir::kAToB ? a_to_b : b_to_a;
+  }
+  [[nodiscard]] const DirStats& receiver() const {
+    return data_dir == Dir::kAToB ? b_to_a : a_to_b;
+  }
+
+  // Best available RTT estimate; falls back to 1 ms when the capture shows
+  // neither a handshake, nor timestamp echoes, nor a usable data/ACK pair.
+  [[nodiscard]] Micros rtt() const {
+    if (rtt_handshake) return *rtt_handshake;
+    if (rtt_timestamp_sample) return *rtt_timestamp_sample;
+    if (rtt_min_sample) return *rtt_min_sample;
+    return kMicrosPerMilli;
+  }
+
+  // Effective sender MSS (announced by the receiver side, per RFC 793 the
+  // announcement constrains the peer); 1460 when not announced.
+  [[nodiscard]] std::uint16_t mss() const {
+    const auto& announced = receiver().mss;
+    return announced.value_or(1460);
+  }
+
+  // Largest receive window advertised by the receiver, after scaling.
+  [[nodiscard]] std::uint32_t max_advertised_window() const {
+    return receiver().max_window_scaled;
+  }
+};
+
+[[nodiscard]] ConnectionProfile compute_profile(const Connection& conn);
+
+}  // namespace tdat

@@ -1,0 +1,70 @@
+#include "tcp/reassembler.hpp"
+
+#include <algorithm>
+
+namespace tdat {
+
+std::vector<StreamChunk> Reassembler::feed(std::uint32_t seq,
+                                           std::span<const std::uint8_t> payload,
+                                           Micros ts) {
+  std::vector<StreamChunk> out;
+  if (payload.empty()) return out;
+
+  std::int64_t begin = unwrap_.unwrap(seq);
+  std::int64_t end = begin + static_cast<std::int64_t>(payload.size());
+
+  // Drop what we already delivered.
+  if (begin < next_) {
+    const std::int64_t skip = std::min(next_ - begin, end - begin);
+    payload = payload.subspan(static_cast<std::size_t>(skip));
+    begin += skip;
+  }
+  if (begin >= end) return out;  // pure duplicate of delivered data
+
+  // Trim against buffered segments so `pending_` stays non-overlapping.
+  // Anything re-received identically is discarded byte-for-byte.
+  while (begin < end) {
+    // Find the buffered segment at or after `begin` and the one before it.
+    auto it = pending_.upper_bound(begin);
+    std::int64_t covered_until = begin;
+    if (it != pending_.begin()) {
+      auto prev = std::prev(it);
+      const std::int64_t prev_end =
+          prev->first + static_cast<std::int64_t>(prev->second.size());
+      covered_until = std::max(covered_until, prev_end);
+    }
+    if (covered_until > begin) {
+      // Prefix already buffered: skip it.
+      const std::int64_t skip = std::min(covered_until, end) - begin;
+      payload = payload.subspan(static_cast<std::size_t>(skip));
+      begin += skip;
+      continue;
+    }
+    // New bytes from `begin` up to the next buffered segment (or `end`).
+    const std::int64_t stop = it != pending_.end() ? std::min(it->first, end) : end;
+    pending_[begin] = std::vector<std::uint8_t>(
+        payload.begin(), payload.begin() + (stop - begin));
+    payload = payload.subspan(static_cast<std::size_t>(stop - begin));
+    begin = stop;
+  }
+
+  // Drain the contiguous prefix.
+  while (!pending_.empty() && pending_.begin()->first == next_) {
+    auto node = pending_.extract(pending_.begin());
+    StreamChunk chunk;
+    chunk.stream_begin = node.key();
+    chunk.bytes = std::move(node.mapped());
+    chunk.ts = ts;
+    next_ += static_cast<std::int64_t>(chunk.bytes.size());
+    out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+std::size_t Reassembler::buffered_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [_, bytes] : pending_) n += bytes.size();
+  return n;
+}
+
+}  // namespace tdat

@@ -1,0 +1,49 @@
+// In-order byte-stream reconstruction from TCP segments, tolerating
+// out-of-order delivery, retranssmission overlap, and duplication. This is
+// what lets pcap2bgp (§II-A, Table VI) extract BGP messages from a raw
+// packet trace when no MRT archive exists.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "tcp/seq.hpp"
+#include "util/time.hpp"
+
+namespace tdat {
+
+// A contiguous run of stream bytes that became deliverable. `ts` is the
+// capture time of the packet whose arrival completed delivery (i.e. when a
+// receiver reading the socket could first have seen these bytes).
+struct StreamChunk {
+  std::int64_t stream_begin = 0;
+  std::vector<std::uint8_t> bytes;
+  Micros ts = 0;
+};
+
+class Reassembler {
+ public:
+  // `anchor` is the sequence number of stream offset 0 (ISN+1 when the SYN
+  // is known, else the first data segment's seq).
+  explicit Reassembler(std::uint32_t anchor) : unwrap_(anchor) {}
+
+  // Feeds one segment; returns the chunks that became contiguous with the
+  // delivered prefix (possibly none, possibly several buffered ones).
+  [[nodiscard]] std::vector<StreamChunk> feed(std::uint32_t seq,
+                                              std::span<const std::uint8_t> payload,
+                                              Micros ts);
+
+  // Next stream offset the reassembler is waiting for.
+  [[nodiscard]] std::int64_t next_expected() const { return next_; }
+  // Bytes buffered above the contiguous prefix (sequence holes pending).
+  [[nodiscard]] std::size_t buffered_bytes() const;
+
+ private:
+  SeqUnwrapper unwrap_;
+  std::int64_t next_ = 0;
+  std::map<std::int64_t, std::vector<std::uint8_t>> pending_;  // begin -> bytes
+};
+
+}  // namespace tdat

@@ -1,0 +1,50 @@
+// 32-bit TCP sequence-number arithmetic (mod 2^32, RFC 793) and an unwrapper
+// that lifts wire sequence numbers onto a monotone 64-bit line so the rest of
+// the analyzer can use ordinary comparisons and RangeSets over byte offsets.
+#pragma once
+
+#include <cstdint>
+
+namespace tdat {
+
+// a < b in sequence space (serial number arithmetic).
+[[nodiscard]] constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+[[nodiscard]] constexpr bool seq_le(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+[[nodiscard]] constexpr bool seq_gt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) > 0;
+}
+[[nodiscard]] constexpr bool seq_ge(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+// Signed distance from b to a; positive when a is ahead of b.
+[[nodiscard]] constexpr std::int32_t seq_diff(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b);
+}
+
+// Lifts successive 32-bit sequence numbers of one flow onto a 64-bit line,
+// choosing for each input the representative closest to the previous one.
+// Tolerates out-of-order arrivals and retransmissions up to +/-2^31 of the
+// current position, which any real TCP flow satisfies.
+class SeqUnwrapper {
+ public:
+  // `isn` anchors offset 0 (typically the flow's initial sequence number).
+  explicit SeqUnwrapper(std::uint32_t isn) : base_(isn), last_(0) {}
+
+  [[nodiscard]] std::int64_t unwrap(std::uint32_t seq) {
+    const auto delta =
+        static_cast<std::int32_t>(seq - static_cast<std::uint32_t>(
+                                            static_cast<std::uint64_t>(last_) + base_));
+    last_ += delta;
+    return last_;
+  }
+
+ private:
+  std::uint32_t base_;
+  std::int64_t last_;
+};
+
+}  // namespace tdat

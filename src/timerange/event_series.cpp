@@ -1,0 +1,107 @@
+#include "timerange/event_series.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tdat {
+
+void EventSeries::add_event(Event e) {
+  if (e.range.empty()) return;
+  merged_.reset();
+  // Common case: events are appended in time order while scanning a trace.
+  if (events_.empty() || events_.back().range.begin <= e.range.begin) {
+    events_.push_back(e);
+    return;
+  }
+  auto it = std::upper_bound(
+      events_.begin(), events_.end(), e.range.begin,
+      [](Micros t, const Event& ev) { return t < ev.range.begin; });
+  events_.insert(it, e);
+}
+
+const RangeSet& EventSeries::ranges() const {
+  if (!merged_) {
+    RangeSet rs;
+    for (const Event& e : events_) rs.insert(e.range);
+    merged_ = std::move(rs);
+  }
+  return *merged_;
+}
+
+std::uint64_t EventSeries::total_packets() const {
+  std::uint64_t n = 0;
+  for (const Event& e : events_) n += e.packets;
+  return n;
+}
+
+std::uint64_t EventSeries::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const Event& e : events_) n += e.bytes;
+  return n;
+}
+
+std::vector<Event> EventSeries::query(TimeRange window) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.range.begin >= window.end) break;
+    if (e.range.overlaps(window)) out.push_back(e);
+  }
+  return out;
+}
+
+EventSeries EventSeries::renamed(std::string new_name) const {
+  EventSeries out = *this;
+  out.set_name(std::move(new_name));
+  return out;
+}
+
+EventSeries EventSeries::from_ranges(std::string name, RangeSet ranges) {
+  EventSeries out(std::move(name));
+  for (const TimeRange& r : ranges.ranges()) out.add(r);
+  return out;
+}
+
+EventSeries EventSeries::intersect(const EventSeries& other,
+                                   std::string name) const {
+  return from_ranges(std::move(name), ranges().set_intersection(other.ranges()));
+}
+
+EventSeries EventSeries::unite(const EventSeries& other, std::string name) const {
+  return from_ranges(std::move(name), ranges().set_union(other.ranges()));
+}
+
+EventSeries EventSeries::subtract(const EventSeries& other,
+                                  std::string name) const {
+  return from_ranges(std::move(name), ranges().set_difference(other.ranges()));
+}
+
+void SeriesRegistry::put(EventSeries series) {
+  TDAT_EXPECTS(!series.name().empty());
+  series_[series.name()] = std::move(series);
+}
+
+bool SeriesRegistry::has(const std::string& name) const {
+  return series_.contains(name);
+}
+
+const EventSeries& SeriesRegistry::get(const std::string& name) const {
+  auto it = series_.find(name);
+  TDAT_EXPECTS(it != series_.end());
+  return it->second;
+}
+
+EventSeries& SeriesRegistry::get_mutable(const std::string& name) {
+  auto it = series_.find(name);
+  TDAT_EXPECTS(it != series_.end());
+  return it->second;
+}
+
+std::vector<std::string> SeriesRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, _] : series_) out.push_back(name);
+  return out;
+}
+
+}  // namespace tdat

@@ -1,0 +1,102 @@
+// EventSeries (§III-A): an ordered set of time durations, each carrying a
+// reference to the trace detail behind it.
+//
+// Each event is a 2-tuple (event_duration, event_data). The duration is a
+// half-open [start, end) in microseconds; the data records how many packets
+// and bytes the event covers plus an opaque reference (e.g. the index of the
+// first trace packet involved) so that a high-level observation can be
+// cross-referenced back to the raw trace — the property the paper calls out
+// as enabling both "high-level quantification and detailed inspection".
+//
+// Events in one series may overlap (e.g. overlapping retransmission
+// recoveries); the merged RangeSet view is what delay-ratio measurement uses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "timerange/range_set.hpp"
+
+namespace tdat {
+
+struct Event {
+  TimeRange range;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  // Opaque back-reference into the source trace (packet index); -1 if n/a.
+  std::int64_t trace_ref = -1;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+class EventSeries {
+ public:
+  EventSeries() = default;
+  explicit EventSeries(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void add_event(Event e);
+  void add(TimeRange r, std::uint64_t packets = 0, std::uint64_t bytes = 0,
+           std::int64_t trace_ref = -1) {
+    add_event(Event{r, packets, bytes, trace_ref});
+  }
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t count() const { return events_.size(); }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  // Merged time coverage; the basis of "series size" (§III-D).
+  [[nodiscard]] const RangeSet& ranges() const;
+  [[nodiscard]] Micros size() const { return ranges().size(); }
+
+  [[nodiscard]] std::uint64_t total_packets() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  // Events overlapping the query window, preserving payloads — the
+  // "detailed inspection" path.
+  [[nodiscard]] std::vector<Event> query(TimeRange window) const;
+
+  // Interpretation rule (§III-C2): clone under a new name.
+  [[nodiscard]] EventSeries renamed(std::string new_name) const;
+
+  // Set-algebra constructors (§III-C3, Rule 4). The results are pure
+  // time-coverage series: payload counters do not survive set algebra.
+  [[nodiscard]] static EventSeries from_ranges(std::string name, RangeSet ranges);
+  [[nodiscard]] EventSeries intersect(const EventSeries& other,
+                                      std::string name) const;
+  [[nodiscard]] EventSeries unite(const EventSeries& other,
+                                  std::string name) const;
+  [[nodiscard]] EventSeries subtract(const EventSeries& other,
+                                     std::string name) const;
+
+ private:
+  std::string name_;
+  std::vector<Event> events_;  // kept sorted by range.begin
+  mutable std::optional<RangeSet> merged_;  // cache, invalidated by add()
+};
+
+// A named collection of series for one analyzed connection. T-DAT generates
+// 34 internal series (§III-C); users may register additional ones.
+class SeriesRegistry {
+ public:
+  // Adds or replaces a series under its own name.
+  void put(EventSeries series);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  // Precondition: has(name).
+  [[nodiscard]] const EventSeries& get(const std::string& name) const;
+  [[nodiscard]] EventSeries& get_mutable(const std::string& name);
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t count() const { return series_.size(); }
+
+ private:
+  std::map<std::string, EventSeries> series_;
+};
+
+}  // namespace tdat

@@ -1,0 +1,175 @@
+#include "timerange/range_set.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tdat {
+
+RangeSet::RangeSet(std::vector<TimeRange> ranges) {
+  std::erase_if(ranges, [](const TimeRange& r) { return r.empty(); });
+  std::sort(ranges.begin(), ranges.end(),
+            [](const TimeRange& a, const TimeRange& b) { return a.begin < b.begin; });
+  for (const TimeRange& r : ranges) {
+    if (!ranges_.empty() && r.begin <= ranges_.back().end) {
+      ranges_.back().end = std::max(ranges_.back().end, r.end);
+    } else {
+      ranges_.push_back(r);
+    }
+  }
+}
+
+void RangeSet::insert(TimeRange r) {
+  if (r.empty()) return;
+  // Fast path: appending at or after the current tail.
+  if (ranges_.empty() || r.begin > ranges_.back().end) {
+    ranges_.push_back(r);
+    return;
+  }
+  if (r.begin >= ranges_.back().begin) {
+    ranges_.back().begin = std::min(ranges_.back().begin, r.begin);
+    ranges_.back().end = std::max(ranges_.back().end, r.end);
+    return;
+  }
+  // General path: find the first range whose end reaches r.begin, absorb all
+  // ranges r touches, then splice.
+  auto first = std::lower_bound(
+      ranges_.begin(), ranges_.end(), r.begin,
+      [](const TimeRange& a, Micros t) { return a.end < t; });
+  auto it = first;
+  while (it != ranges_.end() && it->begin <= r.end) {
+    r.begin = std::min(r.begin, it->begin);
+    r.end = std::max(r.end, it->end);
+    ++it;
+  }
+  it = ranges_.erase(first, it);
+  ranges_.insert(it, r);
+}
+
+Micros RangeSet::size() const {
+  Micros total = 0;
+  for (const TimeRange& r : ranges_) total += r.length();
+  return total;
+}
+
+bool RangeSet::contains(Micros t) const {
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), t,
+      [](Micros v, const TimeRange& a) { return v < a.begin; });
+  if (it == ranges_.begin()) return false;
+  --it;
+  return it->contains(t);
+}
+
+std::vector<TimeRange> RangeSet::overlapping(TimeRange query) const {
+  std::vector<TimeRange> out;
+  if (query.empty()) return out;
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), query.begin,
+      [](const TimeRange& a, Micros t) { return a.end <= t; });
+  for (; it != ranges_.end() && it->begin < query.end; ++it) out.push_back(*it);
+  return out;
+}
+
+Micros RangeSet::size_within(TimeRange window) const {
+  Micros total = 0;
+  for (const TimeRange& r : overlapping(window)) {
+    total += std::min(r.end, window.end) - std::max(r.begin, window.begin);
+  }
+  return total;
+}
+
+TimeRange RangeSet::span() const {
+  if (ranges_.empty()) return {};
+  return {ranges_.front().begin, ranges_.back().end};
+}
+
+RangeSet RangeSet::set_union(const RangeSet& other) const {
+  RangeSet out;
+  auto a = ranges_.begin();
+  auto b = other.ranges_.begin();
+  while (a != ranges_.end() || b != other.ranges_.end()) {
+    TimeRange next;
+    if (b == other.ranges_.end() ||
+        (a != ranges_.end() && a->begin <= b->begin)) {
+      next = *a++;
+    } else {
+      next = *b++;
+    }
+    if (!out.ranges_.empty() && next.begin <= out.ranges_.back().end) {
+      out.ranges_.back().end = std::max(out.ranges_.back().end, next.end);
+    } else {
+      out.ranges_.push_back(next);
+    }
+  }
+  return out;
+}
+
+RangeSet RangeSet::set_intersection(const RangeSet& other) const {
+  RangeSet out;
+  auto a = ranges_.begin();
+  auto b = other.ranges_.begin();
+  while (a != ranges_.end() && b != other.ranges_.end()) {
+    const Micros lo = std::max(a->begin, b->begin);
+    const Micros hi = std::min(a->end, b->end);
+    if (lo < hi) out.ranges_.push_back({lo, hi});
+    if (a->end < b->end) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return out;
+}
+
+RangeSet RangeSet::set_difference(const RangeSet& other) const {
+  RangeSet out;
+  auto b = other.ranges_.begin();
+  for (TimeRange cur : ranges_) {
+    while (b != other.ranges_.end() && b->end <= cur.begin) ++b;
+    auto bb = b;
+    while (!cur.empty() && bb != other.ranges_.end() && bb->begin < cur.end) {
+      if (bb->begin > cur.begin) {
+        out.ranges_.push_back({cur.begin, bb->begin});
+      }
+      cur.begin = std::max(cur.begin, bb->end);
+      ++bb;
+    }
+    if (!cur.empty()) out.ranges_.push_back(cur);
+  }
+  return out;
+}
+
+RangeSet RangeSet::complement(TimeRange window) const {
+  RangeSet whole;
+  whole.insert(window);
+  return whole.set_difference(*this);
+}
+
+RangeSet RangeSet::gaps() const {
+  RangeSet out;
+  for (std::size_t i = 1; i < ranges_.size(); ++i) {
+    out.ranges_.push_back({ranges_[i - 1].end, ranges_[i].begin});
+  }
+  return out;
+}
+
+std::string RangeSet::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "[" + std::to_string(ranges_[i].begin) + "," +
+           std::to_string(ranges_[i].end) + ")";
+  }
+  out += "}";
+  return out;
+}
+
+void RangeSet::check_invariant() const {
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    TDAT_ENSURES(!ranges_[i].empty());
+    if (i > 0) TDAT_ENSURES(ranges_[i - 1].end < ranges_[i].begin);
+  }
+}
+
+}  // namespace tdat

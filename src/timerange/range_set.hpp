@@ -1,0 +1,85 @@
+// RangeSet: the paper's core data structure (§III-A).
+//
+// An ordered set of disjoint half-open time ranges [begin, end) over int64
+// microseconds. The original T-DAT prototype implemented this in Perl with
+// big-integer sets (one integer per microsecond); here ranges are kept as a
+// sorted vector of disjoint intervals, giving O(n) set algebra and O(log n)
+// point queries instead of O(duration) — see `micro_rangeset` for the
+// ablation against a bitmap-style reference.
+//
+// "size" of a set is the total covered duration (the sum of range lengths),
+// which is exactly the quantity T-DAT divides by the analysis period to get
+// a delay ratio (§III-D).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace tdat {
+
+struct TimeRange {
+  Micros begin = 0;
+  Micros end = 0;  // exclusive
+
+  [[nodiscard]] Micros length() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return end <= begin; }
+  [[nodiscard]] bool contains(Micros t) const { return t >= begin && t < end; }
+  [[nodiscard]] bool overlaps(const TimeRange& o) const {
+    return begin < o.end && o.begin < end;
+  }
+
+  friend bool operator==(const TimeRange&, const TimeRange&) = default;
+};
+
+class RangeSet {
+ public:
+  RangeSet() = default;
+  // Builds from arbitrary (possibly overlapping, unsorted) ranges.
+  explicit RangeSet(std::vector<TimeRange> ranges);
+
+  // Inserts one range, merging with neighbours. Empty ranges are ignored.
+  // Amortized O(n) worst case, O(1) when appending in time order (the common
+  // pattern while scanning a trace).
+  void insert(TimeRange r);
+  void insert(Micros begin, Micros end) { insert(TimeRange{begin, end}); }
+
+  // --- queries -----------------------------------------------------------
+  [[nodiscard]] bool empty() const { return ranges_.empty(); }
+  [[nodiscard]] std::size_t count() const { return ranges_.size(); }
+  // Total covered duration: the "set size" of §III-D.
+  [[nodiscard]] Micros size() const;
+  [[nodiscard]] bool contains(Micros t) const;
+  // All stored ranges overlapping [begin, end).
+  [[nodiscard]] std::vector<TimeRange> overlapping(TimeRange query) const;
+  // Covered duration within [begin, end) only.
+  [[nodiscard]] Micros size_within(TimeRange window) const;
+  [[nodiscard]] const std::vector<TimeRange>& ranges() const { return ranges_; }
+  // [min begin, max end), or an empty range if the set is empty.
+  [[nodiscard]] TimeRange span() const;
+
+  // --- set algebra (all O(n + m)) ----------------------------------------
+  [[nodiscard]] RangeSet set_union(const RangeSet& other) const;
+  [[nodiscard]] RangeSet set_intersection(const RangeSet& other) const;
+  // Ranges of *this not covered by `other`.
+  [[nodiscard]] RangeSet set_difference(const RangeSet& other) const;
+  // Complement within the window [window.begin, window.end).
+  [[nodiscard]] RangeSet complement(TimeRange window) const;
+  // The uncovered intervals strictly between consecutive ranges.
+  [[nodiscard]] RangeSet gaps() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const RangeSet&, const RangeSet&) = default;
+
+ private:
+  void check_invariant() const;
+
+  // Sorted by begin; disjoint and non-adjacent (adjacent ranges are merged);
+  // no empty ranges.
+  std::vector<TimeRange> ranges_;
+};
+
+}  // namespace tdat

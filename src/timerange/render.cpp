@@ -1,0 +1,61 @@
+#include "timerange/render.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tdat {
+
+std::string render_series(const std::vector<const EventSeries*>& series,
+                          TimeRange window, const RenderOptions& opts) {
+  TDAT_EXPECTS(opts.width > 0);
+  if (window.empty()) return "";
+
+  std::size_t label_width = 0;
+  for (const EventSeries* s : series) {
+    label_width = std::max(label_width, s->name().size());
+  }
+
+  const double bucket =
+      static_cast<double>(window.length()) / static_cast<double>(opts.width);
+  std::string out;
+  // Header: time axis in seconds at the left and right edges.
+  out += std::string(label_width, ' ') + "  " + format_seconds(window.begin);
+  const std::string right = format_seconds(window.end);
+  if (opts.width > right.size() + 8) {
+    out.append(opts.width - right.size() - format_seconds(window.begin).size(), ' ');
+    out += right;
+  }
+  out += '\n';
+
+  for (const EventSeries* s : series) {
+    out += s->name();
+    out.append(label_width - s->name().size(), ' ');
+    out += "  ";
+    for (std::size_t col = 0; col < opts.width; ++col) {
+      const auto lo = window.begin +
+                      static_cast<Micros>(bucket * static_cast<double>(col));
+      auto hi = window.begin +
+                static_cast<Micros>(bucket * static_cast<double>(col + 1));
+      hi = std::max(hi, lo + 1);  // never an empty probe bucket
+      const bool covered = s->ranges().size_within({lo, hi}) > 0;
+      out += covered ? opts.on : opts.off;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string series_to_csv(const std::vector<const EventSeries*>& series) {
+  std::string out = "series,begin_us,end_us,packets,bytes\n";
+  for (const EventSeries* s : series) {
+    for (const Event& e : s->events()) {
+      out += s->name() + "," + std::to_string(e.range.begin) + "," +
+             std::to_string(e.range.end) + "," + std::to_string(e.packets) +
+             "," + std::to_string(e.bytes) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace tdat

@@ -1,0 +1,28 @@
+// Text rendering of event series as "binary square curves" (paper Fig. 11):
+// one row per series, with time bucketed into fixed-width columns; a column
+// is marked when the series covers any part of that bucket. This replaces
+// the paper's BGPlot/SCNMPlot visualization with terminal output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "timerange/event_series.hpp"
+
+namespace tdat {
+
+struct RenderOptions {
+  std::size_t width = 100;   // number of time buckets (columns)
+  char on = '#';             // covered bucket
+  char off = '.';            // uncovered bucket
+};
+
+// Renders the given series over the shared window [window.begin, window.end).
+[[nodiscard]] std::string render_series(const std::vector<const EventSeries*>& series,
+                                        TimeRange window,
+                                        const RenderOptions& opts = {});
+
+// CSV rows "series,begin_us,end_us,packets,bytes" for external plotting.
+[[nodiscard]] std::string series_to_csv(const std::vector<const EventSeries*>& series);
+
+}  // namespace tdat

@@ -1,0 +1,30 @@
+// Contract-check macros in the spirit of the Core Guidelines' Expects/Ensures.
+// Violations indicate programming errors, not bad input, so they abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tdat::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "tdat: %s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace tdat::detail
+
+#define TDAT_EXPECTS(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::tdat::detail::contract_violation("precondition", #cond, __FILE__,    \
+                                         __LINE__);                          \
+  } while (0)
+
+#define TDAT_ENSURES(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::tdat::detail::contract_violation("postcondition", #cond, __FILE__,   \
+                                         __LINE__);                          \
+  } while (0)

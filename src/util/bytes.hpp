@@ -1,0 +1,150 @@
+// Bounds-checked readers/writers over byte buffers.
+//
+// Network protocol fields are big-endian on the wire; the pcap file format
+// uses the capturing host's endianness, signalled by its magic number, so the
+// reader supports both orders.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace tdat {
+
+// Sequential reader over a byte span. All reads are bounds-checked; a failed
+// read marks the reader bad and returns 0 so callers can check ok() once at
+// the end of a parse instead of after every field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t offset() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (!check(1)) return 0;
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::uint16_t u16be() {
+    if (!check(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  [[nodiscard]] std::uint32_t u32be() {
+    if (!check(4)) return 0;
+    std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) << 24 |
+                      static_cast<std::uint32_t>(data_[pos_ + 1]) << 16 |
+                      static_cast<std::uint32_t>(data_[pos_ + 2]) << 8 |
+                      static_cast<std::uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::uint16_t u16le() {
+    if (!check(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_ + 1] << 8 | data_[pos_]);
+    pos_ += 2;
+    return v;
+  }
+
+  [[nodiscard]] std::uint32_t u32le() {
+    if (!check(4)) return 0;
+    std::uint32_t v = static_cast<std::uint32_t>(data_[pos_ + 3]) << 24 |
+                      static_cast<std::uint32_t>(data_[pos_ + 2]) << 16 |
+                      static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+                      static_cast<std::uint32_t>(data_[pos_]);
+    pos_ += 4;
+    return v;
+  }
+
+  // Reads `n` raw bytes; returns an empty span on under-run.
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (!check(n)) return {};
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  void skip(std::size_t n) { (void)bytes(n); }
+
+ private:
+  bool check(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Append-only writer producing a byte vector.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16be(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u32be(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u16le(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32le(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void fill(std::size_t n, std::uint8_t v) { buf_.insert(buf_.end(), n, v); }
+
+  // Overwrites previously written bytes, e.g. to patch a length field.
+  void patch_u16be(std::size_t at, std::uint16_t v) {
+    TDAT_EXPECTS(at + 2 <= buf_.size());
+    buf_[at] = static_cast<std::uint8_t>(v >> 8);
+    buf_[at + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Dotted-quad rendering of a host-order IPv4 address.
+[[nodiscard]] inline std::string ipv4_to_string(std::uint32_t addr) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", addr >> 24 & 0xff,
+                addr >> 16 & 0xff, addr >> 8 & 0xff, addr & 0xff);
+  return buf;
+}
+
+}  // namespace tdat

@@ -1,0 +1,61 @@
+#include "util/knee.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace tdat {
+namespace {
+
+// Least-squares line fit over y[lo, hi); returns the RMSE of the fit.
+double line_fit_rmse(const std::vector<double>& y, std::size_t lo, std::size_t hi) {
+  const auto n = static_cast<double>(hi - lo);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto x = static_cast<double>(i);
+    sx += x;
+    sy += y[i];
+    sxx += x * x;
+    sxy += x * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  double slope = 0.0;
+  double intercept = sy / n;
+  if (denom != 0.0) {
+    slope = (n * sxy - sx * sy) / denom;
+    intercept = (sy - slope * sx) / n;
+  }
+  double sse = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double e = y[i] - (slope * static_cast<double>(i) + intercept);
+    sse += e * e;
+  }
+  return std::sqrt(sse / n);
+}
+
+}  // namespace
+
+std::optional<KneeResult> find_knee(const std::vector<double>& y) {
+  const std::size_t n = y.size();
+  if (n < 4) return std::nullopt;
+
+  KneeResult best;
+  double best_err = std::numeric_limits<double>::infinity();
+  // Each side of the split needs at least 2 points for a line.
+  for (std::size_t c = 2; c + 2 <= n; ++c) {
+    const double lhs = line_fit_rmse(y, 0, c);
+    const double rhs = line_fit_rmse(y, c, n);
+    const double total = (static_cast<double>(c) * lhs +
+                          static_cast<double>(n - c) * rhs) /
+                         static_cast<double>(n);
+    if (total < best_err) {
+      best_err = total;
+      best.index = c;
+      best.value = y[c];
+      best.fit_error = total;
+    }
+  }
+  if (!std::isfinite(best_err)) return std::nullopt;
+  return best;
+}
+
+}  // namespace tdat

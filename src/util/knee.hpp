@@ -1,0 +1,26 @@
+// Knee-point detection on a sorted curve using the L-method of Salvador &
+// Chan ("Determining the number of clusters/segments in hierarchical
+// clustering/segmentation algorithms", ICTAI 2004) — reference [27] of the
+// paper. T-DAT uses it to locate the knee in a sorted gap-length curve, which
+// marks the value of a BGP sender's pacing timer (paper §IV-B, Fig. 17).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace tdat {
+
+struct KneeResult {
+  std::size_t index = 0;   // index of the knee point in the input curve
+  double value = 0.0;      // y-value at the knee
+  double fit_error = 0.0;  // total weighted RMSE of the two-line fit
+};
+
+// Finds the knee of y(i) (i = 0..n-1) by fitting two straight lines, one to
+// the left and one to the right of every candidate split, and picking the
+// split minimizing the size-weighted RMSE. Returns nullopt for fewer than
+// 4 points (no meaningful two-line fit exists).
+[[nodiscard]] std::optional<KneeResult> find_knee(const std::vector<double>& y);
+
+}  // namespace tdat

@@ -1,0 +1,53 @@
+// Minimal expected-like result for parse-type operations where failure is a
+// normal outcome (malformed input) rather than a bug.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/assert.hpp"
+
+namespace tdat {
+
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    TDAT_EXPECTS(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    TDAT_EXPECTS(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    TDAT_EXPECTS(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const std::string& error() const {
+    TDAT_EXPECTS(!ok());
+    return std::get<Error>(data_).message;
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+template <typename T>
+[[nodiscard]] Result<T> Err(std::string message) {
+  return Result<T>(Error{std::move(message)});
+}
+
+}  // namespace tdat

@@ -1,0 +1,49 @@
+// Deterministic random source for simulations. Every simulated scenario is
+// seeded explicitly so experiments are exactly reproducible across runs.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "util/assert.hpp"
+
+namespace tdat {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    TDAT_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  [[nodiscard]] double uniform_real(double lo, double hi) {
+    TDAT_EXPECTS(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  [[nodiscard]] double exponential(double mean) {
+    TDAT_EXPECTS(mean > 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Derives an independent child stream; used to give each simulated router
+  // its own stream so adding routers does not perturb existing ones.
+  [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tdat

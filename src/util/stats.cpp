@@ -1,0 +1,85 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace tdat {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  var /= static_cast<double>(xs.size());
+  s.stddev = std::sqrt(var);
+  auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  s.min = *mn;
+  s.max = *mx;
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  TDAT_EXPECTS(!xs.empty());
+  TDAT_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  auto hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+  std::vector<CdfPoint> out;
+  if (xs.empty()) return out;
+  std::sort(xs.begin(), xs.end());
+  const auto n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    // Collapse ties onto the last occurrence so the CDF is a function.
+    if (i + 1 < xs.size() && xs[i + 1] == xs[i]) continue;
+    out.push_back({xs[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+std::vector<CdfPoint> thin_cdf(std::vector<CdfPoint> cdf, std::size_t max_points) {
+  TDAT_EXPECTS(max_points >= 2);
+  if (cdf.size() <= max_points) return cdf;
+  std::vector<CdfPoint> out;
+  out.reserve(max_points);
+  const double step =
+      static_cast<double>(cdf.size() - 1) / static_cast<double>(max_points - 1);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    out.push_back(cdf[static_cast<std::size_t>(std::llround(step * static_cast<double>(i)))]);
+  }
+  return out;
+}
+
+std::size_t Histogram::total() const {
+  return std::accumulate(bins.begin(), bins.end(), std::size_t{0});
+}
+
+Histogram make_histogram(const std::vector<double>& xs, double lo, double hi,
+                         std::size_t nbins) {
+  TDAT_EXPECTS(nbins > 0);
+  TDAT_EXPECTS(hi > lo);
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.bins.assign(nbins, 0);
+  const double width = (hi - lo) / static_cast<double>(nbins);
+  for (double x : xs) {
+    auto idx = static_cast<std::int64_t>((x - lo) / width);
+    idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(nbins) - 1);
+    ++h.bins[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+}  // namespace tdat

@@ -1,0 +1,51 @@
+// Small statistics helpers used by the analyzer and the experiment harness:
+// summary moments, percentiles, and empirical CDFs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tdat {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(const std::vector<double>& xs);
+
+// Linear-interpolated percentile, p in [0, 100]. Expects non-empty input.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+// One point of an empirical CDF: fraction of samples <= value.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;
+};
+
+// Empirical CDF evaluated at every distinct sample (sorted ascending).
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::vector<double> xs);
+
+// Downsamples a CDF to at most `max_points` evenly spaced points (always
+// keeping the first and last) so reports stay readable.
+[[nodiscard]] std::vector<CdfPoint> thin_cdf(std::vector<CdfPoint> cdf,
+                                             std::size_t max_points);
+
+// Fixed-width-bin histogram over [lo, hi); values outside are clamped into
+// the first/last bin.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> bins;
+
+  [[nodiscard]] std::size_t total() const;
+};
+
+[[nodiscard]] Histogram make_histogram(const std::vector<double>& xs, double lo,
+                                       double hi, std::size_t nbins);
+
+}  // namespace tdat

@@ -1,0 +1,56 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace tdat {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  TDAT_EXPECTS(!header.empty());
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  TDAT_EXPECTS(cells.size() == rows_[0].size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(rows_[0].size(), 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  emit_row(rows_[0]);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out.append(total - 2, '-');
+  out += '\n';
+  for (std::size_t r = 1; r < rows_.size(); ++r) emit_row(rows_[r]);
+  return out;
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace tdat

@@ -1,0 +1,27 @@
+// Plain-text table rendering for the experiment harness: the bench binaries
+// print rows shaped like the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tdat {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with aligned columns, a header separator, and a trailing newline.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header
+};
+
+// printf-style float formatting helpers for table cells.
+[[nodiscard]] std::string fmt_double(double v, int precision);
+[[nodiscard]] std::string fmt_percent(double fraction, int precision);
+
+}  // namespace tdat

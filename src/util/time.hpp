@@ -1,0 +1,39 @@
+// Time representation used throughout tdat.
+//
+// All timestamps and durations are int64 microseconds ("Micros"). Trace
+// timestamps are microseconds since the Unix epoch; simulator timestamps are
+// microseconds since simulation start. Ranges over time are always half-open
+// [begin, end).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tdat {
+
+using Micros = std::int64_t;
+
+inline constexpr Micros kMicrosPerMilli = 1'000;
+inline constexpr Micros kMicrosPerSec = 1'000'000;
+
+[[nodiscard]] constexpr Micros from_millis(std::int64_t ms) {
+  return ms * kMicrosPerMilli;
+}
+[[nodiscard]] constexpr Micros from_seconds(std::int64_t s) {
+  return s * kMicrosPerSec;
+}
+[[nodiscard]] constexpr double to_seconds(Micros us) {
+  return static_cast<double>(us) / static_cast<double>(kMicrosPerSec);
+}
+[[nodiscard]] constexpr double to_millis(Micros us) {
+  return static_cast<double>(us) / static_cast<double>(kMicrosPerMilli);
+}
+
+// "12.345s" style rendering for reports.
+[[nodiscard]] inline std::string format_seconds(Micros us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds(us));
+  return buf;
+}
+
+}  // namespace tdat

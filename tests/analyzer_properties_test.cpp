@@ -1,0 +1,119 @@
+// Property tests over the whole pipeline: invariants that must hold for ANY
+// scenario — bounded ratios, series containment, window consistency, MCT
+// sanity — swept across the scenario x seed grid.
+#include <gtest/gtest.h>
+
+#include "core/series_names.hpp"
+#include "sim_scenarios.hpp"
+
+namespace tdat {
+namespace {
+
+enum class Kind {
+  kBaseline,
+  kTimer,
+  kSmallWindow,
+  kSlowCollector,
+  kLossyUpstream,
+  kLocalLoss,
+  kProbeBug,
+};
+
+SessionSpec spec_for(Kind kind) {
+  switch (kind) {
+    case Kind::kBaseline: return SessionSpec{};
+    case Kind::kTimer: return test::timer_paced_sender();
+    case Kind::kSmallWindow: return test::small_window_path();
+    case Kind::kSlowCollector: return test::slow_collector();
+    case Kind::kLossyUpstream: return test::lossy_upstream();
+    case Kind::kLocalLoss: return test::receiver_local_loss();
+    case Kind::kProbeBug: return test::zero_ack_bug();
+  }
+  return SessionSpec{};
+}
+
+class PipelineProperties
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(PipelineProperties, InvariantsHold) {
+  const auto kind = static_cast<Kind>(std::get<0>(GetParam()));
+  const std::uint64_t seed = 7000 + std::get<1>(GetParam());
+  const auto run = test::run_single(spec_for(kind), 2500, seed);
+  ASSERT_TRUE(run.finished);
+  const auto a = test::analyze_single(run);
+
+  // 1. The transfer window lies within the capture.
+  ASSERT_FALSE(a.transfer.empty());
+  const Micros first_pkt = run.trace.records.front().ts;
+  const Micros last_pkt = run.trace.records.back().ts;
+  EXPECT_GE(a.transfer.begin, first_pkt);
+  EXPECT_LE(a.transfer.end, last_pkt + kMicrosPerSec);
+
+  // 2. Every ratio is a fraction; group >= max of its members; group <= sum.
+  for (std::size_t g = 0; g < kGroupCount; ++g) {
+    const auto group = static_cast<FactorGroup>(g);
+    EXPECT_GE(a.report.group_ratio[g], 0.0);
+    EXPECT_LE(a.report.group_ratio[g], 1.0 + 1e-9);
+    double max_member = 0.0, sum_members = 0.0;
+    for (Factor f : factors_in(group)) {
+      const double r = a.report.ratio(f);
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0 + 1e-9);
+      max_member = std::max(max_member, r);
+    }
+    // factors_in pads the network group with a duplicate; sum distinct only.
+    for (std::size_t i = 0; i < kFactorCount; ++i) {
+      if (group_of(static_cast<Factor>(i)) == group) {
+        sum_members += a.report.factor_ratio[i];
+      }
+    }
+    EXPECT_GE(a.report.group_ratio[g] + 1e-9, max_member);
+    EXPECT_LE(a.report.group_ratio[g], sum_members + 1e-9);
+  }
+
+  // 3. MCT collected exactly the generated table.
+  EXPECT_EQ(a.mct.prefix_count, 2500u);
+
+  // 4. Derived series are contained in their parents.
+  const auto& reg = a.series();
+  EXPECT_TRUE(reg.get(series::kZeroAdvWindow)
+                  .ranges()
+                  .set_difference(reg.get(series::kSmallAdvWindow).ranges())
+                  .empty());
+  EXPECT_TRUE(reg.get(series::kUpstreamLoss)
+                  .ranges()
+                  .set_difference(reg.get(series::kLossRecovery).ranges())
+                  .empty());
+  EXPECT_TRUE(reg.get(series::kDownstreamLoss)
+                  .ranges()
+                  .set_difference(reg.get(series::kLossRecovery).ranges())
+                  .empty());
+  EXPECT_TRUE(reg.get(series::kAdvBndOut)
+                  .ranges()
+                  .set_difference(reg.get(series::kWindowLimited).ranges())
+                  .empty());
+
+  // 5. SendAppLimited never overlaps Outstanding (by construction) and
+  //    never overlaps loss recovery.
+  EXPECT_TRUE(reg.get(series::kSendAppLimited)
+                  .ranges()
+                  .set_intersection(reg.get(series::kOutstanding).ranges())
+                  .empty());
+  EXPECT_TRUE(reg.get(series::kSendAppLimited)
+                  .ranges()
+                  .set_intersection(reg.get(series::kRetransmission).ranges())
+                  .empty());
+
+  // 6. The retransmission series carries exactly the classifier's counts.
+  const auto& flow = a.bundle.flow;
+  EXPECT_EQ(reg.get(series::kRetransmission).count(),
+            flow.count(DataLabel::kRetransmitUpstream) +
+                flow.count(DataLabel::kRetransmitDownstream));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PipelineProperties,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace tdat

@@ -1,0 +1,129 @@
+#include "bgp/mct.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgp/table_gen.hpp"
+
+namespace tdat {
+namespace {
+
+TimedBgpMessage update_at(Micros ts, std::uint32_t prefix_base, int count) {
+  BgpUpdate upd;
+  upd.attrs.as_path.push_back({AsPathSegment::kAsSequence, {100}});
+  upd.attrs.next_hop = 1;
+  for (int i = 0; i < count; ++i) {
+    upd.nlri.push_back({prefix_base + (static_cast<std::uint32_t>(i) << 8), 24});
+  }
+  return {ts, BgpMessage{upd}};
+}
+
+TimedBgpMessage keepalive_at(Micros ts) { return {ts, BgpMessage{BgpKeepAlive{}}}; }
+
+TEST(Mct, EmptyStream) {
+  const auto res = mct_transfer_end({}, 100);
+  EXPECT_EQ(res.end, 100);
+  EXPECT_EQ(res.update_count, 0u);
+}
+
+TEST(Mct, SimpleTransferEndsAtLastUpdate) {
+  std::vector<TimedBgpMessage> msgs;
+  msgs.push_back(keepalive_at(0));
+  for (int i = 0; i < 10; ++i) {
+    msgs.push_back(update_at(1000 + i * 1000, 0x0a000000 + (static_cast<std::uint32_t>(i) << 16), 3));
+  }
+  const auto res = mct_transfer_end(msgs, 0);
+  EXPECT_EQ(res.end, 10'000);
+  EXPECT_EQ(res.update_count, 10u);
+  EXPECT_EQ(res.prefix_count, 30u);
+  EXPECT_FALSE(res.ended_by_repeat);
+}
+
+TEST(Mct, RepeatedPrefixEndsTransfer) {
+  std::vector<TimedBgpMessage> msgs;
+  msgs.push_back(update_at(1000, 0x0a000000, 2));
+  msgs.push_back(update_at(2000, 0x0b000000, 2));
+  msgs.push_back(update_at(9000, 0x0a000000, 1));  // re-announcement: dynamics
+  msgs.push_back(update_at(10'000, 0x0c000000, 2));
+  const auto res = mct_transfer_end(msgs, 0);
+  EXPECT_EQ(res.end, 2000);
+  EXPECT_TRUE(res.ended_by_repeat);
+  EXPECT_EQ(res.update_count, 2u);
+}
+
+TEST(Mct, WithdrawalEndsTransfer) {
+  std::vector<TimedBgpMessage> msgs;
+  msgs.push_back(update_at(1000, 0x0a000000, 2));
+  BgpUpdate withdraw;
+  withdraw.withdrawn.push_back({0x0a000000, 24});
+  msgs.push_back({2000, BgpMessage{withdraw}});
+  msgs.push_back(update_at(3000, 0x0b000000, 2));
+  const auto res = mct_transfer_end(msgs, 0);
+  EXPECT_EQ(res.end, 1000);
+  EXPECT_TRUE(res.ended_by_repeat);
+}
+
+TEST(Mct, SilenceEndsTransfer) {
+  std::vector<TimedBgpMessage> msgs;
+  msgs.push_back(update_at(1000, 0x0a000000, 1));
+  msgs.push_back(update_at(2000, 0x0b000000, 1));
+  // 400 s of silence, then more (fresh) updates: beyond max_silence.
+  msgs.push_back(update_at(2000 + 400 * kMicrosPerSec, 0x0c000000, 1));
+  const auto res = mct_transfer_end(msgs, 0);
+  EXPECT_EQ(res.end, 2000);
+  EXPECT_EQ(res.update_count, 2u);
+}
+
+TEST(Mct, ToleratesPeerGroupPause) {
+  // A 170 s stall (< default 300 s) inside the transfer must not cut it.
+  std::vector<TimedBgpMessage> msgs;
+  msgs.push_back(update_at(1000, 0x0a000000, 1));
+  msgs.push_back(update_at(1000 + 170 * kMicrosPerSec, 0x0b000000, 1));
+  const auto res = mct_transfer_end(msgs, 0);
+  EXPECT_EQ(res.update_count, 2u);
+  EXPECT_EQ(res.end, 1000 + 170 * kMicrosPerSec);
+}
+
+TEST(Mct, IgnoresMessagesBeforeStart) {
+  std::vector<TimedBgpMessage> msgs;
+  msgs.push_back(update_at(1000, 0x0a000000, 1));
+  msgs.push_back(update_at(5000, 0x0b000000, 1));
+  const auto res = mct_transfer_end(msgs, 3000);
+  EXPECT_EQ(res.update_count, 1u);
+  EXPECT_EQ(res.prefix_count, 1u);
+}
+
+TEST(Mct, SilenceThresholdSweep) {
+  // Sensitivity ablation: the same stream cut at different max_silence.
+  std::vector<TimedBgpMessage> msgs;
+  msgs.push_back(update_at(0, 0x0a000000, 1));
+  msgs.push_back(update_at(10 * kMicrosPerSec, 0x0b000000, 1));
+  msgs.push_back(update_at(100 * kMicrosPerSec, 0x0c000000, 1));
+  for (const auto& [silence, expected_updates] :
+       std::vector<std::pair<Micros, std::size_t>>{
+           {5 * kMicrosPerSec, 1}, {50 * kMicrosPerSec, 2}, {200 * kMicrosPerSec, 3}}) {
+    MctOptions opts;
+    opts.max_silence = silence;
+    EXPECT_EQ(mct_transfer_end(msgs, 0, opts).update_count, expected_updates)
+        << "silence=" << silence;
+  }
+}
+
+TEST(Mct, FullGeneratedTable) {
+  Rng rng(13);
+  TableGenConfig cfg;
+  cfg.prefix_count = 5000;
+  const auto updates = generate_table(cfg, rng);
+  std::vector<TimedBgpMessage> msgs;
+  Micros t = 1000;
+  for (const auto& u : updates) {
+    msgs.push_back({t, BgpMessage{u}});
+    t += 500;
+  }
+  const auto res = mct_transfer_end(msgs, 0);
+  EXPECT_EQ(res.update_count, updates.size());
+  EXPECT_EQ(res.prefix_count, 5000u);
+  EXPECT_EQ(res.end, t - 500);
+}
+
+}  // namespace
+}  // namespace tdat

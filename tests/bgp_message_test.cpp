@@ -1,0 +1,149 @@
+#include "bgp/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdat {
+namespace {
+
+BgpUpdate sample_update() {
+  BgpUpdate upd;
+  upd.attrs.origin = 0;
+  upd.attrs.as_path.push_back({AsPathSegment::kAsSequence, {19080, 22298, 30092}});
+  upd.attrs.next_hop = 0x0a000001;
+  upd.attrs.med = 42;
+  upd.attrs.local_pref = 100;
+  upd.attrs.communities = {0x00010002, 0x00030004};
+  upd.nlri.push_back({0x42009a00 & 0xffffff00, 24});  // 66.0.154.0/24
+  upd.nlri.push_back({0x42009800, 22});
+  return upd;
+}
+
+TEST(BgpMessage, KeepAliveRoundTrip) {
+  const auto bytes = serialize_message(BgpMessage{BgpKeepAlive{}});
+  EXPECT_EQ(bytes.size(), kBgpHeaderLen);
+  EXPECT_EQ(peek_message_length(bytes), kBgpHeaderLen);
+  const auto parsed = parse_message(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().type(), BgpType::kKeepAlive);
+}
+
+TEST(BgpMessage, OpenRoundTrip) {
+  BgpOpen open;
+  open.my_as = 65001;
+  open.hold_time = 180;
+  open.bgp_id = 0x0a000001;
+  const auto bytes = serialize_message(BgpMessage{open});
+  const auto parsed = parse_message(bytes);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().type(), BgpType::kOpen);
+  EXPECT_EQ(std::get<BgpOpen>(parsed.value().body), open);
+}
+
+TEST(BgpMessage, UpdateRoundTrip) {
+  const BgpUpdate upd = sample_update();
+  const auto bytes = serialize_message(BgpMessage{upd});
+  const auto parsed = parse_message(bytes);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().type(), BgpType::kUpdate);
+  EXPECT_EQ(std::get<BgpUpdate>(parsed.value().body), upd);
+}
+
+TEST(BgpMessage, WithdrawRoundTrip) {
+  BgpUpdate upd;
+  upd.withdrawn.push_back({0x0a000000, 8});
+  upd.withdrawn.push_back({0xc0a80000, 16});
+  const auto bytes = serialize_message(BgpMessage{upd});
+  const auto parsed = parse_message(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(std::get<BgpUpdate>(parsed.value().body), upd);
+}
+
+TEST(BgpMessage, NotificationRoundTrip) {
+  BgpNotification notif;
+  notif.code = 6;
+  notif.subcode = 2;
+  notif.data = {1, 2, 3};
+  const auto bytes = serialize_message(BgpMessage{notif});
+  const auto parsed = parse_message(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(std::get<BgpNotification>(parsed.value().body), notif);
+}
+
+TEST(BgpMessage, PrefixEdgeCases) {
+  for (std::uint8_t len : {0, 1, 7, 8, 9, 15, 16, 17, 23, 24, 25, 31, 32}) {
+    BgpUpdate upd;
+    upd.attrs.as_path.push_back({AsPathSegment::kAsSequence, {1}});
+    upd.attrs.next_hop = 1;
+    const std::uint32_t mask = len == 0 ? 0 : ~std::uint32_t{0} << (32 - len);
+    upd.nlri.push_back({0xabcdef12 & mask, len});
+    const auto parsed = parse_message(serialize_message(BgpMessage{upd}));
+    ASSERT_TRUE(parsed.ok()) << static_cast<int>(len);
+    EXPECT_EQ(std::get<BgpUpdate>(parsed.value().body).nlri[0], upd.nlri[0])
+        << static_cast<int>(len);
+  }
+}
+
+TEST(BgpMessage, PrefixToString) {
+  Prefix p{0x42009a00, 24};
+  EXPECT_EQ(p.to_string(), "66.0.154.0/24");
+}
+
+TEST(BgpMessage, AsPathString) {
+  const BgpUpdate upd = sample_update();
+  EXPECT_EQ(upd.attrs.as_path_string(), "19080 22298 30092");
+}
+
+TEST(BgpMessage, UnrecognizedAttributePreserved) {
+  BgpUpdate upd;
+  upd.attrs.as_path.push_back({AsPathSegment::kAsSequence, {7}});
+  upd.attrs.next_hop = 9;
+  upd.attrs.unrecognized.push_back({0xc0, 99, {0xde, 0xad}});
+  upd.nlri.push_back({0x0a000000, 8});
+  const auto parsed = parse_message(serialize_message(BgpMessage{upd}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(std::get<BgpUpdate>(parsed.value().body).attrs.unrecognized,
+            upd.attrs.unrecognized);
+}
+
+TEST(BgpMessage, RejectsBadMarker) {
+  auto bytes = serialize_message(BgpMessage{BgpKeepAlive{}});
+  bytes[3] = 0x00;
+  EXPECT_EQ(peek_message_length(bytes), 0u);
+  EXPECT_FALSE(parse_message(bytes).ok());
+}
+
+TEST(BgpMessage, RejectsTruncated) {
+  auto bytes = serialize_message(BgpMessage{sample_update()});
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(parse_message(bytes).ok());
+}
+
+TEST(BgpMessage, RejectsBadLength) {
+  auto bytes = serialize_message(BgpMessage{BgpKeepAlive{}});
+  bytes[16] = 0xff;  // declared length 0xff13 > 4096
+  bytes[17] = 0x13;
+  EXPECT_EQ(peek_message_length(bytes), 0u);
+}
+
+TEST(BgpMessage, RejectsUnknownType) {
+  auto bytes = serialize_message(BgpMessage{BgpKeepAlive{}});
+  bytes[18] = 99;
+  EXPECT_FALSE(parse_message(bytes).ok());
+}
+
+TEST(BgpMessage, RejectsKeepAliveWithBody) {
+  auto bytes = serialize_message(BgpMessage{BgpKeepAlive{}});
+  bytes.push_back(0);
+  bytes[17] = 20;  // length 20 with type KEEPALIVE
+  EXPECT_FALSE(parse_message(bytes).ok());
+}
+
+TEST(BgpMessage, TypeNames) {
+  EXPECT_STREQ(to_string(BgpType::kOpen), "OPEN");
+  EXPECT_STREQ(to_string(BgpType::kUpdate), "UPDATE");
+  EXPECT_STREQ(to_string(BgpType::kNotification), "NOTIFICATION");
+  EXPECT_STREQ(to_string(BgpType::kKeepAlive), "KEEPALIVE");
+}
+
+}  // namespace
+}  // namespace tdat

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "bgp/mrt.hpp"
+#include "bgp/msg_stream.hpp"
+#include "bgp/table_gen.hpp"
+
+namespace tdat {
+namespace {
+
+TEST(MessageStream, SplitsAcrossChunks) {
+  BgpMessageStream s;
+  const auto ka = serialize_message(BgpMessage{BgpKeepAlive{}});
+  BgpOpen open;
+  open.my_as = 65001;
+  const auto op = serialize_message(BgpMessage{open});
+
+  std::vector<std::uint8_t> all;
+  all.insert(all.end(), op.begin(), op.end());
+  all.insert(all.end(), ka.begin(), ka.end());
+
+  // Feed in awkward chunk sizes.
+  auto m1 = s.feed(std::span(all).first(10), 100);
+  EXPECT_TRUE(m1.empty());
+  auto m2 = s.feed(std::span(all).subspan(10, op.size()), 200);
+  ASSERT_EQ(m2.size(), 1u);
+  EXPECT_EQ(m2[0].msg.type(), BgpType::kOpen);
+  EXPECT_EQ(m2[0].ts, 200);  // timed when completed
+  auto m3 = s.feed(std::span(all).subspan(10 + op.size()), 300);
+  ASSERT_EQ(m3.size(), 1u);
+  EXPECT_EQ(m3[0].msg.type(), BgpType::kKeepAlive);
+  EXPECT_EQ(s.buffered(), 0u);
+}
+
+TEST(MessageStream, ResyncsAfterGarbage) {
+  BgpMessageStream s;
+  std::vector<std::uint8_t> garbage(13, 0x42);
+  EXPECT_TRUE(s.feed(garbage, 1).empty());
+  const auto ka = serialize_message(BgpMessage{BgpKeepAlive{}});
+  const auto msgs = s.feed(ka, 2);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(s.skipped_bytes(), 13u);
+}
+
+TEST(MessageStream, ManyMessagesOneChunk) {
+  BgpMessageStream s;
+  Rng rng(1);
+  TableGenConfig cfg;
+  cfg.prefix_count = 200;
+  const auto updates = generate_table(cfg, rng);
+  std::vector<std::uint8_t> all;
+  for (const auto& u : updates) {
+    const auto b = serialize_message(BgpMessage{u});
+    all.insert(all.end(), b.begin(), b.end());
+  }
+  const auto msgs = s.feed(all, 7);
+  EXPECT_EQ(msgs.size(), updates.size());
+  EXPECT_EQ(s.parse_errors(), 0u);
+}
+
+TEST(Mrt, RoundTrip) {
+  std::vector<MrtRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    MrtRecord rec;
+    rec.ts = i * kMicrosPerSec;
+    rec.peer_as = 65001;
+    rec.local_as = 65000;
+    rec.peer_ip = 0x0a000101;
+    rec.local_ip = 0x0a090909;
+    rec.bgp_message = serialize_message(BgpMessage{BgpKeepAlive{}});
+    records.push_back(std::move(rec));
+  }
+  const auto parsed = parse_mrt(serialize_mrt(records));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 3u);
+  EXPECT_EQ(parsed.value()[1].ts, kMicrosPerSec);
+  EXPECT_EQ(parsed.value()[1].peer_as, 65001);
+  const auto msg = parsed.value()[1].parse();
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg.value().type(), BgpType::kKeepAlive);
+}
+
+TEST(Mrt, RejectsTruncated) {
+  std::vector<MrtRecord> records(1);
+  records[0].bgp_message = serialize_message(BgpMessage{BgpKeepAlive{}});
+  auto image = serialize_mrt(records);
+  image.resize(image.size() - 2);
+  EXPECT_FALSE(parse_mrt(image).ok());
+}
+
+TEST(Mrt, FileRoundTrip) {
+  std::vector<MrtRecord> records(1);
+  records[0].ts = 99 * kMicrosPerSec;
+  records[0].bgp_message = serialize_message(BgpMessage{BgpKeepAlive{}});
+  const std::string path = ::testing::TempDir() + "/tdat_test.mrt";
+  ASSERT_TRUE(write_mrt_file(path, records));
+  const auto loaded = read_mrt_file(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value()[0].ts, 99 * kMicrosPerSec);
+}
+
+TEST(TableGen, GeneratesRequestedPrefixCount) {
+  Rng rng(7);
+  TableGenConfig cfg;
+  cfg.prefix_count = 1000;
+  const auto updates = generate_table(cfg, rng);
+  std::size_t total = 0;
+  for (const auto& u : updates) total += u.nlri.size();
+  EXPECT_EQ(total, 1000u);
+  // Realistic packing: more than one prefix per update on average.
+  EXPECT_LT(updates.size(), 1000u);
+  EXPECT_GT(updates.size(), 100u);
+}
+
+TEST(TableGen, PrefixesAreDistinct) {
+  Rng rng(11);
+  TableGenConfig cfg;
+  cfg.prefix_count = 2000;
+  const auto updates = generate_table(cfg, rng);
+  std::set<Prefix> seen;
+  for (const auto& u : updates) {
+    for (const Prefix& p : u.nlri) {
+      EXPECT_TRUE(seen.insert(p).second) << p.to_string();
+    }
+  }
+}
+
+TEST(TableGen, DeterministicForSeed) {
+  Rng a(3);
+  Rng b(3);
+  TableGenConfig cfg;
+  cfg.prefix_count = 300;
+  EXPECT_EQ(generate_table(cfg, a), generate_table(cfg, b));
+}
+
+TEST(TableGen, AllMessagesSerializable) {
+  Rng rng(5);
+  TableGenConfig cfg;
+  cfg.prefix_count = 500;
+  const auto updates = generate_table(cfg, rng);
+  const auto size = serialized_size(updates);
+  // Real full tables run 5-8 MB for ~300k prefixes, i.e. ~20 bytes/prefix;
+  // 500 prefixes should land in the same per-prefix band.
+  EXPECT_GT(size, 500u * 10);
+  EXPECT_LT(size, 500u * 40);
+  for (const auto& u : updates) {
+    const auto parsed = parse_message(serialize_message(BgpMessage{u}));
+    ASSERT_TRUE(parsed.ok());
+  }
+}
+
+}  // namespace
+}  // namespace tdat

@@ -1,0 +1,110 @@
+#include "core/ack_shift.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace tdat {
+namespace {
+
+using test::PacketFactory;
+
+Connection conn_of(std::vector<DecodedPacket> pkts) {
+  auto conns = split_connections(pkts);
+  EXPECT_EQ(conns.size(), 1u);
+  return conns[0];
+}
+
+TEST(AckShift, NearSenderIsIdentity) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace = f.handshake(0, 10'000);
+  trace.push_back(f.data(20'000, 0, 1000));
+  trace.push_back(f.ack(21'000, 1000));
+  const Connection conn = conn_of(trace);
+  const auto profile = compute_profile(conn);
+  AnalyzerOptions opts;
+  opts.location = SnifferLocation::kNearSender;
+  const auto shifted = shift_acks(conn, profile, opts);
+  for (std::size_t i = 0; i < conn.packets.size(); ++i) {
+    EXPECT_EQ(shifted.ts[i], conn.packets[i].ts);
+  }
+  EXPECT_EQ(shifted.flights_shifted, 0u);
+}
+
+TEST(AckShift, WindowBoundFlightShiftsToNextData) {
+  // Receiver-side view of a window-bound flow with RTT 10 ms: data burst,
+  // ACK right behind it, next burst a full RTT later. The ACK must shift
+  // forward to just before the burst it liberated.
+  PacketFactory f;
+  std::vector<DecodedPacket> trace = f.handshake(0, 10'000);
+  const Micros t0 = 20'000;
+  trace.push_back(f.data(t0, 0, 1000));
+  trace.push_back(f.data(t0 + 100, 1000, 1000));
+  trace.push_back(f.ack(t0 + 300, 2000));            // d1 tiny: near receiver
+  trace.push_back(f.data(t0 + 10'300, 2000, 1000));  // next burst 1 RTT later
+  trace.push_back(f.data(t0 + 10'400, 3000, 1000));
+  trace.push_back(f.ack(t0 + 10'600, 4000));
+  trace.push_back(f.data(t0 + 20'600, 4000, 1000));
+  const Connection conn = conn_of(trace);
+  const auto profile = compute_profile(conn);
+  ASSERT_EQ(profile.rtt(), 10'000);
+
+  AnalyzerOptions opts;  // default near-receiver
+  const auto shifted = shift_acks(conn, profile, opts);
+  EXPECT_GE(shifted.flights_shifted, 2u);
+  // First ACK (index 5 in trace) shifted by d2 = 10'000.
+  EXPECT_EQ(shifted.ts[5], t0 + 300 + 10'000);
+  // Data packets never move.
+  EXPECT_EQ(shifted.ts[3], t0);
+  EXPECT_EQ(shifted.ts[4], t0 + 100);
+}
+
+TEST(AckShift, AppLimitedGapSurvivesShift) {
+  // The sender idles 300 ms (app-limited) after the ACK: no d2 estimate
+  // exists within the 2*RTT cap, so the ACK flight must NOT be shifted into
+  // the gap.
+  PacketFactory f;
+  std::vector<DecodedPacket> trace = f.handshake(0, 10'000);
+  const Micros t0 = 20'000;
+  trace.push_back(f.data(t0, 0, 1000));
+  trace.push_back(f.ack(t0 + 300, 1000));
+  trace.push_back(f.data(t0 + 300'000, 1000, 1000));  // 300 ms later
+  trace.push_back(f.ack(t0 + 300'300, 2000));
+  const Connection conn = conn_of(trace);
+  const auto profile = compute_profile(conn);
+
+  const auto shifted = shift_acks(conn, profile, AnalyzerOptions{});
+  // First ACK keeps its capture time (no valid estimate in its flight).
+  EXPECT_EQ(shifted.ts[4], t0 + 300);
+}
+
+TEST(AckShift, FlightMovesAsOneUnit) {
+  // Three back-to-back ACKs; only the first has a tight next-data estimate.
+  // The whole flight shifts by that same (minimum) d2, preserving spacing.
+  PacketFactory f;
+  std::vector<DecodedPacket> trace = f.handshake(0, 10'000);
+  const Micros t0 = 20'000;
+  for (int i = 0; i < 6; ++i) {
+    trace.push_back(f.data(t0 + i * 50, i * 1000, 1000));
+  }
+  trace.push_back(f.ack(t0 + 400, 2000));
+  trace.push_back(f.ack(t0 + 450, 4000));
+  trace.push_back(f.ack(t0 + 500, 6000));
+  trace.push_back(f.data(t0 + 5'400, 6000, 1000));  // liberated by first ACK
+  trace.push_back(f.data(t0 + 15'000, 7000, 1000));
+  const Connection conn = conn_of(trace);
+  const auto profile = compute_profile(conn);
+
+  const auto shifted = shift_acks(conn, profile, AnalyzerOptions{});
+  // All three ACKs estimate d2 against the same next data packet
+  // (t0+5'400); the minimum comes from the last ACK: 5'400 - 500 = 4'900.
+  const Micros d2 = 4'900;
+  EXPECT_EQ(shifted.ts[9], t0 + 400 + d2);
+  EXPECT_EQ(shifted.ts[10], t0 + 450 + d2);
+  EXPECT_EQ(shifted.ts[11], t0 + 500 + d2);
+  // Intra-flight spacing preserved.
+  EXPECT_EQ(shifted.ts[10] - shifted.ts[9], 50);
+}
+
+}  // namespace
+}  // namespace tdat

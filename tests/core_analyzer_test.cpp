@@ -1,0 +1,144 @@
+// Integration tests of the full pipeline: simulate a BGP table transfer with
+// ONE injected bottleneck, run T-DAT on the resulting pcap bytes, and check
+// that the delay classification points at the injected cause.
+#include "core/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/series_names.hpp"
+#include "sim_scenarios.hpp"
+
+namespace tdat {
+namespace {
+
+using test::analyze_single;
+using test::run_single;
+
+TEST(Analyzer, BaselineTransferIsFoundAndParsed) {
+  const auto run = run_single(SessionSpec{}, 2000, 1);
+  ASSERT_TRUE(run.finished);
+  const auto a = analyze_single(run);
+
+  EXPECT_FALSE(a.transfer.empty());
+  EXPECT_GT(a.mct.update_count, 100u);
+  EXPECT_EQ(a.mct.prefix_count, 2000u);
+  EXPECT_FALSE(a.mct.ended_by_repeat);
+  // The 34 internal series all exist.
+  EXPECT_GE(a.series().count(), 34u);
+  // Messages extracted by pcap2bgp match what the archive saw.
+  EXPECT_GE(a.messages.size(), a.mct.update_count);
+}
+
+TEST(Analyzer, TimerPacedSenderIsSenderAppLimited) {
+  const auto run = run_single(test::timer_paced_sender(), 3000, 2);
+  ASSERT_TRUE(run.finished);
+  const auto a = analyze_single(run);
+
+  EXPECT_TRUE(a.report.major(FactorGroup::kSender));
+  EXPECT_EQ(a.report.dominant(FactorGroup::kSender), Factor::kBgpSenderApp);
+  EXPECT_GT(a.report.ratio(Factor::kBgpSenderApp), 0.5);
+  // Sender-side idling is not receiver or network trouble.
+  EXPECT_FALSE(a.report.major(FactorGroup::kNetwork));
+}
+
+TEST(Analyzer, SmallWindowLongPathIsTcpWindowLimited) {
+  const auto run = run_single(test::small_window_path(), 6000, 3);
+  ASSERT_TRUE(run.finished);
+  const auto a = analyze_single(run);
+
+  // 16 KB window over a 50 ms RTT: the transfer is receiver-window bound.
+  EXPECT_TRUE(a.report.major(FactorGroup::kReceiver));
+  EXPECT_EQ(a.report.dominant(FactorGroup::kReceiver),
+            Factor::kTcpAdvertisedWindow);
+}
+
+TEST(Analyzer, SlowCollectorIsReceiverAppLimited) {
+  const auto run = run_single(test::slow_collector(), 3000, 4);
+  ASSERT_TRUE(run.finished);
+  const auto a = analyze_single(run);
+
+  EXPECT_TRUE(a.report.major(FactorGroup::kReceiver));
+  EXPECT_EQ(a.report.dominant(FactorGroup::kReceiver), Factor::kBgpReceiverApp);
+  EXPECT_GT(a.report.ratio(Factor::kBgpReceiverApp), 0.3);
+}
+
+TEST(Analyzer, UpstreamRandomLossShowsNetworkLoss) {
+  const auto run = run_single(test::lossy_upstream(0.05), 8000, 5);
+  ASSERT_TRUE(run.finished);
+  const auto a = analyze_single(run);
+
+  // With the sniffer at the receiver, upstream losses are network losses.
+  EXPECT_GT(a.series().get(series::kNetworkLoss).count(), 0u);
+  EXPECT_GT(a.report.ratio(Factor::kNetworkLoss), 0.0);
+  EXPECT_EQ(a.series().get(series::kSendLocalLoss).count(), 0u);
+}
+
+TEST(Analyzer, ReceiverInterfaceDropsAreLocalLosses) {
+  const auto run = run_single(test::receiver_local_loss(), 4000, 6);
+  ASSERT_TRUE(run.finished);
+  const auto a = analyze_single(run);
+
+  EXPECT_GT(a.series().get(series::kRecvLocalLoss).count(), 0u);
+  EXPECT_GT(a.report.ratio(Factor::kReceiverLocalLoss), 0.0);
+  // Downstream drops at the sniffer-receiver link must NOT be attributed
+  // upstream.
+  const auto up = a.series().get(series::kUpstreamLoss).count();
+  const auto down = a.series().get(series::kDownstreamLoss).count();
+  EXPECT_GT(down, up);
+}
+
+TEST(Analyzer, NarrowPipeIsBandwidthLimited) {
+  const auto run = run_single(test::narrow_pipe(), 4000, 7);
+  ASSERT_TRUE(run.finished);
+  const auto a = analyze_single(run);
+
+  EXPECT_GT(a.report.ratio(Factor::kBandwidthLimited), 0.3);
+  EXPECT_TRUE(a.report.major(FactorGroup::kNetwork));
+}
+
+TEST(Analyzer, TransferWindowMatchesGroundTruth) {
+  const auto run = run_single(SessionSpec{}, 2000, 8);
+  ASSERT_TRUE(run.finished);
+  const auto a = analyze_single(run);
+  // MCT end must be within a couple seconds of when the sender finished
+  // handing the table to TCP (delivery lag included).
+  EXPECT_GE(a.transfer.end, run.finished_at - kMicrosPerSec);
+  EXPECT_LE(a.transfer.end, run.finished_at + 30 * kMicrosPerSec);
+}
+
+TEST(Analyzer, RatiosAreSane) {
+  for (std::uint64_t seed : {11, 12, 13}) {
+    const auto run = run_single(test::slow_collector(), 1500, seed);
+    const auto a = analyze_single(run);
+    for (std::size_t i = 0; i < kFactorCount; ++i) {
+      EXPECT_GE(a.report.factor_ratio[i], 0.0);
+      EXPECT_LE(a.report.factor_ratio[i], 1.0 + 1e-9);
+    }
+    for (std::size_t g = 0; g < kGroupCount; ++g) {
+      EXPECT_GE(a.report.group_ratio[g], 0.0);
+      EXPECT_LE(a.report.group_ratio[g], 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Analyzer, EmptyTraceYieldsNoResults) {
+  PcapFile empty;
+  const auto ta = analyze_trace(empty, AnalyzerOptions{});
+  EXPECT_TRUE(ta.results.empty());
+}
+
+TEST(Analyzer, MajorThresholdSweepKeepsRanking) {
+  // §IV-A: moving the threshold between 0.3 and 0.5 must not change which
+  // group dominates.
+  const auto run = run_single(test::timer_paced_sender(), 2000, 14);
+  for (double th : {0.3, 0.4, 0.5}) {
+    AnalyzerOptions opts;
+    opts.major_threshold = th;
+    const auto a = analyze_single(run, opts);
+    EXPECT_TRUE(a.report.major(FactorGroup::kSender)) << th;
+    EXPECT_EQ(a.report.dominant(FactorGroup::kSender), Factor::kBgpSenderApp) << th;
+  }
+}
+
+}  // namespace
+}  // namespace tdat

@@ -1,0 +1,100 @@
+// The Quagga path of §II-A: table transfers located from the collector's
+// MRT archive rather than from pcap2bgp reconstruction. Both paths must
+// agree (within MRT's one-second timestamp granularity).
+#include "core/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pcap2bgp.hpp"
+#include "sim_scenarios.hpp"
+
+namespace tdat {
+namespace {
+
+struct ArchiveRun {
+  PcapFile trace;
+  std::vector<MrtRecord> archive;
+  std::uint32_t peer_ip = 0;
+};
+
+// Run a session and keep both the sniffer capture and the collector's own
+// archive, like an ISP_A-2 deployment.
+ArchiveRun run_quagga_style(SessionSpec spec, std::size_t prefixes,
+                            std::uint64_t seed) {
+  SimWorld world(seed);
+  spec.bgp.my_as = 64123;
+  const auto s = world.add_session(spec, test::table_messages(prefixes, seed ^ 3));
+  world.start_session(s, 0);
+  world.run_until(600 * kMicrosPerSec);
+  EXPECT_TRUE(world.sender(s).finished_sending());
+
+  ArchiveRun out;
+  out.peer_ip = 0x0a000101;  // first session's default address
+  for (const TimedBgpMessage& tm : world.receiver(s).archive()) {
+    MrtRecord rec;
+    rec.ts = tm.ts;
+    rec.peer_as = 64123;
+    rec.local_as = 65000;
+    rec.peer_ip = out.peer_ip;
+    rec.local_ip = 0x0a090909;
+    rec.bgp_message = serialize_message(tm.msg);
+    out.archive.push_back(std::move(rec));
+  }
+  out.trace = world.take_trace();
+  return out;
+}
+
+TEST(ArchiveAnalysis, MatchesPcap2BgpWithinASecond) {
+  const ArchiveRun run = run_quagga_style(test::slow_collector(), 3000, 81);
+  const auto conns = split_connections(decode_pcap(run.trace));
+  ASSERT_EQ(conns.size(), 1u);
+
+  const auto via_pcap = analyze_connection(conns[0], AnalyzerOptions{});
+  const auto via_archive =
+      analyze_connection_with_archive(conns[0], run.archive, AnalyzerOptions{});
+
+  ASSERT_FALSE(via_pcap.transfer.empty());
+  ASSERT_FALSE(via_archive.transfer.empty());
+  EXPECT_EQ(via_archive.mct.prefix_count, via_pcap.mct.prefix_count);
+  EXPECT_EQ(via_archive.mct.update_count, via_pcap.mct.update_count);
+  // MRT keeps second-granular stamps: windows agree within ~2 s.
+  EXPECT_NEAR(to_seconds(via_archive.transfer.end),
+              to_seconds(via_pcap.transfer.end), 2.0);
+  // And the classification agrees on the dominant group.
+  EXPECT_EQ(via_archive.report.major(FactorGroup::kReceiver),
+            via_pcap.report.major(FactorGroup::kReceiver));
+}
+
+TEST(ArchiveAnalysis, MrtRoundTripPreservesTheResult) {
+  const ArchiveRun run = run_quagga_style(SessionSpec{}, 2000, 82);
+  const auto image = serialize_mrt(run.archive);
+  const auto reloaded = parse_mrt(image);
+  ASSERT_TRUE(reloaded.ok());
+  const auto conns = split_connections(decode_pcap(run.trace));
+  const auto direct =
+      analyze_connection_with_archive(conns[0], run.archive, AnalyzerOptions{});
+  const auto via_disk = analyze_connection_with_archive(conns[0], reloaded.value(),
+                                                        AnalyzerOptions{});
+  // Disk round trip truncates timestamps to seconds; prefix counts and
+  // second-level windows survive.
+  EXPECT_EQ(direct.mct.prefix_count, via_disk.mct.prefix_count);
+  EXPECT_NEAR(to_seconds(direct.transfer.end), to_seconds(via_disk.transfer.end),
+              1.5);
+}
+
+TEST(ArchiveAnalysis, FiltersByPeer) {
+  const ArchiveRun run = run_quagga_style(SessionSpec{}, 1000, 83);
+  EXPECT_FALSE(archive_messages_for(run.archive, run.peer_ip).empty());
+  EXPECT_TRUE(archive_messages_for(run.archive, 0x01020304).empty());
+}
+
+TEST(ArchiveAnalysis, EmptyArchiveMeansNoTransfer) {
+  const ArchiveRun run = run_quagga_style(SessionSpec{}, 500, 84);
+  const auto conns = split_connections(decode_pcap(run.trace));
+  const auto a = analyze_connection_with_archive(conns[0], {}, AnalyzerOptions{});
+  EXPECT_TRUE(a.transfer.empty());
+  EXPECT_EQ(a.mct.update_count, 0u);
+}
+
+}  // namespace
+}  // namespace tdat

@@ -1,0 +1,68 @@
+// Capture-void detection (§II-A): tcpdump drops leave periods where the
+// receiver acknowledges bytes the trace never shows.
+#include <gtest/gtest.h>
+
+#include "core/detectors.hpp"
+#include "sim_scenarios.hpp"
+
+namespace tdat {
+namespace {
+
+TEST(CaptureVoids, CleanCaptureHasNone) {
+  SimWorld world(101);
+  const auto s = world.add_session(SessionSpec{}, test::table_messages(2000, 1));
+  world.start_session(s, 0);
+  world.run_until(120 * kMicrosPerSec);
+  const auto conns = split_connections(decode_pcap(world.take_trace()));
+  ASSERT_EQ(conns.size(), 1u);
+  const auto res = detect_capture_voids(conns[0], compute_profile(conns[0]));
+  EXPECT_FALSE(res.detected);
+  EXPECT_EQ(res.missing_bytes, 0u);
+}
+
+TEST(CaptureVoids, SnifferDropsAreDetected) {
+  SimWorld world(102, /*capture_drop=*/0.05);
+  const auto s = world.add_session(SessionSpec{}, test::table_messages(5000, 2));
+  world.start_session(s, 0);
+  world.run_until(120 * kMicrosPerSec);
+  EXPECT_GT(world.tap().capture_drops(), 0u);
+  const auto conns = split_connections(decode_pcap(world.take_trace()));
+  ASSERT_EQ(conns.size(), 1u);
+  const auto profile = compute_profile(conns[0]);
+  const auto res = detect_capture_voids(conns[0], profile);
+  EXPECT_TRUE(res.detected);
+  EXPECT_GT(res.missing_bytes, 0u);
+  EXPECT_FALSE(res.voids.empty());
+}
+
+TEST(CaptureVoids, NetworkLossIsNotAVoid) {
+  // Packets lost in the NETWORK are never acknowledged, so they must not be
+  // mistaken for capture drops.
+  SimWorld world(103);
+  SessionSpec spec;
+  spec.up_fwd.random_loss = 0.05;
+  const auto s = world.add_session(spec, test::table_messages(12'000, 3));
+  world.start_session(s, 0);
+  world.run_until(300 * kMicrosPerSec);
+  ASSERT_GE(world.sender_endpoint(s).retransmit_count(), 1u);
+  const auto conns = split_connections(decode_pcap(world.take_trace()));
+  const auto res = detect_capture_voids(conns[0], compute_profile(conns[0]));
+  EXPECT_FALSE(res.detected) << res.missing_bytes;
+}
+
+TEST(CaptureVoids, ExcludeFromSubtractsVoids) {
+  CaptureVoidResult res;
+  res.voids = {{10, 20}, {40, 50}};
+  const RangeSet remaining = res.exclude_from({0, 100});
+  EXPECT_EQ(remaining, RangeSet({{0, 10}, {20, 40}, {50, 100}}));
+  EXPECT_EQ(remaining.size(), 80);
+}
+
+TEST(CaptureVoids, EmptyConnection) {
+  Connection conn;
+  const auto res = detect_capture_voids(conn, ConnectionProfile{});
+  EXPECT_FALSE(res.detected);
+}
+
+}  // namespace
+}  // namespace tdat

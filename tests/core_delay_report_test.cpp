@@ -1,0 +1,130 @@
+// Unit tests of the §III-D output step on hand-built series registries,
+// where every ratio is computable by eye.
+#include "core/delay_report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdat {
+namespace {
+
+EventSeries make(const char* name, std::initializer_list<TimeRange> ranges) {
+  EventSeries s(name);
+  for (const TimeRange& r : ranges) s.add(r);
+  return s;
+}
+
+SeriesRegistry registry_with(std::initializer_list<EventSeries> series) {
+  SeriesRegistry reg;
+  for (const EventSeries& s : series) reg.put(s);
+  return reg;
+}
+
+TEST(DelayReport, FactorRatiosOverWindow) {
+  // 100-unit window; sender app idle covers 60, cwnd 20 (overlapping 10).
+  auto reg = registry_with({
+      make(series::kSendAppLimited, {{0, 60}}),
+      make(series::kCwndBndOut, {{50, 70}}),
+  });
+  const DelayReport rep = classify_delay(reg, {0, 100}, AnalyzerOptions{});
+  EXPECT_DOUBLE_EQ(rep.ratio(Factor::kBgpSenderApp), 0.6);
+  EXPECT_DOUBLE_EQ(rep.ratio(Factor::kTcpCongestionWindow), 0.2);
+  // Group = union: [0,70) = 0.7, not 0.8.
+  EXPECT_DOUBLE_EQ(rep.ratio(FactorGroup::kSender), 0.7);
+  EXPECT_TRUE(rep.major(FactorGroup::kSender));
+  EXPECT_EQ(rep.dominant(FactorGroup::kSender), Factor::kBgpSenderApp);
+  EXPECT_FALSE(rep.major(FactorGroup::kReceiver));
+  EXPECT_FALSE(rep.major(FactorGroup::kNetwork));
+  EXPECT_TRUE(rep.has_major());
+}
+
+TEST(DelayReport, ClipsToWindow) {
+  auto reg = registry_with({
+      make(series::kSendAppLimited, {{0, 1000}}),  // extends far beyond
+  });
+  const DelayReport rep = classify_delay(reg, {100, 200}, AnalyzerOptions{});
+  EXPECT_DOUBLE_EQ(rep.ratio(Factor::kBgpSenderApp), 1.0);
+  EXPECT_EQ(rep.factor_delay[static_cast<std::size_t>(Factor::kBgpSenderApp)], 100);
+}
+
+TEST(DelayReport, EmptyWindowAllZero) {
+  auto reg = registry_with({make(series::kSendAppLimited, {{0, 50}})});
+  const DelayReport rep = classify_delay(reg, {}, AnalyzerOptions{});
+  EXPECT_DOUBLE_EQ(rep.ratio(Factor::kBgpSenderApp), 0.0);
+  EXPECT_FALSE(rep.has_major());
+}
+
+TEST(DelayReport, MissingSeriesAreEmptyFactors) {
+  SeriesRegistry reg;  // nothing registered at all
+  const DelayReport rep = classify_delay(reg, {0, 100}, AnalyzerOptions{});
+  for (std::size_t i = 0; i < kFactorCount; ++i) {
+    EXPECT_DOUBLE_EQ(rep.factor_ratio[i], 0.0);
+  }
+}
+
+TEST(DelayReport, ThresholdBoundaryIsExclusive) {
+  auto reg = registry_with({make(series::kSendAppLimited, {{0, 30}})});
+  AnalyzerOptions opts;
+  opts.major_threshold = 0.3;
+  const DelayReport rep = classify_delay(reg, {0, 100}, opts);
+  // Exactly at the threshold: "more than 30%" (paper) — not major.
+  EXPECT_FALSE(rep.major(FactorGroup::kSender));
+  const DelayReport rep2 = classify_delay(reg, {0, 99}, opts);
+  EXPECT_TRUE(rep2.major(FactorGroup::kSender));
+}
+
+TEST(DelayReport, TcpAdvertisedWindowExcludesSmallAndWirePaced) {
+  // AdvBndOut covers [0,100); the small/zero slice [0,40) belongs to the
+  // receiver app; the wire-paced slice [80,100) to bandwidth.
+  auto reg = registry_with({
+      make(series::kAdvBndOut, {{0, 100}}),
+      make(series::kSmallAdvBndOut, {{0, 40}}),
+      make(series::kBandwidthLimited, {{80, 100}}),
+  });
+  const RangeSet r = factor_ranges(reg, Factor::kTcpAdvertisedWindow);
+  EXPECT_EQ(r, RangeSet({{40, 80}}));
+  const DelayReport rep = classify_delay(reg, {0, 100}, AnalyzerOptions{});
+  EXPECT_DOUBLE_EQ(rep.ratio(Factor::kTcpAdvertisedWindow), 0.4);
+  EXPECT_DOUBLE_EQ(rep.ratio(Factor::kBgpReceiverApp), 0.4);
+  EXPECT_DOUBLE_EQ(rep.ratio(Factor::kBandwidthLimited), 0.2);
+  // Receiver group = union of app + window slices = [0,80) = 0.8.
+  EXPECT_DOUBLE_EQ(rep.ratio(FactorGroup::kReceiver), 0.8);
+  // Network group holds the wire-paced slice.
+  EXPECT_DOUBLE_EQ(rep.ratio(FactorGroup::kNetwork), 0.2);
+}
+
+TEST(DelayReport, GroupTaxonomy) {
+  EXPECT_EQ(group_of(Factor::kBgpSenderApp), FactorGroup::kSender);
+  EXPECT_EQ(group_of(Factor::kTcpCongestionWindow), FactorGroup::kSender);
+  EXPECT_EQ(group_of(Factor::kSenderLocalLoss), FactorGroup::kSender);
+  EXPECT_EQ(group_of(Factor::kBgpReceiverApp), FactorGroup::kReceiver);
+  EXPECT_EQ(group_of(Factor::kTcpAdvertisedWindow), FactorGroup::kReceiver);
+  EXPECT_EQ(group_of(Factor::kReceiverLocalLoss), FactorGroup::kReceiver);
+  EXPECT_EQ(group_of(Factor::kBandwidthLimited), FactorGroup::kNetwork);
+  EXPECT_EQ(group_of(Factor::kNetworkLoss), FactorGroup::kNetwork);
+  // Every factor appears in its group's factor list.
+  for (std::size_t i = 0; i < kFactorCount; ++i) {
+    const auto f = static_cast<Factor>(i);
+    bool found = false;
+    for (Factor g : factors_in(group_of(f))) found |= g == f;
+    EXPECT_TRUE(found) << to_string(f);
+  }
+}
+
+TEST(DelayReport, FactorNames) {
+  EXPECT_STREQ(to_string(Factor::kBgpSenderApp), "BGP sender app");
+  EXPECT_STREQ(to_string(FactorGroup::kNetwork), "Network");
+}
+
+TEST(DelayReport, DominantFactorPerGroup) {
+  auto reg = registry_with({
+      make(series::kSmallAdvBndOut, {{0, 10}}),
+      make(series::kAdvBndOut, {{0, 50}}),
+      make(series::kRecvLocalLoss, {{60, 65}}),
+  });
+  const DelayReport rep = classify_delay(reg, {0, 100}, AnalyzerOptions{});
+  // TcpAdvertisedWindow = AdvBnd - Small = 40 > Small(10) > LocalLoss(5).
+  EXPECT_EQ(rep.dominant(FactorGroup::kReceiver), Factor::kTcpAdvertisedWindow);
+}
+
+}  // namespace
+}  // namespace tdat

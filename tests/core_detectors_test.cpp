@@ -1,0 +1,146 @@
+// Tests of the §IV-B problem detectors against simulated scenarios with the
+// corresponding problem injected (and control runs without it).
+#include "core/detectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim_scenarios.hpp"
+
+namespace tdat {
+namespace {
+
+using test::analyze_single;
+using test::run_single;
+
+TEST(TimerGapDetector, FindsConfigured200msTimer) {
+  const auto run = run_single(test::timer_paced_sender(200 * kMicrosPerMilli), 10'000, 31);
+  ASSERT_TRUE(run.finished);
+  const auto a = analyze_single(run);
+  const auto res = detect_timer_gaps(a.series(), a.transfer);
+  ASSERT_TRUE(res.detected);
+  EXPECT_NEAR(to_millis(res.timer), 200.0, 40.0);
+  EXPECT_GE(res.gap_count, 20u);
+  EXPECT_GT(res.introduced_delay, kMicrosPerSec);
+}
+
+class TimerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimerSweep, InfersTimerAcrossPaperValues) {
+  // The paper observes 80, 100, 200, 400 ms timers (Fig. 17).
+  const Micros timer = GetParam() * kMicrosPerMilli;
+  const auto run = run_single(test::timer_paced_sender(timer), 4000,
+                              1000 + static_cast<std::uint64_t>(GetParam()));
+  ASSERT_TRUE(run.finished);
+  const auto a = analyze_single(run);
+  const auto res = detect_timer_gaps(a.series(), a.transfer);
+  ASSERT_TRUE(res.detected) << GetParam();
+  EXPECT_NEAR(to_millis(res.timer), static_cast<double>(GetParam()),
+              0.25 * static_cast<double>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTimers, TimerSweep, ::testing::Values(80, 100, 200, 400));
+
+TEST(TimerGapDetector, NoTimerNoDetection) {
+  const auto run = run_single(SessionSpec{}, 3000, 33);
+  const auto a = analyze_single(run);
+  const auto res = detect_timer_gaps(a.series(), a.transfer);
+  EXPECT_FALSE(res.detected);
+}
+
+TEST(ConsecutiveLossDetector, BurstLossAtReceiverInterface) {
+  // A tight tail-drop queue at the collector's interface loses bursts of
+  // packets (§II-B2, Fig. 7).
+  const auto run = run_single(test::receiver_local_loss(), 8000, 34);
+  ASSERT_TRUE(run.finished);
+  const auto a = analyze_single(run);
+  const auto res = detect_consecutive_losses(a.series(), a.transfer);
+  EXPECT_TRUE(res.detected);
+  EXPECT_GE(res.episodes, 1u);
+  EXPECT_GE(res.max_consecutive, 8u);
+  EXPECT_GT(res.introduced_delay, 0);
+}
+
+TEST(ConsecutiveLossDetector, CleanTransferHasNone) {
+  const auto run = run_single(SessionSpec{}, 3000, 35);
+  const auto a = analyze_single(run);
+  const auto res = detect_consecutive_losses(a.series(), a.transfer);
+  EXPECT_FALSE(res.detected);
+  EXPECT_EQ(res.episodes, 0u);
+}
+
+TEST(ZeroAckBugDetector, FiresOnBuggySender) {
+  const auto run = run_single(test::zero_ack_bug(), 3000, 36);
+  ASSERT_TRUE(run.finished);
+  const auto a = analyze_single(run);
+  const auto res = detect_zero_ack_bug(a.series(), a.transfer);
+  EXPECT_TRUE(res.detected);
+  EXPECT_GE(res.occurrences, 2u);
+}
+
+TEST(ZeroAckBugDetector, SilentOnHealthySlowReader) {
+  SessionSpec spec = test::zero_ack_bug();
+  spec.sender_tcp.zero_window_probe_bug = false;
+  const auto run = run_single(spec, 3000, 37);
+  const auto a = analyze_single(run);
+  const auto res = detect_zero_ack_bug(a.series(), a.transfer);
+  EXPECT_FALSE(res.detected);
+}
+
+TEST(PeerGroupDetector, BlockingAcrossConnections) {
+  // Fig. 9: two members, one collector dies mid-transfer; the healthy
+  // member's connection pauses (keepalives only) until the hold timer
+  // removes the failed member.
+  SimWorld world(38);
+  const auto table = test::table_messages(30'000, 39);
+  PeerGroup group(table, 40);
+  SessionSpec healthy;
+  SessionSpec doomed;
+  doomed.receiver_ip = 0x0a09090a;
+  healthy.bgp.hold_time = 60 * kMicrosPerSec;
+  doomed.bgp.hold_time = 60 * kMicrosPerSec;
+  healthy.bgp.keepalive_interval = 10 * kMicrosPerSec;
+  doomed.bgp.keepalive_interval = 10 * kMicrosPerSec;
+  healthy.collector.keepalive_interval = 10 * kMicrosPerSec;
+  doomed.collector.keepalive_interval = 10 * kMicrosPerSec;
+  doomed.sender_tcp.send_buf_capacity = 8 * 1024;
+  const auto a_id = world.add_session(healthy, &group);
+  const auto b_id = world.add_session(doomed, &group);
+  world.start_session(a_id, 0);
+  world.start_session(b_id, 0);
+  world.run_until(kMicrosPerSec / 2);
+  world.receiver(b_id).die();
+  world.run_until(400 * kMicrosPerSec);
+  ASSERT_TRUE(world.sender(b_id).session_failed());
+  ASSERT_TRUE(world.sender(a_id).finished_sending());
+
+  const auto ta = analyze_trace(world.take_trace(), AnalyzerOptions{});
+  ASSERT_EQ(ta.results.size(), 2u);
+  // Identify which analysis is the healthy member (more transferred data).
+  const auto& healthy_a = ta.results[0].bundle.flow.stream_length >
+                                  ta.results[1].bundle.flow.stream_length
+                              ? ta.results[0]
+                              : ta.results[1];
+  const auto& doomed_a = &healthy_a == &ta.results[0] ? ta.results[1] : ta.results[0];
+
+  // Single-connection screen: the healthy member shows a long pause.
+  const auto pause = detect_peer_group_pause(healthy_a);
+  ASSERT_TRUE(pause.detected);
+  EXPECT_GT(pause.blocked_time, 30 * kMicrosPerSec);
+
+  // Cross-connection confirmation against the failed member.
+  const auto blocked = detect_peer_group_blocking(healthy_a, doomed_a);
+  ASSERT_TRUE(blocked.detected);
+  // The block lasts roughly until the hold timer fired (~60 s).
+  EXPECT_GT(blocked.blocked_time, 30 * kMicrosPerSec);
+  EXPECT_LT(blocked.blocked_time, 90 * kMicrosPerSec);
+}
+
+TEST(PeerGroupDetector, NoPauseOnCleanTransfer) {
+  const auto run = run_single(SessionSpec{}, 3000, 40);
+  const auto a = analyze_single(run);
+  const auto res = detect_peer_group_pause(a);
+  EXPECT_FALSE(res.detected);
+}
+
+}  // namespace
+}  // namespace tdat

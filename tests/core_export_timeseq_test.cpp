@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/export.hpp"
+#include "core/timeseq.hpp"
+#include "helpers.hpp"
+#include "sim_scenarios.hpp"
+
+namespace tdat {
+namespace {
+
+using test::PacketFactory;
+
+TEST(ExportJson, SeriesStructure) {
+  EventSeries s("UpstreamLoss");
+  s.add({10, 20}, 2, 2920, 7);
+  const std::string json = series_to_json(s);
+  EXPECT_EQ(json,
+            "{\"name\":\"UpstreamLoss\",\"size_us\":10,\"events\":["
+            "{\"begin\":10,\"end\":20,\"packets\":2,\"bytes\":2920,"
+            "\"trace_ref\":7}]}");
+}
+
+TEST(ExportJson, EmptySeries) {
+  EventSeries s("Idle");
+  EXPECT_EQ(series_to_json(s), "{\"name\":\"Idle\",\"size_us\":0,\"events\":[]}");
+}
+
+TEST(ExportJson, RegistryListsAllSeries) {
+  SeriesRegistry reg;
+  EventSeries a("A");
+  a.add({0, 5});
+  reg.put(std::move(a));
+  reg.put(EventSeries("B"));
+  const std::string json = registry_to_json(reg);
+  EXPECT_NE(json.find("\"A\":{\"name\":\"A\""), std::string::npos);
+  EXPECT_NE(json.find("\"B\":{\"name\":\"B\""), std::string::npos);
+}
+
+TEST(ExportJson, ReportAndAnalysis) {
+  const auto run = test::run_single(test::slow_collector(), 1500, 55);
+  const auto a = test::analyze_single(run);
+  const std::string json = analysis_to_json(a);
+  EXPECT_NE(json.find("\"connection\":\"10.0.1.1:20000 <-> 10.9.9.9:179\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"BGP receiver app\":"), std::string::npos);
+  EXPECT_NE(json.find("\"Receiver-side\":{\"ratio\":"), std::string::npos);
+  EXPECT_NE(json.find("\"major\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"prefixes\":1500"), std::string::npos);
+  // Balanced braces — cheap structural sanity.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(TimeSeq, MarksLabelsAndAckFrontier) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace;
+  trace.push_back(f.data(0, 0, 1000));
+  trace.push_back(f.ack(10'000, 1000));
+  trace.push_back(f.data(20'000, 1000, 1000));
+  trace.push_back(f.data(500'000, 0, 1000));  // downstream retransmission
+  const auto conns = split_connections(trace);
+  const auto profile = compute_profile(conns[0]);
+  const auto flow =
+      classify_data_packets(conns[0], profile.data_dir, ClassifyOptions{});
+  const std::string plot =
+      render_time_sequence(conns[0], flow, {0, 600'000}, {.width = 60, .height = 10});
+  EXPECT_NE(plot.find('.'), std::string::npos);   // in-order data
+  EXPECT_NE(plot.find('R'), std::string::npos);   // the retransmission
+  EXPECT_NE(plot.find('a'), std::string::npos);   // ack frontier
+  EXPECT_NE(plot.find("legend"), std::string::npos);
+}
+
+TEST(TimeSeq, EmptyWindow) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace = {f.data(0, 0, 100)};
+  const auto conns = split_connections(trace);
+  const auto profile = compute_profile(conns[0]);
+  const auto flow =
+      classify_data_packets(conns[0], profile.data_dir, ClassifyOptions{});
+  EXPECT_EQ(render_time_sequence(conns[0], flow, {500, 400}), "(no data)\n");
+  EXPECT_EQ(render_time_sequence(conns[0], flow, {1'000, 2'000}),
+            "(no data in window)\n");
+}
+
+}  // namespace
+}  // namespace tdat

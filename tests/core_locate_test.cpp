@@ -1,0 +1,59 @@
+#include "core/locate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim_scenarios.hpp"
+
+namespace tdat {
+namespace {
+
+SnifferLocationEstimate run_and_locate(Micros up_one_way, Micros down_one_way,
+                                       std::uint64_t seed) {
+  SimWorld world(seed);
+  SessionSpec spec;
+  spec.up_fwd.propagation_delay = up_one_way;
+  spec.up_rev.propagation_delay = up_one_way;
+  spec.down_fwd.propagation_delay = down_one_way;
+  spec.down_rev.propagation_delay = down_one_way;
+  // A bounded window keeps the ACK clock engaged so d2 samples are tight.
+  spec.receiver_tcp.recv_buf_capacity = 16 * 1024;
+  const auto s = world.add_session(spec, test::table_messages(3000, seed ^ 1));
+  world.start_session(s, 0);
+  world.run_until(300 * kMicrosPerSec);
+  const auto conns = split_connections(decode_pcap(world.take_trace()));
+  EXPECT_EQ(conns.size(), 1u);
+  return infer_sniffer_location(conns[0], compute_profile(conns[0]));
+}
+
+TEST(Locate, CollectorSideDeployment) {
+  // The paper's Fig. 2 setup: wide area upstream, sniffer on the receiver's
+  // doorstep.
+  const auto est = run_and_locate(10 * kMicrosPerMilli, 50, 61);
+  ASSERT_GT(est.d1, 0);
+  ASSERT_GT(est.d2, 0);
+  EXPECT_LT(est.d1, est.d2 / 4);
+  EXPECT_TRUE(est.confident);
+  EXPECT_EQ(est.location, SnifferLocation::kNearReceiver);
+}
+
+TEST(Locate, SenderSideDeployment) {
+  const auto est = run_and_locate(50, 10 * kMicrosPerMilli, 62);
+  EXPECT_TRUE(est.confident);
+  EXPECT_EQ(est.location, SnifferLocation::kNearSender);
+}
+
+TEST(Locate, MidPathDeployment) {
+  const auto est = run_and_locate(5 * kMicrosPerMilli, 5 * kMicrosPerMilli, 63);
+  EXPECT_TRUE(est.confident);
+  EXPECT_EQ(est.location, SnifferLocation::kMiddle);
+}
+
+TEST(Locate, NoDataNoConfidence) {
+  Connection conn;
+  const auto est = infer_sniffer_location(conn, ConnectionProfile{});
+  EXPECT_FALSE(est.confident);
+  EXPECT_EQ(est.location, SnifferLocation::kMiddle);
+}
+
+}  // namespace
+}  // namespace tdat

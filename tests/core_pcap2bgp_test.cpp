@@ -1,0 +1,105 @@
+#include "core/pcap2bgp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim_scenarios.hpp"
+
+namespace tdat {
+namespace {
+
+TEST(Pcap2Bgp, ExtractsAllSentMessages) {
+  SimWorld world(51);
+  const auto table = test::table_messages(2000, 52);
+  const auto s = world.add_session(SessionSpec{}, table);
+  world.start_session(s, 0);
+  world.run_until(300 * kMicrosPerSec);
+  ASSERT_TRUE(world.sender(s).finished_sending());
+
+  const auto trace = world.take_trace();
+  const auto conns = split_connections(decode_pcap(trace));
+  ASSERT_EQ(conns.size(), 1u);
+  const auto profile = compute_profile(conns[0]);
+  const auto result = extract_bgp_messages(conns[0], profile.data_dir);
+
+  EXPECT_EQ(result.skipped_bytes, 0u);
+  EXPECT_EQ(result.parse_errors, 0u);
+  // OPEN + initial KEEPALIVE + the table + periodic keepalives.
+  std::size_t updates = 0;
+  std::size_t prefixes = 0;
+  for (const auto& tm : result.messages) {
+    if (const BgpUpdate* upd = tm.msg.as_update()) {
+      ++updates;
+      prefixes += upd->nlri.size();
+    }
+  }
+  EXPECT_EQ(updates, table.size());
+  EXPECT_EQ(prefixes, 2000u);
+  EXPECT_EQ(result.messages[0].msg.type(), BgpType::kOpen);
+  // Timestamps non-decreasing (delivery order).
+  for (std::size_t i = 1; i < result.messages.size(); ++i) {
+    EXPECT_LE(result.messages[i - 1].ts, result.messages[i].ts);
+  }
+}
+
+TEST(Pcap2Bgp, SurvivesLossAndRetransmissions) {
+  SimWorld world(53);
+  SessionSpec spec;
+  spec.up_fwd.random_loss = 0.05;
+  const auto table = test::table_messages(3000, 54);
+  const auto s = world.add_session(spec, table);
+  world.start_session(s, 0);
+  world.run_until(600 * kMicrosPerSec);
+  ASSERT_TRUE(world.sender(s).finished_sending());
+  ASSERT_GE(world.sender_endpoint(s).retransmit_count(), 1u);
+
+  const auto conns = split_connections(decode_pcap(world.take_trace()));
+  ASSERT_EQ(conns.size(), 1u);
+  const auto profile = compute_profile(conns[0]);
+  const auto result = extract_bgp_messages(conns[0], profile.data_dir);
+  EXPECT_EQ(result.parse_errors, 0u);
+  std::size_t prefixes = 0;
+  for (const auto& tm : result.messages) {
+    if (const BgpUpdate* upd = tm.msg.as_update()) prefixes += upd->nlri.size();
+  }
+  EXPECT_EQ(prefixes, 3000u);  // reassembly healed every loss
+}
+
+TEST(Pcap2Bgp, MrtRecordsCarryPeerIdentity) {
+  SimWorld world(55);
+  SessionSpec spec;
+  spec.bgp.my_as = 64999;
+  const auto s = world.add_session(spec, test::table_messages(200, 56));
+  world.start_session(s, 0);
+  world.run_until(120 * kMicrosPerSec);
+
+  const auto conns = split_connections(decode_pcap(world.take_trace()));
+  ASSERT_EQ(conns.size(), 1u);
+  const auto profile = compute_profile(conns[0]);
+  const auto result = extract_bgp_messages(conns[0], profile.data_dir);
+  const auto records = to_mrt_records(conns[0], profile.data_dir, result.messages);
+  ASSERT_EQ(records.size(), result.messages.size());
+  EXPECT_EQ(records[0].peer_as, 64999);
+
+  // Full offline round trip: write MRT, read it back, reparse messages.
+  const std::string path = ::testing::TempDir() + "/tdat_p2b.mrt";
+  ASSERT_TRUE(write_mrt_file(path, records));
+  const auto loaded = read_mrt_file(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), records.size());
+  std::size_t prefixes = 0;
+  for (const auto& rec : loaded.value()) {
+    const auto msg = rec.parse();
+    ASSERT_TRUE(msg.ok());
+    if (const BgpUpdate* upd = msg.value().as_update()) prefixes += upd->nlri.size();
+  }
+  EXPECT_EQ(prefixes, 200u);
+}
+
+TEST(Pcap2Bgp, EmptyConnection) {
+  Connection conn;
+  const auto result = extract_bgp_messages(conn, Dir::kAToB);
+  EXPECT_TRUE(result.messages.empty());
+}
+
+}  // namespace
+}  // namespace tdat

@@ -1,0 +1,260 @@
+// Unit tests of individual event series on small crafted traces, where the
+// expected ranges can be computed by hand.
+#include "core/series_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/series_names.hpp"
+#include "helpers.hpp"
+
+namespace tdat {
+namespace {
+
+using test::PacketFactory;
+
+Connection conn_of(std::vector<DecodedPacket> pkts) {
+  auto conns = split_connections(pkts);
+  EXPECT_EQ(conns.size(), 1u);
+  return conns[0];
+}
+
+SeriesBundle build(const Connection& conn, AnalyzerOptions opts = {}) {
+  return build_series(conn, compute_profile(conn), opts);
+}
+
+// A simple window-bound-looking exchange: bursts of data, ACK, idle, burst.
+std::vector<DecodedPacket> basic_trace(PacketFactory& f) {
+  std::vector<DecodedPacket> t = f.handshake(0, 10'000);
+  const Micros t0 = 20'000;
+  t.push_back(f.data(t0, 0, 1000));
+  t.push_back(f.data(t0 + 100, 1000, 1000));
+  t.push_back(f.ack(t0 + 300, 2000));
+  t.push_back(f.data(t0 + 10'300, 2000, 1000));
+  t.push_back(f.ack(t0 + 10'600, 3000));
+  return t;
+}
+
+TEST(SeriesBuilder, All34SeriesPresent) {
+  PacketFactory f;
+  const Connection conn = conn_of(basic_trace(f));
+  const SeriesBundle b = build(conn);
+  for (const char* name :
+       {series::kTransmission, series::kAckArrival, series::kOutstanding,
+        series::kAdvWindow, series::kRetransmission, series::kUpstreamLoss,
+        series::kDownstreamLoss, series::kOutOfSequence, series::kDuplicate,
+        series::kZeroAdvWindow, series::kKeepAlive, series::kKeepAliveOnly,
+        series::kIdle, series::kDataFlight, series::kAckFlight,
+        series::kHandshake, series::kTeardown, series::kRtoRecovery,
+        series::kFastRecovery, series::kSendLocalLoss, series::kRecvLocalLoss,
+        series::kNetworkLoss, series::kBgpKeepAlive, series::kSendAppLimited,
+        series::kSmallAdvWindow, series::kLargeAdvWindow, series::kAdvBndOut,
+        series::kCwndBndOut, series::kSmallAdvBndOut, series::kLargeAdvBndOut,
+        series::kZeroAdvBndOut, series::kBandwidthLimited, series::kLossRecovery,
+        series::kWindowLimited}) {
+    EXPECT_TRUE(b.registry.has(name)) << name;
+  }
+  EXPECT_GE(b.registry.count(), 34u);
+}
+
+TEST(SeriesBuilder, TransmissionCountsDataPackets) {
+  PacketFactory f;
+  const Connection conn = conn_of(basic_trace(f));
+  const SeriesBundle b = build(conn);
+  EXPECT_EQ(b.registry.get(series::kTransmission).count(), 3u);
+  EXPECT_EQ(b.registry.get(series::kTransmission).total_bytes(), 3000u);
+}
+
+TEST(SeriesBuilder, DataSpanCoversFirstToLastData) {
+  PacketFactory f;
+  const Connection conn = conn_of(basic_trace(f));
+  const SeriesBundle b = build(conn);
+  EXPECT_EQ(b.data_span.begin, 20'000);
+  EXPECT_EQ(b.data_span.end, 30'300 + 1);
+}
+
+TEST(SeriesBuilder, HandshakeRange) {
+  PacketFactory f;
+  const Connection conn = conn_of(basic_trace(f));
+  const SeriesBundle b = build(conn);
+  const auto& hs = b.registry.get(series::kHandshake);
+  ASSERT_EQ(hs.count(), 1u);
+  EXPECT_EQ(hs.events()[0].range, (TimeRange{0, 10'000}));
+}
+
+TEST(SeriesBuilder, AdvWindowSlices) {
+  PacketFactory f;
+  std::vector<DecodedPacket> t;
+  t.push_back(f.data(0, 0, 1000));
+  t.push_back(f.ack(1'000, 1000, 60'000));  // large (max 60000)
+  t.push_back(f.data(2'000, 1000, 1000));
+  t.push_back(f.ack(3'000, 2000, 2'000));   // small (< 3*1460)
+  t.push_back(f.data(4'000, 2000, 1000));
+  t.push_back(f.ack(5'000, 3000, 0));       // zero
+  t.push_back(f.data(400'000, 3000, 100));  // closes the last window range
+  const Connection conn = conn_of(t);
+  const SeriesBundle b = build(conn, AnalyzerOptions{});
+
+  const auto& small = b.registry.get(series::kSmallAdvWindow);
+  const auto& large = b.registry.get(series::kLargeAdvWindow);
+  const auto& zero = b.registry.get(series::kZeroAdvWindow);
+  // Zero windows are also small; the large slice covers only the 60000 step.
+  EXPECT_GT(small.size(), 0);
+  EXPECT_GT(large.size(), 0);
+  EXPECT_GT(zero.size(), 0);
+  EXPECT_TRUE(zero.ranges().set_difference(small.ranges()).empty());
+  EXPECT_TRUE(large.ranges().set_intersection(small.ranges()).empty());
+}
+
+TEST(SeriesBuilder, SendAppLimitedMatchesSetAlgebraDefinition) {
+  PacketFactory f;
+  const Connection conn = conn_of(basic_trace(f));
+  const SeriesBundle b = build(conn);
+  RangeSet span;
+  span.insert(b.data_span);
+  const RangeSet expected =
+      span.set_difference(b.registry.get(series::kOutstanding).ranges())
+          .set_difference(b.registry.get(series::kZeroAdvWindow).ranges())
+          .set_difference(b.registry.get(series::kRetransmission).ranges())
+          .set_difference(b.registry.get(series::kHandshake).ranges())
+          .set_difference(b.registry.get(series::kBandwidthLimited).ranges());
+  EXPECT_EQ(b.registry.get(series::kSendAppLimited).ranges(), expected);
+}
+
+TEST(SeriesBuilder, RtoVsFastRecoverySplit) {
+  PacketFactory f;
+  std::vector<DecodedPacket> t;
+  t.push_back(f.data(0, 0, 100));
+  t.push_back(f.data(100, 100, 100));
+  t.push_back(f.data(5'000, 0, 100));     // retx after 5 ms: fast recovery
+  t.push_back(f.data(500'000, 100, 100)); // retx after 500 ms: RTO-class
+  const Connection conn = conn_of(t);
+  const SeriesBundle b = build(conn);
+  EXPECT_EQ(b.registry.get(series::kFastRecovery).count(), 1u);
+  EXPECT_EQ(b.registry.get(series::kRtoRecovery).count(), 1u);
+  EXPECT_EQ(b.registry.get(series::kRetransmission).count(), 2u);
+  EXPECT_EQ(b.registry.get(series::kDownstreamLoss).count(), 2u);
+}
+
+TEST(SeriesBuilder, LossRecoveryIsUnionOfLossSeries) {
+  PacketFactory f;
+  std::vector<DecodedPacket> t;
+  t.push_back(f.data(0, 0, 100));
+  t.push_back(f.data(1'000, 200, 100));   // hole: upstream loss
+  t.push_back(f.data(300'000, 100, 100)); // fills it (upstream retx)
+  t.push_back(f.data(700'000, 0, 100));   // downstream retx of first
+  const Connection conn = conn_of(t);
+  const SeriesBundle b = build(conn);
+  const RangeSet expected =
+      b.registry.get(series::kUpstreamLoss)
+          .ranges()
+          .set_union(b.registry.get(series::kDownstreamLoss).ranges());
+  EXPECT_EQ(b.registry.get(series::kLossRecovery).ranges(), expected);
+}
+
+TEST(SeriesBuilder, InterpretationFollowsSnifferLocation) {
+  PacketFactory f;
+  std::vector<DecodedPacket> t;
+  t.push_back(f.data(0, 0, 100));
+  t.push_back(f.data(1'000, 200, 100));
+  t.push_back(f.data(300'000, 100, 100));  // upstream-loss retx
+  const Connection conn = conn_of(t);
+
+  AnalyzerOptions near_recv;  // default
+  const SeriesBundle br = build(conn, near_recv);
+  EXPECT_GT(br.registry.get(series::kNetworkLoss).count(), 0u);
+  EXPECT_EQ(br.registry.get(series::kSendLocalLoss).count(), 0u);
+
+  AnalyzerOptions near_send;
+  near_send.location = SnifferLocation::kNearSender;
+  const SeriesBundle bs = build(conn, near_send);
+  EXPECT_GT(bs.registry.get(series::kSendLocalLoss).count(), 0u);
+  EXPECT_EQ(bs.registry.get(series::kNetworkLoss)
+                .ranges()
+                .set_difference(bs.registry.get(series::kDownstreamLoss).ranges())
+                .size(),
+            0);
+
+  AnalyzerOptions middle;
+  middle.location = SnifferLocation::kMiddle;
+  const SeriesBundle bm = build(conn, middle);
+  // In the middle, both directions' losses are "network".
+  EXPECT_GT(bm.registry.get(series::kNetworkLoss).count(), 0u);
+  EXPECT_EQ(bm.registry.get(series::kSendLocalLoss).count(), 0u);
+  EXPECT_EQ(bm.registry.get(series::kRecvLocalLoss).count(), 0u);
+}
+
+TEST(SeriesBuilder, KeepAliveDetection) {
+  PacketFactory f;
+  std::vector<DecodedPacket> t;
+  t.push_back(f.data(0, 0, 1000));  // a data packet (not a keepalive)
+  // A genuine KEEPALIVE payload: marker + len 19 + type 4.
+  std::vector<std::uint8_t> ka(19, 0xff);
+  ka[16] = 0;
+  ka[17] = 19;
+  ka[18] = 4;
+  TcpSegmentSpec spec;
+  spec.src_ip = test::kSenderIp;
+  spec.dst_ip = test::kReceiverIp;
+  spec.src_port = test::kSenderPort;
+  spec.dst_port = test::kReceiverPort;
+  spec.seq = f.sender_isn + 1 + 1000;
+  spec.ack = f.receiver_isn + 1;
+  spec.flags = {.ack = true, .psh = true};
+  spec.window = 0xffff;
+  spec.payload = ka;
+  t.push_back(test::make_packet(60'000'000, t.size(), spec));
+  t.push_back(f.data(120'000'000, 1019, 1000));
+  const Connection conn = conn_of(t);
+  const SeriesBundle b = build(conn);
+  EXPECT_EQ(b.registry.get(series::kKeepAlive).count(), 1u);
+  EXPECT_EQ(b.registry.get(series::kBgpKeepAlive).count(), 1u);
+  // The gap between the two data packets contains only a keepalive.
+  const auto& ka_only = b.registry.get(series::kKeepAliveOnly);
+  ASSERT_EQ(ka_only.count(), 1u);
+  EXPECT_EQ(ka_only.events()[0].range, (TimeRange{0, 120'000'000}));
+}
+
+TEST(SeriesBuilder, IdleCoversLongQuietGaps) {
+  PacketFactory f;
+  std::vector<DecodedPacket> t;
+  t.push_back(f.data(0, 0, 100));
+  t.push_back(f.data(5'000'000, 100, 100));  // 5 s of silence
+  const Connection conn = conn_of(t);
+  const SeriesBundle b = build(conn);
+  const auto& idle = b.registry.get(series::kIdle);
+  ASSERT_EQ(idle.count(), 1u);
+  EXPECT_EQ(idle.events()[0].range, (TimeRange{0, 5'000'000}));
+}
+
+TEST(SeriesBuilder, EmptyConnectionProducesEmptySeries) {
+  Connection conn;
+  const SeriesBundle b = build(conn);
+  EXPECT_TRUE(b.data_span.empty());
+  EXPECT_EQ(b.registry.get(series::kTransmission).count(), 0u);
+  EXPECT_EQ(b.registry.get(series::kSendAppLimited).size(), 0);
+}
+
+TEST(SeriesBuilder, AckOnlyConnection) {
+  PacketFactory f;
+  std::vector<DecodedPacket> t;
+  t.push_back(f.ack(0, 0));
+  t.push_back(f.ack(1000, 0));
+  const Connection conn = conn_of(t);
+  const SeriesBundle b = build(conn);  // must not crash / assert
+  EXPECT_EQ(b.registry.get(series::kTransmission).count(), 0u);
+}
+
+TEST(SeriesBuilder, WindowLimitedIsUnionOfWindowSeries) {
+  PacketFactory f;
+  const Connection conn = conn_of(basic_trace(f));
+  const SeriesBundle b = build(conn);
+  const RangeSet expected =
+      b.registry.get(series::kAdvBndOut)
+          .ranges()
+          .set_union(b.registry.get(series::kCwndBndOut).ranges())
+          .set_union(b.registry.get(series::kZeroAdvBndOut).ranges());
+  EXPECT_EQ(b.registry.get(series::kWindowLimited).ranges(), expected);
+}
+
+}  // namespace
+}  // namespace tdat

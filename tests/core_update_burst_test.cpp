@@ -1,0 +1,106 @@
+// The paper's §VII future work: applying T-DAT beyond the initial table
+// transfer, to the massive update bursts routing events trigger. MCT must
+// fence the initial transfer off from the burst (re-announcements repeat
+// prefixes), and classify_delay over the burst's own window must attribute
+// its delay correctly.
+#include <gtest/gtest.h>
+
+#include "core/delay_report.hpp"
+#include "sim_scenarios.hpp"
+
+namespace tdat {
+namespace {
+
+struct BurstRun {
+  ConnectionAnalysis analysis;
+  Micros burst_start = 0;
+};
+
+BurstRun run_with_burst(SessionSpec spec, std::uint64_t seed) {
+  SimWorld world(seed);
+  Rng rng(seed ^ 0xfeed);
+  TableGenConfig tg;
+  tg.prefix_count = 4'000;
+  const auto table = generate_table(tg, rng);
+  const auto s = world.add_session(spec, serialize_updates(table));
+  world.start_session(s, 0);
+
+  // Let the initial transfer finish, then fire the routing event.
+  const Micros burst_at = 30 * kMicrosPerSec;
+  world.scheduler().at(burst_at, [&world, s, &table, &rng] {
+    world.sender(s).enqueue(
+        serialize_updates(generate_update_burst(table, 0.5, 0.1, rng)));
+  });
+  world.run_until(300 * kMicrosPerSec);
+  EXPECT_TRUE(world.sender(s).finished_sending());
+
+  TraceAnalysis ta = analyze_trace(world.take_trace(), AnalyzerOptions{});
+  EXPECT_EQ(ta.results.size(), 1u);
+  return {std::move(ta.results[0]), burst_at};
+}
+
+TEST(UpdateBurst, MctFencesTheInitialTransferOffTheBurst) {
+  const BurstRun run = run_with_burst(SessionSpec{}, 71);
+  // The transfer window must end well before the burst: the burst repeats
+  // prefixes (or withdraws), which is MCT's end-of-transfer signal.
+  EXPECT_LT(run.analysis.transfer.end, run.burst_start);
+  EXPECT_EQ(run.analysis.mct.prefix_count, 4'000u);
+}
+
+TEST(UpdateBurst, BurstMessagesAreExtracted) {
+  const BurstRun run = run_with_burst(SessionSpec{}, 72);
+  std::size_t burst_updates = 0;
+  for (const TimedBgpMessage& tm : run.analysis.messages) {
+    if (tm.ts >= run.burst_start && tm.msg.as_update() != nullptr) {
+      ++burst_updates;
+    }
+  }
+  EXPECT_GT(burst_updates, 100u);
+}
+
+TEST(UpdateBurst, BurstWindowClassifiesItsOwnBottleneck) {
+  // Make the burst receiver-limited: the collector is slow.
+  SessionSpec spec = test::slow_collector();
+  const BurstRun run = run_with_burst(spec, 73);
+
+  // Find the burst's data span from the extracted messages.
+  Micros burst_end = run.burst_start;
+  for (const TimedBgpMessage& tm : run.analysis.messages) {
+    if (tm.msg.as_update() != nullptr) burst_end = std::max(burst_end, tm.ts);
+  }
+  ASSERT_GT(burst_end, run.burst_start);
+
+  // T-DAT is window-agnostic: classify the burst period directly.
+  const DelayReport burst_report = classify_delay(
+      run.analysis.series(), {run.burst_start, burst_end}, AnalyzerOptions{});
+  EXPECT_TRUE(burst_report.major(FactorGroup::kReceiver));
+  EXPECT_EQ(burst_report.dominant(FactorGroup::kReceiver),
+            Factor::kBgpReceiverApp);
+}
+
+TEST(UpdateBurst, GeneratorShapes) {
+  Rng rng(9);
+  TableGenConfig tg;
+  tg.prefix_count = 2'000;
+  const auto table = generate_table(tg, rng);
+  const auto burst = generate_update_burst(table, 0.5, 0.1, rng);
+  std::size_t withdraws = 0, reannounces = 0;
+  for (const BgpUpdate& u : burst) {
+    if (!u.withdrawn.empty()) {
+      ++withdraws;
+      EXPECT_TRUE(u.nlri.empty());
+    } else {
+      ++reannounces;
+      EXPECT_FALSE(u.nlri.empty());
+      EXPECT_FALSE(u.attrs.as_path.empty());
+    }
+  }
+  // Roughly the configured fractions of the table's updates.
+  EXPECT_GT(reannounces, table.size() / 3);
+  EXPECT_LT(reannounces, table.size() * 2 / 3);
+  EXPECT_GT(withdraws, table.size() / 25);
+  EXPECT_LT(withdraws, table.size() / 5);
+}
+
+}  // namespace
+}  // namespace tdat

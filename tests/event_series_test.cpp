@@ -1,0 +1,143 @@
+#include "timerange/event_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include "timerange/render.hpp"
+
+namespace tdat {
+namespace {
+
+TEST(EventSeries, AddAndSize) {
+  EventSeries s("Test");
+  s.add({10, 20}, 2, 100, 7);
+  s.add({30, 40}, 1, 50, 9);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.size(), 20);
+  EXPECT_EQ(s.total_packets(), 3u);
+  EXPECT_EQ(s.total_bytes(), 150u);
+}
+
+TEST(EventSeries, OverlappingEventsMergeInRanges) {
+  EventSeries s("Test");
+  s.add({10, 30}, 1, 0);
+  s.add({20, 40}, 1, 0);
+  EXPECT_EQ(s.count(), 2u);          // events preserved individually
+  EXPECT_EQ(s.ranges().count(), 1u); // coverage merged
+  EXPECT_EQ(s.size(), 30);
+}
+
+TEST(EventSeries, EmptyRangeIgnored) {
+  EventSeries s("Test");
+  s.add({10, 10});
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+}
+
+TEST(EventSeries, OutOfOrderAddKeepsSorted) {
+  EventSeries s("Test");
+  s.add({30, 40});
+  s.add({10, 20});
+  s.add({20, 25});
+  ASSERT_EQ(s.events().size(), 3u);
+  EXPECT_EQ(s.events()[0].range.begin, 10);
+  EXPECT_EQ(s.events()[1].range.begin, 20);
+  EXPECT_EQ(s.events()[2].range.begin, 30);
+}
+
+TEST(EventSeries, CacheInvalidatedByAdd) {
+  EventSeries s("Test");
+  s.add({10, 20});
+  EXPECT_EQ(s.size(), 10);
+  s.add({40, 50});
+  EXPECT_EQ(s.size(), 20);
+}
+
+TEST(EventSeries, QueryWindow) {
+  EventSeries s("Test");
+  s.add({10, 20}, 1, 0, 100);
+  s.add({30, 40}, 1, 0, 101);
+  s.add({50, 60}, 1, 0, 102);
+  auto hits = s.query({15, 35});
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].trace_ref, 100);
+  EXPECT_EQ(hits[1].trace_ref, 101);
+  EXPECT_TRUE(s.query({20, 30}).empty());
+}
+
+TEST(EventSeries, RenamedKeepsEvents) {
+  EventSeries s("UpstreamLoss");
+  s.add({10, 20}, 3, 4000, 5);
+  EventSeries r = s.renamed("SendLocalLoss");
+  EXPECT_EQ(r.name(), "SendLocalLoss");
+  ASSERT_EQ(r.events().size(), 1u);
+  EXPECT_EQ(r.events()[0].packets, 3u);
+  EXPECT_EQ(s.name(), "UpstreamLoss");  // original untouched
+}
+
+TEST(EventSeries, SetAlgebra) {
+  EventSeries a("A");
+  a.add({10, 30});
+  a.add({50, 70});
+  EventSeries b("B");
+  b.add({20, 60});
+
+  EventSeries i = a.intersect(b, "I");
+  EXPECT_EQ(i.name(), "I");
+  EXPECT_EQ(i.size(), 10 + 10);
+
+  EventSeries u = a.unite(b, "U");
+  EXPECT_EQ(u.size(), 60);
+
+  EventSeries d = a.subtract(b, "D");
+  EXPECT_EQ(d.size(), 10 + 10);
+}
+
+TEST(SeriesRegistry, PutGetReplace) {
+  SeriesRegistry reg;
+  EventSeries s("Outstanding");
+  s.add({0, 10});
+  reg.put(std::move(s));
+  EXPECT_TRUE(reg.has("Outstanding"));
+  EXPECT_FALSE(reg.has("Missing"));
+  EXPECT_EQ(reg.get("Outstanding").size(), 10);
+
+  EventSeries s2("Outstanding");
+  s2.add({0, 99});
+  reg.put(std::move(s2));
+  EXPECT_EQ(reg.get("Outstanding").size(), 99);
+  EXPECT_EQ(reg.count(), 1u);
+}
+
+TEST(SeriesRegistry, Names) {
+  SeriesRegistry reg;
+  reg.put(EventSeries("B"));
+  reg.put(EventSeries("A"));
+  const auto names = reg.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "A");  // map order: sorted
+  EXPECT_EQ(names[1], "B");
+}
+
+TEST(Render, SquareWaves) {
+  EventSeries a("Loss");
+  a.add({0, 50});
+  EventSeries b("Idle");
+  b.add({50, 100});
+  RenderOptions opts;
+  opts.width = 10;
+  const std::string out = render_series({&a, &b}, {0, 100}, opts);
+  // "Loss" row covers the first half, "Idle" the second.
+  EXPECT_NE(out.find("Loss  #####....."), std::string::npos);
+  EXPECT_NE(out.find("Idle  .....#####"), std::string::npos);
+}
+
+TEST(Render, Csv) {
+  EventSeries a("X");
+  a.add({1, 2}, 3, 4);
+  const std::string csv = series_to_csv({&a});
+  EXPECT_NE(csv.find("series,begin_us,end_us,packets,bytes"), std::string::npos);
+  EXPECT_NE(csv.find("X,1,2,3,4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdat

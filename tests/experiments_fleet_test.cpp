@@ -1,0 +1,97 @@
+#include "experiments/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdat {
+namespace {
+
+FleetConfig tiny_fleet() {
+  FleetConfig cfg;
+  cfg.routers = 4;
+  cfg.transfers_min = 1;
+  cfg.transfers_max = 2;
+  cfg.prefix_base = 1'500;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(Fleet, RunsAndAnalyzesEveryTransfer) {
+  const FleetResult r = run_fleet(tiny_fleet());
+  ASSERT_GE(r.transfers.size(), 4u);
+  EXPECT_GT(r.total_packets, 0u);
+  EXPECT_GT(r.total_bytes, r.total_packets * 50);  // frames have headers
+  for (const TransferRecord& t : r.transfers) {
+    EXPECT_TRUE(t.sender_finished) << "router " << t.router;
+    EXPECT_FALSE(t.analysis.transfer.empty());
+    EXPECT_GT(t.analysis.mct.prefix_count, 1000u);
+  }
+}
+
+TEST(Fleet, DeterministicForSeed) {
+  const FleetResult a = run_fleet(tiny_fleet());
+  const FleetResult b = run_fleet(tiny_fleet());
+  ASSERT_EQ(a.transfers.size(), b.transfers.size());
+  EXPECT_EQ(a.total_packets, b.total_packets);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  for (std::size_t i = 0; i < a.transfers.size(); ++i) {
+    EXPECT_EQ(a.transfers[i].analysis.transfer_duration(),
+              b.transfers[i].analysis.transfer_duration());
+  }
+}
+
+TEST(Fleet, SeedChangesOutcome) {
+  FleetConfig other = tiny_fleet();
+  other.seed = 78;
+  EXPECT_NE(run_fleet(tiny_fleet()).total_packets,
+            run_fleet(other).total_packets);
+}
+
+TEST(Fleet, RouterTablesAreStableAcrossTransfers) {
+  FleetConfig cfg = tiny_fleet();
+  cfg.transfers_min = 2;
+  cfg.transfers_max = 2;
+  const FleetResult r = run_fleet(cfg);
+  std::map<std::size_t, std::size_t> prefix_counts;
+  for (const TransferRecord& t : r.transfers) {
+    auto [it, inserted] = prefix_counts.emplace(t.router, t.analysis.mct.prefix_count);
+    if (!inserted) {
+      EXPECT_EQ(it->second, t.analysis.mct.prefix_count)
+          << "router " << t.router << " sent different tables";
+    }
+  }
+}
+
+TEST(Fleet, PaperPresetsHaveDocumentedShape) {
+  const FleetConfig a1 = isp_a1_config();
+  const FleetConfig a2 = isp_a2_config();
+  const FleetConfig rv = rv_config();
+  // ISP_A-1's vendor reset bug: the most transfers per router.
+  EXPECT_GT(a1.transfers_max, a2.transfers_max);
+  EXPECT_GT(a2.transfers_max, rv.transfers_max);
+  // RouteViews: eBGP, the 16 KB window, aggressive sender backoff.
+  EXPECT_TRUE(rv.ebgp);
+  EXPECT_EQ(rv.recv_window, 16u * 1024);
+  EXPECT_GT(rv.sender_min_rto, a1.sender_min_rto);
+  EXPECT_FALSE(a1.ebgp);
+  EXPECT_EQ(a2.collector, CollectorKind::kQuagga);
+}
+
+TEST(Fleet, GroundTruthTraitsAppear) {
+  FleetConfig cfg = tiny_fleet();
+  cfg.routers = 12;
+  cfg.transfers_min = 2;
+  cfg.transfers_max = 3;
+  cfg.p_timer = 1.0;  // force the trait
+  const FleetResult r = run_fleet(cfg);
+  std::size_t with_timer = 0;
+  for (const TransferRecord& t : r.transfers) {
+    if (t.truth.timer) {
+      ++with_timer;
+      EXPECT_GT(t.truth.timer_value, 0);
+    }
+  }
+  EXPECT_EQ(with_timer, r.transfers.size());
+}
+
+}  // namespace
+}  // namespace tdat

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "pcap/checksum.hpp"
+#include "pcap/pcap_file.hpp"
+#include "util/bytes.hpp"
+
+namespace tdat {
+namespace {
+
+using test::kReceiverIp;
+using test::kSenderIp;
+
+TcpSegmentSpec basic_spec(std::span<const std::uint8_t> payload = {}) {
+  TcpSegmentSpec spec;
+  spec.src_ip = kSenderIp;
+  spec.dst_ip = kReceiverIp;
+  spec.src_port = 20000;
+  spec.dst_port = 179;
+  spec.seq = 1001;
+  spec.ack = 5001;
+  spec.flags = {.ack = true, .psh = !payload.empty()};
+  spec.window = 0x8000;
+  spec.payload = payload;
+  return spec;
+}
+
+TEST(Checksum, KnownVector) {
+  // RFC 1071 example-style check: complement of sum folds correctly.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  const std::uint16_t c = internet_checksum(data);
+  // Verifying the defining property: sum including checksum == 0xffff.
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i + 1 < sizeof(data); i += 2) {
+    acc += std::uint32_t{data[i]} << 8 | data[i + 1];
+  }
+  acc += c;
+  while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
+  EXPECT_EQ(acc, 0xffffu);
+}
+
+TEST(Checksum, OddLength) {
+  const std::uint8_t data[] = {0xab};
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xab00u));
+}
+
+TEST(EncodeDecode, RoundTripPlainAck) {
+  const auto pkt = test::make_packet(123, 0, basic_spec());
+  EXPECT_EQ(pkt.ts, 123);
+  EXPECT_EQ(pkt.ip.src, kSenderIp);
+  EXPECT_EQ(pkt.ip.dst, kReceiverIp);
+  EXPECT_EQ(pkt.tcp.src_port, 20000);
+  EXPECT_EQ(pkt.tcp.dst_port, 179);
+  EXPECT_EQ(pkt.tcp.seq, 1001u);
+  EXPECT_EQ(pkt.tcp.ack, 5001u);
+  EXPECT_EQ(pkt.tcp.window, 0x8000);
+  EXPECT_TRUE(pkt.tcp.flags.ack);
+  EXPECT_FALSE(pkt.tcp.flags.syn);
+  EXPECT_EQ(pkt.payload_len, 0u);
+}
+
+TEST(EncodeDecode, RoundTripPayload) {
+  std::vector<std::uint8_t> payload(100);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto pkt = test::make_packet(1, 0, basic_spec(payload));
+  ASSERT_EQ(pkt.payload_len, 100u);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), pkt.payload().begin()));
+}
+
+TEST(EncodeDecode, SynOptions) {
+  TcpSegmentSpec spec = basic_spec();
+  spec.flags = {.syn = true};
+  spec.mss = 1460;
+  spec.window_scale = 4;
+  const auto pkt = test::make_packet(1, 0, spec);
+  EXPECT_TRUE(pkt.tcp.flags.syn);
+  ASSERT_TRUE(pkt.tcp.mss.has_value());
+  EXPECT_EQ(*pkt.tcp.mss, 1460);
+  ASSERT_TRUE(pkt.tcp.window_scale.has_value());
+  EXPECT_EQ(*pkt.tcp.window_scale, 4);
+}
+
+TEST(Decode, RejectsNonIpv4) {
+  std::vector<std::uint8_t> frame(40, 0);
+  frame[12] = 0x86;  // ethertype IPv6
+  frame[13] = 0xdd;
+  EXPECT_FALSE(decode_frame(0, 0, frame).has_value());
+}
+
+TEST(Decode, RejectsTruncated) {
+  const auto full = encode_tcp_frame(basic_spec());
+  std::vector<std::uint8_t> cut(full.begin(), full.begin() + 30);
+  EXPECT_FALSE(decode_frame(0, 0, cut).has_value());
+}
+
+TEST(Decode, RejectsCorruptChecksumWhenVerifying) {
+  auto frame = encode_tcp_frame(basic_spec());
+  frame.back() ^= 0xff;        // corrupt the last byte
+  frame.push_back(0);          // keep total length plausible? no change needed
+  frame.pop_back();
+  // Without verification the (header-consistent) frame still decodes...
+  EXPECT_TRUE(decode_frame(0, 0, frame, false).has_value());
+  // ...but verification rejects it. The last byte is part of the TCP header
+  // (urgent ptr / options / payload), covered by the TCP checksum.
+  EXPECT_FALSE(decode_frame(0, 0, frame, true).has_value());
+}
+
+TEST(Decode, AcceptsValidChecksums) {
+  std::vector<std::uint8_t> payload(37, 0x5c);
+  const auto frame = encode_tcp_frame(basic_spec(payload));
+  EXPECT_TRUE(decode_frame(0, 0, frame, true).has_value());
+}
+
+TEST(PcapFile, SerializeParseRoundTrip) {
+  PcapFile file;
+  for (int i = 0; i < 5; ++i) {
+    PcapRecord rec;
+    rec.ts = 1'000'000LL * i + i;
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(10 + i), 0xcd);
+    rec.data = encode_tcp_frame(basic_spec(payload));
+    rec.orig_len = static_cast<std::uint32_t>(rec.data.size());
+    file.records.push_back(std::move(rec));
+  }
+  const auto image = serialize_pcap(file);
+  const auto parsed = parse_pcap(image);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().records.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(parsed.value().records[i].ts, file.records[i].ts);
+    EXPECT_EQ(parsed.value().records[i].data, file.records[i].data);
+  }
+}
+
+TEST(PcapFile, RejectsBadMagic) {
+  std::vector<std::uint8_t> junk(64, 0x42);
+  EXPECT_FALSE(parse_pcap(junk).ok());
+}
+
+TEST(PcapFile, RejectsShortHeader) {
+  std::vector<std::uint8_t> junk(8, 0);
+  EXPECT_FALSE(parse_pcap(junk).ok());
+}
+
+TEST(PcapFile, BigEndianHeader) {
+  // Build a minimal big-endian pcap: swapped magic + header + one record.
+  ByteWriter w;
+  w.u32be(0xa1b2c3d4);  // written BE == read LE as 0xd4c3b2a1 -> swapped
+  w.u16be(2);
+  w.u16be(4);
+  w.u32be(0);
+  w.u32be(0);
+  w.u32be(65535);
+  w.u32be(1);  // ethernet
+  const auto frame = encode_tcp_frame(basic_spec());
+  w.u32be(10);  // ts sec
+  w.u32be(500000);  // ts usec
+  w.u32be(static_cast<std::uint32_t>(frame.size()));
+  w.u32be(static_cast<std::uint32_t>(frame.size()));
+  w.bytes(frame);
+  const auto parsed = parse_pcap(w.data());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().records.size(), 1u);
+  EXPECT_EQ(parsed.value().records[0].ts, 10'500'000);
+}
+
+TEST(PcapFile, NanosecondMagic) {
+  ByteWriter w;
+  w.u32le(0xa1b23c4d);
+  w.u16le(2);
+  w.u16le(4);
+  w.u32le(0);
+  w.u32le(0);
+  w.u32le(65535);
+  w.u32le(1);
+  const auto frame = encode_tcp_frame(basic_spec());
+  w.u32le(1);          // sec
+  w.u32le(999'999'00);  // nanos -> 99999 us... wait: 99999900ns = 99999us
+  w.u32le(static_cast<std::uint32_t>(frame.size()));
+  w.u32le(static_cast<std::uint32_t>(frame.size()));
+  w.bytes(frame);
+  const auto parsed = parse_pcap(w.data());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().nanosecond);
+  EXPECT_EQ(parsed.value().records[0].ts, kMicrosPerSec + 99'999);
+}
+
+TEST(PcapFile, TruncatedTailKeepsPrefix) {
+  PcapFile file;
+  PcapRecord rec;
+  rec.ts = 5;
+  rec.data = encode_tcp_frame(basic_spec());
+  rec.orig_len = static_cast<std::uint32_t>(rec.data.size());
+  file.records.push_back(rec);
+  file.records.push_back(rec);
+  auto image = serialize_pcap(file);
+  image.resize(image.size() - 7);  // cut into the second record
+  const auto parsed = parse_pcap(image);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().records.size(), 1u);
+}
+
+TEST(PcapFile, FileRoundTrip) {
+  PcapFile file;
+  PcapRecord rec;
+  rec.ts = 42;
+  rec.data = encode_tcp_frame(basic_spec());
+  rec.orig_len = static_cast<std::uint32_t>(rec.data.size());
+  file.records.push_back(std::move(rec));
+  const std::string path = ::testing::TempDir() + "/tdat_test.pcap";
+  ASSERT_TRUE(write_pcap_file(path, file));
+  const auto loaded = read_pcap_file(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().records.size(), 1u);
+  EXPECT_EQ(loaded.value().records[0].ts, 42);
+}
+
+TEST(PcapFile, DecodeSkipsTruncatedCaptures) {
+  PcapFile file;
+  PcapRecord good;
+  good.ts = 1;
+  good.data = encode_tcp_frame(basic_spec());
+  good.orig_len = static_cast<std::uint32_t>(good.data.size());
+  PcapRecord snapped = good;  // captured shorter than on-wire length
+  snapped.data.resize(snapped.data.size() / 2);
+  file.records.push_back(good);
+  file.records.push_back(snapped);
+  const auto pkts = decode_pcap(file);
+  ASSERT_EQ(pkts.size(), 1u);
+  EXPECT_EQ(pkts[0].index, 0u);
+}
+
+}  // namespace
+}  // namespace tdat

@@ -1,0 +1,302 @@
+#include "timerange/range_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace tdat {
+namespace {
+
+TEST(TimeRange, Basics) {
+  TimeRange r{10, 20};
+  EXPECT_EQ(r.length(), 10);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_TRUE(r.contains(19));
+  EXPECT_FALSE(r.contains(20));
+  EXPECT_FALSE(r.contains(9));
+  EXPECT_TRUE((TimeRange{5, 5}.empty()));
+  EXPECT_TRUE((TimeRange{5, 3}.empty()));
+}
+
+TEST(TimeRange, Overlaps) {
+  TimeRange a{10, 20};
+  EXPECT_TRUE(a.overlaps({15, 25}));
+  EXPECT_TRUE(a.overlaps({0, 11}));
+  EXPECT_FALSE(a.overlaps({20, 30}));  // half-open: touching is not overlap
+  EXPECT_FALSE(a.overlaps({0, 10}));
+}
+
+TEST(RangeSet, InsertMergesOverlapping) {
+  RangeSet s;
+  s.insert(10, 20);
+  s.insert(15, 30);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.size(), 20);
+  EXPECT_EQ(s.ranges()[0], (TimeRange{10, 30}));
+}
+
+TEST(RangeSet, InsertMergesAdjacent) {
+  RangeSet s;
+  s.insert(10, 20);
+  s.insert(20, 30);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.size(), 20);
+}
+
+TEST(RangeSet, InsertKeepsDisjoint) {
+  RangeSet s;
+  s.insert(10, 20);
+  s.insert(30, 40);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.size(), 20);
+}
+
+TEST(RangeSet, InsertOutOfOrderAndSpanning) {
+  RangeSet s;
+  s.insert(30, 40);
+  s.insert(10, 20);
+  s.insert(50, 60);
+  EXPECT_EQ(s.count(), 3u);
+  s.insert(15, 55);  // bridges all three
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.ranges()[0], (TimeRange{10, 60}));
+}
+
+TEST(RangeSet, InsertEmptyIgnored) {
+  RangeSet s;
+  s.insert(10, 10);
+  s.insert(20, 15);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(RangeSet, ConstructorNormalizes) {
+  RangeSet s({{30, 40}, {10, 20}, {35, 50}, {5, 5}});
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.size(), 10 + 20);
+}
+
+TEST(RangeSet, Contains) {
+  RangeSet s({{10, 20}, {30, 40}});
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_FALSE(s.contains(20));
+  EXPECT_FALSE(s.contains(25));
+  EXPECT_TRUE(s.contains(39));
+  EXPECT_FALSE(s.contains(40));
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(RangeSet, Overlapping) {
+  RangeSet s({{10, 20}, {30, 40}, {50, 60}});
+  auto hits = s.overlapping({15, 55});
+  ASSERT_EQ(hits.size(), 3u);
+  hits = s.overlapping({20, 30});  // falls exactly in a gap
+  EXPECT_TRUE(hits.empty());
+  hits = s.overlapping({39, 41});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], (TimeRange{30, 40}));
+}
+
+TEST(RangeSet, SizeWithin) {
+  RangeSet s({{10, 20}, {30, 40}});
+  EXPECT_EQ(s.size_within({0, 100}), 20);
+  EXPECT_EQ(s.size_within({15, 35}), 5 + 5);
+  EXPECT_EQ(s.size_within({20, 30}), 0);
+}
+
+TEST(RangeSet, Span) {
+  RangeSet s;
+  EXPECT_TRUE(s.span().empty());
+  s.insert(10, 20);
+  s.insert(50, 60);
+  EXPECT_EQ(s.span(), (TimeRange{10, 60}));
+}
+
+TEST(RangeSet, Union) {
+  RangeSet a({{10, 20}, {40, 50}});
+  RangeSet b({{15, 45}, {60, 70}});
+  RangeSet u = a.set_union(b);
+  ASSERT_EQ(u.count(), 2u);
+  EXPECT_EQ(u.ranges()[0], (TimeRange{10, 50}));
+  EXPECT_EQ(u.ranges()[1], (TimeRange{60, 70}));
+}
+
+TEST(RangeSet, UnionWithEmpty) {
+  RangeSet a({{10, 20}});
+  RangeSet empty;
+  EXPECT_EQ(a.set_union(empty), a);
+  EXPECT_EQ(empty.set_union(a), a);
+}
+
+TEST(RangeSet, Intersection) {
+  RangeSet a({{10, 30}, {40, 60}});
+  RangeSet b({{20, 50}});
+  RangeSet i = a.set_intersection(b);
+  ASSERT_EQ(i.count(), 2u);
+  EXPECT_EQ(i.ranges()[0], (TimeRange{20, 30}));
+  EXPECT_EQ(i.ranges()[1], (TimeRange{40, 50}));
+}
+
+TEST(RangeSet, IntersectionDisjoint) {
+  RangeSet a({{10, 20}});
+  RangeSet b({{20, 30}});
+  EXPECT_TRUE(a.set_intersection(b).empty());
+}
+
+TEST(RangeSet, Difference) {
+  RangeSet a({{10, 50}});
+  RangeSet b({{20, 30}, {40, 45}});
+  RangeSet d = a.set_difference(b);
+  ASSERT_EQ(d.count(), 3u);
+  EXPECT_EQ(d.ranges()[0], (TimeRange{10, 20}));
+  EXPECT_EQ(d.ranges()[1], (TimeRange{30, 40}));
+  EXPECT_EQ(d.ranges()[2], (TimeRange{45, 50}));
+}
+
+TEST(RangeSet, DifferenceRemovesAll) {
+  RangeSet a({{10, 20}});
+  RangeSet b({{0, 100}});
+  EXPECT_TRUE(a.set_difference(b).empty());
+}
+
+TEST(RangeSet, Complement) {
+  RangeSet a({{10, 20}, {30, 40}});
+  RangeSet c = a.complement({0, 50});
+  ASSERT_EQ(c.count(), 3u);
+  EXPECT_EQ(c.ranges()[0], (TimeRange{0, 10}));
+  EXPECT_EQ(c.ranges()[1], (TimeRange{20, 30}));
+  EXPECT_EQ(c.ranges()[2], (TimeRange{40, 50}));
+}
+
+TEST(RangeSet, Gaps) {
+  RangeSet a({{10, 20}, {30, 40}, {45, 60}});
+  RangeSet g = a.gaps();
+  ASSERT_EQ(g.count(), 2u);
+  EXPECT_EQ(g.ranges()[0], (TimeRange{20, 30}));
+  EXPECT_EQ(g.ranges()[1], (TimeRange{40, 45}));
+}
+
+TEST(RangeSet, ToString) {
+  RangeSet a({{1, 2}, {4, 6}});
+  EXPECT_EQ(a.to_string(), "{[1,2), [4,6)}");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests against a brute-force bitmap reference (the data structure
+// the original Perl prototype effectively used).
+// ---------------------------------------------------------------------------
+
+class Bitmap {
+ public:
+  explicit Bitmap(std::size_t n) : bits_(n, false) {}
+
+  void insert(Micros b, Micros e) {
+    for (Micros t = std::max<Micros>(b, 0); t < e && t < Micros(bits_.size()); ++t) {
+      bits_[static_cast<std::size_t>(t)] = true;
+    }
+  }
+
+  static Bitmap from(const RangeSet& s, std::size_t n) {
+    Bitmap bm(n);
+    for (const TimeRange& r : s.ranges()) bm.insert(r.begin, r.end);
+    return bm;
+  }
+
+  Micros size() const {
+    Micros total = 0;
+    for (bool b : bits_) total += b ? 1 : 0;
+    return total;
+  }
+
+  Bitmap op(const Bitmap& o, char kind) const {
+    Bitmap out(bits_.size());
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+      switch (kind) {
+        case 'u': out.bits_[i] = bits_[i] || o.bits_[i]; break;
+        case 'i': out.bits_[i] = bits_[i] && o.bits_[i]; break;
+        case 'd': out.bits_[i] = bits_[i] && !o.bits_[i]; break;
+      }
+    }
+    return out;
+  }
+
+  bool operator==(const Bitmap& o) const { return bits_ == o.bits_; }
+
+ private:
+  std::vector<bool> bits_;
+};
+
+class RangeSetPropertyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+RangeSet random_set(std::mt19937& rng, Micros domain, int n) {
+  RangeSet s;
+  std::uniform_int_distribution<Micros> start(0, domain - 1);
+  std::uniform_int_distribution<Micros> len(0, domain / 4);
+  for (int i = 0; i < n; ++i) {
+    const Micros b = start(rng);
+    s.insert(b, std::min(domain, b + len(rng)));
+  }
+  return s;
+}
+
+TEST_P(RangeSetPropertyTest, AlgebraMatchesBitmapReference) {
+  constexpr Micros kDomain = 200;
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> nr(0, 12);
+
+  const RangeSet a = random_set(rng, kDomain, nr(rng));
+  const RangeSet b = random_set(rng, kDomain, nr(rng));
+  const Bitmap ba = Bitmap::from(a, kDomain);
+  const Bitmap bb = Bitmap::from(b, kDomain);
+
+  EXPECT_EQ(ba.size(), a.size());
+  EXPECT_TRUE(Bitmap::from(a.set_union(b), kDomain) == ba.op(bb, 'u'));
+  EXPECT_TRUE(Bitmap::from(a.set_intersection(b), kDomain) == ba.op(bb, 'i'));
+  EXPECT_TRUE(Bitmap::from(a.set_difference(b), kDomain) == ba.op(bb, 'd'));
+
+  // Structural invariants: sorted, disjoint, non-adjacent, non-empty.
+  for (const RangeSet* s : {&a, &b}) {
+    const auto& rs = s->ranges();
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      EXPECT_LT(rs[i].begin, rs[i].end);
+      if (i > 0) EXPECT_LT(rs[i - 1].end, rs[i].begin);
+    }
+  }
+}
+
+TEST_P(RangeSetPropertyTest, AlgebraLaws) {
+  constexpr Micros kDomain = 500;
+  std::mt19937 rng(GetParam() ^ 0x9e3779b9);
+  std::uniform_int_distribution<int> nr(0, 10);
+  const RangeSet a = random_set(rng, kDomain, nr(rng));
+  const RangeSet b = random_set(rng, kDomain, nr(rng));
+  const RangeSet c = random_set(rng, kDomain, nr(rng));
+  const TimeRange window{0, kDomain};
+
+  // Commutativity / associativity.
+  EXPECT_EQ(a.set_union(b), b.set_union(a));
+  EXPECT_EQ(a.set_intersection(b), b.set_intersection(a));
+  EXPECT_EQ(a.set_union(b).set_union(c), a.set_union(b.set_union(c)));
+
+  // De Morgan within the window.
+  const RangeSet lhs = a.set_union(b).complement(window);
+  const RangeSet rhs = a.complement(window).set_intersection(b.complement(window));
+  EXPECT_EQ(lhs, rhs);
+
+  // Size additivity: |A| + |B| == |A∪B| + |A∩B|.
+  EXPECT_EQ(a.size() + b.size(),
+            a.set_union(b).size() + a.set_intersection(b).size());
+
+  // Difference as intersection with complement.
+  EXPECT_EQ(a.set_difference(b),
+            a.set_intersection(b.complement(window)));
+
+  // Double complement is identity.
+  EXPECT_EQ(a.complement(window).complement(window), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeSetPropertyTest,
+                         ::testing::Range<std::uint32_t>(0, 25));
+
+}  // namespace
+}  // namespace tdat

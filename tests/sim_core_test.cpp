@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "sim/link.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sim_packet.hpp"
+
+namespace tdat {
+namespace {
+
+TEST(Scheduler, FifoAtEqualTimes) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(10, [&] { order.push_back(1); });
+  s.at(10, [&] { order.push_back(2); });
+  s.at(5, [&] { order.push_back(0); });
+  s.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(s.now(), 10);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler s;
+  int fired = 0;
+  s.at(10, [&] { ++fired; });
+  s.at(20, [&] { ++fired; });
+  s.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 15);
+  s.run_until(20);  // events exactly at the boundary run
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, CallbackSchedulesMore) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) s.after(10, tick);
+  };
+  s.after(0, tick);
+  s.run_to_completion();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), 40);
+}
+
+SimPacket make_test_packet(std::size_t payload_len) {
+  std::vector<std::uint8_t> payload(payload_len, 0x77);
+  TcpSegmentSpec spec;
+  spec.src_ip = 1;
+  spec.dst_ip = 2;
+  spec.src_port = 10;
+  spec.dst_port = 20;
+  spec.flags = {.ack = true};
+  spec.payload = payload;
+  return make_sim_packet(spec);
+}
+
+TEST(SimPacket, MirrorsSpec) {
+  const SimPacket p = make_test_packet(100);
+  EXPECT_EQ(p.payload_len, 100u);
+  EXPECT_EQ(p.payload()[0], 0x77);
+  EXPECT_EQ(p.wire_size(), 14u + 20 + 20 + 100);
+  EXPECT_TRUE(p.flags.ack);
+}
+
+TEST(Link, DeliversWithPropagationDelay) {
+  Scheduler s;
+  LinkConfig cfg;
+  cfg.propagation_delay = 500;
+  Link link(s, cfg, Rng(1));
+  Micros arrival = -1;
+  link.send(make_test_packet(10), [&](SimPacket) { arrival = s.now(); });
+  s.run_to_completion();
+  EXPECT_EQ(arrival, 500);
+  EXPECT_EQ(link.stats().delivered, 1u);
+}
+
+TEST(Link, SerializationPacing) {
+  Scheduler s;
+  LinkConfig cfg;
+  cfg.propagation_delay = 0;
+  cfg.rate_bytes_per_sec = 1'000'000;  // 1 MB/s
+  Link link(s, cfg, Rng(1));
+  std::vector<Micros> arrivals;
+  const SimPacket p = make_test_packet(946);  // 1000 wire bytes -> 1 ms each
+  for (int i = 0; i < 3; ++i) {
+    link.send(p, [&](SimPacket) { arrivals.push_back(s.now()); });
+  }
+  s.run_to_completion();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], 1000);
+  EXPECT_EQ(arrivals[1], 2000);
+  EXPECT_EQ(arrivals[2], 3000);
+}
+
+TEST(Link, TailDropWhenQueueFull) {
+  Scheduler s;
+  LinkConfig cfg;
+  cfg.propagation_delay = 0;
+  cfg.rate_bytes_per_sec = 1'000'000;
+  cfg.queue_packets = 2;
+  Link link(s, cfg, Rng(1));
+  int delivered = 0;
+  const SimPacket p = make_test_packet(986);
+  for (int i = 0; i < 5; ++i) {
+    link.send(p, [&](SimPacket) { ++delivered; });
+  }
+  s.run_to_completion();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(link.stats().dropped_queue, 3u);
+}
+
+TEST(Link, QueueDrainsOverTime) {
+  Scheduler s;
+  LinkConfig cfg;
+  cfg.propagation_delay = 0;
+  cfg.rate_bytes_per_sec = 1'000'000;
+  cfg.queue_packets = 1;
+  Link link(s, cfg, Rng(1));
+  int delivered = 0;
+  const SimPacket p = make_test_packet(986);
+  link.send(p, [&](SimPacket) { ++delivered; });
+  s.run_until(2000);  // first packet fully serialized
+  link.send(p, [&](SimPacket) { ++delivered; });
+  s.run_to_completion();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(link.stats().dropped_queue, 0u);
+}
+
+TEST(Link, RandomLossDropsSome) {
+  Scheduler s;
+  LinkConfig cfg;
+  cfg.random_loss = 0.5;
+  Link link(s, cfg, Rng(42));
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    link.send(make_test_packet(1), [&](SimPacket) { ++delivered; });
+  }
+  s.run_to_completion();
+  EXPECT_GT(delivered, 50);
+  EXPECT_LT(delivered, 150);
+  EXPECT_EQ(link.stats().delivered + link.stats().dropped_random, 200u);
+}
+
+}  // namespace
+}  // namespace tdat

@@ -1,0 +1,189 @@
+// Behavioural tests of TCP endpoint mechanisms that the analyzer's
+// heuristics rely on: Nagle coalescing, quickack-after-idle, receiver-side
+// SWS avoidance, persist-probe backoff, and delayed-ACK pacing.
+#include <gtest/gtest.h>
+
+#include "sim/tcp_endpoint.hpp"
+
+namespace tdat {
+namespace {
+
+class Recorder : public TcpApp {
+ public:
+  void on_connected() override { connected = true; }
+  bool connected = false;
+};
+
+class Pipe {
+ public:
+  Scheduler sched;
+  Micros one_way = 5 * kMicrosPerMilli;
+  std::vector<SimPacket> a_to_b;  // every packet sender -> receiver
+  std::vector<SimPacket> b_to_a;
+
+  void connect(TcpEndpoint& a, TcpEndpoint& b) {
+    a.set_output([this, &b](SimPacket p) {
+      a_to_b.push_back(p);
+      sched.after(one_way, [&b, p] { b.on_segment(p); });
+    });
+    b.set_output([this, &a](SimPacket p) {
+      b_to_a.push_back(p);
+      sched.after(one_way, [&a, p] { a.on_segment(p); });
+    });
+  }
+
+  std::size_t data_packets() const {
+    std::size_t n = 0;
+    for (const auto& p : a_to_b) n += p.payload_len > 0 ? 1 : 0;
+    return n;
+  }
+};
+
+struct Pair {
+  Pipe pipe;
+  Recorder app_a, app_b;
+  TcpEndpoint a, b;
+
+  explicit Pair(TcpConfig ca = {}, TcpConfig cb = {})
+      : a(pipe.sched, fix(ca, 1, 100), &app_a, "a"),
+        b(pipe.sched, fix(cb, 2, 179), &app_b, "b") {
+    pipe.connect(a, b);
+    b.listen(1, 100);
+    a.connect(2, 179);
+    pipe.sched.run_until(kMicrosPerSec);
+  }
+
+  static TcpConfig fix(TcpConfig c, std::uint32_t ip, std::uint16_t port) {
+    c.ip = ip;
+    c.port = port;
+    c.isn = 1000 * ip;
+    return c;
+  }
+};
+
+TEST(EndpointBehavior, NodelaySendsSubMssImmediately) {
+  Pair p;  // nagle defaults to off (TCP_NODELAY)
+  const std::size_t before = p.pipe.data_packets();
+  std::vector<std::uint8_t> msg(100, 1);
+  (void)p.a.send(msg);
+  (void)p.a.send(msg);  // second small write while the first is in flight
+  p.pipe.sched.run_until(2 * kMicrosPerSec);
+  EXPECT_EQ(p.pipe.data_packets() - before, 2u);  // two tiny segments
+}
+
+TEST(EndpointBehavior, NagleCoalescesSubMssWrites) {
+  TcpConfig c;
+  c.nagle = true;
+  Pair p(c);
+  const std::size_t before = p.pipe.data_packets();
+  std::vector<std::uint8_t> msg(100, 1);
+  for (int i = 0; i < 10; ++i) (void)p.a.send(msg);  // 1000 bytes total
+  p.pipe.sched.run_until(2 * kMicrosPerSec);
+  // First write goes alone (flight was 0), the other nine coalesce into one
+  // segment released by its ACK.
+  EXPECT_EQ(p.pipe.data_packets() - before, 2u);
+}
+
+TEST(EndpointBehavior, QuickackAfterIdleAcksImmediately) {
+  Pair p;
+  std::vector<std::uint8_t> seg(1000, 2);
+  (void)p.a.send(seg);
+  const Micros sent_at = p.pipe.sched.now();
+  p.pipe.sched.run_until(sent_at + 50 * kMicrosPerMilli);
+  // The single sub-2nd segment after idle must be ACKed at ~RTT, not after
+  // the 200 ms delack timer.
+  ASSERT_FALSE(p.pipe.b_to_a.empty());
+  const SimPacket& last_ack = p.pipe.b_to_a.back();
+  EXPECT_TRUE(last_ack.flags.ack);
+  EXPECT_EQ(p.a.flight_size(), 0);  // acked already
+}
+
+TEST(EndpointBehavior, DelayedAckKicksInAfterQuickackBudget) {
+  Pair p;
+  // A long steady stream: after the quickack budget, odd trailing segments
+  // wait for the delack timer.
+  std::vector<std::uint8_t> big(30'000, 3);
+  (void)p.a.send(big);
+  p.pipe.sched.run_until(10 * kMicrosPerSec);
+  EXPECT_EQ(p.a.bytes_acked(), 30'000);
+  // ACK count is well below data-packet count thanks to ack-every-2nd.
+  std::size_t pure_acks = 0;
+  for (const auto& pk : p.pipe.b_to_a) {
+    if (pk.flags.ack && pk.payload_len == 0 && !pk.flags.syn) ++pure_acks;
+  }
+  EXPECT_LT(pure_acks, p.pipe.data_packets());
+}
+
+TEST(EndpointBehavior, SwsAvoidanceNeverAdvertisesSillyWindow) {
+  TcpConfig cb;
+  cb.recv_buf_capacity = 8 * 1024;
+  Pair p(TcpConfig{}, cb);
+  std::vector<std::uint8_t> big(8 * 1024, 4);
+  (void)p.a.send(big);
+  p.pipe.sched.run_until(5 * kMicrosPerSec);
+  // The receiver never reads, so its buffer fills. Every advertised window
+  // on the way must be 0 or >= min(MSS, capacity/2) per RFC 1122.
+  for (const auto& pk : p.pipe.b_to_a) {
+    if (pk.flags.syn) continue;
+    EXPECT_TRUE(pk.window == 0 || pk.window >= 1460) << pk.window;
+  }
+}
+
+TEST(EndpointBehavior, PersistProbesBackOffAndResume) {
+  TcpConfig cb;
+  cb.recv_buf_capacity = 4 * 1024;
+  Pair p(TcpConfig{}, cb);
+  std::vector<std::uint8_t> big(20'000, 5);
+  std::size_t written = p.a.send(big);
+  // Fill the window; the receiver never reads: zero window, probes start.
+  p.pipe.sched.run_until(20 * kMicrosPerSec);
+  EXPECT_GE(p.a.persist_arm_count(), 2u);  // repeated, backed-off probing
+  EXPECT_LT(p.a.bytes_acked(), static_cast<std::int64_t>(written));
+
+  // Now the app drains: the window reopens, transfer completes.
+  std::function<void()> reader = [&] {
+    (void)p.b.read(4096);
+    if (p.b.bytes_delivered() < static_cast<std::int64_t>(written)) {
+      p.pipe.sched.after(50 * kMicrosPerMilli, reader);
+    }
+  };
+  p.pipe.sched.after(0, reader);
+  p.pipe.sched.run_until(80 * kMicrosPerSec);
+  EXPECT_EQ(p.a.bytes_acked(), static_cast<std::int64_t>(written));
+}
+
+TEST(EndpointBehavior, RtoBackoffIsExponential) {
+  Pair p;
+  // Sever the wire after establishment: every retransmission times out.
+  p.a.set_output([](SimPacket) {});
+  std::vector<std::uint8_t> seg(1000, 6);
+  (void)p.a.send(seg);
+  const Micros rto0 = p.a.current_rto();
+  p.pipe.sched.run_until(p.pipe.sched.now() + 30 * kMicrosPerSec);
+  EXPECT_GE(p.a.retransmit_count(), 3u);
+  EXPECT_GE(p.a.current_rto(), 4 * rto0);  // at least two doublings
+}
+
+TEST(EndpointBehavior, SynRetransmittedWhenLost) {
+  // Drop the first SYN: connect must still succeed via SYN retransmission.
+  Scheduler sched;
+  Recorder ra, rb;
+  TcpEndpoint a(sched, Pair::fix({}, 1, 100), &ra, "a");
+  TcpEndpoint b(sched, Pair::fix({}, 2, 179), &rb, "b");
+  int syn_seen = 0;
+  a.set_output([&](SimPacket p) {
+    if (p.flags.syn && ++syn_seen == 1) return;  // lose the first SYN
+    sched.after(1000, [&b, p] { b.on_segment(p); });
+  });
+  b.set_output([&](SimPacket p) {
+    sched.after(1000, [&a, p] { a.on_segment(p); });
+  });
+  b.listen(1, 100);
+  a.connect(2, 179);
+  sched.run_until(10 * kMicrosPerSec);
+  EXPECT_TRUE(a.established());
+  EXPECT_GE(syn_seen, 2);
+}
+
+}  // namespace
+}  // namespace tdat

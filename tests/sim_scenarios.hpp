@@ -1,0 +1,133 @@
+// Canned simulation scenarios for analyzer tests: each produces a pcap
+// trace with one known, injected bottleneck, which T-DAT must identify.
+#pragma once
+
+#include "bgp/table_gen.hpp"
+#include "core/analyzer.hpp"
+#include "sim/world.hpp"
+
+namespace tdat::test {
+
+inline std::vector<std::vector<std::uint8_t>> table_messages(std::size_t prefixes,
+                                                             std::uint64_t seed) {
+  Rng rng(seed);
+  TableGenConfig cfg;
+  cfg.prefix_count = prefixes;
+  return serialize_updates(generate_table(cfg, rng));
+}
+
+struct ScenarioRun {
+  PcapFile trace;
+  bool finished = false;
+  Micros finished_at = 0;
+  std::size_t archived_updates = 0;
+};
+
+inline ScenarioRun run_single(SessionSpec spec, std::size_t prefixes,
+                              std::uint64_t seed,
+                              Micros duration = 600 * kMicrosPerSec) {
+  SimWorld world(seed);
+  const auto s = world.add_session(spec, table_messages(prefixes, seed ^ 0xbeef));
+  world.start_session(s, 0);
+  world.run_until(duration);
+  ScenarioRun out;
+  out.finished = world.sender(s).finished_sending();
+  out.finished_at = world.sender(s).finished_at();
+  for (const auto& tm : world.receiver(s).archive()) {
+    if (tm.msg.as_update() != nullptr) ++out.archived_updates;
+  }
+  out.trace = world.take_trace();
+  return out;
+}
+
+inline ConnectionAnalysis analyze_single(const ScenarioRun& run,
+                                         AnalyzerOptions opts = {}) {
+  TraceAnalysis ta = analyze_trace(run.trace, opts);
+  TDAT_EXPECTS(ta.results.size() == 1);
+  return std::move(ta.results[0]);
+}
+
+// --- scenario presets ------------------------------------------------------
+
+// The sending BGP process paces itself with a timer (Fig. 5 / §II-B1).
+// Enough messages per tick that each burst spans several MSS segments, as
+// in the paper's traces (a single sub-MSS segment per tick would let the
+// receiver's delayed ACK shadow the application gap).
+inline SessionSpec timer_paced_sender(Micros timer = 200 * kMicrosPerMilli,
+                                      std::size_t msgs_per_tick = 60) {
+  SessionSpec spec;
+  spec.bgp.timer_driven = true;
+  spec.bgp.timer_interval = timer;
+  spec.bgp.msgs_per_tick = msgs_per_tick;
+  return spec;
+}
+
+// Long fat path + small receiver window: classic window-limited transfer
+// (the RouteViews 16 KB setting).
+inline SessionSpec small_window_path(std::uint32_t window = 16 * 1024,
+                                     Micros one_way = 25 * kMicrosPerMilli) {
+  SessionSpec spec;
+  spec.receiver_tcp.recv_buf_capacity = window;
+  spec.up_fwd.propagation_delay = one_way;
+  spec.up_rev.propagation_delay = one_way;
+  return spec;
+}
+
+// Collector process cannot keep up: reads slower than the data arrives,
+// repeatedly closing the advertised window (receiver-app limited).
+inline SessionSpec slow_collector(Micros read_interval = 300 * kMicrosPerMilli,
+                                  std::size_t chunk = 8 * 1024) {
+  SessionSpec spec;
+  spec.receiver_tcp.recv_buf_capacity = 8 * 1024;
+  spec.collector.read_interval = read_interval;
+  spec.collector.read_chunk = chunk;
+  return spec;
+}
+
+// Random loss on the upstream (wide-area) path.
+inline SessionSpec lossy_upstream(double p = 0.02) {
+  SessionSpec spec;
+  spec.up_fwd.random_loss = p;
+  return spec;
+}
+
+// Tail-drop loss at the receiver's interface (downstream, receiver-local).
+// The sender opens with a large burst — the paper's trigger is a router
+// blasting queued updates to all its peers at once (§II-B2) — which
+// overruns the interface queue and drops a long consecutive run.
+inline SessionSpec receiver_local_loss(std::size_t queue = 12,
+                                       std::int64_t rate = 2'000'000) {
+  SessionSpec spec;
+  spec.down_fwd.queue_packets = queue;
+  spec.down_fwd.rate_bytes_per_sec = rate;
+  spec.sender_tcp.initial_cwnd_segments = 32;
+  return spec;
+}
+
+// Narrow upstream bottleneck: the wire itself paces the transfer.
+inline SessionSpec narrow_pipe(std::int64_t rate = 60'000) {
+  SessionSpec spec;
+  spec.up_fwd.rate_bytes_per_sec = rate;
+  spec.up_fwd.queue_packets = 10'000;
+  // Keep windows generous so the pipe, not flow control, is the limit.
+  spec.sender_tcp.window_scale = 3;
+  spec.receiver_tcp.window_scale = 3;
+  spec.receiver_tcp.recv_buf_capacity = 512 * 1024;
+  spec.sender_tcp.send_buf_capacity = 512 * 1024;
+  return spec;
+}
+
+// Slow reader + the zero-window probe-discard bug (§IV-B). The reads are
+// small enough that the discarded probe's hole cannot collect three
+// duplicate ACKs, forcing RTO recoveries that span the recurring
+// zero-window episodes — the contradictory signature the ZeroAckBug series
+// intersection catches.
+inline SessionSpec zero_ack_bug() {
+  SessionSpec spec = slow_collector();
+  spec.sender_tcp.zero_window_probe_bug = true;
+  spec.receiver_tcp.recv_buf_capacity = 4 * 1024;
+  spec.collector.read_chunk = 2 * 1024;
+  return spec;
+}
+
+}  // namespace tdat::test

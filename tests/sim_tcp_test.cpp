@@ -1,0 +1,321 @@
+// Unit tests of the simulated TCP endpoint: a pair of endpoints wired
+// through a controllable "wire" that can delay, drop, and count packets.
+#include "sim/tcp_endpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+namespace tdat {
+namespace {
+
+class SinkApp : public TcpApp {
+ public:
+  void on_connected() override { connected = true; }
+  void on_reset() override { reset = true; }
+  bool connected = false;
+  bool reset = false;
+};
+
+// Reads everything as soon as it arrives.
+class EagerReader : public SinkApp {
+ public:
+  explicit EagerReader(TcpEndpoint** ep) : ep_(ep) {}
+  void on_data_available() override {
+    const auto bytes = (*ep_)->read((*ep_)->available());
+    received.insert(received.end(), bytes.begin(), bytes.end());
+  }
+  std::vector<std::uint8_t> received;
+
+ private:
+  TcpEndpoint** ep_;
+};
+
+struct Wire {
+  Scheduler sched;
+  Micros one_way = 5 * kMicrosPerMilli;
+  // Returns true to drop the nth sender->receiver data packet (1-based count
+  // of payload-carrying segments).
+  std::function<bool(const SimPacket&, int)> drop_fn;
+
+  TcpConfig sender_cfg() {
+    TcpConfig c;
+    c.ip = 1;
+    c.port = 100;
+    c.isn = 1000;
+    return c;
+  }
+  TcpConfig receiver_cfg() {
+    TcpConfig c;
+    c.ip = 2;
+    c.port = 179;
+    c.isn = 5000;
+    return c;
+  }
+
+  void connect(TcpEndpoint& a, TcpEndpoint& b) {
+    a.set_output([this, &b](SimPacket p) {
+      if (p.payload_len > 0) {
+        ++data_count;
+        if (drop_fn && drop_fn(p, data_count)) {
+          ++dropped;
+          return;
+        }
+      }
+      ++forward_packets;
+      sched.after(one_way, [&b, p = std::move(p)] { b.on_segment(p); });
+    });
+    b.set_output([this, &a](SimPacket p) {
+      ++reverse_packets;
+      sched.after(one_way, [&a, p = std::move(p)] { a.on_segment(p); });
+    });
+  }
+
+  int data_count = 0;
+  int dropped = 0;
+  int forward_packets = 0;
+  int reverse_packets = 0;
+};
+
+std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  return out;
+}
+
+TEST(SimTcp, HandshakeEstablishesBothSides) {
+  Wire w;
+  SinkApp sender_app;
+  TcpEndpoint* rep = nullptr;
+  EagerReader receiver_app(&rep);
+  TcpEndpoint sender(w.sched, w.sender_cfg(), &sender_app, "s");
+  TcpEndpoint receiver(w.sched, w.receiver_cfg(), &receiver_app, "r");
+  rep = &receiver;
+  w.connect(sender, receiver);
+  receiver.listen(1, 100);
+  sender.connect(2, 179);
+  w.sched.run_until(kMicrosPerSec);
+  EXPECT_TRUE(sender.established());
+  EXPECT_TRUE(receiver.established());
+  EXPECT_TRUE(sender_app.connected);
+  EXPECT_TRUE(receiver_app.connected);
+}
+
+TEST(SimTcp, LosslessBulkTransferIntact) {
+  Wire w;
+  SinkApp sender_app;
+  TcpEndpoint* rep = nullptr;
+  EagerReader receiver_app(&rep);
+  TcpEndpoint sender(w.sched, w.sender_cfg(), &sender_app, "s");
+  TcpEndpoint receiver(w.sched, w.receiver_cfg(), &receiver_app, "r");
+  rep = &receiver;
+  w.connect(sender, receiver);
+  receiver.listen(1, 100);
+  sender.connect(2, 179);
+  w.sched.run_until(kMicrosPerSec);
+
+  const auto data = pattern(200'000);
+  std::size_t written = 0;
+  // Feed the send buffer as space frees up.
+  std::function<void()> feeder = [&] {
+    written += sender.send(std::span(data).subspan(written));
+    if (written < data.size()) w.sched.after(kMicrosPerMilli, feeder);
+  };
+  feeder();
+  w.sched.run_until(60 * kMicrosPerSec);
+
+  EXPECT_EQ(receiver_app.received, data);
+  EXPECT_EQ(sender.retransmit_count(), 0u);
+  EXPECT_EQ(sender.bytes_acked(), static_cast<std::int64_t>(data.size()));
+}
+
+TEST(SimTcp, RecoversFromSingleLossViaFastRetransmit) {
+  Wire w;
+  w.drop_fn = [](const SimPacket&, int n) { return n == 20; };
+  SinkApp sender_app;
+  TcpEndpoint* rep = nullptr;
+  EagerReader receiver_app(&rep);
+  TcpEndpoint sender(w.sched, w.sender_cfg(), &sender_app, "s");
+  TcpEndpoint receiver(w.sched, w.receiver_cfg(), &receiver_app, "r");
+  rep = &receiver;
+  w.connect(sender, receiver);
+  receiver.listen(1, 100);
+  sender.connect(2, 179);
+  w.sched.run_until(kMicrosPerSec);
+
+  const auto data = pattern(120'000);
+  std::size_t written = 0;
+  std::function<void()> feeder = [&] {
+    written += sender.send(std::span(data).subspan(written));
+    if (written < data.size()) w.sched.after(kMicrosPerMilli, feeder);
+  };
+  feeder();
+  const Micros start = w.sched.now();
+  w.sched.run_until(120 * kMicrosPerSec);
+
+  EXPECT_EQ(receiver_app.received, data);
+  EXPECT_GE(sender.retransmit_count(), 1u);
+  // Fast retransmit means recovery well under an RTO (min_rto = 300 ms);
+  // the whole 120 KB at ~10 ms RTT should take way under 3 s.
+  EXPECT_TRUE(sender_app.connected);
+  EXPECT_LT(w.sched.now() - start, 200 * kMicrosPerSec);  // sanity
+}
+
+TEST(SimTcp, RecoversFromBurstLoss) {
+  Wire w;
+  w.drop_fn = [](const SimPacket&, int n) { return n >= 15 && n < 27; };
+  SinkApp sender_app;
+  TcpEndpoint* rep = nullptr;
+  EagerReader receiver_app(&rep);
+  TcpEndpoint sender(w.sched, w.sender_cfg(), &sender_app, "s");
+  TcpEndpoint receiver(w.sched, w.receiver_cfg(), &receiver_app, "r");
+  rep = &receiver;
+  w.connect(sender, receiver);
+  receiver.listen(1, 100);
+  sender.connect(2, 179);
+  w.sched.run_until(kMicrosPerSec);
+
+  const auto data = pattern(150'000);
+  std::size_t written = 0;
+  std::function<void()> feeder = [&] {
+    written += sender.send(std::span(data).subspan(written));
+    if (written < data.size()) w.sched.after(kMicrosPerMilli, feeder);
+  };
+  feeder();
+  w.sched.run_until(300 * kMicrosPerSec);
+  EXPECT_EQ(receiver_app.received, data);
+  EXPECT_GE(sender.retransmit_count(), 10u);
+}
+
+TEST(SimTcp, SlowReaderForcesZeroWindowAndRecovers) {
+  Wire w;
+  SinkApp sender_app;
+  SinkApp receiver_holder;  // never reads on its own
+  TcpConfig rcfg = w.receiver_cfg();
+  rcfg.recv_buf_capacity = 8 * 1024;
+  TcpEndpoint sender(w.sched, w.sender_cfg(), &sender_app, "s");
+  TcpEndpoint receiver(w.sched, rcfg, &receiver_holder, "r");
+  w.connect(sender, receiver);
+  receiver.listen(1, 100);
+  sender.connect(2, 179);
+  w.sched.run_until(kMicrosPerSec);
+
+  const auto data = pattern(40'000);
+  std::size_t written = 0;
+  std::function<void()> feeder = [&] {
+    written += sender.send(std::span(data).subspan(written));
+    if (written < data.size()) w.sched.after(kMicrosPerMilli, feeder);
+  };
+  feeder();
+  // Reader drains slowly: 2 KB every 50 ms.
+  std::vector<std::uint8_t> received;
+  std::function<void()> reader = [&] {
+    const auto bytes = receiver.read(2048);
+    received.insert(received.end(), bytes.begin(), bytes.end());
+    if (received.size() < data.size()) w.sched.after(50 * kMicrosPerMilli, reader);
+  };
+  w.sched.after(50 * kMicrosPerMilli, reader);
+  w.sched.run_until(30 * 60 * kMicrosPerSec);
+
+  EXPECT_EQ(received, data);
+}
+
+TEST(SimTcp, DiesSilently) {
+  Wire w;
+  SinkApp sender_app;
+  TcpEndpoint* rep = nullptr;
+  EagerReader receiver_app(&rep);
+  TcpEndpoint sender(w.sched, w.sender_cfg(), &sender_app, "s");
+  TcpEndpoint receiver(w.sched, w.receiver_cfg(), &receiver_app, "r");
+  rep = &receiver;
+  w.connect(sender, receiver);
+  receiver.listen(1, 100);
+  sender.connect(2, 179);
+  w.sched.run_until(kMicrosPerSec);
+
+  receiver.die();
+  const auto data = pattern(5'000);
+  (void)sender.send(data);
+  const auto before = w.reverse_packets;
+  w.sched.run_until(10 * kMicrosPerSec);
+  EXPECT_EQ(w.reverse_packets, before);        // dead peer says nothing
+  EXPECT_GE(sender.retransmit_count(), 2u);    // sender keeps RTO-retrying
+  EXPECT_GT(sender.current_rto(), kMicrosPerSec);  // with backoff
+}
+
+TEST(SimTcp, AbortSendsRst) {
+  Wire w;
+  SinkApp sender_app;
+  TcpEndpoint* rep = nullptr;
+  EagerReader receiver_app(&rep);
+  TcpEndpoint sender(w.sched, w.sender_cfg(), &sender_app, "s");
+  TcpEndpoint receiver(w.sched, w.receiver_cfg(), &receiver_app, "r");
+  rep = &receiver;
+  w.connect(sender, receiver);
+  receiver.listen(1, 100);
+  sender.connect(2, 179);
+  w.sched.run_until(kMicrosPerSec);
+
+  sender.abort();
+  w.sched.run_until(2 * kMicrosPerSec);
+  EXPECT_TRUE(sender.closed());
+  EXPECT_TRUE(receiver_app.reset);
+}
+
+TEST(SimTcp, CwndGrowsInSlowStart) {
+  Wire w;
+  SinkApp sender_app;
+  TcpEndpoint* rep = nullptr;
+  EagerReader receiver_app(&rep);
+  TcpEndpoint sender(w.sched, w.sender_cfg(), &sender_app, "s");
+  TcpEndpoint receiver(w.sched, w.receiver_cfg(), &receiver_app, "r");
+  rep = &receiver;
+  w.connect(sender, receiver);
+  receiver.listen(1, 100);
+  sender.connect(2, 179);
+  w.sched.run_until(kMicrosPerSec);
+  const auto initial_cwnd = sender.cwnd();
+
+  const auto data = pattern(100'000);
+  std::size_t written = 0;
+  std::function<void()> feeder = [&] {
+    written += sender.send(std::span(data).subspan(written));
+    if (written < data.size()) w.sched.after(kMicrosPerMilli, feeder);
+  };
+  feeder();
+  w.sched.run_until(60 * kMicrosPerSec);
+  EXPECT_GT(sender.cwnd(), initial_cwnd);
+  EXPECT_EQ(receiver_app.received.size(), data.size());
+}
+
+TEST(SimTcp, WindowScaleCarriesLargeWindows) {
+  Wire w;
+  SinkApp sender_app;
+  TcpEndpoint* rep = nullptr;
+  EagerReader receiver_app(&rep);
+  TcpConfig scfg = w.sender_cfg();
+  scfg.window_scale = 2;
+  TcpConfig rcfg = w.receiver_cfg();
+  rcfg.recv_buf_capacity = 256 * 1024;
+  rcfg.window_scale = 2;
+  TcpEndpoint sender(w.sched, scfg, &sender_app, "s");
+  TcpEndpoint receiver(w.sched, rcfg, &receiver_app, "r");
+  rep = &receiver;
+  w.connect(sender, receiver);
+  receiver.listen(1, 100);
+  sender.connect(2, 179);
+  w.sched.run_until(kMicrosPerSec);
+
+  const auto data = pattern(300'000);
+  std::size_t written = 0;
+  std::function<void()> feeder = [&] {
+    written += sender.send(std::span(data).subspan(written));
+    if (written < data.size()) w.sched.after(kMicrosPerMilli, feeder);
+  };
+  feeder();
+  w.sched.run_until(120 * kMicrosPerSec);
+  EXPECT_EQ(receiver_app.received, data);
+}
+
+}  // namespace
+}  // namespace tdat

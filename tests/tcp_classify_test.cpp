@@ -1,0 +1,160 @@
+#include "tcp/classify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace tdat {
+namespace {
+
+using test::PacketFactory;
+
+Connection make_conn(std::vector<DecodedPacket> pkts) {
+  const auto conns = split_connections(pkts);
+  EXPECT_EQ(conns.size(), 1u);
+  return conns[0];
+}
+
+ClassifyOptions opts_ms(Micros reorder_ms) {
+  ClassifyOptions o;
+  o.reorder_threshold = reorder_ms * kMicrosPerMilli;
+  return o;
+}
+
+TEST(Classify, AllInOrder) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace;
+  for (int i = 0; i < 5; ++i) trace.push_back(f.data(i * 1000, i * 100, 100));
+  const Connection conn = make_conn(trace);
+  const auto flow =
+      classify_data_packets(conn, packet_dir(conn.key, trace[0]), opts_ms(2));
+  ASSERT_EQ(flow.data.size(), 5u);
+  EXPECT_EQ(flow.count(DataLabel::kInOrder), 5u);
+  EXPECT_EQ(flow.stream_length, 500);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(flow.data[i].stream_begin, static_cast<std::int64_t>(i) * 100);
+  }
+}
+
+TEST(Classify, AnchorFromSyn) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace = f.handshake(0, 1000);
+  trace.push_back(f.data(2000, 0, 100));
+  const Connection conn = make_conn(trace);
+  const auto flow =
+      classify_data_packets(conn, packet_dir(conn.key, trace[0]), opts_ms(2));
+  ASSERT_EQ(flow.data.size(), 1u);
+  EXPECT_TRUE(flow.has_anchor);
+  EXPECT_EQ(flow.data[0].stream_begin, 0);
+}
+
+TEST(Classify, DownstreamRetransmission) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace;
+  trace.push_back(f.data(0, 0, 100));        // original, seen by sniffer
+  trace.push_back(f.data(1000, 100, 100));
+  trace.push_back(f.data(400'000, 0, 100));  // RTO retransmit of the first
+  const Connection conn = make_conn(trace);
+  const auto flow =
+      classify_data_packets(conn, packet_dir(conn.key, trace[0]), opts_ms(2));
+  ASSERT_EQ(flow.data.size(), 3u);
+  EXPECT_EQ(flow.data[2].label, DataLabel::kRetransmitDownstream);
+  // Recovery period runs from the original's capture to the retransmit.
+  EXPECT_EQ(flow.data[2].loss_begin, 0);
+  EXPECT_EQ(flow.data[2].ts, 400'000);
+}
+
+TEST(Classify, UpstreamLossViaHoleFill) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace;
+  trace.push_back(f.data(0, 0, 100));
+  // offset 100..200 lost upstream: sniffer sees the jump.
+  trace.push_back(f.data(1000, 200, 100));
+  trace.push_back(f.data(2000, 300, 100));
+  // Retransmission fills the hole 300 ms later (way past reordering).
+  trace.push_back(f.data(300'000, 100, 100));
+  const Connection conn = make_conn(trace);
+  const auto flow =
+      classify_data_packets(conn, packet_dir(conn.key, trace[0]), opts_ms(2));
+  EXPECT_EQ(flow.data[1].label, DataLabel::kInOrder);  // the jump itself
+  EXPECT_EQ(flow.data[3].label, DataLabel::kRetransmitUpstream);
+  EXPECT_EQ(flow.data[3].loss_begin, 1000);  // when the hole appeared
+}
+
+TEST(Classify, FastReorderingIsNotLoss) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace;
+  trace.push_back(f.data(0, 0, 100));
+  trace.push_back(f.data(1000, 200, 100));  // out of order by one packet
+  trace.push_back(f.data(1500, 100, 100));  // fills hole 0.5 ms later
+  const Connection conn = make_conn(trace);
+  const auto flow =
+      classify_data_packets(conn, packet_dir(conn.key, trace[0]), opts_ms(2));
+  EXPECT_EQ(flow.data[2].label, DataLabel::kReordering);
+}
+
+TEST(Classify, NetworkDuplicate) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace;
+  trace.push_back(f.data(0, 0, 100));
+  trace.push_back(f.data(200, 0, 100));  // exact copy 200 us later
+  const Connection conn = make_conn(trace);
+  const auto flow =
+      classify_data_packets(conn, packet_dir(conn.key, trace[0]), opts_ms(2));
+  EXPECT_EQ(flow.data[1].label, DataLabel::kDuplicate);
+}
+
+TEST(Classify, PartialHoleFillSplitsHole) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace;
+  trace.push_back(f.data(0, 0, 100));
+  trace.push_back(f.data(1000, 400, 100));   // hole [100, 400)
+  trace.push_back(f.data(300'000, 200, 100)); // fills middle of the hole
+  trace.push_back(f.data(600'000, 100, 100)); // fills left remainder
+  trace.push_back(f.data(900'000, 300, 100)); // fills right remainder
+  const Connection conn = make_conn(trace);
+  const auto flow =
+      classify_data_packets(conn, packet_dir(conn.key, trace[0]), opts_ms(2));
+  EXPECT_EQ(flow.data[2].label, DataLabel::kRetransmitUpstream);
+  EXPECT_EQ(flow.data[3].label, DataLabel::kRetransmitUpstream);
+  EXPECT_EQ(flow.data[4].label, DataLabel::kRetransmitUpstream);
+  // All recoveries date from the original hole creation.
+  EXPECT_EQ(flow.data[2].loss_begin, 1000);
+  EXPECT_EQ(flow.data[3].loss_begin, 1000);
+  EXPECT_EQ(flow.data[4].loss_begin, 1000);
+  EXPECT_EQ(flow.stream_length, 500);
+}
+
+TEST(Classify, MultipleConsecutiveRetransmissions) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace;
+  // 10 packets, then the whole flight is retransmitted (downstream loss).
+  for (int i = 0; i < 10; ++i) trace.push_back(f.data(i * 100, i * 100, 100));
+  for (int i = 0; i < 10; ++i) {
+    trace.push_back(f.data(500'000 + i * 100, i * 100, 100));
+  }
+  const Connection conn = make_conn(trace);
+  const auto flow =
+      classify_data_packets(conn, packet_dir(conn.key, trace[0]), opts_ms(2));
+  EXPECT_EQ(flow.count(DataLabel::kRetransmitDownstream), 10u);
+  EXPECT_EQ(flow.count(DataLabel::kInOrder), 10u);
+}
+
+TEST(Classify, WrongDirectionEmpty) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace;
+  trace.push_back(f.data(0, 0, 100));
+  const Connection conn = make_conn(trace);
+  const auto flow = classify_data_packets(
+      conn, reverse(packet_dir(conn.key, trace[0])), opts_ms(2));
+  EXPECT_TRUE(flow.data.empty());
+  EXPECT_FALSE(flow.has_anchor);
+}
+
+TEST(Classify, LabelNames) {
+  EXPECT_STREQ(to_string(DataLabel::kInOrder), "in-order");
+  EXPECT_STREQ(to_string(DataLabel::kRetransmitUpstream), "retx-upstream");
+}
+
+}  // namespace
+}  // namespace tdat

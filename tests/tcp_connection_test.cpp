@@ -1,0 +1,154 @@
+#include "tcp/connection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "tcp/profile.hpp"
+
+namespace tdat {
+namespace {
+
+using test::PacketFactory;
+
+TEST(ConnKey, CanonicalOrder) {
+  PacketFactory f;
+  const auto data = f.data(0, 0, 10);
+  const auto ack = f.ack(1, 10);
+  const ConnKey k1 = make_conn_key(data);
+  const ConnKey k2 = make_conn_key(ack);
+  EXPECT_EQ(k1, k2);
+  EXPECT_LT(k1.ip_a, k1.ip_b);
+}
+
+TEST(ConnKey, DirAssignment) {
+  PacketFactory f;
+  const auto data = f.data(0, 0, 10);
+  const auto ack = f.ack(1, 10);
+  const ConnKey key = make_conn_key(data);
+  EXPECT_NE(packet_dir(key, data), packet_dir(key, ack));
+  EXPECT_EQ(reverse(packet_dir(key, data)), packet_dir(key, ack));
+}
+
+TEST(ConnKey, ToStringShowsBothEndpoints) {
+  PacketFactory f;
+  const ConnKey key = make_conn_key(f.data(0, 0, 10));
+  const std::string s = key.to_string();
+  EXPECT_NE(s.find("10.0.1.1"), std::string::npos);
+  EXPECT_NE(s.find("10.9.9.9"), std::string::npos);
+}
+
+TEST(SplitConnections, SingleConnection) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace = f.handshake(0, 1000);
+  trace.push_back(f.data(2000, 0, 100));
+  trace.push_back(f.ack(3000, 100));
+  const auto conns = split_connections(trace);
+  ASSERT_EQ(conns.size(), 1u);
+  EXPECT_EQ(conns[0].packets.size(), 5u);
+  EXPECT_EQ(conns[0].start_time(), 0);
+  EXPECT_EQ(conns[0].end_time(), 3000);
+}
+
+TEST(SplitConnections, SessionResetStartsNewConnection) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace = f.handshake(0, 1000);
+  trace.push_back(f.data(2000, 0, 100));
+  trace.push_back(f.ack(3000, 100));
+  // Same endpoints reconnect (new SYN) after the old session carried data.
+  PacketFactory f2;
+  f2.next_index = trace.size();
+  f2.sender_isn = 777'000;
+  auto hs2 = f2.handshake(10'000'000, 1000);
+  for (auto& p : hs2) trace.push_back(std::move(p));
+  trace.push_back(f2.data(10'002'000, 0, 50));
+
+  const auto conns = split_connections(trace);
+  ASSERT_EQ(conns.size(), 2u);
+  EXPECT_EQ(conns[0].packets.size(), 5u);
+  EXPECT_EQ(conns[1].packets.size(), 4u);
+  EXPECT_EQ(conns[0].key, conns[1].key);
+}
+
+TEST(SplitConnections, DistinctEndpointsSeparate) {
+  PacketFactory f1;
+  std::vector<DecodedPacket> trace;
+  trace.push_back(f1.data(0, 0, 10));
+  // A second router (different IP) talking to the same collector.
+  TcpSegmentSpec spec;
+  spec.src_ip = test::kSenderIp + 1;
+  spec.dst_ip = test::kReceiverIp;
+  spec.src_port = 20001;
+  spec.dst_port = 179;
+  spec.seq = 1;
+  spec.flags = {.ack = true, .psh = true};
+  std::vector<std::uint8_t> payload(10, 0);
+  spec.payload = payload;
+  trace.push_back(test::make_packet(5, 1, spec));
+  const auto conns = split_connections(trace);
+  EXPECT_EQ(conns.size(), 2u);
+}
+
+TEST(Profile, HandshakeRttAndOptions) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace = f.handshake(0, 10'000);
+  trace.push_back(f.data(12'000, 0, 1000));
+  trace.push_back(f.ack(13'000, 1000));
+  const auto conns = split_connections(trace);
+  ASSERT_EQ(conns.size(), 1u);
+  const ConnectionProfile p = compute_profile(conns[0]);
+  ASSERT_TRUE(p.rtt_handshake.has_value());
+  EXPECT_EQ(*p.rtt_handshake, 10'000);
+  EXPECT_EQ(p.rtt(), 10'000);
+  EXPECT_EQ(p.mss(), 1460);
+  EXPECT_EQ(p.data_dir, packet_dir(conns[0].key, trace[3]));
+  EXPECT_EQ(p.sender().payload_bytes, 1000u);
+  EXPECT_EQ(p.receiver().payload_bytes, 0u);
+}
+
+TEST(Profile, RttMinSampleWithoutHandshake) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace;
+  trace.push_back(f.data(0, 0, 500));
+  trace.push_back(f.ack(4'000, 500));
+  trace.push_back(f.data(5'000, 500, 500));
+  trace.push_back(f.ack(8'000, 1000));
+  const auto conns = split_connections(trace);
+  const ConnectionProfile p = compute_profile(conns[0]);
+  EXPECT_FALSE(p.rtt_handshake.has_value());
+  ASSERT_TRUE(p.rtt_min_sample.has_value());
+  EXPECT_EQ(*p.rtt_min_sample, 3'000);  // min(4000-0, 8000-5000)
+}
+
+TEST(Profile, MaxAdvertisedWindowFromReceiver) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace;
+  trace.push_back(f.data(0, 0, 100));
+  trace.push_back(f.ack(1'000, 100, 16'384));
+  trace.push_back(f.data(2'000, 100, 100));
+  trace.push_back(f.ack(3'000, 200, 8'192));
+  const auto conns = split_connections(trace);
+  const ConnectionProfile p = compute_profile(conns[0]);
+  EXPECT_EQ(p.max_advertised_window(), 16'384u);
+}
+
+TEST(Profile, EmptyConnection) {
+  Connection conn;
+  const ConnectionProfile p = compute_profile(conn);
+  EXPECT_EQ(p.start, 0);
+  EXPECT_EQ(p.rtt(), kMicrosPerMilli);  // fallback
+}
+
+TEST(Profile, PureAckCounting) {
+  PacketFactory f;
+  std::vector<DecodedPacket> trace;
+  trace.push_back(f.data(0, 0, 100));
+  trace.push_back(f.ack(1'000, 100));
+  trace.push_back(f.ack(2'000, 100));
+  const auto conns = split_connections(trace);
+  const ConnectionProfile p = compute_profile(conns[0]);
+  EXPECT_EQ(p.receiver().pure_acks, 2u);
+  EXPECT_EQ(p.sender().data_packets, 1u);
+}
+
+}  // namespace
+}  // namespace tdat

@@ -1,0 +1,50 @@
+#include "tcp/flights.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdat {
+namespace {
+
+TEST(Flights, EmptyInput) {
+  EXPECT_TRUE(group_flights({}, 100).empty());
+}
+
+TEST(Flights, SingleFlight) {
+  std::vector<FlightItem> items = {{0, 100, 0}, {50, 100, 1}, {90, 100, 2}};
+  const auto flights = group_flights(items, 100);
+  ASSERT_EQ(flights.size(), 1u);
+  EXPECT_EQ(flights[0].packets, 3u);
+  EXPECT_EQ(flights[0].bytes, 300u);
+  EXPECT_EQ(flights[0].start, 0);
+  EXPECT_EQ(flights[0].end, 90);
+  EXPECT_EQ(flights[0].first, 0u);
+  EXPECT_EQ(flights[0].last, 2u);
+}
+
+TEST(Flights, SplitsOnGap) {
+  std::vector<FlightItem> items = {{0, 10, 0}, {50, 10, 1}, {500, 10, 2}, {520, 10, 3}};
+  const auto flights = group_flights(items, 100);
+  ASSERT_EQ(flights.size(), 2u);
+  EXPECT_EQ(flights[0].packets, 2u);
+  EXPECT_EQ(flights[1].packets, 2u);
+  EXPECT_EQ(flights[1].first, 2u);
+}
+
+TEST(Flights, GapExactlyAtThresholdStaysTogether) {
+  std::vector<FlightItem> items = {{0, 1, 0}, {100, 1, 1}};
+  EXPECT_EQ(group_flights(items, 100).size(), 1u);
+  EXPECT_EQ(group_flights(items, 99).size(), 2u);
+}
+
+TEST(Flights, EachPacketItsOwnFlightAtZeroThreshold) {
+  std::vector<FlightItem> items = {{0, 1, 0}, {1, 1, 1}, {2, 1, 2}};
+  EXPECT_EQ(group_flights(items, 0).size(), 3u);
+}
+
+TEST(Flights, EqualTimestampsShareFlightAtZeroThreshold) {
+  std::vector<FlightItem> items = {{5, 1, 0}, {5, 1, 1}};
+  EXPECT_EQ(group_flights(items, 0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace tdat

@@ -1,0 +1,139 @@
+#include "tcp/reassembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace tdat {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::initializer_list<int> xs) {
+  std::vector<std::uint8_t> out;
+  for (int x : xs) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+TEST(Reassembler, InOrderDelivery) {
+  Reassembler r(1000);
+  auto chunks = r.feed(1000, bytes_of({1, 2, 3}), 10);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].stream_begin, 0);
+  EXPECT_EQ(chunks[0].bytes, bytes_of({1, 2, 3}));
+  EXPECT_EQ(chunks[0].ts, 10);
+  EXPECT_EQ(r.next_expected(), 3);
+}
+
+TEST(Reassembler, HoleThenFill) {
+  Reassembler r(0);
+  EXPECT_TRUE(r.feed(3, bytes_of({4, 5, 6}), 1).empty());  // hole [0,3)
+  EXPECT_EQ(r.buffered_bytes(), 3u);
+  auto chunks = r.feed(0, bytes_of({1, 2, 3}), 2);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].bytes, bytes_of({1, 2, 3}));
+  EXPECT_EQ(chunks[1].bytes, bytes_of({4, 5, 6}));
+  EXPECT_EQ(chunks[1].ts, 2);  // delivered when the hole filled
+  EXPECT_EQ(r.buffered_bytes(), 0u);
+}
+
+TEST(Reassembler, DuplicateOfDelivered) {
+  Reassembler r(0);
+  (void)r.feed(0, bytes_of({1, 2}), 1);
+  EXPECT_TRUE(r.feed(0, bytes_of({1, 2}), 2).empty());
+  EXPECT_EQ(r.next_expected(), 2);
+}
+
+TEST(Reassembler, OverlapExtendsDelivered) {
+  Reassembler r(0);
+  (void)r.feed(0, bytes_of({1, 2}), 1);
+  auto chunks = r.feed(1, bytes_of({2, 3}), 2);  // overlaps one byte
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].stream_begin, 2);
+  EXPECT_EQ(chunks[0].bytes, bytes_of({3}));
+}
+
+TEST(Reassembler, DuplicateOfBuffered) {
+  Reassembler r(0);
+  EXPECT_TRUE(r.feed(5, bytes_of({6, 7}), 1).empty());
+  EXPECT_TRUE(r.feed(5, bytes_of({6, 7}), 2).empty());
+  EXPECT_EQ(r.buffered_bytes(), 2u);
+}
+
+TEST(Reassembler, SegmentSpanningBufferedAndNew) {
+  Reassembler r(0);
+  EXPECT_TRUE(r.feed(2, bytes_of({3, 4}), 1).empty());   // buffered [2,4)
+  EXPECT_TRUE(r.feed(1, bytes_of({2, 3, 4, 5}), 2).empty());  // covers [1,5)
+  // [1,2) and [4,5) are new; [2,4) already buffered.
+  auto chunks = r.feed(0, bytes_of({1}), 3);
+  std::vector<std::uint8_t> all;
+  for (const auto& c : chunks) {
+    all.insert(all.end(), c.bytes.begin(), c.bytes.end());
+  }
+  EXPECT_EQ(all, bytes_of({1, 2, 3, 4, 5}));
+  EXPECT_EQ(r.next_expected(), 5);
+}
+
+TEST(Reassembler, EmptyPayloadNoop) {
+  Reassembler r(0);
+  EXPECT_TRUE(r.feed(0, {}, 1).empty());
+  EXPECT_EQ(r.next_expected(), 0);
+}
+
+TEST(Reassembler, SequenceWrap) {
+  const std::uint32_t isn = 0xfffffffau;
+  Reassembler r(isn);
+  (void)r.feed(isn, bytes_of({1, 2, 3, 4}), 1);
+  auto chunks = r.feed(isn + 4, bytes_of({5, 6, 7, 8}), 2);  // wraps past 0
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].stream_begin, 4);
+  EXPECT_EQ(r.next_expected(), 8);
+}
+
+class ReassemblerFuzz : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ReassemblerFuzz, RandomizedSegmentsAlwaysReconstruct) {
+  std::mt19937 rng(GetParam());
+  // Ground-truth stream.
+  std::vector<std::uint8_t> stream(4000);
+  std::iota(stream.begin(), stream.end(), 0);
+
+  // Cut into segments.
+  struct Seg {
+    std::size_t begin, len;
+  };
+  std::vector<Seg> segs;
+  std::size_t pos = 0;
+  std::uniform_int_distribution<std::size_t> len_d(1, 300);
+  while (pos < stream.size()) {
+    const std::size_t len = std::min(len_d(rng), stream.size() - pos);
+    segs.push_back({pos, len});
+    pos += len;
+  }
+  // Shuffle mildly (displacement-bounded to mimic reordering), duplicate some.
+  std::vector<Seg> wire = segs;
+  for (std::size_t i = 1; i < wire.size(); ++i) {
+    if (rng() % 3 == 0) std::swap(wire[i], wire[i - 1]);
+  }
+  std::uniform_int_distribution<std::size_t> dup_d(0, wire.size() - 1);
+  for (int i = 0; i < 5; ++i) wire.push_back(wire[dup_d(rng)]);
+
+  Reassembler r(7777);
+  std::vector<std::uint8_t> rebuilt;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    const auto span = std::span(stream).subspan(wire[i].begin, wire[i].len);
+    for (const auto& chunk :
+         r.feed(7777 + static_cast<std::uint32_t>(wire[i].begin), span,
+                static_cast<Micros>(i))) {
+      EXPECT_EQ(chunk.stream_begin, static_cast<std::int64_t>(rebuilt.size()));
+      rebuilt.insert(rebuilt.end(), chunk.bytes.begin(), chunk.bytes.end());
+    }
+  }
+  EXPECT_EQ(rebuilt, stream);
+  EXPECT_EQ(r.buffered_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReassemblerFuzz,
+                         ::testing::Range<std::uint32_t>(0, 20));
+
+}  // namespace
+}  // namespace tdat

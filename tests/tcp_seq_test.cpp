@@ -1,0 +1,63 @@
+#include "tcp/seq.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdat {
+namespace {
+
+TEST(SeqArith, Basics) {
+  EXPECT_TRUE(seq_lt(1, 2));
+  EXPECT_TRUE(seq_le(2, 2));
+  EXPECT_TRUE(seq_gt(3, 2));
+  EXPECT_TRUE(seq_ge(2, 2));
+  EXPECT_EQ(seq_diff(10, 4), 6);
+  EXPECT_EQ(seq_diff(4, 10), -6);
+}
+
+TEST(SeqArith, WrapAround) {
+  const std::uint32_t near_max = 0xfffffff0u;
+  const std::uint32_t wrapped = 0x00000010u;
+  EXPECT_TRUE(seq_lt(near_max, wrapped));
+  EXPECT_TRUE(seq_gt(wrapped, near_max));
+  EXPECT_EQ(seq_diff(wrapped, near_max), 0x20);
+}
+
+TEST(SeqUnwrapper, MonotoneStream) {
+  SeqUnwrapper u(1000);
+  EXPECT_EQ(u.unwrap(1000), 0);
+  EXPECT_EQ(u.unwrap(2460), 1460);
+  EXPECT_EQ(u.unwrap(3920), 2920);
+}
+
+TEST(SeqUnwrapper, OutOfOrderAndRetransmit) {
+  SeqUnwrapper u(100);
+  EXPECT_EQ(u.unwrap(100), 0);
+  EXPECT_EQ(u.unwrap(3020), 2920);   // jump ahead
+  EXPECT_EQ(u.unwrap(1560), 1460);   // hole fill (goes back)
+  EXPECT_EQ(u.unwrap(100), 0);       // full retransmit from the start
+}
+
+TEST(SeqUnwrapper, CrossesWrapBoundary) {
+  const std::uint32_t isn = 0xffffff00u;
+  SeqUnwrapper u(isn);
+  EXPECT_EQ(u.unwrap(isn), 0);
+  EXPECT_EQ(u.unwrap(isn + 0x100), 0x100);          // wraps to 0x00
+  EXPECT_EQ(u.unwrap(isn + 0x100 + 1460), 0x100 + 1460);
+  // Retransmission from before the wrap still maps back correctly.
+  EXPECT_EQ(u.unwrap(isn + 0x80), 0x80);
+}
+
+TEST(SeqUnwrapper, ManyWraps) {
+  SeqUnwrapper u(0);
+  std::int64_t expected = 0;
+  std::uint32_t seq = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    // Step just under 2^20 each time: wraps every ~4096 iterations.
+    seq += (1u << 20) - 37;
+    expected += (1 << 20) - 37;
+    EXPECT_EQ(u.unwrap(seq), expected);
+  }
+}
+
+}  // namespace
+}  // namespace tdat

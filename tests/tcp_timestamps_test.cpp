@@ -1,0 +1,90 @@
+// RFC 1323 timestamps: codec round trip and the timestamp-echo RTT
+// estimation (Veal et al. [31], the passive-RTT method the paper cites).
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "tcp/profile.hpp"
+
+namespace tdat {
+namespace {
+
+DecodedPacket ts_packet(Micros ts, std::size_t index, bool from_sender,
+                        std::uint32_t seq, std::size_t len,
+                        std::uint32_t ts_val, std::uint32_t ts_ecr) {
+  static std::vector<std::uint8_t> payload;
+  payload.assign(len, 0x42);
+  TcpSegmentSpec spec;
+  spec.src_ip = from_sender ? test::kSenderIp : test::kReceiverIp;
+  spec.dst_ip = from_sender ? test::kReceiverIp : test::kSenderIp;
+  spec.src_port = from_sender ? test::kSenderPort : test::kReceiverPort;
+  spec.dst_port = from_sender ? test::kReceiverPort : test::kSenderPort;
+  spec.seq = seq;
+  spec.ack = 1;
+  spec.flags = {.ack = true, .psh = len > 0};
+  spec.window = 0xffff;
+  spec.ts_val = ts_val;
+  spec.ts_ecr = ts_ecr;
+  spec.payload = payload;
+  return test::make_packet(ts, index, spec);
+}
+
+TEST(Timestamps, CodecRoundTrip) {
+  const auto pkt = ts_packet(0, 0, true, 1000, 100, 0xdeadbeef, 0x1234);
+  ASSERT_TRUE(pkt.tcp.ts_val.has_value());
+  ASSERT_TRUE(pkt.tcp.ts_ecr.has_value());
+  EXPECT_EQ(*pkt.tcp.ts_val, 0xdeadbeefu);
+  EXPECT_EQ(*pkt.tcp.ts_ecr, 0x1234u);
+  EXPECT_EQ(pkt.payload_len, 100u);  // option bytes don't leak into payload
+}
+
+TEST(Timestamps, AbsentWhenNotSet) {
+  test::PacketFactory f;
+  const auto pkt = f.data(0, 0, 100);
+  EXPECT_FALSE(pkt.tcp.ts_val.has_value());
+  EXPECT_FALSE(pkt.tcp.ts_ecr.has_value());
+}
+
+TEST(Timestamps, EchoRttEstimation) {
+  // No handshake captured: only the TS echo can give the d2 loop.
+  // Receiver ACK stamps TSval=100 at t=0; the sender's next data echoes it
+  // at t=22ms -> rtt_timestamp_sample = 22ms.
+  std::vector<DecodedPacket> trace;
+  trace.push_back(ts_packet(0, 0, true, 1000, 500, 50, 0));      // data
+  trace.push_back(ts_packet(5'000, 1, false, 9000, 0, 100, 50)); // ACK, TSval 100
+  trace.push_back(ts_packet(27'000, 2, true, 1500, 500, 51, 100));  // echoes 100
+  trace.push_back(ts_packet(30'000, 3, false, 9000, 0, 101, 51));
+  trace.push_back(ts_packet(60'000, 4, true, 2000, 500, 52, 101));  // echoes 101
+  const auto conns = split_connections(trace);
+  ASSERT_EQ(conns.size(), 1u);
+  const ConnectionProfile p = compute_profile(conns[0]);
+  ASSERT_TRUE(p.rtt_timestamp_sample.has_value());
+  // min(27ms - 5ms, 60ms - 30ms) = 22ms.
+  EXPECT_EQ(*p.rtt_timestamp_sample, 22'000);
+  EXPECT_FALSE(p.rtt_handshake.has_value());
+  EXPECT_EQ(p.rtt(), 22'000);  // preferred over the d1-ish ack sample
+}
+
+TEST(Timestamps, UnechoedValuesYieldNoSample) {
+  std::vector<DecodedPacket> trace;
+  trace.push_back(ts_packet(0, 0, true, 1000, 500, 50, 0));
+  trace.push_back(ts_packet(5'000, 1, false, 9000, 0, 100, 50));
+  trace.push_back(ts_packet(27'000, 2, true, 1500, 500, 51, 777));  // echoes junk
+  const auto conns = split_connections(trace);
+  const ConnectionProfile p = compute_profile(conns[0]);
+  EXPECT_FALSE(p.rtt_timestamp_sample.has_value());
+}
+
+TEST(Timestamps, HandshakeStillPreferred) {
+  test::PacketFactory f;
+  std::vector<DecodedPacket> trace = f.handshake(0, 10'000);
+  std::size_t idx = trace.size();
+  trace.push_back(ts_packet(20'000, idx++, false, 5001, 0, 100, 0));
+  trace.push_back(ts_packet(25'000, idx++, true, 1001, 500, 1, 100));
+  const auto conns = split_connections(trace);
+  const ConnectionProfile p = compute_profile(conns[0]);
+  ASSERT_TRUE(p.rtt_handshake.has_value());
+  EXPECT_EQ(p.rtt(), *p.rtt_handshake);
+}
+
+}  // namespace
+}  // namespace tdat

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/knee.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace tdat {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(from_millis(5), 5000);
+  EXPECT_EQ(from_seconds(2), 2'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(1'500'000), 1.5);
+  EXPECT_DOUBLE_EQ(to_millis(2500), 2.5);
+  EXPECT_EQ(format_seconds(1'234'567), "1.235s");
+}
+
+TEST(ByteReader, BigEndianReads) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06};
+  ByteReader r(data);
+  EXPECT_EQ(r.u8(), 0x01);
+  EXPECT_EQ(r.u16be(), 0x0203);
+  // Only 3 bytes remain: a 4-byte read overruns and poisons the reader.
+  EXPECT_EQ(r.u32be(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, BigEndian32) {
+  const std::uint8_t data[] = {0xde, 0xad, 0xbe, 0xef};
+  ByteReader r(data);
+  EXPECT_EQ(r.u32be(), 0xdeadbeefu);
+}
+
+TEST(ByteReader, LittleEndian) {
+  const std::uint8_t data[] = {0xd4, 0xc3, 0xb2, 0xa1, 0x34, 0x12};
+  ByteReader r(data);
+  EXPECT_EQ(r.u32le(), 0xa1b2c3d4u);
+  EXPECT_EQ(r.u16le(), 0x1234);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ByteReader, OverrunMarksBad) {
+  const std::uint8_t data[] = {0x01};
+  ByteReader r(data);
+  EXPECT_EQ(r.u32be(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0);  // still bad, still safe
+}
+
+TEST(ByteReader, BytesAndSkip) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  ByteReader r(data);
+  r.skip(2);
+  auto s = r.bytes(2);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 3);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(ByteWriter, RoundTrip) {
+  ByteWriter w;
+  w.u8(0xaa);
+  w.u16be(0x1234);
+  w.u32be(0xdeadbeef);
+  w.u16le(0x5678);
+  w.u32le(0xcafebabe);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xaa);
+  EXPECT_EQ(r.u16be(), 0x1234);
+  EXPECT_EQ(r.u32be(), 0xdeadbeefu);
+  EXPECT_EQ(r.u16le(), 0x5678);
+  EXPECT_EQ(r.u32le(), 0xcafebabeu);
+}
+
+TEST(ByteWriter, Patch) {
+  ByteWriter w;
+  w.u16be(0);
+  w.u8(0xff);
+  w.patch_u16be(0, 0xabcd);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u16be(), 0xabcd);
+}
+
+TEST(Ipv4String, Formats) {
+  EXPECT_EQ(ipv4_to_string(0x0a000001), "10.0.0.1");
+  EXPECT_EQ(ipv4_to_string(0xffffffff), "255.255.255.255");
+}
+
+TEST(Result, OkAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err = Err<int>("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), "boom");
+}
+
+TEST(Stats, Summary) {
+  const Summary s = summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50), 7.0);
+}
+
+TEST(Stats, EmpiricalCdf) {
+  const auto cdf = empirical_cdf({3, 1, 2, 2});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[1].fraction, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(Stats, ThinCdf) {
+  std::vector<CdfPoint> cdf;
+  for (int i = 0; i < 100; ++i) {
+    cdf.push_back({static_cast<double>(i), (i + 1) / 100.0});
+  }
+  const auto thin = thin_cdf(cdf, 5);
+  ASSERT_EQ(thin.size(), 5u);
+  EXPECT_DOUBLE_EQ(thin.front().value, 0.0);
+  EXPECT_DOUBLE_EQ(thin.back().value, 99.0);
+}
+
+TEST(Stats, Histogram) {
+  const Histogram h = make_histogram({0.5, 1.5, 1.6, 9.9, -5.0, 100.0}, 0, 10, 10);
+  EXPECT_EQ(h.bins[0], 2u);  // 0.5 and clamped -5.0
+  EXPECT_EQ(h.bins[1], 2u);
+  EXPECT_EQ(h.bins[9], 2u);  // 9.9 and clamped 100.0
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Knee, TooFewPoints) {
+  EXPECT_FALSE(find_knee({1, 2, 3}).has_value());
+}
+
+TEST(Knee, FindsTransition) {
+  // Flat cluster at 200 then a steep rise: knee at the transition.
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) y.push_back(200.0 + 0.1 * i);
+  for (int i = 0; i < 10; ++i) y.push_back(400.0 + 150.0 * i);
+  const auto knee = find_knee(y);
+  ASSERT_TRUE(knee.has_value());
+  EXPECT_GE(knee->index, 25u);
+  EXPECT_LE(knee->index, 33u);
+}
+
+TEST(Rng, DeterministicAndForked) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+  }
+  Rng c(42);
+  Rng child = c.fork();
+  const auto v1 = child.uniform(0, 1 << 30);
+  Rng c2(42);
+  Rng child2 = c2.fork();
+  EXPECT_EQ(v1, child2.uniform(0, 1 << 30));
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(1);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = r.uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(TextTable, Renders) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, Fmt) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.5, 1), "50.0%");
+}
+
+}  // namespace
+}  // namespace tdat

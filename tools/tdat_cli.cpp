@@ -1,0 +1,284 @@
+// tdat — the analysis tool suite (paper Table VI) as one binary.
+//
+//   tdat analyze  <trace.pcap> [--location receiver|sender|middle] [--json]
+//                 [--series NAME]...          T-DAT delay analysis
+//   tdat pcap2mrt <trace.pcap> <out.mrt>      reconstruct BGP msgs -> MRT
+//   tdat mrtcat   <archive.mrt> [-n N]        print an MRT archive
+//   tdat timeseq  <trace.pcap> [conn-index]   time-sequence plot (BGPlot)
+//   tdat simulate <scenario> <out.pcap>       generate a demo capture
+//                 scenarios: baseline timer loss slow-collector window
+//                            narrow-pipe probe-bug
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bgp/table_gen.hpp"
+#include "core/detectors.hpp"
+#include "core/export.hpp"
+#include "core/locate.hpp"
+#include "core/series_names.hpp"
+#include "core/timeseq.hpp"
+#include "sim/world.hpp"
+#include "timerange/render.hpp"
+
+namespace {
+
+using namespace tdat;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  tdat analyze  <trace.pcap> [--location receiver|sender|middle]"
+               " [--json] [--series NAME]...\n"
+               "  tdat pcap2mrt <trace.pcap> <out.mrt>\n"
+               "  tdat mrtcat   <archive.mrt> [-n N]\n"
+               "  tdat timeseq  <trace.pcap> [conn-index]\n"
+               "  tdat simulate <scenario> <out.pcap>\n"
+               "      scenarios: baseline timer loss slow-collector window"
+               " narrow-pipe probe-bug\n");
+  return 2;
+}
+
+Result<PcapFile> load(const char* path) { return read_pcap_file(path); }
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 1) return usage();
+  AnalyzerOptions opts;
+  bool json = false;
+  std::vector<std::string> wanted_series;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--location") == 0 && i + 1 < argc) {
+      const std::string where = argv[++i];
+      if (where == "sender") opts.location = SnifferLocation::kNearSender;
+      else if (where == "middle") opts.location = SnifferLocation::kMiddle;
+      else opts.location = SnifferLocation::kNearReceiver;
+    } else if (std::strcmp(argv[i], "--series") == 0 && i + 1 < argc) {
+      wanted_series.push_back(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+  const auto trace = load(argv[0]);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "%s\n", trace.error().c_str());
+    return 1;
+  }
+  const TraceAnalysis analysis = analyze_trace(trace.value(), opts);
+  if (json) std::printf("[");
+  bool first = true;
+  for (const ConnectionAnalysis& conn : analysis.results) {
+    if (json) {
+      if (!first) std::printf(",");
+      std::printf("%s", analysis_to_json(conn).c_str());
+      first = false;
+      continue;
+    }
+    const auto& raw = analysis.connections[conn.conn_index];
+    std::printf("connection %s\n", raw.key.to_string().c_str());
+    const auto where = infer_sniffer_location(raw, conn.profile);
+    if (where.confident) {
+      std::printf("  inferred sniffer position: %s\n",
+                  where.location == SnifferLocation::kNearReceiver ? "receiver side"
+                  : where.location == SnifferLocation::kNearSender ? "sender side"
+                                                                   : "mid-path");
+    }
+    if (conn.transfer.empty()) {
+      std::printf("  no table transfer found\n");
+      continue;
+    }
+    std::printf("  transfer %.2fs, %zu updates, %zu prefixes\n",
+                to_seconds(conn.transfer_duration()), conn.mct.update_count,
+                conn.mct.prefix_count);
+    std::printf("  (Rs, Rr, Rn) = (%.2f, %.2f, %.2f)\n",
+                conn.report.ratio(FactorGroup::kSender),
+                conn.report.ratio(FactorGroup::kReceiver),
+                conn.report.ratio(FactorGroup::kNetwork));
+    for (std::size_t f = 0; f < kFactorCount; ++f) {
+      if (conn.report.factor_ratio[f] < 0.01) continue;
+      std::printf("    %-26s %5.1f%%\n", to_string(static_cast<Factor>(f)),
+                  100.0 * conn.report.factor_ratio[f]);
+    }
+    const auto timer = detect_timer_gaps(conn.series(), conn.transfer);
+    if (timer.detected) {
+      std::printf("  ! pacing timer ~%.0f ms (%zu gaps, %.1fs)\n",
+                  to_millis(timer.timer), timer.gap_count,
+                  to_seconds(timer.introduced_delay));
+    }
+    const auto losses = detect_consecutive_losses(conn.series(), conn.transfer);
+    if (losses.detected) {
+      std::printf("  ! consecutive losses: worst run %zu, %.1fs\n",
+                  losses.max_consecutive, to_seconds(losses.introduced_delay));
+    }
+    const auto bug = detect_zero_ack_bug(conn.series(), conn.transfer);
+    if (bug.detected) {
+      std::printf("  ! zero-window probe bug suspected (%zu losses during"
+                  " closed windows)\n",
+                  bug.occurrences);
+    }
+    const auto pause = detect_peer_group_pause(conn);
+    if (pause.detected) {
+      std::printf("  ! keepalive-only pause %.1fs: possible peer-group"
+                  " blocking\n",
+                  to_seconds(pause.blocked_time));
+    }
+    const auto voids = detect_capture_voids(raw, conn.profile);
+    if (voids.detected) {
+      std::printf("  ! capture voids: %llu bytes never captured\n",
+                  static_cast<unsigned long long>(voids.missing_bytes));
+    }
+    for (const std::string& name : wanted_series) {
+      if (!conn.series().has(name)) {
+        std::printf("  (no series named %s)\n", name.c_str());
+        continue;
+      }
+      std::printf("%s\n", render_series({&conn.series().get(name)},
+                                        conn.transfer)
+                              .c_str());
+    }
+  }
+  if (json) std::printf("]\n");
+  return 0;
+}
+
+int cmd_pcap2mrt(int argc, char** argv) {
+  if (argc != 2) return usage();
+  const auto trace = load(argv[0]);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "%s\n", trace.error().c_str());
+    return 1;
+  }
+  std::vector<MrtRecord> all;
+  for (const Connection& conn : split_connections(decode_pcap(trace.value()))) {
+    const auto profile = compute_profile(conn);
+    const auto result = extract_bgp_messages(conn, profile.data_dir);
+    const auto records = to_mrt_records(conn, profile.data_dir, result.messages);
+    std::printf("%s: %zu messages\n", conn.key.to_string().c_str(),
+                records.size());
+    all.insert(all.end(), records.begin(), records.end());
+  }
+  if (!write_mrt_file(argv[1], all)) {
+    std::fprintf(stderr, "cannot write %s\n", argv[1]);
+    return 1;
+  }
+  std::printf("wrote %zu MRT records to %s\n", all.size(), argv[1]);
+  return 0;
+}
+
+int cmd_mrtcat(int argc, char** argv) {
+  if (argc < 1) return usage();
+  long limit = -1;
+  if (argc >= 3 && std::strcmp(argv[1], "-n") == 0) limit = std::atol(argv[2]);
+  const auto records = read_mrt_file(argv[0]);
+  if (!records.ok()) {
+    std::fprintf(stderr, "%s\n", records.error().c_str());
+    return 1;
+  }
+  long shown = 0;
+  for (const MrtRecord& rec : records.value()) {
+    if (limit >= 0 && shown++ >= limit) break;
+    const auto msg = rec.parse();
+    std::printf("%lld  AS%u -> AS%u  ", static_cast<long long>(rec.ts / kMicrosPerSec),
+                rec.peer_as, rec.local_as);
+    if (!msg.ok()) {
+      std::printf("(unparseable: %s)\n", msg.error().c_str());
+      continue;
+    }
+    std::printf("%s", to_string(msg.value().type()));
+    if (const BgpUpdate* upd = msg.value().as_update()) {
+      std::printf("  nlri=%zu withdrawn=%zu", upd->nlri.size(),
+                  upd->withdrawn.size());
+      if (!upd->nlri.empty()) {
+        std::printf("  %s  path %s", upd->nlri.front().to_string().c_str(),
+                    upd->attrs.as_path_string().c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu records total)\n", records.value().size());
+  return 0;
+}
+
+int cmd_timeseq(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto trace = load(argv[0]);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "%s\n", trace.error().c_str());
+    return 1;
+  }
+  const auto conns = split_connections(decode_pcap(trace.value()));
+  const std::size_t index = argc >= 2 ? static_cast<std::size_t>(std::atoi(argv[1])) : 0;
+  if (index >= conns.size()) {
+    std::fprintf(stderr, "connection %zu of %zu not found\n", index, conns.size());
+    return 1;
+  }
+  const auto& conn = conns[index];
+  const auto profile = compute_profile(conn);
+  const auto flow = classify_data_packets(conn, profile.data_dir, ClassifyOptions{});
+  std::printf("%s\n", conn.key.to_string().c_str());
+  std::printf("%s", render_time_sequence(
+                        conn, flow, {conn.start_time(), conn.end_time() + 1})
+                        .c_str());
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc != 2) return usage();
+  const std::string scenario = argv[0];
+  SimWorld world(12345);
+  SessionSpec spec;
+  if (scenario == "timer") {
+    spec.bgp.timer_driven = true;
+    spec.bgp.timer_interval = 200 * kMicrosPerMilli;
+    spec.bgp.msgs_per_tick = 60;
+  } else if (scenario == "loss") {
+    spec.up_fwd.random_loss = 0.03;
+  } else if (scenario == "slow-collector") {
+    spec.receiver_tcp.recv_buf_capacity = 8 * 1024;
+    spec.collector.read_interval = 300 * kMicrosPerMilli;
+    spec.collector.read_chunk = 8 * 1024;
+  } else if (scenario == "window") {
+    spec.receiver_tcp.recv_buf_capacity = 16 * 1024;
+    spec.up_fwd.propagation_delay = 25 * kMicrosPerMilli;
+    spec.up_rev.propagation_delay = 25 * kMicrosPerMilli;
+  } else if (scenario == "narrow-pipe") {
+    spec.up_fwd.rate_bytes_per_sec = 100'000;
+    spec.up_fwd.queue_packets = 10'000;
+  } else if (scenario == "probe-bug") {
+    spec.sender_tcp.zero_window_probe_bug = true;
+    spec.receiver_tcp.recv_buf_capacity = 4 * 1024;
+    spec.collector.read_interval = 300 * kMicrosPerMilli;
+    spec.collector.read_chunk = 2 * 1024;
+  } else if (scenario != "baseline") {
+    return usage();
+  }
+  Rng rng(54321);
+  TableGenConfig tg;
+  tg.prefix_count = 8'000;
+  const auto s = world.add_session(spec, serialize_updates(generate_table(tg, rng)));
+  world.start_session(s, 0);
+  world.run_until(600 * kMicrosPerSec);
+  const PcapFile trace = world.take_trace();
+  if (!write_pcap_file(argv[1], trace)) {
+    std::fprintf(stderr, "cannot write %s\n", argv[1]);
+    return 1;
+  }
+  std::printf("wrote %zu packets (%s scenario) to %s\n", trace.records.size(),
+              scenario.c_str(), argv[1]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "analyze") return cmd_analyze(argc - 2, argv + 2);
+  if (cmd == "pcap2mrt") return cmd_pcap2mrt(argc - 2, argv + 2);
+  if (cmd == "mrtcat") return cmd_mrtcat(argc - 2, argv + 2);
+  if (cmd == "timeseq") return cmd_timeseq(argc - 2, argv + 2);
+  if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
+  return usage();
+}
