@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_ack_shift.cpp" "bench/CMakeFiles/ablation_ack_shift.dir/ablation_ack_shift.cpp.o" "gcc" "bench/CMakeFiles/ablation_ack_shift.dir/ablation_ack_shift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/tdat_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tdat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tdat_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/timerange/CMakeFiles/tdat_timerange.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/tdat_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/tdat_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ack_shift.dir/ablation_ack_shift.cpp.o"
+  "CMakeFiles/ablation_ack_shift.dir/ablation_ack_shift.cpp.o.d"
+  "ablation_ack_shift"
+  "ablation_ack_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ack_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

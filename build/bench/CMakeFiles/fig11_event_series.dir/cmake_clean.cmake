@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_event_series.dir/fig11_event_series.cpp.o"
+  "CMakeFiles/fig11_event_series.dir/fig11_event_series.cpp.o.d"
+  "fig11_event_series"
+  "fig11_event_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_event_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ack_shift.dir/fig13_ack_shift.cpp.o"
+  "CMakeFiles/fig13_ack_shift.dir/fig13_ack_shift.cpp.o.d"
+  "fig13_ack_shift"
+  "fig13_ack_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ack_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

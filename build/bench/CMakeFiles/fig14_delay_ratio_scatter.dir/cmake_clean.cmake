@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_delay_ratio_scatter.dir/fig14_delay_ratio_scatter.cpp.o"
+  "CMakeFiles/fig14_delay_ratio_scatter.dir/fig14_delay_ratio_scatter.cpp.o.d"
+  "fig14_delay_ratio_scatter"
+  "fig14_delay_ratio_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_delay_ratio_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_delay_ratio_scatter.
+# This may be replaced when dependencies are built.

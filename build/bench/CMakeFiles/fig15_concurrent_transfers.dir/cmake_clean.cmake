@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_concurrent_transfers.dir/fig15_concurrent_transfers.cpp.o"
+  "CMakeFiles/fig15_concurrent_transfers.dir/fig15_concurrent_transfers.cpp.o.d"
+  "fig15_concurrent_transfers"
+  "fig15_concurrent_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_concurrent_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

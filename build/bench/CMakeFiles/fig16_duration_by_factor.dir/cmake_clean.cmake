@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_duration_by_factor.dir/fig16_duration_by_factor.cpp.o"
+  "CMakeFiles/fig16_duration_by_factor.dir/fig16_duration_by_factor.cpp.o.d"
+  "fig16_duration_by_factor"
+  "fig16_duration_by_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_duration_by_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

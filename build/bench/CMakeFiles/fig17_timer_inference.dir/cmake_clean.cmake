@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_timer_inference.dir/fig17_timer_inference.cpp.o"
+  "CMakeFiles/fig17_timer_inference.dir/fig17_timer_inference.cpp.o.d"
+  "fig17_timer_inference"
+  "fig17_timer_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_timer_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_timer_gaps.dir/fig5_timer_gaps.cpp.o"
+  "CMakeFiles/fig5_timer_gaps.dir/fig5_timer_gaps.cpp.o.d"
+  "fig5_timer_gaps"
+  "fig5_timer_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_timer_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_consecutive_retx.dir/fig6_consecutive_retx.cpp.o"
+  "CMakeFiles/fig6_consecutive_retx.dir/fig6_consecutive_retx.cpp.o.d"
+  "fig6_consecutive_retx"
+  "fig6_consecutive_retx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_consecutive_retx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

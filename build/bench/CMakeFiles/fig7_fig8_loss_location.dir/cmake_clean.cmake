@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fig8_loss_location.dir/fig7_fig8_loss_location.cpp.o"
+  "CMakeFiles/fig7_fig8_loss_location.dir/fig7_fig8_loss_location.cpp.o.d"
+  "fig7_fig8_loss_location"
+  "fig7_fig8_loss_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fig8_loss_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_peer_group_blocking.dir/fig9_peer_group_blocking.cpp.o"
+  "CMakeFiles/fig9_peer_group_blocking.dir/fig9_peer_group_blocking.cpp.o.d"
+  "fig9_peer_group_blocking"
+  "fig9_peer_group_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_peer_group_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

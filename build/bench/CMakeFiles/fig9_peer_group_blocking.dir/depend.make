@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_peer_group_blocking.
+# This may be replaced when dependencies are built.

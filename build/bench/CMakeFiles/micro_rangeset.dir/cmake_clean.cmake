@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rangeset.dir/micro_rangeset.cpp.o"
+  "CMakeFiles/micro_rangeset.dir/micro_rangeset.cpp.o.d"
+  "micro_rangeset"
+  "micro_rangeset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rangeset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

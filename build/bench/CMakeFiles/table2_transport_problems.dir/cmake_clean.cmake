@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_transport_problems.dir/table2_transport_problems.cpp.o"
+  "CMakeFiles/table2_transport_problems.dir/table2_transport_problems.cpp.o.d"
+  "table2_transport_problems"
+  "table2_transport_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_transport_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_retx_delay.dir/table3_retx_delay.cpp.o"
+  "CMakeFiles/table3_retx_delay.dir/table3_retx_delay.cpp.o.d"
+  "table3_retx_delay"
+  "table3_retx_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_retx_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

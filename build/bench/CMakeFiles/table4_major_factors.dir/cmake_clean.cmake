@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_major_factors.dir/table4_major_factors.cpp.o"
+  "CMakeFiles/table4_major_factors.dir/table4_major_factors.cpp.o.d"
+  "table4_major_factors"
+  "table4_major_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_major_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

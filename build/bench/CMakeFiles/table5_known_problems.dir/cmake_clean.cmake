@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_known_problems.dir/table5_known_problems.cpp.o"
+  "CMakeFiles/table5_known_problems.dir/table5_known_problems.cpp.o.d"
+  "table5_known_problems"
+  "table5_known_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_known_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

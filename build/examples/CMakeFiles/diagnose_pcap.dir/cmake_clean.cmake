@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_pcap.dir/diagnose_pcap.cpp.o"
+  "CMakeFiles/diagnose_pcap.dir/diagnose_pcap.cpp.o.d"
+  "diagnose_pcap"
+  "diagnose_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

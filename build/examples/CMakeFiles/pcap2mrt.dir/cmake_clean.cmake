@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap2mrt.dir/pcap2mrt.cpp.o"
+  "CMakeFiles/pcap2mrt.dir/pcap2mrt.cpp.o.d"
+  "pcap2mrt"
+  "pcap2mrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap2mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_group_audit.dir/peer_group_audit.cpp.o"
+  "CMakeFiles/peer_group_audit.dir/peer_group_audit.cpp.o.d"
+  "peer_group_audit"
+  "peer_group_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_group_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for peer_group_audit.
+# This may be replaced when dependencies are built.

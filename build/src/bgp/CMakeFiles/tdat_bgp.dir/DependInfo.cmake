@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/mct.cpp" "src/bgp/CMakeFiles/tdat_bgp.dir/mct.cpp.o" "gcc" "src/bgp/CMakeFiles/tdat_bgp.dir/mct.cpp.o.d"
+  "/root/repo/src/bgp/message.cpp" "src/bgp/CMakeFiles/tdat_bgp.dir/message.cpp.o" "gcc" "src/bgp/CMakeFiles/tdat_bgp.dir/message.cpp.o.d"
+  "/root/repo/src/bgp/mrt.cpp" "src/bgp/CMakeFiles/tdat_bgp.dir/mrt.cpp.o" "gcc" "src/bgp/CMakeFiles/tdat_bgp.dir/mrt.cpp.o.d"
+  "/root/repo/src/bgp/msg_stream.cpp" "src/bgp/CMakeFiles/tdat_bgp.dir/msg_stream.cpp.o" "gcc" "src/bgp/CMakeFiles/tdat_bgp.dir/msg_stream.cpp.o.d"
+  "/root/repo/src/bgp/table_gen.cpp" "src/bgp/CMakeFiles/tdat_bgp.dir/table_gen.cpp.o" "gcc" "src/bgp/CMakeFiles/tdat_bgp.dir/table_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tdat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdat_bgp.dir/mct.cpp.o"
+  "CMakeFiles/tdat_bgp.dir/mct.cpp.o.d"
+  "CMakeFiles/tdat_bgp.dir/message.cpp.o"
+  "CMakeFiles/tdat_bgp.dir/message.cpp.o.d"
+  "CMakeFiles/tdat_bgp.dir/mrt.cpp.o"
+  "CMakeFiles/tdat_bgp.dir/mrt.cpp.o.d"
+  "CMakeFiles/tdat_bgp.dir/msg_stream.cpp.o"
+  "CMakeFiles/tdat_bgp.dir/msg_stream.cpp.o.d"
+  "CMakeFiles/tdat_bgp.dir/table_gen.cpp.o"
+  "CMakeFiles/tdat_bgp.dir/table_gen.cpp.o.d"
+  "libtdat_bgp.a"
+  "libtdat_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdat_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ack_shift.cpp" "src/core/CMakeFiles/tdat_core.dir/ack_shift.cpp.o" "gcc" "src/core/CMakeFiles/tdat_core.dir/ack_shift.cpp.o.d"
+  "/root/repo/src/core/analyzer.cpp" "src/core/CMakeFiles/tdat_core.dir/analyzer.cpp.o" "gcc" "src/core/CMakeFiles/tdat_core.dir/analyzer.cpp.o.d"
+  "/root/repo/src/core/archive.cpp" "src/core/CMakeFiles/tdat_core.dir/archive.cpp.o" "gcc" "src/core/CMakeFiles/tdat_core.dir/archive.cpp.o.d"
+  "/root/repo/src/core/delay_report.cpp" "src/core/CMakeFiles/tdat_core.dir/delay_report.cpp.o" "gcc" "src/core/CMakeFiles/tdat_core.dir/delay_report.cpp.o.d"
+  "/root/repo/src/core/detectors.cpp" "src/core/CMakeFiles/tdat_core.dir/detectors.cpp.o" "gcc" "src/core/CMakeFiles/tdat_core.dir/detectors.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/tdat_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/tdat_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/locate.cpp" "src/core/CMakeFiles/tdat_core.dir/locate.cpp.o" "gcc" "src/core/CMakeFiles/tdat_core.dir/locate.cpp.o.d"
+  "/root/repo/src/core/options.cpp" "src/core/CMakeFiles/tdat_core.dir/options.cpp.o" "gcc" "src/core/CMakeFiles/tdat_core.dir/options.cpp.o.d"
+  "/root/repo/src/core/pcap2bgp.cpp" "src/core/CMakeFiles/tdat_core.dir/pcap2bgp.cpp.o" "gcc" "src/core/CMakeFiles/tdat_core.dir/pcap2bgp.cpp.o.d"
+  "/root/repo/src/core/series_builder.cpp" "src/core/CMakeFiles/tdat_core.dir/series_builder.cpp.o" "gcc" "src/core/CMakeFiles/tdat_core.dir/series_builder.cpp.o.d"
+  "/root/repo/src/core/timeseq.cpp" "src/core/CMakeFiles/tdat_core.dir/timeseq.cpp.o" "gcc" "src/core/CMakeFiles/tdat_core.dir/timeseq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/tdat_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/tdat_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/tdat_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/timerange/CMakeFiles/tdat_timerange.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdat_core.dir/ack_shift.cpp.o"
+  "CMakeFiles/tdat_core.dir/ack_shift.cpp.o.d"
+  "CMakeFiles/tdat_core.dir/analyzer.cpp.o"
+  "CMakeFiles/tdat_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/tdat_core.dir/archive.cpp.o"
+  "CMakeFiles/tdat_core.dir/archive.cpp.o.d"
+  "CMakeFiles/tdat_core.dir/delay_report.cpp.o"
+  "CMakeFiles/tdat_core.dir/delay_report.cpp.o.d"
+  "CMakeFiles/tdat_core.dir/detectors.cpp.o"
+  "CMakeFiles/tdat_core.dir/detectors.cpp.o.d"
+  "CMakeFiles/tdat_core.dir/export.cpp.o"
+  "CMakeFiles/tdat_core.dir/export.cpp.o.d"
+  "CMakeFiles/tdat_core.dir/locate.cpp.o"
+  "CMakeFiles/tdat_core.dir/locate.cpp.o.d"
+  "CMakeFiles/tdat_core.dir/options.cpp.o"
+  "CMakeFiles/tdat_core.dir/options.cpp.o.d"
+  "CMakeFiles/tdat_core.dir/pcap2bgp.cpp.o"
+  "CMakeFiles/tdat_core.dir/pcap2bgp.cpp.o.d"
+  "CMakeFiles/tdat_core.dir/series_builder.cpp.o"
+  "CMakeFiles/tdat_core.dir/series_builder.cpp.o.d"
+  "CMakeFiles/tdat_core.dir/timeseq.cpp.o"
+  "CMakeFiles/tdat_core.dir/timeseq.cpp.o.d"
+  "libtdat_core.a"
+  "libtdat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

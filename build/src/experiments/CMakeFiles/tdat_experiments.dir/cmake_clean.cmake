@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdat_experiments.dir/fleet.cpp.o"
+  "CMakeFiles/tdat_experiments.dir/fleet.cpp.o.d"
+  "libtdat_experiments.a"
+  "libtdat_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdat_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

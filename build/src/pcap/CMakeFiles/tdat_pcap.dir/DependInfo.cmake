@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcap/checksum.cpp" "src/pcap/CMakeFiles/tdat_pcap.dir/checksum.cpp.o" "gcc" "src/pcap/CMakeFiles/tdat_pcap.dir/checksum.cpp.o.d"
+  "/root/repo/src/pcap/decode.cpp" "src/pcap/CMakeFiles/tdat_pcap.dir/decode.cpp.o" "gcc" "src/pcap/CMakeFiles/tdat_pcap.dir/decode.cpp.o.d"
+  "/root/repo/src/pcap/encode.cpp" "src/pcap/CMakeFiles/tdat_pcap.dir/encode.cpp.o" "gcc" "src/pcap/CMakeFiles/tdat_pcap.dir/encode.cpp.o.d"
+  "/root/repo/src/pcap/pcap_file.cpp" "src/pcap/CMakeFiles/tdat_pcap.dir/pcap_file.cpp.o" "gcc" "src/pcap/CMakeFiles/tdat_pcap.dir/pcap_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tdat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdat_pcap.dir/checksum.cpp.o"
+  "CMakeFiles/tdat_pcap.dir/checksum.cpp.o.d"
+  "CMakeFiles/tdat_pcap.dir/decode.cpp.o"
+  "CMakeFiles/tdat_pcap.dir/decode.cpp.o.d"
+  "CMakeFiles/tdat_pcap.dir/encode.cpp.o"
+  "CMakeFiles/tdat_pcap.dir/encode.cpp.o.d"
+  "CMakeFiles/tdat_pcap.dir/pcap_file.cpp.o"
+  "CMakeFiles/tdat_pcap.dir/pcap_file.cpp.o.d"
+  "libtdat_pcap.a"
+  "libtdat_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdat_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bgp_apps.cpp" "src/sim/CMakeFiles/tdat_sim.dir/bgp_apps.cpp.o" "gcc" "src/sim/CMakeFiles/tdat_sim.dir/bgp_apps.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/sim/CMakeFiles/tdat_sim.dir/link.cpp.o" "gcc" "src/sim/CMakeFiles/tdat_sim.dir/link.cpp.o.d"
+  "/root/repo/src/sim/sim_packet.cpp" "src/sim/CMakeFiles/tdat_sim.dir/sim_packet.cpp.o" "gcc" "src/sim/CMakeFiles/tdat_sim.dir/sim_packet.cpp.o.d"
+  "/root/repo/src/sim/tcp_endpoint.cpp" "src/sim/CMakeFiles/tdat_sim.dir/tcp_endpoint.cpp.o" "gcc" "src/sim/CMakeFiles/tdat_sim.dir/tcp_endpoint.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/tdat_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/tdat_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcap/CMakeFiles/tdat_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tdat_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/tdat_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/timerange/CMakeFiles/tdat_timerange.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

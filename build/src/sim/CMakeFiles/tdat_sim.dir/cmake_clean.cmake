@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdat_sim.dir/bgp_apps.cpp.o"
+  "CMakeFiles/tdat_sim.dir/bgp_apps.cpp.o.d"
+  "CMakeFiles/tdat_sim.dir/link.cpp.o"
+  "CMakeFiles/tdat_sim.dir/link.cpp.o.d"
+  "CMakeFiles/tdat_sim.dir/sim_packet.cpp.o"
+  "CMakeFiles/tdat_sim.dir/sim_packet.cpp.o.d"
+  "CMakeFiles/tdat_sim.dir/tcp_endpoint.cpp.o"
+  "CMakeFiles/tdat_sim.dir/tcp_endpoint.cpp.o.d"
+  "CMakeFiles/tdat_sim.dir/world.cpp.o"
+  "CMakeFiles/tdat_sim.dir/world.cpp.o.d"
+  "libtdat_sim.a"
+  "libtdat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

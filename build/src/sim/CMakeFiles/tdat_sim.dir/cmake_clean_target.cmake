@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtdat_sim.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/classify.cpp" "src/tcp/CMakeFiles/tdat_tcp.dir/classify.cpp.o" "gcc" "src/tcp/CMakeFiles/tdat_tcp.dir/classify.cpp.o.d"
+  "/root/repo/src/tcp/connection.cpp" "src/tcp/CMakeFiles/tdat_tcp.dir/connection.cpp.o" "gcc" "src/tcp/CMakeFiles/tdat_tcp.dir/connection.cpp.o.d"
+  "/root/repo/src/tcp/flights.cpp" "src/tcp/CMakeFiles/tdat_tcp.dir/flights.cpp.o" "gcc" "src/tcp/CMakeFiles/tdat_tcp.dir/flights.cpp.o.d"
+  "/root/repo/src/tcp/profile.cpp" "src/tcp/CMakeFiles/tdat_tcp.dir/profile.cpp.o" "gcc" "src/tcp/CMakeFiles/tdat_tcp.dir/profile.cpp.o.d"
+  "/root/repo/src/tcp/reassembler.cpp" "src/tcp/CMakeFiles/tdat_tcp.dir/reassembler.cpp.o" "gcc" "src/tcp/CMakeFiles/tdat_tcp.dir/reassembler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcap/CMakeFiles/tdat_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/timerange/CMakeFiles/tdat_timerange.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

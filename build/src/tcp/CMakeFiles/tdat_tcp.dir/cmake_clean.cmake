@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdat_tcp.dir/classify.cpp.o"
+  "CMakeFiles/tdat_tcp.dir/classify.cpp.o.d"
+  "CMakeFiles/tdat_tcp.dir/connection.cpp.o"
+  "CMakeFiles/tdat_tcp.dir/connection.cpp.o.d"
+  "CMakeFiles/tdat_tcp.dir/flights.cpp.o"
+  "CMakeFiles/tdat_tcp.dir/flights.cpp.o.d"
+  "CMakeFiles/tdat_tcp.dir/profile.cpp.o"
+  "CMakeFiles/tdat_tcp.dir/profile.cpp.o.d"
+  "CMakeFiles/tdat_tcp.dir/reassembler.cpp.o"
+  "CMakeFiles/tdat_tcp.dir/reassembler.cpp.o.d"
+  "libtdat_tcp.a"
+  "libtdat_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdat_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

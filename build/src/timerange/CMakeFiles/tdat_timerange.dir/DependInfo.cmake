@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timerange/event_series.cpp" "src/timerange/CMakeFiles/tdat_timerange.dir/event_series.cpp.o" "gcc" "src/timerange/CMakeFiles/tdat_timerange.dir/event_series.cpp.o.d"
+  "/root/repo/src/timerange/range_set.cpp" "src/timerange/CMakeFiles/tdat_timerange.dir/range_set.cpp.o" "gcc" "src/timerange/CMakeFiles/tdat_timerange.dir/range_set.cpp.o.d"
+  "/root/repo/src/timerange/render.cpp" "src/timerange/CMakeFiles/tdat_timerange.dir/render.cpp.o" "gcc" "src/timerange/CMakeFiles/tdat_timerange.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tdat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdat_timerange.dir/event_series.cpp.o"
+  "CMakeFiles/tdat_timerange.dir/event_series.cpp.o.d"
+  "CMakeFiles/tdat_timerange.dir/range_set.cpp.o"
+  "CMakeFiles/tdat_timerange.dir/range_set.cpp.o.d"
+  "CMakeFiles/tdat_timerange.dir/render.cpp.o"
+  "CMakeFiles/tdat_timerange.dir/render.cpp.o.d"
+  "libtdat_timerange.a"
+  "libtdat_timerange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdat_timerange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

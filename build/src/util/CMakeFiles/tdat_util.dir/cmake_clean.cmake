@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdat_util.dir/knee.cpp.o"
+  "CMakeFiles/tdat_util.dir/knee.cpp.o.d"
+  "CMakeFiles/tdat_util.dir/stats.cpp.o"
+  "CMakeFiles/tdat_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tdat_util.dir/table.cpp.o"
+  "CMakeFiles/tdat_util.dir/table.cpp.o.d"
+  "libtdat_util.a"
+  "libtdat_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdat_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

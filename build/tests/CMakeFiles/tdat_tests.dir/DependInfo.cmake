@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analyzer_properties_test.cpp" "tests/CMakeFiles/tdat_tests.dir/analyzer_properties_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/analyzer_properties_test.cpp.o.d"
+  "/root/repo/tests/bgp_mct_test.cpp" "tests/CMakeFiles/tdat_tests.dir/bgp_mct_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/bgp_mct_test.cpp.o.d"
+  "/root/repo/tests/bgp_message_test.cpp" "tests/CMakeFiles/tdat_tests.dir/bgp_message_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/bgp_message_test.cpp.o.d"
+  "/root/repo/tests/bgp_stream_mrt_test.cpp" "tests/CMakeFiles/tdat_tests.dir/bgp_stream_mrt_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/bgp_stream_mrt_test.cpp.o.d"
+  "/root/repo/tests/core_ack_shift_test.cpp" "tests/CMakeFiles/tdat_tests.dir/core_ack_shift_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/core_ack_shift_test.cpp.o.d"
+  "/root/repo/tests/core_analyzer_test.cpp" "tests/CMakeFiles/tdat_tests.dir/core_analyzer_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/core_analyzer_test.cpp.o.d"
+  "/root/repo/tests/core_archive_test.cpp" "tests/CMakeFiles/tdat_tests.dir/core_archive_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/core_archive_test.cpp.o.d"
+  "/root/repo/tests/core_capture_voids_test.cpp" "tests/CMakeFiles/tdat_tests.dir/core_capture_voids_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/core_capture_voids_test.cpp.o.d"
+  "/root/repo/tests/core_delay_report_test.cpp" "tests/CMakeFiles/tdat_tests.dir/core_delay_report_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/core_delay_report_test.cpp.o.d"
+  "/root/repo/tests/core_detectors_test.cpp" "tests/CMakeFiles/tdat_tests.dir/core_detectors_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/core_detectors_test.cpp.o.d"
+  "/root/repo/tests/core_export_timeseq_test.cpp" "tests/CMakeFiles/tdat_tests.dir/core_export_timeseq_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/core_export_timeseq_test.cpp.o.d"
+  "/root/repo/tests/core_locate_test.cpp" "tests/CMakeFiles/tdat_tests.dir/core_locate_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/core_locate_test.cpp.o.d"
+  "/root/repo/tests/core_pcap2bgp_test.cpp" "tests/CMakeFiles/tdat_tests.dir/core_pcap2bgp_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/core_pcap2bgp_test.cpp.o.d"
+  "/root/repo/tests/core_series_test.cpp" "tests/CMakeFiles/tdat_tests.dir/core_series_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/core_series_test.cpp.o.d"
+  "/root/repo/tests/core_update_burst_test.cpp" "tests/CMakeFiles/tdat_tests.dir/core_update_burst_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/core_update_burst_test.cpp.o.d"
+  "/root/repo/tests/event_series_test.cpp" "tests/CMakeFiles/tdat_tests.dir/event_series_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/event_series_test.cpp.o.d"
+  "/root/repo/tests/experiments_fleet_test.cpp" "tests/CMakeFiles/tdat_tests.dir/experiments_fleet_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/experiments_fleet_test.cpp.o.d"
+  "/root/repo/tests/pcap_test.cpp" "tests/CMakeFiles/tdat_tests.dir/pcap_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/pcap_test.cpp.o.d"
+  "/root/repo/tests/range_set_test.cpp" "tests/CMakeFiles/tdat_tests.dir/range_set_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/range_set_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/tdat_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/sim_core_test.cpp" "tests/CMakeFiles/tdat_tests.dir/sim_core_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/sim_core_test.cpp.o.d"
+  "/root/repo/tests/sim_endpoint_behavior_test.cpp" "tests/CMakeFiles/tdat_tests.dir/sim_endpoint_behavior_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/sim_endpoint_behavior_test.cpp.o.d"
+  "/root/repo/tests/sim_tcp_test.cpp" "tests/CMakeFiles/tdat_tests.dir/sim_tcp_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/sim_tcp_test.cpp.o.d"
+  "/root/repo/tests/sim_world_test.cpp" "tests/CMakeFiles/tdat_tests.dir/sim_world_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/sim_world_test.cpp.o.d"
+  "/root/repo/tests/tcp_classify_test.cpp" "tests/CMakeFiles/tdat_tests.dir/tcp_classify_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/tcp_classify_test.cpp.o.d"
+  "/root/repo/tests/tcp_connection_test.cpp" "tests/CMakeFiles/tdat_tests.dir/tcp_connection_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/tcp_connection_test.cpp.o.d"
+  "/root/repo/tests/tcp_flights_test.cpp" "tests/CMakeFiles/tdat_tests.dir/tcp_flights_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/tcp_flights_test.cpp.o.d"
+  "/root/repo/tests/tcp_reassembler_test.cpp" "tests/CMakeFiles/tdat_tests.dir/tcp_reassembler_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/tcp_reassembler_test.cpp.o.d"
+  "/root/repo/tests/tcp_seq_test.cpp" "tests/CMakeFiles/tdat_tests.dir/tcp_seq_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/tcp_seq_test.cpp.o.d"
+  "/root/repo/tests/tcp_timestamps_test.cpp" "tests/CMakeFiles/tdat_tests.dir/tcp_timestamps_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/tcp_timestamps_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/tdat_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/tdat_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/tdat_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tdat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/tdat_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tdat_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/tdat_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/timerange/CMakeFiles/tdat_timerange.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for tdat_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdat.dir/tdat_cli.cpp.o"
+  "CMakeFiles/tdat.dir/tdat_cli.cpp.o.d"
+  "tdat"
+  "tdat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
