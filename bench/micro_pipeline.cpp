@@ -6,6 +6,7 @@
 
 #include "bgp/table_gen.hpp"
 #include "core/analyzer.hpp"
+#include "pcap/pcap_stream.hpp"
 #include "sim/world.hpp"
 
 namespace {
@@ -22,6 +23,29 @@ PcapFile make_trace(std::size_t prefixes) {
   const auto s = world.add_session(spec, serialize_updates(generate_table(tg, rng)));
   world.start_session(s, 0);
   world.run_until(600 * kMicrosPerSec);
+  return world.take_trace();
+}
+
+// Several independent sessions in one capture, for the parallel-analysis
+// benches (the workload the paper's 47 GB RouteViews trace represents:
+// many concurrent transfers, one file).
+PcapFile make_multi_trace(std::size_t sessions, std::size_t prefixes) {
+  SimWorld world(7100 + sessions);
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    SessionSpec spec;
+    if (i % 3 == 1) spec.up_fwd.random_loss = 0.005;
+    if (i % 3 == 2) spec.receiver_tcp.recv_buf_capacity = 16 * 1024;
+    Rng rng(7200 + 31 * i);
+    TableGenConfig tg;
+    tg.prefix_count = prefixes;
+    ids.push_back(
+        world.add_session(spec, serialize_updates(generate_table(tg, rng))));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    world.start_session(ids[i], static_cast<Micros>(i) * 20 * kMicrosPerMilli);
+  }
+  world.run_until(900 * kMicrosPerSec);
   return world.take_trace();
 }
 
@@ -63,6 +87,59 @@ void BM_FullAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_FullAnalysis)->Arg(2'000)->Arg(10'000)->Arg(40'000)
     ->Unit(benchmark::kMillisecond);
+
+void BM_ParsePcap(benchmark::State& state) {
+  // Legacy in-memory parse: one owning vector per record (now with an exact
+  // capacity pre-scan).
+  const auto image = serialize_pcap(make_trace(5'000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_pcap(image));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_ParsePcap)->Unit(benchmark::kMillisecond);
+
+void BM_StreamPcap(benchmark::State& state) {
+  // Chunked arena ingest: records are spans into reused chunk buffers, no
+  // per-record allocation.
+  const auto image = serialize_pcap(make_trace(5'000));
+  for (auto _ : state) {
+    auto stream = PcapStream::from_memory(image);
+    StreamRecord rec;
+    std::uint64_t seen = 0;
+    while (stream.value().next(rec)) seen += rec.data.size();
+    benchmark::DoNotOptimize(seen);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_StreamPcap)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelAnalyze(benchmark::State& state) {
+  // End-to-end analyze_trace on a 8-session capture at Arg(jobs) workers.
+  // jobs=1 is the serial baseline the speedup criterion compares against.
+  static const PcapFile& trace = *new PcapFile(make_multi_trace(8, 2'000));
+  AnalyzerOptions opts;
+  opts.jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_trace(trace, opts));
+  }
+  state.counters["jobs"] = static_cast<double>(opts.jobs);
+}
+BENCHMARK(BM_ParallelAnalyze)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_DecodeThreads(benchmark::State& state) {
+  // Frame decoding is pure per-record work; ->Threads shows how it scales
+  // when several captures are decoded concurrently.
+  static const PcapFile& trace = *new PcapFile(make_trace(5'000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_pcap(trace));
+  }
+}
+BENCHMARK(BM_DecodeThreads)->Threads(1)->Threads(2)->Threads(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_SeriesOnly(benchmark::State& state) {
   const PcapFile trace = make_trace(10'000);

@@ -1,0 +1,182 @@
+// Pipeline throughput: end-to-end analyze_trace over a 16-session capture at
+// 1/2/4/8 analysis workers, plus the streaming analyze_file path, emitting a
+// machine-readable BENCH_pipeline.json (path overridable via argv[1]).
+//
+// Besides the wall times it verifies the determinism contract: every job
+// count must produce byte-identical analysis output (JSON export of every
+// connection's report and all 34 series) to the jobs=1 serial baseline.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bgp/table_gen.hpp"
+#include "core/analyzer.hpp"
+#include "core/export.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace tdat;
+
+constexpr std::size_t kSessions = 16;
+constexpr std::size_t kPrefixes = 10'000;
+constexpr int kRepetitions = 3;
+
+PcapFile make_trace() {
+  SimWorld world(7777);
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    SessionSpec spec;
+    // Vary the bottleneck so connections cost unequal analysis time — the
+    // realistic (and scheduling-hostile) case for the index-handout pool.
+    if (i % 4 == 1) spec.up_fwd.random_loss = 0.005;
+    if (i % 4 == 2) spec.receiver_tcp.recv_buf_capacity = 16 * 1024;
+    if (i % 4 == 3) {
+      spec.bgp.timer_driven = true;
+      spec.bgp.timer_interval = 200 * kMicrosPerMilli;
+      spec.bgp.msgs_per_tick = 60;
+    }
+    Rng rng(8100 + 13 * i);
+    TableGenConfig tg;
+    tg.prefix_count = kPrefixes;
+    ids.push_back(
+        world.add_session(spec, serialize_updates(generate_table(tg, rng))));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    world.start_session(ids[i], static_cast<Micros>(i) * 20 * kMicrosPerMilli);
+  }
+  world.run_until(900 * kMicrosPerSec);
+  return world.take_trace();
+}
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Full analysis output as one string: byte-identity across job counts is
+// the acceptance check, so include everything observable per connection.
+std::string fingerprint(const TraceAnalysis& ta) {
+  std::string out;
+  for (const ConnectionAnalysis& conn : ta.results) {
+    out += analysis_to_json(conn);
+    out += registry_to_json(conn.series());
+  }
+  return out;
+}
+
+struct RunResult {
+  std::size_t jobs = 0;
+  double best_wall_s = 0;
+  PipelineStats stats;
+  bool identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pipeline.json";
+  std::printf("building %zu-session trace (%zu prefixes each)...\n", kSessions,
+              kPrefixes);
+  const PcapFile trace = make_trace();
+  std::uint64_t trace_bytes = 0;
+  for (const auto& rec : trace.records) trace_bytes += 16 + rec.data.size();
+
+  std::string baseline;
+  std::vector<RunResult> runs;
+  for (const std::size_t jobs : {1, 2, 4, 8}) {
+    AnalyzerOptions opts;
+    opts.jobs = jobs;
+    RunResult run;
+    run.jobs = jobs;
+    run.best_wall_s = 1e100;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const TraceAnalysis ta = analyze_trace(trace, opts);
+      const double wall = wall_seconds_since(t0);
+      if (wall < run.best_wall_s) {
+        run.best_wall_s = wall;
+        run.stats = ta.stats;
+      }
+      if (rep == 0) {
+        if (jobs == 1) {
+          baseline = fingerprint(ta);
+        } else {
+          run.identical = fingerprint(ta) == baseline;
+        }
+      }
+    }
+    runs.push_back(run);
+    std::printf("jobs=%zu: %.3fs best of %d (ingest %.3fs + analyze %.3fs), "
+                "identical=%s\n",
+                jobs, run.best_wall_s, kRepetitions,
+                to_seconds(run.stats.ingest_wall),
+                to_seconds(run.stats.analyze_wall),
+                run.identical ? "yes" : "NO");
+  }
+
+  // The streaming path, through an actual file.
+  const std::string tmp_pcap = out_path + ".tmp.pcap";
+  RunResult streamed;
+  streamed.jobs = 8;
+  streamed.best_wall_s = 1e100;
+  if (write_pcap_file(tmp_pcap, trace)) {
+    AnalyzerOptions opts;
+    opts.jobs = 8;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto ta = analyze_file(tmp_pcap, opts);
+      const double wall = wall_seconds_since(t0);
+      if (!ta.ok()) break;
+      if (wall < streamed.best_wall_s) {
+        streamed.best_wall_s = wall;
+        streamed.stats = ta.value().stats;
+      }
+      if (rep == 0) streamed.identical = fingerprint(ta.value()) == baseline;
+    }
+    std::remove(tmp_pcap.c_str());
+    std::printf("analyze_file jobs=8: %.3fs best of %d, identical=%s\n",
+                streamed.best_wall_s, kRepetitions,
+                streamed.identical ? "yes" : "NO");
+  }
+
+  const double speedup = runs.front().best_wall_s / runs.back().best_wall_s;
+  bool all_identical = streamed.identical;
+  for (const RunResult& r : runs) all_identical = all_identical && r.identical;
+  std::printf("speedup jobs=8 vs jobs=1: %.2fx; outputs identical: %s\n",
+              speedup, all_identical ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"trace\": {\"sessions\": %zu, \"prefixes_per_session\":"
+               " %zu, \"records\": %zu, \"bytes\": %llu},\n  \"runs\": [\n",
+               kSessions, kPrefixes, trace.records.size(),
+               static_cast<unsigned long long>(trace_bytes));
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"jobs\": %zu, \"best_wall_s\": %.6f, "
+                 "\"identical_to_serial\": %s, \"stats\": %s}%s\n",
+                 runs[i].jobs, runs[i].best_wall_s,
+                 runs[i].identical ? "true" : "false",
+                 runs[i].stats.to_json().c_str(),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"streaming\": {\"jobs\": %zu, \"best_wall_s\": %.6f,"
+               " \"identical_to_serial\": %s, \"stats\": %s},\n",
+               streamed.jobs, streamed.best_wall_s,
+               streamed.identical ? "true" : "false",
+               streamed.stats.to_json().c_str());
+  std::fprintf(f,
+               "  \"speedup_jobs8_vs_jobs1\": %.4f,\n"
+               "  \"all_outputs_identical\": %s\n}\n",
+               speedup, all_identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}

@@ -2,8 +2,17 @@
 // extraction, profiles, ACK shifting), generate the event series, locate the
 // BGP table transfer (TCP start + MCT end, §II-A), and classify the delay
 // factors over the transfer window.
+//
+// Two ingest paths feed the same analysis stage: the in-memory PcapFile path
+// (analyze_trace / analyze_packets) and the streaming path (analyze_file),
+// which reads the capture in chunks, decodes and demultiplexes connections
+// during ingest, and never materializes the whole file. Both paths then run
+// analyze_connection per connection — serially for opts.jobs == 1, on a
+// thread pool otherwise — with results written into pre-sized slots by
+// connection index, so the output is bit-identical at any job count.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "bgp/mct.hpp"
@@ -12,6 +21,7 @@
 #include "core/series_builder.hpp"
 #include "pcap/pcap_file.hpp"
 #include "tcp/profile.hpp"
+#include "util/result.hpp"
 
 namespace tdat {
 
@@ -29,9 +39,29 @@ struct ConnectionAnalysis {
   [[nodiscard]] const SeriesRegistry& series() const { return bundle.registry; }
 };
 
+// Throughput accounting for one pipeline run (§V-C: the Perl prototype's
+// 26 s/connection is the number to beat). Wall times come from a monotonic
+// clock; the rates divide by total_wall.
+struct PipelineStats {
+  std::uint64_t bytes_ingested = 0;  // capture bytes consumed (incl. headers)
+  std::uint64_t records = 0;         // pcap records seen
+  std::uint64_t packets = 0;         // decoded TCP packets
+  std::uint64_t connections = 0;
+  std::size_t jobs = 1;              // effective analysis worker count
+  Micros ingest_wall = 0;            // read + decode + connection demux
+  Micros analyze_wall = 0;           // per-connection analysis stage
+  Micros total_wall = 0;
+
+  [[nodiscard]] double bytes_per_sec() const;
+  [[nodiscard]] double packets_per_sec() const;
+  [[nodiscard]] double connections_per_sec() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
 struct TraceAnalysis {
   std::vector<Connection> connections;
   std::vector<ConnectionAnalysis> results;  // parallel to connections
+  PipelineStats stats;
 };
 
 [[nodiscard]] ConnectionAnalysis analyze_connection(const Connection& conn,
@@ -42,5 +72,12 @@ struct TraceAnalysis {
 
 [[nodiscard]] TraceAnalysis analyze_trace(const PcapFile& file,
                                           const AnalyzerOptions& opts);
+
+// Streaming entry point: chunked pcap ingest with arena-backed zero-copy
+// packets, connection demux overlapped with decoding, then the same
+// (optionally parallel) analysis stage. Produces results identical to
+// analyze_trace(read_pcap_file(path)) at a fraction of the peak memory.
+[[nodiscard]] Result<TraceAnalysis> analyze_file(const std::string& path,
+                                                 const AnalyzerOptions& opts);
 
 }  // namespace tdat

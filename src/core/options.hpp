@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "util/time.hpp"
@@ -72,6 +73,13 @@ struct AnalyzerOptions {
   std::size_t bw_min_flight_packets = 4;
 
   bool verify_checksums = false;
+
+  // Worker threads for the per-connection analysis stage. 1 = fully serial
+  // (no pool, no atomics); 0 = default_jobs() (TDAT_JOBS env override, else
+  // hardware concurrency). Any value produces bit-identical results: work is
+  // handed out by connection index into pre-sized slots, and nothing in the
+  // per-connection analysis shares mutable state.
+  std::size_t jobs = 1;
 
   // Ablation switch (§III-B1): disable the ACK-flight shift to measure how
   // much the sniffer-position correction matters. Leave on for analysis.

@@ -55,7 +55,8 @@ bool decode_tcp_options(ByteReader& r, std::size_t options_len, TcpHeader& tcp) 
 
 std::optional<DecodedPacket> decode_frame(Micros ts, std::size_t index,
                                           std::span<const std::uint8_t> frame,
-                                          bool verify_checksums) {
+                                          bool verify_checksums,
+                                          std::shared_ptr<const void> backing) {
   ByteReader r(frame);
   r.skip(12);  // MAC addresses carry no information in our traces
   const std::uint16_t ethertype = r.u16be();
@@ -124,7 +125,15 @@ std::optional<DecodedPacket> decode_frame(Micros ts, std::size_t index,
     if (tcp_checksum(pkt.ip.src, pkt.ip.dst, segment) != 0) return std::nullopt;
   }
 
-  pkt.frame.assign(frame.begin(), frame.end());
+  if (backing) {
+    pkt.frame = frame;
+    pkt.backing = std::move(backing);
+  } else {
+    auto copy =
+        std::make_shared<std::vector<std::uint8_t>>(frame.begin(), frame.end());
+    pkt.frame = std::span<const std::uint8_t>(*copy);
+    pkt.backing = std::move(copy);
+  }
   return pkt;
 }
 

@@ -2,6 +2,7 @@
 // decode to nullopt; the caller decides whether to skip or count them.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 
@@ -12,8 +13,14 @@ namespace tdat {
 // Decodes one captured frame. `verify_checksums` additionally validates the
 // IPv4 header checksum and the TCP checksum; packets failing verification
 // decode to nullopt (damaged captures should not reach the analyzer).
+//
+// Without `backing` the frame bytes are copied into a packet-private buffer,
+// so the caller's span may be transient. With `backing` (a keepalive that
+// owns the memory `frame` points into, e.g. a PcapStream arena chunk) the
+// packet views the caller's bytes directly — zero copy on the ingest path.
 [[nodiscard]] std::optional<DecodedPacket> decode_frame(
     Micros ts, std::size_t index, std::span<const std::uint8_t> frame,
-    bool verify_checksums = false);
+    bool verify_checksums = false,
+    std::shared_ptr<const void> backing = nullptr);
 
 }  // namespace tdat

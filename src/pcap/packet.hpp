@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -50,20 +51,30 @@ struct TcpHeader {
   std::optional<std::uint32_t> ts_ecr;  // TSecr
 };
 
-// One captured packet: raw frame bytes plus decoded header views. `index` is
-// the packet's position in its trace and is used as the trace_ref carried by
-// event series.
+// One captured packet: decoded header views plus the raw layer-2 frame.
+// `index` is the packet's position in its trace and is used as the trace_ref
+// carried by event series.
+//
+// Ownership: `frame` is a read-only view; `backing` pins the bytes behind
+// it. decode_frame either copies the caller's buffer into a private backing
+// (the legacy path — safe for transient inputs) or, when handed a keepalive,
+// views the caller's buffer directly and shares its ownership — the
+// streaming path, where `backing` is a pcap-stream arena chunk holding many
+// packets' frames. Either way a DecodedPacket copy is cheap (one refcount
+// bump, no byte copy), the frame bytes are immutable after decoding, and the
+// packet may be handed to another thread freely.
 struct DecodedPacket {
   Micros ts = 0;
   std::size_t index = 0;
   Ipv4Header ip;
   TcpHeader tcp;
-  std::vector<std::uint8_t> frame;   // full layer-2 frame as captured
-  std::size_t payload_offset = 0;    // offset of the TCP payload in `frame`
+  std::span<const std::uint8_t> frame;  // full layer-2 frame as captured
+  std::shared_ptr<const void> backing;  // owns (or pins) the frame bytes
+  std::size_t payload_offset = 0;       // offset of the TCP payload in `frame`
   std::size_t payload_len = 0;
 
   [[nodiscard]] std::span<const std::uint8_t> payload() const {
-    return std::span(frame).subspan(payload_offset, payload_len);
+    return frame.subspan(payload_offset, payload_len);
   }
   [[nodiscard]] bool has_payload() const { return payload_len > 0; }
 };

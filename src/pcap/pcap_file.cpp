@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "pcap/decode.hpp"
+#include "pcap/pcap_stream.hpp"
 #include "util/bytes.hpp"
 
 namespace tdat {
@@ -54,6 +55,22 @@ Result<PcapFile> parse_pcap(std::span<const std::uint8_t> image) {
   PcapFile out;
   out.nanosecond = nanos;
   out.snaplen = snaplen;
+  // Pre-scan the record headers (16 bytes each, skipping bodies) to size the
+  // records vector exactly, so the parse loop below never reallocates it; the
+  // per-record byte buffers are then the only allocations on this path.
+  {
+    ByteReader scan = r;
+    std::size_t count = 0;
+    while (scan.remaining() >= 16) {
+      scan.skip(8);
+      const std::uint32_t incl = swapped ? scan.u32be() : scan.u32le();
+      scan.skip(4);
+      if (!scan.ok() || incl > snaplen + 65535 || scan.remaining() < incl) break;
+      scan.skip(incl);
+      ++count;
+    }
+    out.records.reserve(count);
+  }
   while (r.remaining() >= 16) {
     const std::uint32_t ts_sec = u32();
     const std::uint32_t ts_frac = u32();
@@ -74,18 +91,12 @@ Result<PcapFile> parse_pcap(std::span<const std::uint8_t> image) {
 }
 
 Result<PcapFile> read_pcap_file(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Err<PcapFile>("pcap: cannot open " + path);
-  std::fseek(f.get(), 0, SEEK_END);
-  const long len = std::ftell(f.get());
-  std::fseek(f.get(), 0, SEEK_SET);
-  if (len < 0) return Err<PcapFile>("pcap: cannot stat " + path);
-  std::vector<std::uint8_t> image(static_cast<std::size_t>(len));
-  if (!image.empty() &&
-      std::fread(image.data(), 1, image.size(), f.get()) != image.size()) {
-    return Err<PcapFile>("pcap: short read on " + path);
-  }
-  return parse_pcap(image);
+  // The in-memory representation is a thin adapter over the streaming
+  // reader: chunked ingest through reused arena buffers instead of loading
+  // the whole image, then one owning copy per record.
+  auto stream = PcapStream::open(path);
+  if (!stream.ok()) return Err<PcapFile>(stream.error());
+  return stream.value().drain_to_file();
 }
 
 std::vector<std::uint8_t> serialize_pcap(const PcapFile& file) {

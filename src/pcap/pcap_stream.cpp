@@ -1,0 +1,180 @@
+#include "pcap/pcap_stream.hpp"
+
+#include <cstring>
+
+namespace tdat {
+namespace {
+
+constexpr std::uint32_t kMagicMicrosLE = 0xa1b2c3d4;  // as read little-endian
+constexpr std::uint32_t kMagicMicrosBE = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNanosLE = 0xa1b23c4d;
+constexpr std::uint32_t kMagicNanosBE = 0x4d3cb2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::size_t kGlobalHeaderLen = 24;
+constexpr std::size_t kRecordHeaderLen = 16;
+
+}  // namespace
+
+Result<PcapStream> PcapStream::open(const std::string& path,
+                                    std::size_t chunk_size) {
+  PcapStream s;
+  s.file_.reset(std::fopen(path.c_str(), "rb"));
+  if (!s.file_) return Err<PcapStream>("pcap: cannot open " + path);
+  s.chunk_size_ = chunk_size > kRecordHeaderLen ? chunk_size : kDefaultChunkSize;
+  return init(std::move(s));
+}
+
+Result<PcapStream> PcapStream::from_memory(std::span<const std::uint8_t> image,
+                                           std::size_t chunk_size) {
+  PcapStream s;
+  s.mem_ = image;
+  // Tiny chunk sizes are allowed here so tests can force records to straddle
+  // chunk boundaries.
+  s.chunk_size_ = chunk_size >= kGlobalHeaderLen ? chunk_size : kGlobalHeaderLen;
+  return init(std::move(s));
+}
+
+Result<PcapStream> PcapStream::init(PcapStream s) {
+  if (!s.refill(4)) return Err<PcapStream>("pcap: file shorter than global header");
+  // The magic is defined as read little-endian; it decides the order of
+  // every later field.
+  const std::uint32_t magic = static_cast<std::uint32_t>(s.arena_->at(s.pos_)) |
+                              static_cast<std::uint32_t>(s.arena_->at(s.pos_ + 1)) << 8 |
+                              static_cast<std::uint32_t>(s.arena_->at(s.pos_ + 2)) << 16 |
+                              static_cast<std::uint32_t>(s.arena_->at(s.pos_ + 3)) << 24;
+  s.pos_ += 4;
+  switch (magic) {
+    case kMagicMicrosLE: break;
+    case kMagicNanosLE: s.nanos_ = true; break;
+    case kMagicMicrosBE: s.swapped_ = true; break;
+    case kMagicNanosBE: s.swapped_ = true; s.nanos_ = true; break;
+    default: return Err<PcapStream>("pcap: bad magic number");
+  }
+  if (!s.refill(kGlobalHeaderLen - 4)) {
+    return Err<PcapStream>("pcap: truncated global header");
+  }
+  const std::uint16_t major = s.u16();
+  (void)s.u16();  // minor version
+  (void)s.u32();  // thiszone
+  (void)s.u32();  // sigfigs
+  s.snaplen_ = s.u32();
+  const std::uint32_t linktype = s.u32();
+  if (major != 2) return Err<PcapStream>("pcap: unsupported version");
+  if (linktype != kLinkTypeEthernet) {
+    return Err<PcapStream>("pcap: unsupported link type " + std::to_string(linktype));
+  }
+  s.bytes_read_ = kGlobalHeaderLen;
+  return s;
+}
+
+std::size_t PcapStream::read_source(std::uint8_t* dst, std::size_t n) {
+  if (file_) return std::fread(dst, 1, n, file_.get());
+  const std::size_t got = std::min(n, mem_.size() - mem_pos_);
+  std::memcpy(dst, mem_.data() + mem_pos_, got);
+  mem_pos_ += got;
+  return got;
+}
+
+bool PcapStream::refill(std::size_t n) {
+  if (arena_ && fill_ - pos_ >= n) return true;
+  const std::size_t tail = arena_ ? fill_ - pos_ : 0;
+  const std::size_t want = std::max(chunk_size_, n);
+
+  // A fresh arena is required even when the current one has spare capacity:
+  // bytes already handed out as record views must never move. The previous
+  // chunk is kept as a recycling candidate and reused once nothing
+  // references it any more — steady-state streaming therefore ping-pongs
+  // between two buffers instead of allocating per chunk.
+  std::shared_ptr<Arena> next;
+  if (spare_ && spare_.use_count() == 1 && spare_->size() >= want) {
+    next = std::move(spare_);
+  } else {
+    next = std::make_shared<Arena>(want);
+  }
+  if (tail > 0) std::memcpy(next->data(), arena_->data() + pos_, tail);
+  spare_ = std::move(arena_);
+  arena_ = std::move(next);
+  pos_ = 0;
+  fill_ = tail + read_source(arena_->data() + tail, arena_->size() - tail);
+  return fill_ >= n;
+}
+
+std::uint16_t PcapStream::u16() {
+  const std::uint8_t* p = arena_->data() + pos_;
+  pos_ += 2;
+  return swapped_ ? static_cast<std::uint16_t>(p[0] << 8 | p[1])
+                  : static_cast<std::uint16_t>(p[1] << 8 | p[0]);
+}
+
+std::uint32_t PcapStream::u32() {
+  const std::uint8_t* p = arena_->data() + pos_;
+  pos_ += 4;
+  return swapped_ ? static_cast<std::uint32_t>(p[0]) << 24 |
+                        static_cast<std::uint32_t>(p[1]) << 16 |
+                        static_cast<std::uint32_t>(p[2]) << 8 | p[3]
+                  : static_cast<std::uint32_t>(p[3]) << 24 |
+                        static_cast<std::uint32_t>(p[2]) << 16 |
+                        static_cast<std::uint32_t>(p[1]) << 8 | p[0];
+}
+
+bool PcapStream::next(StreamRecord& out) {
+  if (done_) return false;
+  if (!refill(kRecordHeaderLen)) {
+    done_ = true;
+    return false;
+  }
+  const std::uint32_t ts_sec = u32();
+  const std::uint32_t ts_frac = u32();
+  const std::uint32_t incl_len = u32();
+  const std::uint32_t orig_len = u32();
+  // Same corrupt-tail policy as parse_pcap: an implausible length or a body
+  // the source cannot supply drops the record and everything after it.
+  if (incl_len > snaplen_ + 65535 || !refill(incl_len)) {
+    done_ = true;
+    return false;
+  }
+  out.ts = static_cast<Micros>(ts_sec) * kMicrosPerSec +
+           (nanos_ ? ts_frac / 1000 : ts_frac);
+  out.orig_len = orig_len;
+  out.data = std::span<const std::uint8_t>(arena_->data() + pos_, incl_len);
+  out.arena = arena_;
+  pos_ += incl_len;
+  bytes_read_ += kRecordHeaderLen + incl_len;
+  ++records_read_;
+  return true;
+}
+
+PcapFile PcapStream::drain_to_file() {
+  PcapFile out;
+  out.nanosecond = nanos_;
+  out.snaplen = snaplen_;
+  // Heuristic capacity from the source size: BGP monitoring traces mix
+  // ~70-byte pure ACKs with MSS-sized data segments, so ~100 bytes per
+  // record on top of the 16-byte header keeps reallocation rare without
+  // over-reserving on data-heavy captures.
+  std::uint64_t source_size = 0;
+  if (file_) {
+    const long at = std::ftell(file_.get());
+    if (at >= 0 && std::fseek(file_.get(), 0, SEEK_END) == 0) {
+      const long end = std::ftell(file_.get());
+      if (end > at) source_size = static_cast<std::uint64_t>(end - at);
+      std::fseek(file_.get(), at, SEEK_SET);
+    }
+  } else {
+    source_size = mem_.size() - mem_pos_;
+  }
+  source_size += fill_ - pos_;
+  out.records.reserve(source_size / (kRecordHeaderLen + 100) + 1);
+
+  StreamRecord rec;
+  while (next(rec)) {
+    PcapRecord owned;
+    owned.ts = rec.ts;
+    owned.orig_len = rec.orig_len;
+    owned.data.assign(rec.data.begin(), rec.data.end());
+    out.records.push_back(std::move(owned));
+  }
+  return out;
+}
+
+}  // namespace tdat

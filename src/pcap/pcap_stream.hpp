@@ -1,0 +1,110 @@
+// Streaming pcap reader: reads the capture in fixed-size chunks and hands
+// out records as std::span views into per-chunk arena buffers, so the ingest
+// hot path performs no per-record heap allocation (the in-memory parse_pcap
+// allocates one vector per record).
+//
+// Arena lifetime rules: every StreamRecord carries a shared_ptr pin on the
+// chunk its bytes live in. A chunk stays alive exactly as long as the stream
+// is filling it or at least one record (or DecodedPacket built from one via
+// decode_frame's `backing` parameter) still references it; drop the pins and
+// the chunk is recycled for a later refill. Records never straddle chunks —
+// a record crossing a read boundary is relocated into the next chunk before
+// it is handed out, so `data` is always contiguous.
+//
+// Supports the same four global-header variants as parse_pcap (µs/ns magic,
+// either byte order) and the same tail semantics: a corrupt or truncated
+// record header ends the stream, keeping everything before it.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pcap/pcap_file.hpp"
+#include "util/result.hpp"
+
+namespace tdat {
+
+// A raw captured record viewed in place. Valid while `arena` (or any other
+// copy of it) is held; copying the struct is two words plus a refcount bump.
+struct StreamRecord {
+  Micros ts = 0;
+  std::uint32_t orig_len = 0;
+  std::span<const std::uint8_t> data;  // view into `arena`
+  std::shared_ptr<const void> arena;   // pin for `data`
+};
+
+class PcapStream {
+ public:
+  static constexpr std::size_t kDefaultChunkSize = 1 << 20;  // 1 MiB
+
+  // Opens a capture file for streaming. Fails on a malformed global header,
+  // with the same error messages as parse_pcap.
+  [[nodiscard]] static Result<PcapStream> open(
+      const std::string& path, std::size_t chunk_size = kDefaultChunkSize);
+
+  // Streams an in-memory image (chunked through the same arena machinery,
+  // so boundary handling is exercised regardless of source). The image only
+  // needs to stay alive while the stream is read.
+  [[nodiscard]] static Result<PcapStream> from_memory(
+      std::span<const std::uint8_t> image,
+      std::size_t chunk_size = kDefaultChunkSize);
+
+  PcapStream(PcapStream&&) = default;
+  PcapStream& operator=(PcapStream&&) = default;
+
+  // Fetches the next record. Returns false at end of stream — clean EOF or
+  // a corrupt/truncated tail, which is dropped exactly like parse_pcap does.
+  [[nodiscard]] bool next(StreamRecord& out);
+
+  [[nodiscard]] bool nanosecond() const { return nanos_; }
+  [[nodiscard]] std::uint32_t snaplen() const { return snaplen_; }
+
+  // Ingest accounting: file bytes consumed (headers included) and records
+  // handed out so far.
+  [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
+  [[nodiscard]] std::uint64_t records_read() const { return records_read_; }
+
+  // Drains the remaining records into the in-memory representation — the
+  // PcapFile API is a thin adapter over the stream (read_pcap_file uses it).
+  [[nodiscard]] PcapFile drain_to_file();
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const { std::fclose(f); }
+  };
+  using Arena = std::vector<std::uint8_t>;
+
+  PcapStream() = default;
+
+  [[nodiscard]] static Result<PcapStream> init(PcapStream stream);
+  [[nodiscard]] std::size_t read_source(std::uint8_t* dst, std::size_t n);
+  // Ensures >= n contiguous unconsumed bytes at the cursor, refilling (and
+  // relocating a partial tail into a fresh arena) as needed.
+  [[nodiscard]] bool refill(std::size_t n);
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+
+  // Source: exactly one of `file_` / `mem_` is active.
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::span<const std::uint8_t> mem_;
+  std::size_t mem_pos_ = 0;
+
+  std::size_t chunk_size_ = kDefaultChunkSize;
+  std::shared_ptr<Arena> arena_;  // current chunk
+  std::shared_ptr<Arena> spare_;  // retired chunk, recycled once unreferenced
+  std::size_t fill_ = 0;          // valid bytes in arena_
+  std::size_t pos_ = 0;           // cursor into arena_
+
+  bool swapped_ = false;
+  bool nanos_ = false;
+  std::uint32_t snaplen_ = 65535;
+  bool done_ = false;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t records_read_ = 0;
+};
+
+}  // namespace tdat

@@ -29,32 +29,33 @@ Dir packet_dir(const ConnKey& key, const DecodedPacket& pkt) {
              : Dir::kBToA;
 }
 
-std::vector<Connection> split_connections(const std::vector<DecodedPacket>& trace) {
-  std::vector<Connection> out;
-  struct Active {
-    std::size_t conn_index;
-    bool saw_data_or_close = false;
-  };
-  std::map<ConnKey, Active> active;
-
-  for (const DecodedPacket& pkt : trace) {
-    const ConnKey key = make_conn_key(pkt);
-    auto it = active.find(key);
-    const bool fresh_syn = pkt.tcp.flags.syn && !pkt.tcp.flags.ack;
-    if (it == active.end() ||
-        (fresh_syn && out[it->second.conn_index].packets.size() > 1 &&
-         it->second.saw_data_or_close)) {
-      Connection conn;
-      conn.key = key;
-      out.push_back(std::move(conn));
-      it = active.insert_or_assign(key, Active{out.size() - 1, false}).first;
-    }
-    if (pkt.has_payload() || pkt.tcp.flags.fin || pkt.tcp.flags.rst) {
-      it->second.saw_data_or_close = true;
-    }
-    out[it->second.conn_index].packets.push_back(pkt);
+void ConnectionDemux::add(DecodedPacket pkt) {
+  const ConnKey key = make_conn_key(pkt);
+  auto it = active_.find(key);
+  const bool fresh_syn = pkt.tcp.flags.syn && !pkt.tcp.flags.ack;
+  if (it == active_.end() ||
+      (fresh_syn && conns_[it->second.conn_index].packets.size() > 1 &&
+       it->second.saw_data_or_close)) {
+    Connection conn;
+    conn.key = key;
+    conns_.push_back(std::move(conn));
+    it = active_.insert_or_assign(key, Active{conns_.size() - 1, false}).first;
   }
-  return out;
+  if (pkt.has_payload() || pkt.tcp.flags.fin || pkt.tcp.flags.rst) {
+    it->second.saw_data_or_close = true;
+  }
+  conns_[it->second.conn_index].packets.push_back(std::move(pkt));
+}
+
+std::vector<Connection> ConnectionDemux::take() {
+  active_.clear();
+  return std::move(conns_);
+}
+
+std::vector<Connection> split_connections(const std::vector<DecodedPacket>& trace) {
+  ConnectionDemux demux;
+  for (const DecodedPacket& pkt : trace) demux.add(pkt);
+  return demux.take();
 }
 
 }  // namespace tdat

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -49,9 +50,31 @@ struct Connection {
   }
 };
 
-// Splits trace packets (in capture order) into connections. A SYN (without
-// ACK) seen on a key whose current connection already carried data or a
-// FIN/RST starts a new connection on that key.
+// Incremental connection demultiplexer: accepts packets one at a time in
+// capture order, so the streaming ingest path can demux while the trace is
+// still being read. A SYN (without ACK) seen on a key whose current
+// connection already carried data or a FIN/RST starts a new connection on
+// that key. split_connections is the batch wrapper over this.
+class ConnectionDemux {
+ public:
+  void add(DecodedPacket pkt);
+
+  [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
+
+  // Finishes demultiplexing and yields the connections in first-seen order.
+  // The demux is empty afterwards and may be reused.
+  [[nodiscard]] std::vector<Connection> take();
+
+ private:
+  struct Active {
+    std::size_t conn_index;
+    bool saw_data_or_close = false;
+  };
+  std::vector<Connection> conns_;
+  std::map<ConnKey, Active> active_;
+};
+
+// Splits trace packets (in capture order) into connections.
 [[nodiscard]] std::vector<Connection> split_connections(
     const std::vector<DecodedPacket>& trace);
 

@@ -1,6 +1,7 @@
 // tdat — the analysis tool suite (paper Table VI) as one binary.
 //
 //   tdat analyze  <trace.pcap> [--location receiver|sender|middle] [--json]
+//                 [--jobs N] [--stats|--quiet-stats]
 //                 [--series NAME]...          T-DAT delay analysis
 //   tdat pcap2mrt <trace.pcap> <out.mrt>      reconstruct BGP msgs -> MRT
 //   tdat mrtcat   <archive.mrt> [-n N]        print an MRT archive
@@ -9,6 +10,7 @@
 //                 scenarios: baseline timer loss slow-collector window
 //                            narrow-pipe probe-bug
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -31,6 +33,8 @@ int usage() {
                "usage:\n"
                "  tdat analyze  <trace.pcap> [--location receiver|sender|middle]"
                " [--json] [--series NAME]...\n"
+               "                [--jobs N] [--stats|--quiet-stats]"
+               "   (default jobs: hardware threads, or $TDAT_JOBS)\n"
                "  tdat pcap2mrt <trace.pcap> <out.mrt>\n"
                "  tdat mrtcat   <archive.mrt> [-n N]\n"
                "  tdat timeseq  <trace.pcap> [conn-index]\n"
@@ -45,7 +49,9 @@ Result<PcapFile> load(const char* path) { return read_pcap_file(path); }
 int cmd_analyze(int argc, char** argv) {
   if (argc < 1) return usage();
   AnalyzerOptions opts;
+  opts.jobs = 0;  // default: hardware concurrency (or $TDAT_JOBS)
   bool json = false;
+  bool show_stats = true;
   std::vector<std::string> wanted_series;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -57,16 +63,30 @@ int cmd_analyze(int argc, char** argv) {
       else opts.location = SnifferLocation::kNearReceiver;
     } else if (std::strcmp(argv[i], "--series") == 0 && i + 1 < argc) {
       wanted_series.push_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--jobs: not a number: %s\n", argv[i]);
+        return 2;
+      }
+      opts.jobs = static_cast<std::size_t>(v);  // 0 = hardware default
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      show_stats = true;
+    } else if (std::strcmp(argv[i], "--quiet-stats") == 0) {
+      show_stats = false;
     } else {
       return usage();
     }
   }
-  const auto trace = load(argv[0]);
-  if (!trace.ok()) {
-    std::fprintf(stderr, "%s\n", trace.error().c_str());
+  // Streaming ingest: chunked read + decode + demux, then per-connection
+  // analysis on the pool. Output is identical to the in-memory path.
+  auto analyzed = analyze_file(argv[0], opts);
+  if (!analyzed.ok()) {
+    std::fprintf(stderr, "%s\n", analyzed.error().c_str());
     return 1;
   }
-  const TraceAnalysis analysis = analyze_trace(trace.value(), opts);
+  const TraceAnalysis& analysis = analyzed.value();
   if (json) std::printf("[");
   bool first = true;
   for (const ConnectionAnalysis& conn : analysis.results) {
@@ -140,6 +160,21 @@ int cmd_analyze(int argc, char** argv) {
     }
   }
   if (json) std::printf("]\n");
+  if (show_stats) {
+    const PipelineStats& st = analysis.stats;
+    std::fprintf(stderr,
+                 "[tdat] %llu records (%.2f MB) -> %llu packets -> %llu"
+                 " connections in %.3fs (ingest %.3fs + analyze %.3fs,"
+                 " jobs=%zu): %.1f MB/s, %.0f pkt/s, %.2f conn/s\n",
+                 static_cast<unsigned long long>(st.records),
+                 static_cast<double>(st.bytes_ingested) / 1e6,
+                 static_cast<unsigned long long>(st.packets),
+                 static_cast<unsigned long long>(st.connections),
+                 to_seconds(st.total_wall), to_seconds(st.ingest_wall),
+                 to_seconds(st.analyze_wall), st.jobs,
+                 st.bytes_per_sec() / 1e6, st.packets_per_sec(),
+                 st.connections_per_sec());
+  }
   return 0;
 }
 
