@@ -5,7 +5,9 @@
 
 #include "pcap/decode.hpp"
 #include "pcap/pcap_stream.hpp"
+#include "util/log.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace tdat {
 namespace {
@@ -28,6 +30,13 @@ std::size_t effective_jobs(std::size_t requested, std::size_t connections) {
 void run_analysis_stage(TraceAnalysis& out, const AnalyzerOptions& opts) {
   const Micros t0 = wall_now();
   const std::size_t jobs = effective_jobs(opts.jobs, out.connections.size());
+  TDAT_TRACE_SPAN("analyze.stage", "analyze", "jobs",
+                  static_cast<std::int64_t>(jobs));
+  // Scope the cumulative pool/analysis histograms to this run.
+  const HistogramSnapshot qw0 =
+      metrics().histogram("pool.queue_wait_us").snapshot();
+  const HistogramSnapshot conn0 =
+      metrics().histogram("analyze.connection_us").snapshot();
   out.results.clear();
   out.results.resize(out.connections.size());
   parallel_for(out.connections.size(), jobs, [&](std::size_t i) {
@@ -37,6 +46,13 @@ void run_analysis_stage(TraceAnalysis& out, const AnalyzerOptions& opts) {
   out.stats.jobs = jobs;
   out.stats.connections = out.connections.size();
   out.stats.analyze_wall = wall_now() - t0;
+  out.stats.queue_wait_us =
+      metrics().histogram("pool.queue_wait_us").snapshot().since(qw0);
+  out.stats.connection_us =
+      metrics().histogram("analyze.connection_us").snapshot().since(conn0);
+  TDAT_LOG_DEBUG("analysis stage: %zu connections on %zu workers in %.3fs",
+                 out.connections.size(), jobs,
+                 to_seconds(out.stats.analyze_wall));
 }
 
 double rate(std::uint64_t count, Micros wall) {
@@ -50,44 +66,81 @@ double PipelineStats::packets_per_sec() const { return rate(packets, total_wall)
 double PipelineStats::connections_per_sec() const { return rate(connections, total_wall); }
 
 std::string PipelineStats::to_json() const {
-  char buf[512];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"bytes_ingested\": %llu, \"records\": %llu, \"packets\": %llu, "
-      "\"connections\": %llu, \"jobs\": %zu, \"ingest_wall_us\": %lld, "
-      "\"analyze_wall_us\": %lld, \"total_wall_us\": %lld, "
-      "\"bytes_per_sec\": %.1f, \"packets_per_sec\": %.1f, "
-      "\"connections_per_sec\": %.3f}",
-      static_cast<unsigned long long>(bytes_ingested),
-      static_cast<unsigned long long>(records),
-      static_cast<unsigned long long>(packets),
-      static_cast<unsigned long long>(connections), jobs,
-      static_cast<long long>(ingest_wall), static_cast<long long>(analyze_wall),
-      static_cast<long long>(total_wall), bytes_per_sec(), packets_per_sec(),
-      connections_per_sec());
-  return buf;
+  // Built with std::to_chars-backed json_double: snprintf("%f") renders the
+  // decimal separator of the process locale, which is not valid JSON under
+  // e.g. de_DE; this output must stay machine-parseable everywhere.
+  std::string out;
+  const auto field = [&out](const char* key, std::string value) {
+    if (!out.empty()) out += ", ";
+    out += '"';
+    out += key;
+    out += "\": ";
+    out += value;
+  };
+  field("bytes_ingested", std::to_string(bytes_ingested));
+  field("records", std::to_string(records));
+  field("packets", std::to_string(packets));
+  field("connections", std::to_string(connections));
+  field("jobs", std::to_string(jobs));
+  field("ingest_wall_us", std::to_string(ingest_wall));
+  field("analyze_wall_us", std::to_string(analyze_wall));
+  field("total_wall_us", std::to_string(total_wall));
+  field("bytes_per_sec", json_double(bytes_per_sec()));
+  field("packets_per_sec", json_double(packets_per_sec()));
+  field("connections_per_sec", json_double(connections_per_sec()));
+  if (queue_wait_us.count > 0) {
+    field("queue_wait_us", queue_wait_us.to_json());
+  }
+  if (connection_us.count > 0) {
+    field("connection_analysis_us", connection_us.to_json());
+  }
+  if (!metrics_json.empty()) field("metrics", metrics_json);
+  return "{" + out + "}";
 }
 
 ConnectionAnalysis analyze_connection(const Connection& conn,
                                       const AnalyzerOptions& opts) {
+  TDAT_TRACE_SPAN("analyze.connection", "analyze", "conn",
+                  conn.key.to_string());
+  const std::int64_t t0 = monotonic_micros();
   ConnectionAnalysis out;
   out.key = conn.key;
-  out.profile = compute_profile(conn);
-  out.bundle = build_series(conn, out.profile, opts);
-
-  auto extracted = extract_bgp_messages(conn, out.profile.data_dir);
-  out.messages = std::move(extracted.messages);
+  {
+    TDAT_TRACE_SPAN("analyze.profile", "analyze");
+    out.profile = compute_profile(conn);
+  }
+  {
+    TDAT_TRACE_SPAN("analyze.series", "analyze");
+    out.bundle = build_series(conn, out.profile, opts);
+  }
+  {
+    TDAT_TRACE_SPAN("analyze.extract_bgp", "analyze");
+    auto extracted = extract_bgp_messages(conn, out.profile.data_dir);
+    out.messages = std::move(extracted.messages);
+  }
 
   // A table transfer starts right after the TCP connection is established
   // (RFC 4271); MCT estimates where it ends.
   const Micros start = conn.start_time();
-  out.mct = mct_transfer_end(out.messages, start);
+  {
+    TDAT_TRACE_SPAN("analyze.mct", "analyze");
+    out.mct = mct_transfer_end(out.messages, start);
+  }
   if (out.mct.update_count > 0 && out.mct.end > start) {
     out.transfer = {start, out.mct.end};
   } else {
     out.transfer = {};
   }
-  out.report = classify_delay(out.bundle.registry, out.transfer, opts);
+  {
+    TDAT_TRACE_SPAN("analyze.classify", "analyze");
+    out.report = classify_delay(out.bundle.registry, out.transfer, opts);
+  }
+  // One-time registry lookups; per-connection cost is a clock read + two
+  // relaxed RMWs. connections_done feeds the CLI --progress ticker.
+  static LatencyHistogram& conn_us = metrics().histogram("analyze.connection_us");
+  static Counter& done = metrics().counter("analyze.connections_done");
+  conn_us.observe(monotonic_micros() - t0);
+  done.inc();
   return out;
 }
 
@@ -97,6 +150,8 @@ TraceAnalysis analyze_packets(std::vector<DecodedPacket> packets,
   const Micros t0 = wall_now();
   out.stats.packets = packets.size();
   {
+    TDAT_TRACE_SPAN("ingest", "pcap", "packets",
+                    static_cast<std::int64_t>(packets.size()));
     ConnectionDemux demux;
     for (DecodedPacket& pkt : packets) {
       out.stats.bytes_ingested += pkt.frame.size();
@@ -107,6 +162,7 @@ TraceAnalysis analyze_packets(std::vector<DecodedPacket> packets,
   out.stats.ingest_wall = wall_now() - t0;
   run_analysis_stage(out, opts);
   out.stats.total_wall = wall_now() - t0;
+  out.stats.metrics_json = metrics().to_json();
   return out;
 }
 
@@ -123,6 +179,7 @@ TraceAnalysis analyze_trace(const PcapFile& file, const AnalyzerOptions& opts) {
   }
   out.stats.total_wall = wall_now() - t0;
   out.stats.ingest_wall = out.stats.total_wall - out.stats.analyze_wall;
+  out.stats.metrics_json = metrics().to_json();
   return out;
 }
 
@@ -132,9 +189,11 @@ Result<TraceAnalysis> analyze_file(const std::string& path,
   if (!stream.ok()) return Err<TraceAnalysis>(stream.error());
   PcapStream& s = stream.value();
 
+  TDAT_LOG_INFO("analyze: streaming %s", path.c_str());
   TraceAnalysis out;
   const Micros t0 = wall_now();
   {
+    TDAT_TRACE_SPAN("ingest", "pcap");
     ConnectionDemux demux;
     StreamRecord rec;
     std::size_t index = 0;
@@ -157,6 +216,7 @@ Result<TraceAnalysis> analyze_file(const std::string& path,
   out.stats.ingest_wall = wall_now() - t0;
   run_analysis_stage(out, opts);
   out.stats.total_wall = wall_now() - t0;
+  out.stats.metrics_json = metrics().to_json();
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include "core/series_builder.hpp"
 #include "pcap/pcap_file.hpp"
 #include "tcp/profile.hpp"
+#include "util/metrics.hpp"
 #include "util/result.hpp"
 
 namespace tdat {
@@ -52,9 +53,20 @@ struct PipelineStats {
   Micros analyze_wall = 0;           // per-connection analysis stage
   Micros total_wall = 0;
 
+  // Per-stage observability, scoped to this run (snapshot deltas of the
+  // process-wide registry): time tasks sat in the pool queue and the
+  // distribution of per-connection analysis cost, both in microseconds.
+  HistogramSnapshot queue_wait_us;
+  HistogramSnapshot connection_us;
+  // Full metrics-registry snapshot taken when the run finished ("" when not
+  // captured); embedded verbatim by to_json under "metrics".
+  std::string metrics_json;
+
   [[nodiscard]] double bytes_per_sec() const;
   [[nodiscard]] double packets_per_sec() const;
   [[nodiscard]] double connections_per_sec() const;
+  // Locale-independent JSON (doubles via std::to_chars — the output never
+  // depends on the process locale's decimal separator).
   [[nodiscard]] std::string to_json() const;
 };
 

@@ -1,6 +1,6 @@
 #include "core/export.hpp"
 
-#include <cstdio>
+#include "util/metrics.hpp"  // json_double: locale-independent doubles
 
 namespace tdat {
 namespace {
@@ -12,12 +12,6 @@ void append_kv(std::string& out, const char* key, std::int64_t value,
   out += "\":";
   out += std::to_string(value);
   if (trailing_comma) out += ',';
-}
-
-std::string json_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.6f", v);
-  return buf;
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace tdat {
 namespace {
 
@@ -35,6 +39,14 @@ Result<PcapStream> PcapStream::from_memory(std::span<const std::uint8_t> image,
 }
 
 Result<PcapStream> PcapStream::init(PcapStream s) {
+  MetricsRegistry& reg = metrics();
+  s.m_records_ = &reg.counter("pcap.records");
+  s.m_bytes_ = &reg.counter("pcap.bytes");
+  s.m_chunks_ = &reg.counter("pcap.chunk_refills");
+  s.m_recycles_ = &reg.counter("pcap.arena_recycles");
+  s.m_allocs_ = &reg.counter("pcap.arena_allocs");
+  s.m_straddles_ = &reg.counter("pcap.straddle_relocations");
+  s.m_refill_us_ = &reg.histogram("pcap.refill_us");
   if (!s.refill(4)) return Err<PcapStream>("pcap: file shorter than global header");
   // The magic is defined as read little-endian; it decides the order of
   // every later field.
@@ -77,6 +89,8 @@ std::size_t PcapStream::read_source(std::uint8_t* dst, std::size_t n) {
 
 bool PcapStream::refill(std::size_t n) {
   if (arena_ && fill_ - pos_ >= n) return true;
+  TDAT_TRACE_SPAN("pcap.refill", "pcap");
+  const std::int64_t t0 = monotonic_micros();
   const std::size_t tail = arena_ ? fill_ - pos_ : 0;
   const std::size_t want = std::max(chunk_size_, n);
 
@@ -88,14 +102,21 @@ bool PcapStream::refill(std::size_t n) {
   std::shared_ptr<Arena> next;
   if (spare_ && spare_.use_count() == 1 && spare_->size() >= want) {
     next = std::move(spare_);
+    m_recycles_->inc();
   } else {
     next = std::make_shared<Arena>(want);
+    m_allocs_->inc();
   }
-  if (tail > 0) std::memcpy(next->data(), arena_->data() + pos_, tail);
+  if (tail > 0) {
+    std::memcpy(next->data(), arena_->data() + pos_, tail);
+    m_straddles_->inc();
+  }
   spare_ = std::move(arena_);
   arena_ = std::move(next);
   pos_ = 0;
   fill_ = tail + read_source(arena_->data() + tail, arena_->size() - tail);
+  m_chunks_->inc();
+  m_refill_us_->observe(monotonic_micros() - t0);
   return fill_ >= n;
 }
 
@@ -130,6 +151,10 @@ bool PcapStream::next(StreamRecord& out) {
   // Same corrupt-tail policy as parse_pcap: an implausible length or a body
   // the source cannot supply drops the record and everything after it.
   if (incl_len > snaplen_ + 65535 || !refill(incl_len)) {
+    TDAT_LOG_WARN("pcap: corrupt or truncated record after %llu records "
+                  "(%llu bytes); dropping tail",
+                  static_cast<unsigned long long>(records_read_),
+                  static_cast<unsigned long long>(bytes_read_));
     done_ = true;
     return false;
   }
@@ -141,6 +166,8 @@ bool PcapStream::next(StreamRecord& out) {
   pos_ += incl_len;
   bytes_read_ += kRecordHeaderLen + incl_len;
   ++records_read_;
+  m_records_->inc();
+  m_bytes_->inc(kRecordHeaderLen + incl_len);
   return true;
 }
 

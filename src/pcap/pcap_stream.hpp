@@ -28,6 +28,9 @@
 
 namespace tdat {
 
+class Counter;
+class LatencyHistogram;
+
 // A raw captured record viewed in place. Valid while `arena` (or any other
 // copy of it) is held; copying the struct is two words plus a refcount bump.
 struct StreamRecord {
@@ -105,6 +108,17 @@ class PcapStream {
   bool done_ = false;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t records_read_ = 0;
+
+  // Ingest observability (cached global-registry lookups; see
+  // util/metrics.hpp for the cost model). Pointers so the stream stays
+  // movable.
+  Counter* m_records_ = nullptr;      // pcap.records
+  Counter* m_bytes_ = nullptr;        // pcap.bytes
+  Counter* m_chunks_ = nullptr;       // pcap.chunk_refills
+  Counter* m_recycles_ = nullptr;     // pcap.arena_recycles
+  Counter* m_allocs_ = nullptr;       // pcap.arena_allocs
+  Counter* m_straddles_ = nullptr;    // pcap.straddle_relocations
+  LatencyHistogram* m_refill_us_ = nullptr;  // pcap.refill_us
 };
 
 }  // namespace tdat

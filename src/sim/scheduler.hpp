@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/metrics.hpp"
 #include "util/time.hpp"
+#include "util/trace.hpp"
 
 namespace tdat {
 
@@ -32,6 +34,8 @@ class Scheduler {
   // Runs events until the queue drains or virtual time would pass `t_end`.
   // Events scheduled exactly at t_end still run.
   void run_until(Micros t_end) {
+    TDAT_TRACE_SPAN("sim.run_until", "sim", "t_end_us",
+                    static_cast<std::int64_t>(t_end));
     while (!queue_.empty() && queue_.top().at <= t_end) {
       step();
     }
@@ -39,6 +43,7 @@ class Scheduler {
   }
 
   void run_to_completion() {
+    TDAT_TRACE_SPAN("sim.run_to_completion", "sim");
     while (!queue_.empty()) step();
   }
 
@@ -57,6 +62,10 @@ class Scheduler {
   };
 
   void step() {
+    // One relaxed inc per event; the lookup happens once per process
+    // (registry addresses are stable, see util/metrics.hpp).
+    static Counter& events_fired = metrics().counter("sim.events");
+    events_fired.inc();
     // Move out before firing: the callback may schedule new events.
     Entry e = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();

@@ -3,6 +3,8 @@
 #include <map>
 
 #include "util/bytes.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace tdat {
 
@@ -30,6 +32,10 @@ Dir packet_dir(const ConnKey& key, const DecodedPacket& pkt) {
 }
 
 void ConnectionDemux::add(DecodedPacket pkt) {
+  // Registry lookups are one-time; per-packet cost is a relaxed inc.
+  static Counter& packets_seen = metrics().counter("demux.packets");
+  static Counter& conns_opened = metrics().counter("demux.connections_opened");
+  packets_seen.inc();
   const ConnKey key = make_conn_key(pkt);
   auto it = active_.find(key);
   const bool fresh_syn = pkt.tcp.flags.syn && !pkt.tcp.flags.ack;
@@ -40,6 +46,8 @@ void ConnectionDemux::add(DecodedPacket pkt) {
     conn.key = key;
     conns_.push_back(std::move(conn));
     it = active_.insert_or_assign(key, Active{conns_.size() - 1, false}).first;
+    conns_opened.inc();
+    TDAT_TRACE_INSTANT("demux.new_connection", "demux");
   }
   if (pkt.has_payload() || pkt.tcp.flags.fin || pkt.tcp.flags.rst) {
     it->second.saw_data_or_close = true;
@@ -48,6 +56,8 @@ void ConnectionDemux::add(DecodedPacket pkt) {
 }
 
 std::vector<Connection> ConnectionDemux::take() {
+  TDAT_TRACE_SPAN("demux.take", "demux", "connections",
+                  static_cast<std::int64_t>(conns_.size()));
   active_.clear();
   return std::move(conns_);
 }

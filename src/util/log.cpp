@@ -1,0 +1,122 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <string>
+
+#include "util/metrics.hpp"
+
+namespace tdat {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
+std::atomic<std::FILE*> g_sink{nullptr};  // nullptr = stderr
+
+// Log timestamps are microseconds since the first log-related call in the
+// process, matching the trace clock's monotonic base.
+std::int64_t log_epoch_micros() {
+  static const std::int64_t t0 = monotonic_micros();
+  return monotonic_micros() - t0;
+}
+
+void json_escape_into(std::string& out, const char* str) {
+  for (const char* p = str; *p; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool set_log_level(std::string_view name) noexcept {
+  if (name == "trace") set_log_level(LogLevel::kTrace);
+  else if (name == "debug") set_log_level(LogLevel::kDebug);
+  else if (name == "info") set_log_level(LogLevel::kInfo);
+  else if (name == "warn") set_log_level(LogLevel::kWarn);
+  else if (name == "error") set_log_level(LogLevel::kError);
+  else if (name == "off") set_log_level(LogLevel::kOff);
+  else return false;
+  return true;
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_format(LogFormat format) noexcept {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat log_format() noexcept {
+  return static_cast<LogFormat>(g_format.load(std::memory_order_relaxed));
+}
+
+void set_log_sink(std::FILE* sink) noexcept {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  char msg[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+
+  const std::int64_t ts = log_epoch_micros();
+  std::string line;
+  if (log_format() == LogFormat::kJson) {
+    line = "{\"ts_us\":" + std::to_string(ts) + ",\"level\":\"" +
+           to_string(level) + "\",\"tid\":" + std::to_string(thread_index()) +
+           ",\"msg\":\"";
+    json_escape_into(line, msg);
+    line += "\"}\n";
+  } else {
+    char head[64];
+    std::snprintf(head, sizeof(head), "[tdat] %lld.%06lld %-5s ",
+                  static_cast<long long>(ts / 1'000'000),
+                  static_cast<long long>(ts % 1'000'000), to_string(level));
+    line = head;
+    line += msg;
+    line += '\n';
+  }
+  std::FILE* sink = g_sink.load(std::memory_order_relaxed);
+  if (sink == nullptr) sink = stderr;
+  std::fputs(line.c_str(), sink);
+}
+
+}  // namespace tdat

@@ -1,0 +1,68 @@
+// Leveled structured logger: printf-style call sites, rendered either as
+// human text or JSON lines, written to stderr (or any FILE* sink).
+//
+// Cost model: a disabled-level call site is one relaxed atomic load and a
+// branch. Defining TDAT_LOG_MIN_LEVEL (0=trace .. 4=error, 5=off) removes
+// lower levels at compile time — the arguments are never evaluated.
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+namespace tdat {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+enum class LogFormat : int {
+  kText = 0,  // "[tdat] 0.123456 warn  message"
+  kJson = 1,  // {"ts_us":123456,"level":"warn","tid":1,"msg":"message"}
+};
+
+void set_log_level(LogLevel level) noexcept;
+// Parses "trace|debug|info|warn|error|off" (case-sensitive); returns false
+// and leaves the level unchanged on anything else.
+bool set_log_level(std::string_view name) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+void set_log_format(LogFormat format) noexcept;
+[[nodiscard]] LogFormat log_format() noexcept;
+
+// nullptr restores the default sink (stderr). The sink is written with one
+// fputs per message, so concurrent loggers never interleave mid-line.
+void set_log_sink(std::FILE* sink) noexcept;
+
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void log_message(LogLevel level, const char* fmt, ...);
+
+#ifndef TDAT_LOG_MIN_LEVEL
+#define TDAT_LOG_MIN_LEVEL 0
+#endif
+
+#define TDAT_LOG_AT_(level_enum, level_num, ...)                           \
+  do {                                                                     \
+    if constexpr ((level_num) >= TDAT_LOG_MIN_LEVEL) {                     \
+      if (::tdat::log_enabled(level_enum)) {                               \
+        ::tdat::log_message(level_enum, __VA_ARGS__);                      \
+      }                                                                    \
+    }                                                                      \
+  } while (0)
+
+#define TDAT_LOG_TRACE(...) TDAT_LOG_AT_(::tdat::LogLevel::kTrace, 0, __VA_ARGS__)
+#define TDAT_LOG_DEBUG(...) TDAT_LOG_AT_(::tdat::LogLevel::kDebug, 1, __VA_ARGS__)
+#define TDAT_LOG_INFO(...) TDAT_LOG_AT_(::tdat::LogLevel::kInfo, 2, __VA_ARGS__)
+#define TDAT_LOG_WARN(...) TDAT_LOG_AT_(::tdat::LogLevel::kWarn, 3, __VA_ARGS__)
+#define TDAT_LOG_ERROR(...) TDAT_LOG_AT_(::tdat::LogLevel::kError, 4, __VA_ARGS__)
+
+}  // namespace tdat

@@ -1,0 +1,244 @@
+#include "util/metrics.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace tdat {
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+std::int64_t monotonic_micros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint32_t thread_index() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::int64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= target) {
+      const std::int64_t bound = histogram_bucket_bound(i);
+      return bound < max ? bound : max;
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot HistogramSnapshot::since(const HistogramSnapshot& base) const {
+  HistogramSnapshot out;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    out.buckets[i] = buckets[i] - base.buckets[i];
+    out.count += out.buckets[i];
+  }
+  out.sum = sum - base.sum;
+  out.min = min;
+  out.max = max;
+  return out;
+}
+
+std::string HistogramSnapshot::to_json() const {
+  std::string out;
+  const auto field = [&out](const char* key, std::string value) {
+    out += key;
+    out += value;
+  };
+  field("{\"count\": ", std::to_string(count));
+  field(", \"sum\": ", std::to_string(sum));
+  field(", \"min\": ", std::to_string(count > 0 ? min : 0));
+  field(", \"max\": ", std::to_string(count > 0 ? max : 0));
+  field(", \"mean\": ", json_double(mean()));
+  field(", \"p50\": ", std::to_string(quantile(0.50)));
+  field(", \"p90\": ", std::to_string(quantile(0.90)));
+  field(", \"p99\": ", std::to_string(quantile(0.99)));
+  out += ", \"buckets\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (!first) out += ", ";
+    out += '[';
+    out += std::to_string(histogram_bucket_bound(i));
+    out += ", ";
+    out += std::to_string(buckets[i]);
+    out += ']';
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+void LatencyHistogram::observe(std::int64_t v) noexcept {
+  buckets_[histogram_bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  // min/max via CAS so concurrent observers never lose an extreme. The
+  // first observation initializes both (count_ incremented last, so a
+  // racing snapshot may briefly see count 0 with extremes set — harmless).
+  if (count_.load(std::memory_order_relaxed) == 0) {
+    std::int64_t expected = 0;
+    min_.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+    expected = 0;
+    max_.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+  }
+  std::int64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::merge_from(const LatencyHistogram& other) noexcept {
+  const HistogramSnapshot s = other.snapshot();
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (s.buckets[i] > 0) {
+      buckets_[i].fetch_add(s.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  if (s.count == 0) return;
+  sum_.fetch_add(s.sum, std::memory_order_relaxed);
+  if (count_.load(std::memory_order_relaxed) == 0) {
+    min_.store(s.min, std::memory_order_relaxed);
+    max_.store(s.max, std::memory_order_relaxed);
+  } else {
+    std::int64_t cur = min_.load(std::memory_order_relaxed);
+    while (s.min < cur &&
+           !min_.compare_exchange_weak(cur, s.min, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (s.max > cur &&
+           !max_.compare_exchange_weak(cur, s.max, std::memory_order_relaxed)) {
+    }
+  }
+  count_.fetch_add(s.count, std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const noexcept {
+  HistogramSnapshot out;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    out.count += out.buckets[i];
+  }
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.min = min_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // unique_ptr values keep metric addresses stable across rehash-free
+  // map growth; std::less<> enables string_view lookup without a copy.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+namespace {
+template <typename Map, typename T>
+T& find_or_create(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(impl_->mu);
+  return find_or_create<decltype(impl_->counters), Counter>(impl_->counters,
+                                                            name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(impl_->mu);
+  return find_or_create<decltype(impl_->gauges), Gauge>(impl_->gauges, name);
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(impl_->mu);
+  return find_or_create<decltype(impl_->histograms), LatencyHistogram>(
+      impl_->histograms, name);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(impl_->mu);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  const auto append_key = [&out, &first](const std::string& name) {
+    if (!first) out += ", ";
+    out += '"';
+    out += name;
+    out += "\": ";
+    first = false;
+  };
+  for (const auto& [name, c] : impl_->counters) {
+    append_key(name);
+    out += std::to_string(c->value());
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : impl_->gauges) {
+    append_key(name);
+    out += std::to_string(g->value());
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    append_key(name);
+    out += h->snapshot().to_json();
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& metrics() {
+  // Leaked on purpose: worker threads may record into the registry from
+  // thread_local destructors that run after static destruction begins.
+  static MetricsRegistry* g = new MetricsRegistry;
+  return *g;
+}
+
+}  // namespace tdat

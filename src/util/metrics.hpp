@@ -1,0 +1,150 @@
+// Metrics: a process-wide, thread-safe registry of named counters, gauges
+// and fixed-bucket latency histograms (power-of-two microsecond buckets).
+//
+// Design rules:
+//  - Registered metric objects live at stable addresses for the lifetime of
+//    the process; reset() zeroes values in place and never invalidates a
+//    reference, so hot paths may look a metric up once and cache the pointer
+//    (registry lookup itself takes a mutex and is not for inner loops).
+//  - All mutation is relaxed atomics — safe from any thread, cheap enough
+//    for per-record accounting, and TSan-clean.
+//  - Snapshots and JSON rendering are lock-free reads of the same atomics;
+//    a snapshot taken while writers run is "torn" only across metrics, never
+//    within one bucket.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tdat {
+
+// Shortest-round-trip, locale-independent rendering of a double for JSON
+// output (std::to_chars; never uses the C locale's decimal separator).
+// Non-finite values render as 0 so the output stays valid JSON.
+[[nodiscard]] std::string json_double(double v);
+
+// Monotonic microseconds (steady_clock) — the time base for queue-wait
+// accounting, trace spans, and log timestamps.
+[[nodiscard]] std::int64_t monotonic_micros();
+
+// Small dense per-thread index (1, 2, 3, ... in first-use order), used as
+// the "tid" in trace events and structured logs.
+[[nodiscard]] std::uint32_t thread_index();
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Bucket i of a histogram holds samples whose bit width is i: bucket 0 is
+// v <= 0, bucket 1 is v == 1, bucket i is [2^(i-1), 2^i - 1]. 40 buckets
+// cover up to ~6.4 days in microseconds; larger samples land in the last
+// bucket. Fixed boundaries make merge/diff plain element-wise arithmetic.
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+[[nodiscard]] constexpr std::size_t histogram_bucket_index(std::int64_t v) {
+  if (v <= 0) return 0;
+  std::size_t i = 0;
+  for (std::uint64_t u = static_cast<std::uint64_t>(v); u != 0; u >>= 1) ++i;
+  return i < kHistogramBuckets ? i : kHistogramBuckets - 1;
+}
+
+// Inclusive upper bound of bucket i (reported as the quantile estimate).
+[[nodiscard]] constexpr std::int64_t histogram_bucket_bound(std::size_t i) {
+  return i == 0 ? 0 : (std::int64_t{1} << i) - 1;
+}
+
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  // exact; valid when count > 0
+  std::int64_t max = 0;
+
+  [[nodiscard]] double mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+  // Upper bound of the bucket holding the q-quantile sample (0 < q <= 1),
+  // clamped to the observed max.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+  // Element-wise difference against an earlier snapshot of the same
+  // histogram — the per-run view of a cumulative metric. min/max are kept
+  // from *this (bucket counts are exact, the extremes are conservative).
+  [[nodiscard]] HistogramSnapshot since(const HistogramSnapshot& base) const;
+  // {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,
+  //  "p99":..,"buckets":[[bound,count],...nonzero only]}
+  [[nodiscard]] std::string to_json() const;
+};
+
+class LatencyHistogram {
+ public:
+  void observe(std::int64_t v) noexcept;
+  void merge_from(const LatencyHistogram& other) noexcept;
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};  // guarded by count_ == 0 convention
+  std::atomic<std::int64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  // Returns the metric registered under `name`, creating it on first use.
+  // The reference stays valid for the registry's lifetime.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] LatencyHistogram& histogram(std::string_view name);
+
+  // Zeroes every registered metric in place. Addresses remain valid —
+  // intended for tests and between independent runs in one process.
+  void reset();
+
+  // {"counters":{...},"gauges":{...},"histograms":{...}} with names sorted.
+  [[nodiscard]] std::string to_json() const;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;  // owned; raw to keep the header light
+};
+
+// The process-wide registry every instrumented layer records into.
+[[nodiscard]] MetricsRegistry& metrics();
+
+}  // namespace tdat

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <exception>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace tdat {
 
 std::size_t default_jobs() {
@@ -19,6 +22,10 @@ std::size_t default_jobs() {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = 1;
+  tasks_total_ = &metrics().counter("pool.tasks");
+  workers_gauge_ = &metrics().gauge("pool.workers");
+  queue_wait_us_ = &metrics().histogram("pool.queue_wait_us");
+  workers_gauge_->add(static_cast<std::int64_t>(threads));
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -32,12 +39,13 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  workers_gauge_->add(-static_cast<std::int64_t>(workers_.size()));
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{monotonic_micros(), std::move(task)});
   }
   work_cv_.notify_one();
 }
@@ -52,11 +60,16 @@ void ThreadPool::worker_loop() {
   for (;;) {
     work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
     if (queue_.empty()) return;  // stop_ and nothing left to run
-    std::function<void()> task = std::move(queue_.front());
+    Task task = std::move(queue_.front());
     queue_.pop_front();
     ++busy_;
     lock.unlock();
-    task();
+    queue_wait_us_->observe(monotonic_micros() - task.enqueued_us);
+    tasks_total_->inc();
+    {
+      TDAT_TRACE_SPAN("pool.task", "pool");
+      task.fn();
+    }
     lock.lock();
     --busy_;
     if (queue_.empty() && busy_ == 0) idle_cv_.notify_all();

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -16,6 +17,10 @@
 #include <vector>
 
 namespace tdat {
+
+class Counter;
+class Gauge;
+class LatencyHistogram;
 
 // Worker-count resolution used by the CLI and analyze_* entry points:
 // an explicit non-zero value wins; 0 means "default", which is the
@@ -39,15 +44,27 @@ class ThreadPool {
   void wait_idle();
 
  private:
+  // Tasks carry their enqueue time so the dequeueing worker can record the
+  // queue wait into the pool.queue_wait_us histogram (the paper-adjacent
+  // "where does a run stall" number for the analysis fan-out).
+  struct Task {
+    std::int64_t enqueued_us = 0;
+    std::function<void()> fn;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers: task queued / stop
   std::condition_variable idle_cv_;   // signals waiters: pool went idle
   std::size_t busy_ = 0;
   bool stop_ = false;
+  // Cached registry lookups (the registry guarantees stable addresses).
+  Counter* tasks_total_ = nullptr;
+  Gauge* workers_gauge_ = nullptr;
+  LatencyHistogram* queue_wait_us_ = nullptr;
 };
 
 // Runs fn(0), ..., fn(n-1), distributing indices over `jobs` workers.

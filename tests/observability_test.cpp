@@ -1,0 +1,608 @@
+// Observability layer tests: histogram bucket math and merge, concurrent
+// metric mutation (run these under TDAT_SANITIZE=thread via
+// `ctest -L observability`), Chrome-trace round trips through a real JSON
+// parser, logger levels/formats, and an end-to-end analyze_file run whose
+// trace must contain spans from every pipeline layer.
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "pcap/pcap_file.hpp"
+#include "sim_scenarios.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+#include "util/trace.hpp"
+
+namespace tdat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A strict little JSON parser — enough of RFC 8259 to round-trip everything
+// the observability layer emits. Tests parse real output instead of grepping
+// substrings, so malformed JSON (locale commas, unbalanced braces, raw
+// control characters) fails loudly.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;   // kObject
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  // Parses the whole input as one JSON value; fails on trailing garbage.
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out.kind = JsonValue::Kind::kString; return string(out.str);
+      case 't': out.kind = JsonValue::Kind::kBool; out.boolean = true;
+                return literal("true");
+      case 'f': out.kind = JsonValue::Kind::kBool; out.boolean = false;
+                return literal("false");
+      case 'n': out.kind = JsonValue::Kind::kNull; return literal("null");
+      default:  out.kind = JsonValue::Kind::kNumber; return number(out.number);
+    }
+  }
+
+  bool number(double& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    // Re-parse with the C locale semantics of std::stod on the slice; a
+    // locale comma in the payload would have ended the scan early and then
+    // failed the surrounding structure.
+    try {
+      std::size_t used = 0;
+      out = std::stod(std::string(text_.substr(start, pos_ - start)), &used);
+      return used == pos_ - start;
+    } catch (...) {
+      return false;
+    }
+  }
+
+  bool string(std::string& out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+          out += '?';  // tests only check presence, not code points
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      JsonValue item;
+      skip_ws();
+      if (!value(item)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') { ++pos_; continue; }
+      if (text_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !string(key)) {
+        return false;
+      }
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue val;
+      if (!value(val)) return false;
+      out.fields.emplace_back(std::move(key), std::move(val));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') { ++pos_; continue; }
+      if (text_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parse_or_die(const std::string& text) {
+  JsonValue v;
+  EXPECT_TRUE(JsonParser(text).parse(v)) << "invalid JSON: " << text;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket math
+
+TEST(HistogramBuckets, IndexBoundaries) {
+  EXPECT_EQ(histogram_bucket_index(-1), 0u);
+  EXPECT_EQ(histogram_bucket_index(0), 0u);
+  EXPECT_EQ(histogram_bucket_index(1), 1u);
+  EXPECT_EQ(histogram_bucket_index(2), 2u);
+  EXPECT_EQ(histogram_bucket_index(3), 2u);
+  EXPECT_EQ(histogram_bucket_index(4), 3u);
+  EXPECT_EQ(histogram_bucket_index(7), 3u);
+  EXPECT_EQ(histogram_bucket_index(8), 4u);
+  EXPECT_EQ(histogram_bucket_index(1 << 20), 21u);
+  // Values beyond the covered range saturate into the last bucket.
+  EXPECT_EQ(histogram_bucket_index(std::numeric_limits<std::int64_t>::max()),
+            kHistogramBuckets - 1);
+}
+
+TEST(HistogramBuckets, BoundIsInclusiveUpperEdge) {
+  EXPECT_EQ(histogram_bucket_bound(0), 0);
+  EXPECT_EQ(histogram_bucket_bound(1), 1);
+  EXPECT_EQ(histogram_bucket_bound(2), 3);
+  EXPECT_EQ(histogram_bucket_bound(3), 7);
+  for (std::size_t i = 1; i + 1 < kHistogramBuckets; ++i) {
+    // The bound is the largest value mapping into bucket i; one past it
+    // starts bucket i+1.
+    EXPECT_EQ(histogram_bucket_index(histogram_bucket_bound(i)), i);
+    EXPECT_EQ(histogram_bucket_index(histogram_bucket_bound(i) + 1), i + 1);
+  }
+}
+
+TEST(LatencyHistogramTest, ObserveSnapshotQuantiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(h.snapshot().quantile(0.5), 0);
+
+  h.observe(1);
+  h.observe(100);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.sum, 101);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_EQ(s.quantile(0.0), 1);    // first sample's bucket bound
+  EXPECT_EQ(s.quantile(1.0), 100);  // clamped to the observed max
+}
+
+TEST(LatencyHistogramTest, QuantileClampsToBucketBoundAndMax) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.observe(10);
+  const HistogramSnapshot s = h.snapshot();
+  // All samples share bucket [8,15]; the estimate is min(bound, max) = 10.
+  EXPECT_EQ(s.quantile(0.5), 10);
+  EXPECT_EQ(s.quantile(0.99), 10);
+}
+
+TEST(LatencyHistogramTest, MergeCombinesCountsAndExtremes) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.observe(2);
+  a.observe(4);
+  b.observe(1000);
+  b.observe(2000);
+  a.merge_from(b);
+  const HistogramSnapshot s = a.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 2 + 4 + 1000 + 2000);
+  EXPECT_EQ(s.min, 2);
+  EXPECT_EQ(s.max, 2000);
+}
+
+TEST(LatencyHistogramTest, MergeIntoEmptyAdoptsExtremes) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  b.observe(5);
+  b.observe(9);
+  a.merge_from(b);
+  const HistogramSnapshot s = a.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.min, 5);
+  EXPECT_EQ(s.max, 9);
+}
+
+TEST(LatencyHistogramTest, SinceDiffsBucketwise) {
+  LatencyHistogram h;
+  h.observe(3);
+  h.observe(300);
+  const HistogramSnapshot base = h.snapshot();
+  h.observe(3);
+  h.observe(30000);
+  const HistogramSnapshot diff = h.snapshot().since(base);
+  EXPECT_EQ(diff.count, 2u);
+  EXPECT_EQ(diff.sum, 3 + 30000);
+  EXPECT_EQ(diff.buckets[histogram_bucket_index(3)], 1u);
+  EXPECT_EQ(diff.buckets[histogram_bucket_index(30000)], 1u);
+  EXPECT_EQ(diff.buckets[histogram_bucket_index(300)], 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent mutation — the test `ctest -L observability` runs under
+// TDAT_SANITIZE=thread. Exact final counts prove no increment was lost.
+
+TEST(MetricsConcurrency, CountersAndHistogramsAreExactUnderContention) {
+  Counter& c = metrics().counter("test.concurrent_counter");
+  Gauge& g = metrics().gauge("test.concurrent_gauge");
+  LatencyHistogram& h = metrics().histogram("test.concurrent_histogram");
+  const std::uint64_t c0 = c.value();
+  const std::uint64_t h0 = h.snapshot().count;
+  const std::int64_t g0 = g.value();
+
+  constexpr std::size_t kItems = 20'000;
+  parallel_for(kItems, 8, [&](std::size_t i) {
+    c.inc();
+    g.add(1);
+    h.observe(static_cast<std::int64_t>(i % 1024));
+  });
+
+  EXPECT_EQ(c.value() - c0, kItems);
+  EXPECT_EQ(g.value() - g0, static_cast<std::int64_t>(kItems));
+  EXPECT_EQ(h.snapshot().count - h0, kItems);
+}
+
+TEST(MetricsRegistryTest, AddressesAreStableAcrossLookupAndReset) {
+  Counter& first = metrics().counter("test.stable_address");
+  first.inc(41);
+  Counter& second = metrics().counter("test.stable_address");
+  EXPECT_EQ(&first, &second);
+  metrics().reset();
+  EXPECT_EQ(first.value(), 0u);  // zeroed in place, reference still valid
+  first.inc();
+  EXPECT_EQ(second.value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ToJsonParsesAndContainsRegisteredMetrics) {
+  metrics().counter("test.json_counter").inc(7);
+  metrics().gauge("test.json_gauge").set(-3);
+  metrics().histogram("test.json_histogram").observe(42);
+
+  const JsonValue root = parse_or_die(metrics().to_json());
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  const JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* c = counters->find("test.json_counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_GE(c->number, 7.0);
+  const JsonValue* gauges = root.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->find("test.json_gauge"), nullptr);
+  const JsonValue* hists = root.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* h = hists->find("test.json_histogram");
+  ASSERT_NE(h, nullptr);
+  ASSERT_NE(h->find("p99"), nullptr);
+  ASSERT_NE(h->find("buckets"), nullptr);
+}
+
+TEST(JsonDoubleTest, ShortestRoundTripAndNonFinite) {
+  EXPECT_EQ(json_double(0.5), "0.5");
+  EXPECT_EQ(json_double(0.0), "0");
+  EXPECT_EQ(json_double(-2.25), "-2.25");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+TEST(JsonDoubleTest, IgnoresProcessLocale) {
+  // de_DE renders 0.5 as "0,5" through printf — json_double must not.
+  const char* prev = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = prev != nullptr ? prev : "C";
+  if (std::setlocale(LC_NUMERIC, "de_DE.UTF-8") == nullptr) {
+    GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+  }
+  const std::string rendered = json_double(0.5);
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_EQ(rendered, "0.5");
+}
+
+// ---------------------------------------------------------------------------
+// Trace round trip
+
+TEST(TraceTest, RoundTripIsValidChromeTrace) {
+  trace_start();
+  ASSERT_TRUE(trace_enabled());
+  {
+    TDAT_TRACE_SPAN("unit.outer", "test", "items", std::int64_t{3});
+    TDAT_TRACE_SPAN("unit.inner", "test", "label", std::string("a\"b\\c"));
+    TDAT_TRACE_INSTANT("unit.marker", "test");
+  }
+  // Spans recorded on pool workers must survive the workers' thread exit.
+  parallel_for(8, 4, [](std::size_t) { TDAT_TRACE_SPAN("unit.worker", "test"); });
+
+  const std::string json = trace_stop_json();
+  EXPECT_FALSE(trace_enabled());
+
+  const JsonValue root = parse_or_die(json);
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+
+  std::size_t complete = 0;
+  std::size_t instants = 0;
+  std::size_t workers = 0;
+  double last_ts = -1.0;
+  for (const JsonValue& e : events->items) {
+    const JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("ts"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (ph->str == "M") continue;  // metadata carries no duration
+    EXPECT_GE(e.find("ts")->number, last_ts) << "events must be time-sorted";
+    last_ts = e.find("ts")->number;
+    if (ph->str == "X") {
+      ++complete;
+      ASSERT_NE(e.find("dur"), nullptr);
+      EXPECT_GE(e.find("dur")->number, 0.0);
+    } else if (ph->str == "i") {
+      ++instants;
+      ASSERT_NE(e.find("s"), nullptr);
+    } else {
+      FAIL() << "unexpected event phase: " << ph->str;
+    }
+    if (e.find("name")->str == "unit.worker") ++workers;
+  }
+  EXPECT_GE(complete, 2u + 8u);  // outer + inner + every worker span
+  EXPECT_EQ(instants, 1u);
+  EXPECT_EQ(workers, 8u);
+
+  // The escaped string argument must round-trip through the parser.
+  bool found_label = false;
+  for (const JsonValue& e : events->items) {
+    if (e.find("name")->str != "unit.inner") continue;
+    const JsonValue* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    const JsonValue* label = args->find("label");
+    ASSERT_NE(label, nullptr);
+    EXPECT_EQ(label->str, "a\"b\\c");
+    found_label = true;
+  }
+  EXPECT_TRUE(found_label);
+}
+
+TEST(TraceTest, DisarmedSpansRecordNothing) {
+  ASSERT_FALSE(trace_enabled());
+  { TDAT_TRACE_SPAN("unit.ignored", "test"); }
+  trace_start();
+  const std::string json = trace_stop_json();
+  const JsonValue root = parse_or_die(json);
+  for (const JsonValue& e : root.find("traceEvents")->items) {
+    EXPECT_NE(e.find("name")->str, "unit.ignored");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+
+class CaptureSink {
+ public:
+  CaptureSink() : file_(std::tmpfile()) { set_log_sink(file_); }
+  ~CaptureSink() {
+    set_log_sink(nullptr);
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  std::string contents() {
+    std::fflush(file_);
+    std::rewind(file_);
+    std::string out;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), file_)) > 0) {
+      out.append(buf, n);
+    }
+    return out;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+class LoggerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    set_log_level(LogLevel::kWarn);
+    set_log_format(LogFormat::kText);
+  }
+};
+
+TEST_F(LoggerTest, LevelGateFiltersLowerSeverities) {
+  CaptureSink sink;
+  set_log_level(LogLevel::kInfo);
+  TDAT_LOG_DEBUG("should not appear %d", 1);
+  TDAT_LOG_INFO("info line %d", 2);
+  TDAT_LOG_ERROR("error line %d", 3);
+  const std::string out = sink.contents();
+  EXPECT_EQ(out.find("should not appear"), std::string::npos);
+  EXPECT_NE(out.find("info line 2"), std::string::npos);
+  EXPECT_NE(out.find("error line 3"), std::string::npos);
+}
+
+TEST_F(LoggerTest, ParsesLevelNames) {
+  EXPECT_TRUE(set_log_level("debug"));
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  EXPECT_TRUE(set_log_level("off"));
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  EXPECT_FALSE(set_log_level("verbose"));
+  EXPECT_EQ(log_level(), LogLevel::kOff);  // unchanged on bad input
+}
+
+TEST_F(LoggerTest, JsonLinesParseAndEscape) {
+  CaptureSink sink;
+  set_log_level(LogLevel::kInfo);
+  set_log_format(LogFormat::kJson);
+  TDAT_LOG_INFO("quote \" backslash \\ done");
+  const std::string out = sink.contents();
+  ASSERT_FALSE(out.empty());
+  ASSERT_EQ(out.back(), '\n');
+  const JsonValue line = parse_or_die(out.substr(0, out.size() - 1));
+  ASSERT_NE(line.find("ts_us"), nullptr);
+  ASSERT_NE(line.find("tid"), nullptr);
+  const JsonValue* level = line.find("level");
+  ASSERT_NE(level, nullptr);
+  EXPECT_EQ(level->str, "info");
+  const JsonValue* msg = line.find("msg");
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->str, "quote \" backslash \\ done");
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a traced multi-connection analyze_file run must produce spans
+// from ingest, demux, the pool workers, and per-connection analysis, plus
+// nonzero pipeline counters and histogram summaries in PipelineStats.
+
+TEST(ObservabilityEndToEnd, TracedAnalyzeRunCoversEveryLayer) {
+  SimWorld world(20120613);
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ids.push_back(world.add_session(
+        SessionSpec{}, test::table_messages(400, 0x5eed ^ (i + 1))));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    world.start_session(ids[i], static_cast<Micros>(i) * 20 * kMicrosPerMilli);
+  }
+  world.run_until(600 * kMicrosPerSec);
+
+  const std::string path =
+      ::testing::TempDir() + "tdat_observability_e2e.pcap";
+  ASSERT_TRUE(write_pcap_file(path, world.take_trace()));
+
+  trace_start();
+  AnalyzerOptions opts;
+  opts.jobs = 4;
+  const auto analyzed = analyze_file(path, opts);
+  const std::string trace_json = trace_stop_json();
+  std::remove(path.c_str());
+  ASSERT_TRUE(analyzed.ok()) << analyzed.error();
+  EXPECT_EQ(analyzed.value().connections.size(), 4u);
+
+  // Trace: spans from every pipeline layer, all on one valid timeline.
+  const JsonValue trace_root = parse_or_die(trace_json);
+  std::size_t ingest = 0, demux = 0, pool = 0, conns = 0;
+  for (const JsonValue& e : trace_root.find("traceEvents")->items) {
+    const std::string& name = e.find("name")->str;
+    if (name == "ingest") ++ingest;
+    if (name == "demux.take" || name == "demux.new_connection") ++demux;
+    if (name == "pool.task") ++pool;
+    if (name == "analyze.connection") ++conns;
+  }
+  EXPECT_GE(ingest, 1u);
+  EXPECT_GE(demux, 4u);
+  EXPECT_GE(pool, 1u);
+  EXPECT_EQ(conns, 4u);
+
+  // Metrics: the embedded snapshot parses and the ingest counters moved.
+  const PipelineStats& stats = analyzed.value().stats;
+  ASSERT_FALSE(stats.metrics_json.empty());
+  const JsonValue m = parse_or_die(stats.metrics_json);
+  const JsonValue* counters = m.find("counters");
+  ASSERT_NE(counters, nullptr);
+  for (const char* key : {"pcap.records", "pcap.bytes", "pcap.chunk_refills",
+                          "demux.packets", "pool.tasks",
+                          "analyze.connections_done"}) {
+    const JsonValue* v = counters->find(key);
+    ASSERT_NE(v, nullptr) << key;
+    EXPECT_GT(v->number, 0.0) << key;
+  }
+
+  // PipelineStats::to_json embeds per-run histogram summaries for the pool
+  // queue wait and per-connection analysis time.
+  const JsonValue s = parse_or_die(stats.to_json());
+  const JsonValue* qw = s.find("queue_wait_us");
+  ASSERT_NE(qw, nullptr);
+  EXPECT_GT(qw->find("count")->number, 0.0);
+  const JsonValue* cu = s.find("connection_analysis_us");
+  ASSERT_NE(cu, nullptr);
+  EXPECT_EQ(cu->find("count")->number, 4.0);
+  ASSERT_NE(s.find("metrics"), nullptr);
+}
+
+}  // namespace
+}  // namespace tdat

@@ -2,6 +2,8 @@
 //
 //   tdat analyze  <trace.pcap> [--location receiver|sender|middle] [--json]
 //                 [--jobs N] [--stats|--quiet-stats]
+//                 [--trace FILE] [--metrics FILE]
+//                 [--log-level LEVEL] [--progress]
 //                 [--series NAME]...          T-DAT delay analysis
 //   tdat pcap2mrt <trace.pcap> <out.mrt>      reconstruct BGP msgs -> MRT
 //   tdat mrtcat   <archive.mrt> [-n N]        print an MRT archive
@@ -9,11 +11,20 @@
 //   tdat simulate <scenario> <out.pcap>       generate a demo capture
 //                 scenarios: baseline timer loss slow-collector window
 //                            narrow-pipe probe-bug
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "bgp/table_gen.hpp"
 #include "core/detectors.hpp"
@@ -23,6 +34,9 @@
 #include "core/timeseq.hpp"
 #include "sim/world.hpp"
 #include "timerange/render.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -35,10 +49,18 @@ int usage() {
                " [--json] [--series NAME]...\n"
                "                [--jobs N] [--stats|--quiet-stats]"
                "   (default jobs: hardware threads, or $TDAT_JOBS)\n"
+               "                [--trace FILE]     write a Chrome trace_event"
+               " JSON (chrome://tracing, Perfetto)\n"
+               "                [--metrics FILE]   write the metrics registry"
+               " snapshot as JSON\n"
+               "                [--log-level L]    trace|debug|info|warn|error"
+               "|off (default warn)\n"
+               "                [--progress]       live progress ticker on"
+               " stderr\n"
                "  tdat pcap2mrt <trace.pcap> <out.mrt>\n"
                "  tdat mrtcat   <archive.mrt> [-n N]\n"
                "  tdat timeseq  <trace.pcap> [conn-index]\n"
-               "  tdat simulate <scenario> <out.pcap>\n"
+               "  tdat simulate <scenario> <out.pcap> [--sessions N]\n"
                "      scenarios: baseline timer loss slow-collector window"
                " narrow-pipe probe-bug\n");
   return 2;
@@ -46,12 +68,88 @@ int usage() {
 
 Result<PcapFile> load(const char* path) { return read_pcap_file(path); }
 
+// Live pipeline ticker for `analyze --progress`: a sampling thread reads the
+// global metric counters the pipeline already maintains (no analyzer hooks
+// needed) and repaints one stderr line. On a TTY the line is redrawn in
+// place a few times a second; piped to a file it appends a plain line every
+// couple of seconds instead, so logs stay diff-friendly.
+class ProgressTicker {
+ public:
+  ProgressTicker() {
+#if defined(__unix__) || defined(__APPLE__)
+    tty_ = isatty(fileno(stderr)) != 0;
+#endif
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~ProgressTicker() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    if (drew_ && tty_) std::fprintf(stderr, "\r\033[K");
+  }
+
+  ProgressTicker(const ProgressTicker&) = delete;
+  ProgressTicker& operator=(const ProgressTicker&) = delete;
+
+ private:
+  void run() {
+    MetricsRegistry& reg = metrics();
+    Counter& records = reg.counter("pcap.records");
+    Counter& bytes = reg.counter("pcap.bytes");
+    Counter& done = reg.counter("analyze.connections_done");
+    const auto interval =
+        std::chrono::milliseconds(tty_ ? 150 : 2000);
+    auto next_paint = std::chrono::steady_clock::now() + interval;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      if (std::chrono::steady_clock::now() < next_paint) continue;
+      next_paint += interval;
+      paint(records.value(), bytes.value(), done.value());
+    }
+  }
+
+  void paint(std::uint64_t records, std::uint64_t bytes, std::uint64_t done) {
+    if (!tty_ && records == last_records_ && done == last_done_) return;
+    last_records_ = records;
+    last_done_ = done;
+    drew_ = true;
+    std::fprintf(stderr,
+                 "%s[tdat] %llu records (%.1f MB) read, %llu connections"
+                 " analyzed%s",
+                 tty_ ? "\r\033[K" : "",
+                 static_cast<unsigned long long>(records),
+                 static_cast<double>(bytes) / 1e6,
+                 static_cast<unsigned long long>(done), tty_ ? "" : "\n");
+    if (tty_) std::fflush(stderr);
+  }
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool tty_ = false;
+  bool drew_ = false;
+  std::uint64_t last_records_ = 0;
+  std::uint64_t last_done_ = 0;
+};
+
+// Writes the process-wide metrics snapshot to `path` as one JSON object.
+bool write_metrics_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = metrics().to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
 int cmd_analyze(int argc, char** argv) {
   if (argc < 1) return usage();
   AnalyzerOptions opts;
   opts.jobs = 0;  // default: hardware concurrency (or $TDAT_JOBS)
   bool json = false;
   bool show_stats = true;
+  bool progress = false;
+  std::string trace_path;
+  std::string metrics_path;
   std::vector<std::string> wanted_series;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -75,13 +173,41 @@ int cmd_analyze(int argc, char** argv) {
       show_stats = true;
     } else if (std::strcmp(argv[i], "--quiet-stats") == 0) {
       show_stats = false;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
+      if (!set_log_level(std::string_view(argv[++i]))) {
+        std::fprintf(stderr, "--log-level: unknown level: %s\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = true;
     } else {
       return usage();
     }
   }
+  // Observability sidecars never touch the analysis output: traces and
+  // metrics go to their own files, progress goes to stderr, so a run with
+  // these flags is byte-identical on stdout to a run without them.
+  if (!trace_path.empty()) trace_start();
   // Streaming ingest: chunked read + decode + demux, then per-connection
   // analysis on the pool. Output is identical to the in-memory path.
-  auto analyzed = analyze_file(argv[0], opts);
+  Result<TraceAnalysis> analyzed = [&] {
+    std::optional<ProgressTicker> ticker;
+    if (progress) ticker.emplace();
+    return analyze_file(argv[0], opts);
+  }();
+  int rc = 0;
+  if (!trace_path.empty() && !trace_stop(trace_path)) {
+    std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+    rc = 1;
+  }
+  if (!metrics_path.empty() && !write_metrics_file(metrics_path)) {
+    std::fprintf(stderr, "cannot write metrics to %s\n", metrics_path.c_str());
+    rc = 1;
+  }
   if (!analyzed.ok()) {
     std::fprintf(stderr, "%s\n", analyzed.error().c_str());
     return 1;
@@ -175,7 +301,7 @@ int cmd_analyze(int argc, char** argv) {
                  st.bytes_per_sec() / 1e6, st.packets_per_sec(),
                  st.connections_per_sec());
   }
-  return 0;
+  return rc;
 }
 
 int cmd_pcap2mrt(int argc, char** argv) {
@@ -260,8 +386,21 @@ int cmd_timeseq(int argc, char** argv) {
 }
 
 int cmd_simulate(int argc, char** argv) {
-  if (argc != 2) return usage();
+  if (argc < 2) return usage();
   const std::string scenario = argv[0];
+  std::size_t sessions = 1;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      const long v = std::atol(argv[++i]);
+      if (v < 1) {
+        std::fprintf(stderr, "--sessions: need a positive count\n");
+        return 2;
+      }
+      sessions = static_cast<std::size_t>(v);
+    } else {
+      return usage();
+    }
+  }
   SimWorld world(12345);
   SessionSpec spec;
   if (scenario == "timer") {
@@ -292,8 +431,14 @@ int cmd_simulate(int argc, char** argv) {
   Rng rng(54321);
   TableGenConfig tg;
   tg.prefix_count = 8'000;
-  const auto s = world.add_session(spec, serialize_updates(generate_table(tg, rng)));
-  world.start_session(s, 0);
+  // Each extra session is its own BGP peer (distinct addresses are assigned
+  // by add_session), so the capture demuxes into `sessions` connections —
+  // handy for exercising the parallel analysis pool.
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const auto s =
+        world.add_session(spec, serialize_updates(generate_table(tg, rng)));
+    world.start_session(s, static_cast<Micros>(i) * 10 * kMicrosPerMilli);
+  }
   world.run_until(600 * kMicrosPerSec);
   const PcapFile trace = world.take_trace();
   if (!write_pcap_file(argv[1], trace)) {
