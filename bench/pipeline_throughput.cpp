@@ -1,32 +1,38 @@
-// Pipeline throughput: end-to-end analyze_trace over a 16-session capture at
-// 1/2/4/8 analysis workers, plus the streaming analyze_file path, emitting a
+// Pipeline throughput: end-to-end analyze_trace over multi-session captures
+// at 1/2/4/8 analysis workers, swept across workload sizes (16/64/256
+// sessions), plus the streaming analyze_file path, emitting a
 // machine-readable BENCH_pipeline.json (path overridable via argv[1]).
 //
 // Besides the wall times it verifies the determinism contract: every job
 // count must produce byte-identical analysis output (JSON export of every
-// connection's report and all 34 series) to the jobs=1 serial baseline.
+// connection's report and all 34 series) to the jobs=1 serial baseline of
+// the same workload — any mismatch makes the benchmark exit non-zero.
+// Per-connection allocation counts (operator-new hook) are reported so
+// regressions of the zero-steady-state-allocation property show up in the
+// committed numbers, not just in the unit test.
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bgp/table_gen.hpp"
 #include "core/analyzer.hpp"
 #include "core/export.hpp"
 #include "sim/world.hpp"
+#include "util/alloc_hook.hpp"
+#include "util/metrics.hpp"
 
 namespace {
 
 using namespace tdat;
 
-constexpr std::size_t kSessions = 16;
 constexpr std::size_t kPrefixes = 10'000;
-constexpr int kRepetitions = 3;
 
-PcapFile make_trace() {
-  SimWorld world(7777);
+PcapFile make_trace(std::size_t sessions) {
+  SimWorld world(7777 + sessions);
   std::vector<std::size_t> ids;
-  for (std::size_t i = 0; i < kSessions; ++i) {
+  for (std::size_t i = 0; i < sessions; ++i) {
     SessionSpec spec;
     // Vary the bottleneck so connections cost unequal analysis time — the
     // realistic (and scheduling-hostile) case for the index-handout pool.
@@ -71,81 +77,142 @@ struct RunResult {
   double best_wall_s = 0;
   PipelineStats stats;
   bool identical = true;
+  // Per-connection heap allocations during the best run's analysis stage
+  // (operator-new hook; count == 0 when the hook is compiled out).
+  HistogramSnapshot allocs;
 };
+
+struct SizeResult {
+  std::size_t sessions = 0;
+  std::size_t records = 0;
+  std::uint64_t trace_bytes = 0;
+  std::vector<RunResult> runs;
+  RunResult streamed;
+  bool streamed_ok = false;
+};
+
+HistogramSnapshot allocs_since(const HistogramSnapshot& before) {
+  return metrics().histogram("analyze.allocs_per_conn").snapshot().since(
+      before);
+}
+
+void print_run(const char* label, const RunResult& run, int reps) {
+  std::printf(
+      "%s jobs=%zu: %.3fs best of %d (ingest %.3fs + analyze %.3fs), "
+      "allocs/conn mean %.1f, identical=%s\n",
+      label, run.jobs, run.best_wall_s, reps, to_seconds(run.stats.ingest_wall),
+      to_seconds(run.stats.analyze_wall), run.allocs.mean(),
+      run.identical ? "yes" : "NO");
+}
+
+std::string alloc_json(const HistogramSnapshot& h) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "{\"connections\": %llu, \"mean\": %.2f, \"p90\": %lld}",
+                static_cast<unsigned long long>(h.count), h.mean(),
+                static_cast<long long>(h.quantile(0.9)));
+  return buf;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_pipeline.json";
-  std::printf("building %zu-session trace (%zu prefixes each)...\n", kSessions,
-              kPrefixes);
-  const PcapFile trace = make_trace();
-  std::uint64_t trace_bytes = 0;
-  for (const auto& rec : trace.records) trace_bytes += 16 + rec.data.size();
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("cpu cores: %u, alloc hook: %s\n", cores,
+              alloc_hook_active() ? "on" : "off");
 
-  std::string baseline;
-  std::vector<RunResult> runs;
-  for (const std::size_t jobs : {1, 2, 4, 8}) {
-    AnalyzerOptions opts;
-    opts.jobs = jobs;
-    RunResult run;
-    run.jobs = jobs;
-    run.best_wall_s = 1e100;
-    for (int rep = 0; rep < kRepetitions; ++rep) {
-      const auto t0 = std::chrono::steady_clock::now();
-      const TraceAnalysis ta = analyze_trace(trace, opts);
-      const double wall = wall_seconds_since(t0);
-      if (wall < run.best_wall_s) {
-        run.best_wall_s = wall;
-        run.stats = ta.stats;
-      }
-      if (rep == 0) {
-        if (jobs == 1) {
-          baseline = fingerprint(ta);
-        } else {
-          run.identical = fingerprint(ta) == baseline;
+  std::vector<SizeResult> sizes;
+  bool all_identical = true;
+  for (const std::size_t sessions : {16, 64, 256}) {
+    const int reps = sessions >= 256 ? 2 : 3;
+    std::printf("building %zu-session trace (%zu prefixes each)...\n",
+                sessions, kPrefixes);
+    const PcapFile trace = make_trace(sessions);
+    SizeResult size;
+    size.sessions = sessions;
+    size.records = trace.records.size();
+    size.trace_bytes = 24;  // pcap global header, matching bytes_ingested
+    for (const auto& rec : trace.records) {
+      size.trace_bytes += 16 + rec.data.size();
+    }
+
+    std::string baseline;
+    for (const std::size_t jobs : {1, 2, 4, 8}) {
+      AnalyzerOptions opts;
+      opts.jobs = jobs;
+      RunResult run;
+      run.jobs = jobs;
+      run.best_wall_s = 1e100;
+      for (int rep = 0; rep < reps; ++rep) {
+        const HistogramSnapshot a0 = allocs_since({});
+        const auto t0 = std::chrono::steady_clock::now();
+        const TraceAnalysis ta = analyze_trace(trace, opts);
+        const double wall = wall_seconds_since(t0);
+        if (wall < run.best_wall_s) {
+          run.best_wall_s = wall;
+          run.stats = ta.stats;
+          run.allocs = allocs_since(a0);
+        }
+        if (rep == 0) {
+          if (jobs == 1) {
+            baseline = fingerprint(ta);
+          } else {
+            run.identical = fingerprint(ta) == baseline;
+          }
         }
       }
+      all_identical = all_identical && run.identical;
+      size.runs.push_back(run);
+      print_run("analyze_trace", run, reps);
     }
-    runs.push_back(run);
-    std::printf("jobs=%zu: %.3fs best of %d (ingest %.3fs + analyze %.3fs), "
-                "identical=%s\n",
-                jobs, run.best_wall_s, kRepetitions,
-                to_seconds(run.stats.ingest_wall),
-                to_seconds(run.stats.analyze_wall),
-                run.identical ? "yes" : "NO");
-  }
 
-  // The streaming path, through an actual file.
-  const std::string tmp_pcap = out_path + ".tmp.pcap";
-  RunResult streamed;
-  streamed.jobs = 8;
-  streamed.best_wall_s = 1e100;
-  if (write_pcap_file(tmp_pcap, trace)) {
-    AnalyzerOptions opts;
-    opts.jobs = 8;
-    for (int rep = 0; rep < kRepetitions; ++rep) {
-      const auto t0 = std::chrono::steady_clock::now();
-      auto ta = analyze_file(tmp_pcap, opts);
-      const double wall = wall_seconds_since(t0);
-      if (!ta.ok()) break;
-      if (wall < streamed.best_wall_s) {
-        streamed.best_wall_s = wall;
-        streamed.stats = ta.value().stats;
+    // The streaming path, through an actual file.
+    const std::string tmp_pcap = out_path + ".tmp.pcap";
+    size.streamed.jobs = 8;
+    size.streamed.best_wall_s = 1e100;
+    if (write_pcap_file(tmp_pcap, trace)) {
+      AnalyzerOptions opts;
+      opts.jobs = 8;
+      for (int rep = 0; rep < reps; ++rep) {
+        const HistogramSnapshot a0 = allocs_since({});
+        const auto t0 = std::chrono::steady_clock::now();
+        auto ta = analyze_file(tmp_pcap, opts);
+        const double wall = wall_seconds_since(t0);
+        if (!ta.ok()) break;
+        size.streamed_ok = true;
+        if (wall < size.streamed.best_wall_s) {
+          size.streamed.best_wall_s = wall;
+          size.streamed.stats = ta.value().stats;
+          size.streamed.allocs = allocs_since(a0);
+        }
+        if (rep == 0) {
+          size.streamed.identical = fingerprint(ta.value()) == baseline;
+        }
       }
-      if (rep == 0) streamed.identical = fingerprint(ta.value()) == baseline;
+      std::remove(tmp_pcap.c_str());
+      all_identical = all_identical && size.streamed.identical;
+      print_run("analyze_file", size.streamed, reps);
     }
-    std::remove(tmp_pcap.c_str());
-    std::printf("analyze_file jobs=8: %.3fs best of %d, identical=%s\n",
-                streamed.best_wall_s, kRepetitions,
-                streamed.identical ? "yes" : "NO");
-  }
 
-  const double speedup = runs.front().best_wall_s / runs.back().best_wall_s;
-  bool all_identical = streamed.identical;
-  for (const RunResult& r : runs) all_identical = all_identical && r.identical;
-  std::printf("speedup jobs=8 vs jobs=1: %.2fx; outputs identical: %s\n",
-              speedup, all_identical ? "yes" : "NO");
+    const double speedup =
+        size.runs.front().best_wall_s / size.runs.back().best_wall_s;
+    std::printf("sessions=%zu speedup jobs=8 vs jobs=1: %.2fx\n", sessions,
+                speedup);
+    sizes.push_back(std::move(size));
+  }
+  std::printf("all outputs identical to serial: %s\n",
+              all_identical ? "yes" : "NO");
+
+  // speedup table on stdout, one row per workload size
+  std::printf("\n%10s %10s %10s %10s %10s %8s\n", "sessions", "jobs=1",
+              "jobs=2", "jobs=4", "jobs=8", "speedup");
+  for (const SizeResult& size : sizes) {
+    std::printf("%10zu %9.3fs %9.3fs %9.3fs %9.3fs %7.2fx\n", size.sessions,
+                size.runs[0].best_wall_s, size.runs[1].best_wall_s,
+                size.runs[2].best_wall_s, size.runs[3].best_wall_s,
+                size.runs[0].best_wall_s / size.runs[3].best_wall_s);
+  }
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
@@ -153,29 +220,43 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f,
-               "{\n  \"trace\": {\"sessions\": %zu, \"prefixes_per_session\":"
-               " %zu, \"records\": %zu, \"bytes\": %llu},\n  \"runs\": [\n",
-               kSessions, kPrefixes, trace.records.size(),
-               static_cast<unsigned long long>(trace_bytes));
-  for (std::size_t i = 0; i < runs.size(); ++i) {
+               "{\n  \"cpu_cores\": %u,\n  \"alloc_hook\": %s,\n"
+               "  \"prefixes_per_session\": %zu,\n  \"sizes\": [\n",
+               cores, alloc_hook_active() ? "true" : "false", kPrefixes);
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    const SizeResult& size = sizes[s];
     std::fprintf(f,
-                 "    {\"jobs\": %zu, \"best_wall_s\": %.6f, "
-                 "\"identical_to_serial\": %s, \"stats\": %s}%s\n",
-                 runs[i].jobs, runs[i].best_wall_s,
-                 runs[i].identical ? "true" : "false",
-                 runs[i].stats.to_json().c_str(),
-                 i + 1 < runs.size() ? "," : "");
+                 "    {\"sessions\": %zu, \"records\": %zu, \"bytes\": %llu,\n"
+                 "     \"runs\": [\n",
+                 size.sessions, size.records,
+                 static_cast<unsigned long long>(size.trace_bytes));
+    for (std::size_t i = 0; i < size.runs.size(); ++i) {
+      const RunResult& run = size.runs[i];
+      std::fprintf(f,
+                   "      {\"jobs\": %zu, \"best_wall_s\": %.6f, "
+                   "\"identical_to_serial\": %s, \"allocs_per_conn\": %s, "
+                   "\"stats\": %s}%s\n",
+                   run.jobs, run.best_wall_s, run.identical ? "true" : "false",
+                   alloc_json(run.allocs).c_str(), run.stats.to_json().c_str(),
+                   i + 1 < size.runs.size() ? "," : "");
+    }
+    std::fprintf(f, "     ],\n");
+    if (size.streamed_ok) {
+      std::fprintf(f,
+                   "     \"streaming\": {\"jobs\": %zu, \"best_wall_s\": %.6f,"
+                   " \"identical_to_serial\": %s, \"allocs_per_conn\": %s, "
+                   "\"stats\": %s},\n",
+                   size.streamed.jobs, size.streamed.best_wall_s,
+                   size.streamed.identical ? "true" : "false",
+                   alloc_json(size.streamed.allocs).c_str(),
+                   size.streamed.stats.to_json().c_str());
+    }
+    std::fprintf(f, "     \"speedup_jobs8_vs_jobs1\": %.4f}%s\n",
+                 size.runs.front().best_wall_s / size.runs.back().best_wall_s,
+                 s + 1 < sizes.size() ? "," : "");
   }
-  std::fprintf(f,
-               "  ],\n  \"streaming\": {\"jobs\": %zu, \"best_wall_s\": %.6f,"
-               " \"identical_to_serial\": %s, \"stats\": %s},\n",
-               streamed.jobs, streamed.best_wall_s,
-               streamed.identical ? "true" : "false",
-               streamed.stats.to_json().c_str());
-  std::fprintf(f,
-               "  \"speedup_jobs8_vs_jobs1\": %.4f,\n"
-               "  \"all_outputs_identical\": %s\n}\n",
-               speedup, all_identical ? "true" : "false");
+  std::fprintf(f, "  ],\n  \"all_outputs_identical\": %s\n}\n",
+               all_identical ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return all_identical ? 0 : 1;

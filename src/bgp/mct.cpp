@@ -2,11 +2,69 @@
 
 namespace tdat {
 
+namespace {
+
+std::size_t prefix_hash(Prefix p) noexcept {
+  // Fibonacci multiplicative hash over (addr, length); quality only affects
+  // probe lengths, never results.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(p.addr) << 8) | p.length;
+  return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 32);
+}
+
+}  // namespace
+
+void PrefixSet::clear() noexcept {
+  ++gen_;
+  size_ = 0;
+  if (gen_ == 0) {  // generation wrap: lazily-dead slots would revive
+    for (Slot& s : slots_) s.gen = 0;
+    gen_ = 1;
+  }
+}
+
+void PrefixSet::reserve(std::size_t n) {
+  std::size_t cap = 16;
+  while (cap < n * 2) cap *= 2;  // keep load factor under 1/2
+  if (cap <= slots_.size()) return;
+  const std::vector<Slot> old = std::move(slots_);
+  slots_.assign(cap, Slot{});
+  const std::size_t mask = cap - 1;
+  for (const Slot& s : old) {
+    if (s.gen != gen_) continue;
+    std::size_t i = prefix_hash(s.prefix) & mask;
+    while (slots_[i].gen == gen_) i = (i + 1) & mask;
+    slots_[i] = Slot{s.prefix, gen_};
+  }
+}
+
+void PrefixSet::grow() { reserve(size_ >= 8 ? size_ * 2 : 16); }
+
+bool PrefixSet::insert(Prefix p) {
+  if (slots_.empty() || size_ * 2 >= slots_.size()) grow();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = prefix_hash(p) & mask;
+  while (slots_[i].gen == gen_) {
+    if (slots_[i].prefix == p) return false;
+    i = (i + 1) & mask;
+  }
+  slots_[i] = Slot{p, gen_};
+  ++size_;
+  return true;
+}
+
 MctResult mct_transfer_end(const std::vector<TimedBgpMessage>& messages,
                            Micros start, const MctOptions& opts) {
+  PrefixSet seen;
+  return mct_transfer_end(messages, start, opts, seen);
+}
+
+MctResult mct_transfer_end(const std::vector<TimedBgpMessage>& messages,
+                           Micros start, const MctOptions& opts,
+                           PrefixSet& seen) {
   MctResult res;
   res.end = start;
-  std::set<Prefix> seen;
+  seen.clear();
   Micros last_update_ts = start;
 
   for (const TimedBgpMessage& tm : messages) {
@@ -22,7 +80,7 @@ MctResult mct_transfer_end(const std::vector<TimedBgpMessage>& messages,
     }
     bool repeat = false;
     for (const Prefix& p : upd->nlri) {
-      if (!seen.insert(p).second) {
+      if (!seen.insert(p)) {
         repeat = true;
         break;
       }

@@ -12,13 +12,38 @@
 // peer-group blocking, §II-B3).
 #pragma once
 
-#include <set>
+#include <cstdint>
 #include <vector>
 
 #include "bgp/msg_stream.hpp"
 #include "util/time.hpp"
 
 namespace tdat {
+
+// Open-addressing membership set over announced prefixes. A full table
+// transfer announces up to the whole RIB once, so the node-per-prefix
+// std::set this replaces was the analysis stage's single biggest allocator
+// (~one node per prefix per connection). Generation-tagged slots make
+// clear() O(1) and a warm reused set allocation-free.
+class PrefixSet {
+ public:
+  // Inserts; returns false if `p` was already present.
+  bool insert(Prefix p);
+  [[nodiscard]] std::size_t size() const { return size_; }
+  void clear() noexcept;
+  void reserve(std::size_t n);
+
+ private:
+  struct Slot {
+    Prefix prefix;
+    std::uint32_t gen = 0;  // live iff == gen_
+  };
+  void grow();
+
+  std::vector<Slot> slots_;
+  std::uint32_t gen_ = 1;
+  std::size_t size_ = 0;
+};
 
 struct MctOptions {
   Micros max_silence = 300 * kMicrosPerSec;
@@ -35,5 +60,11 @@ struct MctResult {
 // considered. If no update follows `start`, `end` == `start`.
 [[nodiscard]] MctResult mct_transfer_end(const std::vector<TimedBgpMessage>& messages,
                                          Micros start, const MctOptions& opts = {});
+
+// Scratch-reusing form: `seen` is cleared and used as the announced-prefix
+// membership table, so a warm set makes MCT detection allocation-free.
+[[nodiscard]] MctResult mct_transfer_end(const std::vector<TimedBgpMessage>& messages,
+                                         Micros start, const MctOptions& opts,
+                                         PrefixSet& seen);
 
 }  // namespace tdat

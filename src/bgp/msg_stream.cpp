@@ -4,11 +4,17 @@ namespace tdat {
 
 std::vector<TimedBgpMessage> BgpMessageStream::feed(
     std::span<const std::uint8_t> bytes, Micros ts) {
-  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
   std::vector<TimedBgpMessage> out;
+  feed_into(bytes, ts, out);
+  return out;
+}
+
+std::size_t BgpMessageStream::parse_available(
+    std::span<const std::uint8_t> data, Micros ts,
+    std::vector<TimedBgpMessage>& out) {
   std::size_t pos = 0;
   while (true) {
-    const std::span rest = std::span(buf_).subspan(pos);
+    const std::span rest = data.subspan(pos);
     if (rest.size() < kBgpHeaderLen) break;
     const std::size_t len = peek_message_length(rest);
     if (len == 0) {
@@ -28,9 +34,23 @@ std::vector<TimedBgpMessage> BgpMessageStream::feed(
     }
     pos += len;
   }
+  return pos;
+}
+
+void BgpMessageStream::feed_into(std::span<const std::uint8_t> bytes, Micros ts,
+                                 std::vector<TimedBgpMessage>& out) {
+  if (buf_.empty()) {
+    // Steady state: parse straight from the caller's bytes; stash only the
+    // trailing partial message (usually nothing).
+    const std::size_t pos = parse_available(bytes, ts, out);
+    stream_base_ += static_cast<std::int64_t>(pos);
+    buf_.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos), bytes.end());
+    return;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  const std::size_t pos = parse_available(buf_, ts, out);
   buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos));
   stream_base_ += static_cast<std::int64_t>(pos);
-  return out;
 }
 
 }  // namespace tdat

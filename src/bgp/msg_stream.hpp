@@ -29,11 +29,33 @@ class BgpMessageStream {
   [[nodiscard]] std::vector<TimedBgpMessage> feed(std::span<const std::uint8_t> bytes,
                                                   Micros ts);
 
+  // Appending form for reused output buffers. When the internal stash is
+  // empty (the steady state: chunks normally end on message boundaries),
+  // messages are parsed straight out of `bytes` and only a trailing partial
+  // message is copied into the stash — no per-chunk buffer append/erase
+  // churn, no allocation once the stash and `out` are warm.
+  void feed_into(std::span<const std::uint8_t> bytes, Micros ts,
+                 std::vector<TimedBgpMessage>& out);
+
+  // Rewinds to a fresh stream, keeping the stash buffer's capacity.
+  void reset() noexcept {
+    buf_.clear();
+    stream_base_ = 0;
+    skipped_ = 0;
+    parse_errors_ = 0;
+  }
+
   [[nodiscard]] std::uint64_t skipped_bytes() const { return skipped_; }
   [[nodiscard]] std::uint64_t parse_errors() const { return parse_errors_; }
   [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
 
  private:
+  // Parses every complete message out of `data` (whose first byte sits at
+  // stream_base_), appending to `out`; returns the number of bytes consumed
+  // (complete messages plus skipped garbage). Does not touch buf_.
+  std::size_t parse_available(std::span<const std::uint8_t> data, Micros ts,
+                              std::vector<TimedBgpMessage>& out);
+
   std::vector<std::uint8_t> buf_;
   std::int64_t stream_base_ = 0;  // stream offset of buf_[0]
   std::uint64_t skipped_ = 0;

@@ -8,16 +8,29 @@ namespace tdat {
 
 ShiftedTrace shift_acks(const Connection& conn, const ConnectionProfile& profile,
                         const AnalyzerOptions& opts) {
+  AckShiftScratch scratch;
   ShiftedTrace out;
+  shift_acks(conn, profile, opts, scratch, out);
+  return out;
+}
+
+void shift_acks(const Connection& conn, const ConnectionProfile& profile,
+                const AnalyzerOptions& opts, AckShiftScratch& scratch,
+                ShiftedTrace& out) {
+  out.ts.clear();
+  out.flights_shifted = 0;
+  out.max_shift = 0;
   out.ts.reserve(conn.packets.size());
   for (const DecodedPacket& pkt : conn.packets) out.ts.push_back(pkt.ts);
   if (opts.location == SnifferLocation::kNearSender || !opts.enable_ack_shift) {
-    return out;
+    return;
   }
 
   // Timestamps of data-direction payload packets, for "next data after t".
-  std::vector<Micros> data_ts;
-  std::vector<FlightItem> acks;
+  std::vector<Micros>& data_ts = scratch.data_ts;
+  std::vector<FlightItem>& acks = scratch.acks;
+  data_ts.clear();
+  acks.clear();
   for (std::size_t i = 0; i < conn.packets.size(); ++i) {
     const DecodedPacket& pkt = conn.packets[i];
     if (packet_dir(conn.key, pkt) == profile.data_dir) {
@@ -26,13 +39,14 @@ ShiftedTrace shift_acks(const Connection& conn, const ConnectionProfile& profile
       acks.push_back({pkt.ts, pkt.payload_len, i});
     }
   }
-  if (acks.empty() || data_ts.empty()) return out;
+  if (acks.empty() || data_ts.empty()) return;
 
   const Micros gap = std::max<Micros>(
       kMicrosPerMilli,
       static_cast<Micros>(static_cast<double>(profile.rtt()) *
                           opts.flight_gap_rtt_fraction));
-  const auto flights = group_flights(acks, gap);
+  group_flights_into(acks, gap, scratch.flights);
+  const auto& flights = scratch.flights;
 
   // d2 is a path property, roughly one RTT. An ACK whose next data packet
   // arrives much later than that did NOT promptly liberate data (the sender
@@ -62,7 +76,6 @@ ShiftedTrace shift_acks(const Connection& conn, const ConnectionProfile& profile
     ++out.flights_shifted;
     out.max_shift = std::max(out.max_shift, d2_min);
   }
-  return out;
 }
 
 }  // namespace tdat

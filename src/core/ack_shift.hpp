@@ -17,6 +17,7 @@
 
 #include "core/options.hpp"
 #include "tcp/connection.hpp"
+#include "tcp/flights.hpp"
 #include "tcp/profile.hpp"
 
 namespace tdat {
@@ -35,5 +36,18 @@ struct ShiftedTrace {
 [[nodiscard]] ShiftedTrace shift_acks(const Connection& conn,
                                       const ConnectionProfile& profile,
                                       const AnalyzerOptions& opts);
+
+// Reusable working memory for shift_acks (contents unspecified between
+// calls; a warm scratch makes the shift allocation-free).
+struct AckShiftScratch {
+  std::vector<Micros> data_ts;
+  std::vector<FlightItem> acks;
+  std::vector<Flight> flights;
+};
+
+// Scratch-reusing form: `out` is cleared (keeping capacity) and refilled.
+void shift_acks(const Connection& conn, const ConnectionProfile& profile,
+                const AnalyzerOptions& opts, AckShiftScratch& scratch,
+                ShiftedTrace& out);
 
 }  // namespace tdat

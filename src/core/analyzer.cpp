@@ -5,6 +5,7 @@
 
 #include "pcap/decode.hpp"
 #include "pcap/pcap_stream.hpp"
+#include "util/alloc_hook.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
@@ -40,7 +41,12 @@ void run_analysis_stage(TraceAnalysis& out, const AnalyzerOptions& opts) {
   out.results.clear();
   out.results.resize(out.connections.size());
   parallel_for(out.connections.size(), jobs, [&](std::size_t i) {
-    out.results[i] = analyze_connection(out.connections[i], opts);
+    // One scratch per worker thread, warm across tasks and across runs: the
+    // whole per-connection working set (classifier tables, series buffers,
+    // range-set algebra, reassembly, MCT prefix table) is recycled, so the
+    // stage's steady state performs no cross-core allocator traffic.
+    thread_local AnalysisScratch scratch;
+    analyze_connection(out.connections[i], opts, scratch, out.results[i]);
     out.results[i].conn_index = i;
   });
   out.stats.jobs = jobs;
@@ -98,25 +104,43 @@ std::string PipelineStats::to_json() const {
   return "{" + out + "}";
 }
 
+AnalysisScratch::AnalysisScratch()
+    : conn_us(&metrics().histogram("analyze.connection_us")),
+      allocs(&metrics().histogram("analyze.allocs_per_conn")),
+      done(&metrics().counter("analyze.connections_done")) {}
+
 ConnectionAnalysis analyze_connection(const Connection& conn,
                                       const AnalyzerOptions& opts) {
-  TDAT_TRACE_SPAN("analyze.connection", "analyze", "conn",
-                  conn.key.to_string());
-  const std::int64_t t0 = monotonic_micros();
+  thread_local AnalysisScratch scratch;
   ConnectionAnalysis out;
+  analyze_connection(conn, opts, scratch, out);
+  return out;
+}
+
+void analyze_connection(const Connection& conn, const AnalyzerOptions& opts,
+                        AnalysisScratch& scratch, ConnectionAnalysis& out) {
+  TDAT_TRACE_SPAN("analyze.connection", "analyze", "conn",
+                  [&conn] { return conn.key.to_string(); });
+  const std::int64_t t0 = monotonic_micros();
+  const std::uint64_t a0 = thread_alloc_count();
+  out.conn_index = 0;
   out.key = conn.key;
   {
     TDAT_TRACE_SPAN("analyze.profile", "analyze");
-    out.profile = compute_profile(conn);
+    out.profile = compute_profile(conn, scratch.profile);
   }
   {
     TDAT_TRACE_SPAN("analyze.series", "analyze");
-    out.bundle = build_series(conn, out.profile, opts);
+    build_series(conn, out.profile, opts, scratch.series, out.bundle);
   }
   {
     TDAT_TRACE_SPAN("analyze.extract_bgp", "analyze");
-    auto extracted = extract_bgp_messages(conn, out.profile.data_dir);
-    out.messages = std::move(extracted.messages);
+    // Donate out's warm message buffer to the staging result, extract, then
+    // take the refilled buffer back — capacity circulates, nothing is freed.
+    scratch.extracted.messages.swap(out.messages);
+    extract_bgp_messages_into(conn, out.profile.data_dir, scratch.extract,
+                              scratch.extracted);
+    out.messages.swap(scratch.extracted.messages);
   }
 
   // A table transfer starts right after the TCP connection is established
@@ -124,7 +148,8 @@ ConnectionAnalysis analyze_connection(const Connection& conn,
   const Micros start = conn.start_time();
   {
     TDAT_TRACE_SPAN("analyze.mct", "analyze");
-    out.mct = mct_transfer_end(out.messages, start);
+    out.mct = mct_transfer_end(out.messages, start, MctOptions{},
+                               scratch.mct_seen);
   }
   if (out.mct.update_count > 0 && out.mct.end > start) {
     out.transfer = {start, out.mct.end};
@@ -133,15 +158,18 @@ ConnectionAnalysis analyze_connection(const Connection& conn,
   }
   {
     TDAT_TRACE_SPAN("analyze.classify", "analyze");
-    out.report = classify_delay(out.bundle.registry, out.transfer, opts);
+    out.report = classify_delay(out.bundle.registry, out.transfer, opts,
+                                scratch.delay);
   }
-  // One-time registry lookups; per-connection cost is a clock read + two
-  // relaxed RMWs. connections_done feeds the CLI --progress ticker.
-  static LatencyHistogram& conn_us = metrics().histogram("analyze.connection_us");
-  static Counter& done = metrics().counter("analyze.connections_done");
-  conn_us.observe(monotonic_micros() - t0);
-  done.inc();
-  return out;
+  // Per-connection accounting: a clock read plus relaxed RMWs on this
+  // worker's metric shards. connections_done feeds the CLI --progress
+  // ticker; allocs_per_conn guards the zero-allocation steady state.
+  scratch.conn_us->observe(monotonic_micros() - t0);
+  if (alloc_hook_active()) {
+    scratch.allocs->observe(
+        static_cast<std::int64_t>(thread_alloc_count() - a0));
+  }
+  scratch.done->inc();
 }
 
 TraceAnalysis analyze_packets(std::vector<DecodedPacket> packets,
@@ -170,10 +198,11 @@ TraceAnalysis analyze_trace(const PcapFile& file, const AnalyzerOptions& opts) {
   const Micros t0 = wall_now();
   TraceAnalysis out = analyze_packets(decode_pcap(file, opts.verify_checksums),
                                       opts);
-  // Account ingest from the capture's view: record headers + stored bytes,
-  // and the decode time that analyze_packets could not see.
+  // Account ingest from the capture's view — the 24-byte pcap global header
+  // plus record headers and stored bytes, matching PcapStream::bytes_read()
+  // byte for byte — and the decode time that analyze_packets could not see.
   out.stats.records = file.records.size();
-  out.stats.bytes_ingested = 0;
+  out.stats.bytes_ingested = 24;
   for (const PcapRecord& rec : file.records) {
     out.stats.bytes_ingested += 16 + rec.data.size();
   }

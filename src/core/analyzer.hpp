@@ -76,8 +76,37 @@ struct TraceAnalysis {
   PipelineStats stats;
 };
 
+// All reusable working state for one analysis worker. Owned by the caller
+// (one per worker thread in run_analysis_stage); every sub-stage scratch in
+// here is reset — never freed — between connections, so in steady state
+// analyze_connection performs no heap allocation beyond the retained output
+// it writes into ConnectionAnalysis.
+struct AnalysisScratch {
+  AnalysisScratch();
+
+  ProfileScratch profile;
+  SeriesScratch series;
+  ExtractScratch extract;
+  Pcap2BgpResult extracted;  // staging buffer; swapped with out.messages
+  PrefixSet mct_seen;
+  DelayScratch delay;
+
+  // Metric handles resolved once per scratch so the per-connection path is
+  // a clock read plus relaxed shard RMWs — no registry lock, no
+  // function-local-static init guard.
+  LatencyHistogram* conn_us = nullptr;
+  LatencyHistogram* allocs = nullptr;
+  Counter* done = nullptr;
+};
+
 [[nodiscard]] ConnectionAnalysis analyze_connection(const Connection& conn,
                                                     const AnalyzerOptions& opts);
+
+// Scratch-reusing form: rebuilds `out` in place. With a warm scratch and a
+// reused `out`, the steady state is allocation-free except for parsed BGP
+// message bodies (retained output).
+void analyze_connection(const Connection& conn, const AnalyzerOptions& opts,
+                        AnalysisScratch& scratch, ConnectionAnalysis& out);
 
 [[nodiscard]] TraceAnalysis analyze_packets(std::vector<DecodedPacket> packets,
                                             const AnalyzerOptions& opts);

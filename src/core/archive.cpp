@@ -23,10 +23,11 @@ std::vector<TimedBgpMessage> archive_messages_for(
 ConnectionAnalysis analyze_connection_with_archive(
     const Connection& conn, const std::vector<MrtRecord>& archive,
     const AnalyzerOptions& opts) {
+  thread_local AnalysisScratch scratch;
   ConnectionAnalysis out;
   out.key = conn.key;
-  out.profile = compute_profile(conn);
-  out.bundle = build_series(conn, out.profile, opts);
+  out.profile = compute_profile(conn, scratch.profile);
+  build_series(conn, out.profile, opts, scratch.series, out.bundle);
 
   // The peer is the data sender's side of the connection key.
   std::uint32_t peer_ip = conn.key.ip_a;
@@ -38,7 +39,8 @@ ConnectionAnalysis analyze_connection_with_archive(
   // so a message logged within the connection's first second can be stamped
   // "before" the µs-precise TCP start. Run MCT from the containing second.
   const Micros mct_start = (start / kMicrosPerSec) * kMicrosPerSec;
-  out.mct = mct_transfer_end(out.messages, mct_start);
+  out.mct = mct_transfer_end(out.messages, mct_start, MctOptions{},
+                             scratch.mct_seen);
   if (out.mct.update_count > 0 && out.mct.end > start) {
     // MRT timestamps are second-granular; extend the window to the end of
     // the last update's second so sub-second activity is not clipped.
@@ -46,7 +48,8 @@ ConnectionAnalysis analyze_connection_with_archive(
   } else {
     out.transfer = {};
   }
-  out.report = classify_delay(out.bundle.registry, out.transfer, opts);
+  out.report = classify_delay(out.bundle.registry, out.transfer, opts,
+                              scratch.delay);
   return out;
 }
 

@@ -2,61 +2,101 @@
 
 namespace tdat {
 
+namespace {
+
+const RangeSet* maybe_ranges(const SeriesRegistry& reg, const char* name) {
+  return reg.has(name) ? &reg.get(name).ranges() : nullptr;
+}
+
+}  // namespace
+
 RangeSet factor_ranges(const SeriesRegistry& reg, Factor f) {
-  auto get = [&](const char* name) -> RangeSet {
-    return reg.has(name) ? reg.get(name).ranges() : RangeSet{};
+  RangeSet out;
+  RangeSet tmp;
+  factor_ranges_into(reg, f, tmp, out);
+  return out;
+}
+
+void factor_ranges_into(const SeriesRegistry& reg, Factor f, RangeSet& tmp,
+                        RangeSet& out) {
+  auto copy = [&](const char* name) {
+    if (const RangeSet* r = maybe_ranges(reg, name)) {
+      out = *r;
+    } else {
+      out.clear();
+    }
   };
   switch (f) {
     case Factor::kBgpSenderApp:
-      return get(series::kSendAppLimited);
+      copy(series::kSendAppLimited);
+      return;
     case Factor::kTcpCongestionWindow:
-      return get(series::kCwndBndOut);
+      copy(series::kCwndBndOut);
+      return;
     case Factor::kSenderLocalLoss:
-      return get(series::kSendLocalLoss);
+      copy(series::kSendLocalLoss);
+      return;
     case Factor::kBgpReceiverApp:
       // Small or closed advertised window: the receiving application is not
       // keeping up with the sender.
-      return get(series::kSmallAdvBndOut);
+      copy(series::kSmallAdvBndOut);
+      return;
     case Factor::kTcpAdvertisedWindow:
       // Window-bound but NOT because the app fell behind: the configured
       // window itself (e.g. RouteViews' 16 KB) is the limit. Wire-paced
       // periods are excluded — when the bottleneck queue inflates until the
       // window fills, the window is a symptom, not the cause.
-      return get(series::kAdvBndOut)
-          .set_difference(get(series::kSmallAdvBndOut))
-          .set_difference(get(series::kBandwidthLimited));
+      copy(series::kAdvBndOut);
+      if (const RangeSet* r = maybe_ranges(reg, series::kSmallAdvBndOut)) {
+        out.subtract_with(*r, tmp);
+      }
+      if (const RangeSet* r = maybe_ranges(reg, series::kBandwidthLimited)) {
+        out.subtract_with(*r, tmp);
+      }
+      return;
     case Factor::kReceiverLocalLoss:
-      return get(series::kRecvLocalLoss);
+      copy(series::kRecvLocalLoss);
+      return;
     case Factor::kBandwidthLimited:
-      return get(series::kBandwidthLimited);
+      copy(series::kBandwidthLimited);
+      return;
     case Factor::kNetworkLoss:
-      return get(series::kNetworkLoss);
+      copy(series::kNetworkLoss);
+      return;
   }
-  return {};
+  out.clear();
 }
 
 DelayReport classify_delay(const SeriesRegistry& reg, TimeRange window,
                            const AnalyzerOptions& opts) {
+  DelayScratch scratch;
+  return classify_delay(reg, window, opts, scratch);
+}
+
+DelayReport classify_delay(const SeriesRegistry& reg, TimeRange window,
+                           const AnalyzerOptions& opts, DelayScratch& scratch) {
   DelayReport rep;
   rep.window = window;
   const auto period = static_cast<double>(window.length());
   if (window.empty()) return rep;
 
-  std::array<RangeSet, kFactorCount> sets;
-  RangeSet clip;
-  clip.insert(window);
+  scratch.clip.clear();
+  scratch.clip.insert(window);
   for (std::size_t i = 0; i < kFactorCount; ++i) {
-    sets[i] = factor_ranges(reg, static_cast<Factor>(i)).set_intersection(clip);
-    rep.factor_delay[i] = sets[i].size();
+    RangeSet& set = scratch.sets[i];
+    factor_ranges_into(reg, static_cast<Factor>(i), scratch.tmp, set);
+    set.intersect_with(scratch.clip, scratch.tmp);
+    rep.factor_delay[i] = set.size();
     rep.factor_ratio[i] = static_cast<double>(rep.factor_delay[i]) / period;
   }
 
   for (std::size_t g = 0; g < kGroupCount; ++g) {
-    RangeSet merged;
+    RangeSet& merged = scratch.merged;
+    merged.clear();
     Micros best = -1;
     for (Factor f : factors_in(static_cast<FactorGroup>(g))) {
       const auto i = static_cast<std::size_t>(f);
-      merged = merged.set_union(sets[i]);
+      merged.union_with(scratch.sets[i], scratch.tmp);
       if (rep.factor_delay[i] > best) {
         best = rep.factor_delay[i];
         rep.dominant_factor[g] = f;

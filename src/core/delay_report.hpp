@@ -43,11 +43,30 @@ struct DelayReport {
   }
 };
 
+// Pooled working sets for classify_delay. DelayReport itself is flat arrays,
+// so with a warm scratch the classification allocates nothing.
+struct DelayScratch {
+  std::array<RangeSet, kFactorCount> sets;
+  RangeSet clip;
+  RangeSet merged;
+  RangeSet tmp;  // set-algebra swap buffer
+};
+
 // The conclusive series backing each factor.
 [[nodiscard]] RangeSet factor_ranges(const SeriesRegistry& reg, Factor f);
+
+// In-place form: fills `out` (must not alias `tmp`).
+void factor_ranges_into(const SeriesRegistry& reg, Factor f, RangeSet& tmp,
+                        RangeSet& out);
 
 [[nodiscard]] DelayReport classify_delay(const SeriesRegistry& reg,
                                          TimeRange window,
                                          const AnalyzerOptions& opts);
+
+// Scratch-reusing form.
+[[nodiscard]] DelayReport classify_delay(const SeriesRegistry& reg,
+                                         TimeRange window,
+                                         const AnalyzerOptions& opts,
+                                         DelayScratch& scratch);
 
 }  // namespace tdat

@@ -154,12 +154,8 @@ PeerGroupBlockResult detect_peer_group_blocking(
 RangeSet CaptureVoidResult::exclude_from(TimeRange window) const {
   RangeSet out;
   out.insert(window);
-  for (const TimeRange& v : voids) {
-    RangeSet hole;
-    hole.insert(v);
-    out = out.set_difference(hole);
-  }
-  return out;
+  // voids is already merged/disjoint, so one set-difference covers them all.
+  return out.set_difference(RangeSet(voids));
 }
 
 CaptureVoidResult detect_capture_voids(const Connection& conn,
@@ -198,9 +194,8 @@ CaptureVoidResult detect_capture_voids(const Connection& conn,
       // The receiver has everything below `off`; whatever the sniffer did
       // not capture in [reported_up_to, off) was dropped by the capture,
       // not by the network (the network's losses are never acknowledged).
-      RangeSet acked;
-      acked.insert(reported_up_to, off);
-      const Micros missing = acked.set_difference(captured).size();
+      const TimeRange acked{reported_up_to, off};
+      const Micros missing = acked.length() - captured.size_within(acked);
       if (missing > 0) {
         res.missing_bytes += static_cast<std::uint64_t>(missing);
         res.voids.push_back({last_data_ts, pkt.ts});

@@ -1,7 +1,7 @@
 #include "core/locate.hpp"
 
 #include <algorithm>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "tcp/seq.hpp"
@@ -30,7 +30,10 @@ SnifferLocationEstimate infer_sniffer_location(const Connection& conn,
 
   SeqUnwrapper data_unwrap(*anchor);
   SeqUnwrapper ack_unwrap(*anchor);
-  std::map<std::int64_t, Micros> last_data_ending_at;  // stream end -> capture ts
+  // stream end -> capture ts, kept sorted by end. Data mostly arrives in
+  // order, so insertion is an O(1) append; retransmissions overwrite their
+  // slot via binary search — no node-per-segment map churn.
+  std::vector<std::pair<std::int64_t, Micros>> last_data_ending_at;
   std::vector<Micros> data_ts;
 
   // d1 samples: ACK covering exactly a segment's end, minus that segment's
@@ -39,13 +42,26 @@ SnifferLocationEstimate infer_sniffer_location(const Connection& conn,
     if (packet_dir(conn.key, pkt) == profile.data_dir) {
       if (!pkt.has_payload()) continue;
       const std::int64_t begin = data_unwrap.unwrap(pkt.tcp.seq);
-      last_data_ending_at[begin + static_cast<std::int64_t>(pkt.payload_len)] =
-          pkt.ts;
+      const std::int64_t end = begin + static_cast<std::int64_t>(pkt.payload_len);
+      if (last_data_ending_at.empty() || last_data_ending_at.back().first < end) {
+        last_data_ending_at.emplace_back(end, pkt.ts);
+      } else {
+        auto it = std::lower_bound(
+            last_data_ending_at.begin(), last_data_ending_at.end(), end,
+            [](const auto& e, std::int64_t v) { return e.first < v; });
+        if (it != last_data_ending_at.end() && it->first == end) {
+          it->second = pkt.ts;
+        } else {
+          last_data_ending_at.emplace(it, end, pkt.ts);
+        }
+      }
       data_ts.push_back(pkt.ts);
     } else if (pkt.tcp.flags.ack && !pkt.tcp.flags.syn) {
       const std::int64_t off = ack_unwrap.unwrap(pkt.tcp.ack);
-      auto it = last_data_ending_at.find(off);
-      if (it == last_data_ending_at.end()) continue;
+      auto it = std::lower_bound(
+          last_data_ending_at.begin(), last_data_ending_at.end(), off,
+          [](const auto& e, std::int64_t v) { return e.first < v; });
+      if (it == last_data_ending_at.end() || it->first != off) continue;
       const Micros gap = pkt.ts - it->second;
       if (gap > 0 && (out.d1 < 0 || gap < out.d1)) out.d1 = gap;
     }

@@ -1,6 +1,5 @@
 #include "core/pcap2bgp.hpp"
 
-#include "tcp/reassembler.hpp"
 #include "tcp/seq.hpp"
 
 #include <algorithm>
@@ -8,7 +7,17 @@
 namespace tdat {
 
 Pcap2BgpResult extract_bgp_messages(const Connection& conn, Dir data_dir) {
+  ExtractScratch scratch;
   Pcap2BgpResult out;
+  extract_bgp_messages_into(conn, data_dir, scratch, out);
+  return out;
+}
+
+void extract_bgp_messages_into(const Connection& conn, Dir data_dir,
+                               ExtractScratch& scratch, Pcap2BgpResult& out) {
+  out.messages.clear();
+  out.skipped_bytes = 0;
+  out.parse_errors = 0;
 
   // Anchor the stream at ISN+1 if the SYN was captured, else at the first
   // data segment.
@@ -24,28 +33,28 @@ Pcap2BgpResult extract_bgp_messages(const Connection& conn, Dir data_dir) {
       break;
     }
   }
-  if (!anchor) return out;
+  if (!anchor) return;
 
-  Reassembler reasm(*anchor);
-  BgpMessageStream stream;
+  scratch.reasm.reset(*anchor);
+  scratch.stream.reset();
   for (const DecodedPacket& pkt : conn.packets) {
     if (packet_dir(conn.key, pkt) != data_dir || !pkt.has_payload()) continue;
-    for (const StreamChunk& chunk : reasm.feed(pkt.tcp.seq, pkt.payload(), pkt.ts)) {
-      auto msgs = stream.feed(chunk.bytes, chunk.ts);
-      out.messages.insert(out.messages.end(),
-                          std::make_move_iterator(msgs.begin()),
-                          std::make_move_iterator(msgs.end()));
-    }
+    scratch.reasm.feed(
+        pkt.tcp.seq, pkt.payload(), pkt.ts,
+        [&](std::int64_t, std::span<const std::uint8_t> bytes, Micros ts) {
+          scratch.stream.feed_into(bytes, ts, out.messages);
+        });
   }
-  out.skipped_bytes = stream.skipped_bytes();
-  out.parse_errors = stream.parse_errors();
+  out.skipped_bytes = scratch.stream.skipped_bytes();
+  out.parse_errors = scratch.stream.parse_errors();
 
   // Sniffer-position correction: the tap may capture packets that are then
   // dropped between it and the receiver (receiver-local losses, §II-B2), so
   // stream completion at the sniffer can precede actual receipt by whole
   // recovery episodes. A message provably reached the receiver once a
   // cumulative ACK covered its last byte — lift each timestamp to that ACK.
-  std::vector<std::pair<std::int64_t, Micros>> ack_steps;  // (offset, ts)
+  auto& ack_steps = scratch.ack_steps;
+  ack_steps.clear();
   {
     SeqUnwrapper unwrap(*anchor);
     std::int64_t max_off = 0;
@@ -74,7 +83,6 @@ Pcap2BgpResult extract_bgp_messages(const Connection& conn, Dir data_dir) {
       out.messages[i].ts = std::max(out.messages[i].ts, out.messages[i - 1].ts);
     }
   }
-  return out;
 }
 
 std::vector<MrtRecord> to_mrt_records(const Connection& conn, Dir data_dir,

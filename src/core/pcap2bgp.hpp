@@ -9,6 +9,9 @@
 #include "bgp/msg_stream.hpp"
 #include "tcp/connection.hpp"
 #include "tcp/profile.hpp"
+#include "tcp/reassembler.hpp"
+
+#include <utility>
 
 namespace tdat {
 
@@ -19,9 +22,23 @@ struct Pcap2BgpResult {
   std::uint64_t parse_errors = 0;
 };
 
+// Reusable working state for extract_bgp_messages_into. A warm scratch keeps
+// the reassembler's buffers, the framing stash, and the ACK-step table
+// capacity across connections.
+struct ExtractScratch {
+  Reassembler reasm;
+  BgpMessageStream stream;
+  std::vector<std::pair<std::int64_t, Micros>> ack_steps;  // (offset, ts)
+};
+
 // Extracts the BGP messages carried in `data_dir` of the connection.
 [[nodiscard]] Pcap2BgpResult extract_bgp_messages(const Connection& conn,
                                                   Dir data_dir);
+
+// Scratch-reusing form: clears and refills `out` (message capacity is kept;
+// parsed UPDATE bodies still allocate — they are retained output).
+void extract_bgp_messages_into(const Connection& conn, Dir data_dir,
+                               ExtractScratch& scratch, Pcap2BgpResult& out);
 
 // Converts extracted messages to MRT BGP4MP records. The peer AS is taken
 // from the first OPEN message seen (0 if none).

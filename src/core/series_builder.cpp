@@ -5,8 +5,6 @@
 #include <limits>
 
 #include "core/series_names.hpp"
-#include "tcp/flights.hpp"
-#include "util/assert.hpp"
 
 namespace tdat {
 namespace {
@@ -19,13 +17,6 @@ bool is_bgp_keepalive(std::span<const std::uint8_t> payload) {
   }
   return payload[16] == 0 && payload[17] == 19 && payload[18] == 4;
 }
-
-struct AckEvent {
-  Micros t = 0;           // shifted (sender-view) time
-  std::int64_t off = 0;   // cumulative-ack stream offset
-  std::int64_t window = 0;  // scaled advertised window in bytes
-  std::size_t pkt_index = 0;
-};
 
 // One maximal period with outstanding data, plus what bounded it.
 struct OutstandingPeriod {
@@ -42,7 +33,15 @@ struct OutstandingPeriod {
 
 SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profile,
                           const AnalyzerOptions& opts) {
+  SeriesScratch scratch;
   SeriesBundle out;
+  build_series(conn, profile, opts, scratch, out);
+  return out;
+}
+
+void build_series(const Connection& conn, const ConnectionProfile& profile,
+                  const AnalyzerOptions& opts, SeriesScratch& scratch,
+                  SeriesBundle& out) {
   const Micros rtt = profile.rtt();
   const std::int64_t mss = profile.mss();
 
@@ -50,17 +49,66 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
   copts.reorder_threshold = std::max<Micros>(
       kMicrosPerMilli,
       static_cast<Micros>(static_cast<double>(rtt) * opts.reorder_rtt_fraction));
-  out.flow = classify_data_packets(conn, profile.data_dir, copts);
-  out.shifted = shift_acks(conn, profile, opts);
+  classify_data_packets(conn, profile.data_dir, copts, scratch.classify, out.flow);
+  shift_acks(conn, profile, opts, scratch.shift, out.shifted);
+
   SeriesRegistry& reg = out.registry;
+  reg.reset();
+  // Open all 34 slots before taking any reference: open() may grow the
+  // registry's table, which would invalidate earlier references. Every
+  // series is built unconditionally (possibly empty), so a reused registry
+  // revives exactly the slots it already owns.
+  for (const char* name :
+       {series::kTransmission, series::kKeepAlive, series::kAckArrival,
+        series::kAdvWindow, series::kSmallAdvWindow, series::kLargeAdvWindow,
+        series::kZeroAdvWindow, series::kRetransmission, series::kUpstreamLoss,
+        series::kDownstreamLoss, series::kOutOfSequence, series::kDuplicate,
+        series::kRtoRecovery, series::kFastRecovery, series::kOutstanding,
+        series::kAdvBndOut, series::kCwndBndOut, series::kDataFlight,
+        series::kAckFlight, series::kHandshake, series::kTeardown, series::kIdle,
+        series::kKeepAliveOnly, series::kSendLocalLoss, series::kRecvLocalLoss,
+        series::kNetworkLoss, series::kBgpKeepAlive, series::kSendAppLimited,
+        series::kSmallAdvBndOut, series::kLargeAdvBndOut, series::kZeroAdvBndOut,
+        series::kBandwidthLimited, series::kLossRecovery,
+        series::kWindowLimited}) {
+    (void)reg.open(name);
+  }
+  EventSeries& transmission = reg.get_mutable(series::kTransmission);
+  EventSeries& keepalive = reg.get_mutable(series::kKeepAlive);
+  EventSeries& ack_arrival = reg.get_mutable(series::kAckArrival);
+  EventSeries& adv = reg.get_mutable(series::kAdvWindow);
+  EventSeries& small_adv = reg.get_mutable(series::kSmallAdvWindow);
+  EventSeries& large_adv = reg.get_mutable(series::kLargeAdvWindow);
+  EventSeries& zero_adv = reg.get_mutable(series::kZeroAdvWindow);
+  EventSeries& retransmission = reg.get_mutable(series::kRetransmission);
+  EventSeries& upstream = reg.get_mutable(series::kUpstreamLoss);
+  EventSeries& downstream = reg.get_mutable(series::kDownstreamLoss);
+  EventSeries& out_of_seq = reg.get_mutable(series::kOutOfSequence);
+  EventSeries& duplicate = reg.get_mutable(series::kDuplicate);
+  EventSeries& rto_rec = reg.get_mutable(series::kRtoRecovery);
+  EventSeries& fast_rec = reg.get_mutable(series::kFastRecovery);
+  EventSeries& outstanding = reg.get_mutable(series::kOutstanding);
+  EventSeries& adv_bnd = reg.get_mutable(series::kAdvBndOut);
+  EventSeries& cwnd_bnd = reg.get_mutable(series::kCwndBndOut);
+  EventSeries& data_flights = reg.get_mutable(series::kDataFlight);
+  EventSeries& ack_flights = reg.get_mutable(series::kAckFlight);
+  EventSeries& handshake = reg.get_mutable(series::kHandshake);
+  EventSeries& teardown = reg.get_mutable(series::kTeardown);
+  EventSeries& idle = reg.get_mutable(series::kIdle);
+  EventSeries& ka_only = reg.get_mutable(series::kKeepAliveOnly);
+  EventSeries& send_local = reg.get_mutable(series::kSendLocalLoss);
+  EventSeries& recv_local = reg.get_mutable(series::kRecvLocalLoss);
+  EventSeries& net_loss = reg.get_mutable(series::kNetworkLoss);
 
   // ---- gather views ------------------------------------------------------
-  std::vector<Micros> data_ts;         // data-direction payload packets
-  std::vector<FlightItem> data_items;
-  std::vector<Micros> nonka_ts;        // non-keepalive data packets
-  std::vector<Micros> ka_ts;           // keepalive packets
-  EventSeries transmission(series::kTransmission);
-  EventSeries keepalive(series::kKeepAlive);
+  auto& data_ts = scratch.data_ts;
+  auto& data_items = scratch.data_items;
+  auto& nonka_ts = scratch.nonka_ts;
+  auto& ka_ts = scratch.ka_ts;
+  data_ts.clear();
+  data_items.clear();
+  nonka_ts.clear();
+  ka_ts.clear();
 
   for (const LabeledDataPacket& lp : out.flow.data) {
     data_ts.push_back(lp.ts);
@@ -98,16 +146,14 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
                      static_cast<std::uint64_t>(lp.length()),
                      static_cast<std::int64_t>(lp.packet_index));
   }
-  reg.put(std::move(transmission));
-  reg.put(std::move(keepalive));
 
   // ---- ACK view (shifted), window steps ----------------------------------
   const std::uint8_t wscale =
       (profile.a_to_b.window_scale && profile.b_to_a.window_scale)
           ? profile.receiver().window_scale.value_or(0)
           : 0;
-  std::vector<AckEvent> acks;
-  EventSeries ack_arrival(series::kAckArrival);
+  auto& acks = scratch.acks;
+  acks.clear();
   for (std::size_t i = 0; i < conn.packets.size(); ++i) {
     const DecodedPacket& pkt = conn.packets[i];
     if (packet_dir(conn.key, pkt) == profile.data_dir) continue;
@@ -130,13 +176,8 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
   });
   for (const AckEvent& ev : acks) ack_arrival.add({ev.t, ev.t + 1}, 1, 0,
                                                   static_cast<std::int64_t>(ev.pkt_index));
-  reg.put(std::move(ack_arrival));
 
   // Advertised-window step function and its small/large/zero slices.
-  EventSeries adv(series::kAdvWindow);
-  EventSeries small_adv(series::kSmallAdvWindow);
-  EventSeries large_adv(series::kLargeAdvWindow);
-  EventSeries zero_adv(series::kZeroAdvWindow);
   const std::int64_t max_adv = profile.max_advertised_window();
   const std::int64_t small_cut = static_cast<std::int64_t>(opts.small_window_mss) * mss;
   for (std::size_t i = 0; i < acks.size(); ++i) {
@@ -152,16 +193,8 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
       large_adv.add({t0, t1}, 0, static_cast<std::uint64_t>(w));
     }
   }
-  reg.put(std::move(adv));
 
   // ---- loss series (Extraction) ------------------------------------------
-  EventSeries retransmission(series::kRetransmission);
-  EventSeries upstream(series::kUpstreamLoss);
-  EventSeries downstream(series::kDownstreamLoss);
-  EventSeries out_of_seq(series::kOutOfSequence);
-  EventSeries duplicate(series::kDuplicate);
-  EventSeries rto_rec(series::kRtoRecovery);
-  EventSeries fast_rec(series::kFastRecovery);
   const Micros rto_cut = std::max<Micros>(2 * rtt, 100 * kMicrosPerMilli);
   for (const LabeledDataPacket& lp : out.flow.data) {
     // The recovery period runs from when the loss became visible to when
@@ -208,11 +241,10 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
   //     (inferable: later data exists and was not sent in this interval) —
   //     cwnd is the only remaining window-side explanation. Loss-recovery
   //     intervals are carved out of CwndBndOut afterwards.
-  EventSeries outstanding(series::kOutstanding);
   const std::int64_t adv_bound_cut =
       static_cast<std::int64_t>(opts.adv_bound_mss) * mss;
-  EventSeries adv_bnd(series::kAdvBndOut);
-  RangeSet cwnd_candidates;
+  RangeSet& cwnd_candidates = scratch.cwnd_candidates;
+  cwnd_candidates.clear();
   {
     std::size_t di = 0;
     std::size_t ai = 0;
@@ -278,17 +310,15 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
       outstanding.add(cur.range, cur.packets, cur.bytes);
     }
   }
-  reg.put(std::move(outstanding));
 
   // ---- flights -------------------------------------------------------------
   const Micros flight_gap = std::max<Micros>(
       kMicrosPerMilli, static_cast<Micros>(static_cast<double>(rtt) *
                                            opts.flight_gap_rtt_fraction));
-  EventSeries data_flights(series::kDataFlight);
-  for (const Flight& f : group_flights(data_items, flight_gap)) {
+  group_flights_into(data_items, flight_gap, scratch.flights);
+  for (const Flight& f : scratch.flights) {
     data_flights.add({f.start, std::max(f.end, f.start + 1)}, f.packets, f.bytes);
   }
-  reg.put(std::move(data_flights));
 
   // Bandwidth-limited candidates: a bottleneck link paces arrivals at a
   // constant *rate*, so the normalized gap (inter-arrival divided by the
@@ -301,9 +331,12 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
   // at the Operation stage below, mirroring T-RAT's rule ordering.
   // Keepalives (including the periodic post-transfer ones) are not part of
   // the bulk stream; their pacing must not enter the pacing estimate.
-  RangeSet bw_candidates;
-  std::vector<Micros> bulk_ts;
-  std::vector<std::uint64_t> bulk_bytes;
+  RangeSet& bw_candidates = scratch.bw_candidates;
+  bw_candidates.clear();
+  auto& bulk_ts = scratch.bulk_ts;
+  auto& bulk_bytes = scratch.bulk_bytes;
+  bulk_ts.clear();
+  bulk_bytes.clear();
   for (const LabeledDataPacket& lp : out.flow.data) {
     const DecodedPacket& pkt = conn.packets[lp.packet_index];
     if (is_bgp_keepalive(pkt.payload())) continue;
@@ -311,11 +344,8 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
     bulk_bytes.push_back(static_cast<std::uint64_t>(lp.length()));
   }
   if (bulk_ts.size() > opts.bw_min_flight_packets) {
-    struct Pair {
-      double norm;   // gap / bytes of the later packet
-      Micros gap;
-    };
-    std::vector<Pair> pairs;
+    auto& pairs = scratch.pairs;
+    pairs.clear();
     Micros total_gap = 0;
     for (std::size_t i = 1; i < bulk_ts.size(); ++i) {
       const Micros gap = bulk_ts[i] - bulk_ts[i - 1];
@@ -323,12 +353,13 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
       pairs.push_back({static_cast<double>(gap) / static_cast<double>(bytes), gap});
       total_gap += gap;
     }
-    std::vector<Pair> by_norm = pairs;
+    auto& by_norm = scratch.by_norm;
+    by_norm = pairs;
     std::sort(by_norm.begin(), by_norm.end(),
-              [](const Pair& a, const Pair& b) { return a.norm < b.norm; });
+              [](const PacingPair& a, const PacingPair& b) { return a.norm < b.norm; });
     double wmedian = 0.0;
     Micros acc = 0;
-    for (const Pair& p : by_norm) {
+    for (const PacingPair& p : by_norm) {
       acc += p.gap;
       if (2 * acc >= total_gap) {
         wmedian = p.norm;
@@ -345,8 +376,8 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
       // the pacing value. A bursty flow (application timer, window bursts)
       // has a count-median far BELOW the time-weighted median even though
       // no single gap exceeds the upper cut.
-      std::vector<double> run_norms;
-      run_norms.reserve(n - 1);
+      auto& run_norms = scratch.run_norms;
+      run_norms.clear();
       for (std::size_t k = run_start + 1; k <= end_idx; ++k) {
         run_norms.push_back(pairs[k - 1].norm);
       }
@@ -398,22 +429,21 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
   // minus wire-paced runs (from the sniffer, bytes queued at an upstream
   // bottleneck are indistinguishable from bytes TCP chose not to send, and
   // the pacing signature is the stronger evidence).
-  EventSeries cwnd_bnd = EventSeries::from_ranges(
-      series::kCwndBndOut, cwnd_candidates.set_difference(retransmission.ranges())
-                               .set_difference(bw_candidates));
+  cwnd_candidates.subtract_with(retransmission.ranges(), scratch.tmp_a);
+  cwnd_candidates.subtract_with(bw_candidates, scratch.tmp_a);
+  cwnd_bnd.assign_ranges(cwnd_candidates);
   {
-    std::vector<FlightItem> ack_items;
+    auto& ack_items = scratch.ack_items;
+    ack_items.clear();
     for (const AckEvent& ev : acks) ack_items.push_back({ev.t, 0, ev.pkt_index});
-    EventSeries ack_flights(series::kAckFlight);
-    for (const Flight& f : group_flights(ack_items, flight_gap)) {
+    group_flights_into(ack_items, flight_gap, scratch.flights);
+    for (const Flight& f : scratch.flights) {
       ack_flights.add({f.start, std::max(f.end, f.start + 1)}, f.packets, 0);
     }
-    reg.put(std::move(ack_flights));
   }
 
   // ---- handshake / teardown / idle ----------------------------------------
   {
-    EventSeries handshake(series::kHandshake);
     if (!conn.packets.empty()) {
       const Micros t0 = conn.packets.front().ts;
       Micros t1 = t0;
@@ -424,9 +454,7 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
       }
       if (t1 > t0) handshake.add(TimeRange{t0, t1});
     }
-    reg.put(std::move(handshake));
 
-    EventSeries teardown(series::kTeardown);
     Micros fin_ts = -1;
     for (const DecodedPacket& pkt : conn.packets) {
       if (pkt.tcp.flags.fin || pkt.tcp.flags.rst) {
@@ -437,9 +465,7 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
     if (fin_ts >= 0) {
       teardown.add(TimeRange{fin_ts, std::max(conn.packets.back().ts, fin_ts) + 1});
     }
-    reg.put(std::move(teardown));
 
-    EventSeries idle(series::kIdle);
     const Micros idle_cut = std::max<Micros>(2 * rtt, 10 * kMicrosPerMilli);
     for (std::size_t i = 1; i < conn.packets.size(); ++i) {
       const Micros gap_len = conn.packets[i].ts - conn.packets[i - 1].ts;
@@ -447,13 +473,11 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
         idle.add(TimeRange{conn.packets[i - 1].ts, conn.packets[i].ts});
       }
     }
-    reg.put(std::move(idle));
   }
 
   // ---- KeepAliveOnly: gaps between non-keepalive data that carry only
   // keepalives (the signature of a paused-but-alive session, Fig. 9).
   {
-    EventSeries ka_only(series::kKeepAliveOnly);
     for (std::size_t i = 1; i < nonka_ts.size(); ++i) {
       const Micros lo = nonka_ts[i - 1];
       const Micros hi = nonka_ts[i];
@@ -471,87 +495,72 @@ SeriesBundle build_series(const Connection& conn, const ConnectionProfile& profi
                     static_cast<std::uint64_t>(ka_ts.end() - first));
       }
     }
-    reg.put(std::move(ka_only));
   }
 
   // ---- Interpretation (Rule 2): sniffer location --------------------------
-  EventSeries send_local(series::kSendLocalLoss);
-  EventSeries recv_local(series::kRecvLocalLoss);
-  EventSeries net_loss(series::kNetworkLoss);
   switch (opts.location) {
     case SnifferLocation::kNearReceiver:
-      recv_local = downstream.renamed(series::kRecvLocalLoss);
-      net_loss = upstream.renamed(series::kNetworkLoss);
+      recv_local.assign_events_from(downstream);
+      net_loss.assign_events_from(upstream);
       break;
     case SnifferLocation::kNearSender:
-      send_local = upstream.renamed(series::kSendLocalLoss);
-      net_loss = downstream.renamed(series::kNetworkLoss);
+      send_local.assign_events_from(upstream);
+      net_loss.assign_events_from(downstream);
       break;
     case SnifferLocation::kMiddle:
-      net_loss = upstream.unite(downstream, series::kNetworkLoss);
+      upstream.ranges().union_into(downstream.ranges(), scratch.tmp_a);
+      net_loss.assign_ranges(scratch.tmp_a);
       break;
   }
-  reg.put(reg.get(series::kKeepAlive).renamed(series::kBgpKeepAlive));
+  reg.get_mutable(series::kBgpKeepAlive).assign_events_from(keepalive);
 
   // ---- Operation (Rules 3 & 4): set algebra --------------------------------
   // Sender application idle: within the data span, no outstanding data, the
   // window is open, and no loss recovery in progress — TCP could send, BGP
   // did not produce.
   {
-    RangeSet span;
-    span.insert(out.data_span);
-    RangeSet app = span.set_difference(reg.get(series::kOutstanding).ranges())
-                       .set_difference(zero_adv.ranges())
-                       .set_difference(retransmission.ranges())
-                       .set_difference(bw_candidates);
-    if (reg.has(series::kHandshake)) {
-      app = app.set_difference(reg.get(series::kHandshake).ranges());
-    }
-    reg.put(EventSeries::from_ranges(series::kSendAppLimited, std::move(app)));
+    RangeSet& app = scratch.span;
+    app.clear();
+    app.insert(out.data_span);
+    app.subtract_with(outstanding.ranges(), scratch.tmp_a);
+    app.subtract_with(zero_adv.ranges(), scratch.tmp_a);
+    app.subtract_with(retransmission.ranges(), scratch.tmp_a);
+    app.subtract_with(bw_candidates, scratch.tmp_a);
+    app.subtract_with(handshake.ranges(), scratch.tmp_a);
+    reg.get_mutable(series::kSendAppLimited).assign_ranges(app);
   }
   {
-    EventSeries small_bnd =
-        adv_bnd.intersect(small_adv, series::kSmallAdvBndOut)
-            .unite(zero_adv, series::kSmallAdvBndOut);
-    EventSeries large_bnd = adv_bnd.intersect(large_adv, series::kLargeAdvBndOut);
-    EventSeries zero_bnd = zero_adv.renamed(series::kZeroAdvBndOut);
-    EventSeries loss_all = upstream.unite(downstream, series::kLossRecovery);
-    EventSeries window_all = adv_bnd.unite(cwnd_bnd, series::kWindowLimited)
-                                 .unite(zero_bnd, series::kWindowLimited);
+    EventSeries& small_bnd = reg.get_mutable(series::kSmallAdvBndOut);
+    EventSeries& large_bnd = reg.get_mutable(series::kLargeAdvBndOut);
+    EventSeries& zero_bnd = reg.get_mutable(series::kZeroAdvBndOut);
+    EventSeries& loss_all = reg.get_mutable(series::kLossRecovery);
+    EventSeries& window_all = reg.get_mutable(series::kWindowLimited);
+
+    adv_bnd.ranges().intersect_into(small_adv.ranges(), scratch.tmp_a);
+    scratch.tmp_a.union_with(zero_adv.ranges(), scratch.tmp_b);
+    small_bnd.assign_ranges(scratch.tmp_a);
+
+    adv_bnd.ranges().intersect_into(large_adv.ranges(), scratch.tmp_a);
+    large_bnd.assign_ranges(scratch.tmp_a);
+
+    zero_bnd.assign_events_from(zero_adv);
+
+    upstream.ranges().union_into(downstream.ranges(), scratch.tmp_a);
+    loss_all.assign_ranges(scratch.tmp_a);
+
+    adv_bnd.ranges().union_into(cwnd_bnd.ranges(), scratch.tmp_a);
+    scratch.tmp_a.union_with(zero_bnd.ranges(), scratch.tmp_b);
+    window_all.assign_ranges(scratch.tmp_a);
 
     // Wire-paced candidates minus window and loss explanations: what
     // remains is genuinely limited by the path's bandwidth. (The uniformity
     // checks above make the pacing signature strong evidence, so it takes
     // precedence over the residual sender-idle inference.)
-    RangeSet bw = bw_candidates;
-    bw = bw.set_difference(adv_bnd.ranges());
-    bw = bw.set_difference(small_bnd.ranges());
-    bw = bw.set_difference(retransmission.ranges());
-    reg.put(EventSeries::from_ranges(series::kBandwidthLimited, std::move(bw)));
-
-    reg.put(std::move(small_bnd));
-    reg.put(std::move(large_bnd));
-    reg.put(std::move(zero_bnd));
-    reg.put(std::move(loss_all));
-    reg.put(std::move(window_all));
+    bw_candidates.subtract_with(adv_bnd.ranges(), scratch.tmp_a);
+    bw_candidates.subtract_with(small_bnd.ranges(), scratch.tmp_a);
+    bw_candidates.subtract_with(retransmission.ranges(), scratch.tmp_a);
+    reg.get_mutable(series::kBandwidthLimited).assign_ranges(bw_candidates);
   }
-
-  reg.put(std::move(small_adv));
-  reg.put(std::move(large_adv));
-  reg.put(std::move(zero_adv));
-  reg.put(std::move(retransmission));
-  reg.put(std::move(upstream));
-  reg.put(std::move(downstream));
-  reg.put(std::move(out_of_seq));
-  reg.put(std::move(duplicate));
-  reg.put(std::move(rto_rec));
-  reg.put(std::move(fast_rec));
-  reg.put(std::move(adv_bnd));
-  reg.put(std::move(cwnd_bnd));
-  reg.put(std::move(send_local));
-  reg.put(std::move(recv_local));
-  reg.put(std::move(net_loss));
-  return out;
 }
 
 }  // namespace tdat

@@ -7,6 +7,7 @@
 #include "core/ack_shift.hpp"
 #include "core/options.hpp"
 #include "tcp/classify.hpp"
+#include "tcp/flights.hpp"
 #include "timerange/event_series.hpp"
 
 namespace tdat {
@@ -18,8 +19,55 @@ struct SeriesBundle {
   TimeRange data_span;      // [first data packet, last data packet]
 };
 
+// One cumulative ACK in shifted (sender-view) time.
+struct AckEvent {
+  Micros t = 0;             // shifted time
+  std::int64_t off = 0;     // cumulative-ack stream offset
+  std::int64_t window = 0;  // scaled advertised window in bytes
+  std::size_t pkt_index = 0;
+};
+
+// One inter-arrival gap of the bulk stream, normalized by the later
+// packet's size (seconds-per-byte — constant under wire pacing).
+struct PacingPair {
+  double norm = 0.0;
+  Micros gap = 0;
+};
+
+// Pooled working state for build_series. Everything here is sized by the
+// largest connection it has seen, so a warm scratch makes series generation
+// allocation-free (the per-connection output lives in SeriesBundle, whose
+// registry slots are likewise reused via SeriesRegistry::open).
+struct SeriesScratch {
+  ClassifyScratch classify;
+  AckShiftScratch shift;
+  std::vector<Micros> data_ts;    // data-direction payload packets
+  std::vector<Micros> nonka_ts;   // non-keepalive data packets
+  std::vector<Micros> ka_ts;      // keepalive packets
+  std::vector<Micros> bulk_ts;    // non-keepalive stream, for pacing
+  std::vector<std::uint64_t> bulk_bytes;
+  std::vector<FlightItem> data_items;
+  std::vector<FlightItem> ack_items;
+  std::vector<Flight> flights;
+  std::vector<AckEvent> acks;
+  std::vector<PacingPair> pairs;
+  std::vector<PacingPair> by_norm;
+  std::vector<double> run_norms;
+  RangeSet cwnd_candidates;
+  RangeSet bw_candidates;
+  RangeSet span;
+  RangeSet tmp_a;  // set-algebra swap buffers
+  RangeSet tmp_b;
+};
+
 [[nodiscard]] SeriesBundle build_series(const Connection& conn,
                                         const ConnectionProfile& profile,
                                         const AnalyzerOptions& opts);
+
+// Scratch-reusing form: resets and refills `out` in place. With a warm
+// scratch and a reused bundle this performs no heap allocation.
+void build_series(const Connection& conn, const ConnectionProfile& profile,
+                  const AnalyzerOptions& opts, SeriesScratch& scratch,
+                  SeriesBundle& out);
 
 }  // namespace tdat

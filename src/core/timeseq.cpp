@@ -23,7 +23,12 @@ std::string render_time_sequence(const Connection& conn,
   }
   if (lo < 0 || hi <= lo) return "(no data in window)\n";
 
-  std::vector<std::string> grid(opts.height, std::string(opts.width, ' '));
+  // One flat canvas instead of a string per row: cell (r, c) lives at
+  // r * width + c.
+  std::string grid(opts.height * opts.width, ' ');
+  auto cell = [&](std::size_t r, std::size_t c) -> char& {
+    return grid[r * opts.width + c];
+  };
   const double tb = static_cast<double>(window.length()) / static_cast<double>(opts.width);
   const double sb = static_cast<double>(hi - lo) / static_cast<double>(opts.height);
   auto col_of = [&](Micros t) {
@@ -47,7 +52,7 @@ std::string render_time_sequence(const Connection& conn,
       }
       const std::int64_t off = unwrap.unwrap(pkt.tcp.ack);
       if (off < lo || off > hi) continue;
-      grid[row_of(std::min(off, hi - 1))][col_of(pkt.ts)] = 'a';
+      cell(row_of(std::min(off, hi - 1)), col_of(pkt.ts)) = 'a';
     }
   }
 
@@ -61,15 +66,17 @@ std::string render_time_sequence(const Connection& conn,
       case DataLabel::kReordering: mark = 'o'; break;
       case DataLabel::kDuplicate: mark = 'D'; break;
     }
-    grid[row_of(lp.stream_begin)][col_of(lp.ts)] = mark;
+    cell(row_of(lp.stream_begin), col_of(lp.ts)) = mark;
   }
 
   std::string out;
   out += "stream offset " + std::to_string(lo) + ".." + std::to_string(hi) +
          " bytes; time " + format_seconds(window.begin) + ".." +
          format_seconds(window.end) + "\n";
-  for (const std::string& row : grid) {
-    out += "|" + row + "|\n";
+  for (std::size_t r = 0; r < opts.height; ++r) {
+    out += '|';
+    out.append(grid, r * opts.width, opts.width);
+    out += "|\n";
   }
   out += "legend: . data  R retransmit  o reorder  D duplicate  a ack frontier\n";
   return out;

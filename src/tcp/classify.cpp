@@ -26,24 +26,25 @@ std::size_t ClassifiedFlow::count(DataLabel label) const {
                     [&](const LabeledDataPacket& p) { return p.label == label; }));
 }
 
-namespace {
-
-struct Hole {
-  std::int64_t end = 0;
-  Micros created = 0;
-};
-
-struct Segment {
-  std::int64_t end = 0;
-  Micros first_seen = 0;
-};
-
-}  // namespace
-
 ClassifiedFlow classify_data_packets(const Connection& conn, Dir data_dir,
                                      const ClassifyOptions& opts) {
+  ClassifyScratch scratch;
   ClassifiedFlow flow;
-  flow.dir = data_dir;
+  classify_data_packets(conn, data_dir, opts, scratch, flow);
+  return flow;
+}
+
+void classify_data_packets(const Connection& conn, Dir data_dir,
+                           const ClassifyOptions& opts,
+                           ClassifyScratch& scratch, ClassifiedFlow& out) {
+  using StreamHole = ClassifyScratch::StreamHole;
+  using StreamSegment = ClassifyScratch::StreamSegment;
+
+  out.dir = data_dir;
+  out.data.clear();
+  out.stream_length = 0;
+  out.anchor_seq = 0;
+  out.has_anchor = false;
 
   // Anchor stream offset 0 at ISN+1 when the SYN was captured, else at the
   // first data byte seen.
@@ -63,24 +64,33 @@ ClassifiedFlow classify_data_packets(const Connection& conn, Dir data_dir,
       break;
     }
   }
-  if (!anchored) return flow;
-  flow.anchor_seq = anchor;
-  flow.has_anchor = true;
+  if (!anchored) return;
+  out.anchor_seq = anchor;
+  out.has_anchor = true;
 
   SeqUnwrapper unwrap(anchor);
-  RangeSet captured;                    // stream bytes seen at the sniffer
-  std::map<std::int64_t, Hole> holes;   // begin -> hole
-  std::map<std::int64_t, Segment> first_tx;  // begin -> first capture of new bytes
+  RangeSet& captured = scratch.captured;  // stream bytes seen at the sniffer
+  captured.clear();
+  auto& holes = scratch.holes;        // sorted by begin, disjoint
+  auto& first_tx = scratch.first_tx;  // first capture of new bytes, sorted
+  holes.clear();
+  first_tx.clear();
   std::int64_t max_end = 0;
+
+  const auto seg_by_begin = [](const StreamSegment& s, std::int64_t v) {
+    return s.begin < v;
+  };
 
   // Finds the first-capture time of any byte in [b, e).
   auto original_ts = [&](std::int64_t b, std::int64_t e) -> Micros {
-    auto it = first_tx.upper_bound(b);
+    auto it = std::upper_bound(
+        first_tx.begin(), first_tx.end(), b,
+        [](std::int64_t v, const StreamSegment& s) { return v < s.begin; });
     if (it != first_tx.begin()) {
       auto prev = std::prev(it);
-      if (prev->second.end > b) return prev->second.first_seen;
+      if (prev->end > b) return prev->first_seen;
     }
-    if (it != first_tx.end() && it->first < e) return it->second.first_seen;
+    if (it != first_tx.end() && it->begin < e) return it->first_seen;
     return -1;
   };
 
@@ -99,14 +109,17 @@ ClassifiedFlow classify_data_packets(const Connection& conn, Dir data_dir,
 
     // Bytes of this segment the sniffer has never captured, split at the
     // stream frontier: below it they fill a hole, above they are new data.
-    const RangeSet uncaptured = captured.complement({b, e});
+    const RangeSet& uncaptured = scratch.uncaptured;
+    captured.complement_into({b, e}, scratch.uncaptured);
     const Micros hole_bytes = uncaptured.size_within({b, std::min(e, max_end)});
 
     if (b >= max_end) {
       lp.label = DataLabel::kInOrder;
       if (b > max_end) {
         // Sequence hole: the bytes [max_end, b) are missing at the sniffer.
-        holes[max_end] = Hole{b, pkt.ts};
+        // New holes start at the frontier, past every existing hole, so the
+        // vector stays sorted by appending.
+        holes.push_back(StreamHole{max_end, b, pkt.ts});
       }
     } else if (hole_bytes == 0) {
       // Every below-frontier byte was captured before: a retransmission the
@@ -121,18 +134,31 @@ ClassifiedFlow classify_data_packets(const Connection& conn, Dir data_dir,
       // Remove the filled portion from every overlapped hole (splitting
       // where needed) and date the fill from the oldest overlapped hole.
       Micros hole_created = -1;
-      auto it = holes.lower_bound(b);
-      if (it != holes.begin() && std::prev(it)->second.end > b) --it;
-      std::vector<std::pair<std::int64_t, Hole>> overlapped;
-      while (it != holes.end() && it->first < e) {
-        if (it->second.end > b) overlapped.emplace_back(it->first, it->second);
-        ++it;
+      auto first = std::lower_bound(
+          holes.begin(), holes.end(), b,
+          [](const StreamHole& h, std::int64_t v) { return h.end <= v; });
+      auto last = first;
+      scratch.overlapped.clear();
+      while (last != holes.end() && last->begin < e) {
+        scratch.overlapped.push_back(*last);
+        ++last;
       }
-      for (const auto& [hb, h] : overlapped) {
-        holes.erase(hb);
+      auto pos = holes.erase(first, last);
+      for (const StreamHole& h : scratch.overlapped) {
         if (hole_created < 0 || h.created < hole_created) hole_created = h.created;
-        if (hb < b) holes[hb] = Hole{b, h.created};
-        if (h.end > e) holes[e] = Hole{h.end, h.created};
+      }
+      // Only the first overlapped hole can stick out below b and only the
+      // last above e; reinsert the trimmed pieces in order.
+      if (!scratch.overlapped.empty()) {
+        const StreamHole& lead = scratch.overlapped.front();
+        if (lead.begin < b) {
+          pos = holes.insert(pos, StreamHole{lead.begin, b, lead.created});
+          ++pos;
+        }
+        const StreamHole& tail = scratch.overlapped.back();
+        if (tail.end > e) {
+          holes.insert(pos, StreamHole{e, tail.end, tail.created});
+        }
       }
       if (hole_created >= 0 && pkt.ts - hole_created < opts.reorder_threshold) {
         lp.label = DataLabel::kReordering;
@@ -142,16 +168,22 @@ ClassifiedFlow classify_data_packets(const Connection& conn, Dir data_dir,
       lp.loss_begin = hole_created >= 0 ? hole_created : pkt.ts;
     }
 
-    // Record first capture of the genuinely new bytes.
+    // Record first capture of the genuinely new bytes. Beyond-frontier
+    // ranges append; hole fills splice into the middle.
     for (const TimeRange& r : uncaptured.ranges()) {
-      first_tx[r.begin] = Segment{r.end, pkt.ts};
+      auto it = std::lower_bound(first_tx.begin(), first_tx.end(), r.begin,
+                                 seg_by_begin);
+      if (it != first_tx.end() && it->begin == r.begin) {
+        *it = StreamSegment{r.begin, r.end, pkt.ts};
+      } else {
+        first_tx.insert(it, StreamSegment{r.begin, r.end, pkt.ts});
+      }
     }
     captured.insert(b, e);
     max_end = std::max(max_end, e);
-    flow.data.push_back(lp);
+    out.data.push_back(lp);
   }
-  flow.stream_length = max_end;
-  return flow;
+  out.stream_length = max_end;
 }
 
 }  // namespace tdat

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "tcp/connection.hpp"
+#include "timerange/range_set.hpp"
 #include "util/time.hpp"
 
 namespace tdat {
@@ -80,5 +81,34 @@ struct ClassifyOptions {
 [[nodiscard]] ClassifiedFlow classify_data_packets(const Connection& conn,
                                                    Dir data_dir,
                                                    const ClassifyOptions& opts);
+
+// Reusable working memory for classify_data_packets: the captured-byte
+// coverage, the per-packet uncaptured scratch, and the hole/first-capture
+// tables kept as sorted flat vectors instead of node-based maps. Contents
+// between calls are unspecified; a warm scratch makes classification
+// allocation-free.
+struct ClassifyScratch {
+  struct StreamHole {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    Micros created = 0;
+  };
+  struct StreamSegment {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    Micros first_seen = 0;
+  };
+
+  RangeSet captured;
+  RangeSet uncaptured;
+  std::vector<StreamHole> holes;        // sorted by begin, disjoint
+  std::vector<StreamSegment> first_tx;  // sorted by begin, disjoint
+  std::vector<StreamHole> overlapped;
+};
+
+// Scratch-reusing form: `out` is cleared (keeping capacity) and refilled.
+void classify_data_packets(const Connection& conn, Dir data_dir,
+                           const ClassifyOptions& opts,
+                           ClassifyScratch& scratch, ClassifiedFlow& out);
 
 }  // namespace tdat

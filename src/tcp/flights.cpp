@@ -6,8 +6,15 @@ namespace tdat {
 
 std::vector<Flight> group_flights(std::span<const FlightItem> items,
                                   Micros gap_threshold) {
-  TDAT_EXPECTS(gap_threshold >= 0);
   std::vector<Flight> out;
+  group_flights_into(items, gap_threshold, out);
+  return out;
+}
+
+void group_flights_into(std::span<const FlightItem> items, Micros gap_threshold,
+                        std::vector<Flight>& out) {
+  TDAT_EXPECTS(gap_threshold >= 0);
+  out.clear();
   for (std::size_t i = 0; i < items.size(); ++i) {
     if (i > 0) TDAT_EXPECTS(items[i].ts >= items[i - 1].ts);
     if (out.empty() || items[i].ts - items[out.back().last].ts > gap_threshold) {
@@ -19,7 +26,6 @@ std::vector<Flight> group_flights(std::span<const FlightItem> items,
     ++f.packets;
     f.bytes += items[i].bytes;
   }
-  return out;
 }
 
 }  // namespace tdat

@@ -32,4 +32,8 @@ struct Flight {
 [[nodiscard]] std::vector<Flight> group_flights(std::span<const FlightItem> items,
                                                 Micros gap_threshold);
 
+// Same, writing into a reused buffer (`out` is cleared, capacity kept).
+void group_flights_into(std::span<const FlightItem> items, Micros gap_threshold,
+                        std::vector<Flight>& out);
+
 }  // namespace tdat

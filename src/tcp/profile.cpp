@@ -1,7 +1,6 @@
 #include "tcp/profile.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "tcp/seq.hpp"
 
@@ -20,6 +19,12 @@ std::uint32_t scaled_window(const DecodedPacket& pkt,
 }  // namespace
 
 ConnectionProfile compute_profile(const Connection& conn) {
+  ProfileScratch scratch;
+  return compute_profile(conn, scratch);
+}
+
+ConnectionProfile compute_profile(const Connection& conn,
+                                  ProfileScratch& scratch) {
   ConnectionProfile p;
   if (conn.packets.empty()) return p;
   p.start = conn.packets.front().ts;
@@ -87,21 +92,34 @@ ConnectionProfile compute_profile(const Connection& conn) {
   // The gap from a TSval's first appearance to its first echo bounds the
   // sniffer->sender->sniffer loop.
   {
-    std::map<std::uint32_t, Micros> tsval_first_seen;
+    scratch.reset();
+    auto& tab = scratch.tsval_first_seen;
+    const auto live_begin = [&] {
+      return tab.begin() + static_cast<std::ptrdiff_t>(scratch.tsval_head);
+    };
+    const auto by_key = [](const std::pair<std::uint32_t, Micros>& e,
+                           std::uint32_t k) { return e.first < k; };
     for (const DecodedPacket& pkt : conn.packets) {
       const Dir d = packet_dir(conn.key, pkt);
       if (d != p.data_dir && pkt.tcp.ts_val) {
-        tsval_first_seen.try_emplace(*pkt.tcp.ts_val, pkt.ts);
+        // First sighting wins; TSvals are near-monotonic so this is almost
+        // always an append at the end of the live window.
+        const std::uint32_t key = *pkt.tcp.ts_val;
+        auto it = std::lower_bound(live_begin(), tab.end(), key, by_key);
+        if (it == tab.end() || it->first != key) tab.insert(it, {key, pkt.ts});
       } else if (d == p.data_dir && pkt.has_payload() && pkt.tcp.ts_ecr) {
-        auto it = tsval_first_seen.find(*pkt.tcp.ts_ecr);
-        if (it == tsval_first_seen.end()) continue;
+        auto it = std::lower_bound(live_begin(), tab.end(), *pkt.tcp.ts_ecr,
+                                   by_key);
+        if (it == tab.end() || it->first != *pkt.tcp.ts_ecr) continue;
         const Micros sample = pkt.ts - it->second;
         if (sample > 0 && (!p.rtt_timestamp_sample ||
                            sample < *p.rtt_timestamp_sample)) {
           p.rtt_timestamp_sample = sample;
         }
-        // Echoed values never yield tighter samples later; drop them.
-        tsval_first_seen.erase(tsval_first_seen.begin(), std::next(it));
+        // Echoed values never yield tighter samples later; drop them by
+        // advancing the live-window head (no erase, no node churn).
+        scratch.tsval_head =
+            static_cast<std::size_t>(it - tab.begin()) + 1;
       }
     }
   }

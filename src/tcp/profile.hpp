@@ -5,6 +5,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "tcp/connection.hpp"
 
@@ -74,6 +76,21 @@ struct ConnectionProfile {
   }
 };
 
+// Reusable working memory for compute_profile. The timestamp-echo table is
+// a sorted flat window (live entries at [tsval_head, end)) instead of a
+// node-based map, so a warm scratch makes repeated profiling allocation-free.
+struct ProfileScratch {
+  std::vector<std::pair<std::uint32_t, Micros>> tsval_first_seen;
+  std::size_t tsval_head = 0;
+
+  void reset() noexcept {
+    tsval_first_seen.clear();
+    tsval_head = 0;
+  }
+};
+
 [[nodiscard]] ConnectionProfile compute_profile(const Connection& conn);
+[[nodiscard]] ConnectionProfile compute_profile(const Connection& conn,
+                                                ProfileScratch& scratch);
 
 }  // namespace tdat

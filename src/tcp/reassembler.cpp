@@ -8,19 +8,20 @@ std::vector<StreamChunk> Reassembler::feed(std::uint32_t seq,
                                            std::span<const std::uint8_t> payload,
                                            Micros ts) {
   std::vector<StreamChunk> out;
-  if (payload.empty()) return out;
+  feed(seq, payload, ts,
+       [&out](std::int64_t begin, std::span<const std::uint8_t> bytes,
+              Micros chunk_ts) {
+         StreamChunk chunk;
+         chunk.stream_begin = begin;
+         chunk.bytes.assign(bytes.begin(), bytes.end());
+         chunk.ts = chunk_ts;
+         out.push_back(std::move(chunk));
+       });
+  return out;
+}
 
-  std::int64_t begin = unwrap_.unwrap(seq);
-  std::int64_t end = begin + static_cast<std::int64_t>(payload.size());
-
-  // Drop what we already delivered.
-  if (begin < next_) {
-    const std::int64_t skip = std::min(next_ - begin, end - begin);
-    payload = payload.subspan(static_cast<std::size_t>(skip));
-    begin += skip;
-  }
-  if (begin >= end) return out;  // pure duplicate of delivered data
-
+void Reassembler::buffer_segment(std::int64_t begin, std::int64_t end,
+                                 std::span<const std::uint8_t> payload) {
   // Trim against buffered segments so `pending_` stays non-overlapping.
   // Anything re-received identically is discarded byte-for-byte.
   while (begin < end) {
@@ -47,18 +48,6 @@ std::vector<StreamChunk> Reassembler::feed(std::uint32_t seq,
     payload = payload.subspan(static_cast<std::size_t>(stop - begin));
     begin = stop;
   }
-
-  // Drain the contiguous prefix.
-  while (!pending_.empty() && pending_.begin()->first == next_) {
-    auto node = pending_.extract(pending_.begin());
-    StreamChunk chunk;
-    chunk.stream_begin = node.key();
-    chunk.bytes = std::move(node.mapped());
-    chunk.ts = ts;
-    next_ += static_cast<std::int64_t>(chunk.bytes.size());
-    out.push_back(std::move(chunk));
-  }
-  return out;
 }
 
 std::size_t Reassembler::buffered_bytes() const {

@@ -28,6 +28,18 @@ class Reassembler {
   // `anchor` is the sequence number of stream offset 0 (ISN+1 when the SYN
   // is known, else the first data segment's seq).
   explicit Reassembler(std::uint32_t anchor) : unwrap_(anchor) {}
+  // Default-constructed for embedding in reusable scratch; call reset()
+  // before feeding.
+  Reassembler() : unwrap_(0) {}
+
+  // Rewinds to a fresh stream anchored at `anchor`. The pending map keeps
+  // its nodes' buffers only until cleared here; steady-state reuse is
+  // allocation-free as long as segments arrive in order.
+  void reset(std::uint32_t anchor) {
+    unwrap_ = SeqUnwrapper(anchor);
+    next_ = 0;
+    pending_.clear();
+  }
 
   // Feeds one segment; returns the chunks that became contiguous with the
   // delivered prefix (possibly none, possibly several buffered ones).
@@ -35,12 +47,53 @@ class Reassembler {
                                               std::span<const std::uint8_t> payload,
                                               Micros ts);
 
+  // Streaming form: deliverable bytes are handed to `sink` as
+  // sink(stream_begin, std::span<const std::uint8_t>, ts), possibly several
+  // times per call. For the dominant in-order case the span borrows directly
+  // from `payload` (valid only during the call) — no buffering, no copy, no
+  // allocation. Only out-of-order bytes are staged in the pending map.
+  template <typename Sink>
+  void feed(std::uint32_t seq, std::span<const std::uint8_t> payload, Micros ts,
+            Sink&& sink) {
+    if (payload.empty()) return;
+    std::int64_t begin = unwrap_.unwrap(seq);
+    const std::int64_t end = begin + static_cast<std::int64_t>(payload.size());
+
+    // Drop what we already delivered.
+    if (begin < next_) {
+      const std::int64_t skip = std::min(next_ - begin, end - begin);
+      payload = payload.subspan(static_cast<std::size_t>(skip));
+      begin += skip;
+    }
+    if (begin >= end) return;  // pure duplicate of delivered data
+
+    if (begin == next_ &&
+        (pending_.empty() || end <= pending_.begin()->first)) {
+      // Fast path: extends the delivered prefix without touching buffered
+      // bytes. Hand the payload through and drain any now-adjacent segments.
+      next_ = end;
+      sink(begin, payload, ts);
+    } else {
+      buffer_segment(begin, end, payload);
+    }
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+      auto node = pending_.extract(pending_.begin());
+      next_ += static_cast<std::int64_t>(node.mapped().size());
+      sink(node.key(), std::span<const std::uint8_t>(node.mapped()), ts);
+    }
+  }
+
   // Next stream offset the reassembler is waiting for.
   [[nodiscard]] std::int64_t next_expected() const { return next_; }
   // Bytes buffered above the contiguous prefix (sequence holes pending).
   [[nodiscard]] std::size_t buffered_bytes() const;
 
  private:
+  // Slow path: trims [begin, end) against buffered segments and stages the
+  // genuinely new bytes in `pending_`.
+  void buffer_segment(std::int64_t begin, std::int64_t end,
+                      std::span<const std::uint8_t> payload);
+
   SeqUnwrapper unwrap_;
   std::int64_t next_ = 0;
   std::map<std::int64_t, std::vector<std::uint8_t>> pending_;  // begin -> bytes

@@ -1,6 +1,7 @@
 #include "timerange/event_series.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -8,7 +9,7 @@ namespace tdat {
 
 void EventSeries::add_event(Event e) {
   if (e.range.empty()) return;
-  merged_.reset();
+  merged_valid_ = false;
   // Common case: events are appended in time order while scanning a trace.
   if (events_.empty() || events_.back().range.begin <= e.range.begin) {
     events_.push_back(e);
@@ -21,12 +22,12 @@ void EventSeries::add_event(Event e) {
 }
 
 const RangeSet& EventSeries::ranges() const {
-  if (!merged_) {
-    RangeSet rs;
-    for (const Event& e : events_) rs.insert(e.range);
-    merged_ = std::move(rs);
+  if (!merged_valid_) {
+    merged_.clear();
+    for (const Event& e : events_) merged_.insert(e.range);
+    merged_valid_ = true;
   }
-  return *merged_;
+  return merged_;
 }
 
 std::uint64_t EventSeries::total_packets() const {
@@ -76,31 +77,88 @@ EventSeries EventSeries::subtract(const EventSeries& other,
   return from_ranges(std::move(name), ranges().set_difference(other.ranges()));
 }
 
+const SeriesRegistry::Entry* SeriesRegistry::find(std::string_view name) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const Entry& e, std::string_view n) {
+        return std::string_view(e.series.name()) < n;
+      });
+  if (it == entries_.end() || std::string_view(it->series.name()) != name) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+SeriesRegistry::Entry* SeriesRegistry::find(std::string_view name) {
+  return const_cast<Entry*>(std::as_const(*this).find(name));
+}
+
 void SeriesRegistry::put(EventSeries series) {
   TDAT_EXPECTS(!series.name().empty());
-  series_[series.name()] = std::move(series);
+  if (Entry* e = find(series.name())) {
+    if (!e->live) ++live_;
+    e->series = std::move(series);
+    e->live = true;
+    return;
+  }
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), std::string_view(series.name()),
+      [](const Entry& e, std::string_view n) {
+        return std::string_view(e.series.name()) < n;
+      });
+  entries_.insert(it, Entry{std::move(series), true});
+  ++live_;
 }
 
-bool SeriesRegistry::has(const std::string& name) const {
-  return series_.contains(name);
+EventSeries& SeriesRegistry::open(std::string_view name) {
+  TDAT_EXPECTS(!name.empty());
+  if (Entry* e = find(name)) {
+    if (!e->live) ++live_;
+    e->live = true;
+    e->series.clear_events();
+    return e->series;
+  }
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const Entry& e, std::string_view n) {
+        return std::string_view(e.series.name()) < n;
+      });
+  it = entries_.insert(it, Entry{EventSeries(std::string(name)), true});
+  ++live_;
+  return it->series;
 }
 
-const EventSeries& SeriesRegistry::get(const std::string& name) const {
-  auto it = series_.find(name);
-  TDAT_EXPECTS(it != series_.end());
-  return it->second;
+void SeriesRegistry::reset() noexcept {
+  for (Entry& e : entries_) {
+    e.live = false;
+    e.series.clear_events();
+  }
+  live_ = 0;
 }
 
-EventSeries& SeriesRegistry::get_mutable(const std::string& name) {
-  auto it = series_.find(name);
-  TDAT_EXPECTS(it != series_.end());
-  return it->second;
+bool SeriesRegistry::has(std::string_view name) const {
+  const Entry* e = find(name);
+  return e != nullptr && e->live;
+}
+
+const EventSeries& SeriesRegistry::get(std::string_view name) const {
+  const Entry* e = find(name);
+  TDAT_EXPECTS(e != nullptr && e->live);
+  return e->series;
+}
+
+EventSeries& SeriesRegistry::get_mutable(std::string_view name) {
+  Entry* e = find(name);
+  TDAT_EXPECTS(e != nullptr && e->live);
+  return e->series;
 }
 
 std::vector<std::string> SeriesRegistry::names() const {
   std::vector<std::string> out;
-  out.reserve(series_.size());
-  for (const auto& [name, _] : series_) out.push_back(name);
+  out.reserve(live_);
+  for (const Entry& e : entries_) {
+    if (e.live) out.push_back(e.series.name());
+  }
   return out;
 }
 

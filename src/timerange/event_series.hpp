@@ -13,9 +13,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "timerange/range_set.hpp"
@@ -44,6 +43,28 @@ class EventSeries {
   void add(TimeRange r, std::uint64_t packets = 0, std::uint64_t bytes = 0,
            std::int64_t trace_ref = -1) {
     add_event(Event{r, packets, bytes, trace_ref});
+  }
+
+  // Drops all events but keeps the name and the event/merged-range buffer
+  // capacity — the reset step when a series slot is rebuilt for a new
+  // connection (see SeriesRegistry::open).
+  void clear_events() noexcept {
+    events_.clear();
+    merged_.clear();
+    merged_valid_ = true;
+  }
+  // Replace the event list with a copy of `other`'s (vector copy-assign, so
+  // existing capacity is reused). The name is kept — this is the
+  // allocation-free form of renamed().
+  void assign_events_from(const EventSeries& other) {
+    events_ = other.events_;
+    merged_valid_ = false;
+  }
+  // Replace the events with one zero-payload event per range — the
+  // allocation-free form of from_ranges() for a reused series.
+  void assign_ranges(const RangeSet& ranges) {
+    clear_events();
+    for (const TimeRange& r : ranges.ranges()) add(r);
   }
 
   [[nodiscard]] bool empty() const { return events_.empty(); }
@@ -77,26 +98,53 @@ class EventSeries {
  private:
   std::string name_;
   std::vector<Event> events_;  // kept sorted by range.begin
-  mutable std::optional<RangeSet> merged_;  // cache, invalidated by add()
+  // Cache of the merged coverage, rebuilt in place on demand so that
+  // invalidation (add_event) never frees the underlying vector.
+  mutable RangeSet merged_;
+  mutable bool merged_valid_ = true;
 };
 
 // A named collection of series for one analyzed connection. T-DAT generates
 // 34 internal series (§III-C); users may register additional ones.
+//
+// Storage is a flat vector sorted by name. Entries are never erased, only
+// marked dead by reset(), so when a registry (inside a reused
+// ConnectionAnalysis) is rebuilt for another connection, open() hands back
+// the existing slot with its buffers intact and the rebuild allocates
+// nothing.
 class SeriesRegistry {
  public:
   // Adds or replaces a series under its own name.
   void put(EventSeries series);
 
-  [[nodiscard]] bool has(const std::string& name) const;
+  // Returns the live series named `name`, creating or reviving the slot as
+  // needed. The returned series is empty (clear_events) but keeps whatever
+  // buffer capacity the slot accumulated — the allocation-free way to build
+  // a series in place.
+  [[nodiscard]] EventSeries& open(std::string_view name);
+
+  // Marks every slot dead and clears its events, keeping all buffers. A
+  // dead slot is invisible to has/get/names until reopened.
+  void reset() noexcept;
+
+  [[nodiscard]] bool has(std::string_view name) const;
   // Precondition: has(name).
-  [[nodiscard]] const EventSeries& get(const std::string& name) const;
-  [[nodiscard]] EventSeries& get_mutable(const std::string& name);
+  [[nodiscard]] const EventSeries& get(std::string_view name) const;
+  [[nodiscard]] EventSeries& get_mutable(std::string_view name);
 
   [[nodiscard]] std::vector<std::string> names() const;
-  [[nodiscard]] std::size_t count() const { return series_.size(); }
+  [[nodiscard]] std::size_t count() const { return live_; }
 
  private:
-  std::map<std::string, EventSeries> series_;
+  struct Entry {
+    EventSeries series;
+    bool live = true;
+  };
+  [[nodiscard]] const Entry* find(std::string_view name) const;
+  [[nodiscard]] Entry* find(std::string_view name);
+
+  std::vector<Entry> entries_;  // sorted by series.name()
+  std::size_t live_ = 0;
 };
 
 }  // namespace tdat

@@ -84,8 +84,8 @@ TimeRange RangeSet::span() const {
   return {ranges_.front().begin, ranges_.back().end};
 }
 
-RangeSet RangeSet::set_union(const RangeSet& other) const {
-  RangeSet out;
+void RangeSet::union_into(const RangeSet& other, RangeSet& out) const {
+  out.ranges_.clear();
   auto a = ranges_.begin();
   auto b = other.ranges_.begin();
   while (a != ranges_.end() || b != other.ranges_.end()) {
@@ -102,11 +102,10 @@ RangeSet RangeSet::set_union(const RangeSet& other) const {
       out.ranges_.push_back(next);
     }
   }
-  return out;
 }
 
-RangeSet RangeSet::set_intersection(const RangeSet& other) const {
-  RangeSet out;
+void RangeSet::intersect_into(const RangeSet& other, RangeSet& out) const {
+  out.ranges_.clear();
   auto a = ranges_.begin();
   auto b = other.ranges_.begin();
   while (a != ranges_.end() && b != other.ranges_.end()) {
@@ -119,11 +118,10 @@ RangeSet RangeSet::set_intersection(const RangeSet& other) const {
       ++b;
     }
   }
-  return out;
 }
 
-RangeSet RangeSet::set_difference(const RangeSet& other) const {
-  RangeSet out;
+void RangeSet::subtract_into(const RangeSet& other, RangeSet& out) const {
+  out.ranges_.clear();
   auto b = other.ranges_.begin();
   for (TimeRange cur : ranges_) {
     while (b != other.ranges_.end() && b->end <= cur.begin) ++b;
@@ -137,20 +135,71 @@ RangeSet RangeSet::set_difference(const RangeSet& other) const {
     }
     if (!cur.empty()) out.ranges_.push_back(cur);
   }
+}
+
+void RangeSet::complement_into(TimeRange window, RangeSet& out) const {
+  out.ranges_.clear();
+  if (window.empty()) return;
+  Micros cur = window.begin;
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), window.begin,
+      [](const TimeRange& a, Micros t) { return a.end <= t; });
+  for (; it != ranges_.end() && it->begin < window.end; ++it) {
+    if (it->begin > cur) out.ranges_.push_back({cur, it->begin});
+    cur = std::max(cur, it->end);
+  }
+  if (cur < window.end) out.ranges_.push_back({cur, window.end});
+}
+
+void RangeSet::gaps_into(RangeSet& out) const {
+  out.ranges_.clear();
+  for (std::size_t i = 1; i < ranges_.size(); ++i) {
+    out.ranges_.push_back({ranges_[i - 1].end, ranges_[i].begin});
+  }
+}
+
+void RangeSet::union_with(const RangeSet& other, RangeSet& scratch) {
+  union_into(other, scratch);
+  swap(scratch);
+}
+
+void RangeSet::intersect_with(const RangeSet& other, RangeSet& scratch) {
+  intersect_into(other, scratch);
+  swap(scratch);
+}
+
+void RangeSet::subtract_with(const RangeSet& other, RangeSet& scratch) {
+  subtract_into(other, scratch);
+  swap(scratch);
+}
+
+RangeSet RangeSet::set_union(const RangeSet& other) const {
+  RangeSet out;
+  union_into(other, out);
+  return out;
+}
+
+RangeSet RangeSet::set_intersection(const RangeSet& other) const {
+  RangeSet out;
+  intersect_into(other, out);
+  return out;
+}
+
+RangeSet RangeSet::set_difference(const RangeSet& other) const {
+  RangeSet out;
+  subtract_into(other, out);
   return out;
 }
 
 RangeSet RangeSet::complement(TimeRange window) const {
-  RangeSet whole;
-  whole.insert(window);
-  return whole.set_difference(*this);
+  RangeSet out;
+  complement_into(window, out);
+  return out;
 }
 
 RangeSet RangeSet::gaps() const {
   RangeSet out;
-  for (std::size_t i = 1; i < ranges_.size(); ++i) {
-    out.ranges_.push_back({ranges_[i - 1].end, ranges_[i].begin});
-  }
+  gaps_into(out);
   return out;
 }
 

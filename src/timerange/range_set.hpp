@@ -60,6 +60,13 @@ class RangeSet {
   // [min begin, max end), or an empty range if the set is empty.
   [[nodiscard]] TimeRange span() const;
 
+  // --- capacity management -----------------------------------------------
+  // Drops all ranges but keeps the vector's capacity — the reset step of the
+  // scratch-reuse discipline (DESIGN.md "Memory & scalability").
+  void clear() noexcept { ranges_.clear(); }
+  void reserve(std::size_t n) { ranges_.reserve(n); }
+  void swap(RangeSet& other) noexcept { ranges_.swap(other.ranges_); }
+
   // --- set algebra (all O(n + m)) ----------------------------------------
   [[nodiscard]] RangeSet set_union(const RangeSet& other) const;
   [[nodiscard]] RangeSet set_intersection(const RangeSet& other) const;
@@ -69,6 +76,23 @@ class RangeSet {
   [[nodiscard]] RangeSet complement(TimeRange window) const;
   // The uncovered intervals strictly between consecutive ranges.
   [[nodiscard]] RangeSet gaps() const;
+
+  // Allocation-free variants: `out` is cleared and refilled, retaining its
+  // capacity, so a warm reused `out` makes the algebra allocation-free in
+  // steady state. `out` must not alias *this or `other`.
+  void union_into(const RangeSet& other, RangeSet& out) const;
+  void intersect_into(const RangeSet& other, RangeSet& out) const;
+  void subtract_into(const RangeSet& other, RangeSet& out) const;
+  void complement_into(TimeRange window, RangeSet& out) const;
+  void gaps_into(RangeSet& out) const;
+
+  // In-place updates (*this = *this op other). `scratch` provides the spare
+  // buffer: the result is merged into it and the buffers are swapped, so
+  // capacity keeps circulating between *this and the scratch instead of
+  // being reallocated per operation. `scratch` must not alias either set.
+  void union_with(const RangeSet& other, RangeSet& scratch);
+  void intersect_with(const RangeSet& other, RangeSet& scratch);
+  void subtract_with(const RangeSet& other, RangeSet& scratch);
 
   [[nodiscard]] std::string to_string() const;
 

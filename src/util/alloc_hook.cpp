@@ -1,0 +1,126 @@
+#include "util/alloc_hook.hpp"
+
+#include <cstdlib>
+#include <new>
+
+// Sanitizer runtimes provide their own `operator new` replacements with
+// poisoning/interception baked in; defining ours alongside would either
+// conflict at link time or silently bypass their bookkeeping. Detect both
+// GCC's macro and Clang's feature test and fall back to frozen counters.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define TDAT_ALLOC_HOOK_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define TDAT_ALLOC_HOOK_DISABLED 1
+#endif
+#endif
+
+namespace tdat::detail {
+// Plain PODs so TLS access never re-enters the allocator (no dynamic init).
+thread_local std::uint64_t t_alloc_count = 0;
+thread_local std::uint64_t t_alloc_bytes = 0;
+}  // namespace tdat::detail
+
+namespace tdat {
+
+std::uint64_t thread_alloc_count() noexcept { return detail::t_alloc_count; }
+std::uint64_t thread_alloc_bytes() noexcept { return detail::t_alloc_bytes; }
+
+bool alloc_hook_active() noexcept {
+#ifdef TDAT_ALLOC_HOOK_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace tdat
+
+#ifndef TDAT_ALLOC_HOOK_DISABLED
+
+namespace {
+
+inline void* counted_alloc(std::size_t size) noexcept {
+  ++tdat::detail::t_alloc_count;
+  tdat::detail::t_alloc_bytes += size;
+  return std::malloc(size ? size : 1);
+}
+
+inline void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  ++tdat::detail::t_alloc_count;
+  tdat::detail::t_alloc_bytes += size;
+  if (align < alignof(void*)) align = alignof(void*);
+  void* p = nullptr;
+  // aligned_alloc requires size to be a multiple of the alignment; round up.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  if (posix_memalign(&p, align, rounded ? rounded : align) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // TDAT_ALLOC_HOOK_DISABLED

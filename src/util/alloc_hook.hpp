@@ -1,0 +1,27 @@
+// Thread-local allocation counting for the zero-allocation steady-state
+// invariant of the analysis stage (DESIGN.md "Memory & scalability").
+//
+// alloc_hook.cpp replaces the global `operator new` family with thin
+// malloc/free forwarders that bump a thread-local counter. The hook is
+// always on in normal builds — the counter bump is one TLS increment, far
+// below malloc's own cost — but is compiled out under ASan/TSan, whose
+// runtimes want to own `operator new` themselves. Tests that assert
+// allocation counts must skip when `alloc_hook_active()` is false.
+#pragma once
+
+#include <cstdint>
+
+namespace tdat {
+
+// Number of global `operator new` calls made by the calling thread since it
+// started. Monotonic; sample before/after a region and subtract.
+[[nodiscard]] std::uint64_t thread_alloc_count() noexcept;
+
+// Total bytes requested by the calling thread (same sampling discipline).
+[[nodiscard]] std::uint64_t thread_alloc_bytes() noexcept;
+
+// True when the counting `operator new` replacement is linked in (false in
+// sanitizer builds, where the counters stay frozen at zero).
+[[nodiscard]] bool alloc_hook_active() noexcept;
+
+}  // namespace tdat

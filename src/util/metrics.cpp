@@ -88,72 +88,99 @@ std::string HistogramSnapshot::to_json() const {
   return out;
 }
 
-void LatencyHistogram::observe(std::int64_t v) noexcept {
-  buckets_[histogram_bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(v, std::memory_order_relaxed);
+void LatencyHistogram::Shard::observe(std::int64_t v) noexcept {
+  buckets[histogram_bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  sum.fetch_add(v, std::memory_order_relaxed);
   // min/max via CAS so concurrent observers never lose an extreme. The
-  // first observation initializes both (count_ incremented last, so a
+  // first observation initializes both (count incremented last, so a
   // racing snapshot may briefly see count 0 with extremes set — harmless).
-  if (count_.load(std::memory_order_relaxed) == 0) {
+  if (count.load(std::memory_order_relaxed) == 0) {
     std::int64_t expected = 0;
-    min_.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+    min.compare_exchange_strong(expected, v, std::memory_order_relaxed);
     expected = 0;
-    max_.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+    max.compare_exchange_strong(expected, v, std::memory_order_relaxed);
   }
-  std::int64_t cur = min_.load(std::memory_order_relaxed);
+  std::int64_t cur = min.load(std::memory_order_relaxed);
   while (v < cur &&
-         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+         !min.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
-  cur = max_.load(std::memory_order_relaxed);
+  cur = max.load(std::memory_order_relaxed);
   while (v > cur &&
-         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+         !max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
-  count_.fetch_add(1, std::memory_order_relaxed);
+  count.fetch_add(1, std::memory_order_relaxed);
 }
 
-void LatencyHistogram::merge_from(const LatencyHistogram& other) noexcept {
-  const HistogramSnapshot s = other.snapshot();
+void LatencyHistogram::Shard::add(const HistogramSnapshot& s) noexcept {
   for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
     if (s.buckets[i] > 0) {
-      buckets_[i].fetch_add(s.buckets[i], std::memory_order_relaxed);
+      buckets[i].fetch_add(s.buckets[i], std::memory_order_relaxed);
     }
   }
   if (s.count == 0) return;
-  sum_.fetch_add(s.sum, std::memory_order_relaxed);
-  if (count_.load(std::memory_order_relaxed) == 0) {
-    min_.store(s.min, std::memory_order_relaxed);
-    max_.store(s.max, std::memory_order_relaxed);
+  sum.fetch_add(s.sum, std::memory_order_relaxed);
+  if (count.load(std::memory_order_relaxed) == 0) {
+    min.store(s.min, std::memory_order_relaxed);
+    max.store(s.max, std::memory_order_relaxed);
   } else {
-    std::int64_t cur = min_.load(std::memory_order_relaxed);
+    std::int64_t cur = min.load(std::memory_order_relaxed);
     while (s.min < cur &&
-           !min_.compare_exchange_weak(cur, s.min, std::memory_order_relaxed)) {
+           !min.compare_exchange_weak(cur, s.min, std::memory_order_relaxed)) {
     }
-    cur = max_.load(std::memory_order_relaxed);
+    cur = max.load(std::memory_order_relaxed);
     while (s.max > cur &&
-           !max_.compare_exchange_weak(cur, s.max, std::memory_order_relaxed)) {
+           !max.compare_exchange_weak(cur, s.max, std::memory_order_relaxed)) {
     }
   }
-  count_.fetch_add(s.count, std::memory_order_relaxed);
+  count.fetch_add(s.count, std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::Shard::snapshot() const noexcept {
+  HistogramSnapshot out;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    out.buckets[i] = buckets[i].load(std::memory_order_relaxed);
+    out.count += out.buckets[i];
+  }
+  out.sum = sum.load(std::memory_order_relaxed);
+  out.min = min.load(std::memory_order_relaxed);
+  out.max = max.load(std::memory_order_relaxed);
+  return out;
+}
+
+void LatencyHistogram::Shard::reset() noexcept {
+  for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+  count.store(0, std::memory_order_relaxed);
+  sum.store(0, std::memory_order_relaxed);
+  min.store(0, std::memory_order_relaxed);
+  max.store(0, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::merge_from(const LatencyHistogram& other) noexcept {
+  // Fold into one shard: merge_from is a per-run bulk operation (e.g. the
+  // thread pool folding a worker's queue-wait histogram into the registry),
+  // never an inner-loop write, so contention padding doesn't matter here.
+  shards_[0].add(other.snapshot());
 }
 
 HistogramSnapshot LatencyHistogram::snapshot() const noexcept {
-  HistogramSnapshot out;
-  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
-    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
-    out.count += out.buckets[i];
+  HistogramSnapshot out = shards_[0].snapshot();
+  for (std::size_t i = 1; i < kMetricShards; ++i) {
+    const HistogramSnapshot s = shards_[i].snapshot();
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      out.buckets[b] += s.buckets[b];
+    }
+    out.sum += s.sum;
+    if (s.count > 0) {
+      if (out.count == 0 || s.min < out.min) out.min = s.min;
+      if (out.count == 0 || s.max > out.max) out.max = s.max;
+    }
+    out.count += s.count;
   }
-  out.sum = sum_.load(std::memory_order_relaxed);
-  out.min = min_.load(std::memory_order_relaxed);
-  out.max = max_.load(std::memory_order_relaxed);
   return out;
 }
 
 void LatencyHistogram::reset() noexcept {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0, std::memory_order_relaxed);
-  min_.store(0, std::memory_order_relaxed);
-  max_.store(0, std::memory_order_relaxed);
+  for (auto& s : shards_) s.reset();
 }
 
 struct MetricsRegistry::Impl {

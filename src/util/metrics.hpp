@@ -34,18 +34,38 @@ namespace tdat {
 // the "tid" in trace events and structured logs.
 [[nodiscard]] std::uint32_t thread_index();
 
+// Hot metrics (Counter, LatencyHistogram) are internally sharded: each shard
+// sits alone on a cache line and a writer picks the shard for its dense
+// thread_index(), so per-connection accounting from many workers never
+// ping-pongs a shared line. Reads (value()/snapshot()) sum across shards —
+// slightly dearer, but reads happen per run, writes per record.
+inline constexpr std::size_t kCacheLineBytes = 64;
+inline constexpr std::size_t kMetricShards = 8;  // power of two
+static_assert((kMetricShards & (kMetricShards - 1)) == 0);
+
+[[nodiscard]] inline std::size_t metric_shard_index() noexcept {
+  return thread_index() & (kMetricShards - 1);
+}
+
 class Counter {
  public:
   void inc(std::uint64_t n = 1) noexcept {
-    v_.fetch_add(n, std::memory_order_relaxed);
+    shards_[metric_shard_index()].v.fetch_add(n, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t value() const noexcept {
-    return v_.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
   }
-  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+  void reset() noexcept {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<std::uint64_t> v_{0};
+  struct alignas(kCacheLineBytes) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
 };
 
 class Gauge {
@@ -106,17 +126,28 @@ struct HistogramSnapshot {
 
 class LatencyHistogram {
  public:
-  void observe(std::int64_t v) noexcept;
+  void observe(std::int64_t v) noexcept {
+    shards_[metric_shard_index()].observe(v);
+  }
   void merge_from(const LatencyHistogram& other) noexcept;
   [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
   void reset() noexcept;
 
  private:
-  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::int64_t> sum_{0};
-  std::atomic<std::int64_t> min_{0};  // guarded by count_ == 0 convention
-  std::atomic<std::int64_t> max_{0};
+  struct alignas(kCacheLineBytes) Shard {
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::int64_t> sum{0};
+    std::atomic<std::int64_t> min{0};  // guarded by count == 0 convention
+    std::atomic<std::int64_t> max{0};
+
+    void observe(std::int64_t v) noexcept;
+    // Fold a finished snapshot in (merge_from path; single bulk update).
+    void add(const HistogramSnapshot& s) noexcept;
+    [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+    void reset() noexcept;
+  };
+  std::array<Shard, kMetricShards> shards_;
 };
 
 class MetricsRegistry {

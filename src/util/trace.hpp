@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 
 namespace tdat {
 
@@ -55,6 +56,20 @@ class TraceSpan {
       : name_(name), cat_(cat), arg_key_(arg_key),
         arg_str_(std::move(arg_value)), arg_kind_(2) {
     if (trace_enabled()) start();
+  }
+  // Lazy string arg: the callable runs only when tracing is armed, so a
+  // disarmed span on a hot path never pays for building the string (e.g.
+  // ConnectionKey::to_string allocating per connection).
+  template <typename MakeArg,
+            typename = decltype(std::string(std::declval<MakeArg&>()()))>
+  TraceSpan(const char* name, const char* cat, const char* arg_key,
+            MakeArg&& make_arg)
+      : name_(name), cat_(cat), arg_key_(arg_key) {
+    if (trace_enabled()) {
+      arg_str_ = make_arg();
+      arg_kind_ = 2;
+      start();
+    }
   }
   ~TraceSpan() {
     if (start_ts_ >= 0) finish();

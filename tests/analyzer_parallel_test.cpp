@@ -290,6 +290,14 @@ TEST(AnalyzeFile, MatchesInMemoryAnalysis) {
     auto streamed = analyze_file(path, opts);
     ASSERT_TRUE(streamed.ok());
     expect_identical(in_memory, streamed.value());
+    // Both ingest paths account the same capture bytes: 24-byte pcap global
+    // header plus 16-byte record headers plus stored frames.
+    std::uint64_t expected_bytes = 24;
+    for (const PcapRecord& rec : trace.records) {
+      expected_bytes += 16 + rec.data.size();
+    }
+    EXPECT_EQ(in_memory.stats.bytes_ingested, expected_bytes);
+    EXPECT_EQ(streamed.value().stats.bytes_ingested, expected_bytes);
   }
   std::remove(path.c_str());
 }

@@ -1,0 +1,91 @@
+// Guards the headline property of the parallel analysis stage: on a machine
+// with real cores, jobs=8 must beat jobs=1 by at least 2x on a 64-session
+// workload, without changing a single output byte. Runs under the ctest
+// label "perf" and skips itself on boxes too small to measure parallelism.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/export.hpp"
+#include "helpers.hpp"
+#include "sim_scenarios.hpp"
+#include "util/time.hpp"
+
+namespace tdat {
+namespace {
+
+PcapFile smoke_trace(std::size_t sessions, std::uint64_t seed) {
+  SimWorld world(seed);
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    SessionSpec spec;
+    switch (i % 5) {
+      case 0: break;  // baseline
+      case 1: spec = test::timer_paced_sender(); break;
+      case 2: spec = test::lossy_upstream(0.01); break;
+      case 3: spec = test::slow_collector(); break;
+      case 4: spec = test::small_window_path(); break;
+    }
+    ids.push_back(world.add_session(
+        spec, test::table_messages(1'000, seed ^ (0x200 + i))));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    world.start_session(ids[i], static_cast<Micros>(i) * 30 * kMicrosPerMilli);
+  }
+  world.run_until(900 * kMicrosPerSec);
+  return world.take_trace();
+}
+
+double analyze_seconds(const PcapFile& trace, std::size_t jobs,
+                       TraceAnalysis& out) {
+  AnalyzerOptions opts;
+  opts.jobs = jobs;
+  const auto t0 = std::chrono::steady_clock::now();
+  out = analyze_trace(trace, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+TEST(PerfSmoke, EightJobsAtLeastTwiceAsFastAsOne) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores < 4) {
+    GTEST_SKIP() << "only " << cores
+                 << " hardware threads; parallel speedup not measurable";
+  }
+  const PcapFile trace = smoke_trace(64, 4242);
+
+  // Warm once (page-in, thread pool spin-up, allocator steady state), then
+  // take the best of two timed runs per configuration to damp scheduler
+  // noise.
+  TraceAnalysis serial, parallel;
+  analyze_seconds(trace, 1, serial);
+  double t1 = analyze_seconds(trace, 1, serial);
+  t1 = std::min(t1, analyze_seconds(trace, 1, serial));
+  analyze_seconds(trace, 8, parallel);
+  double t8 = analyze_seconds(trace, 8, parallel);
+  t8 = std::min(t8, analyze_seconds(trace, 8, parallel));
+
+  // Identity first: a fast-but-wrong parallel path must fail loudly.
+  ASSERT_EQ(serial.results.size(), parallel.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    SCOPED_TRACE("connection " + std::to_string(i));
+    ASSERT_EQ(analysis_to_json(serial.results[i]),
+              analysis_to_json(parallel.results[i]));
+  }
+
+  const double speedup = t1 / t8;
+  RecordProperty("jobs1_seconds", std::to_string(t1));
+  RecordProperty("jobs8_seconds", std::to_string(t8));
+  RecordProperty("speedup", std::to_string(speedup));
+  EXPECT_GE(speedup, 2.0) << "jobs=8 took " << t8 << "s vs " << t1
+                          << "s at jobs=1 (speedup " << speedup << "x, "
+                          << cores << " hardware threads)";
+}
+
+}  // namespace
+}  // namespace tdat

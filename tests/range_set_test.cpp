@@ -259,7 +259,9 @@ TEST_P(RangeSetPropertyTest, AlgebraMatchesBitmapReference) {
     const auto& rs = s->ranges();
     for (std::size_t i = 0; i < rs.size(); ++i) {
       EXPECT_LT(rs[i].begin, rs[i].end);
-      if (i > 0) EXPECT_LT(rs[i - 1].end, rs[i].begin);
+      if (i > 0) {
+        EXPECT_LT(rs[i - 1].end, rs[i].begin);
+      }
     }
   }
 }
@@ -293,6 +295,62 @@ TEST_P(RangeSetPropertyTest, AlgebraLaws) {
 
   // Double complement is identity.
   EXPECT_EQ(a.complement(window).complement(window), a);
+}
+
+// The buffer-reusing variants must agree with the value-returning algebra
+// regardless of what garbage the out/scratch buffers held before the call —
+// they are what the analysis hot path runs on.
+TEST_P(RangeSetPropertyTest, InPlaceVariantsMatchValueAlgebra) {
+  constexpr Micros kDomain = 300;
+  std::mt19937 rng(GetParam() ^ 0x5bd1e995);
+  std::uniform_int_distribution<int> nr(0, 12);
+  const RangeSet a = random_set(rng, kDomain, nr(rng));
+  const RangeSet b = random_set(rng, kDomain, nr(rng));
+  const TimeRange window{0, kDomain};
+
+  // Pre-dirty the buffers: results must not depend on prior contents.
+  RangeSet out = random_set(rng, kDomain, nr(rng));
+  RangeSet scratch = random_set(rng, kDomain, nr(rng));
+
+  a.union_into(b, out);
+  EXPECT_EQ(out, a.set_union(b));
+  a.intersect_into(b, out);
+  EXPECT_EQ(out, a.set_intersection(b));
+  a.subtract_into(b, out);
+  EXPECT_EQ(out, a.set_difference(b));
+  a.complement_into(window, out);
+  EXPECT_EQ(out, a.complement(window));
+  a.gaps_into(out);
+  EXPECT_EQ(out, a.gaps());
+
+  RangeSet w = a;
+  w.union_with(b, scratch);
+  EXPECT_EQ(w, a.set_union(b));
+  w = a;
+  w.intersect_with(b, scratch);
+  EXPECT_EQ(w, a.set_intersection(b));
+  w = a;
+  w.subtract_with(b, scratch);
+  EXPECT_EQ(w, a.set_difference(b));
+}
+
+// Chained in-place algebra (the Operation-stage pattern: one evolving set,
+// one swap buffer) stays equal to the chained value algebra.
+TEST_P(RangeSetPropertyTest, ChainedInPlaceAlgebraMatches) {
+  constexpr Micros kDomain = 300;
+  std::mt19937 rng(GetParam() ^ 0x27d4eb2d);
+  std::uniform_int_distribution<int> nr(0, 10);
+  const RangeSet a = random_set(rng, kDomain, nr(rng));
+  const RangeSet b = random_set(rng, kDomain, nr(rng));
+  const RangeSet c = random_set(rng, kDomain, nr(rng));
+  const RangeSet d = random_set(rng, kDomain, nr(rng));
+
+  RangeSet w = a;
+  RangeSet scratch;
+  w.union_with(b, scratch);
+  w.subtract_with(c, scratch);
+  w.intersect_with(d, scratch);
+  EXPECT_EQ(w, a.set_union(b).set_difference(c).set_intersection(d));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RangeSetPropertyTest,
