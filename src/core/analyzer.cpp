@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "core/pass.hpp"
+#include "core/trace_source.hpp"
 #include "pcap/decode.hpp"
 #include "pcap/pcap_stream.hpp"
 #include "util/alloc_hook.hpp"
@@ -109,6 +111,8 @@ AnalysisScratch::AnalysisScratch()
       allocs(&metrics().histogram("analyze.allocs_per_conn")),
       done(&metrics().counter("analyze.connections_done")) {}
 
+AnalysisScratch::~AnalysisScratch() = default;
+
 ConnectionAnalysis analyze_connection(const Connection& conn,
                                       const AnalyzerOptions& opts) {
   thread_local AnalysisScratch scratch;
@@ -157,9 +161,25 @@ void analyze_connection(const Connection& conn, const AnalyzerOptions& opts,
     out.transfer = {};
   }
   {
-    TDAT_TRACE_SPAN("analyze.classify", "analyze");
-    out.report = classify_delay(out.bundle.registry, out.transfer, opts,
-                                scratch.delay);
+    // The detection stage: every registered pass (core/pass.hpp) — the eight
+    // factor passes bracketed by begin/finalize (together equivalent to
+    // classify_delay bit for bit) plus the §II detectors — gated by the
+    // pass selection and individually timed.
+    TDAT_TRACE_SPAN("analyze.passes", "analyze");
+    if (scratch.passes.empty()) init_pass_states(scratch.passes);
+    out.findings.reset();
+    begin_delay_classification(out.report, out.transfer, scratch.delay);
+    const AnalysisContext ctx{conn,         out.profile, out.bundle.registry,
+                              out.transfer, opts,        scratch.delay};
+    for (PassExecState& ps : scratch.passes) {
+      if (!opts.passes.enabled(ps.id)) continue;
+      TDAT_TRACE_SPAN(ps.pass->info().name, "pass");
+      const std::int64_t p0 = monotonic_micros();
+      ps.pass->run(ctx, ps.scratch.get(), out);
+      ps.us->observe(monotonic_micros() - p0);
+      ps.runs->inc();
+    }
+    finalize_delay_groups(out.report, opts, scratch.delay);
   }
   // Per-connection accounting: a clock read plus relaxed RMWs on this
   // worker's metric shards. connections_done feeds the CLI --progress
@@ -172,81 +192,54 @@ void analyze_connection(const Connection& conn, const AnalyzerOptions& opts,
   scratch.done->inc();
 }
 
-TraceAnalysis analyze_packets(std::vector<DecodedPacket> packets,
-                              const AnalyzerOptions& opts) {
-  TraceAnalysis out;
-  const Micros t0 = wall_now();
-  out.stats.packets = packets.size();
-  {
-    TDAT_TRACE_SPAN("ingest", "pcap", "packets",
-                    static_cast<std::int64_t>(packets.size()));
-    ConnectionDemux demux;
-    for (DecodedPacket& pkt : packets) {
-      out.stats.bytes_ingested += pkt.frame.size();
-      demux.add(std::move(pkt));
-    }
-    out.connections = demux.take();
-  }
-  out.stats.ingest_wall = wall_now() - t0;
-  run_analysis_stage(out, opts);
-  out.stats.total_wall = wall_now() - t0;
-  out.stats.metrics_json = metrics().to_json();
-  return out;
-}
-
-TraceAnalysis analyze_trace(const PcapFile& file, const AnalyzerOptions& opts) {
-  const Micros t0 = wall_now();
-  TraceAnalysis out = analyze_packets(decode_pcap(file, opts.verify_checksums),
-                                      opts);
-  // Account ingest from the capture's view — the 24-byte pcap global header
-  // plus record headers and stored bytes, matching PcapStream::bytes_read()
-  // byte for byte — and the decode time that analyze_packets could not see.
-  out.stats.records = file.records.size();
-  out.stats.bytes_ingested = 24;
-  for (const PcapRecord& rec : file.records) {
-    out.stats.bytes_ingested += 16 + rec.data.size();
-  }
-  out.stats.total_wall = wall_now() - t0;
-  out.stats.ingest_wall = out.stats.total_wall - out.stats.analyze_wall;
-  out.stats.metrics_json = metrics().to_json();
-  return out;
-}
-
-Result<TraceAnalysis> analyze_file(const std::string& path,
-                                   const AnalyzerOptions& opts) {
-  auto stream = PcapStream::open(path);
-  if (!stream.ok()) return Err<TraceAnalysis>(stream.error());
-  PcapStream& s = stream.value();
-
-  TDAT_LOG_INFO("analyze: streaming %s", path.c_str());
+TraceAnalysis run_pipeline(TraceSource& source, const AnalyzerOptions& opts) {
   TraceAnalysis out;
   const Micros t0 = wall_now();
   {
     TDAT_TRACE_SPAN("ingest", "pcap");
     ConnectionDemux demux;
-    StreamRecord rec;
-    std::size_t index = 0;
-    while (s.next(rec)) {
-      const std::size_t i = index++;
-      if (rec.data.size() < rec.orig_len) continue;  // truncated capture
-      // The record's arena chunk rides along as the packet's backing, so no
-      // frame bytes are copied; the chunk is freed once the last packet in
-      // it is gone.
-      if (auto pkt = decode_frame(rec.ts, i, rec.data, opts.verify_checksums,
-                                  rec.arena)) {
-        ++out.stats.packets;
-        demux.add(std::move(*pkt));
-      }
+    DecodedPacket pkt;
+    while (source.next(pkt)) {
+      ++out.stats.packets;
+      demux.add(std::move(pkt));
     }
     out.connections = demux.take();
   }
-  out.stats.records = s.records_read();
-  out.stats.bytes_ingested = s.bytes_read();
+  out.stats.records = source.records_seen();
+  out.stats.bytes_ingested = source.bytes_ingested();
   out.stats.ingest_wall = wall_now() - t0;
   run_analysis_stage(out, opts);
   out.stats.total_wall = wall_now() - t0;
   out.stats.metrics_json = metrics().to_json();
   return out;
+}
+
+TraceAnalysis analyze_packets(std::vector<DecodedPacket> packets,
+                              const AnalyzerOptions& opts) {
+  PacketVectorSource source(std::move(packets));
+  return run_pipeline(source, opts);
+}
+
+TraceAnalysis analyze_trace(const PcapFile& file, const AnalyzerOptions& opts) {
+  PcapFileSource source(file, opts.verify_checksums);
+  return run_pipeline(source, opts);
+}
+
+Result<TraceAnalysis> analyze_file(const std::string& path,
+                                   const AnalyzerOptions& opts) {
+  return PcapStreamSource::open(path, opts.verify_checksums)
+      .and_then([&](PcapStreamSource source) -> Result<TraceAnalysis> {
+        TDAT_LOG_INFO("analyze: streaming %s", path.c_str());
+        return run_pipeline(source, opts);
+      });
+}
+
+Result<TraceAnalysis> analyze_files(const std::vector<std::string>& inputs,
+                                    const AnalyzerOptions& opts) {
+  TDAT_TRY(source, MultiFileSource::open(inputs, opts.verify_checksums));
+  TDAT_LOG_INFO("analyze: %zu rotated capture files as one trace",
+                source.file_count());
+  return run_pipeline(source, opts);
 }
 
 }  // namespace tdat

@@ -1,15 +1,17 @@
 // T-DAT top level (Fig. 10): pre-process the raw packet trace (connection
 // extraction, profiles, ACK shifting), generate the event series, locate the
-// BGP table transfer (TCP start + MCT end, §II-A), and classify the delay
-// factors over the transfer window.
+// BGP table transfer (TCP start + MCT end, §II-A), and run the registered
+// analysis passes (core/pass.hpp) — the eight delay factors plus the §II
+// detectors — over the transfer window.
 //
-// Two ingest paths feed the same analysis stage: the in-memory PcapFile path
-// (analyze_trace / analyze_packets) and the streaming path (analyze_file),
-// which reads the capture in chunks, decodes and demultiplexes connections
-// during ingest, and never materializes the whole file. Both paths then run
-// analyze_connection per connection — serially for opts.jobs == 1, on a
-// thread pool otherwise — with results written into pre-sized slots by
-// connection index, so the output is bit-identical at any job count.
+// One pipeline, many sources: run_pipeline consumes any TraceSource
+// (core/trace_source.hpp), so the in-memory path (analyze_trace /
+// analyze_packets), the streaming path (analyze_file), and the rotated
+// multi-file path (analyze_files) are thin wrappers around the same ingest
+// loop and analysis stage. The stage runs analyze_connection per connection
+// — serially for opts.jobs == 1, on a thread pool otherwise — with results
+// written into pre-sized slots by connection index, so the output is
+// bit-identical at any job count and across every ingest path.
 #pragma once
 
 #include <string>
@@ -17,6 +19,7 @@
 
 #include "bgp/mct.hpp"
 #include "core/delay_report.hpp"
+#include "core/detector_results.hpp"
 #include "core/pcap2bgp.hpp"
 #include "core/series_builder.hpp"
 #include "pcap/pcap_file.hpp"
@@ -25,6 +28,9 @@
 #include "util/result.hpp"
 
 namespace tdat {
+
+class TraceSource;
+struct PassExecState;
 
 struct ConnectionAnalysis {
   std::size_t conn_index = 0;  // into TraceAnalysis::connections
@@ -35,6 +41,7 @@ struct ConnectionAnalysis {
   MctResult mct;
   TimeRange transfer;                    // the analysis period
   DelayReport report;
+  DetectorFindings findings;             // §II detector-pass results
 
   [[nodiscard]] Micros transfer_duration() const { return transfer.length(); }
   [[nodiscard]] const SeriesRegistry& series() const { return bundle.registry; }
@@ -83,6 +90,7 @@ struct TraceAnalysis {
 // it writes into ConnectionAnalysis.
 struct AnalysisScratch {
   AnalysisScratch();
+  ~AnalysisScratch();  // out of line: PassExecState is incomplete here
 
   ProfileScratch profile;
   SeriesScratch series;
@@ -90,6 +98,10 @@ struct AnalysisScratch {
   Pcap2BgpResult extracted;  // staging buffer; swapped with out.messages
   PrefixSet mct_seen;
   DelayScratch delay;
+
+  // One execution slot per registered pass (warm pass scratch + resolved
+  // metric handles), lazily built on the worker's first connection.
+  std::vector<PassExecState> passes;
 
   // Metric handles resolved once per scratch so the per-connection path is
   // a clock read plus relaxed shard RMWs — no registry lock, no
@@ -108,6 +120,13 @@ struct AnalysisScratch {
 void analyze_connection(const Connection& conn, const AnalyzerOptions& opts,
                         AnalysisScratch& scratch, ConnectionAnalysis& out);
 
+// The one analysis pipeline every entry point funnels into: drain the
+// source (decode + connection demux), then run the analysis stage. The
+// source fully determines the packets, so two sources yielding the same
+// packets produce bit-identical results.
+[[nodiscard]] TraceAnalysis run_pipeline(TraceSource& source,
+                                         const AnalyzerOptions& opts);
+
 [[nodiscard]] TraceAnalysis analyze_packets(std::vector<DecodedPacket> packets,
                                             const AnalyzerOptions& opts);
 
@@ -120,5 +139,12 @@ void analyze_connection(const Connection& conn, const AnalyzerOptions& opts,
 // analyze_trace(read_pcap_file(path)) at a fraction of the peak memory.
 [[nodiscard]] Result<TraceAnalysis> analyze_file(const std::string& path,
                                                  const AnalyzerOptions& opts);
+
+// Rotated-capture entry point: `inputs` may mix capture files and
+// directories of captures; the files are concatenated in first-record
+// timestamp order (core/trace_source.hpp) and streamed through the same
+// pipeline.
+[[nodiscard]] Result<TraceAnalysis> analyze_files(
+    const std::vector<std::string>& inputs, const AnalyzerOptions& opts);
 
 }  // namespace tdat

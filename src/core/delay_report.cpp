@@ -76,20 +76,42 @@ DelayReport classify_delay(const SeriesRegistry& reg, TimeRange window,
 DelayReport classify_delay(const SeriesRegistry& reg, TimeRange window,
                            const AnalyzerOptions& opts, DelayScratch& scratch) {
   DelayReport rep;
-  rep.window = window;
-  const auto period = static_cast<double>(window.length());
-  if (window.empty()) return rep;
+  begin_delay_classification(rep, window, scratch);
+  for (std::size_t i = 0; i < kFactorCount; ++i) {
+    classify_factor(rep, reg, static_cast<Factor>(i), scratch);
+  }
+  finalize_delay_groups(rep, opts, scratch);
+  return rep;
+}
 
+void begin_delay_classification(DelayReport& rep, TimeRange window,
+                                DelayScratch& scratch) {
+  rep = DelayReport{};  // flat arrays only — no heap traffic
+  rep.window = window;
+  // Disabled factor passes never touch their set, so it must start empty for
+  // the group union in finalize.
+  for (RangeSet& set : scratch.sets) set.clear();
+  if (window.empty()) return;
   scratch.clip.clear();
   scratch.clip.insert(window);
-  for (std::size_t i = 0; i < kFactorCount; ++i) {
-    RangeSet& set = scratch.sets[i];
-    factor_ranges_into(reg, static_cast<Factor>(i), scratch.tmp, set);
-    set.intersect_with(scratch.clip, scratch.tmp);
-    rep.factor_delay[i] = set.size();
-    rep.factor_ratio[i] = static_cast<double>(rep.factor_delay[i]) / period;
-  }
+}
 
+void classify_factor(DelayReport& rep, const SeriesRegistry& reg, Factor f,
+                     DelayScratch& scratch) {
+  if (rep.window.empty()) return;
+  const auto period = static_cast<double>(rep.window.length());
+  const auto i = static_cast<std::size_t>(f);
+  RangeSet& set = scratch.sets[i];
+  factor_ranges_into(reg, f, scratch.tmp, set);
+  set.intersect_with(scratch.clip, scratch.tmp);
+  rep.factor_delay[i] = set.size();
+  rep.factor_ratio[i] = static_cast<double>(rep.factor_delay[i]) / period;
+}
+
+void finalize_delay_groups(DelayReport& rep, const AnalyzerOptions& opts,
+                           DelayScratch& scratch) {
+  if (rep.window.empty()) return;
+  const auto period = static_cast<double>(rep.window.length());
   for (std::size_t g = 0; g < kGroupCount; ++g) {
     RangeSet& merged = scratch.merged;
     merged.clear();
@@ -106,7 +128,6 @@ DelayReport classify_delay(const SeriesRegistry& reg, TimeRange window,
     rep.group_ratio[g] = static_cast<double>(rep.group_delay[g]) / period;
     rep.group_major[g] = rep.group_ratio[g] > opts.major_threshold;
   }
-  return rep;
 }
 
 }  // namespace tdat

@@ -69,4 +69,17 @@ void factor_ranges_into(const SeriesRegistry& reg, Factor f, RangeSet& tmp,
                                          const AnalyzerOptions& opts,
                                          DelayScratch& scratch);
 
+// Split form, used by the factor passes (core/pass.hpp): begin resets the
+// report and the per-factor working sets and clips to the window; each
+// classify_factor fills one factor's set/ratio; finalize folds the filled
+// sets into the three groups. classify_delay == begin + 8x classify_factor +
+// finalize, so running every factor pass reproduces it bit for bit — and a
+// factor whose pass is disabled simply contributes an empty set.
+void begin_delay_classification(DelayReport& rep, TimeRange window,
+                                DelayScratch& scratch);
+void classify_factor(DelayReport& rep, const SeriesRegistry& reg, Factor f,
+                     DelayScratch& scratch);
+void finalize_delay_groups(DelayReport& rep, const AnalyzerOptions& opts,
+                           DelayScratch& scratch);
+
 }  // namespace tdat

@@ -1,0 +1,102 @@
+// Result types of the §II problem detectors, split from detectors.hpp so the
+// analyzer can retain them per connection (ConnectionAnalysis::findings)
+// without a circular include: detectors.hpp needs ConnectionAnalysis for the
+// cross-connection APIs, while the analyzer only needs these flat results.
+//
+// All results follow the reuse discipline of the analysis stage: reset()
+// zeroes scalars and clears vectors without freeing, so a detector pass can
+// rebuild a retained result allocation-free once its buffers are warm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "timerange/range_set.hpp"
+
+namespace tdat {
+
+// ---- BGP timer gaps (§II-B1, §IV-B, Fig. 17) ------------------------------
+struct TimerGapResult {
+  bool detected = false;
+  Micros timer = 0;               // inferred timer period
+  std::size_t gap_count = 0;      // gaps attributed to the timer
+  Micros introduced_delay = 0;    // total time spent in timer gaps
+  std::vector<double> sorted_gaps_ms;  // the Fig. 17 curve
+
+  void reset() {
+    detected = false;
+    timer = 0;
+    gap_count = 0;
+    introduced_delay = 0;
+    sorted_gaps_ms.clear();
+  }
+};
+
+// ---- consecutive losses (§II-B2, §IV-B) -----------------------------------
+struct ConsecutiveLossResult {
+  bool detected = false;
+  std::size_t episodes = 0;
+  std::size_t max_consecutive = 0;  // largest run of retransmissions
+  Micros introduced_delay = 0;      // total length of qualifying episodes
+
+  void reset() { *this = ConsecutiveLossResult{}; }
+};
+
+// ---- peer-group blocking (§II-B3, §IV-B, Fig. 9) --------------------------
+struct PeerGroupBlockResult {
+  bool detected = false;
+  Micros blocked_time = 0;
+  std::vector<TimeRange> episodes;
+
+  void reset() {
+    detected = false;
+    blocked_time = 0;
+    episodes.clear();
+  }
+};
+
+// ---- capture voids (§II-A) -------------------------------------------------
+struct CaptureVoidResult {
+  bool detected = false;
+  std::uint64_t missing_bytes = 0;   // acknowledged but never captured
+  std::vector<TimeRange> voids;      // periods to exclude from analysis
+
+  // Subtracts the voids from an analysis window.
+  [[nodiscard]] RangeSet exclude_from(TimeRange window) const;
+
+  void reset() {
+    detected = false;
+    missing_bytes = 0;
+    voids.clear();
+  }
+};
+
+// ---- zero-window probe bug (§IV-B) ----------------------------------------
+struct ZeroAckBugResult {
+  bool detected = false;
+  std::size_t occurrences = 0;  // upstream-loss events inside zero-window time
+  Micros overlap = 0;
+
+  void reset() { *this = ZeroAckBugResult{}; }
+};
+
+// Everything the per-connection detector passes retain. Lives inside
+// ConnectionAnalysis; a disabled pass leaves its slot in the reset state, so
+// stale findings never leak across reused outputs.
+struct DetectorFindings {
+  TimerGapResult timer;
+  ConsecutiveLossResult losses;
+  ZeroAckBugResult zero_ack;
+  PeerGroupBlockResult pause;
+  CaptureVoidResult voids;
+
+  void reset() {
+    timer.reset();
+    losses.reset();
+    zero_ack.reset();
+    pause.reset();
+    voids.reset();
+  }
+};
+
+}  // namespace tdat

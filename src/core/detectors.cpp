@@ -10,20 +10,45 @@
 
 namespace tdat {
 
+namespace {
+
+// Events of `series` overlapping `window`, walked in place — the pass-path
+// replacement for EventSeries::query(), which materializes a vector.
+template <typename Fn>
+void for_each_event_in(const EventSeries& series, TimeRange window, Fn&& fn) {
+  for (const Event& e : series.events()) {
+    if (e.range.begin >= window.end) break;
+    if (e.range.overlaps(window)) fn(e);
+  }
+}
+
+}  // namespace
+
 TimerGapResult detect_timer_gaps(const SeriesRegistry& reg, TimeRange window,
                                  const TimerGapOptions& opts) {
+  TimerGapScratch scratch;
   TimerGapResult res;
-  if (!reg.has(series::kSendAppLimited) || window.empty()) return res;
+  detect_timer_gaps_into(reg, window, opts, scratch, res);
+  return res;
+}
+
+void detect_timer_gaps_into(const SeriesRegistry& reg, TimeRange window,
+                            const TimerGapOptions& opts,
+                            TimerGapScratch& scratch, TimerGapResult& res) {
+  res.reset();
+  if (!reg.has(series::kSendAppLimited) || window.empty()) return;
 
   // Gap lengths of sender-idle events in the plausible timer band.
-  std::vector<double> gaps_ms;
-  for (const Event& e : reg.get(series::kSendAppLimited).query(window)) {
-    const Micros len = e.range.length();
-    if (len >= opts.min_gap && len <= opts.max_gap) {
-      gaps_ms.push_back(to_millis(len));
-    }
-  }
-  if (gaps_ms.size() < opts.min_count) return res;
+  std::vector<double>& gaps_ms = scratch.gaps_ms;
+  gaps_ms.clear();
+  for_each_event_in(reg.get(series::kSendAppLimited), window,
+                    [&](const Event& e) {
+                      const Micros len = e.range.length();
+                      if (len >= opts.min_gap && len <= opts.max_gap) {
+                        gaps_ms.push_back(to_millis(len));
+                      }
+                    });
+  if (gaps_ms.size() < opts.min_count) return;
   std::sort(gaps_ms.begin(), gaps_ms.end());
   res.sorted_gaps_ms = gaps_ms;
 
@@ -33,14 +58,15 @@ TimerGapResult detect_timer_gaps(const SeriesRegistry& reg, TimeRange window,
   const auto knee = find_knee(gaps_ms);
   std::size_t cluster_end = gaps_ms.size();
   if (knee && knee->index >= opts.min_count) cluster_end = knee->index;
-  std::vector<double> cluster(gaps_ms.begin(),
-                              gaps_ms.begin() + static_cast<std::ptrdiff_t>(cluster_end));
-  if (cluster.size() < opts.min_count) return res;
+  std::vector<double>& cluster = scratch.cluster;
+  cluster.assign(gaps_ms.begin(),
+                 gaps_ms.begin() + static_cast<std::ptrdiff_t>(cluster_end));
+  if (cluster.size() < opts.min_count) return;
 
   const double timer_ms = percentile(cluster, 50.0);
   const double lo = percentile(cluster, 10.0);
   const double hi = percentile(cluster, 90.0);
-  if (timer_ms <= 0.0 || (hi - lo) / timer_ms > opts.max_spread) return res;
+  if (timer_ms <= 0.0 || (hi - lo) / timer_ms > opts.max_spread) return;
 
   res.detected = true;
   res.timer = static_cast<Micros>(std::llround(timer_ms * kMicrosPerMilli));
@@ -51,16 +77,23 @@ TimerGapResult detect_timer_gaps(const SeriesRegistry& reg, TimeRange window,
       res.introduced_delay += static_cast<Micros>(std::llround(g * kMicrosPerMilli));
     }
   }
-  return res;
 }
 
 ConsecutiveLossResult detect_consecutive_losses(const SeriesRegistry& reg,
                                                 TimeRange window,
                                                 const ConsecutiveLossOptions& opts) {
   ConsecutiveLossResult res;
+  detect_consecutive_losses_into(reg, window, opts, res);
+  return res;
+}
+
+void detect_consecutive_losses_into(const SeriesRegistry& reg, TimeRange window,
+                                    const ConsecutiveLossOptions& opts,
+                                    ConsecutiveLossResult& res) {
+  res.reset();
   if (!reg.has(series::kLossRecovery) || !reg.has(series::kRetransmission) ||
       window.empty()) {
-    return res;
+    return;
   }
   const EventSeries& retx = reg.get(series::kRetransmission);
   // Each merged loss-recovery range is one episode; count the retransmitted
@@ -68,7 +101,9 @@ ConsecutiveLossResult detect_consecutive_losses(const SeriesRegistry& reg,
   for (const TimeRange& episode : reg.get(series::kLossRecovery).ranges().ranges()) {
     if (!episode.overlaps(window)) continue;
     std::size_t packets = 0;
-    for (const Event& e : retx.query(episode)) packets += std::max<std::uint64_t>(e.packets, 1);
+    for_each_event_in(retx, episode, [&](const Event& e) {
+      packets += std::max<std::uint64_t>(e.packets, 1);
+    });
     res.max_consecutive = std::max(res.max_consecutive, packets);
     if (packets >= opts.min_consecutive) {
       ++res.episodes;
@@ -76,7 +111,6 @@ ConsecutiveLossResult detect_consecutive_losses(const SeriesRegistry& reg,
     }
   }
   res.detected = res.episodes > 0;
-  return res;
 }
 
 namespace {
@@ -86,16 +120,19 @@ namespace {
 // is a KeepAliveOnly range (it spans the whole pause between two update
 // packets); the periodic keepalives fragment SendAppLimited, so we require
 // the sender-idle series to cover most of the range rather than all of it.
-RangeSet pause_candidates(const ConnectionAnalysis& paused,
-                          const PeerGroupBlockOptions& opts) {
+void pause_candidates_into(const ConnectionAnalysis& paused,
+                           const PeerGroupBlockOptions& opts,
+                           PeerGroupScratch& scratch) {
+  RangeSet& out = scratch.candidates;
+  out.clear();
   const SeriesRegistry& reg = paused.series();
   if (!reg.has(series::kSendAppLimited) || !reg.has(series::kKeepAliveOnly) ||
       paused.transfer.empty()) {
-    return {};
+    return;
   }
   const RangeSet& idle = reg.get(series::kSendAppLimited).ranges();
-  RangeSet out;
-  RangeSet transfer_clip;
+  RangeSet& transfer_clip = scratch.transfer_clip;
+  transfer_clip.clear();
   transfer_clip.insert(paused.transfer);
   for (const TimeRange& r : reg.get(series::kKeepAliveOnly).ranges().ranges()) {
     if (r.length() < opts.min_pause) continue;
@@ -104,21 +141,29 @@ RangeSet pause_candidates(const ConnectionAnalysis& paused,
     if (transfer_clip.size_within(r) < opts.min_pause) continue;
     if (2 * idle.size_within(r) >= r.length()) out.insert(r);
   }
-  return out;
 }
 
 }  // namespace
 
 PeerGroupBlockResult detect_peer_group_pause(const ConnectionAnalysis& paused,
                                              const PeerGroupBlockOptions& opts) {
+  PeerGroupScratch scratch;
   PeerGroupBlockResult res;
-  const RangeSet candidates = pause_candidates(paused, opts);
-  for (const TimeRange& r : candidates.ranges()) {
+  detect_peer_group_pause_into(paused, opts, scratch, res);
+  return res;
+}
+
+void detect_peer_group_pause_into(const ConnectionAnalysis& paused,
+                                  const PeerGroupBlockOptions& opts,
+                                  PeerGroupScratch& scratch,
+                                  PeerGroupBlockResult& res) {
+  res.reset();
+  pause_candidates_into(paused, opts, scratch);
+  for (const TimeRange& r : scratch.candidates.ranges()) {
     res.episodes.push_back(r);
     res.blocked_time += r.length();
   }
   res.detected = !res.episodes.empty();
-  return res;
 }
 
 PeerGroupBlockResult detect_peer_group_blocking(
@@ -140,8 +185,10 @@ PeerGroupBlockResult detect_peer_group_blocking(
     // trouble for the whole span.
     member_trouble = RangeSet({member_trouble.span()});
   }
+  PeerGroupScratch scratch;
+  pause_candidates_into(paused, opts, scratch);
   const RangeSet blocked =
-      pause_candidates(paused, opts).set_intersection(member_trouble);
+      scratch.candidates.set_intersection(member_trouble);
   for (const TimeRange& r : blocked.ranges()) {
     if (r.length() < opts.min_pause) continue;
     res.episodes.push_back(r);
@@ -160,7 +207,17 @@ RangeSet CaptureVoidResult::exclude_from(TimeRange window) const {
 
 CaptureVoidResult detect_capture_voids(const Connection& conn,
                                        const ConnectionProfile& profile) {
+  CaptureVoidScratch scratch;
   CaptureVoidResult res;
+  detect_capture_voids_into(conn, profile, scratch, res);
+  return res;
+}
+
+void detect_capture_voids_into(const Connection& conn,
+                               const ConnectionProfile& profile,
+                               CaptureVoidScratch& scratch,
+                               CaptureVoidResult& res) {
+  res.reset();
   // Anchor stream offsets like the classifier does.
   std::optional<std::uint32_t> anchor;
   for (const DecodedPacket& pkt : conn.packets) {
@@ -174,11 +231,14 @@ CaptureVoidResult detect_capture_voids(const Connection& conn,
       break;
     }
   }
-  if (!anchor) return res;
+  if (!anchor) return;
 
   SeqUnwrapper data_unwrap(*anchor);
   SeqUnwrapper ack_unwrap(*anchor);
-  RangeSet captured;  // stream byte ranges the sniffer saw
+  RangeSet& captured = scratch.captured;  // stream byte ranges the sniffer saw
+  captured.clear();
+  RangeSet& voids = scratch.voids;  // void periods, merged as they are found
+  voids.clear();
   Micros last_data_ts = conn.start_time();
   std::int64_t reported_up_to = 0;  // missing bytes already accounted
 
@@ -198,41 +258,47 @@ CaptureVoidResult detect_capture_voids(const Connection& conn,
       const Micros missing = acked.length() - captured.size_within(acked);
       if (missing > 0) {
         res.missing_bytes += static_cast<std::uint64_t>(missing);
-        res.voids.push_back({last_data_ts, pkt.ts});
+        voids.insert(last_data_ts, pkt.ts);
       }
       reported_up_to = off;
     }
   }
-  // Merge adjacent/overlapping void periods.
-  const RangeSet merged(res.voids);
-  res.voids.assign(merged.ranges().begin(), merged.ranges().end());
+  // The RangeSet merged adjacent/overlapping void periods on insert.
+  res.voids.assign(voids.ranges().begin(), voids.ranges().end());
   res.detected = res.missing_bytes > 0;
-  return res;
 }
 
 ZeroAckBugResult detect_zero_ack_bug(const SeriesRegistry& reg, TimeRange window) {
   ZeroAckBugResult res;
+  detect_zero_ack_bug_into(reg, window, res);
+  return res;
+}
+
+void detect_zero_ack_bug_into(const SeriesRegistry& reg, TimeRange window,
+                              ZeroAckBugResult& res) {
+  res.reset();
   if (!reg.has(series::kZeroAdvBndOut) || !reg.has(series::kUpstreamLoss)) {
-    return res;
+    return;
   }
   // The contradiction: persistent upstream losses while the receiver window
   // is closed (i.e. while almost nothing should be in flight at all).
-  const RangeSet zero = reg.get(series::kZeroAdvBndOut).ranges();
-  if (window.empty() || zero.empty()) return res;
-  for (const Event& e : reg.get(series::kUpstreamLoss).query(window)) {
+  const RangeSet& zero = reg.get(series::kZeroAdvBndOut).ranges();
+  if (window.empty() || zero.empty()) return;
+  for_each_event_in(reg.get(series::kUpstreamLoss), window, [&](const Event& e) {
     // The loss belongs to a zero-window episode if its recovery period
     // touches one.
     Micros overlap = 0;
-    for (const TimeRange& z : zero.overlapping(e.range)) {
+    for (const TimeRange& z : zero.ranges()) {
+      if (z.begin >= e.range.end) break;
+      if (!z.overlaps(e.range)) continue;
       overlap += std::min(z.end, e.range.end) - std::max(z.begin, e.range.begin);
     }
     if (overlap > 0) {
       ++res.occurrences;
       res.overlap += overlap;
     }
-  }
+  });
   res.detected = res.occurrences > 0;
-  return res;
 }
 
 }  // namespace tdat

@@ -3,11 +3,19 @@
 // distribution), consecutive packet losses, peer-group blocking
 // (cross-connection set intersection), and the zero-window-probe bug
 // (ZeroAckBug := ZeroAdvBndOut ∩ UpstreamLoss).
+//
+// Each per-connection detector comes in two forms: a convenience form that
+// returns a fresh result, and a scratch-reusing `*_into` form used by the
+// corresponding AnalysisPass (core/pass.hpp) — caller-provided scratch +
+// caller-provided output, allocation-free once warm, matching the discipline
+// of the rest of the analysis stage. Result types live in
+// core/detector_results.hpp.
 #pragma once
 
 #include <vector>
 
 #include "core/analyzer.hpp"
+#include "core/detector_results.hpp"
 
 namespace tdat {
 
@@ -20,17 +28,18 @@ struct TimerGapOptions {
   double max_spread = 0.35;       // relative spread of the timer cluster
 };
 
-struct TimerGapResult {
-  bool detected = false;
-  Micros timer = 0;               // inferred timer period
-  std::size_t gap_count = 0;      // gaps attributed to the timer
-  Micros introduced_delay = 0;    // total time spent in timer gaps
-  std::vector<double> sorted_gaps_ms;  // the Fig. 17 curve
+struct TimerGapScratch {
+  std::vector<double> gaps_ms;
+  std::vector<double> cluster;
 };
 
 [[nodiscard]] TimerGapResult detect_timer_gaps(const SeriesRegistry& reg,
                                                TimeRange window,
                                                const TimerGapOptions& opts = {});
+
+void detect_timer_gaps_into(const SeriesRegistry& reg, TimeRange window,
+                            const TimerGapOptions& opts,
+                            TimerGapScratch& scratch, TimerGapResult& out);
 
 // ---- consecutive losses (§II-B2, §IV-B) -----------------------------------
 struct ConsecutiveLossOptions {
@@ -39,26 +48,22 @@ struct ConsecutiveLossOptions {
   std::size_t min_consecutive = 8;
 };
 
-struct ConsecutiveLossResult {
-  bool detected = false;
-  std::size_t episodes = 0;
-  std::size_t max_consecutive = 0;  // largest run of retransmissions
-  Micros introduced_delay = 0;      // total length of qualifying episodes
-};
-
 [[nodiscard]] ConsecutiveLossResult detect_consecutive_losses(
     const SeriesRegistry& reg, TimeRange window,
     const ConsecutiveLossOptions& opts = {});
+
+void detect_consecutive_losses_into(const SeriesRegistry& reg, TimeRange window,
+                                    const ConsecutiveLossOptions& opts,
+                                    ConsecutiveLossResult& out);
 
 // ---- peer-group blocking (§II-B3, §IV-B, Fig. 9) --------------------------
 struct PeerGroupBlockOptions {
   Micros min_pause = 30 * kMicrosPerSec;  // pathological pauses only
 };
 
-struct PeerGroupBlockResult {
-  bool detected = false;
-  Micros blocked_time = 0;
-  std::vector<TimeRange> episodes;
+struct PeerGroupScratch {
+  RangeSet candidates;
+  RangeSet transfer_clip;
 };
 
 // Single-connection screen: long sender-idle pauses during which only
@@ -66,9 +71,16 @@ struct PeerGroupBlockResult {
 [[nodiscard]] PeerGroupBlockResult detect_peer_group_pause(
     const ConnectionAnalysis& paused, const PeerGroupBlockOptions& opts = {});
 
+void detect_peer_group_pause_into(const ConnectionAnalysis& paused,
+                                  const PeerGroupBlockOptions& opts,
+                                  PeerGroupScratch& scratch,
+                                  PeerGroupBlockResult& out);
+
 // Cross-connection confirmation: the victim's pauses coincide with a fellow
 // group member's loss/retransmission trouble —
 //   victim.SendAppLimited ∩ member.LossRecovery.
+// Inherently a whole-trace operation, so it stays outside the per-connection
+// pass pipeline (the experiments layer runs it over candidate pairs).
 [[nodiscard]] PeerGroupBlockResult detect_peer_group_blocking(
     const ConnectionAnalysis& paused, const ConnectionAnalysis& failed_member,
     const PeerGroupBlockOptions& opts = {});
@@ -78,26 +90,24 @@ struct PeerGroupBlockResult {
 // We exclude those periods from the following analysis." A void betrays
 // itself when the receiver acknowledges stream bytes the sniffer never
 // captured.
-struct CaptureVoidResult {
-  bool detected = false;
-  std::uint64_t missing_bytes = 0;   // acknowledged but never captured
-  std::vector<TimeRange> voids;      // periods to exclude from analysis
-
-  // Subtracts the voids from an analysis window.
-  [[nodiscard]] RangeSet exclude_from(TimeRange window) const;
+struct CaptureVoidScratch {
+  RangeSet captured;
+  RangeSet voids;
 };
 
 [[nodiscard]] CaptureVoidResult detect_capture_voids(const Connection& conn,
                                                      const ConnectionProfile& profile);
 
-// ---- zero-window probe bug (§IV-B) ----------------------------------------
-struct ZeroAckBugResult {
-  bool detected = false;
-  std::size_t occurrences = 0;  // upstream-loss events inside zero-window time
-  Micros overlap = 0;
-};
+void detect_capture_voids_into(const Connection& conn,
+                               const ConnectionProfile& profile,
+                               CaptureVoidScratch& scratch,
+                               CaptureVoidResult& out);
 
+// ---- zero-window probe bug (§IV-B) ----------------------------------------
 [[nodiscard]] ZeroAckBugResult detect_zero_ack_bug(const SeriesRegistry& reg,
                                                    TimeRange window);
+
+void detect_zero_ack_bug_into(const SeriesRegistry& reg, TimeRange window,
+                              ZeroAckBugResult& out);
 
 }  // namespace tdat

@@ -77,6 +77,10 @@ std::string report_to_json(const DelayReport& report) {
 }
 
 std::string analysis_to_json(const ConnectionAnalysis& analysis) {
+  return analysis_to_json_open(analysis) + "}";
+}
+
+std::string analysis_to_json_open(const ConnectionAnalysis& analysis) {
   std::string out = "{\"connection\":\"" + analysis.key.to_string() + "\",";
   append_kv(out, "rtt_us", analysis.profile.rtt());
   append_kv(out, "mss", analysis.profile.mss());
@@ -88,7 +92,7 @@ std::string analysis_to_json(const ConnectionAnalysis& analysis) {
   append_kv(out, "updates", static_cast<std::int64_t>(analysis.mct.update_count));
   append_kv(out, "prefixes", static_cast<std::int64_t>(analysis.mct.prefix_count),
             false);
-  out += "},\"report\":" + report_to_json(analysis.report) + "}";
+  out += "},\"report\":" + report_to_json(analysis.report);
   return out;
 }
 

@@ -23,4 +23,9 @@ namespace tdat {
 // One connection's full analysis summary: key, profile, transfer, report.
 [[nodiscard]] std::string analysis_to_json(const ConnectionAnalysis& analysis);
 
+// Open form of analysis_to_json: the same object without the closing brace,
+// so a caller (the JSON report sink) can append further ",key:value" members.
+// analysis_to_json(a) == analysis_to_json_open(a) + "}".
+[[nodiscard]] std::string analysis_to_json_open(const ConnectionAnalysis& analysis);
+
 }  // namespace tdat

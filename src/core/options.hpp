@@ -43,6 +43,27 @@ inline constexpr std::size_t kGroupCount = 3;
 [[nodiscard]] FactorGroup group_of(Factor f);
 [[nodiscard]] std::array<Factor, 3> factors_in(FactorGroup g);  // padded with dup for network
 
+// Which registered analysis passes run (core/pass.hpp). One bit per pass id
+// (registration order: the eight factor passes, then the §II detectors).
+// Defaults to everything; parse_detector_selection() builds a selection from
+// the CLI's --detectors value.
+struct PassSelection {
+  std::uint64_t bits = ~0ull;
+
+  [[nodiscard]] bool enabled(std::size_t pass_id) const {
+    return pass_id < 64 && ((bits >> pass_id) & 1u) != 0;
+  }
+  void set(std::size_t pass_id, bool on) {
+    if (pass_id >= 64) return;
+    const std::uint64_t mask = std::uint64_t{1} << pass_id;
+    bits = on ? (bits | mask) : (bits & ~mask);
+  }
+  [[nodiscard]] static PassSelection all() { return {}; }
+  [[nodiscard]] static PassSelection none() { return {0}; }
+
+  friend bool operator==(const PassSelection&, const PassSelection&) = default;
+};
+
 struct AnalyzerOptions {
   SnifferLocation location = SnifferLocation::kNearReceiver;
 
@@ -84,6 +105,10 @@ struct AnalyzerOptions {
   // Ablation switch (§III-B1): disable the ACK-flight shift to measure how
   // much the sniffer-position correction matters. Leave on for analysis.
   bool enable_ack_shift = true;
+
+  // Pass selection for the detection stage; defaults to every registered
+  // factor and detector pass.
+  PassSelection passes;
 };
 
 }  // namespace tdat

@@ -1,0 +1,485 @@
+#include "core/pass.hpp"
+
+#include <cstdio>
+
+#include "core/detectors.hpp"
+#include "core/series_names.hpp"
+#include "util/metrics.hpp"
+
+namespace tdat {
+
+const char* to_string(PassKind kind) {
+  return kind == PassKind::kFactor ? "factor" : "detector";
+}
+
+void AnalysisPass::text_findings(const ConnectionAnalysis&,
+                                 std::string&) const {}
+
+bool AnalysisPass::json_findings(const ConnectionAnalysis&,
+                                 std::string&) const {
+  return false;
+}
+
+void AnalysisPass::csv_findings(const ConnectionAnalysis&, const std::string&,
+                                std::string&) const {}
+
+namespace {
+
+// printf-append used by the findings hooks (rendering paths may allocate;
+// only run() is on the allocation-free per-connection path).
+template <typename... Args>
+void appendf(std::string& out, const char* fmt, Args... args) {
+  char buf[192];
+  const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+void append_csv(std::string& out, const std::string& conn, const char* section,
+                const char* key, const std::string& value) {
+  out.append(conn).push_back(',');
+  out.append(section).push_back(',');
+  out.append(key).push_back(',');
+  out.append(value).push_back('\n');
+}
+
+// ---- the eight factor passes ----------------------------------------------
+
+constexpr const char* kSenderAppDeps[] = {series::kSendAppLimited};
+constexpr const char* kCwndDeps[] = {series::kCwndBndOut};
+constexpr const char* kSendLossDeps[] = {series::kSendLocalLoss};
+constexpr const char* kRecvAppDeps[] = {series::kSmallAdvBndOut};
+constexpr const char* kAdvWindowDeps[] = {
+    series::kAdvBndOut, series::kSmallAdvBndOut, series::kBandwidthLimited};
+constexpr const char* kRecvLossDeps[] = {series::kRecvLocalLoss};
+constexpr const char* kBandwidthDeps[] = {series::kBandwidthLimited};
+constexpr const char* kNetLossDeps[] = {series::kNetworkLoss};
+
+// One §III-D delay factor: fills the factor's set/ratio slot in the report
+// via the shared DelayScratch (begin/finalize framing in analyze_connection).
+class FactorPass final : public AnalysisPass {
+ public:
+  explicit FactorPass(PassInfo info) : info_(info) {}
+
+  [[nodiscard]] const PassInfo& info() const override { return info_; }
+
+  void run(const AnalysisContext& ctx, PassScratch*,
+           ConnectionAnalysis& out) const override {
+    classify_factor(out.report, ctx.registry, info_.factor, ctx.delay);
+  }
+
+ private:
+  PassInfo info_;
+};
+
+// ---- detector passes (§II problems) ---------------------------------------
+
+struct TimerGapPassScratch final : PassScratch {
+  TimerGapScratch s;
+};
+
+class TimerGapPass final : public AnalysisPass {
+ public:
+  [[nodiscard]] const PassInfo& info() const override {
+    static constexpr PassInfo kInfo{
+        "timer-gaps", "BGP pacing-timer gaps (knee of the gap distribution)",
+        PassKind::kDetector, Factor::kBgpSenderApp, kSenderAppDeps};
+    return kInfo;
+  }
+
+  [[nodiscard]] std::unique_ptr<PassScratch> make_scratch() const override {
+    return std::make_unique<TimerGapPassScratch>();
+  }
+
+  void run(const AnalysisContext& ctx, PassScratch* scratch,
+           ConnectionAnalysis& out) const override {
+    detect_timer_gaps_into(ctx.registry, ctx.transfer, TimerGapOptions{},
+                           static_cast<TimerGapPassScratch*>(scratch)->s,
+                           out.findings.timer);
+  }
+
+  void text_findings(const ConnectionAnalysis& a,
+                     std::string& out) const override {
+    const TimerGapResult& r = a.findings.timer;
+    if (!r.detected) return;
+    appendf(out, "  ! pacing timer ~%.0f ms (%zu gaps, %.1fs)\n",
+            to_millis(r.timer), r.gap_count, to_seconds(r.introduced_delay));
+  }
+
+  bool json_findings(const ConnectionAnalysis& a,
+                     std::string& out) const override {
+    const TimerGapResult& r = a.findings.timer;
+    out.append("\"timer_gaps\":{\"detected\":")
+        .append(r.detected ? "true" : "false")
+        .append(",\"timer_ms\":")
+        .append(json_double(to_millis(r.timer)))
+        .append(",\"gap_count\":")
+        .append(std::to_string(r.gap_count))
+        .append(",\"introduced_delay_us\":")
+        .append(std::to_string(r.introduced_delay))
+        .append("}");
+    return true;
+  }
+
+  void csv_findings(const ConnectionAnalysis& a, const std::string& conn,
+                    std::string& out) const override {
+    const TimerGapResult& r = a.findings.timer;
+    append_csv(out, conn, "detector", "timer-gaps.detected",
+               r.detected ? "1" : "0");
+    if (!r.detected) return;
+    append_csv(out, conn, "detector", "timer-gaps.timer_ms",
+               json_double(to_millis(r.timer)));
+    append_csv(out, conn, "detector", "timer-gaps.gap_count",
+               std::to_string(r.gap_count));
+    append_csv(out, conn, "detector", "timer-gaps.introduced_delay_us",
+               std::to_string(r.introduced_delay));
+  }
+};
+
+constexpr const char* kConsecutiveLossDeps[] = {series::kLossRecovery,
+                                                series::kRetransmission};
+
+class ConsecutiveLossPass final : public AnalysisPass {
+ public:
+  [[nodiscard]] const PassInfo& info() const override {
+    static constexpr PassInfo kInfo{
+        "consecutive-loss", "runs of back-to-back losses collapsing cwnd",
+        PassKind::kDetector, Factor::kBgpSenderApp, kConsecutiveLossDeps};
+    return kInfo;
+  }
+
+  void run(const AnalysisContext& ctx, PassScratch*,
+           ConnectionAnalysis& out) const override {
+    detect_consecutive_losses_into(ctx.registry, ctx.transfer,
+                                   ConsecutiveLossOptions{},
+                                   out.findings.losses);
+  }
+
+  void text_findings(const ConnectionAnalysis& a,
+                     std::string& out) const override {
+    const ConsecutiveLossResult& r = a.findings.losses;
+    if (!r.detected) return;
+    appendf(out, "  ! consecutive losses: worst run %zu, %.1fs\n",
+            r.max_consecutive, to_seconds(r.introduced_delay));
+  }
+
+  bool json_findings(const ConnectionAnalysis& a,
+                     std::string& out) const override {
+    const ConsecutiveLossResult& r = a.findings.losses;
+    out.append("\"consecutive_losses\":{\"detected\":")
+        .append(r.detected ? "true" : "false")
+        .append(",\"episodes\":")
+        .append(std::to_string(r.episodes))
+        .append(",\"max_consecutive\":")
+        .append(std::to_string(r.max_consecutive))
+        .append(",\"introduced_delay_us\":")
+        .append(std::to_string(r.introduced_delay))
+        .append("}");
+    return true;
+  }
+
+  void csv_findings(const ConnectionAnalysis& a, const std::string& conn,
+                    std::string& out) const override {
+    const ConsecutiveLossResult& r = a.findings.losses;
+    append_csv(out, conn, "detector", "consecutive-loss.detected",
+               r.detected ? "1" : "0");
+    if (!r.detected) return;
+    append_csv(out, conn, "detector", "consecutive-loss.episodes",
+               std::to_string(r.episodes));
+    append_csv(out, conn, "detector", "consecutive-loss.max_consecutive",
+               std::to_string(r.max_consecutive));
+    append_csv(out, conn, "detector", "consecutive-loss.introduced_delay_us",
+               std::to_string(r.introduced_delay));
+  }
+};
+
+constexpr const char* kZeroAckDeps[] = {series::kZeroAdvBndOut,
+                                        series::kUpstreamLoss};
+
+class ZeroWindowBugPass final : public AnalysisPass {
+ public:
+  [[nodiscard]] const PassInfo& info() const override {
+    static constexpr PassInfo kInfo{
+        "zero-window-bug", "zero-window probe bug (losses in closed windows)",
+        PassKind::kDetector, Factor::kBgpSenderApp, kZeroAckDeps};
+    return kInfo;
+  }
+
+  void run(const AnalysisContext& ctx, PassScratch*,
+           ConnectionAnalysis& out) const override {
+    detect_zero_ack_bug_into(ctx.registry, ctx.transfer, out.findings.zero_ack);
+  }
+
+  void text_findings(const ConnectionAnalysis& a,
+                     std::string& out) const override {
+    const ZeroAckBugResult& r = a.findings.zero_ack;
+    if (!r.detected) return;
+    appendf(out,
+            "  ! zero-window probe bug suspected (%zu losses during"
+            " closed windows)\n",
+            r.occurrences);
+  }
+
+  bool json_findings(const ConnectionAnalysis& a,
+                     std::string& out) const override {
+    const ZeroAckBugResult& r = a.findings.zero_ack;
+    out.append("\"zero_window_bug\":{\"detected\":")
+        .append(r.detected ? "true" : "false")
+        .append(",\"occurrences\":")
+        .append(std::to_string(r.occurrences))
+        .append(",\"overlap_us\":")
+        .append(std::to_string(r.overlap))
+        .append("}");
+    return true;
+  }
+
+  void csv_findings(const ConnectionAnalysis& a, const std::string& conn,
+                    std::string& out) const override {
+    const ZeroAckBugResult& r = a.findings.zero_ack;
+    append_csv(out, conn, "detector", "zero-window-bug.detected",
+               r.detected ? "1" : "0");
+    if (!r.detected) return;
+    append_csv(out, conn, "detector", "zero-window-bug.occurrences",
+               std::to_string(r.occurrences));
+    append_csv(out, conn, "detector", "zero-window-bug.overlap_us",
+               std::to_string(r.overlap));
+  }
+};
+
+constexpr const char* kPeerGroupDeps[] = {series::kSendAppLimited,
+                                          series::kKeepAliveOnly};
+
+struct PeerGroupPassScratch final : PassScratch {
+  PeerGroupScratch s;
+};
+
+class PeerGroupPass final : public AnalysisPass {
+ public:
+  [[nodiscard]] const PassInfo& info() const override {
+    static constexpr PassInfo kInfo{
+        "peer-group", "keepalive-only pauses: possible peer-group blocking",
+        PassKind::kDetector, Factor::kBgpSenderApp, kPeerGroupDeps};
+    return kInfo;
+  }
+
+  [[nodiscard]] std::unique_ptr<PassScratch> make_scratch() const override {
+    return std::make_unique<PeerGroupPassScratch>();
+  }
+
+  void run(const AnalysisContext&, PassScratch* scratch,
+           ConnectionAnalysis& out) const override {
+    // The single-connection screen; the cross-connection confirmation
+    // (detect_peer_group_blocking) is a whole-trace operation outside the
+    // per-connection pipeline.
+    detect_peer_group_pause_into(out, PeerGroupBlockOptions{},
+                                 static_cast<PeerGroupPassScratch*>(scratch)->s,
+                                 out.findings.pause);
+  }
+
+  void text_findings(const ConnectionAnalysis& a,
+                     std::string& out) const override {
+    const PeerGroupBlockResult& r = a.findings.pause;
+    if (!r.detected) return;
+    appendf(out,
+            "  ! keepalive-only pause %.1fs: possible peer-group"
+            " blocking\n",
+            to_seconds(r.blocked_time));
+  }
+
+  bool json_findings(const ConnectionAnalysis& a,
+                     std::string& out) const override {
+    const PeerGroupBlockResult& r = a.findings.pause;
+    out.append("\"peer_group_pause\":{\"detected\":")
+        .append(r.detected ? "true" : "false")
+        .append(",\"blocked_time_us\":")
+        .append(std::to_string(r.blocked_time))
+        .append(",\"episodes\":")
+        .append(std::to_string(r.episodes.size()))
+        .append("}");
+    return true;
+  }
+
+  void csv_findings(const ConnectionAnalysis& a, const std::string& conn,
+                    std::string& out) const override {
+    const PeerGroupBlockResult& r = a.findings.pause;
+    append_csv(out, conn, "detector", "peer-group.detected",
+               r.detected ? "1" : "0");
+    if (!r.detected) return;
+    append_csv(out, conn, "detector", "peer-group.blocked_time_us",
+               std::to_string(r.blocked_time));
+    append_csv(out, conn, "detector", "peer-group.episodes",
+               std::to_string(r.episodes.size()));
+  }
+};
+
+struct CaptureVoidPassScratch final : PassScratch {
+  CaptureVoidScratch s;
+};
+
+class CaptureVoidPass final : public AnalysisPass {
+ public:
+  [[nodiscard]] const PassInfo& info() const override {
+    static constexpr PassInfo kInfo{
+        "capture-voids", "sniffer drop periods (acked but never captured)",
+        PassKind::kDetector, Factor::kBgpSenderApp, {}};
+    return kInfo;
+  }
+
+  [[nodiscard]] std::unique_ptr<PassScratch> make_scratch() const override {
+    return std::make_unique<CaptureVoidPassScratch>();
+  }
+
+  void run(const AnalysisContext& ctx, PassScratch* scratch,
+           ConnectionAnalysis& out) const override {
+    detect_capture_voids_into(
+        ctx.conn, ctx.profile,
+        static_cast<CaptureVoidPassScratch*>(scratch)->s, out.findings.voids);
+  }
+
+  void text_findings(const ConnectionAnalysis& a,
+                     std::string& out) const override {
+    const CaptureVoidResult& r = a.findings.voids;
+    if (!r.detected) return;
+    appendf(out, "  ! capture voids: %llu bytes never captured\n",
+            static_cast<unsigned long long>(r.missing_bytes));
+  }
+
+  bool json_findings(const ConnectionAnalysis& a,
+                     std::string& out) const override {
+    const CaptureVoidResult& r = a.findings.voids;
+    out.append("\"capture_voids\":{\"detected\":")
+        .append(r.detected ? "true" : "false")
+        .append(",\"missing_bytes\":")
+        .append(std::to_string(r.missing_bytes))
+        .append(",\"void_count\":")
+        .append(std::to_string(r.voids.size()))
+        .append("}");
+    return true;
+  }
+
+  void csv_findings(const ConnectionAnalysis& a, const std::string& conn,
+                    std::string& out) const override {
+    const CaptureVoidResult& r = a.findings.voids;
+    append_csv(out, conn, "detector", "capture-voids.detected",
+               r.detected ? "1" : "0");
+    if (!r.detected) return;
+    append_csv(out, conn, "detector", "capture-voids.missing_bytes",
+               std::to_string(r.missing_bytes));
+    append_csv(out, conn, "detector", "capture-voids.void_count",
+               std::to_string(r.voids.size()));
+  }
+};
+
+}  // namespace
+
+PassRegistry::PassRegistry() {
+  // The eight factor passes first, in Factor order, so pass id ==
+  // static_cast<std::size_t>(factor); then the detectors in report order.
+  static const FactorPass sender_app{{"bgp-sender-app",
+                                      "sending BGP process idle",
+                                      PassKind::kFactor, Factor::kBgpSenderApp,
+                                      kSenderAppDeps}};
+  static const FactorPass cwnd{{"tcp-congestion-window",
+                                "congestion-window bound", PassKind::kFactor,
+                                Factor::kTcpCongestionWindow, kCwndDeps}};
+  static const FactorPass send_loss{{"sender-local-loss",
+                                     "losses local to the sender",
+                                     PassKind::kFactor,
+                                     Factor::kSenderLocalLoss, kSendLossDeps}};
+  static const FactorPass recv_app{{"bgp-receiver-app",
+                                    "receiving BGP process not draining",
+                                    PassKind::kFactor, Factor::kBgpReceiverApp,
+                                    kRecvAppDeps}};
+  static const FactorPass adv_window{
+      {"tcp-advertised-window", "configured advertised window is the limit",
+       PassKind::kFactor, Factor::kTcpAdvertisedWindow, kAdvWindowDeps}};
+  static const FactorPass recv_loss{{"receiver-local-loss",
+                                     "losses local to the receiver",
+                                     PassKind::kFactor,
+                                     Factor::kReceiverLocalLoss,
+                                     kRecvLossDeps}};
+  static const FactorPass bandwidth{{"bandwidth-limited",
+                                     "wire-paced: path bandwidth is the limit",
+                                     PassKind::kFactor,
+                                     Factor::kBandwidthLimited,
+                                     kBandwidthDeps}};
+  static const FactorPass net_loss{{"network-loss",
+                                    "losses in the network path",
+                                    PassKind::kFactor, Factor::kNetworkLoss,
+                                    kNetLossDeps}};
+  static const TimerGapPass timer_gaps;
+  static const ConsecutiveLossPass consecutive_loss;
+  static const ZeroWindowBugPass zero_window_bug;
+  static const PeerGroupPass peer_group;
+  static const CaptureVoidPass capture_voids;
+
+  passes_ = {&sender_app,  &cwnd,      &send_loss,        &recv_app,
+             &adv_window,  &recv_loss, &bandwidth,        &net_loss,
+             &timer_gaps,  &consecutive_loss, &zero_window_bug,
+             &peer_group,  &capture_voids};
+}
+
+std::size_t PassRegistry::find(std::string_view name) const {
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    if (name == passes_[i]->info().name) return i;
+  }
+  return npos;
+}
+
+PassRegistry& pass_registry() {
+  static PassRegistry registry;
+  return registry;
+}
+
+void init_pass_states(std::vector<PassExecState>& out) {
+  const auto passes = pass_registry().passes();
+  out.clear();
+  out.reserve(passes.size());
+  std::string name;
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    PassExecState st;
+    st.pass = passes[i];
+    st.id = i;
+    st.scratch = passes[i]->make_scratch();
+    name.assign("pass.").append(passes[i]->info().name).append(".us");
+    st.us = &metrics().histogram(name);
+    name.assign("pass.").append(passes[i]->info().name).append(".runs");
+    st.runs = &metrics().counter(name);
+    out.push_back(std::move(st));
+  }
+}
+
+Result<PassSelection> parse_detector_selection(std::string_view value) {
+  if (value == "all") return PassSelection::all();
+  const PassRegistry& reg = pass_registry();
+  // The factor passes always run — the delay report is the analyzer's core
+  // output; --detectors only chooses the §II detectors layered on top.
+  PassSelection sel = PassSelection::none();
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    if (reg.passes()[i]->info().kind == PassKind::kFactor) sel.set(i, true);
+  }
+  if (value == "none") return sel;
+  std::string_view rest = value;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view token = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t id = reg.find(token);
+    if (id == PassRegistry::npos ||
+        reg.passes()[id]->info().kind != PassKind::kDetector) {
+      std::string msg = "unknown detector '";
+      msg.append(token).append("' (valid: all, none");
+      for (const AnalysisPass* p : reg.passes()) {
+        if (p->info().kind == PassKind::kDetector) {
+          msg.append(", ").append(p->info().name);
+        }
+      }
+      msg.append(")");
+      return Err<PassSelection>(std::move(msg));
+    }
+    sel.set(id, true);
+  }
+  return sel;
+}
+
+}  // namespace tdat

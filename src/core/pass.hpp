@@ -1,0 +1,136 @@
+// The detection stage as registered passes. Every one of the eight §III-D
+// factor computations and the four §II detectors (plus the capture-void
+// screen) is an AnalysisPass: a named unit with declared series
+// dependencies that executes over a shared immutable AnalysisContext and
+// writes into the retained ConnectionAnalysis. analyze_connection drives the
+// registered passes in registration order, so adding a detector is one
+// ~100-line leaf: implement the pass, register it, and it shows up in
+// `tdat passes`, in --detectors selection, in every output sink (via the
+// findings hooks), and in the per-pass metrics/trace spans — with no edit to
+// the core driver.
+//
+// Scratch ownership follows the analysis-stage discipline (DESIGN.md §7):
+// each pass may allocate one PassScratch per worker (make_scratch), held in
+// the worker's AnalysisScratch and reused across connections, so the steady
+// state stays allocation-free. The shared DelayScratch for the factor sets
+// lives in the context because finalize_delay_groups needs all eight sets
+// together after the factor passes ran.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "util/result.hpp"
+
+namespace tdat {
+
+class Counter;
+class LatencyHistogram;
+
+enum class PassKind : std::uint8_t { kFactor, kDetector };
+
+[[nodiscard]] const char* to_string(PassKind kind);
+
+struct PassInfo {
+  const char* name;     // stable kebab-case literal: metrics, spans, CLI
+  const char* summary;  // one line for `tdat passes`
+  PassKind kind = PassKind::kDetector;
+  Factor factor = Factor::kBgpSenderApp;  // meaningful when kind == kFactor
+  std::span<const char* const> deps;      // series the pass reads
+};
+
+// Everything a pass may read. Immutable and shared across the passes of one
+// connection; per-pass mutable state goes in the pass's scratch.
+struct AnalysisContext {
+  const Connection& conn;
+  const ConnectionProfile& profile;
+  const SeriesRegistry& registry;
+  TimeRange transfer;  // the analysis window ({} when no transfer was found)
+  const AnalyzerOptions& opts;
+  DelayScratch& delay;  // shared factor working sets (begin/finalize framing)
+};
+
+// Per-pass reusable working state, reset — never freed — between
+// connections by the pass itself at the top of run().
+struct PassScratch {
+  virtual ~PassScratch() = default;
+};
+
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+
+  [[nodiscard]] virtual const PassInfo& info() const = 0;
+
+  // One scratch per worker; nullptr when the pass needs none.
+  [[nodiscard]] virtual std::unique_ptr<PassScratch> make_scratch() const {
+    return nullptr;
+  }
+
+  // Computes the pass over one connection, writing into `out` (the report's
+  // factor slots for factor passes, out.findings for detectors).
+  virtual void run(const AnalysisContext& ctx, PassScratch* scratch,
+                   ConnectionAnalysis& out) const = 0;
+
+  // Rendering hooks: how this pass's findings appear in each sink
+  // (core/report.hpp). Defaults render nothing — factor passes are already
+  // covered by the report tables every sink prints.
+  virtual void text_findings(const ConnectionAnalysis& analysis,
+                             std::string& out) const;
+  // Appends `"key":{...}` (no trailing comma); return false to omit.
+  [[nodiscard]] virtual bool json_findings(const ConnectionAnalysis& analysis,
+                                           std::string& out) const;
+  // Appends full `connection,detector,<key>,<value>` CSV lines.
+  virtual void csv_findings(const ConnectionAnalysis& analysis,
+                            const std::string& conn, std::string& out) const;
+};
+
+// The process-wide pass registry: the eight factor passes in Factor order,
+// then the detectors in report order. Pass ids are registration indices and
+// index PassSelection bits.
+class PassRegistry {
+ public:
+  [[nodiscard]] std::span<const AnalysisPass* const> passes() const {
+    return passes_;
+  }
+  [[nodiscard]] std::size_t size() const { return passes_.size(); }
+  // Id of the named pass, or npos when unknown.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t find(std::string_view name) const;
+
+ private:
+  friend PassRegistry& pass_registry();
+  PassRegistry();
+
+  std::vector<const AnalysisPass*> passes_;
+};
+
+[[nodiscard]] PassRegistry& pass_registry();
+
+// One registered pass's execution slot inside a worker's AnalysisScratch:
+// the pass, its warm scratch, and its metric handles (pass.<name>.us /
+// pass.<name>.runs), resolved once so the hot path is a clock read plus
+// relaxed shard RMWs.
+struct PassExecState {
+  const AnalysisPass* pass = nullptr;
+  std::size_t id = 0;
+  std::unique_ptr<PassScratch> scratch;
+  LatencyHistogram* us = nullptr;
+  Counter* runs = nullptr;
+};
+
+// Fills `out` with one exec slot per registered pass, in registration order.
+void init_pass_states(std::vector<PassExecState>& out);
+
+// Parses the CLI --detectors value: "all" enables everything, "none" keeps
+// only the factor passes (the report always needs those), and a
+// comma-separated list of pass names enables exactly those detectors on top
+// of the factors. Unknown names are an error listing the valid ones.
+[[nodiscard]] Result<PassSelection> parse_detector_selection(
+    std::string_view value);
+
+}  // namespace tdat

@@ -1,0 +1,162 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+
+#include "core/export.hpp"
+#include "core/pass.hpp"
+#include "timerange/render.hpp"
+#include "util/metrics.hpp"
+
+namespace tdat {
+
+namespace {
+
+template <typename... Args>
+void appendf(std::string& out, const char* fmt, Args... args) {
+  char buf[256];
+  const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+// The CLI's human-readable summary, byte-for-byte what cmd_analyze printed
+// before the sink existed. Detector lines come from the pass text hooks in
+// registration order (the historical print order).
+void render_text(const ReportModel& model, const ReportRenderOptions& opts,
+                 std::string& out) {
+  for (const ReportEntry& entry : model.entries) {
+    const ConnectionAnalysis& a = *entry.analysis;
+    appendf(out, "connection %s\n", entry.conn->key.to_string().c_str());
+    if (entry.where.confident) {
+      appendf(out, "  inferred sniffer position: %s\n",
+              entry.where.location == SnifferLocation::kNearReceiver
+                  ? "receiver side"
+              : entry.where.location == SnifferLocation::kNearSender
+                  ? "sender side"
+                  : "mid-path");
+    }
+    if (a.transfer.empty()) {
+      out += "  no table transfer found\n";
+      continue;
+    }
+    appendf(out, "  transfer %.2fs, %zu updates, %zu prefixes\n",
+            to_seconds(a.transfer_duration()), a.mct.update_count,
+            a.mct.prefix_count);
+    appendf(out, "  (Rs, Rr, Rn) = (%.2f, %.2f, %.2f)\n",
+            a.report.ratio(FactorGroup::kSender),
+            a.report.ratio(FactorGroup::kReceiver),
+            a.report.ratio(FactorGroup::kNetwork));
+    for (std::size_t f = 0; f < kFactorCount; ++f) {
+      if (a.report.factor_ratio[f] < 0.01) continue;
+      appendf(out, "    %-26s %5.1f%%\n", to_string(static_cast<Factor>(f)),
+              100.0 * a.report.factor_ratio[f]);
+    }
+    for (const AnalysisPass* pass : pass_registry().passes()) {
+      pass->text_findings(a, out);
+    }
+    for (const std::string& name : opts.series) {
+      if (!a.series().has(name)) {
+        appendf(out, "  (no series named %s)\n", name.c_str());
+        continue;
+      }
+      out += render_series({&a.series().get(name)}, a.transfer);
+      out += '\n';
+    }
+  }
+}
+
+void render_json(const ReportModel& model, std::string& out) {
+  out += '[';
+  bool first_entry = true;
+  for (const ReportEntry& entry : model.entries) {
+    if (!first_entry) out += ',';
+    first_entry = false;
+    out += analysis_to_json_open(*entry.analysis);
+    out += ",\"detectors\":{";
+    bool first_detector = true;
+    for (const AnalysisPass* pass : pass_registry().passes()) {
+      std::string member;
+      if (!pass->json_findings(*entry.analysis, member)) continue;
+      if (!first_detector) out += ',';
+      first_detector = false;
+      out += member;
+    }
+    out += "}}";
+  }
+  out += "]\n";
+}
+
+void render_csv(const ReportModel& model, std::string& out) {
+  out += "connection,section,key,value\n";
+  const auto row = [&out](const std::string& conn, const char* section,
+                          const char* key, const std::string& value) {
+    out.append(conn).push_back(',');
+    out.append(section).push_back(',');
+    out.append(key).push_back(',');
+    out.append(value).push_back('\n');
+  };
+  for (const ReportEntry& entry : model.entries) {
+    const ConnectionAnalysis& a = *entry.analysis;
+    const std::string conn = entry.conn->key.to_string();
+    row(conn, "profile", "rtt_us", std::to_string(a.profile.rtt()));
+    row(conn, "profile", "mss", std::to_string(a.profile.mss()));
+    row(conn, "profile", "max_advertised_window",
+        std::to_string(a.profile.max_advertised_window()));
+    row(conn, "transfer", "begin_us", std::to_string(a.transfer.begin));
+    row(conn, "transfer", "end_us", std::to_string(a.transfer.end));
+    row(conn, "transfer", "updates", std::to_string(a.mct.update_count));
+    row(conn, "transfer", "prefixes", std::to_string(a.mct.prefix_count));
+    for (std::size_t f = 0; f < kFactorCount; ++f) {
+      row(conn, "factor", to_string(static_cast<Factor>(f)),
+          json_double(a.report.factor_ratio[f]));
+    }
+    for (std::size_t g = 0; g < kGroupCount; ++g) {
+      row(conn, "group", to_string(static_cast<FactorGroup>(g)),
+          json_double(a.report.group_ratio[g]));
+    }
+    for (const AnalysisPass* pass : pass_registry().passes()) {
+      pass->csv_findings(a, conn, out);
+    }
+  }
+}
+
+}  // namespace
+
+Result<ReportFormat> parse_report_format(std::string_view value) {
+  if (value == "text") return ReportFormat::kText;
+  if (value == "json") return ReportFormat::kJson;
+  if (value == "csv") return ReportFormat::kCsv;
+  return Err<ReportFormat>("unknown report format '" + std::string(value) +
+                           "' (valid: text, json, csv)");
+}
+
+ReportModel build_report_model(const TraceAnalysis& analysis) {
+  ReportModel model;
+  model.entries.reserve(analysis.results.size());
+  for (const ConnectionAnalysis& a : analysis.results) {
+    ReportEntry entry;
+    entry.conn = &analysis.connections[a.conn_index];
+    entry.analysis = &a;
+    entry.where = infer_sniffer_location(*entry.conn, a.profile);
+    model.entries.push_back(entry);
+  }
+  return model;
+}
+
+std::string render_report(const ReportModel& model, ReportFormat format,
+                          const ReportRenderOptions& opts) {
+  std::string out;
+  switch (format) {
+    case ReportFormat::kText:
+      render_text(model, opts, out);
+      break;
+    case ReportFormat::kJson:
+      render_json(model, out);
+      break;
+    case ReportFormat::kCsv:
+      render_csv(model, out);
+      break;
+  }
+  return out;
+}
+
+}  // namespace tdat

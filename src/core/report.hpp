@@ -1,0 +1,48 @@
+// The unified report model: one structure describing a finished trace
+// analysis, rendered by pluggable sinks. build_report_model() collects what
+// every output needs (per-connection analysis + inferred sniffer position);
+// render_report() turns it into text (the CLI's human summary), JSON (an
+// array of per-connection objects with a "detectors" member), or CSV
+// (connection,section,key,value rows). Detector findings reach every sink
+// through the pass rendering hooks (core/pass.hpp), so a new detector pass
+// appears in all three formats without touching this layer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/locate.hpp"
+#include "util/result.hpp"
+
+namespace tdat {
+
+enum class ReportFormat : std::uint8_t { kText, kJson, kCsv };
+
+// "text" | "json" | "csv"; anything else is an error naming the valid set.
+[[nodiscard]] Result<ReportFormat> parse_report_format(std::string_view value);
+
+struct ReportEntry {
+  const Connection* conn = nullptr;
+  const ConnectionAnalysis* analysis = nullptr;
+  SnifferLocationEstimate where;
+};
+
+struct ReportModel {
+  std::vector<ReportEntry> entries;  // one per connection, trace order
+};
+
+struct ReportRenderOptions {
+  // Series coverage maps appended per connection (text format only).
+  std::vector<std::string> series;
+};
+
+// The model borrows from `analysis`, which must outlive it.
+[[nodiscard]] ReportModel build_report_model(const TraceAnalysis& analysis);
+
+[[nodiscard]] std::string render_report(const ReportModel& model,
+                                        ReportFormat format,
+                                        const ReportRenderOptions& opts = {});
+
+}  // namespace tdat

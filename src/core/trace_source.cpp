@@ -1,0 +1,151 @@
+#include "core/trace_source.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "pcap/decode.hpp"
+
+namespace tdat {
+
+// ---------------------------------------------------- PacketVectorSource --
+
+bool PacketVectorSource::next(DecodedPacket& out) {
+  if (next_ >= packets_.size()) return false;
+  out = std::move(packets_[next_++]);
+  bytes_ += out.frame.size();
+  return true;
+}
+
+// ------------------------------------------------------- PcapFileSource --
+
+PcapFileSource::PcapFileSource(const PcapFile& file, bool verify_checksums)
+    : file_(&file), verify_checksums_(verify_checksums) {
+  // Account ingest from the capture's view — the 24-byte pcap global header
+  // plus record headers and stored bytes, matching PcapStream::bytes_read()
+  // byte for byte.
+  bytes_ = 24;
+  for (const PcapRecord& rec : file.records) bytes_ += 16 + rec.data.size();
+}
+
+bool PcapFileSource::next(DecodedPacket& out) {
+  while (next_ < file_->records.size()) {
+    const std::size_t i = next_++;
+    const PcapRecord& rec = file_->records[i];
+    if (rec.data.size() < rec.orig_len) continue;  // truncated capture
+    if (auto pkt = decode_frame(rec.ts, i, rec.data, verify_checksums_)) {
+      out = std::move(*pkt);
+      return true;
+    }
+  }
+  return false;
+}
+
+// ----------------------------------------------------- PcapStreamSource --
+
+Result<PcapStreamSource> PcapStreamSource::open(const std::string& path,
+                                                bool verify_checksums) {
+  return PcapStream::open(path).map([verify_checksums](PcapStream stream) {
+    return PcapStreamSource(std::move(stream), verify_checksums);
+  });
+}
+
+bool PcapStreamSource::next(DecodedPacket& out) {
+  StreamRecord rec;
+  while (stream_.next(rec)) {
+    const std::size_t i = index_++;
+    if (rec.data.size() < rec.orig_len) continue;  // truncated capture
+    // The record's arena chunk rides along as the packet's backing, so no
+    // frame bytes are copied; the chunk is freed once the last packet in it
+    // is gone.
+    if (auto pkt = decode_frame(rec.ts, i, rec.data, verify_checksums_,
+                                rec.arena)) {
+      out = std::move(*pkt);
+      return true;
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------ MultiFileSource --
+
+Result<MultiFileSource> MultiFileSource::open(
+    const std::vector<std::string>& inputs, bool verify_checksums) {
+  std::vector<std::string> files;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(input, ec)) {
+      // Directory of rotated captures: every regular file inside, in name
+      // order (the timestamp sort below decides the final order; name order
+      // only breaks first-timestamp ties deterministically).
+      std::vector<std::string> entries;
+      for (const auto& entry : std::filesystem::directory_iterator(input, ec)) {
+        if (entry.is_regular_file()) entries.push_back(entry.path().string());
+      }
+      if (ec) return Err<MultiFileSource>("pcap: cannot list " + input);
+      if (entries.empty()) {
+        return Err<MultiFileSource>("pcap: no capture files in " + input);
+      }
+      std::sort(entries.begin(), entries.end());
+      files.insert(files.end(), entries.begin(), entries.end());
+    } else {
+      files.push_back(input);
+    }
+  }
+  if (files.empty()) return Err<MultiFileSource>("pcap: no input captures");
+
+  MultiFileSource src;
+  src.verify_checksums_ = verify_checksums;
+  src.parts_.reserve(files.size());
+  for (const std::string& file : files) {
+    auto stream = PcapStream::open(file);
+    if (!stream.ok()) return stream.take_error();
+    Part part{std::move(stream).value(), {}, false};
+    part.has_pending = part.stream.next(part.pending);
+    src.parts_.push_back(std::move(part));
+  }
+  // Rotation order == first-record timestamp order; stable so equal
+  // timestamps keep the (sorted) name order. Empty captures sort last and
+  // are skipped by next().
+  std::stable_sort(src.parts_.begin(), src.parts_.end(),
+                   [](const Part& a, const Part& b) {
+                     if (a.has_pending != b.has_pending) return a.has_pending;
+                     return a.has_pending && a.pending.ts < b.pending.ts;
+                   });
+  return src;
+}
+
+bool MultiFileSource::next(DecodedPacket& out) {
+  while (current_ < parts_.size()) {
+    Part& part = parts_[current_];
+    if (!part.has_pending) {
+      ++current_;
+      continue;
+    }
+    const std::size_t i = index_++;
+    StreamRecord rec = std::move(part.pending);
+    part.has_pending = part.stream.next(part.pending);
+    if (rec.data.size() < rec.orig_len) continue;  // truncated capture
+    if (auto pkt = decode_frame(rec.ts, i, rec.data, verify_checksums_,
+                                rec.arena)) {
+      out = std::move(*pkt);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t MultiFileSource::bytes_ingested() const {
+  std::uint64_t total = 0;
+  for (const Part& part : parts_) total += part.stream.bytes_read();
+  return total;
+}
+
+std::uint64_t MultiFileSource::records_seen() const {
+  std::uint64_t total = 0;
+  for (const Part& part : parts_) total += part.stream.records_read();
+  return total;
+}
+
+}  // namespace tdat

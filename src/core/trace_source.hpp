@@ -1,0 +1,143 @@
+// The single ingest abstraction of the analysis pipeline: a TraceSource
+// yields decoded TCP packets one at a time, plus the capture-level accounting
+// (bytes, records) PipelineStats reports. run_pipeline(core/analyzer.hpp)
+// consumes any source the same way, so the in-memory PcapFile path, the
+// streaming file path, and the rotated multi-file path share one pipeline —
+// there is no per-path ingest loop left to keep bit-identical by hand.
+//
+// Sources and accounting:
+//   PacketVectorSource  pre-decoded packets (analyze_packets); bytes = frame
+//                       bytes, records = 0 (no capture headers were seen).
+//   PcapFileSource      in-memory PcapFile (analyze_trace); decodes exactly
+//                       like decode_pcap (skips truncated records, packet
+//                       index = record position); bytes = 24-byte global
+//                       header + per-record 16-byte header + stored bytes,
+//                       matching PcapStream::bytes_read byte for byte.
+//   PcapStreamSource    chunked streaming file ingest (analyze_file);
+//                       zero-copy arena-backed frames.
+//   MultiFileSource     rotated captures: opens every file (or every *.pcap
+//                       in a directory), orders the files by their first
+//                       record timestamp, and concatenates them with a
+//                       continuous global record index.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pcap/packet.hpp"
+#include "pcap/pcap_file.hpp"
+#include "pcap/pcap_stream.hpp"
+#include "util/result.hpp"
+
+namespace tdat {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  // Fetches the next decoded packet. False at end of source.
+  [[nodiscard]] virtual bool next(DecodedPacket& out) = 0;
+
+  // Capture bytes consumed so far (headers included where the source sees
+  // them) and pcap records seen (decoded or not). Stable after exhaustion.
+  [[nodiscard]] virtual std::uint64_t bytes_ingested() const = 0;
+  [[nodiscard]] virtual std::uint64_t records_seen() const = 0;
+};
+
+// Pre-decoded packets, handed out in order. Owns the vector.
+class PacketVectorSource final : public TraceSource {
+ public:
+  explicit PacketVectorSource(std::vector<DecodedPacket> packets)
+      : packets_(std::move(packets)) {}
+
+  [[nodiscard]] bool next(DecodedPacket& out) override;
+  [[nodiscard]] std::uint64_t bytes_ingested() const override { return bytes_; }
+  [[nodiscard]] std::uint64_t records_seen() const override { return 0; }
+
+ private:
+  std::vector<DecodedPacket> packets_;
+  std::size_t next_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+// In-memory PcapFile. The file must outlive the source (frames are spans
+// into its record buffers).
+class PcapFileSource final : public TraceSource {
+ public:
+  PcapFileSource(const PcapFile& file, bool verify_checksums);
+
+  [[nodiscard]] bool next(DecodedPacket& out) override;
+  [[nodiscard]] std::uint64_t bytes_ingested() const override { return bytes_; }
+  [[nodiscard]] std::uint64_t records_seen() const override {
+    return file_->records.size();
+  }
+
+ private:
+  const PcapFile* file_;
+  bool verify_checksums_;
+  std::size_t next_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+// Streaming single-file ingest over PcapStream; frames stay zero-copy views
+// pinned by their arena chunk.
+class PcapStreamSource final : public TraceSource {
+ public:
+  [[nodiscard]] static Result<PcapStreamSource> open(const std::string& path,
+                                                     bool verify_checksums);
+
+  explicit PcapStreamSource(PcapStream stream, bool verify_checksums,
+                            std::size_t first_index = 0)
+      : stream_(std::move(stream)),
+        verify_checksums_(verify_checksums),
+        index_(first_index) {}
+
+  [[nodiscard]] bool next(DecodedPacket& out) override;
+  [[nodiscard]] std::uint64_t bytes_ingested() const override {
+    return stream_.bytes_read();
+  }
+  [[nodiscard]] std::uint64_t records_seen() const override {
+    return stream_.records_read();
+  }
+  // Global record index after the records served so far (for multi-file
+  // concatenation).
+  [[nodiscard]] std::size_t next_index() const { return index_; }
+
+ private:
+  PcapStream stream_;
+  bool verify_checksums_;
+  std::size_t index_;
+};
+
+// Rotated-capture concatenation. `inputs` may mix capture files and
+// directories; a directory contributes every regular file directly inside it
+// (a rotated-capture drop usually holds nothing else; name them *.pcap).
+// Files are ordered by the timestamp of their first record — rotation order —
+// then streamed back to back with a continuous global record index.
+class MultiFileSource final : public TraceSource {
+ public:
+  [[nodiscard]] static Result<MultiFileSource> open(
+      const std::vector<std::string>& inputs, bool verify_checksums);
+
+  [[nodiscard]] bool next(DecodedPacket& out) override;
+  [[nodiscard]] std::uint64_t bytes_ingested() const override;
+  [[nodiscard]] std::uint64_t records_seen() const override;
+
+  [[nodiscard]] std::size_t file_count() const { return parts_.size(); }
+
+ private:
+  struct Part {
+    PcapStream stream;
+    StreamRecord pending;  // one-record lookahead (first record decides order)
+    bool has_pending = false;
+  };
+
+  MultiFileSource() = default;
+
+  std::vector<Part> parts_;  // ordered by first-record timestamp
+  std::size_t current_ = 0;
+  std::size_t index_ = 0;    // continuous global record index
+  bool verify_checksums_ = false;
+};
+
+}  // namespace tdat

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/log.hpp"
 
 namespace tdat {
 
@@ -29,12 +30,20 @@ BgpSenderApp::BgpSenderApp(Scheduler& sched, BgpSenderConfig config,
   member_id_ = group_->attach();
 }
 
-void BgpSenderApp::start(std::uint32_t remote_ip, std::uint16_t remote_port) {
-  TDAT_EXPECTS(endpoint_ != nullptr);
+Result<Unit> BgpSenderApp::start(std::uint32_t remote_ip,
+                                 std::uint16_t remote_port) {
+  if (endpoint_ == nullptr) {
+    return Err<Unit>("bgp sender: started before bind()");
+  }
   running_ = true;
   last_heard_ = sched_.now();
-  endpoint_->connect(remote_ip, remote_port);
+  auto connected = endpoint_->connect(remote_ip, remote_port);
+  if (!connected.ok()) {
+    running_ = false;
+    return connected;
+  }
   check_hold_timer();
+  return Unit{};
 }
 
 std::optional<std::span<const std::uint8_t>> BgpSenderApp::next_message() const {
@@ -51,13 +60,18 @@ void BgpSenderApp::consume_message() {
   }
 }
 
-void BgpSenderApp::enqueue(std::vector<std::vector<std::uint8_t>> messages) {
-  TDAT_EXPECTS(group_ == nullptr);
+Result<Unit> BgpSenderApp::enqueue(
+    std::vector<std::vector<std::uint8_t>> messages) {
+  if (group_ != nullptr) {
+    return Err<Unit>("bgp sender: enqueue on a peer-grouped sender"
+                     " (the group owns the queue)");
+  }
   own_messages_.insert(own_messages_.end(),
                        std::make_move_iterator(messages.begin()),
                        std::make_move_iterator(messages.end()));
   finished_ = false;
   if (!config_.timer_driven) pump();
+  return Unit{};
 }
 
 void BgpSenderApp::on_connected() {
@@ -161,6 +175,9 @@ void BgpSenderApp::check_hold_timer() {
 }
 
 void BgpSenderApp::fail_session() {
+  TDAT_LOG_WARN("bgp sender: hold timer expired after %.1fs silence,"
+                " tearing the session down",
+                to_seconds(sched_.now() - last_heard_));
   failed_ = true;
   failed_at_ = sched_.now();
   running_ = false;
@@ -176,14 +193,22 @@ BgpReceiverApp::BgpReceiverApp(Scheduler& sched, BgpReceiverConfig config,
   if (host_ != nullptr) host_->attach(this);
 }
 
-void BgpReceiverApp::start(std::uint32_t remote_ip, std::uint16_t remote_port) {
-  TDAT_EXPECTS(endpoint_ != nullptr);
+Result<Unit> BgpReceiverApp::start(std::uint32_t remote_ip,
+                                   std::uint16_t remote_port) {
+  if (endpoint_ == nullptr) {
+    return Err<Unit>("bgp receiver: started before bind()");
+  }
   running_ = true;
-  endpoint_->listen(remote_ip, remote_port);
+  auto listening = endpoint_->listen(remote_ip, remote_port);
+  if (!listening.ok()) {
+    running_ = false;
+    return listening;
+  }
   if (host_ == nullptr) {
     sched_.after(config_.read_interval, [this] { self_tick(); });
   }
   sched_.after(config_.keepalive_interval, [this] { keepalive_tick(); });
+  return Unit{};
 }
 
 void BgpReceiverApp::on_connected() {}

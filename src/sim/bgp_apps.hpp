@@ -44,13 +44,15 @@ class BgpSenderApp final : public TcpApp {
   BgpSenderApp(Scheduler& sched, BgpSenderConfig config, PeerGroup* group);
 
   void bind(TcpEndpoint* endpoint) { endpoint_ = endpoint; }
-  // Active-opens the TCP connection and starts the BGP machinery.
-  void start(std::uint32_t remote_ip, std::uint16_t remote_port);
+  // Active-opens the TCP connection and starts the BGP machinery. Errors
+  // (started before bind, endpoint not closed) are returned, not asserted.
+  Result<Unit> start(std::uint32_t remote_ip, std::uint16_t remote_port);
 
   // Queues additional messages behind the current stream — e.g. the massive
   // update burst a routing event triggers after the initial table transfer
-  // (the paper's §VII future-work case). Ungrouped senders only.
-  void enqueue(std::vector<std::vector<std::uint8_t>> messages);
+  // (the paper's §VII future-work case). Errors on a peer-grouped sender,
+  // whose queue belongs to the group.
+  Result<Unit> enqueue(std::vector<std::vector<std::uint8_t>> messages);
 
   void on_connected() override;
   void on_data_available() override;
@@ -104,7 +106,7 @@ class BgpReceiverApp final : public TcpApp {
                  CollectorHost* host = nullptr);
 
   void bind(TcpEndpoint* endpoint) { endpoint_ = endpoint; }
-  void start(std::uint32_t remote_ip, std::uint16_t remote_port);
+  Result<Unit> start(std::uint32_t remote_ip, std::uint16_t remote_port);
 
   void on_connected() override;
   void on_data_available() override;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/log.hpp"
 
 namespace tdat {
 namespace {
@@ -19,20 +20,32 @@ TcpEndpoint::TcpEndpoint(Scheduler& sched, TcpConfig config, TcpApp* app,
   rto_ = std::max<Micros>(kMicrosPerSec, config_.min_rto);
 }
 
-void TcpEndpoint::connect(std::uint32_t remote_ip, std::uint16_t remote_port) {
-  TDAT_EXPECTS(state_ == State::kClosed);
+Result<Unit> TcpEndpoint::connect(std::uint32_t remote_ip,
+                                  std::uint16_t remote_port) {
+  if (state_ != State::kClosed) {
+    TDAT_LOG_ERROR("sim tcp %s: connect on a non-closed endpoint",
+                   name_.c_str());
+    return Err<Unit>("sim tcp " + name_ + ": connect on a non-closed endpoint");
+  }
   remote_ip_ = remote_ip;
   remote_port_ = remote_port;
   state_ = State::kSynSent;
   emit(TcpFlags{.syn = true}, 0, {}, /*is_syn_seq=*/true);
   arm_rto();
+  return Unit{};
 }
 
-void TcpEndpoint::listen(std::uint32_t remote_ip, std::uint16_t remote_port) {
-  TDAT_EXPECTS(state_ == State::kClosed);
+Result<Unit> TcpEndpoint::listen(std::uint32_t remote_ip,
+                                 std::uint16_t remote_port) {
+  if (state_ != State::kClosed) {
+    TDAT_LOG_ERROR("sim tcp %s: listen on a non-closed endpoint",
+                   name_.c_str());
+    return Err<Unit>("sim tcp " + name_ + ": listen on a non-closed endpoint");
+  }
   remote_ip_ = remote_ip;
   remote_port_ = remote_port;
   state_ = State::kListen;
+  return Unit{};
 }
 
 std::size_t TcpEndpoint::send(std::span<const std::uint8_t> bytes) {

@@ -24,6 +24,7 @@
 #include "sim/scheduler.hpp"
 #include "sim/sim_packet.hpp"
 #include "tcp/reassembler.hpp"
+#include "util/result.hpp"
 
 namespace tdat {
 
@@ -78,8 +79,11 @@ class TcpEndpoint {
     output_ = std::move(output);
   }
 
-  void connect(std::uint32_t remote_ip, std::uint16_t remote_port);  // active open
-  void listen(std::uint32_t remote_ip, std::uint16_t remote_port);   // passive open
+  // Active / passive open. Errors (opening a non-closed endpoint) are
+  // returned, not asserted: a scenario wiring mistake should fail the
+  // harness with a message, not bring the process down.
+  Result<Unit> connect(std::uint32_t remote_ip, std::uint16_t remote_port);
+  Result<Unit> listen(std::uint32_t remote_ip, std::uint16_t remote_port);
 
   // Appends to the send buffer; returns bytes accepted (0 when full).
   std::size_t send(std::span<const std::uint8_t> bytes);

@@ -1,6 +1,7 @@
 #include "sim/world.hpp"
 
 #include "util/assert.hpp"
+#include "util/log.hpp"
 
 namespace tdat {
 
@@ -104,8 +105,18 @@ void SimWorld::start_session(std::size_t index, Micros at) {
   TDAT_EXPECTS(index < sessions_.size());
   Session* s = sessions_[index].get();
   sched_.at(at, [s] {
-    s->receiver_app->start(s->spec.sender_ip, s->spec.sender_port);
-    s->sender_app->start(s->spec.receiver_ip, s->spec.receiver_port);
+    // Startup errors mean a mis-wired scenario; surface them in the log
+    // rather than crashing the harness mid-simulation.
+    auto receiving = s->receiver_app->start(s->spec.sender_ip,
+                                            s->spec.sender_port);
+    if (!receiving.ok()) {
+      TDAT_LOG_ERROR("start_session: %s", receiving.error().c_str());
+    }
+    auto sending = s->sender_app->start(s->spec.receiver_ip,
+                                        s->spec.receiver_port);
+    if (!sending.ok()) {
+      TDAT_LOG_ERROR("start_session: %s", sending.error().c_str());
+    }
   });
   if (host_ != nullptr) host_->start();
 }

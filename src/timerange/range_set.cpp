@@ -72,9 +72,16 @@ std::vector<TimeRange> RangeSet::overlapping(TimeRange query) const {
 }
 
 Micros RangeSet::size_within(TimeRange window) const {
+  // Walked in place (same probe as overlapping()) — this sits on the
+  // allocation-free detector path, where materializing the overlap vector
+  // would cost one heap allocation per query.
   Micros total = 0;
-  for (const TimeRange& r : overlapping(window)) {
-    total += std::min(r.end, window.end) - std::max(r.begin, window.begin);
+  if (window.empty()) return total;
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), window.begin,
+      [](const TimeRange& a, Micros t) { return a.end <= t; });
+  for (; it != ranges_.end() && it->begin < window.end; ++it) {
+    total += std::min(it->end, window.end) - std::max(it->begin, window.begin);
   }
   return total;
 }

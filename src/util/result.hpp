@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <variant>
 
@@ -13,6 +14,9 @@ namespace tdat {
 struct Error {
   std::string message;
 };
+
+// Success payload for operations with no interesting value (Result<Unit>).
+struct Unit {};
 
 template <typename T>
 class Result {
@@ -41,6 +45,28 @@ class Result {
     return std::get<Error>(data_).message;
   }
 
+  // Moves the error out, for propagating into a Result of another type.
+  [[nodiscard]] Error take_error() {
+    TDAT_EXPECTS(!ok());
+    return std::get<Error>(std::move(data_));
+  }
+
+  // Applies `f` to the success value; an error passes through untouched.
+  template <typename F>
+  [[nodiscard]] auto map(F&& f) && -> Result<std::invoke_result_t<F, T&&>> {
+    using U = std::invoke_result_t<F, T&&>;
+    if (!ok()) return Result<U>(take_error());
+    return Result<U>(std::forward<F>(f)(std::get<T>(std::move(data_))));
+  }
+
+  // Like map, but `f` itself returns a Result (monadic bind).
+  template <typename F>
+  [[nodiscard]] auto and_then(F&& f) && -> std::invoke_result_t<F, T&&> {
+    using R = std::invoke_result_t<F, T&&>;
+    if (!ok()) return R(take_error());
+    return std::forward<F>(f)(std::get<T>(std::move(data_)));
+  }
+
  private:
   std::variant<T, Error> data_;
 };
@@ -49,5 +75,14 @@ template <typename T>
 [[nodiscard]] Result<T> Err(std::string message) {
   return Result<T>(Error{std::move(message)});
 }
+
+// Evaluates `expr` (a Result<T> expression); on failure propagates the error
+// out of the enclosing function (which must itself return some Result<U>),
+// otherwise binds the success value to `var`. Two-statement form because the
+// project builds with compiler extensions off (no statement expressions).
+#define TDAT_TRY(var, expr)                                            \
+  auto var##_tdat_try = (expr);                                        \
+  if (!var##_tdat_try.ok()) return var##_tdat_try.take_error();        \
+  auto var = std::move(var##_tdat_try).value()
 
 }  // namespace tdat

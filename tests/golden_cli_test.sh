@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# End-to-end golden test for the tdat CLI: simulate a deterministic capture
+# (fixed seeds live in cmd_simulate), run it through the JSON report sink,
+# and diff byte-for-byte against the committed expected output. Also covers
+# the unified argument parser's error behaviour, `tdat passes`, and the
+# --detectors selection, so a CLI regression fails here rather than in a
+# user's pipeline.
+#
+# Usage: golden_cli_test.sh <path-to-tdat> <golden-dir>
+set -u
+
+TDAT="$1"
+GOLDEN_DIR="$2"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# --- golden JSON: simulate -> analyze --json must be byte-stable ------------
+"$TDAT" simulate baseline "$TMP/base.pcap" --sessions 2 >/dev/null \
+  || fail "simulate exited non-zero"
+
+"$TDAT" analyze "$TMP/base.pcap" --json --jobs 2 --quiet-stats \
+  >"$TMP/analyze.json" 2>"$TMP/analyze.err" \
+  || fail "analyze exited non-zero: $(cat "$TMP/analyze.err")"
+diff -u "$GOLDEN_DIR/analyze_baseline.json" "$TMP/analyze.json" \
+  || fail "analyze --json drifted from tests/golden/analyze_baseline.json" \
+          "(regenerate deliberately if the schema changed)"
+
+# Parallelism must not change a byte.
+"$TDAT" analyze "$TMP/base.pcap" --json --jobs 1 --quiet-stats \
+  >"$TMP/jobs1.json" 2>/dev/null || fail "analyze --jobs 1 exited non-zero"
+cmp -s "$TMP/analyze.json" "$TMP/jobs1.json" \
+  || fail "output differs between --jobs 2 and --jobs 1"
+
+# --- malformed arguments: one-line error, exit 2 ----------------------------
+"$TDAT" analyze "$TMP/base.pcap" --frobnicate 2>"$TMP/err.txt"
+[ $? -eq 2 ] || fail "unknown flag should exit 2"
+[ "$(wc -l <"$TMP/err.txt")" -eq 1 ] || fail "flag error should be one line"
+grep -q "unknown flag '--frobnicate'" "$TMP/err.txt" \
+  || fail "flag error should name the flag: $(cat "$TMP/err.txt")"
+
+"$TDAT" analyze 2>"$TMP/err.txt"
+[ $? -eq 2 ] || fail "analyze without inputs should exit 2"
+grep -q "no input capture" "$TMP/err.txt" \
+  || fail "missing-input error text: $(cat "$TMP/err.txt")"
+
+"$TDAT" analyze "$TMP/base.pcap" --jobs banana 2>"$TMP/err.txt"
+[ $? -eq 2 ] || fail "--jobs banana should exit 2"
+
+"$TDAT" analyze "$TMP/base.pcap" --detectors frobnicate 2>"$TMP/err.txt"
+[ $? -eq 2 ] || fail "unknown detector should exit 2"
+grep -q "timer-gaps" "$TMP/err.txt" \
+  || fail "detector error should list the valid names"
+
+# --- passes listing ---------------------------------------------------------
+"$TDAT" passes >"$TMP/passes.txt" || fail "tdat passes exited non-zero"
+for p in bgp-sender-app tcp-advertised-window network-loss \
+         timer-gaps consecutive-loss zero-window-bug peer-group \
+         capture-voids; do
+  grep -q "$p" "$TMP/passes.txt" || fail "tdat passes missing $p"
+done
+
+# --- detector selection reaches the sinks -----------------------------------
+"$TDAT" analyze "$TMP/base.pcap" --detectors none --format csv --quiet-stats \
+  >"$TMP/none.csv" 2>/dev/null || fail "analyze --detectors none failed"
+head -1 "$TMP/none.csv" | grep -q "^connection,section,key,value$" \
+  || fail "csv header missing"
+grep -q ",detector,.*\.detected,0$" "$TMP/none.csv" \
+  || fail "csv should keep the stable detector schema when disabled"
+if grep -q "\.detected,1$" "$TMP/none.csv"; then
+  fail "a detector fired despite --detectors none"
+fi
+
+echo "golden CLI test OK"

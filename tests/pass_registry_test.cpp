@@ -1,0 +1,139 @@
+// Pass-registry architecture tests: registration order defines pass ids (and
+// therefore PassSelection bits), --detectors parsing builds selections, and a
+// disabled pass provably runs zero work — checked through the per-pass
+// "pass.<name>.runs" counter the driver maintains, not just its output.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "core/pass.hpp"
+#include "sim_scenarios.hpp"
+#include "util/metrics.hpp"
+
+namespace tdat {
+namespace {
+
+using test::run_single;
+using test::timer_paced_sender;
+
+// Registration order is the public contract: ids index PassSelection bits
+// and must stay stable — factors in Factor enum order, then the detectors.
+constexpr std::array<const char*, 13> kExpectedOrder = {
+    "bgp-sender-app",     "tcp-congestion-window", "sender-local-loss",
+    "bgp-receiver-app",   "tcp-advertised-window", "receiver-local-loss",
+    "bandwidth-limited",  "network-loss",          "timer-gaps",
+    "consecutive-loss",   "zero-window-bug",       "peer-group",
+    "capture-voids",
+};
+
+TEST(PassRegistry, RegistersFactorsThenDetectorsInStableOrder) {
+  const PassRegistry& reg = pass_registry();
+  ASSERT_EQ(reg.size(), kExpectedOrder.size());
+  for (std::size_t id = 0; id < reg.size(); ++id) {
+    const PassInfo& info = reg.passes()[id]->info();
+    EXPECT_STREQ(info.name, kExpectedOrder[id]) << "pass id " << id;
+    const PassKind want =
+        id < kFactorCount ? PassKind::kFactor : PassKind::kDetector;
+    EXPECT_EQ(info.kind, want) << info.name;
+    if (info.kind == PassKind::kFactor) {
+      EXPECT_EQ(static_cast<std::size_t>(info.factor), id) << info.name;
+    }
+    EXPECT_NE(info.summary, nullptr);
+    // Every factor pass derives from named series; detectors may read raw
+    // packets instead (capture-voids scans the ACK stream directly).
+    if (info.kind == PassKind::kFactor) {
+      EXPECT_FALSE(info.deps.empty())
+          << info.name << " should declare the series it reads";
+    }
+  }
+}
+
+TEST(PassRegistry, FindMapsNamesToIdsAndRejectsUnknown) {
+  const PassRegistry& reg = pass_registry();
+  EXPECT_EQ(reg.find("bgp-sender-app"), 0u);
+  EXPECT_EQ(reg.find("timer-gaps"), kFactorCount);
+  EXPECT_EQ(reg.find("capture-voids"), reg.size() - 1);
+  EXPECT_EQ(reg.find("no-such-pass"), PassRegistry::npos);
+  EXPECT_EQ(reg.find(""), PassRegistry::npos);
+}
+
+TEST(DetectorSelection, AllEnablesEveryRegisteredPass) {
+  auto sel = parse_detector_selection("all");
+  ASSERT_TRUE(sel.ok());
+  for (std::size_t id = 0; id < pass_registry().size(); ++id) {
+    EXPECT_TRUE(sel.value().enabled(id));
+  }
+}
+
+TEST(DetectorSelection, NoneKeepsOnlyTheFactorPasses) {
+  auto sel = parse_detector_selection("none");
+  ASSERT_TRUE(sel.ok());
+  for (std::size_t id = 0; id < pass_registry().size(); ++id) {
+    EXPECT_EQ(sel.value().enabled(id), id < kFactorCount) << "pass id " << id;
+  }
+}
+
+TEST(DetectorSelection, CommaListEnablesExactlyTheNamedDetectors) {
+  auto sel = parse_detector_selection("timer-gaps,peer-group");
+  ASSERT_TRUE(sel.ok());
+  const PassRegistry& reg = pass_registry();
+  for (std::size_t id = 0; id < reg.size(); ++id) {
+    const PassInfo& info = reg.passes()[id]->info();
+    const bool want = info.kind == PassKind::kFactor ||
+                      std::string(info.name) == "timer-gaps" ||
+                      std::string(info.name) == "peer-group";
+    EXPECT_EQ(sel.value().enabled(id), want) << info.name;
+  }
+}
+
+TEST(DetectorSelection, UnknownNameErrorsAndListsTheValidOnes) {
+  auto sel = parse_detector_selection("timer-gaps,frobnicate");
+  ASSERT_FALSE(sel.ok());
+  EXPECT_NE(sel.error().find("frobnicate"), std::string::npos);
+  EXPECT_NE(sel.error().find("timer-gaps"), std::string::npos);
+}
+
+TEST(DetectorSelection, FactorNamesAreNotDetectorNames) {
+  // Factor passes always run (every sink renders their tables); naming one
+  // in --detectors is a usage mistake, not a no-op.
+  EXPECT_FALSE(parse_detector_selection("bgp-sender-app").ok());
+}
+
+// A disabled pass must run zero work, not merely hide its output. The
+// per-pass runs counter increments inside the driver loop, so a zero delta
+// proves the pass body was never entered.
+TEST(PassRegistry, DisabledPassRunsZeroWork) {
+  const auto run = run_single(timer_paced_sender(), 3000, 77);
+  ASSERT_FALSE(run.trace.records.empty());
+
+  Counter& timer_runs = metrics().counter("pass.timer-gaps.runs");
+
+  AnalyzerOptions enabled;
+  const std::uint64_t before_enabled = timer_runs.value();
+  TraceAnalysis with = analyze_trace(run.trace, enabled);
+  ASSERT_EQ(with.results.size(), 1u);
+  EXPECT_EQ(timer_runs.value() - before_enabled, 1u);
+  EXPECT_TRUE(with.results[0].findings.timer.detected);
+
+  AnalyzerOptions disabled;
+  auto sel = parse_detector_selection("none");
+  ASSERT_TRUE(sel.ok());
+  disabled.passes = sel.value();
+  const std::uint64_t before_disabled = timer_runs.value();
+  TraceAnalysis without = analyze_trace(run.trace, disabled);
+  ASSERT_EQ(without.results.size(), 1u);
+  EXPECT_EQ(timer_runs.value() - before_disabled, 0u)
+      << "disabled pass still executed";
+  EXPECT_FALSE(without.results[0].findings.timer.detected);
+
+  // The factor side of the report is unaffected by detector selection.
+  for (std::size_t f = 0; f < kFactorCount; ++f) {
+    EXPECT_EQ(with.results[0].report.factor_delay[f],
+              without.results[0].report.factor_delay[f]);
+  }
+}
+
+}  // namespace
+}  // namespace tdat

@@ -1,0 +1,114 @@
+// TraceSource ingest equivalence: a capture rotated across several files —
+// listed in any order, or as a directory — must analyze bit-identically to
+// the same records in one file, because MultiFileSource orders the segments
+// by first timestamp and keeps the global record index continuous.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/export.hpp"
+#include "pcap/pcap_file.hpp"
+#include "sim_scenarios.hpp"
+
+namespace tdat {
+namespace {
+
+// Two concurrent sessions so the demux spans the file boundary: connections
+// that begin in the first segment keep accumulating packets from the second.
+PcapFile two_session_trace() {
+  SimWorld world(99);
+  SessionSpec spec;
+  spec.bgp.timer_driven = true;
+  spec.bgp.timer_interval = 200 * kMicrosPerMilli;
+  spec.bgp.msgs_per_tick = 60;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto s = world.add_session(spec, test::table_messages(2000, 7 + i));
+    world.start_session(s, static_cast<Micros>(i) * 10 * kMicrosPerMilli);
+  }
+  world.run_until(600 * kMicrosPerSec);
+  return world.take_trace();
+}
+
+// Splits a trace at the record midpoint into two on-disk segments whose
+// lexical filename order is the *reverse* of their capture order, so a pass
+// that forgets to sort by timestamp fails loudly.
+struct SplitTrace {
+  std::string dir;
+  std::string early;  // first half of the records, lexically *later* name
+  std::string late;
+};
+
+SplitTrace write_split(const PcapFile& full, const std::string& subdir) {
+  SplitTrace out;
+  out.dir = ::testing::TempDir() + subdir;
+  std::filesystem::create_directories(out.dir);
+  out.early = out.dir + "/b-rotated-000.pcap";
+  out.late = out.dir + "/a-rotated-001.pcap";
+  const std::size_t mid = full.records.size() / 2;
+  PcapFile first, second;
+  first.records.assign(full.records.begin(), full.records.begin() + mid);
+  second.records.assign(full.records.begin() + mid, full.records.end());
+  EXPECT_TRUE(write_pcap_file(out.early, first));
+  EXPECT_TRUE(write_pcap_file(out.late, second));
+  return out;
+}
+
+void expect_same_analyses(const TraceAnalysis& expected,
+                          const Result<TraceAnalysis>& got) {
+  ASSERT_TRUE(got.ok()) << got.error();
+  ASSERT_EQ(got.value().results.size(), expected.results.size());
+  for (std::size_t i = 0; i < expected.results.size(); ++i) {
+    EXPECT_EQ(analysis_to_json(got.value().results[i]),
+              analysis_to_json(expected.results[i]))
+        << "connection " << i;
+  }
+}
+
+TEST(MultiFileSource, RotatedSegmentsMatchTheUnsplitTrace) {
+  const PcapFile full = two_session_trace();
+  ASSERT_GT(full.records.size(), 100u);
+  const SplitTrace split = write_split(full, "trace_source_rotated");
+
+  AnalyzerOptions opts;
+  const TraceAnalysis expected = analyze_trace(full, opts);
+  ASSERT_EQ(expected.results.size(), 2u);
+
+  // Listed out of capture order: the source must sort by first timestamp.
+  expect_same_analyses(expected,
+                       analyze_files({split.late, split.early}, opts));
+}
+
+TEST(MultiFileSource, DirectoryInputExpandsToTheSameAnalysis) {
+  const PcapFile full = two_session_trace();
+  const SplitTrace split = write_split(full, "trace_source_dir");
+
+  AnalyzerOptions opts;
+  const TraceAnalysis expected = analyze_trace(full, opts);
+  expect_same_analyses(expected, analyze_files({split.dir}, opts));
+}
+
+TEST(MultiFileSource, StatsCoverEveryRecordAcrossSegments) {
+  const PcapFile full = two_session_trace();
+  const SplitTrace split = write_split(full, "trace_source_stats");
+
+  AnalyzerOptions opts;
+  const TraceAnalysis expected = analyze_trace(full, opts);
+  auto got = analyze_files({split.early, split.late}, opts);
+  ASSERT_TRUE(got.ok()) << got.error();
+  EXPECT_GT(got.value().stats.packets, 0u);
+  EXPECT_EQ(got.value().stats.packets, expected.stats.packets);
+  EXPECT_EQ(got.value().stats.records, expected.stats.records);
+}
+
+TEST(MultiFileSource, MissingFileIsAnErrorNotACrash) {
+  AnalyzerOptions opts;
+  const auto got = analyze_files({"/nonexistent/rotated-000.pcap"}, opts);
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.error().find("rotated-000.pcap"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdat

@@ -1,10 +1,12 @@
 // tdat — the analysis tool suite (paper Table VI) as one binary.
 //
-//   tdat analyze  <trace.pcap> [--location receiver|sender|middle] [--json]
+//   tdat analyze  <trace.pcap>... [--location receiver|sender|middle]
+//                 [--format text|json|csv | --json] [--detectors LIST]
 //                 [--jobs N] [--stats|--quiet-stats]
 //                 [--trace FILE] [--metrics FILE]
 //                 [--log-level LEVEL] [--progress]
 //                 [--series NAME]...          T-DAT delay analysis
+//   tdat passes                               list the registered passes
 //   tdat pcap2mrt <trace.pcap> <out.mrt>      reconstruct BGP msgs -> MRT
 //   tdat mrtcat   <archive.mrt> [-n N]        print an MRT archive
 //   tdat timeseq  <trace.pcap> [conn-index]   time-sequence plot (BGPlot)
@@ -16,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -27,13 +30,12 @@
 #endif
 
 #include "bgp/table_gen.hpp"
-#include "core/detectors.hpp"
 #include "core/export.hpp"
-#include "core/locate.hpp"
+#include "core/pass.hpp"
+#include "core/report.hpp"
 #include "core/series_names.hpp"
 #include "core/timeseq.hpp"
 #include "sim/world.hpp"
-#include "timerange/render.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -45,8 +47,14 @@ using namespace tdat;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  tdat analyze  <trace.pcap> [--location receiver|sender|middle]"
-               " [--json] [--series NAME]...\n"
+               "  tdat analyze  <trace.pcap>... [--location"
+               " receiver|sender|middle] [--series NAME]...\n"
+               "                (several files, or a directory of rotated"
+               " captures, analyze as one trace)\n"
+               "                [--format text|json|csv]  output format"
+               " (--json = --format json)\n"
+               "                [--detectors LIST] all, none, or"
+               " comma-separated pass names (see 'tdat passes')\n"
                "                [--jobs N] [--stats|--quiet-stats]"
                "   (default jobs: hardware threads, or $TDAT_JOBS)\n"
                "                [--trace FILE]     write a Chrome trace_event"
@@ -57,6 +65,7 @@ int usage() {
                "|off (default warn)\n"
                "                [--progress]       live progress ticker on"
                " stderr\n"
+               "  tdat passes   list the registered analysis passes\n"
                "  tdat pcap2mrt <trace.pcap> <out.mrt>\n"
                "  tdat mrtcat   <archive.mrt> [-n N]\n"
                "  tdat timeseq  <trace.pcap> [conn-index]\n"
@@ -141,71 +150,138 @@ bool write_metrics_file(const std::string& path) {
   return std::fclose(f) == 0 && ok;
 }
 
-int cmd_analyze(int argc, char** argv) {
-  if (argc < 1) return usage();
+// Everything `tdat analyze` accepts, parsed by one loop so every flag gets
+// the same treatment: unknown flags, missing values, and malformed numbers
+// all come back as one-line errors instead of the generic usage dump.
+struct AnalyzeCommand {
   AnalyzerOptions opts;
-  opts.jobs = 0;  // default: hardware concurrency (or $TDAT_JOBS)
-  bool json = false;
+  std::vector<std::string> inputs;  // files and/or directories
+  ReportFormat format = ReportFormat::kText;
   bool show_stats = true;
   bool progress = false;
   std::string trace_path;
   std::string metrics_path;
-  std::vector<std::string> wanted_series;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strcmp(argv[i], "--location") == 0 && i + 1 < argc) {
-      const std::string where = argv[++i];
-      if (where == "sender") opts.location = SnifferLocation::kNearSender;
-      else if (where == "middle") opts.location = SnifferLocation::kMiddle;
-      else opts.location = SnifferLocation::kNearReceiver;
-    } else if (std::strcmp(argv[i], "--series") == 0 && i + 1 < argc) {
-      wanted_series.push_back(argv[++i]);
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      const unsigned long v = std::strtoul(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0') {
-        std::fprintf(stderr, "--jobs: not a number: %s\n", argv[i]);
-        return 2;
-      }
-      opts.jobs = static_cast<std::size_t>(v);  // 0 = hardware default
-    } else if (std::strcmp(argv[i], "--stats") == 0) {
-      show_stats = true;
-    } else if (std::strcmp(argv[i], "--quiet-stats") == 0) {
-      show_stats = false;
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
-      metrics_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
-      if (!set_log_level(std::string_view(argv[++i]))) {
-        std::fprintf(stderr, "--log-level: unknown level: %s\n", argv[i]);
-        return 2;
-      }
-    } else if (std::strcmp(argv[i], "--progress") == 0) {
-      progress = true;
-    } else {
-      return usage();
+  std::string log_level;
+  ReportRenderOptions render;
+};
+
+Result<AnalyzeCommand> parse_analyze_args(int argc, char** argv) {
+  AnalyzeCommand cmd;
+  cmd.opts.jobs = 0;  // default: hardware concurrency (or $TDAT_JOBS)
+  // Flags taking a value; `i` advances past it on success.
+  const auto value_of = [&](int& i) -> Result<std::string> {
+    if (i + 1 >= argc) {
+      return Err<std::string>(std::string("flag '") + argv[i] +
+                              "' needs a value");
     }
+    return std::string(argv[++i]);
+  };
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      cmd.format = ReportFormat::kJson;
+    } else if (arg == "--format") {
+      TDAT_TRY(value, value_of(i));
+      auto format = parse_report_format(value);
+      if (!format.ok()) return Err<AnalyzeCommand>("--format: " + format.error());
+      cmd.format = format.value();
+    } else if (arg == "--location") {
+      TDAT_TRY(where, value_of(i));
+      if (where == "receiver") {
+        cmd.opts.location = SnifferLocation::kNearReceiver;
+      } else if (where == "sender") {
+        cmd.opts.location = SnifferLocation::kNearSender;
+      } else if (where == "middle") {
+        cmd.opts.location = SnifferLocation::kMiddle;
+      } else {
+        return Err<AnalyzeCommand>("--location: unknown location '" + where +
+                                   "' (valid: receiver, sender, middle)");
+      }
+    } else if (arg == "--detectors") {
+      TDAT_TRY(list, value_of(i));
+      auto selection = parse_detector_selection(list);
+      if (!selection.ok()) {
+        return Err<AnalyzeCommand>("--detectors: " + selection.error());
+      }
+      cmd.opts.passes = selection.value();
+    } else if (arg == "--series") {
+      TDAT_TRY(name, value_of(i));
+      cmd.render.series.push_back(std::move(name));
+    } else if (arg == "--jobs") {
+      TDAT_TRY(jobs, value_of(i));
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(jobs.c_str(), &end, 10);
+      if (end == jobs.c_str() || *end != '\0') {
+        return Err<AnalyzeCommand>("--jobs: not a number: '" + jobs + "'");
+      }
+      cmd.opts.jobs = static_cast<std::size_t>(v);  // 0 = hardware default
+    } else if (arg == "--stats") {
+      cmd.show_stats = true;
+    } else if (arg == "--quiet-stats") {
+      cmd.show_stats = false;
+    } else if (arg == "--trace") {
+      TDAT_TRY(path, value_of(i));
+      cmd.trace_path = std::move(path);
+    } else if (arg == "--metrics") {
+      TDAT_TRY(path, value_of(i));
+      cmd.metrics_path = std::move(path);
+    } else if (arg == "--log-level") {
+      TDAT_TRY(level, value_of(i));
+      cmd.log_level = std::move(level);
+    } else if (arg == "--progress") {
+      cmd.progress = true;
+    } else if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+      return Err<AnalyzeCommand>("unknown flag '" + std::string(arg) + "'");
+    } else {
+      cmd.inputs.emplace_back(arg);
+    }
+  }
+  if (cmd.inputs.empty()) {
+    return Err<AnalyzeCommand>("no input capture given");
+  }
+  return cmd;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  auto parsed = parse_analyze_args(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "tdat analyze: %s (run 'tdat' for usage)\n",
+                 parsed.error().c_str());
+    return 2;
+  }
+  AnalyzeCommand& cmd = parsed.value();
+  if (!cmd.log_level.empty() && !set_log_level(cmd.log_level)) {
+    std::fprintf(stderr,
+                 "tdat analyze: --log-level: unknown level '%s'"
+                 " (run 'tdat' for usage)\n",
+                 cmd.log_level.c_str());
+    return 2;
   }
   // Observability sidecars never touch the analysis output: traces and
   // metrics go to their own files, progress goes to stderr, so a run with
   // these flags is byte-identical on stdout to a run without them.
-  if (!trace_path.empty()) trace_start();
+  if (!cmd.trace_path.empty()) trace_start();
   // Streaming ingest: chunked read + decode + demux, then per-connection
-  // analysis on the pool. Output is identical to the in-memory path.
+  // analysis on the pool. A single capture file takes the single-stream
+  // path; several files or a directory are concatenated in rotation order.
+  // Every path produces identical results for identical packets.
   Result<TraceAnalysis> analyzed = [&] {
     std::optional<ProgressTicker> ticker;
-    if (progress) ticker.emplace();
-    return analyze_file(argv[0], opts);
+    if (cmd.progress) ticker.emplace();
+    if (cmd.inputs.size() == 1 &&
+        !std::filesystem::is_directory(cmd.inputs.front())) {
+      return analyze_file(cmd.inputs.front(), cmd.opts);
+    }
+    return analyze_files(cmd.inputs, cmd.opts);
   }();
   int rc = 0;
-  if (!trace_path.empty() && !trace_stop(trace_path)) {
-    std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+  if (!cmd.trace_path.empty() && !trace_stop(cmd.trace_path)) {
+    std::fprintf(stderr, "cannot write trace to %s\n", cmd.trace_path.c_str());
     rc = 1;
   }
-  if (!metrics_path.empty() && !write_metrics_file(metrics_path)) {
-    std::fprintf(stderr, "cannot write metrics to %s\n", metrics_path.c_str());
+  if (!cmd.metrics_path.empty() && !write_metrics_file(cmd.metrics_path)) {
+    std::fprintf(stderr, "cannot write metrics to %s\n",
+                 cmd.metrics_path.c_str());
     rc = 1;
   }
   if (!analyzed.ok()) {
@@ -213,80 +289,10 @@ int cmd_analyze(int argc, char** argv) {
     return 1;
   }
   const TraceAnalysis& analysis = analyzed.value();
-  if (json) std::printf("[");
-  bool first = true;
-  for (const ConnectionAnalysis& conn : analysis.results) {
-    if (json) {
-      if (!first) std::printf(",");
-      std::printf("%s", analysis_to_json(conn).c_str());
-      first = false;
-      continue;
-    }
-    const auto& raw = analysis.connections[conn.conn_index];
-    std::printf("connection %s\n", raw.key.to_string().c_str());
-    const auto where = infer_sniffer_location(raw, conn.profile);
-    if (where.confident) {
-      std::printf("  inferred sniffer position: %s\n",
-                  where.location == SnifferLocation::kNearReceiver ? "receiver side"
-                  : where.location == SnifferLocation::kNearSender ? "sender side"
-                                                                   : "mid-path");
-    }
-    if (conn.transfer.empty()) {
-      std::printf("  no table transfer found\n");
-      continue;
-    }
-    std::printf("  transfer %.2fs, %zu updates, %zu prefixes\n",
-                to_seconds(conn.transfer_duration()), conn.mct.update_count,
-                conn.mct.prefix_count);
-    std::printf("  (Rs, Rr, Rn) = (%.2f, %.2f, %.2f)\n",
-                conn.report.ratio(FactorGroup::kSender),
-                conn.report.ratio(FactorGroup::kReceiver),
-                conn.report.ratio(FactorGroup::kNetwork));
-    for (std::size_t f = 0; f < kFactorCount; ++f) {
-      if (conn.report.factor_ratio[f] < 0.01) continue;
-      std::printf("    %-26s %5.1f%%\n", to_string(static_cast<Factor>(f)),
-                  100.0 * conn.report.factor_ratio[f]);
-    }
-    const auto timer = detect_timer_gaps(conn.series(), conn.transfer);
-    if (timer.detected) {
-      std::printf("  ! pacing timer ~%.0f ms (%zu gaps, %.1fs)\n",
-                  to_millis(timer.timer), timer.gap_count,
-                  to_seconds(timer.introduced_delay));
-    }
-    const auto losses = detect_consecutive_losses(conn.series(), conn.transfer);
-    if (losses.detected) {
-      std::printf("  ! consecutive losses: worst run %zu, %.1fs\n",
-                  losses.max_consecutive, to_seconds(losses.introduced_delay));
-    }
-    const auto bug = detect_zero_ack_bug(conn.series(), conn.transfer);
-    if (bug.detected) {
-      std::printf("  ! zero-window probe bug suspected (%zu losses during"
-                  " closed windows)\n",
-                  bug.occurrences);
-    }
-    const auto pause = detect_peer_group_pause(conn);
-    if (pause.detected) {
-      std::printf("  ! keepalive-only pause %.1fs: possible peer-group"
-                  " blocking\n",
-                  to_seconds(pause.blocked_time));
-    }
-    const auto voids = detect_capture_voids(raw, conn.profile);
-    if (voids.detected) {
-      std::printf("  ! capture voids: %llu bytes never captured\n",
-                  static_cast<unsigned long long>(voids.missing_bytes));
-    }
-    for (const std::string& name : wanted_series) {
-      if (!conn.series().has(name)) {
-        std::printf("  (no series named %s)\n", name.c_str());
-        continue;
-      }
-      std::printf("%s\n", render_series({&conn.series().get(name)},
-                                        conn.transfer)
-                              .c_str());
-    }
-  }
-  if (json) std::printf("]\n");
-  if (show_stats) {
+  const ReportModel model = build_report_model(analysis);
+  const std::string rendered = render_report(model, cmd.format, cmd.render);
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  if (cmd.show_stats) {
     const PipelineStats& st = analysis.stats;
     std::fprintf(stderr,
                  "[tdat] %llu records (%.2f MB) -> %llu packets -> %llu"
@@ -302,6 +308,25 @@ int cmd_analyze(int argc, char** argv) {
                  st.connections_per_sec());
   }
   return rc;
+}
+
+int cmd_passes() {
+  std::printf("registered analysis passes (run in this order):\n");
+  for (std::size_t id = 0; id < pass_registry().size(); ++id) {
+    const PassInfo& info = pass_registry().passes()[id]->info();
+    std::printf("  %2zu  %-22s %-9s %s", id, info.name, to_string(info.kind),
+                info.summary);
+    if (!info.deps.empty()) {
+      std::printf("  [reads:");
+      for (const char* dep : info.deps) std::printf(" %s", dep);
+      std::printf("]");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "factor passes always run; choose detectors with"
+      " --detectors=all|none|name,name,...\n");
+  return 0;
 }
 
 int cmd_pcap2mrt(int argc, char** argv) {
@@ -456,6 +481,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "analyze") return cmd_analyze(argc - 2, argv + 2);
+  if (cmd == "passes") return cmd_passes();
   if (cmd == "pcap2mrt") return cmd_pcap2mrt(argc - 2, argv + 2);
   if (cmd == "mrtcat") return cmd_mrtcat(argc - 2, argv + 2);
   if (cmd == "timeseq") return cmd_timeseq(argc - 2, argv + 2);
