@@ -1,0 +1,52 @@
+// Fuzz target: pcap ingest. Runs every input through the three readers —
+// the in-memory parser (drop-tail semantics), the strict stream (historical
+// behaviour), and the recovering stream with a small error budget and a tiny
+// chunk size so records straddle refill boundaries. The harness asserts
+// nothing about the parse outcome; it exists so the sanitizers can assert
+// memory safety on arbitrary bytes.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "pcap/pcap_file.hpp"
+#include "pcap/pcap_stream.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+const bool kQuiet = [] {
+  tdat::set_log_level("off");
+  return true;
+}();
+
+void drain(tdat::Result<tdat::PcapStream> stream) {
+  if (!stream.ok()) return;
+  tdat::StreamRecord rec;
+  while (stream.value().next(rec)) {
+    // The view must cover exactly what the header promised.
+    if (rec.data.size() > 0) {
+      volatile std::uint8_t sink = rec.data[rec.data.size() - 1];
+      (void)sink;
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)kQuiet;
+  const std::span<const std::uint8_t> image(data, size);
+
+  if (auto parsed = tdat::parse_pcap(image); parsed.ok()) {
+    (void)tdat::decode_pcap(parsed.value(), /*verify_checksums=*/true);
+  }
+
+  drain(tdat::PcapStream::from_memory(image,
+                                      tdat::IngestPolicy::strict_mode(), 4096));
+
+  tdat::IngestPolicy recover;
+  recover.max_errors = 64;
+  drain(tdat::PcapStream::from_memory(image, recover, 4096));
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Seed-corpus generator for the fuzz targets. Everything is deterministic
+// (fixed seeds), so regenerating produces byte-identical seeds; the output
+// is committed under fuzz/corpus/ and CI replays it, it is not rebuilt per
+// run. Seeds are deliberately small — they are starting points for mutation,
+// not representative captures.
+//
+//   make_corpus [output_dir]     (default: fuzz/corpus)
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "bgp/message.hpp"
+#include "bgp/table_gen.hpp"
+#include "pcap/encode.hpp"
+#include "pcap/fault_injector.hpp"
+#include "pcap/pcap_file.hpp"
+#include "sim/bgp_apps.hpp"
+#include "sim/world.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+bool ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return true;
+  std::fprintf(stderr, "make_corpus: cannot create %s\n", path.c_str());
+  return false;
+}
+
+bool write_seed(const std::string& path, const std::vector<std::uint8_t>& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "make_corpus: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  std::fclose(f);
+  if (ok) std::printf("  %s (%zu bytes)\n", path.c_str(), data.size());
+  return ok;
+}
+
+// A miniature but structurally real capture: one simulated BGP session over
+// real TCP, a few dozen UPDATEs.
+std::vector<std::uint8_t> tiny_capture() {
+  tdat::SimWorld world(12345);
+  tdat::SessionSpec spec;
+  tdat::Rng rng(54321);
+  tdat::TableGenConfig tg;
+  tg.prefix_count = 120;
+  const auto session = world.add_session(
+      spec, tdat::serialize_updates(tdat::generate_table(tg, rng)));
+  world.start_session(session, 0);
+  world.run_until(30 * tdat::kMicrosPerSec);
+  return tdat::serialize_pcap(world.take_trace());
+}
+
+bool emit_pcap_seeds(const std::string& dir) {
+  const std::vector<std::uint8_t> clean = tiny_capture();
+  bool ok = write_seed(dir + "/clean.pcap", clean);
+
+  // One faulted variant per structural damage class the resync path handles;
+  // bit-level damage is what mutation is good at, so one seed suffices.
+  for (const tdat::FaultMode mode :
+       {tdat::FaultMode::kTruncateRecord, tdat::FaultMode::kZeroInclLen,
+        tdat::FaultMode::kOverlongInclLen, tdat::FaultMode::kGarbageSplice,
+        tdat::FaultMode::kBitFlip}) {
+    std::vector<std::uint8_t> image = clean;
+    tdat::FaultPlan plan;
+    plan.mode = mode;
+    plan.seed = 7;
+    const auto report = tdat::inject_faults(image, plan);
+    if (report.faults_applied == 0) {
+      std::fprintf(stderr, "make_corpus: %s applied no faults\n",
+                   tdat::to_string(mode));
+      return false;
+    }
+    ok = write_seed(dir + "/" + tdat::to_string(mode) + ".pcap", image) && ok;
+  }
+
+  // Degenerate but well-formed: a global header with no records.
+  tdat::PcapFile empty;
+  ok = write_seed(dir + "/empty.pcap", tdat::serialize_pcap(empty)) && ok;
+  return ok;
+}
+
+bool emit_decode_seeds(const std::string& dir) {
+  tdat::TcpSegmentSpec syn;
+  syn.src_ip = 0x0a000101;
+  syn.dst_ip = 0x0a090909;
+  syn.src_port = 20000;
+  syn.dst_port = 179;
+  syn.seq = 1000;
+  syn.flags.syn = true;
+  syn.window = 65535;
+  syn.mss = 1460;
+  syn.window_scale = 7;
+  syn.ts_val = 1;
+  bool ok = write_seed(dir + "/syn.bin", tdat::encode_tcp_frame(syn));
+
+  tdat::TcpSegmentSpec data = syn;
+  data.flags.syn = false;
+  data.flags.ack = true;
+  data.mss.reset();
+  data.window_scale.reset();
+  data.seq = 1001;
+  data.ack = 2000;
+  std::vector<std::uint8_t> payload(101, 0xab);
+  data.payload = payload;
+  ok = write_seed(dir + "/data.bin", tdat::encode_tcp_frame(data)) && ok;
+
+  tdat::TcpSegmentSpec ack = data;
+  ack.payload = {};
+  ack.ts_val.reset();
+  ok = write_seed(dir + "/ack.bin", tdat::encode_tcp_frame(ack)) && ok;
+  return ok;
+}
+
+bool emit_bgp_seeds(const std::string& dir) {
+  // First seed byte = feed chunk size the harness uses; the rest is stream.
+  const auto with_chunk = [](std::uint8_t chunk,
+                             std::vector<std::uint8_t> stream) {
+    stream.insert(stream.begin(), chunk);
+    return stream;
+  };
+
+  std::vector<std::uint8_t> session;
+  tdat::BgpOpen open;
+  open.my_as = 65001;
+  open.bgp_id = 0x0a000101;
+  const auto append = [&session](const tdat::BgpMessage& msg) {
+    const auto wire = tdat::serialize_message(msg);
+    session.insert(session.end(), wire.begin(), wire.end());
+  };
+  append(tdat::BgpMessage{open});
+  append(tdat::BgpMessage{tdat::BgpKeepAlive{}});
+  tdat::Rng rng(99);
+  tdat::TableGenConfig tg;
+  tg.prefix_count = 40;
+  for (const tdat::BgpUpdate& update : tdat::generate_table(tg, rng)) {
+    append(tdat::BgpMessage{update});
+  }
+  append(tdat::BgpMessage{tdat::BgpNotification{6, 2, {0x00}}});
+
+  // Whole-session seed fed in large chunks, the same bytes fed byte-at-a-time
+  // (chunk byte 0 = chunk size 1), and a framing-loss seed with garbage
+  // between two valid messages so the marker hunt has something to find.
+  bool ok = write_seed(dir + "/session.bin", with_chunk(63, session));
+  ok = write_seed(dir + "/session-tiny-chunks.bin", with_chunk(0, session)) && ok;
+
+  std::vector<std::uint8_t> torn(session.begin(), session.begin() + 19 + 5);
+  torn.insert(torn.end(), {0xde, 0xad, 0xbe, 0xef, 0xff, 0xff, 0x00});
+  torn.insert(torn.end(), session.begin(), session.end());
+  ok = write_seed(dir + "/torn.bin", with_chunk(16, torn)) && ok;
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "fuzz/corpus";
+  if (!ensure_dir(out) || !ensure_dir(out + "/pcap") ||
+      !ensure_dir(out + "/decode") || !ensure_dir(out + "/bgp")) {
+    return 1;
+  }
+  const bool ok = emit_pcap_seeds(out + "/pcap") &&
+                  emit_decode_seeds(out + "/decode") &&
+                  emit_bgp_seeds(out + "/bgp");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+// Fallback driver so the fuzz targets build and run without libFuzzer
+// (clang's -fsanitize=fuzzer is unavailable under GCC, which is what the
+// local toolchain ships). Speaks enough of the libFuzzer command line that
+// CI scripts work unchanged against either binary:
+//
+//   fuzz_pcap [-max_total_time=N] [-rss_limit_mb=M] [corpus_dir|file]...
+//
+// Every file in every corpus argument is replayed through
+// LLVMFuzzerTestOneInput; with a time budget the driver keeps going,
+// replaying deterministic byte-level mutations of the corpus until the
+// budget is spent. Unknown -flags are ignored, like libFuzzer does for the
+// flags it recognises but we don't implement.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  std::uint8_t buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out.insert(out.end(), buf, buf + got);
+  }
+  std::fclose(f);
+  return true;
+}
+
+void collect_inputs(const std::string& path, std::vector<std::string>& out) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "standalone driver: cannot stat %s\n", path.c_str());
+    return;
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    out.push_back(path);
+    return;
+  }
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return;
+  while (const dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    collect_inputs(path + "/" + entry->d_name, out);
+  }
+  ::closedir(dir);
+}
+
+// xorshift64: a deterministic mutation schedule independent of libc rand.
+std::uint64_t next_rand(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+void mutate(std::vector<std::uint8_t>& data, std::uint64_t& rng) {
+  if (data.empty()) {
+    data.push_back(static_cast<std::uint8_t>(next_rand(rng)));
+    return;
+  }
+  switch (next_rand(rng) % 4) {
+    case 0:  // flip a bit
+      data[next_rand(rng) % data.size()] ^=
+          static_cast<std::uint8_t>(1u << (next_rand(rng) % 8));
+      break;
+    case 1:  // overwrite a byte
+      data[next_rand(rng) % data.size()] =
+          static_cast<std::uint8_t>(next_rand(rng));
+      break;
+    case 2:  // truncate
+      data.resize(next_rand(rng) % data.size());
+      break;
+    default:  // duplicate a tail slice onto the end
+      data.insert(data.end(), data.begin() + static_cast<std::ptrdiff_t>(
+                                  next_rand(rng) % data.size()),
+                  data.end());
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long max_total_time = 0;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-max_total_time=", 16) == 0) {
+      max_total_time = std::atol(arg + 16);
+    } else if (arg[0] == '-') {
+      // Unimplemented libFuzzer flag; ignore.
+    } else {
+      collect_inputs(arg, inputs);
+    }
+  }
+
+  std::vector<std::uint8_t> data;
+  std::size_t executions = 0;
+  for (const std::string& path : inputs) {
+    if (!read_file(path, data)) {
+      std::fprintf(stderr, "standalone driver: cannot read %s\n", path.c_str());
+      continue;
+    }
+    LLVMFuzzerTestOneInput(data.data(), data.size());
+    ++executions;
+  }
+
+  if (max_total_time > 0 && !inputs.empty()) {
+    const auto deadline = Clock::now() + std::chrono::seconds(max_total_time);
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+    std::size_t at = 0;
+    while (Clock::now() < deadline) {
+      if (!read_file(inputs[at], data)) break;
+      at = (at + 1) % inputs.size();
+      const std::size_t rounds = 1 + next_rand(rng) % 8;
+      for (std::size_t r = 0; r < rounds; ++r) {
+        mutate(data, rng);
+        LLVMFuzzerTestOneInput(data.data(), data.size());
+        ++executions;
+      }
+    }
+  }
+
+  std::printf("standalone driver: %zu executions over %zu corpus inputs\n",
+              executions, inputs.size());
+  return 0;
+}

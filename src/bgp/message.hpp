@@ -15,6 +15,7 @@
 
 namespace tdat {
 
+inline constexpr std::size_t kBgpMarkerLen = 16;  // all-ones sync marker
 inline constexpr std::size_t kBgpHeaderLen = 19;
 inline constexpr std::size_t kBgpMaxMessageLen = 4096;
 

@@ -1,6 +1,18 @@
 #include "bgp/msg_stream.hpp"
 
+#include <cstring>
+
 namespace tdat {
+namespace {
+
+// Length of a run of 0xff bytes starting at `p`, capped at `max`.
+std::size_t ff_run(const std::uint8_t* p, std::size_t max) {
+  std::size_t n = 0;
+  while (n < max && p[n] == 0xff) ++n;
+  return n;
+}
+
+}  // namespace
 
 std::vector<TimedBgpMessage> BgpMessageStream::feed(
     std::span<const std::uint8_t> bytes, Micros ts) {
@@ -18,9 +30,26 @@ std::size_t BgpMessageStream::parse_available(
     if (rest.size() < kBgpHeaderLen) break;
     const std::size_t len = peek_message_length(rest);
     if (len == 0) {
-      // Bad framing: resynchronize by advancing one byte.
-      ++pos;
-      ++skipped_;
+      // Bad framing (malformed length field or scribbled marker): jump
+      // straight to the next 16-byte 0xff marker run instead of re-peeking at
+      // every offset. A partial run at the tail is kept — the rest of the
+      // marker may arrive in the next chunk.
+      ++resyncs_;
+      std::size_t k = 1;
+      while (k < rest.size()) {
+        const auto* hit = static_cast<const std::uint8_t*>(
+            std::memchr(rest.data() + k, 0xff, rest.size() - k));
+        if (hit == nullptr) {
+          k = rest.size();  // no marker byte at all: skip the whole tail
+          break;
+        }
+        k = static_cast<std::size_t>(hit - rest.data());
+        const std::size_t run = ff_run(hit, rest.size() - k);
+        if (run >= kBgpMarkerLen || k + run == rest.size()) break;
+        k += run;  // too-short run with data after it: keep searching
+      }
+      pos += k;
+      skipped_ += k;
       continue;
     }
 

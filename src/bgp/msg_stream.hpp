@@ -24,8 +24,9 @@ struct TimedBgpMessage {
 class BgpMessageStream {
  public:
   // Returns all messages completed by this chunk. Undecodable bytes at the
-  // head of the stream (lost framing) are skipped one byte at a time until a
-  // valid marker is found; `skipped_bytes()` reports how many.
+  // head of the stream (lost framing) are skipped up to the next 16-byte
+  // 0xff marker run; `skipped_bytes()` reports how many bytes were dropped
+  // and `resyncs()` how many times framing was lost.
   [[nodiscard]] std::vector<TimedBgpMessage> feed(std::span<const std::uint8_t> bytes,
                                                   Micros ts);
 
@@ -43,10 +44,14 @@ class BgpMessageStream {
     stream_base_ = 0;
     skipped_ = 0;
     parse_errors_ = 0;
+    resyncs_ = 0;
   }
 
   [[nodiscard]] std::uint64_t skipped_bytes() const { return skipped_; }
   [[nodiscard]] std::uint64_t parse_errors() const { return parse_errors_; }
+  // How many times framing was lost and the stream had to hunt for the next
+  // 16-byte marker (each event may skip many bytes; see skipped_bytes()).
+  [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
   [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
 
  private:
@@ -60,6 +65,7 @@ class BgpMessageStream {
   std::int64_t stream_base_ = 0;  // stream offset of buf_[0]
   std::uint64_t skipped_ = 0;
   std::uint64_t parse_errors_ = 0;
+  std::uint64_t resyncs_ = 0;
 };
 
 }  // namespace tdat

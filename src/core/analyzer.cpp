@@ -48,11 +48,34 @@ void run_analysis_stage(TraceAnalysis& out, const AnalyzerOptions& opts) {
     // range-set algebra, reassembly, MCT prefix table) is recycled, so the
     // stage's steady state performs no cross-core allocator traffic.
     thread_local AnalysisScratch scratch;
-    analyze_connection(out.connections[i], opts, scratch, out.results[i]);
+    // A pathological connection must not take the run down (an uncaught
+    // exception on a pool thread would terminate the process): it is
+    // quarantined in place and the stage moves on. Deep allocation failures
+    // (bad_alloc / length_error from absurd reconstructed streams) are the
+    // realistic throwers; contract violations still abort via TDAT_EXPECTS.
+    try {
+      analyze_connection(out.connections[i], opts, scratch, out.results[i]);
+    } catch (const std::exception& e) {
+      TDAT_LOG_WARN("analyze: connection %s quarantined: %s",
+                    out.connections[i].key.to_string().c_str(), e.what());
+      out.results[i] = ConnectionAnalysis{};
+      out.results[i].key = out.connections[i].key;
+      out.results[i].quarantine_reason = "analysis failed with an exception";
+    } catch (...) {
+      out.results[i] = ConnectionAnalysis{};
+      out.results[i].key = out.connections[i].key;
+      out.results[i].quarantine_reason = "analysis failed";
+    }
     out.results[i].conn_index = i;
   });
   out.stats.jobs = jobs;
   out.stats.connections = out.connections.size();
+  out.stats.quarantined = 0;
+  for (const ConnectionAnalysis& a : out.results) {
+    if (a.quarantined()) ++out.stats.quarantined;
+  }
+  metrics().gauge("quarantine.connections")
+      .set(static_cast<std::int64_t>(out.stats.quarantined));
   out.stats.analyze_wall = wall_now() - t0;
   out.stats.queue_wait_us =
       metrics().histogram("pool.queue_wait_us").snapshot().since(qw0);
@@ -89,6 +112,8 @@ std::string PipelineStats::to_json() const {
   field("records", std::to_string(records));
   field("packets", std::to_string(packets));
   field("connections", std::to_string(connections));
+  if (quarantined > 0) field("quarantined", std::to_string(quarantined));
+  if (ingest.has_errors()) field("ingest_errors", ingest.to_json());
   field("jobs", std::to_string(jobs));
   field("ingest_wall_us", std::to_string(ingest_wall));
   field("analyze_wall_us", std::to_string(analyze_wall));
@@ -113,6 +138,24 @@ AnalysisScratch::AnalysisScratch()
 
 AnalysisScratch::~AnalysisScratch() = default;
 
+namespace {
+
+// Leaves `out` holding only its key, index, and quarantine reason. The slot
+// is reused across connections, so every analysis field must be reset — a
+// quarantined entry must not carry a previous connection's series.
+void quarantine_connection(ConnectionAnalysis& out, AnalysisScratch& scratch) {
+  out.profile = ConnectionProfile{};
+  out.bundle = SeriesBundle{};
+  out.messages.clear();
+  out.mct = MctResult{};
+  out.transfer = {};
+  out.report = DelayReport{};
+  out.findings.reset();
+  scratch.done->inc();
+}
+
+}  // namespace
+
 ConnectionAnalysis analyze_connection(const Connection& conn,
                                       const AnalyzerOptions& opts) {
   thread_local AnalysisScratch scratch;
@@ -129,6 +172,12 @@ void analyze_connection(const Connection& conn, const AnalyzerOptions& opts,
   const std::uint64_t a0 = thread_alloc_count();
   out.conn_index = 0;
   out.key = conn.key;
+  out.quarantine_reason =
+      opts.fault_hook != nullptr ? opts.fault_hook(conn) : nullptr;
+  if (out.quarantined()) {
+    quarantine_connection(out, scratch);
+    return;
+  }
   {
     TDAT_TRACE_SPAN("analyze.profile", "analyze");
     out.profile = compute_profile(conn, scratch.profile);
@@ -145,6 +194,22 @@ void analyze_connection(const Connection& conn, const AnalyzerOptions& opts,
     extract_bgp_messages_into(conn, out.profile.data_dir, scratch.extract,
                               scratch.extracted);
     out.messages.swap(scratch.extracted.messages);
+  }
+  // BGP framing this far gone means the byte stream is not a BGP session any
+  // more (hostile payloads, undetected capture damage): isolate the
+  // connection instead of reporting series built over garbage.
+  if (scratch.extracted.skipped_bytes > opts.quarantine_skipped_bytes ||
+      scratch.extracted.parse_errors > opts.quarantine_parse_errors) {
+    TDAT_LOG_WARN(
+        "analyze: connection %s quarantined: BGP framing unrecoverable "
+        "(%llu bytes skipped, %llu parse errors, %llu resyncs)",
+        conn.key.to_string().c_str(),
+        static_cast<unsigned long long>(scratch.extracted.skipped_bytes),
+        static_cast<unsigned long long>(scratch.extracted.parse_errors),
+        static_cast<unsigned long long>(scratch.extracted.frame_resyncs));
+    out.quarantine_reason = "BGP framing unrecoverable";
+    quarantine_connection(out, scratch);
+    return;
   }
 
   // A table transfer starts right after the TCP connection is established
@@ -207,6 +272,8 @@ TraceAnalysis run_pipeline(TraceSource& source, const AnalyzerOptions& opts) {
   }
   out.stats.records = source.records_seen();
   out.stats.bytes_ingested = source.bytes_ingested();
+  out.stats.ingest = source.diagnostics();
+  source.collect_file_diagnostics(out.file_diags);
   out.stats.ingest_wall = wall_now() - t0;
   run_analysis_stage(out, opts);
   out.stats.total_wall = wall_now() - t0;
@@ -227,7 +294,7 @@ TraceAnalysis analyze_trace(const PcapFile& file, const AnalyzerOptions& opts) {
 
 Result<TraceAnalysis> analyze_file(const std::string& path,
                                    const AnalyzerOptions& opts) {
-  return PcapStreamSource::open(path, opts.verify_checksums)
+  return PcapStreamSource::open(path, opts.verify_checksums, opts.ingest)
       .and_then([&](PcapStreamSource source) -> Result<TraceAnalysis> {
         TDAT_LOG_INFO("analyze: streaming %s", path.c_str());
         return run_pipeline(source, opts);
@@ -236,7 +303,8 @@ Result<TraceAnalysis> analyze_file(const std::string& path,
 
 Result<TraceAnalysis> analyze_files(const std::vector<std::string>& inputs,
                                     const AnalyzerOptions& opts) {
-  TDAT_TRY(source, MultiFileSource::open(inputs, opts.verify_checksums));
+  TDAT_TRY(source,
+           MultiFileSource::open(inputs, opts.verify_checksums, opts.ingest));
   TDAT_LOG_INFO("analyze: %zu rotated capture files as one trace",
                 source.file_count());
   return run_pipeline(source, opts);

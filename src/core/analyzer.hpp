@@ -43,6 +43,12 @@ struct ConnectionAnalysis {
   DelayReport report;
   DetectorFindings findings;             // §II detector-pass results
 
+  // Set when the connection was isolated instead of analyzed (unrecoverable
+  // BGP framing, analysis failure — see AnalyzerOptions quarantine knobs).
+  // Always a static string, so the happy path never allocates for it.
+  const char* quarantine_reason = nullptr;
+
+  [[nodiscard]] bool quarantined() const { return quarantine_reason != nullptr; }
   [[nodiscard]] Micros transfer_duration() const { return transfer.length(); }
   [[nodiscard]] const SeriesRegistry& series() const { return bundle.registry; }
 };
@@ -55,6 +61,8 @@ struct PipelineStats {
   std::uint64_t records = 0;         // pcap records seen
   std::uint64_t packets = 0;         // decoded TCP packets
   std::uint64_t connections = 0;
+  std::uint64_t quarantined = 0;     // connections isolated by quarantine
+  IngestDiagnostics ingest;          // capture damage tallied by the source
   std::size_t jobs = 1;              // effective analysis worker count
   Micros ingest_wall = 0;            // read + decode + connection demux
   Micros analyze_wall = 0;           // per-connection analysis stage
@@ -81,6 +89,9 @@ struct TraceAnalysis {
   std::vector<Connection> connections;
   std::vector<ConnectionAnalysis> results;  // parallel to connections
   PipelineStats stats;
+  // Per-file ingest damage (empty for sources without file identity; clean
+  // files included — the report layer filters).
+  std::vector<FileIngestDiagnostics> file_diags;
 };
 
 // All reusable working state for one analysis worker. Owned by the caller

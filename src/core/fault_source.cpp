@@ -1,0 +1,59 @@
+#include "core/fault_source.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace tdat {
+
+bool FaultInjectingSource::pull(DecodedPacket& out) {
+  if (!queue_.empty()) {
+    out = std::move(queue_.front());
+    queue_.erase(queue_.begin());
+    return true;
+  }
+  return inner_->next(out);
+}
+
+void FaultInjectingSource::maybe_garble(DecodedPacket& pkt) {
+  if (!pkt.has_payload() || !rng_.chance(plan_.garbage_rate)) return;
+  // The frame bytes are immutable views into shared arenas, so garbling
+  // requires a private copy of this one frame.
+  auto owned = std::make_shared<std::vector<std::uint8_t>>(pkt.frame.begin(),
+                                                           pkt.frame.end());
+  for (std::size_t i = pkt.payload_offset; i < owned->size(); ++i) {
+    (*owned)[i] = static_cast<std::uint8_t>(rng_.uniform(0, 255));
+  }
+  pkt.frame = std::span<const std::uint8_t>(owned->data(), owned->size());
+  pkt.backing = std::move(owned);
+  ++injected_;
+}
+
+bool FaultInjectingSource::next(DecodedPacket& out) {
+  for (;;) {
+    if (!pull(out)) return false;
+    if (rng_.chance(plan_.drop_rate)) {
+      ++injected_;
+      continue;
+    }
+    if (rng_.chance(plan_.ts_jump_rate)) {
+      out.ts += plan_.ts_jump;
+      ++injected_;
+    }
+    maybe_garble(out);
+    if (rng_.chance(plan_.dup_rate)) {
+      queue_.push_back(out);
+      ++injected_;
+    }
+    if (rng_.chance(plan_.reorder_rate)) {
+      DecodedPacket successor;
+      if (pull(successor)) {
+        queue_.insert(queue_.begin(), std::move(out));
+        out = std::move(successor);
+        ++injected_;
+      }
+    }
+    return true;
+  }
+}
+
+}  // namespace tdat

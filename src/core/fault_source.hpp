@@ -1,0 +1,64 @@
+// Packet-level fault injection for any TraceSource: a deterministic,
+// seedable decorator that duplicates, reorders, drops, clock-steps, and
+// payload-scrambles decoded packets on their way into the pipeline. The
+// byte-level FaultInjector (pcap/fault_injector.hpp) corrupts serialized
+// images to exercise *ingest* recovery; this wrapper sits after decode so
+// tests can hammer the demux, analysis, and quarantine layers with hostile
+// packet sequences regardless of where the packets came from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace_source.hpp"
+#include "util/rng.hpp"
+
+namespace tdat {
+
+class FaultInjectingSource final : public TraceSource {
+ public:
+  struct Plan {
+    double dup_rate = 0.0;      // re-deliver a packet immediately
+    double reorder_rate = 0.0;  // swap a packet with its successor
+    double drop_rate = 0.0;     // silently discard a packet
+    double ts_jump_rate = 0.0;  // add `ts_jump` to a packet's clock
+    Micros ts_jump = 0;
+    double garbage_rate = 0.0;  // overwrite the TCP payload with noise
+    std::uint64_t seed = 1;
+  };
+
+  FaultInjectingSource(TraceSource& inner, const Plan& plan)
+      : inner_(&inner), plan_(plan), rng_(plan.seed) {}
+
+  [[nodiscard]] bool next(DecodedPacket& out) override;
+
+  // Accounting and diagnostics delegate to the wrapped source: injected
+  // faults are deliberate, not ingest damage, and must not masquerade as it.
+  [[nodiscard]] std::uint64_t bytes_ingested() const override {
+    return inner_->bytes_ingested();
+  }
+  [[nodiscard]] std::uint64_t records_seen() const override {
+    return inner_->records_seen();
+  }
+  [[nodiscard]] IngestDiagnostics diagnostics() const override {
+    return inner_->diagnostics();
+  }
+  void collect_file_diagnostics(
+      std::vector<FileIngestDiagnostics>& out) const override {
+    inner_->collect_file_diagnostics(out);
+  }
+
+  [[nodiscard]] std::uint64_t faults_injected() const { return injected_; }
+
+ private:
+  [[nodiscard]] bool pull(DecodedPacket& out);
+  void maybe_garble(DecodedPacket& pkt);
+
+  TraceSource* inner_;
+  Plan plan_;
+  Rng rng_;
+  std::vector<DecodedPacket> queue_;  // packets owed before pulling more
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace tdat

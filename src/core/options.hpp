@@ -9,9 +9,12 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "pcap/ingest.hpp"
 #include "util/time.hpp"
 
 namespace tdat {
+
+struct Connection;
 
 enum class SnifferLocation : std::uint8_t {
   kNearReceiver,  // the paper's monitoring setup (Fig. 2)
@@ -109,6 +112,23 @@ struct AnalyzerOptions {
   // Pass selection for the detection stage; defaults to every registered
   // factor and detector pass.
   PassSelection passes;
+
+  // Corrupt-capture handling for the file-backed ingest paths (DESIGN.md
+  // §10): strict tail-drop vs. resynchronizing recovery with an error budget.
+  IngestPolicy ingest;
+
+  // Per-connection quarantine thresholds: a connection whose BGP framing is
+  // this far gone (bytes skipped hunting for markers / messages that failed
+  // to parse) is isolated from the report instead of contributing garbage
+  // series. Both are far beyond anything a healthy session produces.
+  std::uint64_t quarantine_skipped_bytes = 4u << 20;
+  std::uint64_t quarantine_parse_errors = 16384;
+
+  // Test seam: when set, a non-null return quarantines the connection with
+  // that reason before analysis runs. Lets fault-injection tests exercise
+  // the quarantine path deterministically (and models analysis-stage faults
+  // that are otherwise hard to provoke on demand).
+  const char* (*fault_hook)(const Connection& conn) = nullptr;
 };
 
 }  // namespace tdat

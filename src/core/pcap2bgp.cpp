@@ -18,6 +18,7 @@ void extract_bgp_messages_into(const Connection& conn, Dir data_dir,
   out.messages.clear();
   out.skipped_bytes = 0;
   out.parse_errors = 0;
+  out.frame_resyncs = 0;
 
   // Anchor the stream at ISN+1 if the SYN was captured, else at the first
   // data segment.
@@ -47,6 +48,7 @@ void extract_bgp_messages_into(const Connection& conn, Dir data_dir,
   }
   out.skipped_bytes = scratch.stream.skipped_bytes();
   out.parse_errors = scratch.stream.parse_errors();
+  out.frame_resyncs = scratch.stream.resyncs();
 
   // Sniffer-position correction: the tap may capture packets that are then
   // dropped between it and the receiver (receiver-local losses, §II-B2), so

@@ -20,6 +20,7 @@ struct Pcap2BgpResult {
                                           // when the stream completed them
   std::uint64_t skipped_bytes = 0;        // framing resync losses
   std::uint64_t parse_errors = 0;
+  std::uint64_t frame_resyncs = 0;        // marker hunts after lost framing
 };
 
 // Reusable working state for extract_bgp_messages_into. A warm scratch keeps

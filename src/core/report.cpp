@@ -18,14 +18,55 @@ void appendf(std::string& out, const char* fmt, Args... args) {
   if (n > 0) out.append(buf, static_cast<std::size_t>(n));
 }
 
+// Minimal JSON string escaping for file paths (quotes, backslashes, control
+// bytes); connection keys are ip:port text and never need it.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          appendf(out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void render_ingest_text(const ReportModel& model, std::string& out) {
+  if (!model.ingest.has_errors()) return;
+  appendf(out,
+          "ingest errors: %llu truncated, %llu resynced, %llu bytes skipped%s\n",
+          static_cast<unsigned long long>(model.ingest.truncated),
+          static_cast<unsigned long long>(model.ingest.resynced),
+          static_cast<unsigned long long>(model.ingest.skipped_bytes),
+          model.ingest.budget_exhausted ? " (error budget exhausted)" : "");
+  for (const FileIngestDiagnostics& f : model.files) {
+    appendf(out, "  %s: %llu truncated, %llu resynced, %llu bytes skipped\n",
+            f.path.c_str(), static_cast<unsigned long long>(f.diag.truncated),
+            static_cast<unsigned long long>(f.diag.resynced),
+            static_cast<unsigned long long>(f.diag.skipped_bytes));
+  }
+}
+
 // The CLI's human-readable summary, byte-for-byte what cmd_analyze printed
 // before the sink existed. Detector lines come from the pass text hooks in
 // registration order (the historical print order).
 void render_text(const ReportModel& model, const ReportRenderOptions& opts,
                  std::string& out) {
+  render_ingest_text(model, out);
   for (const ReportEntry& entry : model.entries) {
     const ConnectionAnalysis& a = *entry.analysis;
     appendf(out, "connection %s\n", entry.conn->key.to_string().c_str());
+    if (a.quarantined()) {
+      appendf(out, "  quarantined: %s\n", a.quarantine_reason);
+      continue;
+    }
     if (entry.where.confident) {
       appendf(out, "  inferred sniffer position: %s\n",
               entry.where.location == SnifferLocation::kNearReceiver
@@ -65,24 +106,54 @@ void render_text(const ReportModel& model, const ReportRenderOptions& opts,
 }
 
 void render_json(const ReportModel& model, std::string& out) {
+  // Clean captures render the historical plain array, byte for byte. Only
+  // when ingest reported damage is the array wrapped in an object that also
+  // carries the diagnostics — consumers of clean output never see a change.
+  const bool wrapped = model.ingest.has_errors();
+  if (wrapped) {
+    out += "{\"ingest\":";
+    std::string diag = model.ingest.to_json();
+    if (!model.files.empty()) {
+      diag.pop_back();  // reopen the diagnostics object for "files"
+      diag += ",\"files\":[";
+      bool first_file = true;
+      for (const FileIngestDiagnostics& f : model.files) {
+        if (!first_file) diag += ',';
+        first_file = false;
+        diag += "{\"path\":\"" + json_escape(f.path) + "\",";
+        diag += f.diag.to_json().substr(1);  // splice in the counter members
+      }
+      diag += "]}";
+    }
+    out += diag;
+    out += ",\"connections\":";
+  }
   out += '[';
   bool first_entry = true;
   for (const ReportEntry& entry : model.entries) {
     if (!first_entry) out += ',';
     first_entry = false;
-    out += analysis_to_json_open(*entry.analysis);
+    const ConnectionAnalysis& a = *entry.analysis;
+    if (a.quarantined()) {
+      out += "{\"connection\":\"" + entry.conn->key.to_string() +
+             "\",\"quarantined\":\"" + a.quarantine_reason + "\"}";
+      continue;
+    }
+    out += analysis_to_json_open(a);
     out += ",\"detectors\":{";
     bool first_detector = true;
     for (const AnalysisPass* pass : pass_registry().passes()) {
       std::string member;
-      if (!pass->json_findings(*entry.analysis, member)) continue;
+      if (!pass->json_findings(a, member)) continue;
       if (!first_detector) out += ',';
       first_detector = false;
       out += member;
     }
     out += "}}";
   }
-  out += "]\n";
+  out += ']';
+  if (wrapped) out += '}';
+  out += '\n';
 }
 
 void render_csv(const ReportModel& model, std::string& out) {
@@ -94,9 +165,28 @@ void render_csv(const ReportModel& model, std::string& out) {
     out.append(key).push_back(',');
     out.append(value).push_back('\n');
   };
+  if (model.ingest.has_errors()) {
+    row("", "ingest", "truncated", std::to_string(model.ingest.truncated));
+    row("", "ingest", "resynced", std::to_string(model.ingest.resynced));
+    row("", "ingest", "skipped_bytes",
+        std::to_string(model.ingest.skipped_bytes));
+    if (model.ingest.budget_exhausted) {
+      row("", "ingest", "budget_exhausted", "true");
+    }
+    for (const FileIngestDiagnostics& f : model.files) {
+      row(f.path, "ingest", "truncated", std::to_string(f.diag.truncated));
+      row(f.path, "ingest", "resynced", std::to_string(f.diag.resynced));
+      row(f.path, "ingest", "skipped_bytes",
+          std::to_string(f.diag.skipped_bytes));
+    }
+  }
   for (const ReportEntry& entry : model.entries) {
     const ConnectionAnalysis& a = *entry.analysis;
     const std::string conn = entry.conn->key.to_string();
+    if (a.quarantined()) {
+      row(conn, "quarantine", "reason", a.quarantine_reason);
+      continue;
+    }
     row(conn, "profile", "rtt_us", std::to_string(a.profile.rtt()));
     row(conn, "profile", "mss", std::to_string(a.profile.mss()));
     row(conn, "profile", "max_advertised_window",
@@ -131,6 +221,11 @@ Result<ReportFormat> parse_report_format(std::string_view value) {
 
 ReportModel build_report_model(const TraceAnalysis& analysis) {
   ReportModel model;
+  model.ingest = analysis.stats.ingest;
+  model.quarantined = analysis.stats.quarantined;
+  for (const FileIngestDiagnostics& f : analysis.file_diags) {
+    if (f.diag.has_errors()) model.files.push_back(f);
+  }
   model.entries.reserve(analysis.results.size());
   for (const ConnectionAnalysis& a : analysis.results) {
     ReportEntry entry;

@@ -31,6 +31,13 @@ struct ReportEntry {
 
 struct ReportModel {
   std::vector<ReportEntry> entries;  // one per connection, trace order
+
+  // Ingest damage carried over from the pipeline stats. When all-clean
+  // (the overwhelmingly common case) every sink renders exactly what it
+  // rendered before diagnostics existed — clean output stays byte-stable.
+  IngestDiagnostics ingest;
+  std::vector<FileIngestDiagnostics> files;  // only files with errors
+  std::uint64_t quarantined = 0;
 };
 
 struct ReportRenderOptions {

@@ -45,10 +45,14 @@ bool PcapFileSource::next(DecodedPacket& out) {
 // ----------------------------------------------------- PcapStreamSource --
 
 Result<PcapStreamSource> PcapStreamSource::open(const std::string& path,
-                                                bool verify_checksums) {
-  return PcapStream::open(path).map([verify_checksums](PcapStream stream) {
-    return PcapStreamSource(std::move(stream), verify_checksums);
-  });
+                                                bool verify_checksums,
+                                                const IngestPolicy& policy) {
+  return PcapStream::open(path, policy)
+      .map([verify_checksums, &path](PcapStream stream) {
+        PcapStreamSource src(std::move(stream), verify_checksums);
+        src.path_ = path;
+        return src;
+      });
 }
 
 bool PcapStreamSource::next(DecodedPacket& out) {
@@ -71,7 +75,8 @@ bool PcapStreamSource::next(DecodedPacket& out) {
 // ------------------------------------------------------ MultiFileSource --
 
 Result<MultiFileSource> MultiFileSource::open(
-    const std::vector<std::string>& inputs, bool verify_checksums) {
+    const std::vector<std::string>& inputs, bool verify_checksums,
+    const IngestPolicy& policy) {
   std::vector<std::string> files;
   for (const std::string& input : inputs) {
     std::error_code ec;
@@ -99,9 +104,9 @@ Result<MultiFileSource> MultiFileSource::open(
   src.verify_checksums_ = verify_checksums;
   src.parts_.reserve(files.size());
   for (const std::string& file : files) {
-    auto stream = PcapStream::open(file);
+    auto stream = PcapStream::open(file, policy);
     if (!stream.ok()) return stream.take_error();
-    Part part{std::move(stream).value(), {}, false};
+    Part part{std::move(stream).value(), file, {}, false};
     part.has_pending = part.stream.next(part.pending);
     src.parts_.push_back(std::move(part));
   }
@@ -146,6 +151,19 @@ std::uint64_t MultiFileSource::records_seen() const {
   std::uint64_t total = 0;
   for (const Part& part : parts_) total += part.stream.records_read();
   return total;
+}
+
+IngestDiagnostics MultiFileSource::diagnostics() const {
+  IngestDiagnostics total;
+  for (const Part& part : parts_) total.add(part.stream.diagnostics());
+  return total;
+}
+
+void MultiFileSource::collect_file_diagnostics(
+    std::vector<FileIngestDiagnostics>& out) const {
+  for (const Part& part : parts_) {
+    out.push_back({part.path, part.stream.diagnostics()});
+  }
 }
 
 }  // namespace tdat

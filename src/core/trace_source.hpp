@@ -42,6 +42,17 @@ class TraceSource {
   // them) and pcap records seen (decoded or not). Stable after exhaustion.
   [[nodiscard]] virtual std::uint64_t bytes_ingested() const = 0;
   [[nodiscard]] virtual std::uint64_t records_seen() const = 0;
+
+  // What ingest dropped or skipped to produce the packets served so far
+  // (aggregated across files for multi-file sources); all-zero for sources
+  // that cannot encounter capture corruption.
+  [[nodiscard]] virtual IngestDiagnostics diagnostics() const { return {}; }
+  // Appends one entry per underlying capture file (clean files included;
+  // the report layer filters). Sources without file identity append nothing.
+  virtual void collect_file_diagnostics(
+      std::vector<FileIngestDiagnostics>& out) const {
+    (void)out;
+  }
 };
 
 // Pre-decoded packets, handed out in order. Owns the vector.
@@ -71,6 +82,9 @@ class PcapFileSource final : public TraceSource {
   [[nodiscard]] std::uint64_t records_seen() const override {
     return file_->records.size();
   }
+  [[nodiscard]] IngestDiagnostics diagnostics() const override {
+    return file_->ingest;
+  }
 
  private:
   const PcapFile* file_;
@@ -83,8 +97,9 @@ class PcapFileSource final : public TraceSource {
 // pinned by their arena chunk.
 class PcapStreamSource final : public TraceSource {
  public:
-  [[nodiscard]] static Result<PcapStreamSource> open(const std::string& path,
-                                                     bool verify_checksums);
+  [[nodiscard]] static Result<PcapStreamSource> open(
+      const std::string& path, bool verify_checksums,
+      const IngestPolicy& policy = {});
 
   explicit PcapStreamSource(PcapStream stream, bool verify_checksums,
                             std::size_t first_index = 0)
@@ -99,6 +114,13 @@ class PcapStreamSource final : public TraceSource {
   [[nodiscard]] std::uint64_t records_seen() const override {
     return stream_.records_read();
   }
+  [[nodiscard]] IngestDiagnostics diagnostics() const override {
+    return stream_.diagnostics();
+  }
+  void collect_file_diagnostics(
+      std::vector<FileIngestDiagnostics>& out) const override {
+    if (!path_.empty()) out.push_back({path_, stream_.diagnostics()});
+  }
   // Global record index after the records served so far (for multi-file
   // concatenation).
   [[nodiscard]] std::size_t next_index() const { return index_; }
@@ -107,6 +129,7 @@ class PcapStreamSource final : public TraceSource {
   PcapStream stream_;
   bool verify_checksums_;
   std::size_t index_;
+  std::string path_;  // empty for memory-backed streams
 };
 
 // Rotated-capture concatenation. `inputs` may mix capture files and
@@ -117,17 +140,22 @@ class PcapStreamSource final : public TraceSource {
 class MultiFileSource final : public TraceSource {
  public:
   [[nodiscard]] static Result<MultiFileSource> open(
-      const std::vector<std::string>& inputs, bool verify_checksums);
+      const std::vector<std::string>& inputs, bool verify_checksums,
+      const IngestPolicy& policy = {});
 
   [[nodiscard]] bool next(DecodedPacket& out) override;
   [[nodiscard]] std::uint64_t bytes_ingested() const override;
   [[nodiscard]] std::uint64_t records_seen() const override;
+  [[nodiscard]] IngestDiagnostics diagnostics() const override;
+  void collect_file_diagnostics(
+      std::vector<FileIngestDiagnostics>& out) const override;
 
   [[nodiscard]] std::size_t file_count() const { return parts_.size(); }
 
  private:
   struct Part {
     PcapStream stream;
+    std::string path;
     StreamRecord pending;  // one-record lookahead (first record decides order)
     bool has_pending = false;
   };

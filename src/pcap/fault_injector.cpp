@@ -1,0 +1,285 @@
+#include "pcap/fault_injector.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace tdat {
+namespace {
+
+constexpr std::uint32_t kMagicMicrosLE = 0xa1b2c3d4;  // as read little-endian
+constexpr std::uint32_t kMagicMicrosBE = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNanosLE = 0xa1b23c4d;
+constexpr std::uint32_t kMagicNanosBE = 0x4d3cb2a1;
+constexpr std::size_t kGlobalHeaderLen = 24;
+constexpr std::size_t kRecordHeaderLen = 16;
+// eth(14) + min ipv4(20) + min tcp(20): anything past this inside a frame is
+// (potential) application payload.
+constexpr std::uint32_t kPayloadOffset = 54;
+constexpr std::uint32_t kTimestampJumpSecs = 30 * 86400;
+
+std::uint32_t read_u32(const std::uint8_t* p, bool swapped) {
+  return swapped ? static_cast<std::uint32_t>(p[0]) << 24 |
+                       static_cast<std::uint32_t>(p[1]) << 16 |
+                       static_cast<std::uint32_t>(p[2]) << 8 | p[3]
+                 : static_cast<std::uint32_t>(p[3]) << 24 |
+                       static_cast<std::uint32_t>(p[2]) << 16 |
+                       static_cast<std::uint32_t>(p[1]) << 8 | p[0];
+}
+
+void write_u32(std::uint8_t* p, std::uint32_t v, bool swapped) {
+  if (swapped) {
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+  } else {
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[0] = static_cast<std::uint8_t>(v);
+  }
+}
+
+struct RecordSlot {
+  std::size_t header_off = 0;
+  std::uint32_t incl = 0;
+  [[nodiscard]] std::size_t body_off() const {
+    return header_off + kRecordHeaderLen;
+  }
+  [[nodiscard]] std::size_t end_off() const { return body_off() + incl; }
+};
+
+struct ImageLayout {
+  bool ok = false;
+  bool swapped = false;
+  std::vector<RecordSlot> records;
+};
+
+ImageLayout index_records(const std::vector<std::uint8_t>& image) {
+  ImageLayout out;
+  if (image.size() < kGlobalHeaderLen) return out;
+  const std::uint32_t magic = read_u32(image.data(), /*swapped=*/false);
+  switch (magic) {
+    case kMagicMicrosLE:
+    case kMagicNanosLE:
+      break;
+    case kMagicMicrosBE:
+    case kMagicNanosBE:
+      out.swapped = true;
+      break;
+    default:
+      return out;
+  }
+  out.ok = true;
+  std::size_t off = kGlobalHeaderLen;
+  while (off + kRecordHeaderLen <= image.size()) {
+    const std::uint32_t incl = read_u32(image.data() + off + 8, out.swapped);
+    if (incl == 0 || off + kRecordHeaderLen + incl > image.size()) break;
+    out.records.push_back({off, incl});
+    off += kRecordHeaderLen + incl;
+  }
+  return out;
+}
+
+// Deterministic Fisher-Yates draw of up to `count` distinct entries from
+// `candidates` (std::sample/std::shuffle are avoided on purpose: their
+// draw order is implementation-defined, and the corpus and matrix tests
+// depend on exact reproducibility across standard libraries).
+std::vector<std::size_t> draw(std::vector<std::size_t> candidates,
+                              std::size_t count, Rng& rng) {
+  std::vector<std::size_t> out;
+  while (out.size() < count && !candidates.empty()) {
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(candidates.size()) - 1));
+    out.push_back(candidates[pick]);
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  // Descending, so size-changing edits leave the not-yet-edited offsets valid.
+  std::sort(out.rbegin(), out.rend());
+  return out;
+}
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kBitFlip: return "bit-flip";
+    case FaultMode::kTruncateTail: return "truncate-tail";
+    case FaultMode::kTruncateRecord: return "truncate-record";
+    case FaultMode::kZeroInclLen: return "zero-incl-len";
+    case FaultMode::kOverlongInclLen: return "overlong-incl-len";
+    case FaultMode::kDuplicateRecord: return "duplicate-record";
+    case FaultMode::kReorderRecords: return "reorder-records";
+    case FaultMode::kTimestampJump: return "timestamp-jump";
+    case FaultMode::kGarbageSplice: return "garbage-splice";
+  }
+  return "unknown";
+}
+
+std::optional<FaultMode> parse_fault_mode(const std::string& name) {
+  for (const FaultMode mode : all_fault_modes()) {
+    if (name == to_string(mode)) return mode;
+  }
+  return std::nullopt;
+}
+
+const std::vector<FaultMode>& all_fault_modes() {
+  static const std::vector<FaultMode> modes = {
+      FaultMode::kBitFlip,         FaultMode::kTruncateTail,
+      FaultMode::kTruncateRecord,  FaultMode::kZeroInclLen,
+      FaultMode::kOverlongInclLen, FaultMode::kDuplicateRecord,
+      FaultMode::kReorderRecords,  FaultMode::kTimestampJump,
+      FaultMode::kGarbageSplice};
+  return modes;
+}
+
+FaultReport inject_faults(std::vector<std::uint8_t>& image,
+                          const FaultPlan& plan) {
+  FaultReport report;
+  const ImageLayout layout = index_records(image);
+  if (!layout.ok || layout.records.empty()) return report;
+  const bool sw = layout.swapped;
+  const std::vector<RecordSlot>& recs = layout.records;
+  const std::size_t n = recs.size();
+  Rng rng(plan.seed);
+
+  auto touch = [&](std::size_t idx) { report.touched_records.push_back(idx); };
+
+  switch (plan.mode) {
+    case FaultMode::kBitFlip: {
+      for (const std::size_t idx : draw(all_indices(n), plan.count, rng)) {
+        const RecordSlot& r = recs[idx];
+        const auto byte = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(r.incl) - 1));
+        const auto bit = static_cast<unsigned>(rng.uniform(0, 7));
+        image[r.body_off() + byte] ^= static_cast<std::uint8_t>(1u << bit);
+        touch(idx);
+        ++report.faults_applied;
+      }
+      break;
+    }
+    case FaultMode::kTruncateTail: {
+      report.structural = true;
+      // Cut mid-body of a record in the back half, so a meaningful prefix
+      // survives. Everything from that record on is gone.
+      const std::size_t idx =
+          n > 1 ? static_cast<std::size_t>(
+                      rng.uniform(static_cast<std::int64_t>(n / 2),
+                                  static_cast<std::int64_t>(n) - 1))
+                : 0;
+      const RecordSlot& r = recs[idx];
+      image.resize(r.body_off() + r.incl / 2);
+      for (std::size_t i = idx; i < n; ++i) touch(i);
+      ++report.faults_applied;
+      break;
+    }
+    case FaultMode::kTruncateRecord: {
+      report.structural = true;
+      // Delete bytes from a non-final record's body: the header still claims
+      // the full length, so the reader overshoots into the next record and
+      // must resync. The victim and its successor are both lost.
+      if (n < 2) break;
+      for (const std::size_t idx :
+           draw(all_indices(n - 1), plan.count, rng)) {
+        const RecordSlot& r = recs[idx];
+        if (r.incl < 2) continue;
+        const auto cut = static_cast<std::size_t>(
+            rng.uniform(1, static_cast<std::int64_t>(r.incl) - 1));
+        const auto at =
+            image.begin() + static_cast<std::ptrdiff_t>(r.body_off());
+        image.erase(at, at + static_cast<std::ptrdiff_t>(cut));
+        touch(idx);
+        if (idx + 1 < n) touch(idx + 1);
+        ++report.faults_applied;
+      }
+      break;
+    }
+    case FaultMode::kZeroInclLen:
+    case FaultMode::kOverlongInclLen: {
+      report.structural = true;
+      for (const std::size_t idx : draw(all_indices(n), plan.count, rng)) {
+        const RecordSlot& r = recs[idx];
+        const std::uint32_t bad =
+            plan.mode == FaultMode::kZeroInclLen ? 0 : 0x7fffffffu;
+        write_u32(image.data() + r.header_off + 8, bad, sw);
+        touch(idx);
+        ++report.faults_applied;
+      }
+      break;
+    }
+    case FaultMode::kDuplicateRecord: {
+      for (const std::size_t idx : draw(all_indices(n), plan.count, rng)) {
+        const RecordSlot& r = recs[idx];
+        const std::vector<std::uint8_t> copy(
+            image.begin() + static_cast<std::ptrdiff_t>(r.header_off),
+            image.begin() + static_cast<std::ptrdiff_t>(r.end_off()));
+        image.insert(image.begin() + static_cast<std::ptrdiff_t>(r.end_off()),
+                     copy.begin(), copy.end());
+        touch(idx);
+        ++report.faults_applied;
+      }
+      break;
+    }
+    case FaultMode::kReorderRecords: {
+      if (n < 2) break;
+      // Swap adjacent pairs; candidates step by 2 so draws never overlap.
+      std::vector<std::size_t> firsts;
+      for (std::size_t i = 0; i + 1 < n; i += 2) firsts.push_back(i);
+      for (const std::size_t idx : draw(firsts, plan.count, rng)) {
+        const RecordSlot& a = recs[idx];
+        const RecordSlot& b = recs[idx + 1];
+        // rotate moves [a.header .. a.end) behind [a.end .. b.end).
+        std::rotate(
+            image.begin() + static_cast<std::ptrdiff_t>(a.header_off),
+            image.begin() + static_cast<std::ptrdiff_t>(a.end_off()),
+            image.begin() + static_cast<std::ptrdiff_t>(b.end_off()));
+        touch(idx);
+        touch(idx + 1);
+        ++report.faults_applied;
+      }
+      break;
+    }
+    case FaultMode::kTimestampJump: {
+      for (const std::size_t idx : draw(all_indices(n), plan.count, rng)) {
+        const RecordSlot& r = recs[idx];
+        const std::uint32_t sec = read_u32(image.data() + r.header_off, sw);
+        write_u32(image.data() + r.header_off, sec + kTimestampJumpSecs, sw);
+        touch(idx);
+        ++report.faults_applied;
+      }
+      break;
+    }
+    case FaultMode::kGarbageSplice: {
+      std::vector<std::size_t> eligible;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (recs[i].incl > kPayloadOffset) eligible.push_back(i);
+      }
+      for (const std::size_t idx : draw(eligible, plan.count, rng)) {
+        const RecordSlot& r = recs[idx];
+        for (std::size_t i = r.body_off() + kPayloadOffset; i < r.end_off();
+             ++i) {
+          image[i] = static_cast<std::uint8_t>(rng.uniform(0, 255));
+        }
+        touch(idx);
+        ++report.faults_applied;
+      }
+      break;
+    }
+  }
+
+  std::sort(report.touched_records.begin(), report.touched_records.end());
+  report.touched_records.erase(std::unique(report.touched_records.begin(),
+                                           report.touched_records.end()),
+                               report.touched_records.end());
+  return report;
+}
+
+}  // namespace tdat

@@ -1,0 +1,62 @@
+// Deterministic, seedable corruption of serialized pcap images, so every
+// ingest recovery path (DESIGN.md §10) is testable on demand instead of
+// waiting for a broken capture to arrive. Each mode models a failure class
+// seen in operational traces: disk bit rot, rotation cutting a file
+// mid-record, header fields scribbled by a crashing capture process,
+// duplicated / reordered records from multi-queue taps, clock steps, and
+// peers emitting garbage BGP payloads (the paper's §5 zero-window-probe bug
+// being the canonical example). The CLI exposes this as `tdat corrupt`; the
+// corruption-matrix test drives every mode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tdat {
+
+enum class FaultMode {
+  kBitFlip,          // flip one random bit inside a record body
+  kTruncateTail,     // cut the image mid-record (rotation / full disk)
+  kTruncateRecord,   // delete bytes from a record body, desyncing the stream
+  kZeroInclLen,      // record header claims zero captured bytes
+  kOverlongInclLen,  // record header claims more bytes than the snaplen
+  kDuplicateRecord,  // insert a byte-identical copy right after a record
+  kReorderRecords,   // swap two adjacent records
+  kTimestampJump,    // step one record's clock 30 days into the future
+  kGarbageSplice,    // overwrite a record's payload with random bytes
+};
+
+[[nodiscard]] const char* to_string(FaultMode mode);
+[[nodiscard]] std::optional<FaultMode> parse_fault_mode(const std::string& name);
+[[nodiscard]] const std::vector<FaultMode>& all_fault_modes();
+
+struct FaultPlan {
+  FaultMode mode = FaultMode::kBitFlip;
+  std::uint64_t seed = 1;
+  std::size_t count = 1;  // how many records to hit (clamped to what exists)
+};
+
+struct FaultReport {
+  // Record indices (position in the clean image) whose bytes were touched or
+  // whose framing was damaged. For kTruncateTail this is the first dropped
+  // record and everything after it is implicitly gone too.
+  std::vector<std::size_t> touched_records;
+  std::size_t faults_applied = 0;
+  // Structural faults damage pcap framing itself (the reader must truncate
+  // or resync); non-structural ones leave framing intact and only perturb
+  // contents or ordering.
+  bool structural = false;
+};
+
+// Applies `plan` to a serialized pcap image in place (kTruncateRecord /
+// kTruncateTail shrink it, kDuplicateRecord grows it). The image's own
+// byte-order magic is honoured when rewriting header fields. An image whose
+// global header is unparsable, or that holds no records, is returned
+// untouched with an empty report.
+[[nodiscard]] FaultReport inject_faults(std::vector<std::uint8_t>& image,
+                                        const FaultPlan& plan);
+
+}  // namespace tdat

@@ -1,0 +1,25 @@
+#include "pcap/ingest.hpp"
+
+namespace tdat {
+
+void IngestDiagnostics::add(const IngestDiagnostics& other) {
+  truncated += other.truncated;
+  resynced += other.resynced;
+  skipped_bytes += other.skipped_bytes;
+  budget_exhausted = budget_exhausted || other.budget_exhausted;
+}
+
+std::string IngestDiagnostics::to_json() const {
+  std::string out = "{\"truncated\":";
+  out += std::to_string(truncated);
+  out += ",\"resynced\":";
+  out += std::to_string(resynced);
+  out += ",\"skipped_bytes\":";
+  out += std::to_string(skipped_bytes);
+  out += ",\"budget_exhausted\":";
+  out += budget_exhausted ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+}  // namespace tdat

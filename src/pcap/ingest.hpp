@@ -1,0 +1,59 @@
+// Failure model of the ingest layer (DESIGN.md §10): operational captures
+// arrive truncated, rotated mid-record, and bit-flipped, so every reader
+// carries an IngestPolicy deciding how far to go recovering from a corrupt
+// record, and an IngestDiagnostics block reporting what was lost. The
+// diagnostics flow from the readers through the TraceSource into the
+// pipeline stats, the report sinks, and the metrics registry
+// (ingest.errors.truncated / .resynced / .skipped) — a damaged capture is
+// analyzed as far as possible and the damage is *reported*, never silently
+// absorbed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tdat {
+
+struct IngestPolicy {
+  // Strict mode reproduces the historical tail-drop semantics: the first
+  // corrupt record header ends the stream (everything before it is kept,
+  // everything after is dropped). The default scans forward for the next
+  // plausible record instead.
+  bool strict = false;
+
+  // Recovery budget: after this many resynchronizations the stream gives up
+  // (a capture needing thousands of resyncs is noise, not data).
+  std::size_t max_errors = 1000;
+
+  [[nodiscard]] static IngestPolicy strict_mode() { return {true, 0}; }
+};
+
+// What ingest had to do to get through one capture (or one run, when
+// aggregated). All counters are zero on a clean capture.
+struct IngestDiagnostics {
+  std::uint64_t truncated = 0;      // records cut off by end of data (or
+                                    // strict-mode stops on a corrupt header)
+  std::uint64_t resynced = 0;       // corrupt headers recovered by scanning
+  std::uint64_t skipped_bytes = 0;  // garbage bytes stepped over by resyncs
+  bool budget_exhausted = false;    // max_errors hit; the tail was dropped
+
+  [[nodiscard]] bool has_errors() const {
+    return truncated != 0 || resynced != 0 || skipped_bytes != 0 ||
+           budget_exhausted;
+  }
+
+  void add(const IngestDiagnostics& other);
+
+  // {"truncated":N,"resynced":N,"skipped_bytes":N,"budget_exhausted":B}
+  [[nodiscard]] std::string to_json() const;
+};
+
+// Per-file breakdown for multi-file (rotated capture) runs.
+struct FileIngestDiagnostics {
+  std::string path;
+  IngestDiagnostics diag;
+};
+
+}  // namespace tdat

@@ -55,6 +55,10 @@ Result<PcapFile> parse_pcap(std::span<const std::uint8_t> image) {
   PcapFile out;
   out.nanosecond = nanos;
   out.snaplen = snaplen;
+  // A record may not claim zero captured bytes or more than the snaplen the
+  // global header promised (snaplen 0 is treated as the classic 65535 cap) —
+  // either marks a corrupt header, not a large packet.
+  const std::uint32_t max_incl = snaplen != 0 ? snaplen : 65535;
   // Pre-scan the record headers (16 bytes each, skipping bodies) to size the
   // records vector exactly, so the parse loop below never reallocates it; the
   // per-record byte buffers are then the only allocations on this path.
@@ -65,7 +69,9 @@ Result<PcapFile> parse_pcap(std::span<const std::uint8_t> image) {
       scan.skip(8);
       const std::uint32_t incl = swapped ? scan.u32be() : scan.u32le();
       scan.skip(4);
-      if (!scan.ok() || incl > snaplen + 65535 || scan.remaining() < incl) break;
+      if (!scan.ok() || incl == 0 || incl > max_incl || scan.remaining() < incl) {
+        break;
+      }
       scan.skip(incl);
       ++count;
     }
@@ -76,8 +82,10 @@ Result<PcapFile> parse_pcap(std::span<const std::uint8_t> image) {
     const std::uint32_t ts_frac = u32();
     const std::uint32_t incl_len = u32();
     const std::uint32_t orig_len = u32();
-    if (!r.ok() || incl_len > snaplen + 65535 || r.remaining() < incl_len) {
-      break;  // truncated tail: keep what we have
+    if (!r.ok() || incl_len == 0 || incl_len > max_incl ||
+        r.remaining() < incl_len) {
+      ++out.ingest.truncated;  // truncated tail: keep what we have
+      return out;
     }
     PcapRecord rec;
     rec.ts = static_cast<Micros>(ts_sec) * kMicrosPerSec +
@@ -87,6 +95,7 @@ Result<PcapFile> parse_pcap(std::span<const std::uint8_t> image) {
     rec.data.assign(bytes.begin(), bytes.end());
     out.records.push_back(std::move(rec));
   }
+  if (r.remaining() > 0) ++out.ingest.truncated;  // partial trailing header
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "pcap/ingest.hpp"
 #include "pcap/packet.hpp"
 #include "util/result.hpp"
 
@@ -27,11 +28,16 @@ struct PcapFile {
   std::vector<PcapRecord> records;
   bool nanosecond = false;
   std::uint32_t snaplen = 65535;
+  // What the reader had to drop or skip to produce `records` (all zero for a
+  // clean capture).
+  IngestDiagnostics ingest;
 };
 
-// Parses an in-memory pcap image. Records after a corrupt record header are
-// dropped (matching tcpdump's behaviour on truncated files) but a malformed
-// global header is an error.
+// Parses an in-memory pcap image. Records after a corrupt record header
+// (incl_len of zero or beyond the snaplen) are dropped — matching tcpdump's
+// behaviour on truncated files — and tallied in the result's `ingest` block;
+// a malformed global header is an error. For resynchronizing recovery use
+// PcapStream with a non-strict IngestPolicy.
 [[nodiscard]] Result<PcapFile> parse_pcap(std::span<const std::uint8_t> image);
 
 [[nodiscard]] Result<PcapFile> read_pcap_file(const std::string& path);

@@ -17,21 +17,60 @@ constexpr std::uint32_t kLinkTypeEthernet = 1;
 constexpr std::size_t kGlobalHeaderLen = 24;
 constexpr std::size_t kRecordHeaderLen = 16;
 
+// Resync plausibility window around the last good timestamp: captures can
+// step backwards a little (multi-queue NICs reorder slightly) but a record
+// claiming to predate the stream by seconds or postdate it by more than a
+// day is a misparse, not data.
+constexpr Micros kResyncPastSlack = 2 * kMicrosPerSec;
+constexpr Micros kResyncFutureSlack = Micros{24} * 3600 * kMicrosPerSec;
+// orig_len cap for resync candidates: jumbo frames exist, 1 MiB frames don't.
+constexpr std::uint32_t kResyncMaxOrigLen = 1u << 20;
+
+std::uint32_t read_u32(const std::uint8_t* p, bool swapped) {
+  return swapped ? static_cast<std::uint32_t>(p[0]) << 24 |
+                       static_cast<std::uint32_t>(p[1]) << 16 |
+                       static_cast<std::uint32_t>(p[2]) << 8 | p[3]
+                 : static_cast<std::uint32_t>(p[3]) << 24 |
+                       static_cast<std::uint32_t>(p[2]) << 16 |
+                       static_cast<std::uint32_t>(p[1]) << 8 | p[0];
+}
+
 }  // namespace
 
 Result<PcapStream> PcapStream::open(const std::string& path,
                                     std::size_t chunk_size) {
+  return open(path, IngestPolicy{}, chunk_size);
+}
+
+Result<PcapStream> PcapStream::open(const std::string& path,
+                                    const IngestPolicy& policy,
+                                    std::size_t chunk_size) {
   PcapStream s;
   s.file_.reset(std::fopen(path.c_str(), "rb"));
   if (!s.file_) return Err<PcapStream>("pcap: cannot open " + path);
+  // Learn the file size up front so refill can bound arena allocations by
+  // what the source can actually deliver (unseekable sources stay unbounded).
+  if (std::fseek(s.file_.get(), 0, SEEK_END) == 0) {
+    const long end = std::ftell(s.file_.get());
+    if (end >= 0) s.file_remaining_ = static_cast<std::size_t>(end);
+    std::fseek(s.file_.get(), 0, SEEK_SET);
+  }
+  s.policy_ = policy;
   s.chunk_size_ = chunk_size > kRecordHeaderLen ? chunk_size : kDefaultChunkSize;
   return init(std::move(s));
 }
 
 Result<PcapStream> PcapStream::from_memory(std::span<const std::uint8_t> image,
                                            std::size_t chunk_size) {
+  return from_memory(image, IngestPolicy{}, chunk_size);
+}
+
+Result<PcapStream> PcapStream::from_memory(std::span<const std::uint8_t> image,
+                                           const IngestPolicy& policy,
+                                           std::size_t chunk_size) {
   PcapStream s;
   s.mem_ = image;
+  s.policy_ = policy;
   // Tiny chunk sizes are allowed here so tests can force records to straddle
   // chunk boundaries.
   s.chunk_size_ = chunk_size >= kGlobalHeaderLen ? chunk_size : kGlobalHeaderLen;
@@ -46,6 +85,9 @@ Result<PcapStream> PcapStream::init(PcapStream s) {
   s.m_recycles_ = &reg.counter("pcap.arena_recycles");
   s.m_allocs_ = &reg.counter("pcap.arena_allocs");
   s.m_straddles_ = &reg.counter("pcap.straddle_relocations");
+  s.m_err_truncated_ = &reg.counter("ingest.errors.truncated");
+  s.m_err_resynced_ = &reg.counter("ingest.errors.resynced");
+  s.m_err_skipped_ = &reg.counter("ingest.errors.skipped");
   s.m_refill_us_ = &reg.histogram("pcap.refill_us");
   if (!s.refill(4)) return Err<PcapStream>("pcap: file shorter than global header");
   // The magic is defined as read little-endian; it decides the order of
@@ -80,19 +122,39 @@ Result<PcapStream> PcapStream::init(PcapStream s) {
 }
 
 std::size_t PcapStream::read_source(std::uint8_t* dst, std::size_t n) {
-  if (file_) return std::fread(dst, 1, n, file_.get());
+  if (file_) {
+    const std::size_t got = std::fread(dst, 1, n, file_.get());
+    if (file_remaining_ != SIZE_MAX) {
+      file_remaining_ -= std::min(got, file_remaining_);
+    }
+    return got;
+  }
   const std::size_t got = std::min(n, mem_.size() - mem_pos_);
   std::memcpy(dst, mem_.data() + mem_pos_, got);
   mem_pos_ += got;
   return got;
 }
 
+std::size_t PcapStream::source_remaining() const {
+  if (file_) return file_remaining_;
+  return mem_.size() - mem_pos_;
+}
+
 bool PcapStream::refill(std::size_t n) {
   if (arena_ && fill_ - pos_ >= n) return true;
+  // A drained source can never satisfy the request; in particular a hostile
+  // record header may claim gigabytes the file does not contain — bound the
+  // arena allocation below by what the source can still deliver instead of
+  // trusting the claim.
+  const std::size_t remaining = source_remaining();
+  if (remaining == 0) return false;
   TDAT_TRACE_SPAN("pcap.refill", "pcap");
   const std::int64_t t0 = monotonic_micros();
   const std::size_t tail = arena_ ? fill_ - pos_ : 0;
-  const std::size_t want = std::max(chunk_size_, n);
+  std::size_t want = std::max(chunk_size_, n);
+  if (remaining != SIZE_MAX && want > tail + remaining) {
+    want = tail + remaining;
+  }
 
   // A fresh arena is required even when the current one has spare capacity:
   // bytes already handed out as record views must never move. The previous
@@ -138,37 +200,161 @@ std::uint32_t PcapStream::u32() {
                         static_cast<std::uint32_t>(p[1]) << 8 | p[0];
 }
 
+std::uint32_t PcapStream::effective_snaplen() const {
+  // Some writers leave the snaplen field 0; treat that as the classic cap.
+  return snaplen_ != 0 ? snaplen_ : 65535;
+}
+
+bool PcapStream::plausible_record_at(std::size_t at, Micros after) const {
+  const std::uint8_t* p = arena_->data() + at;
+  const std::uint32_t ts_sec = read_u32(p, swapped_);
+  const std::uint32_t ts_frac = read_u32(p + 4, swapped_);
+  const std::uint32_t incl = read_u32(p + 8, swapped_);
+  const std::uint32_t orig = read_u32(p + 12, swapped_);
+  if (incl == 0 || incl > effective_snaplen()) return false;
+  if (orig < incl || orig > kResyncMaxOrigLen) return false;
+  if (ts_frac >= (nanos_ ? 1000000000u : 1000000u)) return false;
+  if (after >= 0) {
+    const Micros ts = static_cast<Micros>(ts_sec) * kMicrosPerSec +
+                      (nanos_ ? ts_frac / 1000 : ts_frac);
+    if (ts + kResyncPastSlack < after || ts > after + kResyncFutureSlack) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PcapStream::resync() {
+  if (diag_.resynced >= policy_.max_errors) {
+    diag_.budget_exhausted = true;
+    TDAT_LOG_WARN("pcap: resync budget (%llu) exhausted after %llu records; "
+                  "dropping tail",
+                  static_cast<unsigned long long>(policy_.max_errors),
+                  static_cast<unsigned long long>(records_read_));
+    return false;
+  }
+  TDAT_TRACE_SPAN("pcap.resync", "pcap");
+  std::uint64_t skipped = 1;  // the corrupt header's first byte
+  ++pos_;
+  // Slide a byte-granular window looking for the next header whose fields —
+  // and, when the data is there, whose *successor's* fields — are plausible.
+  // pos_ advances past every rejected byte, so refill never has to hold more
+  // than a chunk of unvalidated tail and the scan is O(remaining bytes).
+  while (refill(kRecordHeaderLen)) {
+    while (fill_ - pos_ >= kRecordHeaderLen) {
+      if (plausible_record_at(pos_, last_ts_)) {
+        const std::uint8_t* p = arena_->data() + pos_;
+        const std::uint32_t ts_sec = read_u32(p, swapped_);
+        const std::uint32_t ts_frac = read_u32(p + 4, swapped_);
+        const std::uint32_t incl = read_u32(p + 8, swapped_);
+        const Micros cand_ts = static_cast<Micros>(ts_sec) * kMicrosPerSec +
+                               (nanos_ ? ts_frac / 1000 : ts_frac);
+        // Chain check: the candidate's body must be present, and if another
+        // header follows it, that one must be plausible too. A candidate
+        // whose body runs past EOF is rejected but the scan continues — a
+        // shorter real record may still start later in the remaining bytes.
+        if (refill(kRecordHeaderLen + incl)) {
+          // Each refill may relocate the tail to the front of a fresh arena
+          // (resetting pos_), so the successor offset must be derived from
+          // pos_ only after the last refill has run.
+          const bool have_succ =
+              refill(kRecordHeaderLen + incl + kRecordHeaderLen);
+          const std::size_t succ = pos_ + kRecordHeaderLen + incl;
+          if (!have_succ || plausible_record_at(succ, cand_ts)) {
+            diag_.skipped_bytes += skipped;
+            ++diag_.resynced;
+            bytes_read_ += skipped;
+            m_err_resynced_->inc();
+            m_err_skipped_->inc(skipped);
+            TDAT_LOG_WARN(
+                "pcap: corrupt record header after %llu records; resynced "
+                "after skipping %llu bytes",
+                static_cast<unsigned long long>(records_read_),
+                static_cast<unsigned long long>(skipped));
+            return true;
+          }
+        }
+      }
+      ++pos_;
+      ++skipped;
+    }
+  }
+  // Source exhausted without a plausible header: the remaining sub-header
+  // bytes are garbage too.
+  skipped += fill_ - pos_;
+  pos_ = fill_;
+  diag_.skipped_bytes += skipped;
+  bytes_read_ += skipped;
+  m_err_skipped_->inc(skipped);
+  TDAT_LOG_WARN("pcap: no plausible record found after corrupt header; "
+                "dropped %llu trailing bytes",
+                static_cast<unsigned long long>(skipped));
+  return false;
+}
+
 bool PcapStream::next(StreamRecord& out) {
   if (done_) return false;
-  if (!refill(kRecordHeaderLen)) {
-    done_ = true;
-    return false;
+  for (;;) {
+    if (!refill(kRecordHeaderLen)) {
+      if (fill_ - pos_ > 0) {
+        // Partial record header at end of data.
+        ++diag_.truncated;
+        m_err_truncated_->inc();
+        TDAT_LOG_WARN("pcap: truncated record header after %llu records "
+                      "(%llu bytes); dropping tail",
+                      static_cast<unsigned long long>(records_read_),
+                      static_cast<unsigned long long>(bytes_read_));
+      }
+      done_ = true;
+      return false;
+    }
+    const std::size_t header_at = pos_;
+    const std::uint32_t ts_sec = u32();
+    const std::uint32_t ts_frac = u32();
+    const std::uint32_t incl_len = u32();
+    const std::uint32_t orig_len = u32();
+    if (incl_len == 0 || incl_len > effective_snaplen()) {
+      pos_ = header_at;
+      if (policy_.strict) {
+        ++diag_.truncated;
+        m_err_truncated_->inc();
+        TDAT_LOG_WARN("pcap: corrupt record header after %llu records "
+                      "(%llu bytes); dropping tail (strict)",
+                      static_cast<unsigned long long>(records_read_),
+                      static_cast<unsigned long long>(bytes_read_));
+        done_ = true;
+        return false;
+      }
+      if (!resync()) {
+        done_ = true;
+        return false;
+      }
+      continue;  // re-parse the recovered header
+    }
+    if (!refill(incl_len)) {
+      // Body cut off at end of data: nothing after it to resync into.
+      ++diag_.truncated;
+      m_err_truncated_->inc();
+      TDAT_LOG_WARN("pcap: truncated record after %llu records "
+                    "(%llu bytes); dropping tail",
+                    static_cast<unsigned long long>(records_read_),
+                    static_cast<unsigned long long>(bytes_read_));
+      done_ = true;
+      return false;
+    }
+    out.ts = static_cast<Micros>(ts_sec) * kMicrosPerSec +
+             (nanos_ ? ts_frac / 1000 : ts_frac);
+    out.orig_len = orig_len;
+    out.data = std::span<const std::uint8_t>(arena_->data() + pos_, incl_len);
+    out.arena = arena_;
+    last_ts_ = out.ts;
+    pos_ += incl_len;
+    bytes_read_ += kRecordHeaderLen + incl_len;
+    ++records_read_;
+    m_records_->inc();
+    m_bytes_->inc(kRecordHeaderLen + incl_len);
+    return true;
   }
-  const std::uint32_t ts_sec = u32();
-  const std::uint32_t ts_frac = u32();
-  const std::uint32_t incl_len = u32();
-  const std::uint32_t orig_len = u32();
-  // Same corrupt-tail policy as parse_pcap: an implausible length or a body
-  // the source cannot supply drops the record and everything after it.
-  if (incl_len > snaplen_ + 65535 || !refill(incl_len)) {
-    TDAT_LOG_WARN("pcap: corrupt or truncated record after %llu records "
-                  "(%llu bytes); dropping tail",
-                  static_cast<unsigned long long>(records_read_),
-                  static_cast<unsigned long long>(bytes_read_));
-    done_ = true;
-    return false;
-  }
-  out.ts = static_cast<Micros>(ts_sec) * kMicrosPerSec +
-           (nanos_ ? ts_frac / 1000 : ts_frac);
-  out.orig_len = orig_len;
-  out.data = std::span<const std::uint8_t>(arena_->data() + pos_, incl_len);
-  out.arena = arena_;
-  pos_ += incl_len;
-  bytes_read_ += kRecordHeaderLen + incl_len;
-  ++records_read_;
-  m_records_->inc();
-  m_bytes_->inc(kRecordHeaderLen + incl_len);
-  return true;
 }
 
 PcapFile PcapStream::drain_to_file() {
@@ -201,6 +387,7 @@ PcapFile PcapStream::drain_to_file() {
     owned.data.assign(rec.data.begin(), rec.data.end());
     out.records.push_back(std::move(owned));
   }
+  out.ingest = diag_;
   return out;
 }
 

@@ -12,8 +12,12 @@
 // it is handed out, so `data` is always contiguous.
 //
 // Supports the same four global-header variants as parse_pcap (µs/ns magic,
-// either byte order) and the same tail semantics: a corrupt or truncated
-// record header ends the stream, keeping everything before it.
+// either byte order). Corrupt-record handling is governed by IngestPolicy:
+// by default a corrupt record header triggers a forward scan for the next
+// plausible record (timestamp-monotonicity + sane-length heuristic, bounded
+// by max_errors); under `strict` the historical semantics apply — the first
+// corrupt header ends the stream, keeping everything before it. Either way
+// the damage is tallied in IngestDiagnostics, never silently absorbed.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "pcap/ingest.hpp"
 #include "pcap/pcap_file.hpp"
 #include "util/result.hpp"
 
@@ -48,6 +53,9 @@ class PcapStream {
   // with the same error messages as parse_pcap.
   [[nodiscard]] static Result<PcapStream> open(
       const std::string& path, std::size_t chunk_size = kDefaultChunkSize);
+  [[nodiscard]] static Result<PcapStream> open(
+      const std::string& path, const IngestPolicy& policy,
+      std::size_t chunk_size = kDefaultChunkSize);
 
   // Streams an in-memory image (chunked through the same arena machinery,
   // so boundary handling is exercised regardless of source). The image only
@@ -55,16 +63,21 @@ class PcapStream {
   [[nodiscard]] static Result<PcapStream> from_memory(
       std::span<const std::uint8_t> image,
       std::size_t chunk_size = kDefaultChunkSize);
+  [[nodiscard]] static Result<PcapStream> from_memory(
+      std::span<const std::uint8_t> image, const IngestPolicy& policy,
+      std::size_t chunk_size = kDefaultChunkSize);
 
   PcapStream(PcapStream&&) = default;
   PcapStream& operator=(PcapStream&&) = default;
 
-  // Fetches the next record. Returns false at end of stream — clean EOF or
-  // a corrupt/truncated tail, which is dropped exactly like parse_pcap does.
+  // Fetches the next record. Returns false at end of stream — clean EOF, a
+  // truncated tail, or (strict mode / exhausted error budget) a corrupt
+  // header; see `diagnostics()` for what, if anything, was lost.
   [[nodiscard]] bool next(StreamRecord& out);
 
   [[nodiscard]] bool nanosecond() const { return nanos_; }
   [[nodiscard]] std::uint32_t snaplen() const { return snaplen_; }
+  [[nodiscard]] const IngestDiagnostics& diagnostics() const { return diag_; }
 
   // Ingest accounting: file bytes consumed (headers included) and records
   // handed out so far.
@@ -85,16 +98,31 @@ class PcapStream {
 
   [[nodiscard]] static Result<PcapStream> init(PcapStream stream);
   [[nodiscard]] std::size_t read_source(std::uint8_t* dst, std::size_t n);
+  // Upper bound on bytes the source can still deliver (SIZE_MAX when the
+  // file size is unknowable, e.g. a pipe).
+  [[nodiscard]] std::size_t source_remaining() const;
   // Ensures >= n contiguous unconsumed bytes at the cursor, refilling (and
   // relocating a partial tail into a fresh arena) as needed.
   [[nodiscard]] bool refill(std::size_t n);
   [[nodiscard]] std::uint16_t u16();
   [[nodiscard]] std::uint32_t u32();
+  // Largest incl_len a record may legitimately claim.
+  [[nodiscard]] std::uint32_t effective_snaplen() const;
+  // Does arena_[at..at+16) look like a record header consistent with the
+  // stream's byte order, snaplen, and timestamp progression?
+  [[nodiscard]] bool plausible_record_at(std::size_t at, Micros after) const;
+  // Scans forward from the (corrupt) header at pos_ for the next plausible
+  // record; updates diag_ and positions pos_ on the recovered header.
+  [[nodiscard]] bool resync();
 
   // Source: exactly one of `file_` / `mem_` is active.
   std::unique_ptr<std::FILE, FileCloser> file_;
   std::span<const std::uint8_t> mem_;
   std::size_t mem_pos_ = 0;
+  // Unread bytes left in file_ (SIZE_MAX when unseekable). Bounds arena
+  // growth: a hostile header can claim a multi-gigabyte record, but the
+  // allocation must never exceed what the source can actually provide.
+  std::size_t file_remaining_ = SIZE_MAX;
 
   std::size_t chunk_size_ = kDefaultChunkSize;
   std::shared_ptr<Arena> arena_;  // current chunk
@@ -109,6 +137,12 @@ class PcapStream {
   std::uint64_t bytes_read_ = 0;
   std::uint64_t records_read_ = 0;
 
+  IngestPolicy policy_;
+  IngestDiagnostics diag_;
+  // Timestamp of the last good record, anchoring the resync plausibility
+  // window; -1 until the first record is seen.
+  Micros last_ts_ = -1;
+
   // Ingest observability (cached global-registry lookups; see
   // util/metrics.hpp for the cost model). Pointers so the stream stays
   // movable.
@@ -118,6 +152,9 @@ class PcapStream {
   Counter* m_recycles_ = nullptr;     // pcap.arena_recycles
   Counter* m_allocs_ = nullptr;       // pcap.arena_allocs
   Counter* m_straddles_ = nullptr;    // pcap.straddle_relocations
+  Counter* m_err_truncated_ = nullptr;  // ingest.errors.truncated
+  Counter* m_err_resynced_ = nullptr;   // ingest.errors.resynced
+  Counter* m_err_skipped_ = nullptr;    // ingest.errors.skipped
   LatencyHistogram* m_refill_us_ = nullptr;  // pcap.refill_us
 };
 

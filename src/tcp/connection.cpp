@@ -52,7 +52,17 @@ void ConnectionDemux::add(DecodedPacket pkt) {
   if (pkt.has_payload() || pkt.tcp.flags.fin || pkt.tcp.flags.rst) {
     it->second.saw_data_or_close = true;
   }
-  conns_[it->second.conn_index].packets.push_back(std::move(pkt));
+  Connection& conn = conns_[it->second.conn_index];
+  if (!conn.packets.empty() && pkt.ts < conn.packets.back().ts) {
+    // Damaged or multi-queue captures can step time backwards mid-connection
+    // (FaultMode::kReorderRecords models both). Per-connection analysis
+    // requires monotonic time, so clamp to the previous packet's timestamp —
+    // hostile input must degrade the one connection, not abort the run.
+    static Counter& ts_clamped = metrics().counter("demux.ts_clamped");
+    ts_clamped.inc();
+    pkt.ts = conn.packets.back().ts;
+  }
+  conn.packets.push_back(std::move(pkt));
 }
 
 std::vector<Connection> ConnectionDemux::take() {

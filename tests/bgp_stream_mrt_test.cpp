@@ -41,6 +41,48 @@ TEST(MessageStream, ResyncsAfterGarbage) {
   EXPECT_EQ(s.skipped_bytes(), 13u);
 }
 
+TEST(MessageStream, CountsOneResyncPerFramingLoss) {
+  // Garbage between two valid messages: one framing loss, one marker hunt,
+  // and the valid messages on either side still come out.
+  BgpMessageStream s;
+  const auto ka = serialize_message(BgpMessage{BgpKeepAlive{}});
+  std::vector<std::uint8_t> all(ka.begin(), ka.end());
+  all.insert(all.end(), {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66});
+  all.insert(all.end(), ka.begin(), ka.end());
+  const auto msgs = s.feed(all, 9);
+  EXPECT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(s.resyncs(), 1u);
+  EXPECT_EQ(s.skipped_bytes(), 7u);
+}
+
+TEST(MessageStream, MarkerHuntSurvivesPartialMarkerAtChunkEnd) {
+  // The garbage run ends with a partial 0xff run that only completes into a
+  // real marker in the next chunk; the hunt must not skip past it.
+  BgpMessageStream s;
+  const auto ka = serialize_message(BgpMessage{BgpKeepAlive{}});
+  std::vector<std::uint8_t> first{0x01, 0x02, 0x03};
+  first.insert(first.end(), ka.begin(), ka.begin() + 9);  // marker cut short
+  EXPECT_TRUE(s.feed(first, 1).empty());
+  std::vector<std::uint8_t> second(ka.begin() + 9, ka.end());
+  const auto msgs = s.feed(second, 2);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].msg.type(), BgpType::kKeepAlive);
+  EXPECT_EQ(s.resyncs(), 1u);
+  EXPECT_EQ(s.skipped_bytes(), 3u);
+}
+
+TEST(MessageStream, ResetClearsResyncCount) {
+  BgpMessageStream s;
+  std::vector<std::uint8_t> garbage(9, 0x21);
+  const auto ka = serialize_message(BgpMessage{BgpKeepAlive{}});
+  garbage.insert(garbage.end(), ka.begin(), ka.end());
+  (void)s.feed(garbage, 1);
+  EXPECT_EQ(s.resyncs(), 1u);
+  s.reset();
+  EXPECT_EQ(s.resyncs(), 0u);
+  EXPECT_EQ(s.skipped_bytes(), 0u);
+}
+
 TEST(MessageStream, ManyMessagesOneChunk) {
   BgpMessageStream s;
   Rng rng(1);

@@ -33,6 +33,34 @@ diff -u "$GOLDEN_DIR/analyze_baseline.json" "$TMP/analyze.json" \
 cmp -s "$TMP/analyze.json" "$TMP/jobs1.json" \
   || fail "output differs between --jobs 2 and --jobs 1"
 
+# --strict must not change a byte on clean input (DESIGN.md §10: clean
+# captures are unaffected by the recovery policy).
+"$TDAT" analyze "$TMP/base.pcap" --strict --json --jobs 2 --quiet-stats \
+  >"$TMP/strict.json" 2>/dev/null || fail "analyze --strict exited non-zero"
+cmp -s "$TMP/analyze.json" "$TMP/strict.json" \
+  || fail "--strict changed output on a clean capture"
+
+# --- exit-code contract (see README): 0 clean, 1 recoverable input errors,
+# --- 2 usage error, 3 unreadable input --------------------------------------
+"$TDAT" analyze "$TMP/does-not-exist.pcap" --quiet-stats \
+  >/dev/null 2>"$TMP/err.txt"
+[ $? -eq 3 ] || fail "unreadable input should exit 3"
+
+"$TDAT" corrupt "$TMP/base.pcap" "$TMP/damaged.pcap" \
+  --mode truncate-record --seed 7 >/dev/null \
+  || fail "tdat corrupt exited non-zero"
+"$TDAT" analyze "$TMP/damaged.pcap" --quiet-stats \
+  >"$TMP/damaged.txt" 2>/dev/null
+[ $? -eq 1 ] || fail "damaged capture should exit 1 (analyzed with errors)"
+grep -q "ingest errors:" "$TMP/damaged.txt" \
+  || fail "damaged-capture report should carry the ingest diagnostics block"
+
+"$TDAT" analyze "$TMP/damaged.pcap" --strict --json --quiet-stats \
+  >"$TMP/damaged.json" 2>/dev/null
+[ $? -eq 1 ] || fail "strict mode on a damaged capture should still exit 1"
+grep -q '"ingest"' "$TMP/damaged.json" \
+  || fail "JSON output should embed the ingest diagnostics"
+
 # --- malformed arguments: one-line error, exit 2 ----------------------------
 "$TDAT" analyze "$TMP/base.pcap" --frobnicate 2>"$TMP/err.txt"
 [ $? -eq 2 ] || fail "unknown flag should exit 2"

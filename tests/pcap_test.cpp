@@ -3,6 +3,7 @@
 #include "helpers.hpp"
 #include "pcap/checksum.hpp"
 #include "pcap/pcap_file.hpp"
+#include "pcap/pcap_stream.hpp"
 #include "util/bytes.hpp"
 
 namespace tdat {
@@ -229,6 +230,178 @@ TEST(PcapFile, DecodeSkipsTruncatedCaptures) {
   const auto pkts = decode_pcap(file);
   ASSERT_EQ(pkts.size(), 1u);
   EXPECT_EQ(pkts[0].index, 0u);
+}
+
+// --- corrupt-record handling -----------------------------------------------
+
+// A capture of `n` well-spaced records (1 s apart, so the resync timestamp
+// window has a clean anchor).
+PcapFile spaced_capture(int n) {
+  PcapFile file;
+  for (int i = 0; i < n; ++i) {
+    PcapRecord rec;
+    rec.ts = static_cast<Micros>(i) * kMicrosPerSec;
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(20 + i), 0xcd);
+    rec.data = encode_tcp_frame(basic_spec(payload));
+    rec.orig_len = static_cast<std::uint32_t>(rec.data.size());
+    file.records.push_back(std::move(rec));
+  }
+  return file;
+}
+
+// Byte offset of record `idx`'s header inside a serialized image.
+std::size_t record_header_offset(std::span<const std::uint8_t> image,
+                                 int idx) {
+  std::size_t off = 24;
+  for (int i = 0; i < idx; ++i) {
+    const std::uint32_t incl = static_cast<std::uint32_t>(image[off + 8]) |
+                               static_cast<std::uint32_t>(image[off + 9]) << 8 |
+                               static_cast<std::uint32_t>(image[off + 10]) << 16 |
+                               static_cast<std::uint32_t>(image[off + 11]) << 24;
+    off += 16 + incl;
+  }
+  return off;
+}
+
+void overwrite_incl_len(std::vector<std::uint8_t>& image, int idx,
+                        std::uint32_t value) {
+  const std::size_t at = record_header_offset(image, idx) + 8;
+  image[at] = static_cast<std::uint8_t>(value);
+  image[at + 1] = static_cast<std::uint8_t>(value >> 8);
+  image[at + 2] = static_cast<std::uint8_t>(value >> 16);
+  image[at + 3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+std::size_t drain_count(PcapStream& stream) {
+  StreamRecord rec;
+  std::size_t n = 0;
+  while (stream.next(rec)) ++n;
+  return n;
+}
+
+TEST(PcapStreamResync, RecoversAfterZeroLengthHeader) {
+  auto image = serialize_pcap(spaced_capture(6));
+  const std::size_t victim_len =
+      record_header_offset(image, 3) - record_header_offset(image, 2) - 16;
+  overwrite_incl_len(image, 2, 0);
+
+  auto stream = PcapStream::from_memory(image);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(drain_count(stream.value()), 5u);  // only the victim is lost
+  const IngestDiagnostics& diag = stream.value().diagnostics();
+  EXPECT_EQ(diag.resynced, 1u);
+  EXPECT_EQ(diag.truncated, 0u);
+  // Scan cost: the corrupt header plus the orphaned body.
+  EXPECT_EQ(diag.skipped_bytes, 16 + victim_len);
+  EXPECT_FALSE(diag.budget_exhausted);
+}
+
+TEST(PcapStreamResync, RecoversAfterOverlongInclLen) {
+  auto image = serialize_pcap(spaced_capture(6));
+  overwrite_incl_len(image, 1, 0x7fffffff);
+
+  auto stream = PcapStream::from_memory(image);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(drain_count(stream.value()), 5u);
+  EXPECT_EQ(stream.value().diagnostics().resynced, 1u);
+}
+
+TEST(PcapStreamResync, RecoversAcrossChunkBoundaries) {
+  // A 32-byte chunk forces the scan and the chain check through repeated
+  // refills and tail relocations.
+  auto image = serialize_pcap(spaced_capture(6));
+  overwrite_incl_len(image, 2, 0);
+
+  auto stream = PcapStream::from_memory(image, IngestPolicy{}, 32);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(drain_count(stream.value()), 5u);
+  EXPECT_EQ(stream.value().diagnostics().resynced, 1u);
+}
+
+TEST(PcapStreamResync, StrictModeDropsTailAtFirstCorruptHeader) {
+  auto image = serialize_pcap(spaced_capture(6));
+  overwrite_incl_len(image, 2, 0);
+
+  auto stream = PcapStream::from_memory(image, IngestPolicy::strict_mode());
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(drain_count(stream.value()), 2u);  // records before the damage
+  const IngestDiagnostics& diag = stream.value().diagnostics();
+  EXPECT_EQ(diag.resynced, 0u);
+  EXPECT_EQ(diag.truncated, 1u);
+  EXPECT_EQ(diag.skipped_bytes, 0u);
+}
+
+TEST(PcapStreamResync, ErrorBudgetBoundsRecovery) {
+  auto image = serialize_pcap(spaced_capture(8));
+  // Higher index first: the offset walk reads incl_len fields, so damaging
+  // an earlier record would derail locating a later one.
+  overwrite_incl_len(image, 5, 0);
+  overwrite_incl_len(image, 2, 0);
+
+  IngestPolicy one_error;
+  one_error.max_errors = 1;
+  auto stream = PcapStream::from_memory(image, one_error);
+  ASSERT_TRUE(stream.ok());
+  // Records 0,1 read clean, 2 is resynced over, 3,4 read clean, then the
+  // second corruption exhausts the budget and the tail is dropped.
+  EXPECT_EQ(drain_count(stream.value()), 4u);
+  const IngestDiagnostics& diag = stream.value().diagnostics();
+  EXPECT_EQ(diag.resynced, 1u);
+  EXPECT_TRUE(diag.budget_exhausted);
+}
+
+TEST(PcapStreamResync, TruncatedBodyAtEofCountsTruncated) {
+  auto image = serialize_pcap(spaced_capture(3));
+  image.resize(image.size() - 7);  // cut into the last record's body
+
+  auto stream = PcapStream::from_memory(image);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(drain_count(stream.value()), 2u);
+  const IngestDiagnostics& diag = stream.value().diagnostics();
+  EXPECT_EQ(diag.truncated, 1u);
+  EXPECT_EQ(diag.resynced, 0u);
+}
+
+TEST(PcapStreamResync, HugeClaimedRecordDoesNotOverAllocate) {
+  // A record claiming ~2 GiB must not make the reader allocate ~2 GiB: the
+  // arena is bounded by what the source holds. With a generous snaplen the
+  // claim passes the header check and dies at the truncated-body check.
+  ByteWriter w;
+  w.u32le(0xa1b2c3d4);
+  w.u16le(2);
+  w.u16le(4);
+  w.u32le(0);
+  w.u32le(0);
+  w.u32le(0xffffffff);  // snaplen: anything goes
+  w.u32le(1);
+  w.u32le(0);           // ts sec
+  w.u32le(0);           // ts usec
+  w.u32le(0x7fffff00);  // incl_len: ~2 GiB that isn't there
+  w.u32le(0x7fffff00);
+  w.u32le(0xab);        // a few bytes of "body"
+  auto stream = PcapStream::from_memory(w.data());
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(drain_count(stream.value()), 0u);
+  EXPECT_EQ(stream.value().diagnostics().truncated, 1u);
+}
+
+TEST(PcapFile, ParseRejectsZeroInclLen) {
+  auto image = serialize_pcap(spaced_capture(4));
+  overwrite_incl_len(image, 1, 0);
+  const auto parsed = parse_pcap(image);
+  ASSERT_TRUE(parsed.ok());
+  // Drop-tail semantics: everything before the corrupt header survives.
+  EXPECT_EQ(parsed.value().records.size(), 1u);
+  EXPECT_EQ(parsed.value().ingest.truncated, 1u);
+}
+
+TEST(PcapFile, ParseRejectsInclLenBeyondSnaplen) {
+  auto image = serialize_pcap(spaced_capture(4));
+  overwrite_incl_len(image, 1, 70000);  // over the serialized 65535 snaplen
+  const auto parsed = parse_pcap(image);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().records.size(), 1u);
+  EXPECT_EQ(parsed.value().ingest.truncated, 1u);
 }
 
 }  // namespace

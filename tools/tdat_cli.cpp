@@ -13,6 +13,12 @@
 //   tdat simulate <scenario> <out.pcap>       generate a demo capture
 //                 scenarios: baseline timer loss slow-collector window
 //                            narrow-pipe probe-bug
+//   tdat corrupt  <in.pcap> <out.pcap> --mode M [--seed S] [--count N]
+//                 deterministically damage a capture (fault injection)
+//
+// Exit codes: 0 = clean run; 1 = analysis completed but the input had
+// recoverable errors (ingest damage or quarantined connections) or a sidecar
+// file could not be written; 2 = usage error; 3 = unreadable input.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -35,6 +41,7 @@
 #include "core/report.hpp"
 #include "core/series_names.hpp"
 #include "core/timeseq.hpp"
+#include "pcap/fault_injector.hpp"
 #include "sim/world.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
@@ -65,13 +72,26 @@ int usage() {
                "|off (default warn)\n"
                "                [--progress]       live progress ticker on"
                " stderr\n"
+               "                [--strict]         stop at the first corrupt"
+               " record (historical tail-drop)\n"
+               "                [--max-errors N]   resync recovery budget per"
+               " file (default 1000)\n"
                "  tdat passes   list the registered analysis passes\n"
                "  tdat pcap2mrt <trace.pcap> <out.mrt>\n"
                "  tdat mrtcat   <archive.mrt> [-n N]\n"
                "  tdat timeseq  <trace.pcap> [conn-index]\n"
                "  tdat simulate <scenario> <out.pcap> [--sessions N]\n"
                "      scenarios: baseline timer loss slow-collector window"
-               " narrow-pipe probe-bug\n");
+               " narrow-pipe probe-bug\n"
+               "  tdat corrupt  <in.pcap> <out.pcap> --mode MODE [--seed S]"
+               " [--count N]\n"
+               "      deterministic capture damage; modes: bit-flip"
+               " truncate-tail truncate-record\n"
+               "      zero-incl-len overlong-incl-len duplicate-record"
+               " reorder-records timestamp-jump\n"
+               "      garbage-splice\n"
+               "exit codes: 0 clean, 1 completed with recoverable input"
+               " errors, 2 usage, 3 unreadable input\n");
   return 2;
 }
 
@@ -230,6 +250,17 @@ Result<AnalyzeCommand> parse_analyze_args(int argc, char** argv) {
       cmd.log_level = std::move(level);
     } else if (arg == "--progress") {
       cmd.progress = true;
+    } else if (arg == "--strict") {
+      cmd.opts.ingest.strict = true;
+    } else if (arg == "--max-errors") {
+      TDAT_TRY(budget, value_of(i));
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(budget.c_str(), &end, 10);
+      if (end == budget.c_str() || *end != '\0') {
+        return Err<AnalyzeCommand>("--max-errors: not a number: '" + budget +
+                                   "'");
+      }
+      cmd.opts.ingest.max_errors = static_cast<std::size_t>(v);
     } else if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
       return Err<AnalyzeCommand>("unknown flag '" + std::string(arg) + "'");
     } else {
@@ -286,12 +317,17 @@ int cmd_analyze(int argc, char** argv) {
   }
   if (!analyzed.ok()) {
     std::fprintf(stderr, "%s\n", analyzed.error().c_str());
-    return 1;
+    return 3;  // unreadable input (exit-code contract, see usage)
   }
   const TraceAnalysis& analysis = analyzed.value();
   const ReportModel model = build_report_model(analysis);
   const std::string rendered = render_report(model, cmd.format, cmd.render);
   std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  // The analysis completed, but with recoverable input damage: surface it in
+  // the exit code so scripted runs notice without parsing the report.
+  if (analysis.stats.ingest.has_errors() || analysis.stats.quarantined > 0) {
+    rc = 1;
+  }
   if (cmd.show_stats) {
     const PipelineStats& st = analysis.stats;
     std::fprintf(stderr,
@@ -334,7 +370,7 @@ int cmd_pcap2mrt(int argc, char** argv) {
   const auto trace = load(argv[0]);
   if (!trace.ok()) {
     std::fprintf(stderr, "%s\n", trace.error().c_str());
-    return 1;
+    return 3;
   }
   std::vector<MrtRecord> all;
   for (const Connection& conn : split_connections(decode_pcap(trace.value()))) {
@@ -360,7 +396,7 @@ int cmd_mrtcat(int argc, char** argv) {
   const auto records = read_mrt_file(argv[0]);
   if (!records.ok()) {
     std::fprintf(stderr, "%s\n", records.error().c_str());
-    return 1;
+    return 3;
   }
   long shown = 0;
   for (const MrtRecord& rec : records.value()) {
@@ -392,7 +428,7 @@ int cmd_timeseq(int argc, char** argv) {
   const auto trace = load(argv[0]);
   if (!trace.ok()) {
     std::fprintf(stderr, "%s\n", trace.error().c_str());
-    return 1;
+    return 3;
   }
   const auto conns = split_connections(decode_pcap(trace.value()));
   const std::size_t index = argc >= 2 ? static_cast<std::size_t>(std::atoi(argv[1])) : 0;
@@ -475,6 +511,77 @@ int cmd_simulate(int argc, char** argv) {
   return 0;
 }
 
+// Deterministic capture damage from the command line: the same fault
+// injector the corruption-matrix test uses, so a recovery scenario seen in
+// tests can be reproduced on a real capture (and vice versa).
+int cmd_corrupt(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string in_path = argv[0];
+  const std::string out_path = argv[1];
+  FaultPlan plan;
+  bool have_mode = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value_of = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--mode") {
+      const char* value = value_of();
+      const auto mode = value ? parse_fault_mode(value) : std::nullopt;
+      if (!mode) {
+        std::fprintf(stderr, "tdat corrupt: --mode: unknown or missing mode"
+                     " (run 'tdat' for the list)\n");
+        return 2;
+      }
+      plan.mode = *mode;
+      have_mode = true;
+    } else if (arg == "--seed") {
+      const char* value = value_of();
+      if (value == nullptr) return usage();
+      plan.seed = static_cast<std::uint64_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--count") {
+      const char* value = value_of();
+      if (value == nullptr) return usage();
+      plan.count = static_cast<std::size_t>(std::strtoul(value, nullptr, 10));
+    } else {
+      return usage();
+    }
+  }
+  if (!have_mode) return usage();
+
+  std::FILE* in = std::fopen(in_path.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "tdat corrupt: cannot open %s\n", in_path.c_str());
+    return 3;
+  }
+  std::vector<std::uint8_t> image;
+  std::uint8_t buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    image.insert(image.end(), buf, buf + got);
+  }
+  std::fclose(in);
+
+  const FaultReport report = inject_faults(image, plan);
+  if (report.faults_applied == 0) {
+    std::fprintf(stderr, "tdat corrupt: %s is not a pcap image with records"
+                 " this mode can damage\n", in_path.c_str());
+    return 3;
+  }
+  std::FILE* out = std::fopen(out_path.c_str(), "wb");
+  bool wrote = out != nullptr &&
+               std::fwrite(image.data(), 1, image.size(), out) == image.size();
+  if (out != nullptr && std::fclose(out) != 0) wrote = false;
+  if (!wrote) {
+    std::fprintf(stderr, "tdat corrupt: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("%s: applied %zu %s fault(s) touching %zu record(s) -> %s\n",
+              in_path.c_str(), report.faults_applied, to_string(plan.mode),
+              report.touched_records.size(), out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -486,5 +593,6 @@ int main(int argc, char** argv) {
   if (cmd == "mrtcat") return cmd_mrtcat(argc - 2, argv + 2);
   if (cmd == "timeseq") return cmd_timeseq(argc - 2, argv + 2);
   if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
+  if (cmd == "corrupt") return cmd_corrupt(argc - 2, argv + 2);
   return usage();
 }
