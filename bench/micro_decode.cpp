@@ -1,0 +1,198 @@
+// Header-decode microbenchmark: scalar decode_frame vs the batched SoA
+// decoder (pcap/decode_batch.hpp) over the records of a simulated multi-
+// session capture, with and without checksum verification, plus a
+// mutated-input run (10% corrupt records) to show the reject path. Emits
+// machine-readable BENCH_decode.json (path overridable via argv[1]).
+//
+// Both paths must accept the same records and produce the same packet
+// count — a mismatch makes the benchmark exit non-zero, so the committed
+// numbers can't drift away from the equivalence contract that
+// tests/decode_batch_test.cpp enforces per field.
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/table_gen.hpp"
+#include "pcap/decode.hpp"
+#include "pcap/decode_batch.hpp"
+#include "pcap/pcap_file.hpp"
+#include "pcap/pcap_stream.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace tdat;
+
+PcapFile make_trace(std::size_t sessions) {
+  SimWorld world(4242);
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    SessionSpec spec;
+    if (i % 3 == 1) spec.up_fwd.random_loss = 0.004;
+    Rng rng(900 + 7 * i);
+    TableGenConfig tg;
+    tg.prefix_count = 6000;
+    ids.push_back(
+        world.add_session(spec, serialize_updates(generate_table(tg, rng))));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    world.start_session(ids[i], static_cast<Micros>(i) * 40 * kMicrosPerMilli);
+  }
+  world.run_until(900 * kMicrosPerSec);
+  return world.take_trace();
+}
+
+std::vector<StreamRecord> as_records(const PcapFile& file) {
+  std::vector<StreamRecord> recs;
+  recs.reserve(file.records.size());
+  for (const PcapRecord& r : file.records) {
+    recs.push_back({r.ts, r.orig_len, std::span<const std::uint8_t>(r.data),
+                    nullptr});
+  }
+  return recs;
+}
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct DecodeResult {
+  double best_s = 1e100;
+  std::size_t packets = 0;
+};
+
+DecodeResult bench_scalar(const std::vector<StreamRecord>& recs, bool verify,
+                          int reps) {
+  DecodeResult res;
+  std::vector<DecodedPacket> pkts;
+  for (int rep = 0; rep < reps; ++rep) {
+    pkts.clear();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      if (recs[i].data.size() < recs[i].orig_len) continue;
+      if (auto pkt =
+              decode_frame(recs[i].ts, i, recs[i].data, verify, recs[i].arena)) {
+        pkts.push_back(std::move(*pkt));
+      }
+    }
+    const double wall = wall_seconds_since(t0);
+    if (wall < res.best_s) res.best_s = wall;
+  }
+  res.packets = pkts.size();
+  return res;
+}
+
+DecodeResult bench_batch(const std::vector<StreamRecord>& recs, bool verify,
+                         int reps) {
+  DecodeResult res;
+  DecodeScratch scratch;
+  std::vector<DecodedPacket> pkts;
+  const std::span<const StreamRecord> span(recs);
+  for (int rep = 0; rep < reps; ++rep) {
+    pkts.clear();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t off = 0;
+    while (off < span.size()) {
+      off += decode_records(span.subspan(off), off, verify, scratch, pkts);
+    }
+    const double wall = wall_seconds_since(t0);
+    if (wall < res.best_s) res.best_s = wall;
+  }
+  res.packets = pkts.size();
+  return res;
+}
+
+struct Case {
+  const char* name;
+  DecodeResult scalar;
+  DecodeResult batch;
+  std::uint64_t frame_bytes = 0;
+  std::size_t records = 0;
+};
+
+double mbps(std::uint64_t bytes, double secs) {
+  return secs > 0 ? static_cast<double>(bytes) / secs / 1e6 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_decode.json";
+  constexpr int kReps = 7;
+
+  const PcapFile trace = make_trace(24);
+  std::vector<StreamRecord> clean = as_records(trace);
+  std::uint64_t frame_bytes = 0;
+  for (const auto& r : clean) frame_bytes += r.data.size();
+  std::printf("trace: %zu records, %llu frame bytes\n", clean.size(),
+              static_cast<unsigned long long>(frame_bytes));
+
+  // A copy with ~10% of records corrupted at a header byte: the reject path
+  // must stay cheap, not just the accept path.
+  PcapFile dirty_file = trace;
+  for (std::size_t i = 0; i < dirty_file.records.size(); i += 10) {
+    auto& data = dirty_file.records[i].data;
+    const std::size_t off = 12 + (i / 10) % 42;
+    if (off < data.size()) data[off] ^= 0xff;
+  }
+  std::vector<StreamRecord> dirty = as_records(dirty_file);
+
+  std::vector<Case> cases;
+  const struct {
+    const char* name;
+    const std::vector<StreamRecord>* recs;
+    bool verify;
+  } specs[] = {
+      {"clean", &clean, false},
+      {"clean_verify", &clean, true},
+      {"corrupt10", &dirty, false},
+  };
+  bool agree = true;
+  for (const auto& spec : specs) {
+    Case c;
+    c.name = spec.name;
+    c.records = spec.recs->size();
+    for (const auto& r : *spec.recs) c.frame_bytes += r.data.size();
+    c.scalar = bench_scalar(*spec.recs, spec.verify, kReps);
+    c.batch = bench_batch(*spec.recs, spec.verify, kReps);
+    if (c.scalar.packets != c.batch.packets) agree = false;
+    std::printf(
+        "%-13s scalar %8.1f MB/s, batch %8.1f MB/s (%.2fx), "
+        "packets %zu/%zu %s\n",
+        c.name, mbps(c.frame_bytes, c.scalar.best_s),
+        mbps(c.frame_bytes, c.batch.best_s), c.scalar.best_s / c.batch.best_s,
+        c.scalar.packets, c.batch.packets,
+        c.scalar.packets == c.batch.packets ? "" : "MISMATCH");
+    cases.push_back(c);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"reps\": %d,\n  \"cases\": [\n", kReps);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"records\": %zu, "
+                 "\"frame_bytes\": %llu,\n"
+                 "     \"scalar_mb_per_s\": %.1f, \"batch_mb_per_s\": %.1f, "
+                 "\"speedup\": %.3f,\n"
+                 "     \"scalar_packets\": %zu, \"batch_packets\": %zu}%s\n",
+                 c.name, c.records,
+                 static_cast<unsigned long long>(c.frame_bytes),
+                 mbps(c.frame_bytes, c.scalar.best_s),
+                 mbps(c.frame_bytes, c.batch.best_s),
+                 c.scalar.best_s / c.batch.best_s, c.scalar.packets,
+                 c.batch.packets, i + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"packet_counts_agree\": %s\n}\n",
+               agree ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return agree ? 0 : 1;
+}

@@ -3,6 +3,17 @@
 // sessions), plus the streaming analyze_file path, emitting a
 // machine-readable BENCH_pipeline.json (path overridable via argv[1]).
 //
+// The ingest stage (read + decode + demux) is also measured standing alone,
+// over a real file through both readers (mmap and chunked streaming) at
+// jobs=1 and jobs=8; the best rate is the file's headline_ingest_mb_per_s.
+// That headline is what CI gates on:
+//
+//   pipeline_throughput --gate BENCH_pipeline.json [--min-ratio 0.9]
+//
+// re-measures just the ingest stage and exits non-zero when the current rate
+// falls below min-ratio of the committed baseline. The gate only binds on
+// the same runner class (equal cpu_cores); otherwise it reports and passes.
+//
 // Besides the wall times it verifies the determinism contract: every job
 // count must produce byte-identical analysis output (JSON export of every
 // connection's report and all 34 series) to the jobs=1 serial baseline of
@@ -12,6 +23,7 @@
 // committed numbers, not just in the unit test.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +31,8 @@
 #include "bgp/table_gen.hpp"
 #include "core/analyzer.hpp"
 #include "core/export.hpp"
+#include "core/ingest_pipeline.hpp"
+#include "core/trace_source.hpp"
 #include "sim/world.hpp"
 #include "util/alloc_hook.hpp"
 #include "util/metrics.hpp"
@@ -114,9 +128,171 @@ std::string alloc_json(const HistogramSnapshot& h) {
   return buf;
 }
 
+// --- ingest-stage-only measurement (the CI-gated number) ------------------
+
+struct IngestRun {
+  bool mmap = false;
+  std::size_t jobs = 1;
+  double best_s = 1e100;
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+
+  [[nodiscard]] double mb_per_s() const {
+    return best_s > 0 ? static_cast<double>(bytes) / best_s / 1e6 : 0;
+  }
+};
+
+struct IngestBench {
+  std::vector<IngestRun> runs;
+  double headline_mb_per_s = 0;  // best rate across the four configs
+  bool agree = true;             // identical packet counts everywhere
+};
+
+// Drain run_ingest_stage over a real file, best of `reps`, for
+// {mmap, stream} x {jobs 1, 8}. Uses the same 64-session workload in full
+// and --gate mode so the committed headline and the gate measurement are
+// comparable.
+IngestBench bench_ingest_stage(const std::string& pcap_path, int reps) {
+  IngestBench bench;
+  for (const bool mmap : {true, false}) {
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+      IngestRun run;
+      run.mmap = mmap;
+      run.jobs = jobs;
+      for (int rep = 0; rep < reps; ++rep) {
+        IngestPolicy policy;
+        policy.use_mmap = mmap;
+        auto source = PcapStreamSource::open(pcap_path, false, policy);
+        if (!source.ok()) {
+          std::fprintf(stderr, "ingest bench: %s\n", source.error().c_str());
+          bench.agree = false;
+          return bench;
+        }
+        AnalyzerOptions opts;
+        opts.jobs = jobs;
+        const auto t0 = std::chrono::steady_clock::now();
+        const IngestStageResult got =
+            run_ingest_stage(source.value(), opts);
+        const double wall = wall_seconds_since(t0);
+        if (wall < run.best_s) run.best_s = wall;
+        run.bytes = source.value().bytes_ingested();
+        if (run.packets == 0) {
+          run.packets = got.packets;
+        } else if (run.packets != got.packets) {
+          bench.agree = false;
+        }
+      }
+      if (!bench.runs.empty() && run.packets != bench.runs.front().packets) {
+        bench.agree = false;
+      }
+      std::printf("ingest stage %s jobs=%zu: %8.1f MB/s (%llu bytes, "
+                  "%llu packets)\n",
+                  mmap ? "mmap  " : "stream", jobs, run.mb_per_s(),
+                  static_cast<unsigned long long>(run.bytes),
+                  static_cast<unsigned long long>(run.packets));
+      if (run.mb_per_s() > bench.headline_mb_per_s) {
+        bench.headline_mb_per_s = run.mb_per_s();
+      }
+      bench.runs.push_back(run);
+    }
+  }
+  return bench;
+}
+
+constexpr std::size_t kIngestSessions = 64;
+
+IngestBench measure_ingest_workload(int reps) {
+  std::printf("building %zu-session ingest workload...\n", kIngestSessions);
+  const PcapFile trace = make_trace(kIngestSessions);
+  const std::string tmp = "BENCH_ingest.tmp.pcap";
+  if (!write_pcap_file(tmp, trace)) {
+    std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
+    return {};
+  }
+  IngestBench bench = bench_ingest_stage(tmp, reps);
+  std::remove(tmp.c_str());
+  return bench;
+}
+
+// Minimal scanner for the two numbers the gate needs from the committed
+// baseline: find `"key":` and parse the number after it. Good enough for
+// JSON this benchmark wrote itself.
+bool scan_number(const std::string& json, const std::string& key,
+                 double& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  out = std::strtod(json.c_str() + at + needle.size(), nullptr);
+  return true;
+}
+
+int run_gate(const std::string& baseline_path, double min_ratio) {
+  std::FILE* f = std::fopen(baseline_path.c_str(), "rb");
+  if (!f) {
+    std::fprintf(stderr, "gate: cannot read %s\n", baseline_path.c_str());
+    return 1;
+  }
+  std::string json;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, n);
+  std::fclose(f);
+
+  double base_cores = 0, base_headline = 0;
+  if (!scan_number(json, "cpu_cores", base_cores) ||
+      !scan_number(json, "headline_ingest_mb_per_s", base_headline) ||
+      base_headline <= 0) {
+    std::fprintf(stderr,
+                 "gate: %s has no usable headline_ingest_mb_per_s — "
+                 "regenerate the baseline with this binary\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  const IngestBench bench = measure_ingest_workload(3);
+  if (!bench.agree || bench.headline_mb_per_s <= 0) {
+    std::fprintf(stderr, "gate: ingest measurement failed\n");
+    return 1;
+  }
+  const double ratio = bench.headline_mb_per_s / base_headline;
+  std::printf("gate: current %.1f MB/s vs baseline %.1f MB/s "
+              "(ratio %.3f, floor %.2f)\n",
+              bench.headline_mb_per_s, base_headline, ratio, min_ratio);
+  if (static_cast<unsigned>(base_cores) != cores) {
+    std::printf("gate: baseline recorded on %u cores, this runner has %u — "
+                "advisory only, passing\n",
+                static_cast<unsigned>(base_cores), cores);
+    return 0;
+  }
+  if (ratio < min_ratio) {
+    std::fprintf(stderr,
+                 "gate: FAIL — ingest throughput regressed below %.0f%% of "
+                 "the committed baseline\n",
+                 min_ratio * 100);
+    return 1;
+  }
+  std::printf("gate: PASS\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--gate") {
+    if (argc < 3) {
+      std::fprintf(stderr,
+                   "usage: pipeline_throughput --gate BASELINE.json "
+                   "[--min-ratio R]\n");
+      return 1;
+    }
+    double min_ratio = 0.9;
+    if (argc > 4 && std::string(argv[3]) == "--min-ratio") {
+      min_ratio = std::strtod(argv[4], nullptr);
+    }
+    return run_gate(argv[2], min_ratio);
+  }
+
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_pipeline.json";
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("cpu cores: %u, alloc hook: %s\n", cores,
@@ -204,6 +380,10 @@ int main(int argc, char** argv) {
   std::printf("all outputs identical to serial: %s\n",
               all_identical ? "yes" : "NO");
 
+  const IngestBench ingest = measure_ingest_workload(5);
+  std::printf("headline ingest rate: %.1f MB/s\n", ingest.headline_mb_per_s);
+  all_identical = all_identical && ingest.agree;
+
   // speedup table on stdout, one row per workload size
   std::printf("\n%10s %10s %10s %10s %10s %8s\n", "sessions", "jobs=1",
               "jobs=2", "jobs=4", "jobs=8", "speedup");
@@ -255,7 +435,21 @@ int main(int argc, char** argv) {
                  size.runs.front().best_wall_s / size.runs.back().best_wall_s,
                  s + 1 < sizes.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"all_outputs_identical\": %s\n}\n",
+  std::fprintf(f, "  ],\n  \"ingest_stage\": {\n    \"sessions\": %zu,\n"
+               "    \"runs\": [\n", kIngestSessions);
+  for (std::size_t i = 0; i < ingest.runs.size(); ++i) {
+    const IngestRun& run = ingest.runs[i];
+    std::fprintf(f,
+                 "      {\"reader\": \"%s\", \"jobs\": %zu, "
+                 "\"mb_per_s\": %.1f, \"bytes\": %llu, \"packets\": %llu}%s\n",
+                 run.mmap ? "mmap" : "stream", run.jobs, run.mb_per_s(),
+                 static_cast<unsigned long long>(run.bytes),
+                 static_cast<unsigned long long>(run.packets),
+                 i + 1 < ingest.runs.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n  \"headline_ingest_mb_per_s\": %.1f,\n",
+               ingest.headline_mb_per_s);
+  std::fprintf(f, "  \"all_outputs_identical\": %s\n}\n",
                all_identical ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());

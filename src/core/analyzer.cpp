@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "core/ingest_pipeline.hpp"
 #include "core/pass.hpp"
 #include "core/trace_source.hpp"
 #include "pcap/decode.hpp"
@@ -95,6 +96,9 @@ double rate(std::uint64_t count, Micros wall) {
 double PipelineStats::bytes_per_sec() const { return rate(bytes_ingested, total_wall); }
 double PipelineStats::packets_per_sec() const { return rate(packets, total_wall); }
 double PipelineStats::connections_per_sec() const { return rate(connections, total_wall); }
+double PipelineStats::ingest_bytes_per_sec() const { return rate(bytes_ingested, ingest_wall); }
+double PipelineStats::decode_bytes_per_sec() const { return rate(bytes_ingested, decode_busy); }
+double PipelineStats::analysis_bytes_per_sec() const { return rate(bytes_ingested, analyze_wall); }
 
 std::string PipelineStats::to_json() const {
   // Built with std::to_chars-backed json_double: snprintf("%f") renders the
@@ -115,10 +119,15 @@ std::string PipelineStats::to_json() const {
   if (quarantined > 0) field("quarantined", std::to_string(quarantined));
   if (ingest.has_errors()) field("ingest_errors", ingest.to_json());
   field("jobs", std::to_string(jobs));
+  field("ingest_jobs", std::to_string(ingest_jobs));
   field("ingest_wall_us", std::to_string(ingest_wall));
+  field("decode_busy_us", std::to_string(decode_busy));
   field("analyze_wall_us", std::to_string(analyze_wall));
   field("total_wall_us", std::to_string(total_wall));
   field("bytes_per_sec", json_double(bytes_per_sec()));
+  field("ingest_bytes_per_sec", json_double(ingest_bytes_per_sec()));
+  field("decode_bytes_per_sec", json_double(decode_bytes_per_sec()));
+  field("analysis_bytes_per_sec", json_double(analysis_bytes_per_sec()));
   field("packets_per_sec", json_double(packets_per_sec()));
   field("connections_per_sec", json_double(connections_per_sec()));
   if (queue_wait_us.count > 0) {
@@ -262,13 +271,11 @@ TraceAnalysis run_pipeline(TraceSource& source, const AnalyzerOptions& opts) {
   const Micros t0 = wall_now();
   {
     TDAT_TRACE_SPAN("ingest", "pcap");
-    ConnectionDemux demux;
-    DecodedPacket pkt;
-    while (source.next(pkt)) {
-      ++out.stats.packets;
-      demux.add(std::move(pkt));
-    }
-    out.connections = demux.take();
+    IngestStageResult ingested = run_ingest_stage(source, opts);
+    out.connections = std::move(ingested.connections);
+    out.stats.packets = ingested.packets;
+    out.stats.decode_busy = ingested.decode_busy;
+    out.stats.ingest_jobs = ingested.ingest_jobs;
   }
   out.stats.records = source.records_seen();
   out.stats.bytes_ingested = source.bytes_ingested();

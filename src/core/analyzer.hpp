@@ -64,7 +64,11 @@ struct PipelineStats {
   std::uint64_t quarantined = 0;     // connections isolated by quarantine
   IngestDiagnostics ingest;          // capture damage tallied by the source
   std::size_t jobs = 1;              // effective analysis worker count
+  std::size_t ingest_jobs = 1;       // threads the ingest stage used
   Micros ingest_wall = 0;            // read + decode + connection demux
+  // Wall time inside header decode, summed across decode workers (exceeds
+  // the stage wall when decoding overlaps across cores).
+  Micros decode_busy = 0;
   Micros analyze_wall = 0;           // per-connection analysis stage
   Micros total_wall = 0;
 
@@ -80,6 +84,12 @@ struct PipelineStats {
   [[nodiscard]] double bytes_per_sec() const;
   [[nodiscard]] double packets_per_sec() const;
   [[nodiscard]] double connections_per_sec() const;
+  // Per-stage throughput over the same capture bytes: what each stage would
+  // sustain standing alone. ingest = read + decode + demux wall;
+  // decode = summed decode-worker busy time; analysis = analysis-stage wall.
+  [[nodiscard]] double ingest_bytes_per_sec() const;
+  [[nodiscard]] double decode_bytes_per_sec() const;
+  [[nodiscard]] double analysis_bytes_per_sec() const;
   // Locale-independent JSON (doubles via std::to_chars — the output never
   // depends on the process locale's decimal separator).
   [[nodiscard]] std::string to_json() const;

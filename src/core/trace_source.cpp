@@ -42,12 +42,28 @@ bool PcapFileSource::next(DecodedPacket& out) {
   return false;
 }
 
+std::size_t PcapFileSource::next_raw_records(std::span<StreamRecord> out) {
+  std::size_t n = 0;
+  while (n < out.size() && next_ < file_->records.size()) {
+    const PcapRecord& rec = file_->records[next_++];
+    StreamRecord& r = out[n++];
+    r.ts = rec.ts;
+    r.orig_len = rec.orig_len;
+    r.data = std::span<const std::uint8_t>(rec.data);
+    // No pin: the file outlives the source by contract, and a null arena
+    // makes the batch decoder copy the frame — exactly what decode_frame
+    // does on this path.
+    r.arena = nullptr;
+  }
+  return n;
+}
+
 // ----------------------------------------------------- PcapStreamSource --
 
 Result<PcapStreamSource> PcapStreamSource::open(const std::string& path,
                                                 bool verify_checksums,
                                                 const IngestPolicy& policy) {
-  return PcapStream::open(path, policy)
+  return PcapStream::open_auto(path, policy)
       .map([verify_checksums, &path](PcapStream stream) {
         PcapStreamSource src(std::move(stream), verify_checksums);
         src.path_ = path;
@@ -70,6 +86,13 @@ bool PcapStreamSource::next(DecodedPacket& out) {
     }
   }
   return false;
+}
+
+std::size_t PcapStreamSource::next_raw_records(std::span<StreamRecord> out) {
+  std::size_t n = 0;
+  while (n < out.size() && stream_.next(out[n])) ++n;
+  index_ += n;
+  return n;
 }
 
 // ------------------------------------------------------ MultiFileSource --
@@ -104,7 +127,7 @@ Result<MultiFileSource> MultiFileSource::open(
   src.verify_checksums_ = verify_checksums;
   src.parts_.reserve(files.size());
   for (const std::string& file : files) {
-    auto stream = PcapStream::open(file, policy);
+    auto stream = PcapStream::open_auto(file, policy);
     if (!stream.ok()) return stream.take_error();
     Part part{std::move(stream).value(), file, {}, false};
     part.has_pending = part.stream.next(part.pending);
@@ -139,6 +162,21 @@ bool MultiFileSource::next(DecodedPacket& out) {
     }
   }
   return false;
+}
+
+std::size_t MultiFileSource::next_raw_records(std::span<StreamRecord> out) {
+  std::size_t n = 0;
+  while (n < out.size() && current_ < parts_.size()) {
+    Part& part = parts_[current_];
+    if (!part.has_pending) {
+      ++current_;
+      continue;
+    }
+    out[n++] = std::move(part.pending);
+    part.has_pending = part.stream.next(part.pending);
+  }
+  index_ += n;
+  return n;
 }
 
 std::uint64_t MultiFileSource::bytes_ingested() const {

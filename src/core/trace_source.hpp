@@ -38,6 +38,21 @@ class TraceSource {
   // Fetches the next decoded packet. False at end of source.
   [[nodiscard]] virtual bool next(DecodedPacket& out) = 0;
 
+  // Raw-record batch access, the input of the batched/parallel ingest stage
+  // (core/ingest_pipeline.hpp). A source returning true from
+  // supports_raw_records() serves its records undecoded through
+  // next_raw_records: fills out[0..n) in capture order and returns n (0 at
+  // end of source). The caller assigns trace indices by counting records —
+  // one per raw record, decoded or not — which reproduces next()'s index
+  // assignment exactly. Mixing next() and next_raw_records() on one source
+  // is not supported.
+  [[nodiscard]] virtual bool supports_raw_records() const { return false; }
+  [[nodiscard]] virtual std::size_t next_raw_records(
+      std::span<StreamRecord> out) {
+    (void)out;
+    return 0;
+  }
+
   // Capture bytes consumed so far (headers included where the source sees
   // them) and pcap records seen (decoded or not). Stable after exhaustion.
   [[nodiscard]] virtual std::uint64_t bytes_ingested() const = 0;
@@ -78,6 +93,9 @@ class PcapFileSource final : public TraceSource {
   PcapFileSource(const PcapFile& file, bool verify_checksums);
 
   [[nodiscard]] bool next(DecodedPacket& out) override;
+  [[nodiscard]] bool supports_raw_records() const override { return true; }
+  [[nodiscard]] std::size_t next_raw_records(
+      std::span<StreamRecord> out) override;
   [[nodiscard]] std::uint64_t bytes_ingested() const override { return bytes_; }
   [[nodiscard]] std::uint64_t records_seen() const override {
     return file_->records.size();
@@ -108,6 +126,9 @@ class PcapStreamSource final : public TraceSource {
         index_(first_index) {}
 
   [[nodiscard]] bool next(DecodedPacket& out) override;
+  [[nodiscard]] bool supports_raw_records() const override { return true; }
+  [[nodiscard]] std::size_t next_raw_records(
+      std::span<StreamRecord> out) override;
   [[nodiscard]] std::uint64_t bytes_ingested() const override {
     return stream_.bytes_read();
   }
@@ -144,6 +165,9 @@ class MultiFileSource final : public TraceSource {
       const IngestPolicy& policy = {});
 
   [[nodiscard]] bool next(DecodedPacket& out) override;
+  [[nodiscard]] bool supports_raw_records() const override { return true; }
+  [[nodiscard]] std::size_t next_raw_records(
+      std::span<StreamRecord> out) override;
   [[nodiscard]] std::uint64_t bytes_ingested() const override;
   [[nodiscard]] std::uint64_t records_seen() const override;
   [[nodiscard]] IngestDiagnostics diagnostics() const override;

@@ -4,9 +4,7 @@
 #include "util/bytes.hpp"
 
 namespace tdat {
-namespace {
-
-constexpr std::size_t kEthHeaderLen = 14;
+namespace detail {
 
 bool decode_tcp_options(ByteReader& r, std::size_t options_len, TcpHeader& tcp) {
   std::size_t consumed = 0;
@@ -51,7 +49,7 @@ bool decode_tcp_options(ByteReader& r, std::size_t options_len, TcpHeader& tcp) 
   return true;
 }
 
-}  // namespace
+}  // namespace detail
 
 std::optional<DecodedPacket> decode_frame(Micros ts, std::size_t index,
                                           std::span<const std::uint8_t> frame,
@@ -107,7 +105,7 @@ std::optional<DecodedPacket> decode_frame(Micros ts, std::size_t index,
   pkt.tcp.window = r.u16be();
   r.skip(2);  // checksum
   r.skip(2);  // urgent pointer
-  if (!decode_tcp_options(r, pkt.tcp.header_len - 20, pkt.tcp)) {
+  if (!detail::decode_tcp_options(r, pkt.tcp.header_len - 20, pkt.tcp)) {
     return std::nullopt;
   }
   if (!r.ok()) return std::nullopt;

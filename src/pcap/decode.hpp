@@ -23,4 +23,15 @@ namespace tdat {
     bool verify_checksums = false,
     std::shared_ptr<const void> backing = nullptr);
 
+class ByteReader;
+
+namespace detail {
+// TCP option walk shared by decode_frame and the batched decoder
+// (decode_batch.cpp), so the two paths cannot drift. Returns false on a
+// malformed option list; the reader is positioned past the options on
+// success.
+[[nodiscard]] bool decode_tcp_options(ByteReader& r, std::size_t options_len,
+                                      TcpHeader& tcp);
+}  // namespace detail
+
 }  // namespace tdat

@@ -27,7 +27,18 @@ struct IngestPolicy {
   // (a capture needing thousands of resyncs is noise, not data).
   std::size_t max_errors = 1000;
 
-  [[nodiscard]] static IngestPolicy strict_mode() { return {true, 0}; }
+  // Allow the zero-copy mmap fast path for regular-file inputs (see
+  // PcapStream::open_auto). Parsing and recovery are bit-identical either
+  // way; this exists for --no-mmap and for tests that pin down the chunked
+  // reader specifically.
+  bool use_mmap = true;
+
+  [[nodiscard]] static IngestPolicy strict_mode() {
+    IngestPolicy p;
+    p.strict = true;
+    p.max_errors = 0;
+    return p;
+  }
 };
 
 // What ingest had to do to get through one capture (or one run, when

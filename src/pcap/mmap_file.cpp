@@ -1,0 +1,56 @@
+#include "pcap/mmap_file.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TDAT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define TDAT_HAVE_MMAP 0
+#endif
+
+namespace tdat {
+
+#if TDAT_HAVE_MMAP
+
+Result<MappedFile> MappedFile::map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Err<MappedFile>("mmap: cannot open " + path);
+  struct stat st;
+  if (fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Err<MappedFile>("mmap: not a regular file: " + path);
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return Err<MappedFile>("mmap: empty file: " + path);
+  }
+  const std::size_t len = static_cast<std::size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping holds its own reference to the pages; the descriptor is not
+  // needed once it exists.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Err<MappedFile>("mmap: map failed for " + path);
+  }
+  // Advisory only — a failure costs readahead tuning, not correctness.
+  (void)::madvise(addr, len, MADV_SEQUENTIAL);
+
+  MappedFile out;
+  out.pin_ = std::shared_ptr<const void>(
+      addr, [len](const void* p) { ::munmap(const_cast<void*>(p), len); });
+  out.bytes_ = std::span<const std::uint8_t>(
+      static_cast<const std::uint8_t*>(addr), len);
+  return out;
+}
+
+#else  // !TDAT_HAVE_MMAP
+
+Result<MappedFile> MappedFile::map(const std::string& path) {
+  return Err<MappedFile>("mmap: unavailable on this platform (" + path + ")");
+}
+
+#endif
+
+}  // namespace tdat

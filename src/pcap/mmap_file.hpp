@@ -1,0 +1,42 @@
+// Read-only memory mapping of a capture file, the backing store of the
+// zero-copy ingest fast path (DESIGN.md §11). The mapping is advised
+// MADV_SEQUENTIAL — ingest walks the image front to back exactly once, so
+// aggressive readahead wins and page reclaim behind the cursor is free.
+//
+// Lifetime: the pages are owned by a shared_ptr whose deleter munmaps. Every
+// StreamRecord / DecodedPacket built from the image shares that pin, so the
+// mapping is released exactly when the last packet referencing it dies —
+// the same contract as the chunked reader's arena pins, with one mapping in
+// place of many chunks.
+//
+// On platforms without mmap (or for empty files, which cannot be mapped)
+// map() fails cleanly and callers fall back to the streaming reader.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace tdat {
+
+class MappedFile {
+ public:
+  // Maps `path` read-only. Fails (with a reason) when the path cannot be
+  // opened, is not a regular file, is empty, or mmap is unavailable.
+  [[nodiscard]] static Result<MappedFile> map(const std::string& path);
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return bytes_; }
+  // Keepalive for bytes(): copy it into anything that outlives this object.
+  [[nodiscard]] std::shared_ptr<const void> share() const { return pin_; }
+
+ private:
+  MappedFile() = default;
+
+  std::shared_ptr<const void> pin_;
+  std::span<const std::uint8_t> bytes_;
+};
+
+}  // namespace tdat

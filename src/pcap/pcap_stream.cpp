@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#endif
+
+#include "pcap/mmap_file.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -35,6 +40,24 @@ std::uint32_t read_u32(const std::uint8_t* p, bool swapped) {
                        static_cast<std::uint32_t>(p[1]) << 8 | p[0];
 }
 
+// Size of the regular file behind `f`, or SIZE_MAX when it has none (pipe,
+// socket, special file). fstat never moves the read position and costs one
+// syscall, unlike the historical seek-to-end/seek-back dance.
+std::size_t file_size_of(std::FILE* f) {
+#if defined(__unix__) || defined(__APPLE__)
+  struct stat st;
+  if (fstat(fileno(f), &st) == 0 && S_ISREG(st.st_mode) && st.st_size >= 0) {
+    return static_cast<std::size_t>(st.st_size);
+  }
+  return SIZE_MAX;
+#else
+  if (std::fseek(f, 0, SEEK_END) != 0) return SIZE_MAX;
+  const long end = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  return end >= 0 ? static_cast<std::size_t>(end) : SIZE_MAX;
+#endif
+}
+
 }  // namespace
 
 Result<PcapStream> PcapStream::open(const std::string& path,
@@ -50,11 +73,7 @@ Result<PcapStream> PcapStream::open(const std::string& path,
   if (!s.file_) return Err<PcapStream>("pcap: cannot open " + path);
   // Learn the file size up front so refill can bound arena allocations by
   // what the source can actually deliver (unseekable sources stay unbounded).
-  if (std::fseek(s.file_.get(), 0, SEEK_END) == 0) {
-    const long end = std::ftell(s.file_.get());
-    if (end >= 0) s.file_remaining_ = static_cast<std::size_t>(end);
-    std::fseek(s.file_.get(), 0, SEEK_SET);
-  }
+  s.file_remaining_ = file_size_of(s.file_.get());
   s.policy_ = policy;
   s.chunk_size_ = chunk_size > kRecordHeaderLen ? chunk_size : kDefaultChunkSize;
   return init(std::move(s));
@@ -77,6 +96,35 @@ Result<PcapStream> PcapStream::from_memory(std::span<const std::uint8_t> image,
   return init(std::move(s));
 }
 
+Result<PcapStream> PcapStream::from_image(std::shared_ptr<const void> pin,
+                                          std::span<const std::uint8_t> image,
+                                          const IngestPolicy& policy) {
+  PcapStream s;
+  s.mem_ = image;
+  s.pin_ = std::move(pin);
+  s.pinned_ = true;
+  s.fill_ = image.size();  // the whole capture is "refilled" up front
+  s.policy_ = policy;
+  return init(std::move(s));
+}
+
+Result<PcapStream> PcapStream::open_auto(const std::string& path,
+                                         const IngestPolicy& policy,
+                                         std::size_t chunk_size) {
+  if (policy.use_mmap) {
+    auto mapped = MappedFile::map(path);
+    if (mapped.ok()) {
+      MappedFile& m = mapped.value();
+      metrics().counter("pcap.mmap_files").inc();
+      metrics().counter("pcap.mmap_bytes").inc(m.bytes().size());
+      return from_image(m.share(), m.bytes(), policy);
+    }
+    // Not mappable (pipe, device, empty file): the streaming reader decides
+    // whether it is readable at all, with its usual error messages.
+  }
+  return open(path, policy, chunk_size);
+}
+
 Result<PcapStream> PcapStream::init(PcapStream s) {
   MetricsRegistry& reg = metrics();
   s.m_records_ = &reg.counter("pcap.records");
@@ -92,10 +140,11 @@ Result<PcapStream> PcapStream::init(PcapStream s) {
   if (!s.refill(4)) return Err<PcapStream>("pcap: file shorter than global header");
   // The magic is defined as read little-endian; it decides the order of
   // every later field.
-  const std::uint32_t magic = static_cast<std::uint32_t>(s.arena_->at(s.pos_)) |
-                              static_cast<std::uint32_t>(s.arena_->at(s.pos_ + 1)) << 8 |
-                              static_cast<std::uint32_t>(s.arena_->at(s.pos_ + 2)) << 16 |
-                              static_cast<std::uint32_t>(s.arena_->at(s.pos_ + 3)) << 24;
+  const std::uint8_t* m = s.base() + s.pos_;
+  const std::uint32_t magic = static_cast<std::uint32_t>(m[0]) |
+                              static_cast<std::uint32_t>(m[1]) << 8 |
+                              static_cast<std::uint32_t>(m[2]) << 16 |
+                              static_cast<std::uint32_t>(m[3]) << 24;
   s.pos_ += 4;
   switch (magic) {
     case kMagicMicrosLE: break;
@@ -136,11 +185,15 @@ std::size_t PcapStream::read_source(std::uint8_t* dst, std::size_t n) {
 }
 
 std::size_t PcapStream::source_remaining() const {
+  if (pinned_) return 0;  // the image is consumed in place, nothing left to read
   if (file_) return file_remaining_;
   return mem_.size() - mem_pos_;
 }
 
 bool PcapStream::refill(std::size_t n) {
+  // Zero-copy mode: every byte is already in place; a "refill" is a bounds
+  // check against the pinned image.
+  if (pinned_) return fill_ - pos_ >= n;
   if (arena_ && fill_ - pos_ >= n) return true;
   // A drained source can never satisfy the request; in particular a hostile
   // record header may claim gigabytes the file does not contain — bound the
@@ -183,14 +236,14 @@ bool PcapStream::refill(std::size_t n) {
 }
 
 std::uint16_t PcapStream::u16() {
-  const std::uint8_t* p = arena_->data() + pos_;
+  const std::uint8_t* p = base() + pos_;
   pos_ += 2;
   return swapped_ ? static_cast<std::uint16_t>(p[0] << 8 | p[1])
                   : static_cast<std::uint16_t>(p[1] << 8 | p[0]);
 }
 
 std::uint32_t PcapStream::u32() {
-  const std::uint8_t* p = arena_->data() + pos_;
+  const std::uint8_t* p = base() + pos_;
   pos_ += 4;
   return swapped_ ? static_cast<std::uint32_t>(p[0]) << 24 |
                         static_cast<std::uint32_t>(p[1]) << 16 |
@@ -206,7 +259,7 @@ std::uint32_t PcapStream::effective_snaplen() const {
 }
 
 bool PcapStream::plausible_record_at(std::size_t at, Micros after) const {
-  const std::uint8_t* p = arena_->data() + at;
+  const std::uint8_t* p = base() + at;
   const std::uint32_t ts_sec = read_u32(p, swapped_);
   const std::uint32_t ts_frac = read_u32(p + 4, swapped_);
   const std::uint32_t incl = read_u32(p + 8, swapped_);
@@ -243,7 +296,7 @@ bool PcapStream::resync() {
   while (refill(kRecordHeaderLen)) {
     while (fill_ - pos_ >= kRecordHeaderLen) {
       if (plausible_record_at(pos_, last_ts_)) {
-        const std::uint8_t* p = arena_->data() + pos_;
+        const std::uint8_t* p = base() + pos_;
         const std::uint32_t ts_sec = read_u32(p, swapped_);
         const std::uint32_t ts_frac = read_u32(p + 4, swapped_);
         const std::uint32_t incl = read_u32(p + 8, swapped_);
@@ -345,8 +398,8 @@ bool PcapStream::next(StreamRecord& out) {
     out.ts = static_cast<Micros>(ts_sec) * kMicrosPerSec +
              (nanos_ ? ts_frac / 1000 : ts_frac);
     out.orig_len = orig_len;
-    out.data = std::span<const std::uint8_t>(arena_->data() + pos_, incl_len);
-    out.arena = arena_;
+    out.data = std::span<const std::uint8_t>(base() + pos_, incl_len);
+    out.arena = pinned_ ? pin_ : std::static_pointer_cast<const void>(arena_);
     last_ts_ = out.ts;
     pos_ += incl_len;
     bytes_read_ += kRecordHeaderLen + incl_len;
@@ -364,18 +417,12 @@ PcapFile PcapStream::drain_to_file() {
   // Heuristic capacity from the source size: BGP monitoring traces mix
   // ~70-byte pure ACKs with MSS-sized data segments, so ~100 bytes per
   // record on top of the 16-byte header keeps reallocation rare without
-  // over-reserving on data-heavy captures.
+  // over-reserving on data-heavy captures. The size comes from the fstat
+  // taken at open (source_remaining) plus what is already buffered — no
+  // second pass over the file.
   std::uint64_t source_size = 0;
-  if (file_) {
-    const long at = std::ftell(file_.get());
-    if (at >= 0 && std::fseek(file_.get(), 0, SEEK_END) == 0) {
-      const long end = std::ftell(file_.get());
-      if (end > at) source_size = static_cast<std::uint64_t>(end - at);
-      std::fseek(file_.get(), at, SEEK_SET);
-    }
-  } else {
-    source_size = mem_.size() - mem_pos_;
-  }
+  const std::size_t remaining = source_remaining();
+  if (remaining != SIZE_MAX) source_size = remaining;
   source_size += fill_ - pos_;
   out.records.reserve(source_size / (kRecordHeaderLen + 100) + 1);
 

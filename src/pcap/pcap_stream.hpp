@@ -11,6 +11,14 @@
 // a record crossing a read boundary is relocated into the next chunk before
 // it is handed out, so `data` is always contiguous.
 //
+// Zero-copy mode (from_image / the mmap fast path): when the whole capture
+// is already contiguous in memory behind a caller-supplied keepalive, the
+// stream walks it in place. No chunk buffers, no refill copies, no straddle
+// relocation — every record is a span into the pinned image and the pin is
+// the image itself. Parsing, corrupt-record recovery, and accounting are the
+// same code as the chunked path (refill degenerates to a bounds check), so
+// the two modes are bit-identical on every input.
+//
 // Supports the same four global-header variants as parse_pcap (µs/ns magic,
 // either byte order). Corrupt-record handling is governed by IngestPolicy:
 // by default a corrupt record header triggers a forward scan for the next
@@ -67,6 +75,22 @@ class PcapStream {
       std::span<const std::uint8_t> image, const IngestPolicy& policy,
       std::size_t chunk_size = kDefaultChunkSize);
 
+  // Zero-copy: streams a pinned, contiguous image (e.g. an mmap'ed capture)
+  // in place. `pin` owns the bytes behind `image` and is shared into every
+  // record handed out, so the mapping lives exactly as long as anything
+  // still references it.
+  [[nodiscard]] static Result<PcapStream> from_image(
+      std::shared_ptr<const void> pin, std::span<const std::uint8_t> image,
+      const IngestPolicy& policy = {});
+
+  // Opens `path` the fastest way available: memory-mapped zero-copy when the
+  // path is a mappable regular file and `policy.use_mmap` allows it, the
+  // chunked streaming reader otherwise (pipes, special files, --no-mmap).
+  // The two paths are bit-identical on every input, including corrupt ones.
+  [[nodiscard]] static Result<PcapStream> open_auto(
+      const std::string& path, const IngestPolicy& policy = {},
+      std::size_t chunk_size = kDefaultChunkSize);
+
   PcapStream(PcapStream&&) = default;
   PcapStream& operator=(PcapStream&&) = default;
 
@@ -77,6 +101,7 @@ class PcapStream {
 
   [[nodiscard]] bool nanosecond() const { return nanos_; }
   [[nodiscard]] std::uint32_t snaplen() const { return snaplen_; }
+  [[nodiscard]] bool zero_copy() const { return pinned_; }
   [[nodiscard]] const IngestDiagnostics& diagnostics() const { return diag_; }
 
   // Ingest accounting: file bytes consumed (headers included) and records
@@ -101,23 +126,33 @@ class PcapStream {
   // Upper bound on bytes the source can still deliver (SIZE_MAX when the
   // file size is unknowable, e.g. a pipe).
   [[nodiscard]] std::size_t source_remaining() const;
+  // Base of the buffer `pos_`/`fill_` index into: the current arena chunk,
+  // or the pinned image in zero-copy mode.
+  [[nodiscard]] const std::uint8_t* base() const {
+    return pinned_ ? mem_.data() : arena_->data();
+  }
   // Ensures >= n contiguous unconsumed bytes at the cursor, refilling (and
-  // relocating a partial tail into a fresh arena) as needed.
+  // relocating a partial tail into a fresh arena) as needed. In zero-copy
+  // mode this is a pure bounds check — the whole image is already there.
   [[nodiscard]] bool refill(std::size_t n);
   [[nodiscard]] std::uint16_t u16();
   [[nodiscard]] std::uint32_t u32();
   // Largest incl_len a record may legitimately claim.
   [[nodiscard]] std::uint32_t effective_snaplen() const;
-  // Does arena_[at..at+16) look like a record header consistent with the
+  // Does base()[at..at+16) look like a record header consistent with the
   // stream's byte order, snaplen, and timestamp progression?
   [[nodiscard]] bool plausible_record_at(std::size_t at, Micros after) const;
   // Scans forward from the (corrupt) header at pos_ for the next plausible
   // record; updates diag_ and positions pos_ on the recovered header.
   [[nodiscard]] bool resync();
 
-  // Source: exactly one of `file_` / `mem_` is active.
+  // Source: exactly one of `file_` / `mem_` is active. With `pinned_` set,
+  // `mem_` is the whole capture held alive by `pin_` and is consumed in
+  // place instead of being chunked through arenas.
   std::unique_ptr<std::FILE, FileCloser> file_;
   std::span<const std::uint8_t> mem_;
+  std::shared_ptr<const void> pin_;  // keepalive for mem_ in zero-copy mode
+  bool pinned_ = false;
   std::size_t mem_pos_ = 0;
   // Unread bytes left in file_ (SIZE_MAX when unseekable). Bounds arena
   // growth: a hostile header can claim a multi-gigabyte record, but the
@@ -125,10 +160,10 @@ class PcapStream {
   std::size_t file_remaining_ = SIZE_MAX;
 
   std::size_t chunk_size_ = kDefaultChunkSize;
-  std::shared_ptr<Arena> arena_;  // current chunk
+  std::shared_ptr<Arena> arena_;  // current chunk (unused in zero-copy mode)
   std::shared_ptr<Arena> spare_;  // retired chunk, recycled once unreferenced
-  std::size_t fill_ = 0;          // valid bytes in arena_
-  std::size_t pos_ = 0;           // cursor into arena_
+  std::size_t fill_ = 0;          // valid bytes at base()
+  std::size_t pos_ = 0;           // cursor into base()
 
   bool swapped_ = false;
   bool nanos_ = false;

@@ -1,12 +1,19 @@
 #include "tcp/connection.hpp"
 
-#include <map>
+#include <utility>
 
 #include "util/bytes.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace tdat {
+namespace {
+
+// Initial table size: 64 slots ≈ 32 concurrent connections before the first
+// grow, plenty for typical per-collector session counts.
+constexpr std::size_t kInitialSlots = 64;
+
+}  // namespace
 
 std::string ConnKey::to_string() const {
   return ipv4_to_string(ip_a) + ":" + std::to_string(port_a) + " <-> " +
@@ -25,10 +32,44 @@ ConnKey make_conn_key(const DecodedPacket& pkt) {
   return key;
 }
 
+std::uint64_t conn_key_hash(const ConnKey& key) {
+  // splitmix64-style finalize over the packed key halves; the Fibonacci
+  // constant keeps sequential ports/addresses from clustering probe runs.
+  std::uint64_t h = (static_cast<std::uint64_t>(key.ip_a) << 32) | key.ip_b;
+  h ^= (static_cast<std::uint64_t>(key.port_a) << 16 | key.port_b) +
+       0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h *= 0x9E3779B97F4A7C15ull;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return h;
+}
+
 Dir packet_dir(const ConnKey& key, const DecodedPacket& pkt) {
   return (pkt.ip.src == key.ip_a && pkt.tcp.src_port == key.port_a)
              ? Dir::kAToB
              : Dir::kBToA;
+}
+
+std::size_t ConnectionDemux::probe(const ConnKey& key) {
+  if (slots_.empty()) slots_.resize(kInitialSlots);
+  if ((occupied_ + 1) * 2 > slots_.size()) grow();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(conn_key_hash(key)) & mask;
+  while (slots_[i].used && !(slots_[i].key == key)) i = (i + 1) & mask;
+  return i;
+}
+
+void ConnectionDemux::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const std::size_t mask = slots_.size() - 1;
+  for (Slot& s : old) {
+    if (!s.used) continue;
+    std::size_t i = static_cast<std::size_t>(conn_key_hash(s.key)) & mask;
+    while (slots_[i].used) i = (i + 1) & mask;
+    slots_[i] = std::move(s);
+  }
 }
 
 void ConnectionDemux::add(DecodedPacket pkt) {
@@ -37,22 +78,26 @@ void ConnectionDemux::add(DecodedPacket pkt) {
   static Counter& conns_opened = metrics().counter("demux.connections_opened");
   packets_seen.inc();
   const ConnKey key = make_conn_key(pkt);
-  auto it = active_.find(key);
+  const std::size_t i = probe(key);
+  Slot& slot = slots_[i];
   const bool fresh_syn = pkt.tcp.flags.syn && !pkt.tcp.flags.ack;
-  if (it == active_.end() ||
-      (fresh_syn && conns_[it->second.conn_index].packets.size() > 1 &&
-       it->second.saw_data_or_close)) {
+  if (!slot.used || (fresh_syn && conns_[slot.conn_index].packets.size() > 1 &&
+                     slot.saw_data_or_close)) {
     Connection conn;
     conn.key = key;
     conns_.push_back(std::move(conn));
-    it = active_.insert_or_assign(key, Active{conns_.size() - 1, false}).first;
+    occupied_ += !slot.used;
+    slot.key = key;
+    slot.conn_index = static_cast<std::uint32_t>(conns_.size() - 1);
+    slot.saw_data_or_close = false;
+    slot.used = true;
     conns_opened.inc();
     TDAT_TRACE_INSTANT("demux.new_connection", "demux");
   }
   if (pkt.has_payload() || pkt.tcp.flags.fin || pkt.tcp.flags.rst) {
-    it->second.saw_data_or_close = true;
+    slot.saw_data_or_close = true;
   }
-  Connection& conn = conns_[it->second.conn_index];
+  Connection& conn = conns_[slot.conn_index];
   if (!conn.packets.empty() && pkt.ts < conn.packets.back().ts) {
     // Damaged or multi-queue captures can step time backwards mid-connection
     // (FaultMode::kReorderRecords models both). Per-connection analysis
@@ -68,7 +113,10 @@ void ConnectionDemux::add(DecodedPacket pkt) {
 std::vector<Connection> ConnectionDemux::take() {
   TDAT_TRACE_SPAN("demux.take", "demux", "connections",
                   static_cast<std::int64_t>(conns_.size()));
-  active_.clear();
+  // Wipe slots but keep the array: the next run re-probes a zeroed table of
+  // the same capacity instead of re-allocating.
+  for (Slot& s : slots_) s = Slot{};
+  occupied_ = 0;
   return std::move(conns_);
 }
 

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -28,6 +27,13 @@ struct ConnKey {
 };
 
 [[nodiscard]] ConnKey make_conn_key(const DecodedPacket& pkt);
+
+// 64-bit mix of the canonical key. Shared between the demux table below and
+// the parallel ingest pipeline's demux sharding (core/ingest_pipeline.cpp):
+// both sides using the same hash keeps a connection's packets on one shard
+// AND well-spread inside that shard's table (the shard takes the high bits,
+// the table index the low bits).
+[[nodiscard]] std::uint64_t conn_key_hash(const ConnKey& key);
 
 enum class Dir : std::uint8_t { kAToB, kBToA };
 
@@ -55,6 +61,13 @@ struct Connection {
 // still being read. A SYN (without ACK) seen on a key whose current
 // connection already carried data or a FIN/RST starts a new connection on
 // that key. split_connections is the batch wrapper over this.
+//
+// The key -> connection lookup is an open-addressing linear-probe table in
+// the style of bgp::PrefixSet (power-of-two capacity, load factor < 1/2,
+// Fibonacci-mixed hash): the lookup is the hottest non-analysis operation in
+// the pipeline and a node-based map was paying a pointer chase plus an
+// allocation per connection for it. Keys are never deleted individually —
+// take() clears the whole table — so probing needs no tombstones.
 class ConnectionDemux {
  public:
   void add(DecodedPacket pkt);
@@ -62,16 +75,26 @@ class ConnectionDemux {
   [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
 
   // Finishes demultiplexing and yields the connections in first-seen order.
-  // The demux is empty afterwards and may be reused.
+  // The demux is empty afterwards and may be reused; the slot array keeps
+  // its capacity, so steady-state reuse does not allocate.
   [[nodiscard]] std::vector<Connection> take();
 
  private:
-  struct Active {
-    std::size_t conn_index;
+  struct Slot {
+    ConnKey key;
+    std::uint32_t conn_index = 0;
     bool saw_data_or_close = false;
+    bool used = false;
   };
+
+  // Probes for `key`; returns the index of its slot (used) or of the empty
+  // slot where it belongs (unused). Grows first when at the load limit.
+  [[nodiscard]] std::size_t probe(const ConnKey& key);
+  void grow();
+
   std::vector<Connection> conns_;
-  std::map<ConnKey, Active> active_;
+  std::vector<Slot> slots_;     // power-of-two size; empty until first add
+  std::size_t occupied_ = 0;    // used slots, governs the load-factor grow
 };
 
 // Splits trace packets (in capture order) into connections.

@@ -25,14 +25,16 @@ void Reassembler::buffer_segment(std::int64_t begin, std::int64_t end,
   // Trim against buffered segments so `pending_` stays non-overlapping.
   // Anything re-received identically is discarded byte-for-byte.
   while (begin < end) {
-    // Find the buffered segment at or after `begin` and the one before it.
-    auto it = pending_.upper_bound(begin);
+    // Find the buffered segment starting after `begin`; its predecessor (if
+    // any) is the only one that can cover `begin`.
+    auto it = std::upper_bound(
+        pending_.begin(), pending_.end(), begin,
+        [](std::int64_t b, const PendingRange& r) { return b < r.begin; });
     std::int64_t covered_until = begin;
     if (it != pending_.begin()) {
-      auto prev = std::prev(it);
-      const std::int64_t prev_end =
-          prev->first + static_cast<std::int64_t>(prev->second.size());
-      covered_until = std::max(covered_until, prev_end);
+      const PendingRange& prev = *(it - 1);
+      covered_until = std::max(
+          covered_until, prev.begin + static_cast<std::int64_t>(prev.bytes.size()));
     }
     if (covered_until > begin) {
       // Prefix already buffered: skip it.
@@ -42,9 +44,11 @@ void Reassembler::buffer_segment(std::int64_t begin, std::int64_t end,
       continue;
     }
     // New bytes from `begin` up to the next buffered segment (or `end`).
-    const std::int64_t stop = it != pending_.end() ? std::min(it->first, end) : end;
-    pending_[begin] = std::vector<std::uint8_t>(
-        payload.begin(), payload.begin() + (stop - begin));
+    const std::int64_t stop = it != pending_.end() ? std::min(it->begin, end) : end;
+    PendingRange range;
+    range.begin = begin;
+    range.bytes.assign(payload.begin(), payload.begin() + (stop - begin));
+    it = pending_.insert(it, std::move(range));
     payload = payload.subspan(static_cast<std::size_t>(stop - begin));
     begin = stop;
   }
@@ -52,7 +56,7 @@ void Reassembler::buffer_segment(std::int64_t begin, std::int64_t end,
 
 std::size_t Reassembler::buffered_bytes() const {
   std::size_t n = 0;
-  for (const auto& [_, bytes] : pending_) n += bytes.size();
+  for (const auto& range : pending_) n += range.bytes.size();
   return n;
 }
 

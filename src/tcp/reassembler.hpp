@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
@@ -32,9 +31,9 @@ class Reassembler {
   // before feeding.
   Reassembler() : unwrap_(0) {}
 
-  // Rewinds to a fresh stream anchored at `anchor`. The pending map keeps
-  // its nodes' buffers only until cleared here; steady-state reuse is
-  // allocation-free as long as segments arrive in order.
+  // Rewinds to a fresh stream anchored at `anchor`. The pending list keeps
+  // its capacity across resets; steady-state reuse is allocation-free as
+  // long as segments arrive in order.
   void reset(std::uint32_t anchor) {
     unwrap_ = SeqUnwrapper(anchor);
     next_ = 0;
@@ -51,7 +50,7 @@ class Reassembler {
   // sink(stream_begin, std::span<const std::uint8_t>, ts), possibly several
   // times per call. For the dominant in-order case the span borrows directly
   // from `payload` (valid only during the call) — no buffering, no copy, no
-  // allocation. Only out-of-order bytes are staged in the pending map.
+  // allocation. Only out-of-order bytes are staged in the pending list.
   template <typename Sink>
   void feed(std::uint32_t seq, std::span<const std::uint8_t> payload, Micros ts,
             Sink&& sink) {
@@ -67,8 +66,7 @@ class Reassembler {
     }
     if (begin >= end) return;  // pure duplicate of delivered data
 
-    if (begin == next_ &&
-        (pending_.empty() || end <= pending_.begin()->first)) {
+    if (begin == next_ && (pending_.empty() || end <= pending_.front().begin)) {
       // Fast path: extends the delivered prefix without touching buffered
       // bytes. Hand the payload through and drain any now-adjacent segments.
       next_ = end;
@@ -76,10 +74,11 @@ class Reassembler {
     } else {
       buffer_segment(begin, end, payload);
     }
-    while (!pending_.empty() && pending_.begin()->first == next_) {
-      auto node = pending_.extract(pending_.begin());
-      next_ += static_cast<std::int64_t>(node.mapped().size());
-      sink(node.key(), std::span<const std::uint8_t>(node.mapped()), ts);
+    while (!pending_.empty() && pending_.front().begin == next_) {
+      PendingRange node = std::move(pending_.front());
+      pending_.erase(pending_.begin());
+      next_ += static_cast<std::int64_t>(node.bytes.size());
+      sink(node.begin, std::span<const std::uint8_t>(node.bytes), ts);
     }
   }
 
@@ -89,6 +88,17 @@ class Reassembler {
   [[nodiscard]] std::size_t buffered_bytes() const;
 
  private:
+  // One buffered out-of-order run. The list is kept sorted by `begin` and
+  // non-overlapping; it was a std::map, but sequence holes are few and
+  // short-lived (a hole per in-flight loss burst), so a flat sorted vector
+  // beats the node store: ordered scans are contiguous, the front-drain in
+  // feed() shifts a handful of cheap-to-move elements, and a drained list
+  // frees no nodes.
+  struct PendingRange {
+    std::int64_t begin = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
   // Slow path: trims [begin, end) against buffered segments and stages the
   // genuinely new bytes in `pending_`.
   void buffer_segment(std::int64_t begin, std::int64_t end,
@@ -96,7 +106,7 @@ class Reassembler {
 
   SeqUnwrapper unwrap_;
   std::int64_t next_ = 0;
-  std::map<std::int64_t, std::vector<std::uint8_t>> pending_;  // begin -> bytes
+  std::vector<PendingRange> pending_;  // sorted by begin, non-overlapping
 };
 
 }  // namespace tdat

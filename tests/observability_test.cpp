@@ -559,7 +559,6 @@ TEST(ObservabilityEndToEnd, TracedAnalyzeRunCoversEveryLayer) {
   opts.jobs = 4;
   const auto analyzed = analyze_file(path, opts);
   const std::string trace_json = trace_stop_json();
-  std::remove(path.c_str());
   ASSERT_TRUE(analyzed.ok()) << analyzed.error();
   EXPECT_EQ(analyzed.value().connections.size(), 4u);
 
@@ -584,13 +583,26 @@ TEST(ObservabilityEndToEnd, TracedAnalyzeRunCoversEveryLayer) {
   const JsonValue m = parse_or_die(stats.metrics_json);
   const JsonValue* counters = m.find("counters");
   ASSERT_NE(counters, nullptr);
-  for (const char* key : {"pcap.records", "pcap.bytes", "pcap.chunk_refills",
-                          "demux.packets", "pool.tasks",
+  for (const char* key : {"pcap.records", "pcap.bytes", "pcap.mmap_files",
+                          "pcap.mmap_bytes", "demux.packets", "pool.tasks",
                           "analyze.connections_done"}) {
     const JsonValue* v = counters->find(key);
     ASSERT_NE(v, nullptr) << key;
     EXPECT_GT(v->number, 0.0) << key;
   }
+
+  // The default file path above maps the capture, so the chunked reader's
+  // instrumentation only moves when streaming is forced.
+  AnalyzerOptions stream_opts;
+  stream_opts.jobs = 1;
+  stream_opts.ingest.use_mmap = false;
+  const auto streamed = analyze_file(path, stream_opts);
+  std::remove(path.c_str());
+  ASSERT_TRUE(streamed.ok()) << streamed.error();
+  const JsonValue m2 = parse_or_die(streamed.value().stats.metrics_json);
+  const JsonValue* refills = m2.find("counters")->find("pcap.chunk_refills");
+  ASSERT_NE(refills, nullptr);
+  EXPECT_GT(refills->number, 0.0);
 
   // PipelineStats::to_json embeds per-run histogram summaries for the pool
   // queue wait and per-connection analysis time.

@@ -76,6 +76,8 @@ int usage() {
                " record (historical tail-drop)\n"
                "                [--max-errors N]   resync recovery budget per"
                " file (default 1000)\n"
+               "                [--no-mmap]        force the chunked streaming"
+               " reader (default: mmap regular files)\n"
                "  tdat passes   list the registered analysis passes\n"
                "  tdat pcap2mrt <trace.pcap> <out.mrt>\n"
                "  tdat mrtcat   <archive.mrt> [-n N]\n"
@@ -252,6 +254,8 @@ Result<AnalyzeCommand> parse_analyze_args(int argc, char** argv) {
       cmd.progress = true;
     } else if (arg == "--strict") {
       cmd.opts.ingest.strict = true;
+    } else if (arg == "--no-mmap") {
+      cmd.opts.ingest.use_mmap = false;
     } else if (arg == "--max-errors") {
       TDAT_TRY(budget, value_of(i));
       char* end = nullptr;
@@ -333,7 +337,9 @@ int cmd_analyze(int argc, char** argv) {
     std::fprintf(stderr,
                  "[tdat] %llu records (%.2f MB) -> %llu packets -> %llu"
                  " connections in %.3fs (ingest %.3fs + analyze %.3fs,"
-                 " jobs=%zu): %.1f MB/s, %.0f pkt/s, %.2f conn/s\n",
+                 " jobs=%zu): %.1f MB/s, %.0f pkt/s, %.2f conn/s\n"
+                 "[tdat] stage rates: ingest %.1f MB/s (%zu threads),"
+                 " decode %.1f MB/s, analysis %.1f MB/s\n",
                  static_cast<unsigned long long>(st.records),
                  static_cast<double>(st.bytes_ingested) / 1e6,
                  static_cast<unsigned long long>(st.packets),
@@ -341,7 +347,9 @@ int cmd_analyze(int argc, char** argv) {
                  to_seconds(st.total_wall), to_seconds(st.ingest_wall),
                  to_seconds(st.analyze_wall), st.jobs,
                  st.bytes_per_sec() / 1e6, st.packets_per_sec(),
-                 st.connections_per_sec());
+                 st.connections_per_sec(), st.ingest_bytes_per_sec() / 1e6,
+                 st.ingest_jobs, st.decode_bytes_per_sec() / 1e6,
+                 st.analysis_bytes_per_sec() / 1e6);
   }
   return rc;
 }
