@@ -1,0 +1,161 @@
+// Aggregate-merge throughput: how fast `tdat aggregate` folds shard
+// archives at fleet scale. Builds synthetic .tdagg archives (shape matched
+// to real fleets: hundreds of connections per shard spread over many peers),
+// then measures serialize, parse, and N-way merge, reporting archives/s and
+// connection rows/s. Emits machine-readable BENCH_agg.json (path
+// overridable via argv[1]).
+//
+// The benchmark also re-checks the order-independence contract on its own
+// inputs (forward vs reverse merge order must serialize identically) so the
+// committed numbers can never come from a merge that broke the algebra.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "agg/archive.hpp"
+#include "agg/sketch.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tdat;
+using namespace tdat::agg;
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Archive synth_archive(Rng& rng, std::size_t connections, const char* run_id) {
+  Archive a;
+  for (std::size_t i = 0; i < connections; ++i) {
+    ConnectionRecord c;
+    c.run_id = run_id;
+    c.collector_ip =
+        0x0a090900 + static_cast<std::uint32_t>(rng.uniform(1, 4));
+    c.peer_ip = 0x0a000000 + static_cast<std::uint32_t>(rng.uniform(1, 200));
+    c.peer_as = static_cast<std::uint32_t>(64000 + rng.uniform(0, 50));
+    c.key.ip_a = c.peer_ip;
+    c.key.port_a = static_cast<std::uint16_t>(rng.uniform(1024, 65000));
+    c.key.ip_b = c.collector_ip;
+    c.key.port_b = 179;
+    c.transfer_begin = rng.uniform(0, 1'000'000);
+    c.transfer_end = c.transfer_begin + rng.uniform(1'000, 900'000'000);
+    c.updates = static_cast<std::uint64_t>(rng.uniform(100, 30'000));
+    c.prefixes = static_cast<std::uint64_t>(rng.uniform(1'000, 500'000));
+    for (std::size_t f = 0; f < kFactorCount; ++f) {
+      c.factor_delay_us[f] = rng.uniform(0, c.transfer_us());
+    }
+    a.connections.push_back(std::move(c));
+  }
+  // Sketches the way the sink builds them: grouped by key, one observation
+  // per transfer.
+  for (const ConnectionRecord& c : a.connections) {
+    const SketchKey key{c.run_id, c.collector_ip, c.peer_ip, c.peer_as};
+    SketchGroup* g = nullptr;
+    for (SketchGroup& existing : a.sketches) {
+      if (existing.key == key) {
+        g = &existing;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      a.sketches.emplace_back();
+      a.sketches.back().key = key;
+      g = &a.sketches.back();
+    }
+    sketch_observe(g->transfer_us, c.transfer_us());
+    for (std::size_t f = 0; f < kFactorCount; ++f) {
+      sketch_observe(g->factor_delay_us[f], c.factor_delay_us[f]);
+    }
+  }
+  a.normalize();
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_agg.json";
+  constexpr std::size_t kShards = 64;
+  constexpr std::size_t kConnsPerShard = 400;
+  constexpr int kReps = 5;
+
+  Rng rng(20120613);
+  std::vector<Archive> shards;
+  std::vector<std::string> images;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_conns = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const std::string run = "shard-" + std::to_string(s);
+    shards.push_back(synth_archive(rng, kConnsPerShard, run.c_str()));
+    images.push_back(shards.back().serialize());
+    total_bytes += images.back().size();
+    total_conns += shards.back().connections.size();
+  }
+  std::printf("fleet: %zu shard archives, %llu connection rows, %.1f MB\n",
+              kShards, static_cast<unsigned long long>(total_conns),
+              static_cast<double>(total_bytes) / 1e6);
+
+  double best_parse = 1e100;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const std::string& img : images) {
+      const auto parsed = parse_archive(
+          {reinterpret_cast<const std::uint8_t*>(img.data()), img.size()});
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "parse failed: %s\n", parsed.error().c_str());
+        return 1;
+      }
+    }
+    best_parse = std::min(best_parse, wall_seconds_since(t0));
+  }
+
+  double best_merge = 1e100;
+  std::string merged_bytes;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Archive merged;
+    for (const Archive& shard : shards) merged.merge_from(shard);
+    merged_bytes = merged.serialize();
+    best_merge = std::min(best_merge, wall_seconds_since(t0));
+  }
+
+  // Contract check: reverse merge order must produce identical bytes.
+  Archive reversed;
+  for (std::size_t s = shards.size(); s-- > 0;) {
+    reversed.merge_from(shards[s]);
+  }
+  if (reversed.serialize() != merged_bytes) {
+    std::fprintf(stderr, "FATAL: merge is not order-independent\n");
+    return 1;
+  }
+
+  const double shards_per_sec = static_cast<double>(kShards) / best_merge;
+  const double rows_per_sec = static_cast<double>(total_conns) / best_merge;
+  const double parse_mbps =
+      static_cast<double>(total_bytes) / best_parse / 1e6;
+  std::printf("parse: %.1f MB/s over %zu archives\n", parse_mbps, kShards);
+  std::printf("merge: %.3fs for %zu shards (%.0f archives/s,"
+              " %.0f rows/s)\n",
+              best_merge, kShards, shards_per_sec, rows_per_sec);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"bench\": \"agg_merge\", \"shards\": %zu,"
+               " \"connection_rows\": %llu, \"archive_bytes\": %llu,"
+               " \"parse_mb_per_s\": %.1f, \"merge_s\": %.4f,"
+               " \"archives_per_s\": %.1f, \"rows_per_s\": %.0f}\n",
+               kShards, static_cast<unsigned long long>(total_conns),
+               static_cast<unsigned long long>(total_bytes), parse_mbps,
+               best_merge, shards_per_sec, rows_per_sec);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,370 @@
+#include "agg/rollup.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/bytes.hpp"
+#include "util/time.hpp"
+
+namespace tdat::agg {
+
+namespace {
+
+template <typename... Args>
+void appendf(std::string& out, const char* fmt, Args... args) {
+  char buf[512];
+  const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          appendf(out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string row_label(const ConnectionRecord& c, RollupBy by) {
+  switch (by) {
+    case RollupBy::kPeer: return ipv4_to_string(c.peer_ip);
+    case RollupBy::kAs: return "AS" + std::to_string(c.peer_as);
+    case RollupBy::kCollector: return ipv4_to_string(c.collector_ip);
+    case RollupBy::kRun: return c.run_id;
+  }
+  return "?";
+}
+
+std::string sketch_label(const SketchKey& k, RollupBy by) {
+  switch (by) {
+    case RollupBy::kPeer: return ipv4_to_string(k.peer_ip);
+    case RollupBy::kAs: return "AS" + std::to_string(k.peer_as);
+    case RollupBy::kCollector: return ipv4_to_string(k.collector_ip);
+    case RollupBy::kRun: return k.run_id;
+  }
+  return "?";
+}
+
+// "" (the default run id) still needs a printable name in reports.
+std::string display_label(const std::string& label) {
+  return label.empty() ? "(default)" : label;
+}
+
+void fold_record(RollupRow& row, const ConnectionRecord& c) {
+  row.connections += 1;
+  if (c.quarantined()) row.quarantined += 1;
+  if (!c.has_transfer()) return;
+  row.transfers += 1;
+  row.updates += c.updates;
+  row.prefixes += c.prefixes;
+  row.window_us += c.transfer_us();
+  row.factors[c.dominant_factor()].dominant_connections += 1;
+  for (std::size_t f = 0; f < kFactorCount; ++f) {
+    row.factors[f].delay_us += c.factor_delay_us[f];
+  }
+}
+
+std::string transfer_json(const HistogramSnapshot& s) {
+  std::string out = "{\"count\": " + std::to_string(s.count);
+  out += ", \"p50_us\": " + std::to_string(s.quantile(0.50));
+  out += ", \"p90_us\": " + std::to_string(s.quantile(0.90));
+  out += ", \"p99_us\": " + std::to_string(s.quantile(0.99));
+  out += ", \"mean_us\": " + json_double(s.mean());
+  out += ", \"max_us\": " + std::to_string(s.count > 0 ? s.max : 0);
+  out += "}";
+  return out;
+}
+
+void row_json(const RollupRow& row, std::string& out) {
+  out += "{\"label\": \"" + json_escape(display_label(row.label)) + "\"";
+  out += ", \"connections\": " + std::to_string(row.connections);
+  out += ", \"transfers\": " + std::to_string(row.transfers);
+  out += ", \"quarantined\": " + std::to_string(row.quarantined);
+  out += ", \"updates\": " + std::to_string(row.updates);
+  out += ", \"prefixes\": " + std::to_string(row.prefixes);
+  out += ", \"transfer_time\": " + transfer_json(row.transfer_us);
+  if (row.transfers > 0) {
+    out += ", \"dominant_factor\": \"";
+    out += to_string(static_cast<Factor>(row.dominant_factor()));
+    out += "\"";
+  }
+  out += ", \"factors\": [";
+  bool first = true;
+  for (std::size_t f = 0; f < kFactorCount; ++f) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"";
+    out += to_string(static_cast<Factor>(f));
+    out += "\", \"dominant_transfers\": " +
+           std::to_string(row.factors[f].dominant_connections);
+    out += ", \"dominance_share\": " + json_double(row.dominance_share(f));
+    out += ", \"delay_us\": " + std::to_string(row.factors[f].delay_us);
+    out += ", \"delay_share\": " + json_double(row.delay_share(f));
+    out += "}";
+  }
+  out += "]}";
+}
+
+void row_text(const RollupRow& row, std::string& out) {
+  appendf(out,
+          "  %-18s %5llu conns  %5llu transfers  p50 %8.2fs  p90 %8.2fs"
+          "  p99 %8.2fs",
+          display_label(row.label).c_str(),
+          static_cast<unsigned long long>(row.connections),
+          static_cast<unsigned long long>(row.transfers),
+          to_seconds(row.transfer_us.quantile(0.50)),
+          to_seconds(row.transfer_us.quantile(0.90)),
+          to_seconds(row.transfer_us.quantile(0.99)));
+  if (row.quarantined > 0) {
+    appendf(out, "  (%llu quarantined)",
+            static_cast<unsigned long long>(row.quarantined));
+  }
+  if (row.transfers > 0) {
+    const std::size_t dom = row.dominant_factor();
+    appendf(out, "  dominant: %s (%.0f%%)",
+            to_string(static_cast<Factor>(dom)),
+            100.0 * row.dominance_share(dom));
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+const char* to_string(RollupBy by) {
+  switch (by) {
+    case RollupBy::kPeer: return "peer";
+    case RollupBy::kAs: return "as";
+    case RollupBy::kCollector: return "collector";
+    case RollupBy::kRun: return "run";
+  }
+  return "?";
+}
+
+double RollupRow::dominance_share(std::size_t f) const {
+  return transfers > 0 ? static_cast<double>(factors[f].dominant_connections) /
+                             static_cast<double>(transfers)
+                       : 0.0;
+}
+
+double RollupRow::delay_share(std::size_t f) const {
+  return window_us > 0 ? static_cast<double>(factors[f].delay_us) /
+                             static_cast<double>(window_us)
+                       : 0.0;
+}
+
+std::size_t RollupRow::dominant_factor() const {
+  std::size_t best = 0;
+  for (std::size_t f = 1; f < kFactorCount; ++f) {
+    if (factors[f].dominant_connections >
+        factors[best].dominant_connections) {
+      best = f;
+    }
+  }
+  return best;
+}
+
+void RollupRow::merge_from(const RollupRow& other) {
+  connections += other.connections;
+  transfers += other.transfers;
+  quarantined += other.quarantined;
+  updates += other.updates;
+  prefixes += other.prefixes;
+  window_us += other.window_us;
+  transfer_us.merge_from(other.transfer_us);
+  for (std::size_t f = 0; f < kFactorCount; ++f) {
+    factors[f].dominant_connections += other.factors[f].dominant_connections;
+    factors[f].delay_us += other.factors[f].delay_us;
+  }
+}
+
+RollupReport build_rollup(const Archive& archive, RollupBy by) {
+  RollupReport report;
+  report.by = by;
+  report.fleet.label = "fleet";
+  std::map<std::string, RollupRow> rows;
+  for (const ConnectionRecord& c : archive.connections) {
+    const std::string label = row_label(c, by);
+    RollupRow& row = rows[label];
+    row.label = label;
+    fold_record(row, c);
+    fold_record(report.fleet, c);
+  }
+  // Transfer-time distributions come from the mergeable sketches, so a
+  // roll-up over a merged archive sees exactly the union of every shard's
+  // observations (and stays honest if connection rows are ever pruned).
+  for (const SketchGroup& g : archive.sketches) {
+    const std::string label = sketch_label(g.key, by);
+    RollupRow& row = rows[label];
+    row.label = label;
+    row.transfer_us.merge_from(g.transfer_us);
+    report.fleet.transfer_us.merge_from(g.transfer_us);
+  }
+  report.rows.reserve(rows.size());
+  for (auto& [label, row] : rows) report.rows.push_back(std::move(row));
+  return report;
+}
+
+std::string render_rollup_text(const RollupReport& report) {
+  std::string out;
+  appendf(out, "aggregate roll-up by %s\n", to_string(report.by));
+  out += "fleet:\n";
+  row_text(report.fleet, out);
+  if (report.fleet.transfers > 0) {
+    out += "  factor dominance (share of transfers / share of transfer"
+           " time):\n";
+    for (std::size_t f = 0; f < kFactorCount; ++f) {
+      if (report.fleet.factors[f].dominant_connections == 0 &&
+          report.fleet.factors[f].delay_us == 0) {
+        continue;
+      }
+      appendf(out, "    %-26s %5.1f%% / %5.1f%%\n",
+              to_string(static_cast<Factor>(f)),
+              100.0 * report.fleet.dominance_share(f),
+              100.0 * report.fleet.delay_share(f));
+    }
+  }
+  appendf(out, "groups (%zu):\n", report.rows.size());
+  for (const RollupRow& row : report.rows) row_text(row, out);
+  return out;
+}
+
+std::string render_rollup_json(const RollupReport& report) {
+  std::string out = "{\"by\": \"";
+  out += to_string(report.by);
+  out += "\", \"fleet\": ";
+  row_json(report.fleet, out);
+  out += ", \"rows\": [";
+  bool first = true;
+  for (const RollupRow& row : report.rows) {
+    if (!first) out += ", ";
+    first = false;
+    row_json(row, out);
+  }
+  out += "]}";
+  return out;
+}
+
+std::uint64_t RollupDiff::regressed_count() const {
+  std::uint64_t n = 0;
+  for (const RollupDelta& d : deltas) {
+    if (d.regressed) ++n;
+  }
+  return n;
+}
+
+RollupDiff diff_rollups(const Archive& baseline, const Archive& current,
+                        const DiffOptions& opts) {
+  RollupDiff diff;
+  diff.opts = opts;
+  const RollupReport base = build_rollup(baseline, opts.by);
+  const RollupReport cur = build_rollup(current, opts.by);
+  std::map<std::string, RollupDelta> deltas;
+  const auto fill = [&](const RollupRow& row, int side) {
+    RollupDelta& d = deltas[row.label];
+    d.label = row.label;
+    (side == 0 ? d.in_baseline : d.in_current) = true;
+    d.p50_us[side] = row.transfer_us.quantile(0.50);
+    d.p90_us[side] = row.transfer_us.quantile(0.90);
+    d.p99_us[side] = row.transfer_us.quantile(0.99);
+    d.transfers[side] = row.transfers;
+    d.dominant[side] = row.dominant_factor();
+  };
+  for (const RollupRow& row : base.rows) fill(row, 0);
+  for (const RollupRow& row : cur.rows) fill(row, 1);
+  for (auto& [label, d] : deltas) {
+    if (d.in_baseline && d.in_current && d.transfers[0] > 0 &&
+        d.transfers[1] > 0) {
+      d.dominant_changed = d.dominant[0] != d.dominant[1];
+      d.regressed = static_cast<double>(d.p90_us[1]) >
+                    static_cast<double>(d.p90_us[0]) *
+                        opts.p90_regression_factor;
+    }
+    diff.deltas.push_back(std::move(d));
+  }
+  return diff;
+}
+
+std::string render_diff_text(const RollupDiff& diff) {
+  std::string out;
+  appendf(out, "aggregate diff by %s: %llu group(s), %llu regressed\n",
+          to_string(diff.opts.by),
+          static_cast<unsigned long long>(diff.deltas.size()),
+          static_cast<unsigned long long>(diff.regressed_count()));
+  for (const RollupDelta& d : diff.deltas) {
+    if (!d.in_baseline) {
+      appendf(out, "  %-18s new group (p90 %.2fs, %llu transfers)\n",
+              display_label(d.label).c_str(), to_seconds(d.p90_us[1]),
+              static_cast<unsigned long long>(d.transfers[1]));
+      continue;
+    }
+    if (!d.in_current) {
+      appendf(out, "  %-18s disappeared (was p90 %.2fs)\n",
+              display_label(d.label).c_str(), to_seconds(d.p90_us[0]));
+      continue;
+    }
+    appendf(out, "  %-18s p50 %.2fs -> %.2fs  p90 %.2fs -> %.2fs"
+            "  p99 %.2fs -> %.2fs",
+            display_label(d.label).c_str(), to_seconds(d.p50_us[0]),
+            to_seconds(d.p50_us[1]), to_seconds(d.p90_us[0]),
+            to_seconds(d.p90_us[1]), to_seconds(d.p99_us[0]),
+            to_seconds(d.p99_us[1]));
+    if (d.dominant_changed) {
+      appendf(out, "  dominant: %s -> %s",
+              to_string(static_cast<Factor>(d.dominant[0])),
+              to_string(static_cast<Factor>(d.dominant[1])));
+    }
+    if (d.regressed) out += "  REGRESSED";
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_diff_json(const RollupDiff& diff) {
+  std::string out = "{\"by\": \"";
+  out += to_string(diff.opts.by);
+  out += "\", \"regressed\": " + std::to_string(diff.regressed_count());
+  out += ", \"groups\": [";
+  bool first = true;
+  for (const RollupDelta& d : diff.deltas) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"label\": \"" + json_escape(display_label(d.label)) + "\"";
+    out += ", \"in_baseline\": ";
+    out += d.in_baseline ? "true" : "false";
+    out += ", \"in_current\": ";
+    out += d.in_current ? "true" : "false";
+    out += ", \"p50_us\": [" + std::to_string(d.p50_us[0]) + ", " +
+           std::to_string(d.p50_us[1]) + "]";
+    out += ", \"p90_us\": [" + std::to_string(d.p90_us[0]) + ", " +
+           std::to_string(d.p90_us[1]) + "]";
+    out += ", \"p99_us\": [" + std::to_string(d.p99_us[0]) + ", " +
+           std::to_string(d.p99_us[1]) + "]";
+    out += ", \"transfers\": [" + std::to_string(d.transfers[0]) + ", " +
+           std::to_string(d.transfers[1]) + "]";
+    out += ", \"dominant\": [\"";
+    out += to_string(static_cast<Factor>(d.dominant[0]));
+    out += "\", \"";
+    out += to_string(static_cast<Factor>(d.dominant[1]));
+    out += "\"]";
+    out += ", \"dominant_changed\": ";
+    out += d.dominant_changed ? "true" : "false";
+    out += ", \"regressed\": ";
+    out += d.regressed ? "true" : "false";
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tdat::agg

@@ -1,0 +1,99 @@
+// Roll-ups over a merged .tdagg archive: the §IV answer machine. Groups the
+// archive's connection rows and sketches by peer, AS, collector, or run and
+// answers "which factor dominates slow transfers, and how slow are they"
+// per group — dominance share per factor, mean delay share, and p50/p90/p99
+// transfer time from the merged percentile sketches. diff_rollups compares
+// two aggregates (last week vs this week) and flags regressed groups.
+//
+// Everything here is derived: a roll-up never feeds back into an archive,
+// so rollup(merge(a, b)) and merging two roll-ups row-wise agree — the
+// property the aggregate tests pin down.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agg/archive.hpp"
+
+namespace tdat::agg {
+
+enum class RollupBy : std::uint8_t { kPeer, kAs, kCollector, kRun };
+
+[[nodiscard]] const char* to_string(RollupBy by);
+
+struct FactorRollup {
+  std::uint64_t dominant_connections = 0;  // transfers where this factor won
+  std::int64_t delay_us = 0;               // summed absolute delay
+};
+
+struct RollupRow {
+  std::string label;  // rendered key: peer IP, "AS64501", collector IP, run
+  std::uint64_t connections = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t prefixes = 0;
+  std::int64_t window_us = 0;  // summed transfer durations (ratio base)
+  HistogramSnapshot transfer_us;
+  std::array<FactorRollup, kFactorCount> factors{};
+
+  // Share of transfers this factor dominated / of total transfer time it
+  // covered. Derived, never stored.
+  [[nodiscard]] double dominance_share(std::size_t f) const;
+  [[nodiscard]] double delay_share(std::size_t f) const;
+  [[nodiscard]] std::size_t dominant_factor() const;
+
+  // Row-wise fold of another row with the same label (property-test seam:
+  // merging roll-ups must equal rolling up the merged archive).
+  void merge_from(const RollupRow& other);
+};
+
+struct RollupReport {
+  RollupBy by = RollupBy::kPeer;
+  RollupRow fleet;                // every group folded together ("fleet")
+  std::vector<RollupRow> rows;    // sorted by label
+};
+
+[[nodiscard]] RollupReport build_rollup(const Archive& archive, RollupBy by);
+
+[[nodiscard]] std::string render_rollup_text(const RollupReport& report);
+[[nodiscard]] std::string render_rollup_json(const RollupReport& report);
+
+// Week-over-week comparison of one group between two aggregates.
+struct RollupDelta {
+  std::string label;
+  bool in_baseline = false;
+  bool in_current = false;
+  std::int64_t p50_us[2] = {0, 0};  // [baseline, current]
+  std::int64_t p90_us[2] = {0, 0};
+  std::int64_t p99_us[2] = {0, 0};
+  std::uint64_t transfers[2] = {0, 0};
+  std::size_t dominant[2] = {0, 0};
+  bool dominant_changed = false;
+  // p90 transfer time grew beyond the regression threshold (and the group
+  // has transfers on both sides to compare).
+  bool regressed = false;
+};
+
+struct DiffOptions {
+  RollupBy by = RollupBy::kPeer;
+  // A group regresses when current p90 exceeds baseline p90 by this factor.
+  double p90_regression_factor = 1.25;
+};
+
+struct RollupDiff {
+  DiffOptions opts;
+  std::vector<RollupDelta> deltas;  // sorted by label
+  [[nodiscard]] std::uint64_t regressed_count() const;
+};
+
+[[nodiscard]] RollupDiff diff_rollups(const Archive& baseline,
+                                      const Archive& current,
+                                      const DiffOptions& opts = {});
+
+[[nodiscard]] std::string render_diff_text(const RollupDiff& diff);
+[[nodiscard]] std::string render_diff_json(const RollupDiff& diff);
+
+}  // namespace tdat::agg

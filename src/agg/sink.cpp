@@ -1,0 +1,93 @@
+#include "agg/sink.hpp"
+
+#include <map>
+#include <variant>
+
+#include "agg/sketch.hpp"
+#include "bgp/message.hpp"
+
+namespace tdat::agg {
+
+namespace {
+
+// The peer's AS from its OPEN. The extracted messages are data-direction
+// only, so the first OPEN seen is the one the operational router sent.
+std::uint32_t peer_as_from_messages(
+    const std::vector<TimedBgpMessage>& messages) {
+  for (const TimedBgpMessage& m : messages) {
+    if (const auto* open = std::get_if<BgpOpen>(&m.msg.body)) {
+      return open->my_as;
+    }
+  }
+  return 0;
+}
+
+ConnectionRecord project_connection(const ReportEntry& entry,
+                                    const std::string& run_id) {
+  const ConnectionAnalysis& a = *entry.analysis;
+  ConnectionRecord c;
+  c.run_id = run_id;
+  c.key = entry.conn->key;
+  // Sender side of the data direction is the operational router (the peer);
+  // the receiver side is the collector the sniffer fronts.
+  const bool a_sends = a.profile.data_dir == Dir::kAToB;
+  c.peer_ip = a_sends ? c.key.ip_a : c.key.ip_b;
+  c.collector_ip = a_sends ? c.key.ip_b : c.key.ip_a;
+  if (a.quarantined()) {
+    c.quarantine_reason = a.quarantine_reason;
+    return c;
+  }
+  c.peer_as = peer_as_from_messages(a.messages);
+  c.transfer_begin = a.transfer.begin;
+  c.transfer_end = a.transfer.end;
+  c.updates = a.mct.update_count;
+  c.prefixes = a.mct.prefix_count;
+  for (std::size_t f = 0; f < kFactorCount; ++f) {
+    c.factor_delay_us[f] = a.report.factor_delay[f];
+  }
+  for (std::size_t g = 0; g < kGroupCount; ++g) {
+    c.group_delay_us[g] = a.report.group_delay[g];
+  }
+  return c;
+}
+
+}  // namespace
+
+Archive build_archive(const ReportModel& model, const std::string& run_id) {
+  Archive archive;
+  archive.ingest = model.ingest;
+  archive.budget_exhausted_runs = model.ingest.budget_exhausted ? 1 : 0;
+  archive.connections.reserve(model.entries.size());
+  // std::map keys the sketch groups in SketchKey order, so the sketches
+  // vector comes out sorted without a second pass.
+  std::map<SketchKey, SketchGroup> groups;
+  for (const ReportEntry& entry : model.entries) {
+    ConnectionRecord c = project_connection(entry, run_id);
+    if (c.has_transfer()) {
+      const SketchKey key{c.run_id, c.collector_ip, c.peer_ip, c.peer_as};
+      SketchGroup& g = groups[key];
+      g.key = key;
+      sketch_observe(g.transfer_us, c.transfer_us());
+      for (std::size_t f = 0; f < kFactorCount; ++f) {
+        sketch_observe(g.factor_delay_us[f], c.factor_delay_us[f]);
+      }
+    }
+    archive.connections.push_back(std::move(c));
+  }
+  archive.sketches.reserve(groups.size());
+  for (auto& [key, group] : groups) {
+    archive.sketches.push_back(std::move(group));
+  }
+  archive.normalize();
+  return archive;
+}
+
+void register_aggregate_sink() {
+  register_report_renderer(
+      ReportFormat::kAgg,
+      [](const ReportModel& model, const ReportRenderOptions& opts) {
+        return build_archive(model, opts.run_id).serialize();
+      });
+}
+
+}  // namespace tdat::agg

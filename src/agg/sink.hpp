@@ -1,0 +1,26 @@
+// AggregateSink: the `--format agg` report sink. Projects a finished
+// ReportModel into a .tdagg archive (agg/archive.hpp) — one ConnectionRecord
+// per connection, percentile sketches per (run, collector, peer, AS) — so a
+// shard's analysis run leaves behind a mergeable result instead of a flat
+// report. register_aggregate_sink() wires it into core's renderer registry
+// behind ReportFormat::kAgg.
+#pragma once
+
+#include <string>
+
+#include "agg/archive.hpp"
+#include "core/report.hpp"
+
+namespace tdat::agg {
+
+// Projects the model into an archive. Deterministic: the same model and
+// run_id always produce the same archive, and sharded models over disjoint
+// connection sets merge to the whole-run archive bit for bit.
+[[nodiscard]] Archive build_archive(const ReportModel& model,
+                                    const std::string& run_id);
+
+// Registers the archive renderer behind ReportFormat::kAgg (idempotent).
+// Call once at CLI startup, before any render_report(kAgg).
+void register_aggregate_sink();
+
+}  // namespace tdat::agg

@@ -1,0 +1,47 @@
+#include "agg/sketch.hpp"
+
+namespace tdat::agg {
+
+void encode_sketch(const HistogramSnapshot& s, ByteWriter& w) {
+  w.u64le(s.count);
+  w.i64le(s.sum);
+  w.i64le(s.count > 0 ? s.min : 0);
+  w.i64le(s.count > 0 ? s.max : 0);
+  std::uint8_t occupied = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (s.buckets[i] > 0) ++occupied;
+  }
+  w.u8(occupied);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (s.buckets[i] == 0) continue;
+    w.u8(static_cast<std::uint8_t>(i));
+    w.u64le(s.buckets[i]);
+  }
+}
+
+HistogramSnapshot decode_sketch(ByteReader& r) {
+  HistogramSnapshot s;
+  s.count = r.u64le();
+  s.sum = r.i64le();
+  s.min = r.i64le();
+  s.max = r.i64le();
+  const std::uint8_t occupied = r.u8();
+  int last = -1;
+  std::uint64_t total = 0;
+  for (std::uint8_t n = 0; n < occupied && r.ok(); ++n) {
+    const std::uint8_t idx = r.u8();
+    const std::uint64_t cnt = r.u64le();
+    if (idx >= kHistogramBuckets || static_cast<int>(idx) <= last ||
+        cnt == 0) {
+      r.fail();
+      return s;
+    }
+    last = idx;
+    s.buckets[idx] = cnt;
+    total += cnt;
+  }
+  if (r.ok() && total != s.count) r.fail();
+  return s;
+}
+
+}  // namespace tdat::agg

@@ -1,0 +1,43 @@
+// Mergeable percentile sketches for the fleet result store (.tdagg).
+//
+// A sketch IS a HistogramSnapshot: the pow2-bucket layout of the PR 2
+// metrics histograms (util/metrics.hpp) already merges by element-wise
+// addition, carries exact count/sum and conservative min/max, and answers
+// p50/p90/p99 as the inclusive upper bound of the quantile's bucket clamped
+// to the observed max. This header adds the wire codec: a sparse,
+// little-endian encoding (only occupied buckets are written) that is
+// canonical — two equal snapshots encode to identical bytes, which is what
+// makes archive merge order-independent at the byte level.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "util/metrics.hpp"
+#include "util/result.hpp"
+
+namespace tdat::agg {
+
+// count, sum, min, max, then (bucket index, count) pairs for the occupied
+// buckets in ascending index order.
+void encode_sketch(const HistogramSnapshot& s, ByteWriter& w);
+
+// Decodes one sketch; on malformed input the reader goes !ok() and the
+// partially filled snapshot must be discarded. Rejects out-of-range and
+// non-ascending bucket indices so damaged archives fail loudly instead of
+// merging garbage.
+[[nodiscard]] HistogramSnapshot decode_sketch(ByteReader& r);
+
+// Convenience for building sketches from raw samples at archive-build time.
+inline void sketch_observe(HistogramSnapshot& s, std::int64_t v) {
+  s.buckets[histogram_bucket_index(v)] += 1;
+  s.sum += v;
+  if (s.count == 0) {
+    s.min = v;
+    s.max = v;
+  } else {
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+  }
+  s.count += 1;
+}
+
+}  // namespace tdat::agg

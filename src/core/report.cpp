@@ -5,6 +5,7 @@
 #include "core/export.hpp"
 #include "core/pass.hpp"
 #include "timerange/render.hpp"
+#include "util/assert.hpp"
 #include "util/metrics.hpp"
 
 namespace tdat {
@@ -209,14 +210,23 @@ void render_csv(const ReportModel& model, std::string& out) {
   }
 }
 
+// Renderers plugged in by higher layers (kAgg). Registration happens once
+// during CLI startup, before any rendering, so no locking is needed.
+ReportRenderer registered_renderers[4] = {nullptr, nullptr, nullptr, nullptr};
+
 }  // namespace
 
 Result<ReportFormat> parse_report_format(std::string_view value) {
   if (value == "text") return ReportFormat::kText;
   if (value == "json") return ReportFormat::kJson;
   if (value == "csv") return ReportFormat::kCsv;
+  if (value == "agg") return ReportFormat::kAgg;
   return Err<ReportFormat>("unknown report format '" + std::string(value) +
-                           "' (valid: text, json, csv)");
+                           "' (valid: text, json, csv, agg)");
+}
+
+void register_report_renderer(ReportFormat format, ReportRenderer renderer) {
+  registered_renderers[static_cast<std::size_t>(format)] = renderer;
 }
 
 ReportModel build_report_model(const TraceAnalysis& analysis) {
@@ -250,6 +260,13 @@ std::string render_report(const ReportModel& model, ReportFormat format,
     case ReportFormat::kCsv:
       render_csv(model, out);
       break;
+    case ReportFormat::kAgg: {
+      ReportRenderer renderer =
+          registered_renderers[static_cast<std::size_t>(format)];
+      TDAT_EXPECTS(renderer != nullptr);  // CLI registers the agg sink first
+      out = renderer(model, opts);
+      break;
+    }
   }
   return out;
 }

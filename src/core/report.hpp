@@ -18,9 +18,10 @@
 
 namespace tdat {
 
-enum class ReportFormat : std::uint8_t { kText, kJson, kCsv };
+enum class ReportFormat : std::uint8_t { kText, kJson, kCsv, kAgg };
 
-// "text" | "json" | "csv"; anything else is an error naming the valid set.
+// "text" | "json" | "csv" | "agg"; anything else is an error naming the
+// valid set.
 [[nodiscard]] Result<ReportFormat> parse_report_format(std::string_view value);
 
 struct ReportEntry {
@@ -43,7 +44,19 @@ struct ReportModel {
 struct ReportRenderOptions {
   // Series coverage maps appended per connection (text format only).
   std::vector<std::string> series;
+  // Operator-supplied shard/run label stamped into archive rows (agg format
+  // only; "" is a valid default run).
+  std::string run_id;
 };
+
+// Renderer backing a format core does not render itself. kAgg's renderer
+// lives in src/agg (the .tdagg archive sink); the CLI registers it at
+// startup via agg::register_aggregate_sink(), keeping tdat_core free of the
+// aggregation layer. render_report aborts if the format was never wired up —
+// that is a build/startup bug, not bad input.
+using ReportRenderer = std::string (*)(const ReportModel&,
+                                       const ReportRenderOptions&);
+void register_report_renderer(ReportFormat format, ReportRenderer renderer);
 
 // The model borrows from `analysis`, which must outlive it.
 [[nodiscard]] ReportModel build_report_model(const TraceAnalysis& analysis);

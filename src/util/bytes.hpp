@@ -23,6 +23,10 @@ class ByteReader {
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
 
   [[nodiscard]] bool ok() const { return ok_; }
+  // Marks the reader bad from the outside — for callers whose *semantic*
+  // validation fails on bytes that read fine (e.g. a count field that
+  // contradicts the payload). Subsequent reads return 0 as usual.
+  void fail() { ok_ = false; }
   [[nodiscard]] std::size_t offset() const { return pos_; }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
 
@@ -63,6 +67,16 @@ class ByteReader {
                       static_cast<std::uint32_t>(data_[pos_]);
     pos_ += 4;
     return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64le() {
+    const std::uint64_t lo = u32le();
+    const std::uint64_t hi = u32le();
+    return hi << 32 | lo;
+  }
+
+  [[nodiscard]] std::int64_t i64le() {
+    return static_cast<std::int64_t>(u64le());
   }
 
   // Reads `n` raw bytes; returns an empty span on under-run.
@@ -117,6 +131,13 @@ class ByteWriter {
     buf_.push_back(static_cast<std::uint8_t>(v >> 16));
     buf_.push_back(static_cast<std::uint8_t>(v >> 24));
   }
+
+  void u64le(std::uint64_t v) {
+    u32le(static_cast<std::uint32_t>(v));
+    u32le(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  void i64le(std::int64_t v) { u64le(static_cast<std::uint64_t>(v)); }
 
   void bytes(std::span<const std::uint8_t> data) {
     buf_.insert(buf_.end(), data.begin(), data.end());

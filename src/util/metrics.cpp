@@ -55,7 +55,45 @@ HistogramSnapshot HistogramSnapshot::since(const HistogramSnapshot& base) const 
   out.sum = sum - base.sum;
   out.min = min;
   out.max = max;
+  if (out.count == 0) {
+    out.min = 0;
+    out.max = 0;
+    return out;
+  }
+  // The cumulative extremes may belong to samples outside the delta. Clamp
+  // them into the delta's occupied bucket span so a value sitting exactly on
+  // a bucket bound lands the same here as in a fresh histogram — the
+  // run-scoped histograms in the JSON report and the cumulative metrics
+  // snapshot must agree at bucket edges. The saturation bucket has no upper
+  // edge and bucket 0 no lower one, so those directions keep the carried
+  // extreme.
+  std::size_t lo = 0;
+  while (out.buckets[lo] == 0) ++lo;
+  std::size_t hi = kHistogramBuckets - 1;
+  while (out.buckets[hi] == 0) --hi;
+  if (lo > 0 && out.min < histogram_bucket_bound(lo - 1) + 1) {
+    out.min = histogram_bucket_bound(lo - 1) + 1;
+  }
+  if (hi < kHistogramBuckets - 1 && out.max > histogram_bucket_bound(hi)) {
+    out.max = histogram_bucket_bound(hi);
+  }
   return out;
+}
+
+void HistogramSnapshot::merge_from(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  sum += other.sum;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+  count += other.count;
 }
 
 std::string HistogramSnapshot::to_json() const {
@@ -258,6 +296,60 @@ std::string MetricsRegistry::to_json() const {
     out += h->snapshot().to_json();
   }
   out += "}}";
+  return out;
+}
+
+namespace {
+
+// "pcap.records" -> "tdat_pcap_records"; anything outside [a-zA-Z0-9_]
+// becomes '_' so every name is a valid Prometheus metric name.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "tdat_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard lock(impl_->mu);
+  std::string out;
+  for (const auto& [name, c] : impl_->counters) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + std::to_string(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    const std::string pname = prometheus_name(name);
+    const HistogramSnapshot s = h->snapshot();
+    out += "# TYPE " + pname + " histogram\n";
+    // Cumulative buckets up to the highest occupied one; `le` bounds are the
+    // pow2 buckets' inclusive upper edges, so the exposition and the JSON
+    // snapshot bucket samples identically at the edges.
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (s.buckets[i] > 0) top = i;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; s.count > 0 && i <= top; ++i) {
+      cumulative += s.buckets[i];
+      out += pname + "_bucket{le=\"" +
+             std::to_string(histogram_bucket_bound(i)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(s.count) + "\n";
+    out += pname + "_sum " + std::to_string(s.sum) + "\n";
+    out += pname + "_count " + std::to_string(s.count) + "\n";
+  }
   return out;
 }
 

@@ -116,9 +116,15 @@ struct HistogramSnapshot {
   // clamped to the observed max.
   [[nodiscard]] std::int64_t quantile(double q) const;
   // Element-wise difference against an earlier snapshot of the same
-  // histogram — the per-run view of a cumulative metric. min/max are kept
-  // from *this (bucket counts are exact, the extremes are conservative).
+  // histogram — the per-run view of a cumulative metric. Bucket counts are
+  // exact; the carried min/max are clamped into the delta's occupied bucket
+  // span, so a sample sitting exactly on a bucket bound reports the same
+  // extremes and quantiles as a fresh histogram of the delta samples.
   [[nodiscard]] HistogramSnapshot since(const HistogramSnapshot& base) const;
+  // Element-wise accumulation of another snapshot of the same bucket layout
+  // (the mergeable-sketch primitive: buckets and sums add, extremes widen).
+  // Associative and commutative; merging an empty snapshot is the identity.
+  void merge_from(const HistogramSnapshot& other);
   // {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,
   //  "p99":..,"buckets":[[bound,count],...nonzero only]}
   [[nodiscard]] std::string to_json() const;
@@ -164,6 +170,13 @@ class MetricsRegistry {
 
   // {"counters":{...},"gauges":{...},"histograms":{...}} with names sorted.
   [[nodiscard]] std::string to_json() const;
+
+  // Prometheus text exposition format (version 0.0.4): every metric under a
+  // "tdat_" prefix with dots mapped to underscores; histograms render the
+  // standard cumulative `_bucket{le="..."}` series using the pow2 bucket
+  // bounds (inclusive upper edges — the same convention as the JSON
+  // snapshot), plus `_sum` and `_count`.
+  [[nodiscard]] std::string to_prometheus() const;
 
   MetricsRegistry();
   ~MetricsRegistry();

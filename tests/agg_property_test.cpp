@@ -1,0 +1,178 @@
+// Algebraic properties of the .tdagg merge, pinned over randomized inputs:
+// associativity, commutativity, identity, and that rolling up a merged
+// archive equals merging the per-shard roll-ups row-wise. These are the
+// invariants `tdat aggregate` relies on to be order-independent — any
+// fleet-side merge tree over the same shard archives must produce the same
+// bytes and the same answers.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agg/archive.hpp"
+#include "agg/rollup.hpp"
+#include "agg/sketch.hpp"
+#include "util/rng.hpp"
+
+namespace tdat::agg {
+namespace {
+
+ConnectionRecord random_record(Rng& rng) {
+  ConnectionRecord c;
+  const char* runs[] = {"", "run-a", "run-b"};
+  c.run_id = runs[rng.uniform(0, 2)];
+  c.collector_ip = 0x0a090900 + static_cast<std::uint32_t>(rng.uniform(1, 3));
+  c.peer_ip = 0x0a000100 + static_cast<std::uint32_t>(rng.uniform(1, 6));
+  c.peer_as = static_cast<std::uint32_t>(64500 + rng.uniform(0, 3));
+  c.key.ip_a = c.peer_ip;
+  c.key.port_a = static_cast<std::uint16_t>(rng.uniform(1024, 65000));
+  c.key.ip_b = c.collector_ip;
+  c.key.port_b = 179;
+  if (rng.chance(0.15)) {
+    c.quarantine_reason = "unrecoverable BGP framing";
+    return c;
+  }
+  if (rng.chance(0.1)) return c;  // analyzed, but no transfer located
+  c.transfer_begin = rng.uniform(0, 1'000'000);
+  c.transfer_end = c.transfer_begin + rng.uniform(1, 600'000'000);
+  c.updates = static_cast<std::uint64_t>(rng.uniform(1, 20'000));
+  c.prefixes = static_cast<std::uint64_t>(rng.uniform(1, 400'000));
+  for (std::size_t f = 0; f < kFactorCount; ++f) {
+    c.factor_delay_us[f] = rng.uniform(0, c.transfer_us());
+  }
+  return c;
+}
+
+// Builds a random archive the way the sink does: sketches derived from the
+// records with a located transfer, grouped by (run, collector, peer, AS).
+Archive random_archive(Rng& rng, std::size_t connections) {
+  Archive a;
+  a.ingest.truncated = static_cast<std::uint64_t>(rng.uniform(0, 3));
+  a.ingest.resynced = static_cast<std::uint64_t>(rng.uniform(0, 3));
+  a.ingest.skipped_bytes = static_cast<std::uint64_t>(rng.uniform(0, 999));
+  std::map<SketchKey, SketchGroup> groups;
+  for (std::size_t i = 0; i < connections; ++i) {
+    ConnectionRecord c = random_record(rng);
+    if (c.has_transfer()) {
+      const SketchKey key{c.run_id, c.collector_ip, c.peer_ip, c.peer_as};
+      SketchGroup& g = groups[key];
+      g.key = key;
+      sketch_observe(g.transfer_us, c.transfer_us());
+      for (std::size_t f = 0; f < kFactorCount; ++f) {
+        sketch_observe(g.factor_delay_us[f], c.factor_delay_us[f]);
+      }
+    }
+    a.connections.push_back(std::move(c));
+  }
+  for (auto& [key, group] : groups) a.sketches.push_back(std::move(group));
+  a.normalize();
+  return a;
+}
+
+Archive merged(const Archive& x, const Archive& y) {
+  Archive out = x;
+  out.merge_from(y);
+  return out;
+}
+
+TEST(AggregateMergeProperties, CommutativeToTheByte) {
+  Rng rng(2012);
+  for (int round = 0; round < 8; ++round) {
+    const Archive a = random_archive(rng, 12);
+    const Archive b = random_archive(rng, 7);
+    EXPECT_EQ(merged(a, b).serialize(), merged(b, a).serialize())
+        << "round " << round;
+  }
+}
+
+TEST(AggregateMergeProperties, AssociativeToTheByte) {
+  Rng rng(77);
+  for (int round = 0; round < 8; ++round) {
+    const Archive a = random_archive(rng, 9);
+    const Archive b = random_archive(rng, 5);
+    const Archive c = random_archive(rng, 11);
+    EXPECT_EQ(merged(merged(a, b), c).serialize(),
+              merged(a, merged(b, c)).serialize())
+        << "round " << round;
+  }
+}
+
+TEST(AggregateMergeProperties, EmptyArchiveIsIdentity) {
+  Rng rng(4242);
+  const Archive a = random_archive(rng, 15);
+  EXPECT_EQ(merged(a, Archive{}).serialize(), a.serialize());
+  EXPECT_EQ(merged(Archive{}, a).serialize(), a.serialize());
+  EXPECT_EQ(merged(Archive{}, Archive{}).serialize(), Archive{}.serialize());
+}
+
+void expect_rows_equal(const RollupRow& x, const RollupRow& y) {
+  EXPECT_EQ(x.label, y.label);
+  EXPECT_EQ(x.connections, y.connections);
+  EXPECT_EQ(x.transfers, y.transfers);
+  EXPECT_EQ(x.quarantined, y.quarantined);
+  EXPECT_EQ(x.updates, y.updates);
+  EXPECT_EQ(x.prefixes, y.prefixes);
+  EXPECT_EQ(x.window_us, y.window_us);
+  EXPECT_EQ(x.transfer_us.buckets, y.transfer_us.buckets);
+  EXPECT_EQ(x.transfer_us.count, y.transfer_us.count);
+  EXPECT_EQ(x.transfer_us.sum, y.transfer_us.sum);
+  EXPECT_EQ(x.transfer_us.min, y.transfer_us.min);
+  EXPECT_EQ(x.transfer_us.max, y.transfer_us.max);
+  for (std::size_t f = 0; f < kFactorCount; ++f) {
+    EXPECT_EQ(x.factors[f].dominant_connections,
+              y.factors[f].dominant_connections);
+    EXPECT_EQ(x.factors[f].delay_us, y.factors[f].delay_us);
+  }
+}
+
+// rollup(merge(a, b)) == rowwise-merge(rollup(a), rollup(b)): the roll-up is
+// a homomorphism of the merge, so fleet-wide answers don't depend on whether
+// shards were merged before or after rolling up.
+TEST(AggregateMergeProperties, MergeThenRollupEqualsRollupThenMerge) {
+  Rng rng(90125);
+  for (const RollupBy by : {RollupBy::kPeer, RollupBy::kAs,
+                            RollupBy::kCollector, RollupBy::kRun}) {
+    const Archive a = random_archive(rng, 14);
+    const Archive b = random_archive(rng, 10);
+    const RollupReport whole = build_rollup(merged(a, b), by);
+
+    const RollupReport ra = build_rollup(a, by);
+    const RollupReport rb = build_rollup(b, by);
+    std::map<std::string, RollupRow> rows;
+    for (const RollupReport* part : {&ra, &rb}) {
+      for (const RollupRow& row : part->rows) {
+        auto [it, inserted] = rows.emplace(row.label, row);
+        if (!inserted) it->second.merge_from(row);
+      }
+    }
+    RollupRow fleet = ra.fleet;
+    fleet.merge_from(rb.fleet);
+
+    ASSERT_EQ(whole.rows.size(), rows.size()) << to_string(by);
+    std::size_t i = 0;
+    for (const auto& [label, row] : rows) {
+      expect_rows_equal(whole.rows[i++], row);
+    }
+    expect_rows_equal(whole.fleet, fleet);
+  }
+}
+
+// Same-input determinism at the render layer: two aggregates with the same
+// serialized bytes must render identical roll-up reports.
+TEST(AggregateMergeProperties, RenderIsAFunctionOfTheBytes) {
+  Rng rng(11);
+  const Archive a = random_archive(rng, 13);
+  const Archive b = random_archive(rng, 6);
+  const Archive ab = merged(a, b);
+  const Archive ba = merged(b, a);
+  for (const RollupBy by : {RollupBy::kPeer, RollupBy::kCollector}) {
+    EXPECT_EQ(render_rollup_text(build_rollup(ab, by)),
+              render_rollup_text(build_rollup(ba, by)));
+    EXPECT_EQ(render_rollup_json(build_rollup(ab, by)),
+              render_rollup_json(build_rollup(ba, by)));
+  }
+}
+
+}  // namespace
+}  // namespace tdat::agg

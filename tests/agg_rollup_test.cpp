@@ -1,0 +1,197 @@
+// Roll-up and regression-diff tests over hand-built archives with known
+// answers, plus the AggregateSink end to end: a simulated capture analyzed
+// through the report model must project into an archive whose peer,
+// collector, AS, and factor fields match the analysis.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "agg/archive.hpp"
+#include "agg/rollup.hpp"
+#include "agg/sink.hpp"
+#include "agg/sketch.hpp"
+#include "core/report.hpp"
+#include "sim_scenarios.hpp"
+
+namespace tdat::agg {
+namespace {
+
+ConnectionRecord transfer_record(std::uint32_t peer, std::int64_t duration,
+                                 std::size_t dominant) {
+  ConnectionRecord c;
+  c.collector_ip = 0x0a090909;
+  c.peer_ip = peer;
+  c.peer_as = 64500;
+  c.key.ip_a = peer;
+  c.key.port_a = 20000;
+  c.key.ip_b = c.collector_ip;
+  c.key.port_b = 179;
+  c.transfer_begin = 0;
+  c.transfer_end = duration;
+  c.updates = 100;
+  c.prefixes = 250;
+  c.factor_delay_us[dominant] = duration / 2;
+  c.factor_delay_us[(dominant + 1) % kFactorCount] = duration / 4;
+  return c;
+}
+
+Archive archive_of(std::vector<ConnectionRecord> records) {
+  Archive a;
+  for (ConnectionRecord& c : records) {
+    if (c.has_transfer()) {
+      SketchGroup g;
+      g.key = {c.run_id, c.collector_ip, c.peer_ip, c.peer_as};
+      sketch_observe(g.transfer_us, c.transfer_us());
+      for (std::size_t f = 0; f < kFactorCount; ++f) {
+        sketch_observe(g.factor_delay_us[f], c.factor_delay_us[f]);
+      }
+      // One record per sketch key in these fixtures keeps the helper simple.
+      a.sketches.push_back(std::move(g));
+    }
+    a.connections.push_back(std::move(c));
+  }
+  a.normalize();
+  return a;
+}
+
+TEST(RollupTest, DominanceSharesAndPercentilesPerPeer) {
+  // Peer .1: two transfers dominated by factor 1; peer .2: one transfer
+  // dominated by factor 4, plus a quarantined connection.
+  ConnectionRecord quarantined;
+  quarantined.collector_ip = 0x0a090909;
+  quarantined.peer_ip = 0x0a000102;
+  quarantined.key.ip_a = quarantined.peer_ip;
+  quarantined.key.ip_b = quarantined.collector_ip;
+  quarantined.quarantine_reason = "analysis failed";
+  const Archive a = archive_of({
+      transfer_record(0x0a000101, 10'000'000, 1),
+      transfer_record(0x0a000101, 30'000'000, 1),
+      transfer_record(0x0a000102, 80'000'000, 4),
+      quarantined,
+  });
+  const RollupReport rep = build_rollup(a, RollupBy::kPeer);
+  EXPECT_EQ(rep.fleet.connections, 4u);
+  EXPECT_EQ(rep.fleet.transfers, 3u);
+  EXPECT_EQ(rep.fleet.quarantined, 1u);
+  ASSERT_EQ(rep.rows.size(), 2u);
+  const RollupRow& p1 = rep.rows[0];
+  const RollupRow& p2 = rep.rows[1];
+  EXPECT_EQ(p1.label, "10.0.1.1");
+  EXPECT_EQ(p2.label, "10.0.1.2");
+  EXPECT_EQ(p1.transfers, 2u);
+  EXPECT_EQ(p1.dominant_factor(), 1u);
+  EXPECT_DOUBLE_EQ(p1.dominance_share(1), 1.0);
+  EXPECT_EQ(p2.quarantined, 1u);
+  EXPECT_EQ(p2.dominant_factor(), 4u);
+  // Percentiles come from the pow2 sketch: estimates are bucket upper
+  // bounds clamped to the observed max.
+  EXPECT_LE(p1.transfer_us.quantile(0.5), 30'000'000);
+  EXPECT_GE(p1.transfer_us.quantile(0.5), 10'000'000);
+  EXPECT_EQ(p2.transfer_us.quantile(0.99), 80'000'000);
+  EXPECT_EQ(rep.fleet.transfer_us.count, 3u);
+  // Factor delay shares use the summed transfer window as the base.
+  EXPECT_GT(rep.fleet.delay_share(1), 0.0);
+  EXPECT_LT(rep.fleet.delay_share(1), 1.0);
+}
+
+TEST(RollupTest, TextAndJsonRendersContainTheAnswer) {
+  const Archive a = archive_of({transfer_record(0x0a000101, 20'000'000, 2)});
+  const RollupReport rep = build_rollup(a, RollupBy::kPeer);
+  const std::string text = render_rollup_text(rep);
+  EXPECT_NE(text.find("10.0.1.1"), std::string::npos);
+  EXPECT_NE(text.find("dominant: Sender local packet loss"),
+            std::string::npos);
+  const std::string json = render_rollup_json(rep);
+  EXPECT_NE(json.find("\"by\": \"peer\""), std::string::npos);
+  EXPECT_NE(json.find("\"dominant_factor\": \"Sender local packet loss\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p90_us\""), std::string::npos);
+}
+
+TEST(RollupDiffTest, FlagsRegressionsNewAndDisappearedGroups) {
+  const Archive baseline = archive_of({
+      transfer_record(0x0a000101, 10'000'000, 1),
+      transfer_record(0x0a000103, 10'000'000, 1),
+  });
+  const Archive current = archive_of({
+      transfer_record(0x0a000101, 40'000'000, 4),  // 4x slower, new dominant
+      transfer_record(0x0a000102, 5'000'000, 1),   // new group
+  });
+  const RollupDiff diff = diff_rollups(baseline, current, DiffOptions{});
+  ASSERT_EQ(diff.deltas.size(), 3u);
+  EXPECT_EQ(diff.regressed_count(), 1u);
+  const RollupDelta& d1 = diff.deltas[0];  // sorted by label
+  EXPECT_EQ(d1.label, "10.0.1.1");
+  EXPECT_TRUE(d1.regressed);
+  EXPECT_TRUE(d1.dominant_changed);
+  EXPECT_FALSE(diff.deltas[1].in_baseline);  // .2 is new
+  EXPECT_FALSE(diff.deltas[2].in_current);   // .3 disappeared
+  EXPECT_FALSE(diff.deltas[1].regressed);
+  const std::string text = render_diff_text(diff);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("new group"), std::string::npos);
+  EXPECT_NE(text.find("disappeared"), std::string::npos);
+  const std::string json = render_diff_json(diff);
+  EXPECT_NE(json.find("\"regressed\": 1"), std::string::npos);
+}
+
+TEST(RollupDiffTest, SmallP90GrowthIsNotARegression) {
+  const Archive baseline =
+      archive_of({transfer_record(0x0a000101, 10'000'000, 1)});
+  const Archive current =
+      archive_of({transfer_record(0x0a000101, 11'000'000, 1)});
+  // Both land in the same pow2 bucket and under the 1.25x threshold.
+  const RollupDiff diff = diff_rollups(baseline, current, DiffOptions{});
+  EXPECT_EQ(diff.regressed_count(), 0u);
+}
+
+TEST(AggregateSinkTest, ProjectsSimulatedAnalysisIntoArchive) {
+  const test::ScenarioRun run = test::run_single(SessionSpec{}, 4000, 99);
+  const TraceAnalysis ta = analyze_trace(run.trace, AnalyzerOptions{});
+  ASSERT_EQ(ta.results.size(), 1u);
+  const ReportModel model = build_report_model(ta);
+  const Archive archive = build_archive(model, "shard-7");
+  ASSERT_EQ(archive.connections.size(), 1u);
+  const ConnectionRecord& c = archive.connections[0];
+  EXPECT_EQ(c.run_id, "shard-7");
+  EXPECT_FALSE(c.quarantined());
+  // The simulated sender is the peer, the receiver the collector; the AS
+  // comes from the sender's OPEN.
+  const ConnectionAnalysis& a = ta.results[0];
+  const bool a_sends = a.profile.data_dir == Dir::kAToB;
+  EXPECT_EQ(c.peer_ip, a_sends ? c.key.ip_a : c.key.ip_b);
+  EXPECT_NE(c.peer_as, 0u);
+  EXPECT_TRUE(c.has_transfer());
+  EXPECT_EQ(c.transfer_begin, a.transfer.begin);
+  EXPECT_EQ(c.transfer_end, a.transfer.end);
+  EXPECT_EQ(c.updates, a.mct.update_count);
+  EXPECT_EQ(c.prefixes, a.mct.prefix_count);
+  for (std::size_t f = 0; f < kFactorCount; ++f) {
+    EXPECT_EQ(c.factor_delay_us[f], a.report.factor_delay[f]) << f;
+  }
+  ASSERT_EQ(archive.sketches.size(), 1u);
+  EXPECT_EQ(archive.sketches[0].transfer_us.count, 1u);
+  EXPECT_EQ(archive.sketches[0].transfer_us.sum, c.transfer_us());
+  // The same model renders through the registered kAgg sink byte for byte.
+  register_aggregate_sink();
+  ReportRenderOptions opts;
+  opts.run_id = "shard-7";
+  EXPECT_EQ(render_report(model, ReportFormat::kAgg, opts),
+            archive.serialize());
+}
+
+TEST(RollupTest, RunDimensionSeparatesRunIds) {
+  ConnectionRecord a = transfer_record(0x0a000101, 10'000'000, 1);
+  a.run_id = "week-1";
+  ConnectionRecord b = transfer_record(0x0a000101, 20'000'000, 1);
+  b.run_id = "week-2";
+  const RollupReport rep =
+      build_rollup(archive_of({a, b}), RollupBy::kRun);
+  ASSERT_EQ(rep.rows.size(), 2u);
+  EXPECT_EQ(rep.rows[0].label, "week-1");
+  EXPECT_EQ(rep.rows[1].label, "week-2");
+  EXPECT_EQ(rep.rows[0].transfers, 1u);
+}
+
+}  // namespace
+}  // namespace tdat::agg

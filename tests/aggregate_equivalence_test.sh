@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Sharded-vs-whole equivalence for the fleet aggregation pipeline:
+#
+#   simulate -> analyze --format agg            (whole-run archive)
+#   simulate -> shard -> analyze each -> aggregate   (merged shard archives)
+#
+# The two must be byte-identical, in every merge order — the property that
+# makes `tdat aggregate` trustworthy at fleet scale (DESIGN.md §13). Also
+# pins the committed golden archive and its roll-up JSON (tests/golden/),
+# and the aggregate --diff exit-code contract.
+#
+# Usage: aggregate_equivalence_test.sh <path-to-tdat> <golden-dir>
+set -u
+
+TDAT="$1"
+GOLDEN_DIR="$2"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+"$TDAT" simulate baseline "$TMP/base.pcap" --sessions 4 >/dev/null \
+  || fail "simulate exited non-zero"
+
+# --- whole-run archive ------------------------------------------------------
+"$TDAT" analyze "$TMP/base.pcap" --format agg --jobs 2 --quiet-stats \
+  >"$TMP/whole.tdagg" || fail "analyze --format agg exited non-zero"
+[ -s "$TMP/whole.tdagg" ] || fail "whole-run archive is empty"
+
+# --- sharded run ------------------------------------------------------------
+"$TDAT" shard "$TMP/base.pcap" "$TMP/shards" --shards 3 >/dev/null \
+  || fail "shard exited non-zero"
+for s in 0 1 2; do
+  [ -f "$TMP/shards/shard-$s.pcap" ] || fail "missing shard-$s.pcap"
+  "$TDAT" analyze "$TMP/shards/shard-$s.pcap" --format agg --quiet-stats \
+    >"$TMP/s$s.tdagg" || fail "analyze shard-$s exited non-zero"
+done
+
+# Every merge order must serialize identically, and equal the whole run.
+"$TDAT" aggregate "$TMP/s0.tdagg" "$TMP/s1.tdagg" "$TMP/s2.tdagg" \
+  --output "$TMP/m012.tdagg" >/dev/null || fail "aggregate 012 failed"
+"$TDAT" aggregate "$TMP/s2.tdagg" "$TMP/s0.tdagg" "$TMP/s1.tdagg" \
+  --output "$TMP/m201.tdagg" >/dev/null || fail "aggregate 201 failed"
+"$TDAT" aggregate "$TMP/s1.tdagg" "$TMP/s2.tdagg" "$TMP/s0.tdagg" \
+  --output "$TMP/m120.tdagg" >/dev/null || fail "aggregate 120 failed"
+cmp -s "$TMP/m012.tdagg" "$TMP/m201.tdagg" \
+  || fail "merge order 012 vs 201 differ (merge is not order-independent)"
+cmp -s "$TMP/m012.tdagg" "$TMP/m120.tdagg" \
+  || fail "merge order 012 vs 120 differ (merge is not order-independent)"
+cmp -s "$TMP/m012.tdagg" "$TMP/whole.tdagg" \
+  || fail "merged shard archives differ from the whole-run archive"
+
+# Incremental merge (a+b, then +c) must also land on the same bytes.
+"$TDAT" aggregate "$TMP/s0.tdagg" "$TMP/s1.tdagg" \
+  --output "$TMP/ab.tdagg" >/dev/null || fail "aggregate a+b failed"
+"$TDAT" aggregate "$TMP/ab.tdagg" "$TMP/s2.tdagg" \
+  --output "$TMP/abc.tdagg" >/dev/null || fail "aggregate (a+b)+c failed"
+cmp -s "$TMP/abc.tdagg" "$TMP/whole.tdagg" \
+  || fail "incremental merge differs from the whole-run archive"
+
+# --- committed goldens ------------------------------------------------------
+# Regenerate deliberately with:
+#   tdat simulate baseline /tmp/base.pcap --sessions 4
+#   tdat analyze /tmp/base.pcap --format agg --quiet-stats \
+#     > tests/golden/aggregate_baseline.tdagg
+#   tdat aggregate tests/golden/aggregate_baseline.tdagg --by peer \
+#     --report json > tests/golden/aggregate_rollup_peer.json
+cmp -s "$TMP/whole.tdagg" "$GOLDEN_DIR/aggregate_baseline.tdagg" \
+  || fail "archive drifted from tests/golden/aggregate_baseline.tdagg" \
+          "(regenerate deliberately if the format changed)"
+"$TDAT" aggregate "$TMP/whole.tdagg" --by peer --report json \
+  >"$TMP/rollup.json" || fail "aggregate roll-up exited non-zero"
+diff -u "$GOLDEN_DIR/aggregate_rollup_peer.json" "$TMP/rollup.json" \
+  || fail "roll-up drifted from tests/golden/aggregate_rollup_peer.json"
+
+# --- diff exit codes --------------------------------------------------------
+# Same aggregate vs itself: no regressions, exit 0.
+"$TDAT" aggregate "$TMP/whole.tdagg" --diff "$TMP/whole.tdagg" >/dev/null
+[ $? -eq 0 ] || fail "self-diff should exit 0"
+# A slow-collector week vs the baseline week: regressions, exit 1.
+"$TDAT" simulate slow-collector "$TMP/slow.pcap" --sessions 4 >/dev/null \
+  || fail "simulate slow-collector exited non-zero"
+"$TDAT" analyze "$TMP/slow.pcap" --format agg --quiet-stats \
+  >"$TMP/slow.tdagg" || fail "analyze slow exited non-zero"
+"$TDAT" aggregate "$TMP/slow.tdagg" --diff "$TMP/whole.tdagg" \
+  >"$TMP/diff.txt"
+[ $? -eq 1 ] || fail "regressed diff should exit 1"
+grep -q "REGRESSED" "$TMP/diff.txt" || fail "diff output lacks REGRESSED"
+
+# Unreadable archives exit 3.
+printf 'not an archive' >"$TMP/bogus.tdagg"
+"$TDAT" aggregate "$TMP/bogus.tdagg" >/dev/null 2>&1
+[ $? -eq 3 ] || fail "bogus archive should exit 3"
+
+echo "PASS"
+exit 0

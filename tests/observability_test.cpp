@@ -303,6 +303,106 @@ TEST(LatencyHistogramTest, SinceDiffsBucketwise) {
   EXPECT_EQ(diff.buckets[histogram_bucket_index(300)], 0u);
 }
 
+// The boundary-value case the metrics/report paths must agree on: a sample
+// sitting exactly on a pow2 bucket bound. The run-scoped delta (since(),
+// what PipelineStats embeds in the JSON report) must report the same
+// extremes and quantiles as a fresh histogram fed only the delta samples
+// (what a metrics snapshot of a new run shows).
+TEST(LatencyHistogramTest, SinceAgreesWithFreshHistogramAtBucketBounds) {
+  const std::int64_t pre[] = {1, 7, 4096};  // earlier-run samples
+  // Delta samples sitting exactly on bucket edges: 8 and 16 are lower
+  // edges (2^(i-1)), 15 and 255 inclusive upper bounds (2^i - 1).
+  const std::int64_t delta[] = {8, 15, 16, 255};
+  LatencyHistogram cumulative;
+  for (const std::int64_t v : pre) cumulative.observe(v);
+  const HistogramSnapshot base = cumulative.snapshot();
+  LatencyHistogram fresh;
+  for (const std::int64_t v : delta) {
+    cumulative.observe(v);
+    fresh.observe(v);
+  }
+  const HistogramSnapshot run = cumulative.snapshot().since(base);
+  const HistogramSnapshot want = fresh.snapshot();
+  EXPECT_EQ(run.count, want.count);
+  EXPECT_EQ(run.sum, want.sum);
+  EXPECT_EQ(run.buckets, want.buckets);
+  // The carried extremes (1 and 4096) lie outside the delta's occupied
+  // buckets and must have been clamped away to the delta's own edges.
+  EXPECT_EQ(run.min, want.min);
+  EXPECT_EQ(run.max, want.max);
+  EXPECT_EQ(run.min, 8);
+  EXPECT_EQ(run.max, 255);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(run.quantile(q), want.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramSnapshotTest, MergeFromIsCommutativeWithEmptyIdentity) {
+  LatencyHistogram ha;
+  LatencyHistogram hb;
+  ha.observe(3);
+  ha.observe(500);
+  hb.observe(1);
+  hb.observe(70000);
+  const HistogramSnapshot a = ha.snapshot();
+  const HistogramSnapshot b = hb.snapshot();
+  HistogramSnapshot ab = a;
+  ab.merge_from(b);
+  HistogramSnapshot ba = b;
+  ba.merge_from(a);
+  EXPECT_EQ(ab.buckets, ba.buckets);
+  EXPECT_EQ(ab.count, ba.count);
+  EXPECT_EQ(ab.sum, ba.sum);
+  EXPECT_EQ(ab.min, ba.min);
+  EXPECT_EQ(ab.max, ba.max);
+  EXPECT_EQ(ab.min, 1);
+  EXPECT_EQ(ab.max, 70000);
+  // Merging the empty snapshot changes nothing, in either direction.
+  HistogramSnapshot id = a;
+  id.merge_from(HistogramSnapshot{});
+  EXPECT_EQ(id.buckets, a.buckets);
+  EXPECT_EQ(id.min, a.min);
+  HistogramSnapshot from_empty;
+  from_empty.merge_from(a);
+  EXPECT_EQ(from_empty.buckets, a.buckets);
+  EXPECT_EQ(from_empty.min, a.min);
+  EXPECT_EQ(from_empty.max, a.max);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+
+TEST(MetricsRegistryTest, PrometheusExpositionRendersAllMetricKinds) {
+  metrics().reset();
+  metrics().counter("test.prom_counter").inc(7);
+  metrics().gauge("test.prom_gauge").set(-3);
+  LatencyHistogram& h = metrics().histogram("test.prom_histogram");
+  h.observe(1);
+  h.observe(9);
+  h.observe(10);
+  const std::string text = metrics().to_prometheus();
+  EXPECT_NE(text.find("# TYPE tdat_test_prom_counter counter\n"
+                      "tdat_test_prom_counter 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tdat_test_prom_gauge gauge\n"
+                      "tdat_test_prom_gauge -3\n"),
+            std::string::npos);
+  // Cumulative buckets with the pow2 inclusive upper bounds: 1 sample <= 1,
+  // all three <= 15 (bucket of 9 and 10), plus the +Inf catch-all.
+  EXPECT_NE(text.find("# TYPE tdat_test_prom_histogram histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdat_test_prom_histogram_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdat_test_prom_histogram_bucket{le=\"15\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdat_test_prom_histogram_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdat_test_prom_histogram_sum 20\n"), std::string::npos);
+  EXPECT_NE(text.find("tdat_test_prom_histogram_count 3\n"),
+            std::string::npos);
+  metrics().reset();
+}
+
 // ---------------------------------------------------------------------------
 // Concurrent mutation — the test `ctest -L observability` runs under
 // TDAT_SANITIZE=thread. Exact final counts prove no increment was lost.

@@ -15,10 +15,17 @@
 //                            narrow-pipe probe-bug
 //   tdat corrupt  <in.pcap> <out.pcap> --mode M [--seed S] [--count N]
 //                 deterministically damage a capture (fault injection)
+//   tdat metrics  <trace.pcap>...             analyze quietly, print the
+//                 metrics registry in Prometheus text exposition format
+//   tdat aggregate <in.tdagg>... [--output F] merge result archives, print
+//                 fleet roll-ups, or diff against a baseline aggregate
+//   tdat shard    <in.pcap> <outdir> [--shards N]
+//                 split a capture into per-connection shards
 //
 // Exit codes: 0 = clean run; 1 = analysis completed but the input had
 // recoverable errors (ingest damage or quarantined connections) or a sidecar
-// file could not be written; 2 = usage error; 3 = unreadable input.
+// file could not be written (for `aggregate --diff`: regressions found);
+// 2 = usage error; 3 = unreadable input.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -35,12 +42,16 @@
 #include <unistd.h>
 #endif
 
+#include "agg/archive.hpp"
+#include "agg/rollup.hpp"
+#include "agg/sink.hpp"
 #include "bgp/table_gen.hpp"
 #include "core/export.hpp"
 #include "core/pass.hpp"
 #include "core/report.hpp"
 #include "core/series_names.hpp"
 #include "core/timeseq.hpp"
+#include "pcap/decode.hpp"
 #include "pcap/fault_injector.hpp"
 #include "sim/world.hpp"
 #include "util/log.hpp"
@@ -58,8 +69,12 @@ int usage() {
                " receiver|sender|middle] [--series NAME]...\n"
                "                (several files, or a directory of rotated"
                " captures, analyze as one trace)\n"
-               "                [--format text|json|csv]  output format"
-               " (--json = --format json)\n"
+               "                [--format text|json|csv|agg]  output format"
+               " (--json = --format json;\n"
+               "                 agg = binary .tdagg result archive for 'tdat"
+               " aggregate')\n"
+               "                [--run-id ID]      shard/run label stamped"
+               " into --format agg archives\n"
                "                [--detectors LIST] all, none, or"
                " comma-separated pass names (see 'tdat passes')\n"
                "                [--jobs N] [--stats|--quiet-stats]"
@@ -67,7 +82,9 @@ int usage() {
                "                [--trace FILE]     write a Chrome trace_event"
                " JSON (chrome://tracing, Perfetto)\n"
                "                [--metrics FILE]   write the metrics registry"
-               " snapshot as JSON\n"
+               " snapshot sidecar\n"
+               "                [--metrics-format json|prometheus]  sidecar"
+               " format (default json)\n"
                "                [--log-level L]    trace|debug|info|warn|error"
                "|off (default warn)\n"
                "                [--progress]       live progress ticker on"
@@ -92,8 +109,23 @@ int usage() {
                "      zero-incl-len overlong-incl-len duplicate-record"
                " reorder-records timestamp-jump\n"
                "      garbage-splice\n"
+               "  tdat metrics  <trace.pcap>... [--jobs N]\n"
+               "      analyze quietly, print Prometheus text exposition on"
+               " stdout\n"
+               "  tdat aggregate <in.tdagg>... [--output FILE]"
+               " [--report text|json]\n"
+               "                [--by peer|as|collector|run]  roll up one"
+               " dimension (default: all)\n"
+               "                [--diff BASELINE.tdagg]  regression report vs"
+               " a baseline aggregate\n"
+               "      merge is order-independent: any merge order of the same"
+               " archives is byte-identical\n"
+               "  tdat shard    <in.pcap> <outdir> [--shards N]\n"
+               "      split records into shard-K.pcap by connection (same"
+               " connection -> same shard)\n"
                "exit codes: 0 clean, 1 completed with recoverable input"
-               " errors, 2 usage, 3 unreadable input\n");
+               " errors (aggregate --diff: regressions), 2 usage,"
+               " 3 unreadable input\n");
   return 2;
 }
 
@@ -162,13 +194,15 @@ class ProgressTicker {
   std::uint64_t last_done_ = 0;
 };
 
-// Writes the process-wide metrics snapshot to `path` as one JSON object.
-bool write_metrics_file(const std::string& path) {
+// Writes the process-wide metrics snapshot to `path` — one JSON object, or
+// the Prometheus text exposition when `prometheus` (for node_exporter's
+// textfile collector and friends).
+bool write_metrics_file(const std::string& path, bool prometheus) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return false;
-  const std::string json = metrics().to_json();
-  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
-                  std::fputc('\n', f) != EOF;
+  std::string body = prometheus ? metrics().to_prometheus() : metrics().to_json();
+  if (!prometheus) body += '\n';
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
   return std::fclose(f) == 0 && ok;
 }
 
@@ -181,6 +215,7 @@ struct AnalyzeCommand {
   ReportFormat format = ReportFormat::kText;
   bool show_stats = true;
   bool progress = false;
+  bool metrics_prometheus = false;
   std::string trace_path;
   std::string metrics_path;
   std::string log_level;
@@ -247,6 +282,19 @@ Result<AnalyzeCommand> parse_analyze_args(int argc, char** argv) {
     } else if (arg == "--metrics") {
       TDAT_TRY(path, value_of(i));
       cmd.metrics_path = std::move(path);
+    } else if (arg == "--metrics-format") {
+      TDAT_TRY(fmt, value_of(i));
+      if (fmt == "prometheus") {
+        cmd.metrics_prometheus = true;
+      } else if (fmt == "json") {
+        cmd.metrics_prometheus = false;
+      } else {
+        return Err<AnalyzeCommand>("--metrics-format: unknown format '" + fmt +
+                                   "' (valid: json, prometheus)");
+      }
+    } else if (arg == "--run-id") {
+      TDAT_TRY(id, value_of(i));
+      cmd.render.run_id = std::move(id);
     } else if (arg == "--log-level") {
       TDAT_TRY(level, value_of(i));
       cmd.log_level = std::move(level);
@@ -314,7 +362,8 @@ int cmd_analyze(int argc, char** argv) {
     std::fprintf(stderr, "cannot write trace to %s\n", cmd.trace_path.c_str());
     rc = 1;
   }
-  if (!cmd.metrics_path.empty() && !write_metrics_file(cmd.metrics_path)) {
+  if (!cmd.metrics_path.empty() &&
+      !write_metrics_file(cmd.metrics_path, cmd.metrics_prometheus)) {
     std::fprintf(stderr, "cannot write metrics to %s\n",
                  cmd.metrics_path.c_str());
     rc = 1;
@@ -590,9 +639,216 @@ int cmd_corrupt(int argc, char** argv) {
   return 0;
 }
 
+// `tdat metrics`: run the analysis pipeline with its reports suppressed and
+// print the metrics registry as Prometheus text exposition — the one-shot
+// scrape form of `analyze --metrics F --metrics-format prometheus`.
+int cmd_metrics(int argc, char** argv) {
+  AnalyzerOptions opts;
+  opts.jobs = 0;
+  std::vector<std::string> inputs;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      opts.jobs = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+      std::fprintf(stderr, "tdat metrics: unknown flag '%s'\n",
+                   std::string(arg).c_str());
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+  const auto analyzed = analyze_files(inputs, opts);
+  if (!analyzed.ok()) {
+    std::fprintf(stderr, "%s\n", analyzed.error().c_str());
+    return 3;
+  }
+  const std::string body = metrics().to_prometheus();
+  std::fwrite(body.data(), 1, body.size(), stdout);
+  return analyzed.value().stats.ingest.has_errors() ||
+                 analyzed.value().stats.quarantined > 0
+             ? 1
+             : 0;
+}
+
+Result<agg::RollupBy> parse_rollup_by(const std::string& value) {
+  if (value == "peer") return agg::RollupBy::kPeer;
+  if (value == "as") return agg::RollupBy::kAs;
+  if (value == "collector") return agg::RollupBy::kCollector;
+  if (value == "run") return agg::RollupBy::kRun;
+  return Err<agg::RollupBy>("unknown dimension '" + value +
+                            "' (valid: peer, as, collector, run)");
+}
+
+// `tdat aggregate`: merge N archives (associative and order-independent —
+// the merged bytes are a pure function of the input multiset), then either
+// write the merged archive, print roll-ups, or diff against a baseline.
+int cmd_aggregate(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::string diff_path;
+  bool json = false;
+  std::optional<agg::RollupBy> by;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value_of = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--output") {
+      const char* v = value_of();
+      if (v == nullptr) return usage();
+      output = v;
+    } else if (arg == "--diff") {
+      const char* v = value_of();
+      if (v == nullptr) return usage();
+      diff_path = v;
+    } else if (arg == "--report") {
+      const char* v = value_of();
+      if (v == nullptr || (std::strcmp(v, "text") != 0 &&
+                           std::strcmp(v, "json") != 0)) {
+        std::fprintf(stderr,
+                     "tdat aggregate: --report: valid formats: text, json\n");
+        return 2;
+      }
+      json = std::strcmp(v, "json") == 0;
+    } else if (arg == "--by") {
+      const char* v = value_of();
+      auto parsed = parse_rollup_by(v == nullptr ? "" : v);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "tdat aggregate: --by: %s\n",
+                     parsed.error().c_str());
+        return 2;
+      }
+      by = parsed.value();
+    } else if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+      std::fprintf(stderr, "tdat aggregate: unknown flag '%s'\n",
+                   std::string(arg).c_str());
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+  agg::Archive merged;
+  for (const std::string& path : inputs) {
+    auto archive = agg::read_archive_file(path);
+    if (!archive.ok()) {
+      std::fprintf(stderr, "tdat aggregate: %s\n", archive.error().c_str());
+      return 3;
+    }
+    merged.merge_from(archive.value());
+  }
+  if (!output.empty() && !agg::write_archive_file(output, merged)) {
+    std::fprintf(stderr, "tdat aggregate: cannot write %s\n", output.c_str());
+    return 1;
+  }
+  if (!diff_path.empty()) {
+    auto baseline = agg::read_archive_file(diff_path);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "tdat aggregate: %s\n", baseline.error().c_str());
+      return 3;
+    }
+    agg::DiffOptions opts;
+    if (by) opts.by = *by;
+    const agg::RollupDiff diff =
+        agg::diff_rollups(baseline.value(), merged, opts);
+    const std::string body =
+        json ? agg::render_diff_json(diff) + "\n" : agg::render_diff_text(diff);
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    return diff.regressed_count() > 0 ? 1 : 0;
+  }
+  {
+    // Roll-up report: one dimension with --by, otherwise the §IV trio
+    // (peer, AS, collector).
+    const std::vector<agg::RollupBy> dims =
+        by ? std::vector<agg::RollupBy>{*by}
+           : std::vector<agg::RollupBy>{agg::RollupBy::kPeer,
+                                        agg::RollupBy::kAs,
+                                        agg::RollupBy::kCollector};
+    std::string body;
+    if (json) {
+      body += '{';
+      bool first = true;
+      for (const agg::RollupBy dim : dims) {
+        if (!first) body += ", ";
+        first = false;
+        body += '"';
+        body += agg::to_string(dim);
+        body += "\": ";
+        body += agg::render_rollup_json(agg::build_rollup(merged, dim));
+      }
+      body += "}\n";
+    } else {
+      for (const agg::RollupBy dim : dims) {
+        body += agg::render_rollup_text(agg::build_rollup(merged, dim));
+      }
+    }
+    std::fwrite(body.data(), 1, body.size(), stdout);
+  }
+  return 0;
+}
+
+// `tdat shard`: split a capture into N per-connection shards — every packet
+// of a connection lands in the same shard (conn_key_hash), so analyzing the
+// shards separately and merging their archives must reproduce the whole-run
+// archive byte for byte (the CI equivalence gate).
+int cmd_shard(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string in_path = argv[0];
+  const std::string out_dir = argv[1];
+  std::size_t shards = 2;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      const long v = std::atol(argv[++i]);
+      if (v < 1) {
+        std::fprintf(stderr, "tdat shard: --shards: need a positive count\n");
+        return 2;
+      }
+      shards = static_cast<std::size_t>(v);
+    } else {
+      return usage();
+    }
+  }
+  const auto trace = read_pcap_file(in_path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "%s\n", trace.error().c_str());
+    return 3;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  std::vector<PcapFile> out(shards);
+  for (PcapFile& f : out) {
+    f.nanosecond = trace.value().nanosecond;
+    f.snaplen = trace.value().snaplen;
+  }
+  std::size_t index = 0;
+  for (const PcapRecord& rec : trace.value().records) {
+    // Undecodable (non-TCP) records go to shard 0 so nothing is lost.
+    std::size_t shard = 0;
+    if (const auto pkt = decode_frame(rec.ts, index++, rec.data)) {
+      shard = conn_key_hash(make_conn_key(*pkt)) % shards;
+    }
+    out[shard].records.push_back(rec);
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::string path =
+        out_dir + "/shard-" + std::to_string(s) + ".pcap";
+    if (!write_pcap_file(path, out[s])) {
+      std::fprintf(stderr, "tdat shard: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("%s: %zu records\n", path.c_str(), out[s].records.size());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Wire the .tdagg archive renderer behind `--format agg` before any
+  // command can render a report (core dispatches through the hook).
+  agg::register_aggregate_sink();
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "analyze") return cmd_analyze(argc - 2, argv + 2);
@@ -602,5 +858,8 @@ int main(int argc, char** argv) {
   if (cmd == "timeseq") return cmd_timeseq(argc - 2, argv + 2);
   if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
   if (cmd == "corrupt") return cmd_corrupt(argc - 2, argv + 2);
+  if (cmd == "metrics") return cmd_metrics(argc - 2, argv + 2);
+  if (cmd == "aggregate") return cmd_aggregate(argc - 2, argv + 2);
+  if (cmd == "shard") return cmd_shard(argc - 2, argv + 2);
   return usage();
 }
