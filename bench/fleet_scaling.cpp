@@ -1,0 +1,186 @@
+// Fleet scaling: merged-archive throughput of `tdat fleet` style runs at
+// 1/2/4 workers over a multi-session capture, emitting BENCH_fleet.json
+// (path overridable via argv[1]).
+//
+// Every fleet run's merged .tdagg is compared byte-for-byte against the
+// single-process whole-capture archive — a scaling number for output that
+// differs from the serial truth would be worthless, so any mismatch makes
+// the benchmark exit non-zero. cpu_cores is recorded honestly: on runners
+// with fewer cores than workers the per-worker rates measure scheduling
+// overhead, not scaling, and readers of the JSON can see that.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "agg/sink.hpp"
+#include "bgp/table_gen.hpp"
+#include "core/analyzer.hpp"
+#include "core/report.hpp"
+#include "core/trace_source.hpp"
+#include "fleet/coordinator.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace tdat;
+
+constexpr std::size_t kSessions = 32;
+constexpr std::size_t kPrefixes = 5'000;
+constexpr char kRunId[] = "bench-fleet";
+
+PcapFile make_trace() {
+  SimWorld world(4242);
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    SessionSpec spec;
+    if (i % 4 == 1) spec.up_fwd.random_loss = 0.005;
+    if (i % 4 == 2) spec.receiver_tcp.recv_buf_capacity = 16 * 1024;
+    Rng rng(9300 + 17 * i);
+    TableGenConfig tg;
+    tg.prefix_count = kPrefixes;
+    ids.push_back(
+        world.add_session(spec, serialize_updates(generate_table(tg, rng))));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    world.start_session(ids[i], static_cast<Micros>(i) * 20 * kMicrosPerMilli);
+  }
+  world.run_until(900 * kMicrosPerSec);
+  return world.take_trace();
+}
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct FleetRun {
+  std::size_t workers = 0;
+  double best_wall_s = 1e100;
+  bool identical = false;
+  fleet::FleetStats stats;  // from the best run
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("cpu cores: %u\n", cores);
+
+  std::printf("building %zu-session trace (%zu prefixes each)...\n", kSessions,
+              kPrefixes);
+  const PcapFile trace = make_trace();
+  const std::string tmp_pcap = out_path + ".tmp.pcap";
+  if (!write_pcap_file(tmp_pcap, trace)) {
+    std::fprintf(stderr, "cannot write %s\n", tmp_pcap.c_str());
+    return 1;
+  }
+
+  // The serial truth: one process, whole capture, same run id.
+  std::string whole;
+  double whole_wall_s = 1e100;
+  std::uint64_t capture_bytes = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto source = PcapStreamSource::open(tmp_pcap, false);
+    if (!source.ok()) {
+      std::fprintf(stderr, "open: %s\n", source.error().c_str());
+      std::remove(tmp_pcap.c_str());
+      return 1;
+    }
+    AnalyzerOptions opts;
+    opts.jobs = 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    const TraceAnalysis analysis = run_pipeline(source.value(), opts);
+    const ReportModel model = build_report_model(analysis);
+    whole = agg::build_archive(model, kRunId).serialize();
+    const double wall = wall_seconds_since(t0);
+    if (wall < whole_wall_s) whole_wall_s = wall;
+    capture_bytes = analysis.stats.bytes_ingested;
+  }
+  std::printf("whole-capture archive: %zu bytes in %.3fs (%.1f MB/s)\n",
+              whole.size(), whole_wall_s,
+              static_cast<double>(capture_bytes) / whole_wall_s / 1e6);
+
+  std::vector<FleetRun> runs;
+  bool all_identical = true;
+  for (const std::size_t workers : {1, 2, 4}) {
+    FleetRun run;
+    run.workers = workers;
+    for (int rep = 0; rep < 3; ++rep) {
+      fleet::FleetOptions opts;
+      opts.workers = workers;
+      opts.run_id = kRunId;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto outcome = fleet::run_fleet(tmp_pcap, opts);
+      const double wall = wall_seconds_since(t0);
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "fleet workers=%zu: %s\n", workers,
+                     outcome.error().c_str());
+        std::remove(tmp_pcap.c_str());
+        return 1;
+      }
+      if (rep == 0) {
+        run.identical = outcome.value().archive.serialize() == whole;
+      }
+      if (wall < run.best_wall_s) {
+        run.best_wall_s = wall;
+        run.stats = std::move(outcome.value().stats);
+      }
+    }
+    all_identical = all_identical && run.identical;
+    std::printf(
+        "fleet workers=%zu: %.3fs best of 3, %.1f MB/s aggregate, "
+        "%zu shards, identical=%s\n",
+        workers, run.best_wall_s, run.stats.bytes_per_sec() / 1e6,
+        run.stats.shards, run.identical ? "yes" : "NO");
+    runs.push_back(std::move(run));
+  }
+  std::remove(tmp_pcap.c_str());
+  std::printf("all merged archives identical to whole-capture: %s\n",
+              all_identical ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"cpu_cores\": %u,\n"
+               "  \"parallel_rates_meaningful\": %s,\n"
+               "  \"sessions\": %zu,\n  \"prefixes_per_session\": %zu,\n"
+               "  \"capture_bytes\": %llu,\n"
+               "  \"whole_capture_wall_s\": %.6f,\n  \"runs\": [\n",
+               cores, cores >= 4 ? "true" : "false", kSessions, kPrefixes,
+               static_cast<unsigned long long>(capture_bytes), whole_wall_s);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const FleetRun& run = runs[i];
+    std::fprintf(f,
+                 "    {\"workers\": %zu, \"best_wall_s\": %.6f, "
+                 "\"aggregate_mb_per_s\": %.1f, \"shards\": %zu, "
+                 "\"reassignments\": %zu, \"plan_wall_s\": %.6f, "
+                 "\"identical_to_whole\": %s,\n     \"per_worker\": [",
+                 run.workers, run.best_wall_s,
+                 run.stats.bytes_per_sec() / 1e6, run.stats.shards,
+                 run.stats.reassignments,
+                 static_cast<double>(run.stats.plan_wall_us) / 1e6,
+                 run.identical ? "true" : "false");
+    for (std::size_t w = 0; w < run.stats.per_worker.size(); ++w) {
+      const fleet::WorkerStats& ws = run.stats.per_worker[w];
+      std::fprintf(f,
+                   "%s{\"worker\": %u, \"shards\": %zu, \"records\": %llu, "
+                   "\"mb_per_s\": %.1f}",
+                   w == 0 ? "" : ", ", ws.worker_id, ws.shards_done,
+                   static_cast<unsigned long long>(ws.records),
+                   ws.bytes_per_sec() / 1e6);
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"all_identical\": %s\n}\n",
+               all_identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}

@@ -226,6 +226,50 @@ bool scan_number(const std::string& json, const std::string& key,
   return true;
 }
 
+// Multi-job scaling assertion: with enough real cores, mmap jobs=8 must not
+// be slower than 90% of mmap jobs=1 — a pool that serializes or contends its
+// way below the serial reader is a regression. On small runners (< 4 cores)
+// the parallel numbers measure the scheduler, not the code, so the check is
+// SKIPPED out loud instead of silently passing.
+constexpr unsigned kMinCoresForScaling = 4;
+constexpr double kScalingFloor = 0.9;
+
+// "pass", "fail", or "skipped_lt4cores" — recorded in the gate's JSON so a
+// 1-core CI runner can never masquerade as having exercised the check.
+std::string check_parallel_scaling(const IngestBench& bench, unsigned cores,
+                                   bool& ok) {
+  const IngestRun* mmap1 = nullptr;
+  const IngestRun* mmap8 = nullptr;
+  for (const IngestRun& run : bench.runs) {
+    if (run.mmap && run.jobs == 1) mmap1 = &run;
+    if (run.mmap && run.jobs == 8) mmap8 = &run;
+  }
+  if (mmap1 == nullptr || mmap8 == nullptr || mmap1->mb_per_s() <= 0) {
+    std::fprintf(stderr, "gate: scaling check has no mmap jobs=1/8 runs\n");
+    ok = false;
+    return "fail";
+  }
+  if (cores < kMinCoresForScaling) {
+    std::printf(
+        "gate: SKIP multi-job scaling check — %u core%s (< %u): parallel "
+        "rates are not meaningful on this runner\n",
+        cores, cores == 1 ? "" : "s", kMinCoresForScaling);
+    return "skipped_lt4cores";
+  }
+  const double scaling = mmap8->mb_per_s() / mmap1->mb_per_s();
+  std::printf("gate: scaling mmap jobs=8 vs jobs=1: %.3fx (floor %.2f)\n",
+              scaling, kScalingFloor);
+  if (scaling < kScalingFloor) {
+    std::fprintf(stderr,
+                 "gate: FAIL — mmap jobs=8 fell below %.0f%% of jobs=1 on a "
+                 "%u-core runner\n",
+                 kScalingFloor * 100, cores);
+    ok = false;
+    return "fail";
+  }
+  return "pass";
+}
+
 int run_gate(const std::string& baseline_path, double min_ratio) {
   std::FILE* f = std::fopen(baseline_path.c_str(), "rb");
   if (!f) {
@@ -259,21 +303,44 @@ int run_gate(const std::string& baseline_path, double min_ratio) {
   std::printf("gate: current %.1f MB/s vs baseline %.1f MB/s "
               "(ratio %.3f, floor %.2f)\n",
               bench.headline_mb_per_s, base_headline, ratio, min_ratio);
-  if (static_cast<unsigned>(base_cores) != cores) {
+
+  bool ok = true;
+  const bool comparable = static_cast<unsigned>(base_cores) == cores;
+  if (!comparable) {
     std::printf("gate: baseline recorded on %u cores, this runner has %u — "
-                "advisory only, passing\n",
+                "headline comparison is advisory only\n",
                 static_cast<unsigned>(base_cores), cores);
-    return 0;
-  }
-  if (ratio < min_ratio) {
+  } else if (ratio < min_ratio) {
     std::fprintf(stderr,
                  "gate: FAIL — ingest throughput regressed below %.0f%% of "
                  "the committed baseline\n",
                  min_ratio * 100);
-    return 1;
+    ok = false;
   }
-  std::printf("gate: PASS\n");
-  return 0;
+  const std::string scaling = check_parallel_scaling(bench, cores, ok);
+
+  // Record what this gate run actually measured — and, crucially, how many
+  // cores it measured on — so CI artifacts can't pass off a 1-core run as a
+  // scaling-verified one.
+  if (std::FILE* gf = std::fopen("BENCH_gate.json", "w")) {
+    std::fprintf(gf,
+                 "{\n  \"cpu_cores\": %u,\n  \"baseline_cpu_cores\": %u,\n"
+                 "  \"headline_ingest_mb_per_s\": %.1f,\n"
+                 "  \"baseline_headline_mb_per_s\": %.1f,\n"
+                 "  \"headline_ratio\": %.3f,\n"
+                 "  \"headline_comparable\": %s,\n"
+                 "  \"scaling_check\": \"%s\",\n"
+                 "  \"pass\": %s\n}\n",
+                 cores, static_cast<unsigned>(base_cores),
+                 bench.headline_mb_per_s, base_headline, ratio,
+                 comparable ? "true" : "false", scaling.c_str(),
+                 ok ? "true" : "false");
+    std::fclose(gf);
+    std::printf("gate: wrote BENCH_gate.json (cpu_cores=%u, scaling=%s)\n",
+                cores, scaling.c_str());
+  }
+  std::printf("gate: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -400,9 +467,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f,
-               "{\n  \"cpu_cores\": %u,\n  \"alloc_hook\": %s,\n"
+               "{\n  \"cpu_cores\": %u,\n"
+               "  \"parallel_rates_meaningful\": %s,\n"
+               "  \"alloc_hook\": %s,\n"
                "  \"prefixes_per_session\": %zu,\n  \"sizes\": [\n",
-               cores, alloc_hook_active() ? "true" : "false", kPrefixes);
+               cores, cores >= kMinCoresForScaling ? "true" : "false",
+               alloc_hook_active() ? "true" : "false", kPrefixes);
   for (std::size_t s = 0; s < sizes.size(); ++s) {
     const SizeResult& size = sizes[s];
     std::fprintf(f,

@@ -204,4 +204,36 @@ void MultiFileSource::collect_file_diagnostics(
   }
 }
 
+// ------------------------------------------------------ OffsetRunSource --
+
+Result<OffsetRunSource> OffsetRunSource::open(const std::string& path,
+                                              std::vector<RecordRun> runs,
+                                              bool verify_checksums) {
+  TDAT_TRY(mapped, MappedFile::map(path));
+  TDAT_TRY(reader, RecordRunReader::open(mapped.share(), mapped.bytes(),
+                                         std::move(runs)));
+  return OffsetRunSource(std::move(reader), verify_checksums);
+}
+
+bool OffsetRunSource::next(DecodedPacket& out) {
+  StreamRecord rec;
+  while (reader_.next(rec)) {
+    const std::size_t i = index_++;
+    if (rec.data.size() < rec.orig_len) continue;  // truncated capture
+    if (auto pkt = decode_frame(rec.ts, i, rec.data, verify_checksums_,
+                                rec.arena)) {
+      out = std::move(*pkt);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t OffsetRunSource::next_raw_records(std::span<StreamRecord> out) {
+  std::size_t n = 0;
+  while (n < out.size() && reader_.next(out[n])) ++n;
+  index_ += n;
+  return n;
+}
+
 }  // namespace tdat

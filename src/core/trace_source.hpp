@@ -24,9 +24,11 @@
 #include <string>
 #include <vector>
 
+#include "pcap/mmap_file.hpp"
 #include "pcap/packet.hpp"
 #include "pcap/pcap_file.hpp"
 #include "pcap/pcap_stream.hpp"
+#include "pcap/record_runs.hpp"
 #include "util/result.hpp"
 
 namespace tdat {
@@ -190,6 +192,46 @@ class MultiFileSource final : public TraceSource {
   std::size_t current_ = 0;
   std::size_t index_ = 0;    // continuous global record index
   bool verify_checksums_ = false;
+};
+
+// Fleet-worker ingest: mmaps the capture and serves only the records named
+// by a shard plan's offset runs (pcap/record_runs.hpp), zero-copy out of the
+// shared mapping. The plan sweep already saw — and accounted — every damaged
+// region, so this source's own diagnostics are always clean; the coordinator
+// injects the plan-time IngestDiagnostics into the merged archive instead
+// (DESIGN.md §14). After the drain, failed() reports a plan/image mismatch
+// (stale plan over a rewritten capture), which the worker must surface as an
+// ingest error rather than silently returning a partial archive.
+class OffsetRunSource final : public TraceSource {
+ public:
+  [[nodiscard]] static Result<OffsetRunSource> open(const std::string& path,
+                                                    std::vector<RecordRun> runs,
+                                                    bool verify_checksums);
+
+  [[nodiscard]] bool next(DecodedPacket& out) override;
+  [[nodiscard]] bool supports_raw_records() const override { return true; }
+  [[nodiscard]] std::size_t next_raw_records(
+      std::span<StreamRecord> out) override;
+  // The 24-byte global header is charged here (the plan made this worker read
+  // it), record header + stored bytes per served record — the same accounting
+  // rule as every other capture-backed source.
+  [[nodiscard]] std::uint64_t bytes_ingested() const override {
+    return 24 + reader_.bytes_read();
+  }
+  [[nodiscard]] std::uint64_t records_seen() const override {
+    return reader_.records_read();
+  }
+
+  [[nodiscard]] bool failed() const { return reader_.failed(); }
+  [[nodiscard]] const std::string& error() const { return reader_.error(); }
+
+ private:
+  OffsetRunSource(RecordRunReader reader, bool verify_checksums)
+      : reader_(std::move(reader)), verify_checksums_(verify_checksums) {}
+
+  RecordRunReader reader_;
+  bool verify_checksums_;
+  std::size_t index_ = 0;  // local indices; archives never depend on them
 };
 
 }  // namespace tdat

@@ -1,0 +1,523 @@
+#include "fleet/coordinator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <netdb.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "fleet/shard_plan.hpp"
+#include "fleet/wire.hpp"
+#include "fleet/worker.hpp"
+#include "util/metrics.hpp"
+
+namespace tdat::fleet {
+
+double WorkerStats::bytes_per_sec() const {
+  if (busy_us == 0) return 0.0;
+  return static_cast<double>(bytes_ingested) * 1e6 /
+         static_cast<double>(busy_us);
+}
+
+double FleetStats::bytes_per_sec() const {
+  if (total_wall_us == 0) return 0.0;
+  return static_cast<double>(capture_bytes) * 1e6 /
+         static_cast<double>(total_wall_us);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::uint64_t us_since(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+// One connected worker, local (forked over a socketpair, pid set) or remote
+// (accepted over the listener, pid 0). The fd runs nonblocking; `in`/`out`
+// buffer partial frames across poll rounds.
+struct Peer {
+  std::uint32_t id = 0;
+  int fd = -1;
+  pid_t pid = 0;
+  bool hello = false;
+  int shard = -1;  // outstanding shard index, -1 when idle
+  Clock::time_point last_seen;
+  std::vector<std::uint8_t> in;
+  std::vector<std::uint8_t> out;
+  WorkerStats stats;
+};
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_blocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+}
+
+// Forks one local worker over a socketpair. The child closes every
+// coordinator-side descriptor it inherited (a dead peer must read as EOF the
+// moment the coordinator closes its end, not linger on a sibling's copy) and
+// _exit()s without running atexit handlers — the parent owns the stdio
+// buffers it forked with.
+[[nodiscard]] Result<Peer> spawn_local_worker(
+    std::uint32_t id, const std::vector<int>& inherited_fds) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    return Err<Peer>("fleet: socketpair failed");
+  }
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return Err<Peer>("fleet: fork failed");
+  }
+  if (pid == 0) {
+    ::close(sv[0]);
+    for (const int fd : inherited_fds) {
+      if (fd >= 0) ::close(fd);
+    }
+    _exit(run_worker(sv[1]));
+  }
+  ::close(sv[1]);
+  set_nonblocking(sv[0]);
+  Peer peer;
+  peer.id = id;
+  peer.fd = sv[0];
+  peer.pid = pid;
+  peer.last_seen = Clock::now();
+  peer.stats.worker_id = id;
+  return peer;
+}
+
+[[nodiscard]] Result<int> open_listener(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  const std::string host = colon == std::string::npos ? "" : spec.substr(0, colon);
+  const std::string port =
+      colon == std::string::npos ? spec : spec.substr(colon + 1);
+  if (port.empty()) return Err<int>("fleet: --listen needs HOST:PORT");
+
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* res = nullptr;
+  if (::getaddrinfo(host.empty() ? nullptr : host.c_str(), port.c_str(),
+                    &hints, &res) != 0) {
+    return Err<int>("fleet: cannot resolve listen address " + spec);
+  }
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 && ::listen(fd, 16) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) return Err<int>("fleet: cannot listen on " + spec);
+  set_nonblocking(fd);
+  return fd;
+}
+
+// Everything the poll loop threads through; keeps run_fleet_impl readable.
+struct Fleet {
+  Fleet(const std::string& capture_in, const FleetOptions& opts_in)
+      : capture(capture_in), opts(opts_in) {}
+
+  const std::string& capture;
+  const FleetOptions& opts;
+  ShardPlan plan;
+  std::deque<std::uint32_t> queue;  // shards awaiting a worker
+  std::vector<Peer> peers;
+  agg::Archive merged;
+  FleetStats stats;
+  std::size_t done = 0;
+  std::size_t worker_errors = 0;
+  std::string last_error;
+  std::uint32_t next_id = 0;
+  int listen_fd = -1;
+
+  [[nodiscard]] std::vector<int> coordinator_fds() const {
+    std::vector<int> fds;
+    fds.reserve(peers.size() + 1);
+    for (const Peer& p : peers) fds.push_back(p.fd);
+    if (listen_fd >= 0) fds.push_back(listen_fd);
+    return fds;
+  }
+};
+
+void enqueue_assignment(Fleet& fleet, Peer& peer) {
+  const std::uint32_t shard = fleet.queue.front();
+  fleet.queue.pop_front();
+  AssignMessage assign;
+  assign.worker_id = peer.id;
+  assign.shard_index = shard;
+  assign.capture = fleet.capture;
+  assign.run_id = fleet.opts.run_id;
+  assign.jobs = static_cast<std::uint32_t>(
+      fleet.opts.analyzer.jobs == 0 ? 1 : fleet.opts.analyzer.jobs);
+  assign.location = static_cast<std::uint8_t>(fleet.opts.analyzer.location);
+  assign.verify_checksums = fleet.opts.analyzer.verify_checksums ? 1 : 0;
+  assign.pass_bits = fleet.opts.analyzer.passes.bits;
+  assign.heartbeat_ms = fleet.opts.heartbeat_ms;
+  assign.runs = fleet.plan.shards[shard].runs;
+  append_frame(peer.out, MsgType::kAssign, assign.encode());
+  peer.shard = static_cast<int>(shard);
+  peer.last_seen = Clock::now();
+  metrics().gauge("fleet.queue_depth")
+      .set(static_cast<std::int64_t>(fleet.queue.size()));
+}
+
+// Takes the peer off the fleet: close, reap, and put any outstanding shard
+// back on the queue.
+void drop_peer(Fleet& fleet, std::size_t index, bool reassign) {
+  Peer& peer = fleet.peers[index];
+  if (peer.fd >= 0) ::close(peer.fd);
+  if (peer.pid > 0) {
+    (void)::kill(peer.pid, SIGKILL);
+    (void)::waitpid(peer.pid, nullptr, 0);
+  }
+  if (peer.shard >= 0 && reassign) {
+    fleet.queue.push_back(static_cast<std::uint32_t>(peer.shard));
+    ++fleet.stats.reassignments;
+    metrics().counter("fleet.reassignments").inc();
+  }
+  fleet.peers.erase(fleet.peers.begin() + static_cast<std::ptrdiff_t>(index));
+  metrics().gauge("fleet.workers_live")
+      .set(static_cast<std::int64_t>(fleet.peers.size()));
+}
+
+// Handles one decoded frame from `peer`. Returns false when the frame means
+// the peer must be dropped.
+[[nodiscard]] bool handle_frame(Fleet& fleet, Peer& peer, const Frame& frame) {
+  peer.last_seen = Clock::now();
+  switch (frame.type) {
+    case MsgType::kHello: {
+      peer.hello = HelloMessage::decode(frame.payload).ok();
+      return peer.hello;
+    }
+    case MsgType::kHeartbeat:
+      return HeartbeatMessage::decode(frame.payload).ok();
+    case MsgType::kResult: {
+      auto result = ResultMessage::decode(frame.payload);
+      if (!result.ok() ||
+          peer.shard != static_cast<int>(result.value().shard_index)) {
+        return false;
+      }
+      auto archive = agg::parse_archive(std::span<const std::uint8_t>(
+          result.value().archive.data(), result.value().archive.size()));
+      if (!archive.ok()) {
+        fleet.last_error = "worker " + std::to_string(peer.id) +
+                           " returned a bad archive: " + archive.error();
+        return false;
+      }
+      // Incremental merge, inline before the next poll: a worker that
+      // outruns this merge simply blocks in its next socket write — that IS
+      // the backpressure.
+      fleet.merged.merge_from(archive.value());
+      peer.shard = -1;
+      ++fleet.done;
+      ++peer.stats.shards_done;
+      peer.stats.records += result.value().records;
+      peer.stats.bytes_ingested += result.value().bytes_ingested;
+      peer.stats.busy_us += result.value().wall_us;
+      metrics().counter("fleet.shards_done").inc();
+      metrics()
+          .gauge("fleet.worker." + std::to_string(peer.id) + ".bytes_per_sec")
+          .set(static_cast<std::int64_t>(peer.stats.bytes_per_sec()));
+      return true;
+    }
+    case MsgType::kError: {
+      auto err = ErrorMessage::decode(frame.payload);
+      if (!err.ok() || peer.shard < 0) return false;
+      fleet.last_error = "worker " + std::to_string(peer.id) + ", shard " +
+                         std::to_string(peer.shard) + ": " +
+                         err.value().message;
+      ++fleet.worker_errors;
+      metrics().counter("fleet.worker_errors").inc();
+      // The shard goes back on the queue (maybe only this worker's view of
+      // the capture is broken); the global error budget stops a capture
+      // problem from ping-ponging forever.
+      fleet.queue.push_back(static_cast<std::uint32_t>(peer.shard));
+      ++fleet.stats.reassignments;
+      metrics().counter("fleet.reassignments").inc();
+      peer.shard = -1;
+      return true;
+    }
+    default:
+      return false;  // coordinator-only frame types coming FROM a worker
+  }
+}
+
+// Drains readable bytes and decodes as many frames as arrived. Returns false
+// when the peer hit EOF, a read error, or a protocol violation.
+[[nodiscard]] bool service_read(Fleet& fleet, Peer& peer) {
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(peer.fd, buf, sizeof(buf));
+    if (n > 0) {
+      peer.in.insert(peer.in.end(), buf, buf + n);
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  std::size_t off = 0;
+  for (;;) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const FrameStatus status = decode_frame(
+        std::span<const std::uint8_t>(peer.in.data() + off,
+                                      peer.in.size() - off),
+        frame, consumed);
+    if (status == FrameStatus::kBad) return false;
+    if (status == FrameStatus::kNeedMore) break;
+    off += consumed;
+    if (!handle_frame(fleet, peer, frame)) return false;
+  }
+  peer.in.erase(peer.in.begin(), peer.in.begin() + static_cast<std::ptrdiff_t>(off));
+  return true;
+}
+
+[[nodiscard]] bool service_write(Peer& peer) {
+  while (!peer.out.empty()) {
+    const ssize_t n = ::write(peer.fd, peer.out.data(), peer.out.size());
+    if (n > 0) {
+      peer.out.erase(peer.out.begin(), peer.out.begin() + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void accept_remote_workers(Fleet& fleet) {
+  for (;;) {
+    const int fd = ::accept(fleet.listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    set_nonblocking(fd);
+    Peer peer;
+    peer.id = fleet.next_id++;
+    peer.fd = fd;
+    peer.pid = 0;
+    peer.last_seen = Clock::now();
+    peer.stats.worker_id = peer.id;
+    peer.stats.remote = true;
+    ++fleet.stats.workers;
+    fleet.peers.push_back(std::move(peer));
+    metrics().gauge("fleet.workers_live")
+        .set(static_cast<std::int64_t>(fleet.peers.size()));
+  }
+}
+
+Result<FleetOutcome> run_fleet_impl(const std::string& capture,
+                                    const FleetOptions& opts) {
+  if (opts.workers == 0) {
+    return Err<FleetOutcome>("fleet: need at least one worker");
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+  const auto started = Clock::now();
+  const std::size_t shard_count =
+      opts.shards == 0 ? opts.workers : opts.shards;
+
+  Fleet fleet{capture, opts};
+  {
+    const auto plan_start = Clock::now();
+    auto plan = build_shard_plan(capture, shard_count, opts.analyzer.ingest,
+                                 opts.analyzer.verify_checksums);
+    if (!plan.ok()) return plan.take_error();
+    fleet.plan = std::move(plan).value();
+    fleet.stats.plan_wall_us = us_since(plan_start);
+  }
+  fleet.stats.shards = shard_count;
+  fleet.stats.records = fleet.plan.records;
+  fleet.stats.packets = fleet.plan.packets;
+  fleet.stats.capture_bytes = fleet.plan.capture_bytes;
+  for (std::uint32_t s = 0; s < shard_count; ++s) fleet.queue.push_back(s);
+  metrics().gauge("fleet.queue_depth")
+      .set(static_cast<std::int64_t>(fleet.queue.size()));
+
+  const bool remote = !opts.listen.empty();
+  if (remote) {
+    auto listener = open_listener(opts.listen);
+    if (!listener.ok()) return listener.take_error();
+    fleet.listen_fd = listener.value();
+  } else {
+    for (std::size_t w = 0; w < opts.workers; ++w) {
+      auto peer = spawn_local_worker(fleet.next_id, fleet.coordinator_fds());
+      if (!peer.ok()) return peer.take_error();
+      ++fleet.next_id;
+      ++fleet.stats.workers;
+      fleet.peers.push_back(std::move(peer).value());
+    }
+  }
+  metrics().gauge("fleet.workers_live")
+      .set(static_cast<std::int64_t>(fleet.peers.size()));
+
+  const std::size_t error_budget = std::max<std::size_t>(4, shard_count * 2);
+  std::size_t respawns_left = remote ? 0 : opts.max_respawns;
+
+  std::vector<struct pollfd> fds;
+  while (fleet.done < shard_count) {
+    if (fleet.worker_errors > error_budget) {
+      return Err<FleetOutcome>("fleet: workers kept failing (" +
+                               fleet.last_error + ")");
+    }
+    // Declare dead anyone silent too long with work outstanding; requeue and
+    // (local mode) refill the fleet.
+    const auto now = Clock::now();
+    for (std::size_t i = fleet.peers.size(); i-- > 0;) {
+      Peer& peer = fleet.peers[i];
+      if (peer.shard >= 0 &&
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              now - peer.last_seen)
+                  .count() > opts.timeout_ms) {
+        drop_peer(fleet, i, /*reassign=*/true);
+      }
+    }
+    while (!remote && fleet.peers.size() < opts.workers &&
+           respawns_left > 0 && !fleet.queue.empty()) {
+      auto peer = spawn_local_worker(fleet.next_id, fleet.coordinator_fds());
+      if (!peer.ok()) break;
+      ++fleet.next_id;
+      --respawns_left;
+      ++fleet.stats.respawns;
+      ++fleet.stats.workers;
+      metrics().counter("fleet.respawns").inc();
+      fleet.peers.push_back(std::move(peer).value());
+    }
+    if (fleet.peers.empty() && fleet.listen_fd < 0) {
+      return Err<FleetOutcome>(
+          "fleet: every worker died with shards outstanding" +
+          (fleet.last_error.empty() ? std::string()
+                                    : " (last error: " + fleet.last_error +
+                                          ")"));
+    }
+    for (Peer& peer : fleet.peers) {
+      if (peer.hello && peer.shard < 0 && !fleet.queue.empty()) {
+        enqueue_assignment(fleet, peer);
+      }
+    }
+
+    fds.clear();
+    const std::size_t polled = fleet.peers.size();
+    for (const Peer& peer : fleet.peers) {
+      short events = POLLIN;
+      if (!peer.out.empty()) events |= POLLOUT;
+      fds.push_back({peer.fd, events, 0});
+    }
+    if (fleet.listen_fd >= 0) fds.push_back({fleet.listen_fd, POLLIN, 0});
+    const int timeout_ms = static_cast<int>(
+        opts.heartbeat_ms == 0 ? 100
+                               : std::min<std::uint32_t>(100, opts.heartbeat_ms));
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      return Err<FleetOutcome>("fleet: poll failed");
+    }
+    if (fleet.listen_fd >= 0 && (fds.back().revents & POLLIN) != 0) {
+      accept_remote_workers(fleet);
+    }
+    // Freshly accepted peers (index >= polled) have no pollfd this round.
+    for (std::size_t i = std::min(polled, fleet.peers.size()); i-- > 0;) {
+      Peer& peer = fleet.peers[i];
+      const short revents = fds[i].revents;
+      bool alive = true;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        alive = service_read(fleet, peer);
+      }
+      if (alive && (revents & POLLOUT) != 0) alive = service_write(peer);
+      if (!alive) drop_peer(fleet, i, /*reassign=*/true);
+    }
+  }
+
+  // All shards merged: release the fleet. Flushing blocks briefly per peer;
+  // a worker that already died just fails the write, which is fine.
+  for (std::size_t i = fleet.peers.size(); i-- > 0;) {
+    Peer& peer = fleet.peers[i];
+    set_blocking(peer.fd);
+    if (!peer.out.empty()) {
+      std::size_t off = 0;
+      while (off < peer.out.size()) {
+        const ssize_t n =
+            ::write(peer.fd, peer.out.data() + off, peer.out.size() - off);
+        if (n <= 0) break;
+        off += static_cast<std::size_t>(n);
+      }
+      peer.out.clear();
+    }
+    (void)write_frame_fd(peer.fd, MsgType::kShutdown, {});
+    ::close(peer.fd);
+    peer.fd = -1;
+    if (peer.pid > 0) (void)::waitpid(peer.pid, nullptr, 0);
+    fleet.stats.per_worker.push_back(peer.stats);
+  }
+  if (fleet.listen_fd >= 0) ::close(fleet.listen_fd);
+  std::sort(fleet.stats.per_worker.begin(), fleet.stats.per_worker.end(),
+            [](const WorkerStats& a, const WorkerStats& b) {
+              return a.worker_id < b.worker_id;
+            });
+
+  // Workers only ever saw clean planned records; the capture damage the plan
+  // sweep absorbed is injected here, reproducing exactly what a whole-run
+  // archive records (agg::build_archive).
+  fleet.merged.ingest.add(fleet.plan.ingest);
+  fleet.merged.budget_exhausted_runs +=
+      fleet.plan.ingest.budget_exhausted ? 1 : 0;
+
+  fleet.stats.total_wall_us = us_since(started);
+  metrics().gauge("fleet.queue_depth").set(0);
+  metrics().gauge("fleet.workers_live").set(0);
+  return FleetOutcome{std::move(fleet.merged), std::move(fleet.stats)};
+}
+
+}  // namespace
+
+Result<FleetOutcome> run_fleet(const std::string& capture,
+                               const FleetOptions& opts) {
+  return run_fleet_impl(capture, opts);
+}
+
+#else  // !unix
+
+Result<FleetOutcome> run_fleet(const std::string& capture,
+                               const FleetOptions& opts) {
+  (void)capture;
+  (void)opts;
+  return Err<FleetOutcome>("fleet: not supported on this platform");
+}
+
+#endif
+
+}  // namespace tdat::fleet

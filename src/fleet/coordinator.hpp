@@ -1,0 +1,81 @@
+// The fleet coordinator (DESIGN.md §14): one zero-copy shard-plan sweep,
+// then N workers — forked locally over socketpairs, or remote `tdat fleet
+// --connect` processes over a TCP listener, speaking the same frames either
+// way — each ingesting its shard's offset runs out of the same capture and
+// streaming its .tdagg archive back. Archives merge incrementally as they
+// arrive (the PR 7 merge algebra makes arrival order irrelevant to the
+// output bytes); heartbeats bound how long a dead worker can sit on a shard,
+// and a timed-out or crashed worker's shard goes back on the queue for a
+// live (or freshly respawned) worker. The merged archive is byte-identical
+// to a single-process `analyze --format agg` run over the whole capture.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agg/archive.hpp"
+#include "core/options.hpp"
+#include "util/result.hpp"
+
+namespace tdat::fleet {
+
+struct FleetOptions {
+  std::size_t workers = 2;
+  // Shard count; 0 means one per worker. More shards than workers gives the
+  // queue slack to rebalance around slow or dead workers.
+  std::size_t shards = 0;
+  std::string run_id;
+  // Per-worker analyzer knobs. `analyzer.jobs` is the analysis thread count
+  // INSIDE each worker (default 1 — the fleet is the parallelism);
+  // `analyzer.ingest` governs the plan sweep's corrupt-capture handling.
+  AnalyzerOptions analyzer;
+  std::uint32_t heartbeat_ms = 200;
+  // A worker with an outstanding shard and no heartbeat/result for this long
+  // is declared dead and its shard reassigned.
+  std::uint32_t timeout_ms = 10'000;
+  // Replacement workers the coordinator may fork after deaths (local mode).
+  std::size_t max_respawns = 4;
+  // "HOST:PORT" (or ":PORT") to accept remote workers instead of forking.
+  std::string listen;
+};
+
+struct WorkerStats {
+  std::uint32_t worker_id = 0;
+  bool remote = false;
+  std::size_t shards_done = 0;
+  std::uint64_t records = 0;
+  std::uint64_t bytes_ingested = 0;
+  std::uint64_t busy_us = 0;  // sum of worker-reported shard walls
+
+  [[nodiscard]] double bytes_per_sec() const;
+};
+
+struct FleetStats {
+  std::size_t workers = 0;       // workers that ever served (incl. respawns)
+  std::size_t shards = 0;
+  std::size_t reassignments = 0;  // shards requeued off dead/failed workers
+  std::size_t respawns = 0;
+  std::uint64_t records = 0;      // from the plan sweep
+  std::uint64_t packets = 0;
+  std::uint64_t capture_bytes = 0;
+  std::uint64_t plan_wall_us = 0;
+  std::uint64_t total_wall_us = 0;
+  std::vector<WorkerStats> per_worker;  // by worker id
+
+  // Aggregate fleet throughput: capture bytes over total wall.
+  [[nodiscard]] double bytes_per_sec() const;
+};
+
+struct FleetOutcome {
+  agg::Archive archive;  // plan diagnostics already folded in
+  FleetStats stats;
+};
+
+// Plans, distributes, merges. Fails when the capture is unreadable, when
+// every worker (including respawns) died with shards outstanding, or when
+// workers keep rejecting assignments (error budget).
+[[nodiscard]] Result<FleetOutcome> run_fleet(const std::string& capture,
+                                             const FleetOptions& opts);
+
+}  // namespace tdat::fleet

@@ -1,0 +1,297 @@
+#include "fleet/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "util/bytes.hpp"
+
+namespace tdat::fleet {
+
+namespace {
+
+// Hard caps on variable-length fields, all far beyond legitimate use: a
+// corrupt count field must fail the parse, not drive a giant reserve().
+constexpr std::size_t kMaxString = 1u << 16;
+constexpr std::size_t kMaxRuns = 1u << 26;
+
+[[nodiscard]] bool valid_type(std::uint32_t type) {
+  return type >= static_cast<std::uint32_t>(MsgType::kHello) &&
+         type <= static_cast<std::uint32_t>(MsgType::kShutdown);
+}
+
+void put_string(ByteWriter& w, const std::string& s) {
+  w.u32le(static_cast<std::uint32_t>(s.size()));
+  w.bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+[[nodiscard]] std::string get_string(ByteReader& r) {
+  const std::uint32_t len = r.u32le();
+  if (len > kMaxString) {
+    r.fail();
+    return {};
+  }
+  const auto bytes = r.bytes(len);
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+// Shared tail check: a decoder that read its fields but left bytes behind
+// parsed a different (longer) message — reject it.
+template <typename T>
+[[nodiscard]] Result<T> finish(ByteReader& r, T msg, const char* what) {
+  if (!r.ok() || r.remaining() != 0) {
+    return Err<T>(std::string("fleet wire: malformed ") + what + " payload");
+  }
+  return msg;
+}
+
+}  // namespace
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kAssign: return "assign";
+    case MsgType::kResult: return "result";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kError: return "error";
+    case MsgType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+FrameStatus decode_frame(std::span<const std::uint8_t> buf, Frame& out,
+                         std::size_t& consumed) {
+  consumed = 0;
+  if (buf.size() < kFrameHeaderLen) {
+    // A short buffer can still be disqualified early: if the magic bytes we
+    // do have are wrong, no amount of further input fixes this peer.
+    for (std::size_t i = 0; i < buf.size() && i < 4; ++i) {
+      if (buf[i] != static_cast<std::uint8_t>(kWireMagic >> (8 * i))) {
+        return FrameStatus::kBad;
+      }
+    }
+    return FrameStatus::kNeedMore;
+  }
+  ByteReader r(buf);
+  const std::uint32_t magic = r.u32le();
+  const std::uint32_t type = r.u32le();
+  const std::uint64_t len = r.u64le();
+  if (magic != kWireMagic || !valid_type(type) || len > kMaxPayload) {
+    return FrameStatus::kBad;
+  }
+  if (buf.size() - kFrameHeaderLen < len) return FrameStatus::kNeedMore;
+  out.type = static_cast<MsgType>(type);
+  out.payload.assign(buf.begin() + kFrameHeaderLen,
+                     buf.begin() + kFrameHeaderLen + static_cast<std::size_t>(len));
+  consumed = kFrameHeaderLen + static_cast<std::size_t>(len);
+  return FrameStatus::kOk;
+}
+
+void append_frame(std::vector<std::uint8_t>& buf, MsgType type,
+                  std::span<const std::uint8_t> payload) {
+  ByteWriter header;
+  header.u32le(kWireMagic);
+  header.u32le(static_cast<std::uint32_t>(type));
+  header.u64le(payload.size());
+  buf.insert(buf.end(), header.data().begin(), header.data().end());
+  buf.insert(buf.end(), payload.begin(), payload.end());
+}
+
+bool write_frame_fd(int fd, MsgType type,
+                    std::span<const std::uint8_t> payload) {
+#if defined(__unix__) || defined(__APPLE__)
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kFrameHeaderLen + payload.size());
+  append_frame(buf, type, payload);
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+#else
+  (void)fd;
+  (void)type;
+  (void)payload;
+  return false;
+#endif
+}
+
+bool read_frame_fd(int fd, Frame& out) {
+#if defined(__unix__) || defined(__APPLE__)
+  const auto read_exact = [&](std::uint8_t* dst, std::size_t n) {
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t got = ::read(fd, dst + off, n - off);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (got == 0) return false;  // EOF mid-frame (or before one)
+      off += static_cast<std::size_t>(got);
+    }
+    return true;
+  };
+  std::uint8_t header[kFrameHeaderLen];
+  if (!read_exact(header, sizeof(header))) return false;
+  ByteReader r(std::span<const std::uint8_t>(header, sizeof(header)));
+  const std::uint32_t magic = r.u32le();
+  const std::uint32_t type = r.u32le();
+  const std::uint64_t len = r.u64le();
+  if (magic != kWireMagic || !valid_type(type) || len > kMaxPayload) {
+    return false;
+  }
+  out.type = static_cast<MsgType>(type);
+  out.payload.resize(static_cast<std::size_t>(len));
+  return len == 0 || read_exact(out.payload.data(), out.payload.size());
+#else
+  (void)fd;
+  (void)out;
+  return false;
+#endif
+}
+
+// ---------------------------------------------------------------- messages
+
+std::vector<std::uint8_t> HelloMessage::encode() const {
+  ByteWriter w;
+  w.u32le(protocol_version);
+  put_string(w, host);
+  return w.take();
+}
+
+Result<HelloMessage> HelloMessage::decode(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  HelloMessage m;
+  m.protocol_version = r.u32le();
+  m.host = get_string(r);
+  return finish(r, std::move(m), "hello");
+}
+
+std::vector<std::uint8_t> AssignMessage::encode() const {
+  ByteWriter w;
+  w.u32le(worker_id);
+  w.u32le(shard_index);
+  put_string(w, capture);
+  put_string(w, run_id);
+  w.u32le(jobs);
+  w.u8(location);
+  w.u8(verify_checksums);
+  w.u64le(pass_bits);
+  w.u32le(heartbeat_ms);
+  w.u32le(static_cast<std::uint32_t>(runs.size()));
+  for (const RecordRun& run : runs) {
+    w.u64le(run.offset);
+    w.u32le(run.count);
+  }
+  return w.take();
+}
+
+Result<AssignMessage> AssignMessage::decode(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  AssignMessage m;
+  m.worker_id = r.u32le();
+  m.shard_index = r.u32le();
+  m.capture = get_string(r);
+  m.run_id = get_string(r);
+  m.jobs = r.u32le();
+  m.location = r.u8();
+  m.verify_checksums = r.u8();
+  m.pass_bits = r.u64le();
+  m.heartbeat_ms = r.u32le();
+  const std::uint32_t count = r.u32le();
+  // 12 bytes per run: a count the payload cannot actually hold is corrupt.
+  if (count > kMaxRuns || static_cast<std::uint64_t>(count) * 12 > r.remaining()) {
+    r.fail();
+  } else {
+    m.runs.resize(count);
+    for (RecordRun& run : m.runs) {
+      run.offset = r.u64le();
+      run.count = r.u32le();
+    }
+  }
+  return finish(r, std::move(m), "assign");
+}
+
+std::vector<std::uint8_t> ResultMessage::encode() const {
+  ByteWriter w;
+  w.u32le(worker_id);
+  w.u32le(shard_index);
+  w.u64le(records);
+  w.u64le(packets);
+  w.u64le(connections);
+  w.u64le(bytes_ingested);
+  w.u64le(wall_us);
+  w.u32le(static_cast<std::uint32_t>(archive.size()));
+  w.bytes(archive);
+  return w.take();
+}
+
+Result<ResultMessage> ResultMessage::decode(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  ResultMessage m;
+  m.worker_id = r.u32le();
+  m.shard_index = r.u32le();
+  m.records = r.u64le();
+  m.packets = r.u64le();
+  m.connections = r.u64le();
+  m.bytes_ingested = r.u64le();
+  m.wall_us = r.u64le();
+  const std::uint32_t len = r.u32le();
+  if (len > r.remaining()) {
+    r.fail();
+  } else {
+    const auto bytes = r.bytes(len);
+    m.archive.assign(bytes.begin(), bytes.end());
+  }
+  return finish(r, std::move(m), "result");
+}
+
+std::vector<std::uint8_t> HeartbeatMessage::encode() const {
+  ByteWriter w;
+  w.u32le(worker_id);
+  w.u32le(shard_index);
+  w.u64le(records_done);
+  return w.take();
+}
+
+Result<HeartbeatMessage> HeartbeatMessage::decode(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  HeartbeatMessage m;
+  m.worker_id = r.u32le();
+  m.shard_index = r.u32le();
+  m.records_done = r.u64le();
+  return finish(r, std::move(m), "heartbeat");
+}
+
+std::vector<std::uint8_t> ErrorMessage::encode() const {
+  ByteWriter w;
+  w.u32le(worker_id);
+  w.u32le(shard_index);
+  put_string(w, message);
+  return w.take();
+}
+
+Result<ErrorMessage> ErrorMessage::decode(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  ErrorMessage m;
+  m.worker_id = r.u32le();
+  m.shard_index = r.u32le();
+  m.message = get_string(r);
+  return finish(r, std::move(m), "error");
+}
+
+}  // namespace tdat::fleet

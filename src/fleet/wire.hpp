@@ -1,0 +1,141 @@
+// The fleet wire protocol (DESIGN.md §14): length-prefixed frames carrying
+// coordinator<->worker messages over a pipe (forked local workers) or a TCP
+// socket (remote workers) — the same bytes either way, so a remote fleet is
+// the local fleet with longer wires.
+//
+// Framing: every frame is a fixed 16-byte header — u32le magic 'TDFW',
+// u32le message type, u64le payload length — followed by the payload. The
+// decoder is incremental (kNeedMore on a partial frame) and paranoid
+// (kBad on a wrong magic, an unknown type, or an implausible length; the
+// connection is then poisoned — there is no resync, a framing error means
+// the peer is not speaking this protocol).
+//
+// Payloads are encoded with ByteWriter/ByteReader (util/bytes.hpp), fixed
+// little-endian, strings and blobs as u32 length + bytes. Every decoder
+// rejects trailing bytes: a payload that parses but is longer than its
+// message is a protocol error, not slack.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pcap/record_runs.hpp"
+#include "util/result.hpp"
+
+namespace tdat::fleet {
+
+inline constexpr std::uint32_t kWireMagic = 0x57464454;  // "TDFW" little-endian
+inline constexpr std::size_t kFrameHeaderLen = 16;
+// Largest payload a peer may send. Archives of multi-GB captures stay far
+// below this; anything bigger is a corrupt length field, and believing it
+// would make one bad frame allocate gigabytes.
+inline constexpr std::uint64_t kMaxPayload = 1ull << 30;
+
+enum class MsgType : std::uint32_t {
+  kHello = 1,      // worker -> coordinator: ready for assignments
+  kAssign = 2,     // coordinator -> worker: one shard's offset runs
+  kResult = 3,     // worker -> coordinator: the shard's serialized archive
+  kHeartbeat = 4,  // worker -> coordinator: liveness while analyzing
+  kError = 5,      // worker -> coordinator: assignment failed (fatal for it)
+  kShutdown = 6,   // coordinator -> worker: no more shards, exit cleanly
+};
+
+[[nodiscard]] const char* to_string(MsgType type);
+
+struct Frame {
+  MsgType type = MsgType::kHello;
+  std::vector<std::uint8_t> payload;
+};
+
+enum class FrameStatus : std::uint8_t {
+  kOk,        // one frame decoded; `consumed` bytes were eaten
+  kNeedMore,  // the buffer holds a prefix of a valid frame
+  kBad,       // not this protocol (bad magic/type/length) — drop the peer
+};
+
+// Decodes one frame from the front of `buf`. On kOk, out/consumed are set;
+// on kNeedMore/kBad, consumed is 0.
+[[nodiscard]] FrameStatus decode_frame(std::span<const std::uint8_t> buf,
+                                       Frame& out, std::size_t& consumed);
+
+// Appends header + payload for one frame to `buf`.
+void append_frame(std::vector<std::uint8_t>& buf, MsgType type,
+                  std::span<const std::uint8_t> payload);
+
+// Blocking fd helpers for the worker side (the coordinator runs nonblocking
+// buffers through decode_frame instead). Both loop over partial transfers
+// and EINTR; false means the peer is gone or not speaking the protocol.
+[[nodiscard]] bool write_frame_fd(int fd, MsgType type,
+                                  std::span<const std::uint8_t> payload);
+[[nodiscard]] bool read_frame_fd(int fd, Frame& out);
+
+// ---------------------------------------------------------------- messages
+
+struct HelloMessage {
+  std::uint32_t protocol_version = 1;
+  std::string host;  // informational, shows up in --stats
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static Result<HelloMessage> decode(
+      std::span<const std::uint8_t> payload);
+};
+
+// One shard of work: mmap `capture`, ingest exactly `runs`, stream the
+// archive back. Carries every analyzer knob that affects archive bytes, so
+// a remote worker with different defaults still produces the coordinator's
+// answer.
+struct AssignMessage {
+  std::uint32_t worker_id = 0;
+  std::uint32_t shard_index = 0;
+  std::string capture;
+  std::string run_id;
+  std::uint32_t jobs = 1;           // analysis threads inside the worker
+  std::uint8_t location = 0;        // SnifferLocation
+  std::uint8_t verify_checksums = 0;
+  std::uint64_t pass_bits = ~0ull;  // PassSelection
+  std::uint32_t heartbeat_ms = 0;   // 0 = no heartbeats
+  std::vector<RecordRun> runs;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static Result<AssignMessage> decode(
+      std::span<const std::uint8_t> payload);
+};
+
+struct ResultMessage {
+  std::uint32_t worker_id = 0;
+  std::uint32_t shard_index = 0;
+  std::uint64_t records = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t bytes_ingested = 0;
+  std::uint64_t wall_us = 0;
+  std::vector<std::uint8_t> archive;  // serialized .tdagg
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static Result<ResultMessage> decode(
+      std::span<const std::uint8_t> payload);
+};
+
+struct HeartbeatMessage {
+  std::uint32_t worker_id = 0;
+  std::uint32_t shard_index = 0;
+  std::uint64_t records_done = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static Result<HeartbeatMessage> decode(
+      std::span<const std::uint8_t> payload);
+};
+
+struct ErrorMessage {
+  std::uint32_t worker_id = 0;
+  std::uint32_t shard_index = 0;
+  std::string message;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static Result<ErrorMessage> decode(
+      std::span<const std::uint8_t> payload);
+};
+
+}  // namespace tdat::fleet

@@ -1,0 +1,243 @@
+#include "fleet/worker.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <netdb.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "agg/sink.hpp"
+#include "core/analyzer.hpp"
+#include "core/report.hpp"
+#include "core/trace_source.hpp"
+#include "fleet/wire.hpp"
+
+namespace tdat::fleet {
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+// Periodic liveness pings while an assignment runs. Writes share the frame
+// mutex with the result path, so heartbeat and result frames never interleave
+// on the wire.
+class Heartbeater {
+ public:
+  Heartbeater(int fd, std::mutex& write_mu, std::uint32_t worker_id,
+              std::uint32_t shard_index, std::uint32_t interval_ms)
+      : fd_(fd),
+        write_mu_(write_mu),
+        worker_id_(worker_id),
+        shard_index_(shard_index),
+        interval_ms_(interval_ms) {
+    if (interval_ms_ != 0) thread_ = std::thread([this] { run(); });
+  }
+
+  ~Heartbeater() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  Heartbeater(const Heartbeater&) = delete;
+  Heartbeater& operator=(const Heartbeater&) = delete;
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stop_; })) {
+        return;
+      }
+      HeartbeatMessage hb;
+      hb.worker_id = worker_id_;
+      hb.shard_index = shard_index_;
+      lock.unlock();
+      {
+        std::lock_guard<std::mutex> write_lock(write_mu_);
+        // A failed heartbeat write means the coordinator is gone; the main
+        // loop will find out on its next read, nothing to do here.
+        (void)write_frame_fd(fd_, MsgType::kHeartbeat, hb.encode());
+      }
+      lock.lock();
+    }
+  }
+
+  int fd_;
+  std::mutex& write_mu_;
+  std::uint32_t worker_id_;
+  std::uint32_t shard_index_;
+  std::uint32_t interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+// The deterministic mid-shard crash for reassignment tests: die the moment
+// the named assignment lands, before any work or reply.
+void maybe_kill_self(std::uint32_t worker_id) {
+  const char* kill = std::getenv("TDAT_FLEET_KILL_WORKER");
+  if (kill != nullptr && std::strtoul(kill, nullptr, 10) == worker_id) {
+    _exit(43);
+  }
+}
+
+bool send_error(int fd, std::mutex& write_mu, const AssignMessage& assign,
+                std::string message) {
+  ErrorMessage err;
+  err.worker_id = assign.worker_id;
+  err.shard_index = assign.shard_index;
+  err.message = std::move(message);
+  std::lock_guard<std::mutex> lock(write_mu);
+  return write_frame_fd(fd, MsgType::kError, err.encode());
+}
+
+bool serve_assignment(int fd, std::mutex& write_mu,
+                      const AssignMessage& assign) {
+  maybe_kill_self(assign.worker_id);
+  Heartbeater heartbeat(fd, write_mu, assign.worker_id, assign.shard_index,
+                        assign.heartbeat_ms);
+
+  auto source = OffsetRunSource::open(assign.capture, assign.runs,
+                                      assign.verify_checksums != 0);
+  if (!source.ok()) {
+    return send_error(fd, write_mu, assign, source.error());
+  }
+
+  AnalyzerOptions opts;
+  opts.location = static_cast<SnifferLocation>(assign.location);
+  opts.jobs = assign.jobs == 0 ? 1 : assign.jobs;
+  opts.verify_checksums = assign.verify_checksums != 0;
+  opts.passes.bits = assign.pass_bits;
+
+  const auto started = std::chrono::steady_clock::now();
+  const TraceAnalysis analysis = run_pipeline(source.value(), opts);
+  if (source.value().failed()) {
+    // The plan no longer matches the capture image — a partial archive would
+    // silently drop connections, so fail the whole shard instead.
+    return send_error(fd, write_mu, assign, source.value().error());
+  }
+  const ReportModel model = build_report_model(analysis);
+  const std::string archive =
+      agg::build_archive(model, assign.run_id).serialize();
+
+  ResultMessage result;
+  result.worker_id = assign.worker_id;
+  result.shard_index = assign.shard_index;
+  result.records = analysis.stats.records;
+  result.packets = analysis.stats.packets;
+  result.connections = analysis.stats.connections;
+  result.bytes_ingested = analysis.stats.bytes_ingested;
+  result.wall_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  result.archive.assign(archive.begin(), archive.end());
+  std::lock_guard<std::mutex> lock(write_mu);
+  return write_frame_fd(fd, MsgType::kResult, result.encode());
+}
+
+}  // namespace
+
+int run_worker(int fd) {
+  // A coordinator that died mid-write must surface as a failed write, not a
+  // process-killing SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+  std::mutex write_mu;
+  {
+    HelloMessage hello;
+    char host[256] = {};
+    if (::gethostname(host, sizeof(host) - 1) == 0) hello.host = host;
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (!write_frame_fd(fd, MsgType::kHello, hello.encode())) return 1;
+  }
+  for (;;) {
+    Frame frame;
+    if (!read_frame_fd(fd, frame)) return 1;
+    switch (frame.type) {
+      case MsgType::kAssign: {
+        auto assign = AssignMessage::decode(frame.payload);
+        if (!assign.ok()) return 1;
+        if (!serve_assignment(fd, write_mu, assign.value())) return 1;
+        break;
+      }
+      case MsgType::kShutdown:
+        return 0;
+      case MsgType::kHeartbeat:
+        break;  // coordinator pings are allowed, nothing to do
+      default:
+        return 1;  // a frame only workers send — the peer is confused
+    }
+  }
+}
+
+int run_worker_connect(const std::string& host_port) {
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= host_port.size()) {
+    std::fprintf(stderr, "tdat fleet: --connect needs HOST:PORT\n");
+    return 2;
+  }
+  const std::string host = host_port.substr(0, colon);
+  const std::string port = host_port.substr(colon + 1);
+
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? "127.0.0.1" : host.c_str(),
+                               port.c_str(), &hints, &res);
+  if (rc != 0) {
+    std::fprintf(stderr, "tdat fleet: cannot resolve %s: %s\n",
+                 host_port.c_str(), ::gai_strerror(rc));
+    return 3;
+  }
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    std::fprintf(stderr, "tdat fleet: cannot connect to %s\n",
+                 host_port.c_str());
+    return 3;
+  }
+  const int code = run_worker(fd);
+  ::close(fd);
+  return code;
+}
+
+#else  // !unix
+
+int run_worker(int fd) {
+  (void)fd;
+  return 1;
+}
+
+int run_worker_connect(const std::string& host_port) {
+  (void)host_port;
+  std::fprintf(stderr, "tdat fleet: not supported on this platform\n");
+  return 1;
+}
+
+#endif
+
+}  // namespace tdat::fleet

@@ -1,0 +1,28 @@
+// The worker side of the fleet protocol (DESIGN.md §14): a loop over one
+// already-connected descriptor — read an Assign frame, mmap the capture,
+// ingest exactly the assigned offset runs through the one shared
+// run_pipeline, stream the serialized .tdagg archive back, repeat until
+// Shutdown. Forked local workers and `tdat fleet --connect` remote workers
+// run this same loop; the only difference is who dialed the descriptor.
+#pragma once
+
+#include <string>
+
+namespace tdat::fleet {
+
+// Serves assignments over `fd` (blocking) until Shutdown or EOF. Returns a
+// process exit code: 0 after a clean shutdown, 1 when the descriptor died or
+// carried a malformed frame. Sends Hello first, heartbeats while analyzing
+// (when the assignment asks for them), and Error frames for assignments it
+// could not complete — it never dies silently with work outstanding.
+//
+// Test seam: when $TDAT_FLEET_KILL_WORKER names this worker's assigned id,
+// the process _exit()s the moment the assignment arrives — a deterministic
+// mid-shard crash for the coordinator's reassignment path.
+[[nodiscard]] int run_worker(int fd);
+
+// `tdat fleet --connect HOST:PORT`: dial a listening coordinator, then
+// run_worker over the connection.
+[[nodiscard]] int run_worker_connect(const std::string& host_port);
+
+}  // namespace tdat::fleet

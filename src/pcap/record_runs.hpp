@@ -1,0 +1,98 @@
+// Offset-run record access: serve pcap records straight out of a pinned
+// capture image at explicit (byte offset, record count) runs — the worker
+// side of the fleet shard plan (DESIGN.md §14). Where PcapStream scans the
+// capture front to back, a RecordRunReader trusts a plan produced by a
+// previous sweep: it seeks to each run's first record header, parses exactly
+// `count` back-to-back records there, and hands them out as zero-copy
+// StreamRecord views into the mapping — no scanning, no resync, and no shard
+// pcap ever written.
+//
+// The plan is trusted but never believed blindly: every header is
+// bounds-checked against the image and sanity-checked (nonzero incl_len
+// within the snaplen cap, fractional timestamp in range) exactly as
+// PcapStream would, so a stale plan over a rewritten capture fails loudly
+// (`failed()` + error()) instead of serving garbage spans.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pcap/pcap_stream.hpp"
+#include "util/result.hpp"
+
+namespace tdat {
+
+// The four global-header facts every record parse depends on. Shared by the
+// scanning reader (PcapStream) and the offset-run reader, so the two cannot
+// drift on byte order or timestamp resolution.
+struct PcapImageHeader {
+  bool swapped = false;  // fields are opposite the host's little-endian read
+  bool nanos = false;    // nanosecond timestamp magic
+  std::uint32_t snaplen = 65535;
+
+  // Largest incl_len a record may legitimately claim (writers that leave
+  // snaplen 0 mean the classic 65535 cap).
+  [[nodiscard]] std::uint32_t effective_snaplen() const {
+    return snaplen != 0 ? snaplen : 65535;
+  }
+};
+
+// Parses the 24-byte pcap global header at image[0..24). Accepts the same
+// four magic variants as PcapStream::open; fails with the same wording on
+// anything else.
+[[nodiscard]] Result<PcapImageHeader> parse_pcap_image_header(
+    std::span<const std::uint8_t> image);
+
+// One run of consecutive records: `count` records packed back to back, the
+// first one's 16-byte record header at byte `offset` of the capture.
+struct RecordRun {
+  std::uint64_t offset = 0;
+  std::uint32_t count = 0;
+
+  friend bool operator==(const RecordRun&, const RecordRun&) = default;
+};
+
+class RecordRunReader {
+ public:
+  // `pin` keeps the bytes behind `image` alive and is shared into every
+  // record handed out (the mmap contract of pcap/mmap_file.hpp). Fails when
+  // the global header is malformed.
+  [[nodiscard]] static Result<RecordRunReader> open(
+      std::shared_ptr<const void> pin, std::span<const std::uint8_t> image,
+      std::vector<RecordRun> runs);
+
+  // Fetches the next record. False at end of the last run — or on a
+  // plan/image mismatch, which sets failed(); callers must distinguish the
+  // two before trusting the drain.
+  [[nodiscard]] bool next(StreamRecord& out);
+
+  [[nodiscard]] bool failed() const { return !error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  // Record bytes consumed so far (16-byte record headers included; the
+  // 24-byte global header is the caller's to account).
+  [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
+  [[nodiscard]] std::uint64_t records_read() const { return records_read_; }
+  [[nodiscard]] const PcapImageHeader& header() const { return header_; }
+
+ private:
+  RecordRunReader() = default;
+
+  [[nodiscard]] std::uint32_t u32_at(std::size_t at) const;
+
+  std::shared_ptr<const void> pin_;
+  std::span<const std::uint8_t> image_;
+  PcapImageHeader header_;
+  std::vector<RecordRun> runs_;
+  std::size_t run_ = 0;        // current run index
+  std::uint64_t offset_ = 0;   // next record header offset in the current run
+  std::uint32_t left_ = 0;     // records left in the current run
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t records_read_ = 0;
+  std::string error_;
+};
+
+}  // namespace tdat

@@ -21,6 +21,11 @@
 //                 fleet roll-ups, or diff against a baseline aggregate
 //   tdat shard    <in.pcap> <outdir> [--shards N]
 //                 split a capture into per-connection shards
+//   tdat shard    <in.pcap> --plan [--shards N]
+//                 print the zero-copy offset-run shard plan as JSON
+//   tdat fleet    <trace.pcap> --workers N        multi-process analysis:
+//                 plan shards, fork workers, merge streamed archives
+//   tdat fleet    --connect HOST:PORT             join a remote coordinator
 //
 // Exit codes: 0 = clean run; 1 = analysis completed but the input had
 // recoverable errors (ingest damage or quarantined connections) or a sidecar
@@ -51,6 +56,9 @@
 #include "core/report.hpp"
 #include "core/series_names.hpp"
 #include "core/timeseq.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/shard_plan.hpp"
+#include "fleet/worker.hpp"
 #include "pcap/decode.hpp"
 #include "pcap/fault_injector.hpp"
 #include "sim/world.hpp"
@@ -95,6 +103,8 @@ int usage() {
                " file (default 1000)\n"
                "                [--no-mmap]        force the chunked streaming"
                " reader (default: mmap regular files)\n"
+               "                [--fleet N]        analyze with an N-worker"
+               " process fleet (requires --format agg)\n"
                "  tdat passes   list the registered analysis passes\n"
                "  tdat pcap2mrt <trace.pcap> <out.mrt>\n"
                "  tdat mrtcat   <archive.mrt> [-n N]\n"
@@ -120,9 +130,29 @@ int usage() {
                " a baseline aggregate\n"
                "      merge is order-independent: any merge order of the same"
                " archives is byte-identical\n"
-               "  tdat shard    <in.pcap> <outdir> [--shards N]\n"
+               "  tdat shard    <in.pcap> <outdir> [--shards N]  |  tdat"
+               " shard <in.pcap> --plan [--shards N]\n"
                "      split records into shard-K.pcap by connection (same"
-               " connection -> same shard)\n"
+               " connection -> same shard);\n"
+               "      --plan prints the zero-copy offset-run plan as JSON"
+               " instead of writing shard files\n"
+               "      (the file-writing mode is the portability fallback for"
+               " workers without shared storage)\n"
+               "  tdat fleet    <trace.pcap> [--workers N] [--shards M]"
+               " [--output FILE] [--run-id ID]\n"
+               "                [--jobs N] [--location receiver|sender|middle]"
+               " [--detectors LIST]\n"
+               "                [--heartbeat-ms N] [--timeout-ms N]"
+               " [--max-respawns N] [--stats|--quiet-stats]\n"
+               "                [--listen HOST:PORT]  accept remote workers"
+               " instead of forking local ones\n"
+               "                [--strict] [--max-errors N]\n"
+               "      zero-copy shard plan -> N workers over the same capture"
+               " -> merged .tdagg on stdout\n"
+               "      (byte-identical to single-process 'analyze --format"
+               " agg'; no shard pcaps written)\n"
+               "  tdat fleet    --connect HOST:PORT\n"
+               "      run as a remote worker for a '--listen' coordinator\n"
                "exit codes: 0 clean, 1 completed with recoverable input"
                " errors (aggregate --diff: regressions), 2 usage,"
                " 3 unreadable input\n");
@@ -216,6 +246,7 @@ struct AnalyzeCommand {
   bool show_stats = true;
   bool progress = false;
   bool metrics_prometheus = false;
+  std::size_t fleet_workers = 0;  // 0 = in-process (no fleet)
   std::string trace_path;
   std::string metrics_path;
   std::string log_level;
@@ -304,6 +335,14 @@ Result<AnalyzeCommand> parse_analyze_args(int argc, char** argv) {
       cmd.opts.ingest.strict = true;
     } else if (arg == "--no-mmap") {
       cmd.opts.ingest.use_mmap = false;
+    } else if (arg == "--fleet") {
+      TDAT_TRY(workers, value_of(i));
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(workers.c_str(), &end, 10);
+      if (end == workers.c_str() || *end != '\0' || v == 0) {
+        return Err<AnalyzeCommand>("--fleet: need a positive worker count");
+      }
+      cmd.fleet_workers = static_cast<std::size_t>(v);
     } else if (arg == "--max-errors") {
       TDAT_TRY(budget, value_of(i));
       char* end = nullptr;
@@ -325,6 +364,64 @@ Result<AnalyzeCommand> parse_analyze_args(int argc, char** argv) {
   return cmd;
 }
 
+void print_fleet_stats(const fleet::FleetStats& st) {
+  std::fprintf(stderr,
+               "[tdat] fleet: %llu records (%.2f MB) over %zu shards,"
+               " %zu workers (%zu reassignments, %zu respawns) in %.3fs"
+               " (plan %.3fs): %.1f MB/s aggregate\n",
+               static_cast<unsigned long long>(st.records),
+               static_cast<double>(st.capture_bytes) / 1e6, st.shards,
+               st.workers, st.reassignments, st.respawns,
+               static_cast<double>(st.total_wall_us) / 1e6,
+               static_cast<double>(st.plan_wall_us) / 1e6,
+               st.bytes_per_sec() / 1e6);
+  for (const fleet::WorkerStats& w : st.per_worker) {
+    std::fprintf(stderr,
+                 "[tdat]   worker %u%s: %zu shard(s), %llu records, %.2f MB"
+                 " in %.3fs busy -> %.1f MB/s\n",
+                 w.worker_id, w.remote ? " (remote)" : "", w.shards_done,
+                 static_cast<unsigned long long>(w.records),
+                 static_cast<double>(w.bytes_ingested) / 1e6,
+                 static_cast<double>(w.busy_us) / 1e6,
+                 w.bytes_per_sec() / 1e6);
+  }
+}
+
+// Shared tail of `tdat fleet` and `analyze --fleet`: run the fleet, emit the
+// merged archive, surface recoverable capture damage in the exit code the
+// same way a single-process `analyze` run does.
+int run_fleet_and_emit(const std::string& capture,
+                       const fleet::FleetOptions& opts,
+                       const std::string& output, bool show_stats,
+                       const char* tool) {
+  auto outcome = fleet::run_fleet(capture, opts);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s: %s\n", tool, outcome.error().c_str());
+    return 3;
+  }
+  const std::string bytes = outcome.value().archive.serialize();
+  if (output.empty()) {
+    std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+  } else {
+    std::FILE* f = std::fopen(output.c_str(), "wb");
+    const bool wrote =
+        f != nullptr && std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    if (f != nullptr && std::fclose(f) != 0) {
+      std::fprintf(stderr, "%s: cannot write %s\n", tool, output.c_str());
+      return 1;
+    }
+    if (!wrote) {
+      std::fprintf(stderr, "%s: cannot write %s\n", tool, output.c_str());
+      return 1;
+    }
+  }
+  if (show_stats) print_fleet_stats(outcome.value().stats);
+  return outcome.value().archive.ingest.has_errors() ||
+                 outcome.value().archive.quarantined() > 0
+             ? 1
+             : 0;
+}
+
 int cmd_analyze(int argc, char** argv) {
   auto parsed = parse_analyze_args(argc, argv);
   if (!parsed.ok()) {
@@ -339,6 +436,35 @@ int cmd_analyze(int argc, char** argv) {
                  " (run 'tdat' for usage)\n",
                  cmd.log_level.c_str());
     return 2;
+  }
+  // `--fleet N` sugar: plan + multi-process fleet + merged archive, the
+  // byte-identical scale-out form of `--format agg` (see `tdat fleet`).
+  if (cmd.fleet_workers > 0) {
+    if (cmd.format != ReportFormat::kAgg) {
+      std::fprintf(stderr,
+                   "tdat analyze: --fleet requires --format agg (run 'tdat'"
+                   " for usage)\n");
+      return 2;
+    }
+    if (cmd.inputs.size() != 1 ||
+        std::filesystem::is_directory(cmd.inputs.front())) {
+      std::fprintf(stderr,
+                   "tdat analyze: --fleet takes exactly one capture file\n");
+      return 2;
+    }
+    fleet::FleetOptions fopts;
+    fopts.workers = cmd.fleet_workers;
+    fopts.run_id = cmd.render.run_id;
+    fopts.analyzer = cmd.opts;
+    const int rc = run_fleet_and_emit(cmd.inputs.front(), fopts, "",
+                                      cmd.show_stats, "tdat analyze");
+    if (!cmd.metrics_path.empty() &&
+        !write_metrics_file(cmd.metrics_path, cmd.metrics_prometheus)) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   cmd.metrics_path.c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    return rc;
   }
   // Observability sidecars never touch the analysis output: traces and
   // metrics go to their own files, progress goes to stderr, so a run with
@@ -796,9 +922,10 @@ int cmd_aggregate(int argc, char** argv) {
 int cmd_shard(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string in_path = argv[0];
-  const std::string out_dir = argv[1];
+  std::string out_dir;
+  bool plan_mode = false;
   std::size_t shards = 2;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       const long v = std::atol(argv[++i]);
       if (v < 1) {
@@ -806,10 +933,27 @@ int cmd_shard(int argc, char** argv) {
         return 2;
       }
       shards = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--plan") == 0) {
+      plan_mode = true;
+    } else if (out_dir.empty() && argv[i][0] != '-') {
+      out_dir = argv[i];
     } else {
       return usage();
     }
   }
+  if (plan_mode) {
+    // Zero-copy mode: emit the offset-run plan the fleet coordinator uses —
+    // no shard pcap is written, workers read the original capture in place.
+    const auto plan = fleet::build_shard_plan(in_path, shards);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "tdat shard: %s\n", plan.error().c_str());
+      return 3;
+    }
+    const std::string body = plan.value().to_json() + "\n";
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    return plan.value().ingest.has_errors() ? 1 : 0;
+  }
+  if (out_dir.empty()) return usage();
   const auto trace = read_pcap_file(in_path);
   if (!trace.ok()) {
     std::fprintf(stderr, "%s\n", trace.error().c_str());
@@ -843,6 +987,117 @@ int cmd_shard(int argc, char** argv) {
   return 0;
 }
 
+// `tdat fleet`: the multi-process driver over the shard plan — fork N local
+// workers (or accept remote `--connect` ones), ingest the same capture in
+// parallel with zero shard files written, and merge the streamed archives
+// into the byte-identical whole-run .tdagg.
+int cmd_fleet(int argc, char** argv) {
+  fleet::FleetOptions opts;
+  std::string input;
+  std::string output;
+  std::string connect;
+  bool show_stats = true;
+  const auto fail = [](const std::string& message) {
+    std::fprintf(stderr, "tdat fleet: %s (run 'tdat' for usage)\n",
+                 message.c_str());
+    return 2;
+  };
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value_of = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const auto count_of = [&](const char* flag, std::size_t min,
+                              std::optional<std::size_t>& out_v) {
+      const char* v = value_of();
+      char* end = nullptr;
+      const unsigned long n =
+          v == nullptr ? 0 : std::strtoul(v, &end, 10);
+      if (v == nullptr || end == v || *end != '\0' || n < min) {
+        out_v.reset();
+        std::fprintf(stderr, "tdat fleet: %s: need a count >= %zu (run"
+                     " 'tdat' for usage)\n", flag, min);
+        return false;
+      }
+      out_v = static_cast<std::size_t>(n);
+      return true;
+    };
+    std::optional<std::size_t> n;
+    if (arg == "--workers") {
+      if (!count_of("--workers", 1, n)) return 2;
+      opts.workers = *n;
+    } else if (arg == "--shards") {
+      if (!count_of("--shards", 1, n)) return 2;
+      opts.shards = *n;
+    } else if (arg == "--jobs") {
+      if (!count_of("--jobs", 1, n)) return 2;
+      opts.analyzer.jobs = *n;
+    } else if (arg == "--heartbeat-ms") {
+      if (!count_of("--heartbeat-ms", 1, n)) return 2;
+      opts.heartbeat_ms = static_cast<std::uint32_t>(*n);
+    } else if (arg == "--timeout-ms") {
+      if (!count_of("--timeout-ms", 1, n)) return 2;
+      opts.timeout_ms = static_cast<std::uint32_t>(*n);
+    } else if (arg == "--max-respawns") {
+      if (!count_of("--max-respawns", 0, n)) return 2;
+      opts.max_respawns = *n;
+    } else if (arg == "--max-errors") {
+      if (!count_of("--max-errors", 0, n)) return 2;
+      opts.analyzer.ingest.max_errors = *n;
+    } else if (arg == "--strict") {
+      opts.analyzer.ingest.strict = true;
+    } else if (arg == "--run-id") {
+      const char* v = value_of();
+      if (v == nullptr) return fail("--run-id needs a value");
+      opts.run_id = v;
+    } else if (arg == "--output") {
+      const char* v = value_of();
+      if (v == nullptr) return fail("--output needs a value");
+      output = v;
+    } else if (arg == "--listen") {
+      const char* v = value_of();
+      if (v == nullptr) return fail("--listen needs HOST:PORT");
+      opts.listen = v;
+    } else if (arg == "--connect") {
+      const char* v = value_of();
+      if (v == nullptr) return fail("--connect needs HOST:PORT");
+      connect = v;
+    } else if (arg == "--location") {
+      const char* v = value_of();
+      if (v != nullptr && std::strcmp(v, "receiver") == 0) {
+        opts.analyzer.location = SnifferLocation::kNearReceiver;
+      } else if (v != nullptr && std::strcmp(v, "sender") == 0) {
+        opts.analyzer.location = SnifferLocation::kNearSender;
+      } else if (v != nullptr && std::strcmp(v, "middle") == 0) {
+        opts.analyzer.location = SnifferLocation::kMiddle;
+      } else {
+        return fail("--location: valid: receiver, sender, middle");
+      }
+    } else if (arg == "--detectors") {
+      const char* v = value_of();
+      auto selection = parse_detector_selection(v == nullptr ? "" : v);
+      if (!selection.ok()) return fail("--detectors: " + selection.error());
+      opts.analyzer.passes = selection.value();
+    } else if (arg == "--stats") {
+      show_stats = true;
+    } else if (arg == "--quiet-stats") {
+      show_stats = false;
+    } else if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+      return fail("unknown flag '" + std::string(arg) + "'");
+    } else {
+      if (!input.empty()) return fail("only one capture file");
+      input = arg;
+    }
+  }
+  // Worker mode: dial the coordinator and serve assignments until shutdown.
+  if (!connect.empty()) {
+    if (!input.empty()) return fail("--connect takes no capture argument");
+    return fleet::run_worker_connect(connect);
+  }
+  if (input.empty()) return fail("no input capture given");
+  return run_fleet_and_emit(input, opts, output, show_stats, "tdat fleet");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -861,5 +1116,6 @@ int main(int argc, char** argv) {
   if (cmd == "metrics") return cmd_metrics(argc - 2, argv + 2);
   if (cmd == "aggregate") return cmd_aggregate(argc - 2, argv + 2);
   if (cmd == "shard") return cmd_shard(argc - 2, argv + 2);
+  if (cmd == "fleet") return cmd_fleet(argc - 2, argv + 2);
   return usage();
 }
