@@ -117,6 +117,10 @@ std::uint64_t Archive::transfers() const {
 }
 
 void Archive::normalize() {
+  std::sort(tool_versions.begin(), tool_versions.end());
+  tool_versions.erase(
+      std::unique(tool_versions.begin(), tool_versions.end()),
+      tool_versions.end());
   std::sort(connections.begin(), connections.end());
   std::sort(sketches.begin(), sketches.end(), sketch_key_less);
 }
@@ -124,6 +128,12 @@ void Archive::normalize() {
 void Archive::merge_from(const Archive& other) {
   ingest.add(other.ingest);
   budget_exhausted_runs += other.budget_exhausted_runs;
+  tool_versions.insert(tool_versions.end(), other.tool_versions.begin(),
+                       other.tool_versions.end());
+  std::sort(tool_versions.begin(), tool_versions.end());
+  tool_versions.erase(
+      std::unique(tool_versions.begin(), tool_versions.end()),
+      tool_versions.end());
   connections.insert(connections.end(), other.connections.begin(),
                      other.connections.end());
   std::sort(connections.begin(), connections.end());
@@ -159,7 +169,10 @@ std::string Archive::serialize() const {
   w.u64le(ingest.truncated);
   w.u64le(ingest.resynced);
   w.u64le(ingest.skipped_bytes);
+  w.u64le(ingest.tail_truncated);  // v2
   w.u64le(budget_exhausted_runs);
+  w.u32le(static_cast<std::uint32_t>(tool_versions.size()));  // v2
+  for (const std::string& v : tool_versions) encode_string(v, w);
   w.u64le(connections.size());
   for (const ConnectionRecord& c : connections) encode_record(c, w);
   w.u64le(sketches.size());
@@ -185,7 +198,14 @@ Result<Archive> parse_archive(std::span<const std::uint8_t> bytes) {
   a.ingest.truncated = r.u64le();
   a.ingest.resynced = r.u64le();
   a.ingest.skipped_bytes = r.u64le();
+  if (version >= 2) a.ingest.tail_truncated = r.u64le();
   a.budget_exhausted_runs = r.u64le();
+  if (version >= 2) {
+    const std::uint32_t nversions = r.u32le();
+    for (std::uint32_t i = 0; i < nversions && r.ok(); ++i) {
+      a.tool_versions.push_back(decode_string(r));
+    }
+  }
   a.ingest.budget_exhausted = a.budget_exhausted_runs > 0;
   const std::uint64_t conn_count = r.u64le();
   for (std::uint64_t i = 0; i < conn_count && r.ok(); ++i) {

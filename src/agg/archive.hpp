@@ -16,6 +16,11 @@
 // Versioning: the header carries a format version; readers reject newer
 // majors instead of guessing. Fields are fixed little-endian; nothing in the
 // encoding depends on host byte order, locale, or map iteration order.
+//
+// v2 adds two header fields: the ingest tail_truncated tally, and the sorted
+// set of tool releases (semver only — never git hashes or build flavors,
+// which would break byte-identity across checkouts) that contributed rows.
+// v1 archives parse with both defaulted; merge unions the version sets.
 #pragma once
 
 #include <array>
@@ -31,7 +36,7 @@
 
 namespace tdat::agg {
 
-inline constexpr std::uint32_t kArchiveVersion = 1;
+inline constexpr std::uint32_t kArchiveVersion = 2;
 inline constexpr std::uint8_t kArchiveMagic[4] = {'T', 'D', 'A', 'G'};
 
 // One analyzed connection, projected from ConnectionAnalysis: everything the
@@ -94,6 +99,9 @@ struct SketchGroup {
 struct Archive {
   IngestDiagnostics ingest;            // summed across merged runs
   std::uint64_t budget_exhausted_runs = 0;
+  // Releases that produced the merged rows, sorted unique. Empty only for
+  // the merge identity and archives from pre-v2 tools.
+  std::vector<std::string> tool_versions;
   std::vector<ConnectionRecord> connections;  // canonically sorted
   std::vector<SketchGroup> sketches;          // sorted by key
 

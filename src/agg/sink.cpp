@@ -5,6 +5,7 @@
 
 #include "agg/sketch.hpp"
 #include "bgp/message.hpp"
+#include "util/version.hpp"
 
 namespace tdat::agg {
 
@@ -57,6 +58,9 @@ Archive build_archive(const ReportModel& model, const std::string& run_id) {
   Archive archive;
   archive.ingest = model.ingest;
   archive.budget_exhausted_runs = model.ingest.budget_exhausted ? 1 : 0;
+  // Semver only: the archive must stay byte-identical across checkouts of
+  // the same release (git describe would break that).
+  archive.tool_versions = {version_semver()};
   archive.connections.reserve(model.entries.size());
   // std::map keys the sketch groups in SketchKey order, so the sketches
   // vector comes out sorted without a second pass.

@@ -1,0 +1,255 @@
+#include "core/live.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+#include "util/trace.hpp"
+
+namespace tdat {
+namespace {
+
+// Raw records pulled from the source per inner ingest step; matches the
+// batch pipeline's decode granularity (4 decode batches).
+constexpr std::size_t kLiveIngestBatch = 256;
+
+// Packets always retained at the front of a windowed connection: the
+// handshake plus the first data packets, which anchor the RTT/MSS profile
+// and the data direction. Without them a re-analysis of an evicted
+// connection would lose the profile entirely instead of approximating it.
+constexpr std::size_t kEvictKeepHead = 8;
+
+Micros wall_now() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t live_jobs(std::size_t requested, std::size_t connections) {
+  std::size_t jobs = requested == 0 ? default_jobs() : requested;
+  if (connections > 0 && jobs > connections) jobs = connections;
+  return jobs > 0 ? jobs : 1;
+}
+
+}  // namespace
+
+LiveEngine::LiveEngine(TraceSource& source, LiveOptions opts)
+    : source_(source), opts_(opts) {}
+
+void LiveEngine::ingest_packet(DecodedPacket pkt) {
+  const Micros ts = pkt.ts;
+  const std::size_t i = demux_.add_indexed(std::move(pkt));
+  if (i >= results_.size()) {
+    results_.resize(i + 1);
+    states_.resize(i + 1);
+    ++stats_.connections_total;
+  }
+  ConnState& st = states_[i];
+  st.last_ts = ts;
+  if (ts > now_) now_ = ts;
+  if (!st.dirty) {
+    st.dirty = true;
+    dirty_.push_back(static_cast<std::uint32_t>(i));
+  }
+  ++stats_.packets;
+}
+
+std::size_t LiveEngine::run_epoch() {
+  const Micros t0 = wall_now();
+  dirty_.clear();
+  std::size_t total = 0;
+  const std::size_t budget = std::max<std::size_t>(opts_.epoch_batch_records, 1);
+  if (source_.supports_raw_records()) {
+    record_buf_.resize(kLiveIngestBatch);
+    while (total < budget) {
+      const std::size_t want = std::min(kLiveIngestBatch, budget - total);
+      const std::size_t n =
+          source_.next_raw_records(std::span(record_buf_).first(want));
+      if (n == 0) break;
+      const std::span<const StreamRecord> recs(record_buf_.data(), n);
+      std::size_t off = 0;
+      while (off < recs.size()) {
+        packet_buf_.clear();
+        off += decode_records(recs.subspan(off), next_index_ + off,
+                              opts_.analyzer.verify_checksums, decode_scratch_,
+                              packet_buf_);
+        for (DecodedPacket& pkt : packet_buf_) ingest_packet(std::move(pkt));
+      }
+      next_index_ += n;
+      total += n;
+    }
+  } else {
+    // Pre-decoded sources (tests): one record per packet.
+    DecodedPacket pkt;
+    while (total < budget && source_.next(pkt)) {
+      ingest_packet(std::move(pkt));
+      ++next_index_;
+      ++total;
+    }
+  }
+  const Micros t1 = wall_now();
+  ingest_wall_ += t1 - t0;
+
+  analyze_dirty();
+  analyze_wall_ += wall_now() - t1;
+
+  evict_window();
+  gc_idle();
+
+  if (total > 0) {
+    stats_.records += total;
+    ++stats_.epochs;
+  }
+  stats_.connections_active =
+      static_cast<std::uint64_t>(results_.size() - retired_);
+  stats_.newest_ts = now_;
+  metrics().gauge("live.connections_active")
+      .set(static_cast<std::int64_t>(stats_.connections_active));
+  total_wall_ += wall_now() - t0;
+  return total;
+}
+
+void LiveEngine::analyze_dirty() {
+  if (dirty_.empty()) return;
+  std::vector<Connection>& conns = demux_.connections();
+  const std::size_t jobs = live_jobs(opts_.analyzer.jobs, dirty_.size());
+  TDAT_TRACE_SPAN("live.analyze", "live", "dirty",
+                  static_cast<std::int64_t>(dirty_.size()));
+  parallel_for(dirty_.size(), jobs, [&](std::size_t di) {
+    thread_local AnalysisScratch scratch;
+    const std::size_t i = dirty_[di];
+    // Same quarantine contract as the batch analysis stage: a connection
+    // whose analysis throws is isolated in place, never the whole daemon.
+    try {
+      analyze_connection(conns[i], opts_.analyzer, scratch, results_[i]);
+    } catch (const std::exception& e) {
+      TDAT_LOG_WARN("live: connection %s quarantined: %s",
+                    conns[i].key.to_string().c_str(), e.what());
+      results_[i] = ConnectionAnalysis{};
+      results_[i].key = conns[i].key;
+      results_[i].quarantine_reason = "analysis failed with an exception";
+    } catch (...) {
+      results_[i] = ConnectionAnalysis{};
+      results_[i].key = conns[i].key;
+      results_[i].quarantine_reason = "analysis failed";
+    }
+    results_[i].conn_index = i;
+  });
+  // Location inference reads the packet list, which eviction may trim later:
+  // freeze the estimate while the evidence is at its freshest.
+  for (const std::uint32_t i : dirty_) {
+    states_[i].where = infer_sniffer_location(conns[i], results_[i].profile);
+    states_[i].dirty = false;
+  }
+}
+
+void LiveEngine::evict_window() {
+  if (opts_.window <= 0 || now_ < 0) return;
+  const Micros horizon = now_ - opts_.window;
+  std::vector<Connection>& conns = demux_.connections();
+  std::uint64_t evicted = 0;
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    if (states_[i].retired) continue;
+    std::vector<DecodedPacket>& pkts = conns[i].packets;
+    if (pkts.size() <= kEvictKeepHead + 1) continue;
+    const std::size_t last = pkts.size() - 1;  // newest packet always stays
+    std::size_t cut = kEvictKeepHead;
+    while (cut < last && pkts[cut].ts < horizon) ++cut;
+    if (cut > kEvictKeepHead) {
+      pkts.erase(pkts.begin() + static_cast<std::ptrdiff_t>(kEvictKeepHead),
+                 pkts.begin() + static_cast<std::ptrdiff_t>(cut));
+      evicted += cut - kEvictKeepHead;
+    }
+  }
+  if (evicted > 0) {
+    stats_.packets_evicted += evicted;
+    metrics().counter("live.packets_evicted").inc(evicted);
+  }
+}
+
+void LiveEngine::gc_idle() {
+  if (opts_.idle_gc <= 0 || now_ < 0) return;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].retired || states_[i].last_ts < 0) continue;
+    if (states_[i].last_ts + opts_.idle_gc <= now_) retire(i);
+  }
+}
+
+void LiveEngine::retire(std::size_t i) {
+  // Free the slot first: a later packet on the same 4-tuple must open a
+  // brand-new connection instead of reviving this one.
+  demux_.forget(i);
+  Connection& conn = demux_.connections()[i];
+  conn.packets.clear();
+  conn.packets.shrink_to_fit();
+  ConnectionAnalysis& a = results_[i];
+  a.bundle = SeriesBundle{};
+  // Keep the OPENs: peer-AS attribution in snapshots survives GC, while the
+  // UPDATE bodies — the bulk of retained message memory — are released.
+  std::erase_if(a.messages, [](const TimedBgpMessage& m) {
+    return m.msg.type() != BgpType::kOpen;
+  });
+  a.messages.shrink_to_fit();
+  states_[i].retired = true;
+  ++retired_;
+  ++stats_.connections_gc;
+  metrics().counter("live.connections_gc").inc();
+  TDAT_LOG_INFO("live: retired idle connection %s", a.key.to_string().c_str());
+}
+
+void LiveEngine::drain() {
+  source_.begin_drain();
+  while (run_epoch() > 0) {
+  }
+}
+
+std::string LiveEngine::render_snapshot(ReportFormat format,
+                                        const ReportRenderOptions& ropts) {
+  std::vector<Connection>& conns = demux_.connections();
+  ReportModel model;
+  model.entries.reserve(results_.size());
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    ReportEntry entry;
+    entry.conn = &conns[i];
+    entry.analysis = &results_[i];
+    entry.where = states_[i].where;
+    model.entries.push_back(entry);
+    if (results_[i].quarantined()) ++model.quarantined;
+  }
+  model.ingest = source_.diagnostics();
+  std::vector<FileIngestDiagnostics> files;
+  source_.collect_file_diagnostics(files);
+  for (FileIngestDiagnostics& f : files) {
+    if (f.diag.has_errors()) model.files.push_back(std::move(f));
+  }
+  return render_report(model, format, ropts);
+}
+
+std::size_t LiveEngine::retained_packets() const {
+  std::size_t n = 0;
+  for (const Connection& conn : demux_.connections()) n += conn.packets.size();
+  return n;
+}
+
+PipelineStats LiveEngine::pipeline_stats() const {
+  PipelineStats stats;
+  stats.bytes_ingested = source_.bytes_ingested();
+  stats.records = source_.records_seen();
+  stats.packets = stats_.packets;
+  stats.connections = results_.size();
+  for (const ConnectionAnalysis& a : results_) {
+    if (a.quarantined()) ++stats.quarantined;
+  }
+  stats.ingest = source_.diagnostics();
+  stats.jobs = live_jobs(opts_.analyzer.jobs, results_.size());
+  stats.ingest_wall = ingest_wall_;
+  stats.analyze_wall = analyze_wall_;
+  stats.total_wall = total_wall_;
+  return stats;
+}
+
+}  // namespace tdat

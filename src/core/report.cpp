@@ -7,6 +7,7 @@
 #include "timerange/render.hpp"
 #include "util/assert.hpp"
 #include "util/metrics.hpp"
+#include "util/version.hpp"
 
 namespace tdat {
 
@@ -107,12 +108,16 @@ void render_text(const ReportModel& model, const ReportRenderOptions& opts,
 }
 
 void render_json(const ReportModel& model, std::string& out) {
-  // Clean captures render the historical plain array, byte for byte. Only
-  // when ingest reported damage is the array wrapped in an object that also
-  // carries the diagnostics — consumers of clean output never see a change.
-  const bool wrapped = model.ingest.has_errors();
-  if (wrapped) {
-    out += "{\"ingest\":";
+  // Every JSON report opens with the release that produced it, so consumers
+  // can gate on version skew. Only the semver enters the bytes (never git
+  // describe or build flavor): reports from one release stay byte-stable
+  // across checkouts. The "ingest" member appears only when ingest reported
+  // damage — clean captures keep a fixed shape.
+  out += "{\"tdat_version\":\"";
+  out += json_escape(version_semver());
+  out += '"';
+  if (model.ingest.has_errors()) {
+    out += ",\"ingest\":";
     std::string diag = model.ingest.to_json();
     if (!model.files.empty()) {
       diag.pop_back();  // reopen the diagnostics object for "files"
@@ -127,9 +132,8 @@ void render_json(const ReportModel& model, std::string& out) {
       diag += "]}";
     }
     out += diag;
-    out += ",\"connections\":";
   }
-  out += '[';
+  out += ",\"connections\":[";
   bool first_entry = true;
   for (const ReportEntry& entry : model.entries) {
     if (!first_entry) out += ',';
@@ -152,8 +156,7 @@ void render_json(const ReportModel& model, std::string& out) {
     }
     out += "}}";
   }
-  out += ']';
-  if (wrapped) out += '}';
+  out += "]}";
   out += '\n';
 }
 

@@ -70,6 +70,18 @@ class TraceSource {
       std::vector<FileIngestDiagnostics>& out) const {
     (void)out;
   }
+
+  // ---- Live-source extension (core/live_source.hpp implements these) ----
+  // While live() is true, next()/next_raw_records() returning no records is
+  // provisional — the capture is still being written. The caller polls
+  // poll_live() (re-stat a followed file, check a feed) and retries; once
+  // the input is known to be finished it calls begin_drain(), after which
+  // the source applies batch end-of-data semantics (truncation tallies
+  // included) and exhausts normally. Batch sources are never live.
+  [[nodiscard]] virtual bool live() const { return false; }
+  // Returns true when new input may be available for a retry.
+  [[nodiscard]] virtual bool poll_live() { return false; }
+  virtual void begin_drain() {}
 };
 
 // Pre-decoded packets, handed out in order. Owns the vector.

@@ -6,12 +6,15 @@ void IngestDiagnostics::add(const IngestDiagnostics& other) {
   truncated += other.truncated;
   resynced += other.resynced;
   skipped_bytes += other.skipped_bytes;
+  tail_truncated += other.tail_truncated;
   budget_exhausted = budget_exhausted || other.budget_exhausted;
 }
 
 std::string IngestDiagnostics::to_json() const {
   std::string out = "{\"truncated\":";
   out += std::to_string(truncated);
+  out += ",\"tail_truncated\":";
+  out += std::to_string(tail_truncated);
   out += ",\"resynced\":";
   out += std::to_string(resynced);
   out += ",\"skipped_bytes\":";

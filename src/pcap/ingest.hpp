@@ -48,6 +48,12 @@ struct IngestDiagnostics {
                                     // strict-mode stops on a corrupt header)
   std::uint64_t resynced = 0;       // corrupt headers recovered by scanning
   std::uint64_t skipped_bytes = 0;  // garbage bytes stepped over by resyncs
+  // Of `truncated`, how many were a half-written record at the very end of
+  // the data — the shape a live follower sees on a capture still being
+  // written (or a rotation mid-record), as opposed to a corrupt header in
+  // the middle of the file. Always <= truncated; strict-mode stops on a
+  // corrupt interior header count toward truncated only.
+  std::uint64_t tail_truncated = 0;
   bool budget_exhausted = false;    // max_errors hit; the tail was dropped
 
   [[nodiscard]] bool has_errors() const {
@@ -57,7 +63,8 @@ struct IngestDiagnostics {
 
   void add(const IngestDiagnostics& other);
 
-  // {"truncated":N,"resynced":N,"skipped_bytes":N,"budget_exhausted":B}
+  // {"truncated":N,"tail_truncated":N,"resynced":N,"skipped_bytes":N,
+  //  "budget_exhausted":B}
   [[nodiscard]] std::string to_json() const;
 };
 

@@ -108,6 +108,17 @@ Result<PcapStream> PcapStream::from_image(std::shared_ptr<const void> pin,
   return init(std::move(s));
 }
 
+Result<PcapStream> PcapStream::from_feed(std::shared_ptr<ByteFeed> feed,
+                                         const IngestPolicy& policy,
+                                         std::size_t chunk_size) {
+  PcapStream s;
+  s.feed_ = std::move(feed);
+  s.policy_ = policy;
+  s.chunk_size_ = chunk_size >= kGlobalHeaderLen ? chunk_size : kGlobalHeaderLen;
+  s.tail_ = true;
+  return init(std::move(s));
+}
+
 Result<PcapStream> PcapStream::open_auto(const std::string& path,
                                          const IngestPolicy& policy,
                                          std::size_t chunk_size) {
@@ -176,8 +187,10 @@ std::size_t PcapStream::read_source(std::uint8_t* dst, std::size_t n) {
     if (file_remaining_ != SIZE_MAX) {
       file_remaining_ -= std::min(got, file_remaining_);
     }
+    file_consumed_ += got;
     return got;
   }
+  if (feed_) return feed_->read(dst, n);
   const std::size_t got = std::min(n, mem_.size() - mem_pos_);
   std::memcpy(dst, mem_.data() + mem_pos_, got);
   mem_pos_ += got;
@@ -187,7 +200,32 @@ std::size_t PcapStream::read_source(std::uint8_t* dst, std::size_t n) {
 std::size_t PcapStream::source_remaining() const {
   if (pinned_) return 0;  // the image is consumed in place, nothing left to read
   if (file_) return file_remaining_;
+  // An open feed's future size is unknowable; once closed, what is buffered
+  // is all there will ever be.
+  if (feed_) return feed_->closed() ? feed_->available() : SIZE_MAX;
   return mem_.size() - mem_pos_;
+}
+
+bool PcapStream::poll_growth() {
+  if (!file_) return false;
+#if defined(__unix__) || defined(__APPLE__)
+  struct stat st;
+  if (fstat(fileno(file_.get()), &st) != 0 || !S_ISREG(st.st_mode)) {
+    return false;
+  }
+  const std::uint64_t size =
+      st.st_size >= 0 ? static_cast<std::uint64_t>(st.st_size) : 0;
+  file_remaining_ = size > file_consumed_
+                        ? static_cast<std::size_t>(size - file_consumed_)
+                        : 0;
+  if (file_remaining_ == 0) return false;
+  // fread latches EOF the first time it hits the (then-)end of the file;
+  // clear it so the next refill sees the appended bytes.
+  std::clearerr(file_.get());
+  return true;
+#else
+  return false;
+#endif
 }
 
 bool PcapStream::refill(std::size_t n) {
@@ -201,6 +239,12 @@ bool PcapStream::refill(std::size_t n) {
   // trusting the claim.
   const std::size_t remaining = source_remaining();
   if (remaining == 0) return false;
+  // An open feed that cannot satisfy the request yet: bail before touching
+  // the arenas, so a tail-mode poll loop doesn't churn a relocation per poll.
+  if (feed_ && !feed_->closed()) {
+    const std::size_t tail_now = arena_ ? fill_ - pos_ : 0;
+    if (tail_now + feed_->available() < n) return false;
+  }
   TDAT_TRACE_SPAN("pcap.refill", "pcap");
   const std::int64_t t0 = monotonic_micros();
   const std::size_t tail = arena_ ? fill_ - pos_ : 0;
@@ -277,22 +321,29 @@ bool PcapStream::plausible_record_at(std::size_t at, Micros after) const {
   return true;
 }
 
-bool PcapStream::resync() {
-  if (diag_.resynced >= policy_.max_errors) {
-    diag_.budget_exhausted = true;
-    TDAT_LOG_WARN("pcap: resync budget (%llu) exhausted after %llu records; "
-                  "dropping tail",
-                  static_cast<unsigned long long>(policy_.max_errors),
-                  static_cast<unsigned long long>(records_read_));
-    return false;
+StreamStatus PcapStream::resync_step() {
+  if (!resync_active_) {
+    if (diag_.resynced >= policy_.max_errors) {
+      diag_.budget_exhausted = true;
+      TDAT_LOG_WARN("pcap: resync budget (%llu) exhausted after %llu records; "
+                    "dropping tail",
+                    static_cast<unsigned long long>(policy_.max_errors),
+                    static_cast<unsigned long long>(records_read_));
+      return StreamStatus::kEnd;
+    }
+    resync_active_ = true;
+    resync_skipped_ = 1;  // the corrupt header's first byte
+    ++pos_;
   }
   TDAT_TRACE_SPAN("pcap.resync", "pcap");
-  std::uint64_t skipped = 1;  // the corrupt header's first byte
-  ++pos_;
   // Slide a byte-granular window looking for the next header whose fields —
   // and, when the data is there, whose *successor's* fields — are plausible.
   // pos_ advances past every rejected byte, so refill never has to hold more
   // than a chunk of unvalidated tail and the scan is O(remaining bytes).
+  // In tail mode every decision that would need bytes beyond the current end
+  // of data pauses the scan (kNeedMore) instead of deciding early: a
+  // candidate must be accepted or rejected on exactly the evidence the
+  // batch reader would have, or live and batch replays would diverge.
   while (refill(kRecordHeaderLen)) {
     while (fill_ - pos_ >= kRecordHeaderLen) {
       if (plausible_record_at(pos_, last_ts_)) {
@@ -312,101 +363,142 @@ bool PcapStream::resync() {
           // pos_ only after the last refill has run.
           const bool have_succ =
               refill(kRecordHeaderLen + incl + kRecordHeaderLen);
+          if (!have_succ && tailing()) return StreamStatus::kNeedMore;
           const std::size_t succ = pos_ + kRecordHeaderLen + incl;
           if (!have_succ || plausible_record_at(succ, cand_ts)) {
-            diag_.skipped_bytes += skipped;
+            diag_.skipped_bytes += resync_skipped_;
             ++diag_.resynced;
-            bytes_read_ += skipped;
+            bytes_read_ += resync_skipped_;
             m_err_resynced_->inc();
-            m_err_skipped_->inc(skipped);
+            m_err_skipped_->inc(resync_skipped_);
             TDAT_LOG_WARN(
                 "pcap: corrupt record header after %llu records; resynced "
                 "after skipping %llu bytes",
                 static_cast<unsigned long long>(records_read_),
-                static_cast<unsigned long long>(skipped));
-            return true;
+                static_cast<unsigned long long>(resync_skipped_));
+            resync_active_ = false;
+            return StreamStatus::kOk;
           }
+        } else if (tailing()) {
+          // The candidate's body is not all here yet; it may be a real
+          // record still being written. Pause at the candidate.
+          return StreamStatus::kNeedMore;
         }
       }
       ++pos_;
-      ++skipped;
+      ++resync_skipped_;
     }
+    if (tailing()) return StreamStatus::kNeedMore;
   }
+  if (tailing()) return StreamStatus::kNeedMore;
   // Source exhausted without a plausible header: the remaining sub-header
   // bytes are garbage too.
-  skipped += fill_ - pos_;
+  resync_skipped_ += fill_ - pos_;
   pos_ = fill_;
-  diag_.skipped_bytes += skipped;
-  bytes_read_ += skipped;
-  m_err_skipped_->inc(skipped);
+  diag_.skipped_bytes += resync_skipped_;
+  bytes_read_ += resync_skipped_;
+  m_err_skipped_->inc(resync_skipped_);
   TDAT_LOG_WARN("pcap: no plausible record found after corrupt header; "
                 "dropped %llu trailing bytes",
-                static_cast<unsigned long long>(skipped));
-  return false;
+                static_cast<unsigned long long>(resync_skipped_));
+  resync_active_ = false;
+  return StreamStatus::kEnd;
 }
 
 bool PcapStream::next(StreamRecord& out) {
-  if (done_) return false;
+  // Batch callers never tail, so kNeedMore cannot occur here.
+  return next_live(out) == StreamStatus::kOk;
+}
+
+StreamStatus PcapStream::next_live(StreamRecord& out) {
+  if (done_) return StreamStatus::kEnd;
   for (;;) {
-    if (!refill(kRecordHeaderLen)) {
-      if (fill_ - pos_ > 0) {
-        // Partial record header at end of data.
-        ++diag_.truncated;
-        m_err_truncated_->inc();
-        TDAT_LOG_WARN("pcap: truncated record header after %llu records "
-                      "(%llu bytes); dropping tail",
-                      static_cast<unsigned long long>(records_read_),
-                      static_cast<unsigned long long>(bytes_read_));
-      }
-      done_ = true;
-      return false;
-    }
-    const std::size_t header_at = pos_;
-    const std::uint32_t ts_sec = u32();
-    const std::uint32_t ts_frac = u32();
-    const std::uint32_t incl_len = u32();
-    const std::uint32_t orig_len = u32();
-    if (incl_len == 0 || incl_len > effective_snaplen()) {
-      pos_ = header_at;
-      if (policy_.strict) {
-        ++diag_.truncated;
-        m_err_truncated_->inc();
-        TDAT_LOG_WARN("pcap: corrupt record header after %llu records "
-                      "(%llu bytes); dropping tail (strict)",
-                      static_cast<unsigned long long>(records_read_),
-                      static_cast<unsigned long long>(bytes_read_));
+    if (resync_active_) {
+      const StreamStatus rs = resync_step();
+      if (rs == StreamStatus::kNeedMore) return rs;
+      if (rs == StreamStatus::kEnd) {
         done_ = true;
-        return false;
+        return rs;
       }
-      if (!resync()) {
-        done_ = true;
-        return false;
-      }
-      continue;  // re-parse the recovered header
+      // kOk: pos_ sits on the recovered header; parse it below.
     }
-    if (!refill(incl_len)) {
+    if (!pending_.have) {
+      if (!refill(kRecordHeaderLen)) {
+        if (tailing()) return StreamStatus::kNeedMore;
+        if (fill_ - pos_ > 0) {
+          // Partial record header at end of data.
+          ++diag_.truncated;
+          ++diag_.tail_truncated;
+          m_err_truncated_->inc();
+          TDAT_LOG_WARN("pcap: truncated record header after %llu records "
+                        "(%llu bytes); dropping tail",
+                        static_cast<unsigned long long>(records_read_),
+                        static_cast<unsigned long long>(bytes_read_));
+        }
+        done_ = true;
+        return StreamStatus::kEnd;
+      }
+      const std::size_t header_at = pos_;
+      const std::uint32_t ts_sec = u32();
+      const std::uint32_t ts_frac = u32();
+      const std::uint32_t incl_len = u32();
+      const std::uint32_t orig_len = u32();
+      if (incl_len == 0 || incl_len > effective_snaplen()) {
+        pos_ = header_at;
+        if (policy_.strict) {
+          // Interior corruption, not an end-of-data artifact: counts toward
+          // truncated but not tail_truncated.
+          ++diag_.truncated;
+          m_err_truncated_->inc();
+          TDAT_LOG_WARN("pcap: corrupt record header after %llu records "
+                        "(%llu bytes); dropping tail (strict)",
+                        static_cast<unsigned long long>(records_read_),
+                        static_cast<unsigned long long>(bytes_read_));
+          done_ = true;
+          return StreamStatus::kEnd;
+        }
+        const StreamStatus rs = resync_step();
+        if (rs == StreamStatus::kNeedMore) return rs;
+        if (rs == StreamStatus::kEnd) {
+          done_ = true;
+          return rs;
+        }
+        continue;  // re-parse the recovered header
+      }
+      // Stash the parsed header before fetching the body: a tail-mode retry
+      // cannot rewind to header_at because refill relocates only unconsumed
+      // bytes — the 16 header bytes are gone from the arena.
+      pending_.ts = static_cast<Micros>(ts_sec) * kMicrosPerSec +
+                    (nanos_ ? ts_frac / 1000 : ts_frac);
+      pending_.orig_len = orig_len;
+      pending_.incl_len = incl_len;
+      pending_.have = true;
+    }
+    if (!refill(pending_.incl_len)) {
+      if (tailing()) return StreamStatus::kNeedMore;  // body still arriving
       // Body cut off at end of data: nothing after it to resync into.
       ++diag_.truncated;
+      ++diag_.tail_truncated;
       m_err_truncated_->inc();
       TDAT_LOG_WARN("pcap: truncated record after %llu records "
                     "(%llu bytes); dropping tail",
                     static_cast<unsigned long long>(records_read_),
                     static_cast<unsigned long long>(bytes_read_));
       done_ = true;
-      return false;
+      return StreamStatus::kEnd;
     }
-    out.ts = static_cast<Micros>(ts_sec) * kMicrosPerSec +
-             (nanos_ ? ts_frac / 1000 : ts_frac);
-    out.orig_len = orig_len;
-    out.data = std::span<const std::uint8_t>(base() + pos_, incl_len);
+    out.ts = pending_.ts;
+    out.orig_len = pending_.orig_len;
+    out.data = std::span<const std::uint8_t>(base() + pos_, pending_.incl_len);
     out.arena = pinned_ ? pin_ : std::static_pointer_cast<const void>(arena_);
     last_ts_ = out.ts;
-    pos_ += incl_len;
-    bytes_read_ += kRecordHeaderLen + incl_len;
+    pos_ += pending_.incl_len;
+    bytes_read_ += kRecordHeaderLen + pending_.incl_len;
     ++records_read_;
     m_records_->inc();
-    m_bytes_->inc(kRecordHeaderLen + incl_len);
-    return true;
+    m_bytes_->inc(kRecordHeaderLen + pending_.incl_len);
+    pending_.have = false;
+    return StreamStatus::kOk;
   }
 }
 

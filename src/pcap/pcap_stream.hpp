@@ -53,6 +53,23 @@ struct StreamRecord {
   std::shared_ptr<const void> arena;   // pin for `data`
 };
 
+// Tri-state result of a live read. kNeedMore only occurs in tail mode: the
+// source has no complete record *right now*, but more bytes may still arrive
+// — retry after the source grows. kEnd is terminal.
+enum class StreamStatus { kOk, kEnd, kNeedMore };
+
+// Byte source for live in-memory streaming (ring buffers, test harnesses).
+// `read` is non-blocking and returns however many bytes are available;
+// `closed` flips once the producer is done appending, after which the stream
+// drains the remaining buffered bytes with batch semantics.
+class ByteFeed {
+ public:
+  virtual ~ByteFeed() = default;
+  [[nodiscard]] virtual std::size_t read(std::uint8_t* dst, std::size_t n) = 0;
+  [[nodiscard]] virtual std::size_t available() const = 0;
+  [[nodiscard]] virtual bool closed() const = 0;
+};
+
 class PcapStream {
  public:
   static constexpr std::size_t kDefaultChunkSize = 1 << 20;  // 1 MiB
@@ -91,13 +108,48 @@ class PcapStream {
       const std::string& path, const IngestPolicy& policy = {},
       std::size_t chunk_size = kDefaultChunkSize);
 
+  // Live streaming over a ByteFeed (the chunked reader pulls from the feed
+  // instead of a file). The feed must already hold the 24-byte global header
+  // when this is called — callers poll `available()` first. The stream
+  // starts in tail mode; it drains with batch semantics once the feed
+  // closes (or after `begin_drain()`).
+  [[nodiscard]] static Result<PcapStream> from_feed(
+      std::shared_ptr<ByteFeed> feed, const IngestPolicy& policy = {},
+      std::size_t chunk_size = kDefaultChunkSize);
+
   PcapStream(PcapStream&&) = default;
   PcapStream& operator=(PcapStream&&) = default;
 
   // Fetches the next record. Returns false at end of stream — clean EOF, a
   // truncated tail, or (strict mode / exhausted error budget) a corrupt
-  // header; see `diagnostics()` for what, if anything, was lost.
+  // header; see `diagnostics()` for what, if anything, was lost. Batch
+  // entry point: never used in tail mode (see next_live).
   [[nodiscard]] bool next(StreamRecord& out);
+
+  // Tail-mode read: like next(), but when the source runs out of bytes
+  // mid-record (or mid-resync-scan) while more may still arrive, returns
+  // kNeedMore instead of tallying a truncation — the caller grows the
+  // source (poll_growth / feed append) and retries. Every accept/reject
+  // decision is deferred until the same bytes are present that the batch
+  // reader would have had, so a finished capture replayed through any
+  // sequence of kNeedMore retries yields the exact record sequence and
+  // diagnostics of a single batch pass.
+  [[nodiscard]] StreamStatus next_live(StreamRecord& out);
+
+  // Tail mode: end-of-data is provisional (the file is still being written /
+  // the feed is still open). Off by default; FollowSource turns it on.
+  void set_tail(bool tail) { tail_ = tail; }
+  [[nodiscard]] bool tail() const { return tail_; }
+
+  // Leaves tail mode: the remaining bytes are final, and the next
+  // next_live() calls apply batch end-of-data semantics (truncation tallies
+  // included) instead of returning kNeedMore.
+  void begin_drain() { tail_ = false; }
+
+  // Re-checks a followed file's size (clearing the stdio EOF latch) so a
+  // tail-mode stream can keep reading bytes appended since the last EOF.
+  // Returns true when unread bytes are now available.
+  [[nodiscard]] bool poll_growth();
 
   [[nodiscard]] bool nanosecond() const { return nanos_; }
   [[nodiscard]] std::uint32_t snaplen() const { return snaplen_; }
@@ -108,6 +160,12 @@ class PcapStream {
   // handed out so far.
   [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
   [[nodiscard]] std::uint64_t records_read() const { return records_read_; }
+  // Raw bytes fread from a file source so far (parsed or still buffered).
+  // FollowSource compares this against the path's current size to detect a
+  // copytruncate rotation (the file shrinking under the reader).
+  [[nodiscard]] std::uint64_t file_bytes_consumed() const {
+    return file_consumed_;
+  }
 
   // Drains the remaining records into the in-memory representation — the
   // PcapFile API is a thin adapter over the stream (read_pcap_file uses it).
@@ -143,21 +201,35 @@ class PcapStream {
   // stream's byte order, snaplen, and timestamp progression?
   [[nodiscard]] bool plausible_record_at(std::size_t at, Micros after) const;
   // Scans forward from the (corrupt) header at pos_ for the next plausible
-  // record; updates diag_ and positions pos_ on the recovered header.
-  [[nodiscard]] bool resync();
+  // record; updates diag_ and positions pos_ on the recovered header. In
+  // tail mode the scan pauses (kNeedMore) whenever a decision would need
+  // bytes the source does not hold yet, and resumes on the next call with
+  // its position and skip count intact.
+  [[nodiscard]] StreamStatus resync_step();
+  // Is end-of-data provisional right now? (tail mode and the source can
+  // still grow: a followed file, or a feed not yet closed.)
+  [[nodiscard]] bool tailing() const {
+    if (!tail_) return false;
+    if (feed_) return !feed_->closed();
+    return file_ != nullptr;  // a plain memory image can never grow
+  }
 
-  // Source: exactly one of `file_` / `mem_` is active. With `pinned_` set,
-  // `mem_` is the whole capture held alive by `pin_` and is consumed in
-  // place instead of being chunked through arenas.
+  // Source: exactly one of `file_` / `feed_` / `mem_` is active. With
+  // `pinned_` set, `mem_` is the whole capture held alive by `pin_` and is
+  // consumed in place instead of being chunked through arenas.
   std::unique_ptr<std::FILE, FileCloser> file_;
+  std::shared_ptr<ByteFeed> feed_;
   std::span<const std::uint8_t> mem_;
   std::shared_ptr<const void> pin_;  // keepalive for mem_ in zero-copy mode
   bool pinned_ = false;
   std::size_t mem_pos_ = 0;
   // Unread bytes left in file_ (SIZE_MAX when unseekable). Bounds arena
-  // growth: a hostile header can claim a multi-gigabyte record, but the
-  // allocation must never exceed what the source can actually provide.
+  // growth: a hostile record header can claim a multi-gigabyte record, but
+  // the allocation must never exceed what the source can actually provide.
   std::size_t file_remaining_ = SIZE_MAX;
+  // Total bytes fread from file_ so far; poll_growth re-derives
+  // file_remaining_ from a fresh fstat minus this.
+  std::uint64_t file_consumed_ = 0;
 
   std::size_t chunk_size_ = kDefaultChunkSize;
   std::shared_ptr<Arena> arena_;  // current chunk (unused in zero-copy mode)
@@ -169,8 +241,24 @@ class PcapStream {
   bool nanos_ = false;
   std::uint32_t snaplen_ = 65535;
   bool done_ = false;
+  bool tail_ = false;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t records_read_ = 0;
+
+  // Record header parsed but body not yet fully present (tail mode). The
+  // stash exists because a refill relocates only the *unconsumed* tail into
+  // the fresh arena — the 16 header bytes are already consumed, so the
+  // parse cannot be rewound and re-run after more bytes arrive.
+  struct PendingRecord {
+    Micros ts = 0;
+    std::uint32_t orig_len = 0;
+    std::uint32_t incl_len = 0;
+    bool have = false;
+  };
+  PendingRecord pending_;
+  // Resync scan paused mid-flight waiting for more bytes (tail mode).
+  bool resync_active_ = false;
+  std::uint64_t resync_skipped_ = 0;
 
   IngestPolicy policy_;
   IngestDiagnostics diag_;

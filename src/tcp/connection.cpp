@@ -72,7 +72,7 @@ void ConnectionDemux::grow() {
   }
 }
 
-void ConnectionDemux::add(DecodedPacket pkt) {
+std::size_t ConnectionDemux::add_indexed(DecodedPacket pkt) {
   // Registry lookups are one-time; per-packet cost is a relaxed inc.
   static Counter& packets_seen = metrics().counter("demux.packets");
   static Counter& conns_opened = metrics().counter("demux.connections_opened");
@@ -108,6 +108,37 @@ void ConnectionDemux::add(DecodedPacket pkt) {
     pkt.ts = conn.packets.back().ts;
   }
   conn.packets.push_back(std::move(pkt));
+  return slot.conn_index;
+}
+
+void ConnectionDemux::forget(std::size_t conn_index) {
+  if (slots_.empty() || conn_index >= conns_.size()) return;
+  const ConnKey key = conns_[conn_index].key;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(conn_key_hash(key)) & mask;
+  while (slots_[i].used && !(slots_[i].key == key)) i = (i + 1) & mask;
+  if (!slots_[i].used) return;  // key already gone
+  // If a fresh SYN already remapped the key onto a newer connection, the
+  // older one holds no slot — nothing to forget.
+  if (slots_[i].conn_index != conn_index) return;
+  // Backward-shift deletion: walk the probe run after the hole and slide
+  // every entry that would become unreachable (its home position lies at or
+  // before the hole) down into it. No tombstones, so probe() stays a pure
+  // used/match scan.
+  std::size_t hole = i;
+  std::size_t j = (i + 1) & mask;
+  while (slots_[j].used) {
+    const std::size_t home =
+        static_cast<std::size_t>(conn_key_hash(slots_[j].key)) & mask;
+    if (((j - home) & mask) >= ((j - hole) & mask)) {
+      slots_[hole] = std::move(slots_[j]);
+      slots_[j] = Slot{};
+      hole = j;
+    }
+    j = (j + 1) & mask;
+  }
+  slots_[hole] = Slot{};
+  --occupied_;
 }
 
 std::vector<Connection> ConnectionDemux::take() {

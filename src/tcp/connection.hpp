@@ -66,13 +66,36 @@ struct Connection {
 // the style of bgp::PrefixSet (power-of-two capacity, load factor < 1/2,
 // Fibonacci-mixed hash): the lookup is the hottest non-analysis operation in
 // the pipeline and a node-based map was paying a pointer chase plus an
-// allocation per connection for it. Keys are never deleted individually —
-// take() clears the whole table — so probing needs no tombstones.
+// allocation per connection for it. Batch runs never delete keys — take()
+// clears the whole table — so probing needs no tombstones; the live
+// engine's per-key forget() uses backward-shift deletion to keep it that
+// way.
 class ConnectionDemux {
  public:
-  void add(DecodedPacket pkt);
+  void add(DecodedPacket pkt) { (void)add_indexed(std::move(pkt)); }
+
+  // Like add(), returning the index (into connections()/take() order) of
+  // the connection the packet joined — the live engine uses it to mark
+  // connections dirty for incremental re-analysis.
+  std::size_t add_indexed(DecodedPacket pkt);
 
   [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
+
+  // In-place view of the connections in first-seen order, for callers that
+  // analyze incrementally without draining the demux. Indices are stable
+  // for the demux's lifetime (forget() never erases from this vector).
+  [[nodiscard]] std::vector<Connection>& connections() { return conns_; }
+  [[nodiscard]] const std::vector<Connection>& connections() const {
+    return conns_;
+  }
+
+  // Drops the key -> connection mapping for conns_[conn_index] (a no-op if
+  // the key has already been remapped to a newer connection). The
+  // Connection object itself stays in place — indices held by callers
+  // remain valid — but the next packet on that key opens a brand-new
+  // connection, exactly as if the key had never been seen. This is how the
+  // live engine garbage-collects idle sessions without renumbering.
+  void forget(std::size_t conn_index);
 
   // Finishes demultiplexing and yields the connections in first-seen order.
   // The demux is empty afterwards and may be reused; the slot array keeps

@@ -1,0 +1,30 @@
+// Build/version identification, stamped at configure time (util/version.cpp
+// is generated from version.cpp.in).
+//
+// Two tiers with different stability contracts:
+//   version_semver()   the release version alone. This is the ONLY version
+//                      string allowed into canonical artifacts (.tdagg
+//                      tool_versions, JSON report headers): archives produced
+//                      by the same release must stay byte-identical across
+//                      checkouts, so git hashes and build flavors must never
+//                      reach serialized bytes.
+//   version_git() / version_build_type() / version_sanitizer()
+//                      configure-environment detail (git describe, Release/
+//                      Debug, sanitizer) for humans debugging a binary —
+//                      `tdat version` output only.
+#pragma once
+
+#include <string>
+
+namespace tdat {
+
+[[nodiscard]] const char* version_semver();
+[[nodiscard]] const char* version_git();
+[[nodiscard]] const char* version_build_type();
+// Sanitizer the tree was built under ("none" when clean).
+[[nodiscard]] const char* version_sanitizer();
+
+// Human-readable one-liner: "tdat <semver> (<git>, <build-type>[, <san>])".
+[[nodiscard]] std::string version_string();
+
+}  // namespace tdat

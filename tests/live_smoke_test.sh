@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the always-on pipeline: `tdat watch` tails a
+# capture that grows underneath it, emits periodic snapshots, and on SIGTERM
+# drains to the true end of data and writes a final snapshot that must be
+# byte-identical to batch `analyze --format agg` over the finished capture.
+# Also covers --once (drain-what-is-there mode) over a corrupted capture
+# from the fault matrix, where the live/batch identity must survive resync.
+#
+# Usage: live_smoke_test.sh <path-to-tdat>
+set -u
+
+TDAT="$1"
+WORK="$(mktemp -d)"
+WATCH_PID=""
+cleanup() {
+  [ -n "$WATCH_PID" ] && kill -9 "$WATCH_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "live_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+# --- a deterministic finished capture, and its batch-analysis baseline -----
+"$TDAT" simulate baseline "$WORK/full.pcap" --sessions 2 \
+  || fail "simulate baseline"
+"$TDAT" analyze "$WORK/full.pcap" --format agg --quiet-stats \
+  > "$WORK/batch.tdagg" || fail "batch analyze"
+
+# --- scenario 1: watch a file that appears and then grows ------------------
+# The daemon starts before the capture even exists; the file then appears
+# and grows in 64 KiB chunks (mid-record splits at almost every boundary).
+"$TDAT" watch "$WORK/grow.pcap" \
+  --output "$WORK/live.tdagg" --snapshot-dir "$WORK/snaps" --format agg \
+  --snapshot-interval 0.2 --poll-ms 20 --quiet-stats &
+WATCH_PID=$!
+mkdir -p "$WORK/snaps"
+
+SIZE=$(wc -c < "$WORK/full.pcap")
+CHUNK=65536
+NCHUNKS=$(( (SIZE + CHUNK - 1) / CHUNK ))
+i=0
+while [ "$i" -lt "$NCHUNKS" ]; do
+  dd if="$WORK/full.pcap" of="$WORK/grow.pcap" bs=$CHUNK skip=$i seek=$i \
+    count=1 conv=notrunc status=none || fail "dd chunk $i"
+  i=$((i + 1))
+  sleep 0.02
+done
+[ "$(wc -c < "$WORK/grow.pcap")" -eq "$SIZE" ] || fail "grow.pcap incomplete"
+
+# A periodic snapshot must appear while the daemon is still running.
+tries=0
+until [ -s "$WORK/live.tdagg" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -gt 100 ] && fail "no periodic snapshot within 10s"
+  kill -0 "$WATCH_PID" 2>/dev/null || fail "watch died before snapshotting"
+  sleep 0.1
+done
+ls "$WORK/snaps" | grep -q '^snapshot-[0-9]*\.tdagg$' \
+  || fail "no numbered snapshot in --snapshot-dir"
+
+# SIGTERM: drain to the end of data, write the final snapshot, exit 0.
+kill -TERM "$WATCH_PID"
+wait "$WATCH_PID"
+rc=$?
+WATCH_PID=""
+[ "$rc" -eq 0 ] || fail "watch exited $rc after SIGTERM (want 0)"
+cmp -s "$WORK/live.tdagg" "$WORK/batch.tdagg" \
+  || fail "final watch snapshot differs from batch analyze --format agg"
+
+# --- scenario 2: --once over a fault-matrix capture ------------------------
+# A corrupted capture (an interior record cut short, forcing resync) must
+# produce the same bytes live as batch; recoverable input damage is exit 1
+# for both commands.
+"$TDAT" corrupt "$WORK/full.pcap" "$WORK/bad.pcap" \
+  --mode truncate-record --seed 7 || fail "corrupt"
+"$TDAT" analyze "$WORK/bad.pcap" --format agg --quiet-stats \
+  > "$WORK/batch_bad.tdagg"
+batch_rc=$?
+"$TDAT" watch "$WORK/bad.pcap" --once --format agg \
+  --output "$WORK/live_bad.tdagg" --quiet-stats
+live_rc=$?
+[ "$live_rc" -eq "$batch_rc" ] \
+  || fail "corrupt capture: watch exited $live_rc, analyze exited $batch_rc"
+[ "$live_rc" -eq 1 ] || fail "corrupt capture: want exit 1, got $live_rc"
+cmp -s "$WORK/live_bad.tdagg" "$WORK/batch_bad.tdagg" \
+  || fail "--once snapshot differs from batch on a corrupted capture"
+
+# --- scenario 3: version surfaces ------------------------------------------
+"$TDAT" version | grep -q '^tdat [0-9][0-9.]*' || fail "tdat version output"
+"$TDAT" --version >/dev/null || fail "tdat --version"
+
+echo "live_smoke: PASS"

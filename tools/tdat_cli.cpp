@@ -26,6 +26,10 @@
 //   tdat fleet    <trace.pcap> --workers N        multi-process analysis:
 //                 plan shards, fork workers, merge streamed archives
 //   tdat fleet    --connect HOST:PORT             join a remote coordinator
+//   tdat watch    <growing.pcap> [--output F]     always-on incremental
+//                 analysis of a capture still being written: periodic
+//                 report snapshots, bounded memory, SIGTERM drains cleanly
+//   tdat version                                  build identification
 //
 // Exit codes: 0 = clean run; 1 = analysis completed but the input had
 // recoverable errors (ingest damage or quarantined connections) or a sidecar
@@ -33,6 +37,7 @@
 // 2 = usage error; 3 = unreadable input.
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +57,8 @@
 #include "agg/sink.hpp"
 #include "bgp/table_gen.hpp"
 #include "core/export.hpp"
+#include "core/live.hpp"
+#include "core/live_source.hpp"
 #include "core/pass.hpp"
 #include "core/report.hpp"
 #include "core/series_names.hpp"
@@ -65,6 +72,7 @@
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
+#include "util/version.hpp"
 
 namespace {
 
@@ -153,6 +161,26 @@ int usage() {
                " agg'; no shard pcaps written)\n"
                "  tdat fleet    --connect HOST:PORT\n"
                "      run as a remote worker for a '--listen' coordinator\n"
+               "  tdat watch    <growing.pcap> [--output FILE]"
+               " [--snapshot-dir DIR]\n"
+               "                [--format text|json|csv|agg]"
+               " [--snapshot-interval SECS] [--poll-ms N]\n"
+               "                [--window SECS] [--idle-gc SECS]  bounded"
+               " memory: evict packet history\n"
+               "                 older than the window; retire connections"
+               " idle past --idle-gc\n"
+               "                [--run-id ID] [--jobs N] [--detectors LIST]"
+               " [--location receiver|sender|middle]\n"
+               "                [--strict] [--max-errors N] [--log-level L]"
+               " [--stats|--quiet-stats] [--once]\n"
+               "      tail a growing (and rotating) capture; emit a report"
+               " snapshot every interval\n"
+               "      (--output replaces FILE atomically; --snapshot-dir"
+               " keeps one file per snapshot;\n"
+               "       no sink flag prints to stdout). SIGINT/SIGTERM drain"
+               " and write a final snapshot;\n"
+               "      --once drains what is on disk now and exits\n"
+               "  tdat version  print version, git revision, build type\n"
                "exit codes: 0 clean, 1 completed with recoverable input"
                " errors (aggregate --diff: regressions), 2 usage,"
                " 3 unreadable input\n");
@@ -1098,6 +1126,295 @@ int cmd_fleet(int argc, char** argv) {
   return run_fleet_and_emit(input, opts, output, show_stats, "tdat fleet");
 }
 
+// ------------------------------------------------------------- tdat watch --
+
+// Set by SIGINT/SIGTERM; the watch loop checks it between epochs, drains,
+// and writes a final snapshot — never a torn exit mid-analysis.
+volatile std::sig_atomic_t g_watch_stop = 0;
+
+extern "C" void watch_signal(int) { g_watch_stop = 1; }
+
+struct WatchCommand {
+  AnalyzerOptions opts;
+  std::string input;
+  std::string output;        // atomic-replace target ("" = stdout)
+  std::string snapshot_dir;  // one numbered file per snapshot ("" = off)
+  ReportFormat format = ReportFormat::kText;
+  ReportRenderOptions render;
+  double snapshot_interval_s = 10.0;
+  double window_s = 0.0;   // capture-time eviction horizon (0 = keep all)
+  double idle_gc_s = 0.0;  // capture-time idle retirement (0 = never)
+  unsigned poll_ms = 200;
+  bool once = false;
+  bool show_stats = true;
+  std::string log_level;
+};
+
+Result<WatchCommand> parse_watch_args(int argc, char** argv) {
+  WatchCommand cmd;
+  cmd.opts.jobs = 0;
+  const auto value_of = [&](int& i) -> Result<std::string> {
+    if (i + 1 >= argc) {
+      return Err<std::string>(std::string("flag '") + argv[i] +
+                              "' needs a value");
+    }
+    return std::string(argv[++i]);
+  };
+  const auto seconds_of = [](const std::string& flag, const std::string& v,
+                             double& out) -> Result<bool> {
+    char* end = nullptr;
+    const double secs = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0' || secs < 0) {
+      return Err<bool>(flag + ": not a non-negative seconds value: '" + v +
+                       "'");
+    }
+    out = secs;
+    return true;
+  };
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--output") {
+      TDAT_TRY(v, value_of(i));
+      cmd.output = std::move(v);
+    } else if (arg == "--snapshot-dir") {
+      TDAT_TRY(v, value_of(i));
+      cmd.snapshot_dir = std::move(v);
+    } else if (arg == "--format") {
+      TDAT_TRY(v, value_of(i));
+      auto format = parse_report_format(v);
+      if (!format.ok()) return Err<WatchCommand>("--format: " + format.error());
+      cmd.format = format.value();
+    } else if (arg == "--snapshot-interval") {
+      TDAT_TRY(v, value_of(i));
+      TDAT_TRY(ok, seconds_of("--snapshot-interval", v,
+                              cmd.snapshot_interval_s));
+      (void)ok;
+    } else if (arg == "--window") {
+      TDAT_TRY(v, value_of(i));
+      TDAT_TRY(ok, seconds_of("--window", v, cmd.window_s));
+      (void)ok;
+    } else if (arg == "--idle-gc") {
+      TDAT_TRY(v, value_of(i));
+      TDAT_TRY(ok, seconds_of("--idle-gc", v, cmd.idle_gc_s));
+      (void)ok;
+    } else if (arg == "--poll-ms") {
+      TDAT_TRY(v, value_of(i));
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || n == 0) {
+        return Err<WatchCommand>("--poll-ms: need a positive count");
+      }
+      cmd.poll_ms = static_cast<unsigned>(n);
+    } else if (arg == "--run-id") {
+      TDAT_TRY(v, value_of(i));
+      cmd.render.run_id = std::move(v);
+    } else if (arg == "--jobs") {
+      TDAT_TRY(v, value_of(i));
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0') {
+        return Err<WatchCommand>("--jobs: not a number: '" + v + "'");
+      }
+      cmd.opts.jobs = static_cast<std::size_t>(n);
+    } else if (arg == "--detectors") {
+      TDAT_TRY(v, value_of(i));
+      auto selection = parse_detector_selection(v);
+      if (!selection.ok()) {
+        return Err<WatchCommand>("--detectors: " + selection.error());
+      }
+      cmd.opts.passes = selection.value();
+    } else if (arg == "--location") {
+      TDAT_TRY(v, value_of(i));
+      if (v == "receiver") {
+        cmd.opts.location = SnifferLocation::kNearReceiver;
+      } else if (v == "sender") {
+        cmd.opts.location = SnifferLocation::kNearSender;
+      } else if (v == "middle") {
+        cmd.opts.location = SnifferLocation::kMiddle;
+      } else {
+        return Err<WatchCommand>("--location: unknown location '" + v +
+                                 "' (valid: receiver, sender, middle)");
+      }
+    } else if (arg == "--strict") {
+      cmd.opts.ingest.strict = true;
+    } else if (arg == "--max-errors") {
+      TDAT_TRY(v, value_of(i));
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0') {
+        return Err<WatchCommand>("--max-errors: not a number: '" + v + "'");
+      }
+      cmd.opts.ingest.max_errors = static_cast<std::size_t>(n);
+    } else if (arg == "--log-level") {
+      TDAT_TRY(v, value_of(i));
+      cmd.log_level = std::move(v);
+    } else if (arg == "--once") {
+      cmd.once = true;
+    } else if (arg == "--stats") {
+      cmd.show_stats = true;
+    } else if (arg == "--quiet-stats") {
+      cmd.show_stats = false;
+    } else if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+      return Err<WatchCommand>("unknown flag '" + std::string(arg) + "'");
+    } else {
+      if (!cmd.input.empty()) {
+        return Err<WatchCommand>("watch takes exactly one capture path");
+      }
+      cmd.input = arg;
+    }
+  }
+  if (cmd.input.empty()) return Err<WatchCommand>("no capture path given");
+  return cmd;
+}
+
+const char* snapshot_extension(ReportFormat format) {
+  switch (format) {
+    case ReportFormat::kJson: return "json";
+    case ReportFormat::kCsv: return "csv";
+    case ReportFormat::kAgg: return "tdagg";
+    default: return "txt";
+  }
+}
+
+// Write-then-rename so readers of `path` always see a complete snapshot,
+// never a torn half-write.
+bool write_file_atomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  if (std::fclose(f) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool emit_snapshot(LiveEngine& engine, const WatchCommand& cmd,
+                   std::size_t seq) {
+  const std::string body = engine.render_snapshot(cmd.format, cmd.render);
+  bool ok = true;
+  if (!cmd.output.empty()) {
+    if (!write_file_atomic(cmd.output, body)) {
+      std::fprintf(stderr, "tdat watch: cannot write %s\n",
+                   cmd.output.c_str());
+      ok = false;
+    }
+  }
+  if (!cmd.snapshot_dir.empty()) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "/snapshot-%06zu.%s", seq,
+                  snapshot_extension(cmd.format));
+    if (!write_file_atomic(cmd.snapshot_dir + name, body)) {
+      std::fprintf(stderr, "tdat watch: cannot write %s%s\n",
+                   cmd.snapshot_dir.c_str(), name);
+      ok = false;
+    }
+  }
+  if (cmd.output.empty() && cmd.snapshot_dir.empty()) {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    std::fflush(stdout);
+  }
+  return ok;
+}
+
+// `tdat watch`: the always-on daemon. Tails the capture through
+// FollowSource + LiveEngine, emits a report snapshot every interval, and on
+// SIGINT/SIGTERM (or --once) drains to the true end of data — batch
+// end-of-trace semantics, truncation tallies included — and writes one
+// final snapshot before exiting.
+int cmd_watch(int argc, char** argv) {
+  auto parsed = parse_watch_args(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "tdat watch: %s (run 'tdat' for usage)\n",
+                 parsed.error().c_str());
+    return 2;
+  }
+  WatchCommand& cmd = parsed.value();
+  if (!cmd.log_level.empty() && !set_log_level(cmd.log_level)) {
+    std::fprintf(stderr, "tdat watch: --log-level: unknown level '%s'\n",
+                 cmd.log_level.c_str());
+    return 2;
+  }
+  if (!cmd.snapshot_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cmd.snapshot_dir, ec);
+  }
+
+  FollowSource source(cmd.input, cmd.opts.verify_checksums, cmd.opts.ingest);
+  LiveOptions lopts;
+  lopts.analyzer = cmd.opts;
+  lopts.window = static_cast<Micros>(cmd.window_s * kMicrosPerSec);
+  lopts.idle_gc = static_cast<Micros>(cmd.idle_gc_s * kMicrosPerSec);
+  LiveEngine engine(source, lopts);
+
+  g_watch_stop = 0;
+  std::signal(SIGINT, watch_signal);
+  std::signal(SIGTERM, watch_signal);
+
+  using Clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(cmd.snapshot_interval_s));
+  auto next_snapshot = Clock::now() + interval;
+  std::size_t seq = 0;
+  bool emit_ok = true;
+  while (!cmd.once && g_watch_stop == 0) {
+    const std::size_t records = engine.run_epoch();
+    if (source.failed()) break;
+    if (Clock::now() >= next_snapshot) {
+      emit_ok = emit_snapshot(engine, cmd, seq++) && emit_ok;
+      next_snapshot = Clock::now() + interval;
+    }
+    if (records > 0) continue;  // backlog: keep ingesting at full speed
+    if (!engine.source_live()) break;
+    if (!engine.poll_source() && g_watch_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(cmd.poll_ms));
+    }
+  }
+
+  // Final drain: consume everything written so far with batch end-of-data
+  // semantics, then one last snapshot so no analysis is lost.
+  if (!source.failed()) engine.drain();
+  if (source.failed()) {
+    std::fprintf(stderr, "tdat watch: %s\n", source.error().c_str());
+    return 3;
+  }
+  if (source.bytes_ingested() == 0 && !std::filesystem::exists(cmd.input)) {
+    std::fprintf(stderr, "tdat watch: %s never appeared\n", cmd.input.c_str());
+    return 3;
+  }
+  emit_ok = emit_snapshot(engine, cmd, seq++) && emit_ok;
+  if (cmd.show_stats) {
+    const LiveEngineStats& st = engine.stats();
+    const PipelineStats ps = engine.pipeline_stats();
+    std::fprintf(stderr,
+                 "[tdat] watch: %llu records (%.2f MB) -> %llu packets in"
+                 " %llu epochs; %llu connections (%llu active, %llu"
+                 " retired), %llu packets evicted; %zu snapshots\n",
+                 static_cast<unsigned long long>(st.records),
+                 static_cast<double>(ps.bytes_ingested) / 1e6,
+                 static_cast<unsigned long long>(st.packets),
+                 static_cast<unsigned long long>(st.epochs),
+                 static_cast<unsigned long long>(st.connections_total),
+                 static_cast<unsigned long long>(st.connections_active),
+                 static_cast<unsigned long long>(st.connections_gc),
+                 static_cast<unsigned long long>(st.packets_evicted), seq);
+  }
+  if (!emit_ok) return 1;
+  const PipelineStats ps = engine.pipeline_stats();
+  return ps.ingest.has_errors() || ps.quarantined > 0 ? 1 : 0;
+}
+
+int cmd_version() {
+  std::printf("%s\n", version_string().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1117,5 +1434,9 @@ int main(int argc, char** argv) {
   if (cmd == "aggregate") return cmd_aggregate(argc - 2, argv + 2);
   if (cmd == "shard") return cmd_shard(argc - 2, argv + 2);
   if (cmd == "fleet") return cmd_fleet(argc - 2, argv + 2);
+  if (cmd == "watch") return cmd_watch(argc - 2, argv + 2);
+  if (cmd == "version" || cmd == "--version" || cmd == "-V") {
+    return cmd_version();
+  }
   return usage();
 }
