@@ -15,6 +15,7 @@
 
 #include "bgp/message.hpp"
 #include "bgp/table_gen.hpp"
+#include "core/checkpoint.hpp"
 #include "pcap/encode.hpp"
 #include "pcap/fault_injector.hpp"
 #include "pcap/pcap_file.hpp"
@@ -157,16 +158,68 @@ bool emit_bgp_seeds(const std::string& dir) {
   return ok;
 }
 
+bool emit_checkpoint_seeds(const std::string& dir) {
+  // A populated checkpoint exercising every payload field: identity, resume
+  // state with damage tallies, config, counters, and a mix of live and
+  // retired connections with single- and multi-run offset lists.
+  tdat::LiveCheckpoint ckpt;
+  ckpt.capture = {0x801, 0x1234567, 1 << 20, 1024, 0xdeadbeef};
+  ckpt.resume_offset = 524312;
+  ckpt.records_seen = 4021;
+  ckpt.stream_last_ts = 29 * tdat::kMicrosPerSec;
+  ckpt.diag.truncated = 2;
+  ckpt.diag.resynced = 1;
+  ckpt.diag.skipped_bytes = 37;
+  ckpt.next_index = 4021;
+  ckpt.now_ts = ckpt.stream_last_ts;
+  ckpt.config.location = 1;
+  ckpt.config.verify_checksums = true;
+  ckpt.config.window = 5 * tdat::kMicrosPerSec;
+  ckpt.config.idle_gc = 30 * tdat::kMicrosPerSec;
+  ckpt.epochs = 17;
+  ckpt.records = 4021;
+  ckpt.packets = 3977;
+  ckpt.connections_total = 3;
+  ckpt.connections_gc = 1;
+  ckpt.packets_evicted = 120;
+  ckpt.conns.push_back({false, {{24, 900, 0}, {40000, 1200, 1800}}});
+  ckpt.conns.push_back({true, {{90000, 400, 3000}}});
+  ckpt.conns.push_back({false, {{120000, 621, 3400}}});
+  bool ok = write_seed(dir + "/full.tdckpt", tdat::encode_checkpoint(ckpt));
+
+  // Degenerate but valid: a cold checkpoint with no connections.
+  tdat::LiveCheckpoint empty;
+  ok = write_seed(dir + "/empty.tdckpt", tdat::encode_checkpoint(empty)) && ok;
+
+  // Structural damage classes the parser must reject: a truncation that cuts
+  // the payload, a bit flip that breaks the CRC, and trailing garbage.
+  std::vector<std::uint8_t> image = tdat::encode_checkpoint(ckpt);
+  std::vector<std::uint8_t> torn(image.begin(),
+                                 image.begin() +
+                                     static_cast<std::ptrdiff_t>(
+                                         image.size() / 2));
+  ok = write_seed(dir + "/torn.tdckpt", torn) && ok;
+  std::vector<std::uint8_t> flipped = image;
+  flipped[flipped.size() / 3] ^= 0x40;
+  ok = write_seed(dir + "/bit-flip.tdckpt", flipped) && ok;
+  std::vector<std::uint8_t> trailing = image;
+  trailing.insert(trailing.end(), {0xde, 0xad, 0xbe, 0xef});
+  ok = write_seed(dir + "/trailing.tdckpt", trailing) && ok;
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string out = argc > 1 ? argv[1] : "fuzz/corpus";
   if (!ensure_dir(out) || !ensure_dir(out + "/pcap") ||
-      !ensure_dir(out + "/decode") || !ensure_dir(out + "/bgp")) {
+      !ensure_dir(out + "/decode") || !ensure_dir(out + "/bgp") ||
+      !ensure_dir(out + "/checkpoint")) {
     return 1;
   }
   const bool ok = emit_pcap_seeds(out + "/pcap") &&
                   emit_decode_seeds(out + "/decode") &&
-                  emit_bgp_seeds(out + "/bgp");
+                  emit_bgp_seeds(out + "/bgp") &&
+                  emit_checkpoint_seeds(out + "/checkpoint");
   return ok ? 0 : 1;
 }

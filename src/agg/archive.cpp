@@ -5,6 +5,7 @@
 #include <map>
 
 #include "agg/sketch.hpp"
+#include "util/atomic_file.hpp"
 #include "util/bytes.hpp"
 
 namespace tdat::agg {
@@ -238,12 +239,15 @@ Result<Archive> read_archive_file(const std::string& path) {
 }
 
 bool write_archive_file(const std::string& path, const Archive& archive) {
+  // Durable atomic replace: an ENOSPC or short write must leave any previous
+  // archive at `path` intact — a torn .tdagg would poison every later merge.
   const std::string bytes = archive.serialize();
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  const bool ok =
-      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-  return std::fclose(f) == 0 && ok;
+  auto wrote = write_file_atomic_durable(path, bytes);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "tdat: %s\n", wrote.error().c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace tdat::agg

@@ -1,0 +1,329 @@
+#include "core/checkpoint.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "util/atomic_file.hpp"
+#include "util/bytes.hpp"
+#include "util/crash_point.hpp"
+#include "util/crc32.hpp"
+#include "util/metrics.hpp"
+
+namespace tdat {
+namespace {
+
+// "TDCK" as read little-endian.
+constexpr std::uint32_t kMagic = 0x4B434454;
+// magic + version + payload_len + payload_crc.
+constexpr std::size_t kFileHeaderLen = 4 + 4 + 8 + 4;
+
+// Minimum encoded sizes, used to reject count fields that promise more
+// elements than the remaining payload could possibly hold (pre-allocation
+// cap against hostile images).
+constexpr std::size_t kMinConnLen = 1 + 4;           // retired + run count
+constexpr std::size_t kMinRunLen = 8 + 4 + 8;        // offset + count + index
+
+void encode_payload(const LiveCheckpoint& c, ByteWriter& w) {
+  w.u64le(c.capture.dev);
+  w.u64le(c.capture.ino);
+  w.u64le(c.capture.size);
+  w.u32le(c.capture.head_len);
+  w.u32le(c.capture.head_crc);
+
+  w.u64le(c.resume_offset);
+  w.u64le(c.records_seen);
+  w.i64le(c.stream_last_ts);
+  w.u64le(c.diag.truncated);
+  w.u64le(c.diag.resynced);
+  w.u64le(c.diag.skipped_bytes);
+  w.u64le(c.diag.tail_truncated);
+  w.u8(c.diag.budget_exhausted ? 1 : 0);
+
+  w.u64le(c.next_index);
+  w.i64le(c.now_ts);
+  w.u8(c.config.location);
+  w.u8(c.config.verify_checksums ? 1 : 0);
+  w.u8(c.config.strict ? 1 : 0);
+  w.u8(c.config.enable_ack_shift ? 1 : 0);
+  w.u64le(c.config.pass_bits);
+  w.u64le(c.config.max_errors);
+  w.i64le(c.config.window);
+  w.i64le(c.config.idle_gc);
+
+  w.u64le(c.epochs);
+  w.u64le(c.records);
+  w.u64le(c.packets);
+  w.u64le(c.connections_total);
+  w.u64le(c.connections_gc);
+  w.u64le(c.packets_evicted);
+
+  w.u32le(static_cast<std::uint32_t>(c.conns.size()));
+  for (const CheckpointConn& conn : c.conns) {
+    w.u8(conn.retired ? 1 : 0);
+    w.u32le(static_cast<std::uint32_t>(conn.runs.size()));
+    for (const CheckpointRun& run : conn.runs) {
+      w.u64le(run.offset);
+      w.u32le(run.count);
+      w.u64le(run.first_index);
+    }
+  }
+}
+
+Result<LiveCheckpoint> parse_payload(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  LiveCheckpoint c;
+  c.capture.dev = r.u64le();
+  c.capture.ino = r.u64le();
+  c.capture.size = r.u64le();
+  c.capture.head_len = r.u32le();
+  c.capture.head_crc = r.u32le();
+
+  c.resume_offset = r.u64le();
+  c.records_seen = r.u64le();
+  c.stream_last_ts = r.i64le();
+  c.diag.truncated = r.u64le();
+  c.diag.resynced = r.u64le();
+  c.diag.skipped_bytes = r.u64le();
+  c.diag.tail_truncated = r.u64le();
+  c.diag.budget_exhausted = r.u8() != 0;
+
+  c.next_index = r.u64le();
+  c.now_ts = r.i64le();
+  c.config.location = r.u8();
+  c.config.verify_checksums = r.u8() != 0;
+  c.config.strict = r.u8() != 0;
+  c.config.enable_ack_shift = r.u8() != 0;
+  c.config.pass_bits = r.u64le();
+  c.config.max_errors = r.u64le();
+  c.config.window = r.i64le();
+  c.config.idle_gc = r.i64le();
+
+  c.epochs = r.u64le();
+  c.records = r.u64le();
+  c.packets = r.u64le();
+  c.connections_total = r.u64le();
+  c.connections_gc = r.u64le();
+  c.packets_evicted = r.u64le();
+
+  const std::uint32_t conn_count = r.u32le();
+  if (conn_count > r.remaining() / kMinConnLen) r.fail();
+  if (r.ok()) c.conns.reserve(conn_count);
+  for (std::uint32_t i = 0; i < conn_count && r.ok(); ++i) {
+    CheckpointConn conn;
+    conn.retired = r.u8() != 0;
+    const std::uint32_t run_count = r.u32le();
+    if (run_count > r.remaining() / kMinRunLen) {
+      r.fail();
+      break;
+    }
+    conn.runs.reserve(run_count);
+    for (std::uint32_t k = 0; k < run_count && r.ok(); ++k) {
+      CheckpointRun run;
+      run.offset = r.u64le();
+      run.count = r.u32le();
+      run.first_index = r.u64le();
+      conn.runs.push_back(run);
+    }
+    c.conns.push_back(std::move(conn));
+  }
+  if (!r.ok()) {
+    return Err<LiveCheckpoint>("checkpoint: truncated or corrupt payload");
+  }
+  if (r.remaining() != 0) {
+    return Err<LiveCheckpoint>(
+        "checkpoint: trailing bytes after payload fields");
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_checkpoint(const LiveCheckpoint& ckpt) {
+  ByteWriter payload;
+  encode_payload(ckpt, payload);
+  ByteWriter file;
+  file.u32le(kMagic);
+  file.u32le(kCheckpointVersion);
+  file.u64le(static_cast<std::uint64_t>(payload.size()));
+  file.u32le(crc32(payload.data()));
+  file.bytes(payload.data());
+  return file.take();
+}
+
+Result<LiveCheckpoint> parse_checkpoint(std::span<const std::uint8_t> image) {
+  ByteReader r(image);
+  if (image.size() < kFileHeaderLen) {
+    return Err<LiveCheckpoint>("checkpoint: file shorter than header");
+  }
+  if (r.u32le() != kMagic) {
+    return Err<LiveCheckpoint>("checkpoint: bad magic (not a .tdckpt file)");
+  }
+  const std::uint32_t version = r.u32le();
+  if (version == 0 || version > kCheckpointVersion) {
+    return Err<LiveCheckpoint>("checkpoint: unsupported version " +
+                               std::to_string(version));
+  }
+  const std::uint64_t payload_len = r.u64le();
+  const std::uint32_t expect_crc = r.u32le();
+  if (payload_len != image.size() - kFileHeaderLen) {
+    // A torn write (short payload) and trailing garbage both land here; the
+    // CRC would catch them too, but the length check gives a crisper story.
+    return Err<LiveCheckpoint>(
+        payload_len > image.size() - kFileHeaderLen
+            ? "checkpoint: truncated (payload shorter than declared)"
+            : "checkpoint: trailing bytes after payload");
+  }
+  const std::span<const std::uint8_t> payload = r.bytes(payload_len);
+  if (crc32(payload) != expect_crc) {
+    return Err<LiveCheckpoint>("checkpoint: payload CRC mismatch (torn or "
+                               "corrupt write)");
+  }
+  return parse_payload(payload);
+}
+
+Result<LiveCheckpoint> read_checkpoint_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Err<LiveCheckpoint>("checkpoint: cannot open " + path);
+  }
+  std::vector<std::uint8_t> image;
+  std::uint8_t buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    image.insert(image.end(), buf, buf + got);
+  }
+  std::fclose(f);
+  auto parsed = parse_checkpoint(image);
+  if (!parsed.ok()) {
+    return Err<LiveCheckpoint>(path + ": " + parsed.error());
+  }
+  return parsed;
+}
+
+Result<Unit> write_checkpoint_file(const std::string& path,
+                                   const LiveCheckpoint& ckpt) {
+  const std::vector<std::uint8_t> image = encode_checkpoint(ckpt);
+  if (crash_point_armed("ckpt-write")) {
+    // Reproduce the exact on-disk state of a crash between write() calls:
+    // half the temp file present, the destination untouched. The atomic
+    // writer below reuses the same temp name, so when the crash count has
+    // not been reached yet the partial file is simply overwritten.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    if (std::FILE* f = std::fopen(tmp.c_str(), "wb")) {
+      std::fwrite(image.data(), 1, image.size() / 2, f);
+      std::fclose(f);
+    }
+    maybe_crash_at("ckpt-write");
+  }
+  if (crash_point_armed("ckpt-rename")) {
+    // Crash after the temp is fully written and fsynced but before the
+    // rename: the destination still holds the previous checkpoint.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    if (std::FILE* f = std::fopen(tmp.c_str(), "wb")) {
+      std::fwrite(image.data(), 1, image.size(), f);
+      std::fclose(f);
+    }
+    maybe_crash_at("ckpt-rename");
+  }
+  auto written = write_file_atomic_durable(path, image);
+  if (!written.ok()) {
+    metrics().counter("live.checkpoint.write_failures").inc();
+    return written;
+  }
+  metrics().counter("live.checkpoint.writes").inc();
+  metrics().gauge("live.checkpoint.bytes")
+      .set(static_cast<std::int64_t>(image.size()));
+  return Unit{};
+}
+
+Result<CaptureIdentity> compute_capture_identity(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode) ||
+      st.st_size < 0) {
+    return Err<CaptureIdentity>("checkpoint: cannot stat capture " + path);
+  }
+  CaptureIdentity id;
+  id.dev = static_cast<std::uint64_t>(st.st_dev);
+  id.ino = static_cast<std::uint64_t>(st.st_ino);
+  id.size = static_cast<std::uint64_t>(st.st_size);
+  id.head_len = static_cast<std::uint32_t>(
+      id.size < kCheckpointHeadHashCap ? id.size : kCheckpointHeadHashCap);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Err<CaptureIdentity>("checkpoint: cannot open capture " + path);
+  }
+  std::uint32_t state = kCrc32Init;
+  std::uint8_t buf[1 << 14];
+  std::uint64_t left = id.head_len;
+  while (left > 0) {
+    const std::size_t want =
+        left < sizeof(buf) ? static_cast<std::size_t>(left) : sizeof(buf);
+    const std::size_t got = std::fread(buf, 1, want, f);
+    if (got == 0) {
+      std::fclose(f);
+      return Err<CaptureIdentity>("checkpoint: short read hashing capture " +
+                                  path);
+    }
+    state = crc32_update(state, std::span<const std::uint8_t>(buf, got));
+    left -= got;
+  }
+  std::fclose(f);
+  id.head_crc = crc32_final(state);
+  return id;
+}
+
+Result<Unit> validate_capture_identity(const CaptureIdentity& recorded,
+                                       const std::string& path) {
+  TDAT_TRY(current, compute_capture_identity(path));
+  if (current.dev != recorded.dev || current.ino != recorded.ino) {
+    return Err<Unit>("checkpoint: capture " + path +
+                     " was replaced since the checkpoint (dev/ino changed)");
+  }
+  if (current.size < recorded.size) {
+    return Err<Unit>("checkpoint: capture " + path +
+                     " shrank since the checkpoint (rotated or truncated)");
+  }
+  // Hash the same leading window the checkpoint hashed. current.head_len >=
+  // recorded.head_len because the file has not shrunk; a shorter recorded
+  // window (small capture at checkpoint time) still compares the same bytes.
+  if (recorded.head_len > current.head_len) {
+    return Err<Unit>("checkpoint: capture " + path +
+                     " identity window inconsistent");
+  }
+  if (recorded.head_len == current.head_len) {
+    if (recorded.head_crc != current.head_crc) {
+      return Err<Unit>("checkpoint: capture " + path +
+                       " leading bytes changed since the checkpoint");
+    }
+    return Unit{};
+  }
+  // Re-hash just the recorded window.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Err<Unit>("checkpoint: cannot open capture " + path);
+  }
+  std::uint32_t state = kCrc32Init;
+  std::uint8_t buf[1 << 14];
+  std::uint64_t left = recorded.head_len;
+  while (left > 0) {
+    const std::size_t want =
+        left < sizeof(buf) ? static_cast<std::size_t>(left) : sizeof(buf);
+    const std::size_t got = std::fread(buf, 1, want, f);
+    if (got == 0) break;
+    state = crc32_update(state, std::span<const std::uint8_t>(buf, got));
+    left -= got;
+  }
+  std::fclose(f);
+  if (left != 0 || crc32_final(state) != recorded.head_crc) {
+    return Err<Unit>("checkpoint: capture " + path +
+                     " leading bytes changed since the checkpoint");
+  }
+  return Unit{};
+}
+
+}  // namespace tdat

@@ -1,0 +1,152 @@
+// Durable checkpoint format for the live engine (DESIGN.md §16).
+//
+// A `.tdckpt` file lets `tdat watch` survive a SIGKILL: it records where in
+// the followed capture the reader stood, the engine's configuration echo and
+// counters, and — the heart of the format — each live connection's retained
+// packets as (byte offset, record count) *runs into the capture itself*,
+// reusing the fleet shard-plan machinery (pcap/record_runs). No packet bytes
+// are serialized: restore re-reads exactly the retained records from the
+// capture and rebuilds the engine by re-ingesting them, so a restored
+// engine's state is the product of the same pure analysis functions over the
+// same bytes as an uninterrupted run.
+//
+// Torn-write safety: the payload is guarded by a CRC-32 and an exact length;
+// the file is written via temp + fsync + rename (util/atomic_file). A parse
+// rejects short files, bad magic, newer versions, length mismatches
+// (truncation *and* trailing bytes), and CRC failures — each with a distinct
+// message — and the caller degrades to a full replay, never crashes.
+//
+// Capture identity: a checkpoint binds to one capture file via (dev, ino),
+// the size at checkpoint time, and a CRC over the leading bytes. A capture
+// that was rotated, truncated, or replaced under the checkpoint fails
+// validation and likewise degrades to full replay.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pcap/ingest.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace tdat {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+// Leading-bytes hash window: enough to cover the global header and the first
+// records without re-reading a multi-GB capture on every checkpoint.
+inline constexpr std::uint64_t kCheckpointHeadHashCap = 64u << 10;
+
+// One run of `count` records packed back to back in the capture, the first
+// record's header at byte `offset`, carrying global record indices
+// first_index .. first_index + count - 1.
+struct CheckpointRun {
+  std::uint64_t offset = 0;
+  std::uint32_t count = 0;
+  std::uint64_t first_index = 0;
+
+  friend bool operator==(const CheckpointRun&, const CheckpointRun&) = default;
+};
+
+// Per-connection retained state, in connection-index order.
+struct CheckpointConn {
+  bool retired = false;
+  std::vector<CheckpointRun> runs;
+
+  friend bool operator==(const CheckpointConn&,
+                         const CheckpointConn&) = default;
+};
+
+// Identity of the capture file the offsets point into.
+struct CaptureIdentity {
+  std::uint64_t dev = 0;
+  std::uint64_t ino = 0;
+  std::uint64_t size = 0;      // capture size at checkpoint time
+  std::uint32_t head_len = 0;  // bytes hashed (min(size, head cap))
+  std::uint32_t head_crc = 0;  // CRC-32 of capture[0 .. head_len)
+
+  friend bool operator==(const CaptureIdentity&,
+                         const CaptureIdentity&) = default;
+};
+
+// Echo of every engine option that shapes analysis results. A checkpoint
+// taken under one configuration must not silently seed a run under another:
+// a mismatch degrades to full replay under the *new* configuration.
+struct CheckpointConfig {
+  std::uint8_t location = 0;  // SnifferLocation
+  bool verify_checksums = false;
+  bool strict = false;
+  bool enable_ack_shift = true;
+  std::uint64_t pass_bits = ~0ull;
+  std::uint64_t max_errors = 0;
+  Micros window = 0;
+  Micros idle_gc = 0;
+
+  friend bool operator==(const CheckpointConfig&,
+                         const CheckpointConfig&) = default;
+};
+
+struct LiveCheckpoint {
+  CaptureIdentity capture;
+
+  // Stream resume state: first unread capture byte, records delivered,
+  // resync anchor, and the damage tallied so far.
+  std::uint64_t resume_offset = 0;
+  std::uint64_t records_seen = 0;
+  Micros stream_last_ts = -1;
+  IngestDiagnostics diag;
+
+  // Engine state.
+  std::uint64_t next_index = 0;  // global record index after the last epoch
+  Micros now_ts = -1;            // newest capture timestamp seen
+  CheckpointConfig config;
+
+  // Engine counters (LiveEngineStats, minus the derivable ones).
+  std::uint64_t epochs = 0;
+  std::uint64_t records = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t connections_total = 0;
+  std::uint64_t connections_gc = 0;
+  std::uint64_t packets_evicted = 0;
+
+  std::vector<CheckpointConn> conns;
+
+  friend bool operator==(const LiveCheckpoint&,
+                         const LiveCheckpoint&) = default;
+};
+
+// Serializes a checkpoint into the complete .tdckpt file image
+// (magic + version + length + CRC + payload).
+[[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(
+    const LiveCheckpoint& ckpt);
+
+// Parses a .tdckpt image. Rejects torn, truncated, bit-flipped, trailing-
+// garbage, and newer-version images with a distinct error each; never
+// crashes on hostile input (fuzzed — fuzz/fuzz_checkpoint.cpp).
+[[nodiscard]] Result<LiveCheckpoint> parse_checkpoint(
+    std::span<const std::uint8_t> image);
+
+// Reads and parses `path`. A missing file is an error too (callers treat
+// "no checkpoint" as cold start before calling this).
+[[nodiscard]] Result<LiveCheckpoint> read_checkpoint_file(
+    const std::string& path);
+
+// Atomically (temp + fsync + rename) replaces `path` with the encoded
+// checkpoint. On failure the previous checkpoint at `path` is intact.
+// Honors the "ckpt-write" / "ckpt-rename" crash points (util/crash_point).
+[[nodiscard]] Result<Unit> write_checkpoint_file(const std::string& path,
+                                                 const LiveCheckpoint& ckpt);
+
+// Stats + leading-bytes hash of the capture at `path`, for stamping into a
+// checkpoint.
+[[nodiscard]] Result<CaptureIdentity> compute_capture_identity(
+    const std::string& path);
+
+// Does the capture at `path` still match `recorded`? Same (dev, ino), grown
+// (never shrunk) since the checkpoint, same leading bytes. An error names
+// what changed.
+[[nodiscard]] Result<Unit> validate_capture_identity(
+    const CaptureIdentity& recorded, const std::string& path);
+
+}  // namespace tdat

@@ -5,6 +5,8 @@
 #include <exception>
 #include <utility>
 
+#include "pcap/mmap_file.hpp"
+#include "pcap/record_runs.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -16,6 +18,9 @@ namespace {
 // Raw records pulled from the source per inner ingest step; matches the
 // batch pipeline's decode granularity (4 decode batches).
 constexpr std::size_t kLiveIngestBatch = 256;
+
+// On-disk pcap record header size, for rec_offset/rec_len bookkeeping.
+constexpr std::size_t kRecordHeaderLen = 16;
 
 // Packets always retained at the front of a windowed connection: the
 // handshake plus the first data packets, which anchor the RTT/MSS profile
@@ -33,6 +38,30 @@ std::size_t live_jobs(std::size_t requested, std::size_t connections) {
   std::size_t jobs = requested == 0 ? default_jobs() : requested;
   if (connections > 0 && jobs > connections) jobs = connections;
   return jobs > 0 ? jobs : 1;
+}
+
+// Coalesces a connection's retained packets into capture offset runs: a run
+// extends while the next packet's record starts exactly where the previous
+// one ended AND its global index is the successor — i.e. no other record
+// (another connection's packet, a non-TCP record, a decode failure) sits
+// between them in the file. False when any packet lacks a file position
+// (in-memory source), which makes the connection uncheckpointable.
+bool append_packet_runs(const std::vector<DecodedPacket>& pkts,
+                        std::vector<CheckpointRun>& out) {
+  std::uint64_t end_offset = 0;
+  std::uint64_t next_index = 0;
+  for (const DecodedPacket& pkt : pkts) {
+    if (pkt.rec_len == 0) return false;
+    if (!out.empty() && pkt.rec_offset == end_offset &&
+        pkt.index == next_index) {
+      ++out.back().count;
+    } else {
+      out.push_back({pkt.rec_offset, 1, pkt.index});
+    }
+    end_offset = pkt.rec_offset + pkt.rec_len;
+    next_index = pkt.index + 1;
+  }
+  return true;
 }
 
 }  // namespace
@@ -77,7 +106,16 @@ std::size_t LiveEngine::run_epoch() {
         off += decode_records(recs.subspan(off), next_index_ + off,
                               opts_.analyzer.verify_checksums, decode_scratch_,
                               packet_buf_);
-        for (DecodedPacket& pkt : packet_buf_) ingest_packet(std::move(pkt));
+        for (DecodedPacket& pkt : packet_buf_) {
+          // Remember where in the capture this packet's record lives, so a
+          // checkpoint can name retained packets as (offset, count) runs
+          // instead of serializing their bytes.
+          const StreamRecord& rec = recs[pkt.index - next_index_];
+          pkt.rec_offset = rec.file_offset;
+          pkt.rec_len =
+              static_cast<std::uint32_t>(kRecordHeaderLen + rec.data.size());
+          ingest_packet(std::move(pkt));
+        }
       }
       next_index_ += n;
       total += n;
@@ -184,6 +222,18 @@ void LiveEngine::retire(std::size_t i) {
   // brand-new connection instead of reviving this one.
   demux_.forget(i);
   Connection& conn = demux_.connections()[i];
+  // Stash the retained packets' capture positions before freeing them, so a
+  // checkpoint taken after retirement can still name this connection's
+  // evidence. Best-effort: an in-memory source yields no positions, and the
+  // checkpoint path reports that when (and only when) a checkpoint is asked
+  // for.
+  states_[i].retired_runs.clear();
+  if (!append_packet_runs(conn.packets, states_[i].retired_runs)) {
+    // No file positions (in-memory source): leave the stash empty, which the
+    // checkpoint path reports as uncheckpointable — a connection always has
+    // at least one packet at retirement, so empty means invalid.
+    states_[i].retired_runs.clear();
+  }
   conn.packets.clear();
   conn.packets.shrink_to_fit();
   ConnectionAnalysis& a = results_[i];
@@ -233,6 +283,181 @@ std::size_t LiveEngine::retained_packets() const {
   std::size_t n = 0;
   for (const Connection& conn : demux_.connections()) n += conn.packets.size();
   return n;
+}
+
+Result<Unit> LiveEngine::checkpoint_state(LiveCheckpoint& out) const {
+  out.next_index = static_cast<std::uint64_t>(next_index_);
+  out.now_ts = now_;
+
+  out.config.location = static_cast<std::uint8_t>(opts_.analyzer.location);
+  out.config.verify_checksums = opts_.analyzer.verify_checksums;
+  out.config.strict = opts_.analyzer.ingest.strict;
+  out.config.enable_ack_shift = opts_.analyzer.enable_ack_shift;
+  out.config.pass_bits = opts_.analyzer.passes.bits;
+  out.config.max_errors =
+      static_cast<std::uint64_t>(opts_.analyzer.ingest.max_errors);
+  out.config.window = opts_.window;
+  out.config.idle_gc = opts_.idle_gc;
+
+  out.epochs = stats_.epochs;
+  out.records = stats_.records;
+  out.packets = stats_.packets;
+  out.connections_total = stats_.connections_total;
+  out.connections_gc = stats_.connections_gc;
+  out.packets_evicted = stats_.packets_evicted;
+
+  const std::vector<Connection>& conns = demux_.connections();
+  out.conns.clear();
+  out.conns.reserve(conns.size());
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    CheckpointConn conn;
+    conn.retired = states_[i].retired;
+    if (conn.retired) {
+      conn.runs = states_[i].retired_runs;
+    } else if (!append_packet_runs(conns[i].packets, conn.runs)) {
+      return Err<Unit>("checkpoint: connection " +
+                       conns[i].key.to_string() +
+                       " has packets with no capture-file backing");
+    }
+    if (conn.runs.empty()) {
+      return Err<Unit>("checkpoint: connection " + conns[i].key.to_string() +
+                       " has no capture-backed packets");
+    }
+    out.conns.push_back(std::move(conn));
+  }
+  return Unit{};
+}
+
+Result<Unit> LiveEngine::restore_state(const LiveCheckpoint& ckpt,
+                                       const std::string& capture_path) {
+  if (!results_.empty() || next_index_ != 0) {
+    return Err<Unit>("restore: engine is not fresh");
+  }
+  auto mapped = MappedFile::map(capture_path);
+  if (!mapped.ok()) {
+    return Err<Unit>("restore: cannot map capture: " + mapped.error());
+  }
+  MappedFile& m = mapped.value();
+  const std::shared_ptr<const void> pin = m.share();
+  const std::span<const std::uint8_t> image = m.bytes();
+
+  // Replay each connection's runs in connection order. The demux key->conn
+  // contract makes this exact: two connections sharing a 4-tuple never
+  // interleave in time (the second is born from a fresh-SYN remap or a
+  // post-retirement packet), so replaying whole connections in creation
+  // order reproduces slot evolution, the per-connection timestamp clamp,
+  // and connection indices byte for byte.
+  std::vector<StreamRecord> recs;
+  std::vector<DecodedPacket> pkts;
+  for (std::size_t ci = 0; ci < ckpt.conns.size(); ++ci) {
+    const CheckpointConn& conn = ckpt.conns[ci];
+    if (conn.runs.empty()) {
+      return Err<Unit>("restore: connection " + std::to_string(ci) +
+                       " has no runs");
+    }
+    std::vector<RecordRun> raw_runs;
+    raw_runs.reserve(conn.runs.size());
+    for (const CheckpointRun& run : conn.runs) {
+      raw_runs.push_back({run.offset, run.count});
+    }
+    auto reader = RecordRunReader::open(pin, image, std::move(raw_runs));
+    if (!reader.ok()) return Err<Unit>("restore: " + reader.error());
+    RecordRunReader& rr = reader.value();
+
+    for (const CheckpointRun& run : conn.runs) {
+      std::uint64_t replayed = 0;
+      while (replayed < run.count) {
+        const std::uint64_t batch =
+            std::min<std::uint64_t>(run.count - replayed, kLiveIngestBatch);
+        recs.clear();
+        for (std::uint64_t k = 0; k < batch; ++k) {
+          StreamRecord rec;
+          if (!rr.next(rec)) {
+            return Err<Unit>(rr.failed()
+                                 ? "restore: " + rr.error()
+                                 : "restore: run ended before its record "
+                                   "count (capture changed?)");
+          }
+          recs.push_back(std::move(rec));
+        }
+        const std::uint64_t base_index = run.first_index + replayed;
+        std::size_t off = 0;
+        std::uint64_t produced = 0;
+        while (off < recs.size()) {
+          pkts.clear();
+          off += decode_records(
+              std::span<const StreamRecord>(recs).subspan(off),
+              static_cast<std::size_t>(base_index) + off,
+              opts_.analyzer.verify_checksums, decode_scratch_, pkts);
+          for (DecodedPacket& pkt : pkts) {
+            // Every record in a run decoded to a packet of this connection
+            // when the checkpoint was written; decode is deterministic, so
+            // anything else means the capture changed underneath.
+            if (pkt.index != base_index + produced) {
+              return Err<Unit>("restore: replay produced unexpected record "
+                               "index (capture changed?)");
+            }
+            const StreamRecord& rec = recs[pkt.index - base_index];
+            pkt.rec_offset = rec.file_offset;
+            pkt.rec_len = static_cast<std::uint32_t>(kRecordHeaderLen +
+                                                     rec.data.size());
+            ingest_packet(std::move(pkt));
+            ++produced;
+          }
+        }
+        if (produced != batch) {
+          return Err<Unit>("restore: replay dropped records of a "
+                           "checkpointed run (capture changed?)");
+        }
+        replayed += batch;
+      }
+    }
+    // The first packet of connection ci must have opened connection ci —
+    // anything else means replay diverged from the original demux walk.
+    if (demux_.connections().size() != ci + 1) {
+      return Err<Unit>("restore: connection replay diverged from the "
+                       "checkpointed demux order");
+    }
+    // Retired connections gave their slot back before any same-key successor
+    // was born; reproduce that before the next connection replays.
+    if (conn.retired) demux_.forget(ci);
+  }
+
+  // One analysis pass over everything (analyze_connection is pure, so this
+  // equals the incremental analyses the uninterrupted run performed), then
+  // re-trim the retired connections exactly as retire() does — without
+  // touching counters, which are restored from the checkpoint below.
+  analyze_dirty();
+  for (std::size_t ci = 0; ci < ckpt.conns.size(); ++ci) {
+    if (!ckpt.conns[ci].retired) continue;
+    Connection& conn = demux_.connections()[ci];
+    conn.packets.clear();
+    conn.packets.shrink_to_fit();
+    ConnectionAnalysis& a = results_[ci];
+    a.bundle = SeriesBundle{};
+    std::erase_if(a.messages, [](const TimedBgpMessage& msg) {
+      return msg.msg.type() != BgpType::kOpen;
+    });
+    a.messages.shrink_to_fit();
+    states_[ci].retired = true;
+    states_[ci].retired_runs = ckpt.conns[ci].runs;
+    ++retired_;
+  }
+
+  next_index_ = static_cast<std::size_t>(ckpt.next_index);
+  now_ = ckpt.now_ts;
+  stats_.epochs = ckpt.epochs;
+  stats_.records = ckpt.records;
+  stats_.packets = ckpt.packets;
+  stats_.connections_total = ckpt.connections_total;
+  stats_.connections_gc = ckpt.connections_gc;
+  stats_.packets_evicted = ckpt.packets_evicted;
+  stats_.connections_active =
+      static_cast<std::uint64_t>(results_.size() - retired_);
+  stats_.newest_ts = now_;
+  metrics().gauge("live.connections_active")
+      .set(static_cast<std::int64_t>(stats_.connections_active));
+  return Unit{};
 }
 
 PipelineStats LiveEngine::pipeline_stats() const {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/analyzer.hpp"
+#include "core/checkpoint.hpp"
 #include "core/locate.hpp"
 #include "core/report.hpp"
 #include "core/trace_source.hpp"
@@ -95,6 +96,25 @@ class LiveEngine {
   [[nodiscard]] std::string render_snapshot(
       ReportFormat format, const ReportRenderOptions& ropts = {});
 
+  // Fills the engine-owned portion of a checkpoint: config echo, counters,
+  // next_index/now, and each connection's retained packets as offset runs
+  // derived from the rec_offset/rec_len stamps ingest left on them (retired
+  // connections use the runs stashed at retirement). The caller supplies
+  // capture identity and the source's resume state. Fails when any retained
+  // packet has no capture-file backing (in-memory sources).
+  [[nodiscard]] Result<Unit> checkpoint_state(LiveCheckpoint& out) const;
+
+  // Rebuilds engine state from `ckpt` by mmapping the capture at
+  // `capture_path` and re-ingesting every connection's runs in connection
+  // order — the demux key->connection contract guarantees two connections on
+  // one key never interleave, so per-connection replay reproduces connection
+  // creation order, slot states, and packet lists exactly. Retired
+  // connections are replayed, re-analyzed, then re-trimmed. Must be called
+  // on a fresh engine; on error the engine state is unspecified and the
+  // caller falls back to a new engine + full replay.
+  [[nodiscard]] Result<Unit> restore_state(const LiveCheckpoint& ckpt,
+                                           const std::string& capture_path);
+
   [[nodiscard]] const LiveEngineStats& stats() const { return stats_; }
   // Batch-shaped stats for --stats / the JSON stats sink.
   [[nodiscard]] PipelineStats pipeline_stats() const;
@@ -114,6 +134,9 @@ class LiveEngine {
     SnifferLocationEstimate where;  // frozen at last analysis
     bool dirty = false;    // received packets since last analysis
     bool retired = false;  // idle-GC'd; demux slot forgotten
+    // Offset runs of the packets held at retirement, stashed before the
+    // packet list is freed so a retired connection stays checkpointable.
+    std::vector<CheckpointRun> retired_runs;
   };
 
   TraceSource& source_;

@@ -179,6 +179,24 @@ FollowSource::FollowSource(std::string path, bool verify_checksums,
   policy_.use_mmap = false;
 }
 
+FollowSource::FollowSource(std::string path, bool verify_checksums,
+                           const IngestPolicy& policy,
+                           const PcapStream::Resume& resume)
+    : FollowSource(std::move(path), verify_checksums, policy) {
+  resume_ = resume;
+  index_ = static_cast<std::size_t>(resume.records);
+}
+
+PcapStream::Resume FollowSource::resume_state() const {
+  PcapStream::Resume r;
+  if (!stream_) return r;
+  r.offset = stream_->bytes_read();
+  r.records = stream_->records_read();
+  r.last_ts = stream_->last_record_ts();
+  r.diag = stream_->diagnostics();
+  return r;
+}
+
 bool FollowSource::try_open() {
   if (stream_) return true;
   if (failed_ || ended_) return false;
@@ -186,7 +204,9 @@ bool FollowSource::try_open() {
   std::uint64_t ino = 0;
   std::uint64_t size = 0;
   if (!stat_openable(path_, dev, ino, size)) return false;
-  auto opened = PcapStream::open(path_, policy_);
+  auto opened = resume_ ? PcapStream::open_resumed(path_, policy_, *resume_)
+                        : PcapStream::open(path_, policy_);
+  resume_.reset();  // only the first segment resumes; rotations start fresh
   if (!opened.ok()) {
     // The file holds >= 24 bytes yet fails header parse: not a pcap. That
     // is permanent damage, not a capture still being written.

@@ -102,6 +102,15 @@ class FollowSource final : public TraceSource {
   FollowSource(std::string path, bool verify_checksums,
                const IngestPolicy& policy = {});
 
+  // Resuming construction (checkpoint restore): the first segment opens
+  // mid-file at `resume` — the stream continues as if it had itself read the
+  // prefix, so bytes_ingested()/records_seen()/diagnostics() match an
+  // uninterrupted follow. A failed resume open (capture no longer seekable
+  // to the offset) is a hard failure surfaced via failed(), which the caller
+  // turns into a full-replay fallback.
+  FollowSource(std::string path, bool verify_checksums,
+               const IngestPolicy& policy, const PcapStream::Resume& resume);
+
   [[nodiscard]] bool next(DecodedPacket& out) override;
   [[nodiscard]] bool supports_raw_records() const override { return true; }
   [[nodiscard]] std::size_t next_raw_records(
@@ -122,6 +131,16 @@ class FollowSource final : public TraceSource {
   [[nodiscard]] std::size_t segments_completed() const {
     return past_files_.size();
   }
+
+  // A checkpoint can only bind to a single capture file: once the follow has
+  // rotated (or no stream is open yet) there is no one offset to resume at.
+  [[nodiscard]] bool checkpointable() const {
+    return stream_.has_value() && past_files_.empty() && !rotated_;
+  }
+  // Stream resume state to stamp into a checkpoint. Call between epochs
+  // (never mid-read) and only while checkpointable(): bytes_read() then sits
+  // exactly on the next unread record header.
+  [[nodiscard]] PcapStream::Resume resume_state() const;
 
  private:
   // Opens the file currently at path_ if it exists with a complete global
@@ -151,6 +170,9 @@ class FollowSource final : public TraceSource {
   std::uint64_t past_records_ = 0;
   std::vector<FileIngestDiagnostics> past_files_;
   std::size_t index_ = 0;  // continuous global record index
+  // Pending checkpoint-resume position for the first open; consumed by
+  // try_open.
+  std::optional<PcapStream::Resume> resume_;
 };
 
 }  // namespace tdat

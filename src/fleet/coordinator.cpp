@@ -326,7 +326,13 @@ void drop_peer(Fleet& fleet, std::size_t index, bool reassign) {
 void accept_remote_workers(Fleet& fleet) {
   for (;;) {
     const int fd = ::accept(fleet.listen_fd, nullptr, nullptr);
-    if (fd < 0) return;
+    if (fd < 0) {
+      // Transient accept failures must not wedge the listener: a connection
+      // that was reset between poll and accept (ECONNABORTED) or an
+      // interrupting signal (EINTR) just means "try the next one".
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EAGAIN/EWOULDBLOCK (drained the backlog) or a real error
+    }
     set_nonblocking(fd);
     Peer peer;
     peer.id = fleet.next_id++;

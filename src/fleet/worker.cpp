@@ -1,8 +1,10 @@
 #include "fleet/worker.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -186,25 +188,18 @@ int run_worker(int fd) {
   }
 }
 
-int run_worker_connect(const std::string& host_port) {
-  const std::size_t colon = host_port.rfind(':');
-  if (colon == std::string::npos || colon + 1 >= host_port.size()) {
-    std::fprintf(stderr, "tdat fleet: --connect needs HOST:PORT\n");
-    return 2;
-  }
-  const std::string host = host_port.substr(0, colon);
-  const std::string port = host_port.substr(colon + 1);
+namespace {
 
+// One resolve + connect attempt. Resolution is redone per attempt on purpose:
+// a coordinator restarting behind a DNS name may come back elsewhere.
+int dial_coordinator(const std::string& host, const std::string& port) {
   struct addrinfo hints = {};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
   struct addrinfo* res = nullptr;
-  const int rc = ::getaddrinfo(host.empty() ? "127.0.0.1" : host.c_str(),
-                               port.c_str(), &hints, &res);
-  if (rc != 0) {
-    std::fprintf(stderr, "tdat fleet: cannot resolve %s: %s\n",
-                 host_port.c_str(), ::gai_strerror(rc));
-    return 3;
+  if (::getaddrinfo(host.empty() ? "127.0.0.1" : host.c_str(), port.c_str(),
+                    &hints, &res) != 0) {
+    return -1;
   }
   int fd = -1;
   for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
@@ -215,14 +210,74 @@ int run_worker_connect(const std::string& host_port) {
     fd = -1;
   }
   ::freeaddrinfo(res);
-  if (fd < 0) {
-    std::fprintf(stderr, "tdat fleet: cannot connect to %s\n",
-                 host_port.c_str());
-    return 3;
+  return fd;
+}
+
+unsigned long env_ms(const char* name, unsigned long def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(v, &end, 10);
+  return end == v || *end != '\0' ? def : n;
+}
+
+}  // namespace
+
+int run_worker_connect(const std::string& host_port) {
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= host_port.size()) {
+    std::fprintf(stderr, "tdat fleet: --connect needs HOST:PORT\n");
+    return 2;
   }
-  const int code = run_worker(fd);
-  ::close(fd);
-  return code;
+  const std::string host = host_port.substr(0, colon);
+  const std::string port = host_port.substr(colon + 1);
+
+  // A coordinator restart (or a worker started before the listener) must not
+  // strand the worker: retry with exponential backoff + jitter, capped, until
+  // the attempt budget runs out. Env knobs exist so tests can tighten the
+  // schedule; the defaults give up after ~10 s of a genuinely absent peer.
+  const unsigned long base_ms = env_ms("TDAT_FLEET_RECONNECT_BASE_MS", 50);
+  const unsigned long cap_ms = env_ms("TDAT_FLEET_RECONNECT_MAX_MS", 2000);
+  const unsigned long max_attempts =
+      env_ms("TDAT_FLEET_RECONNECT_ATTEMPTS", 10);
+  std::uint64_t jitter_state =
+      static_cast<std::uint64_t>(::getpid()) * 0x9E3779B97F4A7C15ull + 1;
+  const auto backoff_sleep = [&](unsigned failures) {
+    unsigned long delay = base_ms;
+    for (unsigned i = 1; i < failures && delay < cap_ms; ++i) delay *= 2;
+    delay = std::min(delay, cap_ms);
+    // xorshift jitter in [0, delay/4]: desynchronizes a fleet of workers all
+    // retrying the same restarted listener.
+    jitter_state ^= jitter_state << 13;
+    jitter_state ^= jitter_state >> 7;
+    jitter_state ^= jitter_state << 17;
+    delay += delay == 0 ? 0 : jitter_state % (delay / 4 + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  };
+
+  unsigned failures = 0;
+  for (;;) {
+    const int fd = dial_coordinator(host, port);
+    if (fd < 0) {
+      if (++failures > max_attempts) {
+        std::fprintf(stderr,
+                     "tdat fleet: cannot connect to %s after %lu attempts\n",
+                     host_port.c_str(), max_attempts);
+        return 3;
+      }
+      backoff_sleep(failures);
+      continue;
+    }
+    failures = 0;
+    const int code = run_worker(fd);
+    ::close(fd);
+    if (code == 0) return 0;  // clean Shutdown from the coordinator
+    // The connection died mid-session (coordinator crash or restart). Any
+    // half-served shard is the coordinator's to reassign; reconnect and
+    // offer to serve again.
+    if (++failures > max_attempts) return code;
+    backoff_sleep(failures);
+  }
 }
 
 #else  // !unix

@@ -61,6 +61,9 @@ struct IngestDiagnostics {
            budget_exhausted;
   }
 
+  friend bool operator==(const IngestDiagnostics&,
+                         const IngestDiagnostics&) = default;
+
   void add(const IngestDiagnostics& other);
 
   // {"truncated":N,"tail_truncated":N,"resynced":N,"skipped_bytes":N,

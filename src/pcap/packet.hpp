@@ -72,6 +72,12 @@ struct DecodedPacket {
   std::shared_ptr<const void> backing;  // owns (or pins) the frame bytes
   std::size_t payload_offset = 0;       // offset of the TCP payload in `frame`
   std::size_t payload_len = 0;
+  // Capture-file position of the record this packet came from (header offset
+  // and total on-disk length, record header included). Zero/zero when the
+  // source has no file behind it (in-memory feeds); the live engine uses
+  // these to checkpoint retained packets as offset runs instead of bytes.
+  std::uint64_t rec_offset = 0;
+  std::uint32_t rec_len = 0;
 
   [[nodiscard]] std::span<const std::uint8_t> payload() const {
     return frame.subspan(payload_offset, payload_len);

@@ -119,6 +119,42 @@ Result<PcapStream> PcapStream::from_feed(std::shared_ptr<ByteFeed> feed,
   return init(std::move(s));
 }
 
+Result<PcapStream> PcapStream::open_resumed(const std::string& path,
+                                            const IngestPolicy& policy,
+                                            const Resume& resume,
+                                            std::size_t chunk_size) {
+  if (resume.offset < kGlobalHeaderLen) {
+    return Err<PcapStream>("pcap: resume offset inside global header");
+  }
+  auto opened = open(path, policy, chunk_size);
+  if (!opened.ok()) return opened;
+  PcapStream s = std::move(opened).value();
+  // init() validated the global header and learned swapped_/nanos_/snaplen_
+  // from the file itself; now jump to the checkpointed position and discard
+  // the buffered prefix so the next refill starts clean at that byte.
+  const std::size_t size = file_size_of(s.file_.get());
+  if (size != SIZE_MAX && resume.offset > size) {
+    return Err<PcapStream>("pcap: resume offset beyond end of " + path);
+  }
+  if (std::fseek(s.file_.get(), static_cast<long>(resume.offset), SEEK_SET) !=
+      0) {
+    return Err<PcapStream>("pcap: cannot seek to resume offset in " + path);
+  }
+  s.arena_.reset();
+  s.spare_.reset();
+  s.pos_ = 0;
+  s.fill_ = 0;
+  s.file_consumed_ = resume.offset;
+  s.file_remaining_ =
+      size == SIZE_MAX ? SIZE_MAX
+                       : static_cast<std::size_t>(size - resume.offset);
+  s.bytes_read_ = resume.offset;
+  s.records_read_ = resume.records;
+  s.last_ts_ = resume.last_ts;
+  s.diag_ = resume.diag;
+  return s;
+}
+
 Result<PcapStream> PcapStream::open_auto(const std::string& path,
                                          const IngestPolicy& policy,
                                          std::size_t chunk_size) {
@@ -491,6 +527,10 @@ StreamStatus PcapStream::next_live(StreamRecord& out) {
     out.orig_len = pending_.orig_len;
     out.data = std::span<const std::uint8_t>(base() + pos_, pending_.incl_len);
     out.arena = pinned_ ? pin_ : std::static_pointer_cast<const void>(arena_);
+    // bytes_read_ has tallied everything before this record (including any
+    // resync skips), so right now it is the file offset of this record's
+    // header.
+    out.file_offset = bytes_read_;
     last_ts_ = out.ts;
     pos_ += pending_.incl_len;
     bytes_read_ += kRecordHeaderLen + pending_.incl_len;

@@ -51,6 +51,10 @@ struct StreamRecord {
   std::uint32_t orig_len = 0;
   std::span<const std::uint8_t> data;  // view into `arena`
   std::shared_ptr<const void> arena;   // pin for `data`
+  // Capture-file offset of this record's 16-byte header. Lets downstream
+  // consumers (checkpointing, shard planning) name the record by position so
+  // it can be re-read from the file later without serializing its bytes.
+  std::uint64_t file_offset = 0;
 };
 
 // Tri-state result of a live read. kNeedMore only occurs in tail mode: the
@@ -108,6 +112,29 @@ class PcapStream {
       const std::string& path, const IngestPolicy& policy = {},
       std::size_t chunk_size = kDefaultChunkSize);
 
+  // Resume state for re-opening a followed capture exactly where a
+  // checkpointed reader left off: the stream behaves as if it had itself
+  // delivered `records` records and tallied `diag` over the first `offset`
+  // bytes. `offset` must sit on a record-header boundary of the original
+  // read sequence — PcapStream::bytes_read() between next_live() calls is
+  // exactly such an offset (pending stashes and paused resync scans are not
+  // counted until resolved, so a mid-record crash resumes at the record's
+  // header and re-parses it deterministically).
+  struct Resume {
+    std::uint64_t offset = 0;   // first unread byte (>= 24, the global header)
+    std::uint64_t records = 0;  // records delivered before the checkpoint
+    Micros last_ts = -1;        // resync plausibility anchor (-1 = none yet)
+    IngestDiagnostics diag;     // damage tallied before the checkpoint
+  };
+
+  // Opens `path` mid-file at a checkpointed position. Validates the global
+  // header as usual (so byte-order/snaplen state is learned from the file,
+  // not trusted from the checkpoint), then seeks to `resume.offset`. Fails
+  // when the offset lies beyond the current end of file.
+  [[nodiscard]] static Result<PcapStream> open_resumed(
+      const std::string& path, const IngestPolicy& policy,
+      const Resume& resume, std::size_t chunk_size = kDefaultChunkSize);
+
   // Live streaming over a ByteFeed (the chunked reader pulls from the feed
   // instead of a file). The feed must already hold the 24-byte global header
   // when this is called — callers poll `available()` first. The stream
@@ -160,6 +187,10 @@ class PcapStream {
   // handed out so far.
   [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
   [[nodiscard]] std::uint64_t records_read() const { return records_read_; }
+  // Timestamp of the last delivered record (-1 before the first): the resync
+  // plausibility anchor, which a checkpoint must persist so a resumed stream
+  // judges damaged bytes exactly as the uninterrupted one would have.
+  [[nodiscard]] Micros last_record_ts() const { return last_ts_; }
   // Raw bytes fread from a file source so far (parsed or still buffered).
   // FollowSource compares this against the path's current size to detect a
   // copytruncate rotation (the file shrinking under the reader).

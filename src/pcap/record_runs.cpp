@@ -99,6 +99,7 @@ bool RecordRunReader::next(StreamRecord& out) {
   out.orig_len = orig_len;
   out.data = image_.subspan(offset_ + kRecordHeaderLen, incl_len);
   out.arena = pin_;
+  out.file_offset = offset_;
   offset_ += kRecordHeaderLen + incl_len;
   --left_;
   bytes_read_ += kRecordHeaderLen + incl_len;

@@ -1,0 +1,126 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/metrics.hpp"
+
+namespace tdat {
+namespace {
+
+AtomicWriteFailureHook g_failure_hook = nullptr;
+std::atomic<std::uint64_t> g_calls{0};
+std::atomic<std::uint64_t> g_attempted{0};
+
+// True when this call should fail via TDAT_ATOMIC_WRITE_FAIL=<n> (1-based,
+// process-wide). Parsed once; a malformed value disables injection.
+bool env_injected_failure() {
+  static const long target = [] {
+    const char* env = std::getenv("TDAT_ATOMIC_WRITE_FAIL");
+    if (env == nullptr || *env == '\0') return 0L;
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    return (end != nullptr && *end == '\0' && n > 0) ? n : 0L;
+  }();
+  if (target == 0) return false;
+  return static_cast<long>(g_calls.fetch_add(1) + 1) == target;
+}
+
+Result<Unit> fail_step(const std::string& path, const char* step, int err,
+                       const std::string& tmp_path) {
+  if (!tmp_path.empty()) ::unlink(tmp_path.c_str());
+  metrics().counter("io.atomic_write.failures").inc();
+  std::string msg = "atomic write of " + path + " failed at " + step;
+  if (err != 0) {
+    msg += ": ";
+    msg += std::strerror(err);
+  }
+  return Err<Unit>(std::move(msg));
+}
+
+}  // namespace
+
+void set_atomic_write_failure_hook(AtomicWriteFailureHook hook) {
+  g_failure_hook = hook;
+}
+
+std::uint64_t atomic_writes_attempted() {
+  return g_attempted.load(std::memory_order_relaxed);
+}
+
+Result<Unit> write_file_atomic_durable(const std::string& path,
+                                       std::span<const std::uint8_t> data) {
+  if (g_failure_hook != nullptr && !g_failure_hook(path)) {
+    return fail_step(path, "injected hook failure", 0, "");
+  }
+  if (env_injected_failure()) {
+    return fail_step(path, "injected env failure (TDAT_ATOMIC_WRITE_FAIL)", 0,
+                     "");
+  }
+  g_attempted.fetch_add(1, std::memory_order_relaxed);
+
+  // The temp file must live in the destination directory: rename(2) is only
+  // atomic within one filesystem, and the PID suffix keeps a crashed
+  // predecessor's leftover temp from colliding with ours.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail_step(path, "open(tmp)", errno, "");
+
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return fail_step(path, "write", err, tmp);
+    }
+    if (n == 0) {
+      ::close(fd);
+      return fail_step(path, "short write", ENOSPC, tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return fail_step(path, "fsync", err, tmp);
+  }
+  if (::close(fd) != 0) return fail_step(path, "close", errno, tmp);
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail_step(path, "rename", errno, tmp);
+  }
+
+  // Durability of the rename itself needs the directory entry flushed.
+  // Best-effort: some filesystems refuse O_RDONLY on directories, and the
+  // data file is already safe on disk either way.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+
+  metrics().counter("io.atomic_write.completed").inc();
+  return Unit{};
+}
+
+Result<Unit> write_file_atomic_durable(const std::string& path,
+                                       const std::string& data) {
+  return write_file_atomic_durable(
+      path, std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(data.data()),
+                data.size()));
+}
+
+}  // namespace tdat

@@ -1,0 +1,43 @@
+// Crash-safe file replacement: write to a temp file in the target's
+// directory, fsync it, rename over the destination, then best-effort fsync
+// the directory. A reader never observes a partial file — it sees either the
+// previous complete contents or the new complete contents.
+//
+// Durability failures (ENOSPC, short writes, fsync errors) are normal
+// operating conditions for a long-running daemon, so they surface as
+// Result errors, never as crashes, and they leave any previous file at
+// `path` untouched (the temp file is unlinked on every failure path).
+//
+// Test seams, checked once per call in the order listed:
+//   - set_atomic_write_failure_hook(): in-process hook; return false from it
+//     to make the next write fail with an injected error.
+//   - TDAT_ATOMIC_WRITE_FAIL="<n>": the n-th atomic write in this process
+//     (1-based, counted across all call sites) fails with an injected error.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace tdat {
+
+// Atomically replaces `path` with `data`. On failure the previous `path`
+// contents (if any) are intact and the error message names the failing step.
+[[nodiscard]] Result<Unit> write_file_atomic_durable(
+    const std::string& path, std::span<const std::uint8_t> data);
+
+[[nodiscard]] Result<Unit> write_file_atomic_durable(const std::string& path,
+                                                     const std::string& data);
+
+// In-process failure injection: `hook(path)` runs before each atomic write;
+// returning false fails that write. Pass nullptr to clear. Not thread-safe —
+// set it from test setup, not concurrently with writes.
+using AtomicWriteFailureHook = bool (*)(const std::string& path);
+void set_atomic_write_failure_hook(AtomicWriteFailureHook hook);
+
+// Number of atomic writes attempted by this process (after injection checks).
+[[nodiscard]] std::uint64_t atomic_writes_attempted();
+
+}  // namespace tdat

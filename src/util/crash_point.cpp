@@ -1,0 +1,53 @@
+#include "util/crash_point.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace tdat {
+namespace {
+
+struct CrashSpec {
+  std::string point;
+  long n = 0;  // 0 = disabled
+};
+
+// Parsed once per process; the env var does not change under us.
+const CrashSpec& spec() {
+  static const CrashSpec parsed = [] {
+    CrashSpec s;
+    const char* env = std::getenv("TDAT_CRASH_AT");
+    if (env == nullptr || *env == '\0') return s;
+    const char* colon = std::strrchr(env, ':');
+    if (colon == nullptr || colon == env) return s;
+    char* end = nullptr;
+    const long n = std::strtol(colon + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || n <= 0) return s;
+    s.point.assign(env, static_cast<std::size_t>(colon - env));
+    s.n = n;
+    return s;
+  }();
+  return parsed;
+}
+
+std::atomic<long> g_hits{0};
+
+}  // namespace
+
+bool crash_point_armed(const char* point) {
+  const CrashSpec& s = spec();
+  return s.n != 0 && s.point == point;
+}
+
+void maybe_crash_at(const char* point) {
+  const CrashSpec& s = spec();
+  if (s.n == 0 || s.point != point) return;
+  if (g_hits.fetch_add(1) + 1 == s.n) {
+    _exit(kCrashExitCode);
+  }
+}
+
+}  // namespace tdat

@@ -1,0 +1,32 @@
+// Deterministic crash injection for chaos testing, in the spirit of
+// TDAT_FLEET_KILL_WORKER: the chaos harness sets
+//
+//   TDAT_CRASH_AT="<point>:<n>"
+//
+// and the process dies with _exit(kCrashExitCode) the n-th time (1-based)
+// execution reaches maybe_crash_at("<point>"). _exit skips destructors and
+// flushes nothing — the closest in-process stand-in for SIGKILL — so whatever
+// half-written state exists on disk at that instant is exactly what a real
+// crash would leave.
+//
+// Named points (see DESIGN.md §16):
+//   "epoch"        after a live epoch, before the next checkpoint
+//   "ckpt-write"   mid-checkpoint: temp file partially written, not renamed
+//   "ckpt-rename"  checkpoint fully written + fsynced, rename not yet done
+#pragma once
+
+namespace tdat {
+
+inline constexpr int kCrashExitCode = 47;
+
+// Dies via _exit(kCrashExitCode) when TDAT_CRASH_AT selects this point and
+// its hit count has been reached; otherwise a cheap no-op (one getenv on
+// first call, an atomic counter after).
+void maybe_crash_at(const char* point);
+
+// True when TDAT_CRASH_AT names this point (regardless of the hit count).
+// Lets a call site stage realistic pre-crash disk state (e.g. a half-written
+// temp file) only when the chaos harness is actually driving it.
+[[nodiscard]] bool crash_point_armed(const char* point);
+
+}  // namespace tdat

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+//
+// Used to guard on-disk durability artifacts (.tdckpt checkpoints) against
+// torn or bit-flipped writes. Not a cryptographic hash; it detects accidental
+// corruption, not tampering.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tdat {
+
+// One-shot CRC-32 of `data`, with the conventional init/xorout (all-ones).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// Incremental form: feed `crc32_update` the running state (start from
+// `kCrc32Init`), then finalize with `crc32_final`.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state,
+                                         std::span<const std::uint8_t> data);
+[[nodiscard]] inline std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace tdat

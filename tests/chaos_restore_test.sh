@@ -1,0 +1,185 @@
+#!/usr/bin/env bash
+# Deterministic chaos harness for crash-safe live analysis (DESIGN.md §16):
+# kill `tdat watch` at seeded crash points via the TDAT_CRASH_AT seam while
+# the capture grows underneath it, restart with --checkpoint, drain, and
+# require the result to be byte-identical to batch `analyze --format agg`.
+# The keystone invariant under test: kill at ANY point, restore, drain ==
+# batch bytes — whether the restart resumes from a checkpoint, degrades to
+# full replay past a torn/corrupt one, or cold-starts with none at all.
+#
+# Also covers: crash inside the checkpoint write ("ckpt-write") and rename
+# ("ckpt-rename") leaving the previous checkpoint intact, corrupt-checkpoint
+# fallback diagnostics, config-echo mismatch fallback, and SIGHUP forcing an
+# out-of-cycle snapshot + checkpoint.
+#
+# Usage: chaos_restore_test.sh <path-to-tdat>
+set -u
+
+TDAT="$1"
+WORK="$(mktemp -d)"
+WATCH_PID=""
+cleanup() {
+  [ -n "$WATCH_PID" ] && kill -9 "$WATCH_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "chaos_restore: FAIL: $*" >&2
+  exit 1
+}
+
+# --- a deterministic finished capture, and its batch-analysis baseline -----
+"$TDAT" simulate baseline "$WORK/full.pcap" --sessions 2 \
+  || fail "simulate baseline"
+"$TDAT" analyze "$WORK/full.pcap" --format agg --quiet-stats \
+  > "$WORK/batch.tdagg" || fail "batch analyze"
+SIZE=$(wc -c < "$WORK/full.pcap")
+CHUNK=65536
+NCHUNKS=$(( (SIZE + CHUNK - 1) / CHUNK ))
+
+# Grow $1 from full.pcap in 64 KiB chunks (mid-record splits at almost every
+# boundary) so crash points land at varied ingest positions.
+grow() {
+  local dst="$1" i=0
+  while [ "$i" -lt "$NCHUNKS" ]; do
+    dd if="$WORK/full.pcap" of="$dst" bs=$CHUNK skip=$i seek=$i \
+      count=1 conv=notrunc status=none || fail "dd chunk $i"
+    i=$((i + 1))
+    sleep 0.02
+  done
+}
+
+# Restart from whatever checkpoint state the crash left behind, drain the
+# finished capture, and require byte identity with the batch baseline.
+restore_and_check() {
+  local cap="$1" ckpt="$2" out="$3" label="$4"
+  "$TDAT" watch "$cap" --once --checkpoint "$ckpt" --output "$out" \
+    --format agg --quiet-stats 2> "$WORK/restore.err"
+  local rc=$?
+  [ "$rc" -eq 0 ] || fail "$label: restore exited $rc (want 0)"
+  cmp -s "$out" "$WORK/batch.tdagg" \
+    || fail "$label: restored drain differs from batch analyze --format agg"
+}
+
+# --- scenario 1: seeded kill-point sweep -----------------------------------
+# Ten crash points spread across the ingest (seed 1312; epoch counter ticks
+# every watch loop iteration, so early points land mid-growth and late ones
+# after the backlog is drained). Every single one must restore to the batch
+# bytes — with or without a checkpoint on disk at kill time.
+KILL_POINTS=$(awk 'BEGIN { srand(1312); n = 0
+  while (n < 10) { printf "%d ", 1 + int(rand() * 40); n++ } }')
+for N in $KILL_POINTS; do
+  rm -f "$WORK/grow.pcap" "$WORK/c.tdckpt" "$WORK/live.tdagg"
+  TDAT_CRASH_AT="epoch:$N" "$TDAT" watch "$WORK/grow.pcap" \
+    --checkpoint "$WORK/c.tdckpt" --output "$WORK/live.tdagg" --format agg \
+    --snapshot-interval 0 --poll-ms 10 --quiet-stats 2>/dev/null &
+  WATCH_PID=$!
+  grow "$WORK/grow.pcap"
+  wait "$WATCH_PID"
+  rc=$?
+  WATCH_PID=""
+  [ "$rc" -eq 47 ] || fail "epoch:$N: watch exited $rc (want crash exit 47)"
+  [ "$(wc -c < "$WORK/grow.pcap")" -eq "$SIZE" ] || fail "grow.pcap incomplete"
+  restore_and_check "$WORK/grow.pcap" "$WORK/c.tdckpt" "$WORK/live.tdagg" \
+    "epoch:$N"
+done
+
+# --- scenario 2: crash inside the checkpoint write itself ------------------
+# ckpt-write:1 dies with a half-written temp file staged: no checkpoint may
+# appear at the real path, and the cold-start restore must still match.
+rm -f "$WORK/grow.pcap" "$WORK/c.tdckpt" "$WORK/live.tdagg"
+cp "$WORK/full.pcap" "$WORK/grow.pcap"
+TDAT_CRASH_AT="ckpt-write:1" "$TDAT" watch "$WORK/grow.pcap" \
+  --checkpoint "$WORK/c.tdckpt" --output "$WORK/live.tdagg" --format agg \
+  --snapshot-interval 0 --poll-ms 10 --quiet-stats 2>/dev/null
+rc=$?
+[ "$rc" -eq 47 ] || fail "ckpt-write: watch exited $rc (want 47)"
+[ ! -f "$WORK/c.tdckpt" ] \
+  || fail "ckpt-write: torn write became visible at the checkpoint path"
+restore_and_check "$WORK/grow.pcap" "$WORK/c.tdckpt" "$WORK/live.tdagg" \
+  "ckpt-write"
+
+# ckpt-rename:1 dies after the temp is fully written but before it replaces
+# the previous checkpoint, which must survive byte-intact and still resume.
+# Seed a valid previous checkpoint first with a clean SIGTERM run.
+rm -f "$WORK/c.tdckpt" "$WORK/live.tdagg"
+"$TDAT" watch "$WORK/grow.pcap" \
+  --checkpoint "$WORK/c.tdckpt" --output "$WORK/live.tdagg" --format agg \
+  --snapshot-interval 0 --poll-ms 10 --quiet-stats 2>/dev/null &
+WATCH_PID=$!
+tries=0
+until [ -s "$WORK/c.tdckpt" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -gt 100 ] && fail "no checkpoint written within 10s"
+  kill -0 "$WATCH_PID" 2>/dev/null || fail "watch died before checkpointing"
+  sleep 0.1
+done
+kill -TERM "$WATCH_PID"
+wait "$WATCH_PID" || fail "seed run did not exit cleanly"
+WATCH_PID=""
+cp "$WORK/c.tdckpt" "$WORK/c.before"
+TDAT_CRASH_AT="ckpt-rename:1" "$TDAT" watch "$WORK/grow.pcap" \
+  --checkpoint "$WORK/c.tdckpt" --output "$WORK/live.tdagg" --format agg \
+  --snapshot-interval 0 --poll-ms 10 --quiet-stats 2>/dev/null
+rc=$?
+[ "$rc" -eq 47 ] || fail "ckpt-rename: watch exited $rc (want 47)"
+cmp -s "$WORK/c.tdckpt" "$WORK/c.before" \
+  || fail "ckpt-rename: previous checkpoint damaged by the crashed rename"
+restore_and_check "$WORK/grow.pcap" "$WORK/c.tdckpt" "$WORK/live.tdagg" \
+  "ckpt-rename"
+
+# --- scenario 3: corrupt / mismatched checkpoints degrade, never crash -----
+# Truncation: payload shorter than declared -> structured diagnostic + full
+# replay, exit 0, batch-identical bytes.
+head -c 50 "$WORK/c.before" > "$WORK/c.tdckpt"
+"$TDAT" watch "$WORK/grow.pcap" --once --checkpoint "$WORK/c.tdckpt" \
+  --output "$WORK/live.tdagg" --format agg --quiet-stats \
+  2> "$WORK/corrupt.err"
+rc=$?
+[ "$rc" -eq 0 ] || fail "corrupt checkpoint: watch exited $rc (want 0)"
+grep -q "falling back to full replay" "$WORK/corrupt.err" \
+  || fail "corrupt checkpoint: no fallback diagnostic on stderr"
+cmp -s "$WORK/live.tdagg" "$WORK/batch.tdagg" \
+  || fail "corrupt checkpoint: full-replay fallback differs from batch"
+
+# Config-echo mismatch: a checkpoint taken without --window must not seed a
+# --window run; it degrades to full replay under the new configuration.
+cp "$WORK/c.before" "$WORK/c.tdckpt"
+"$TDAT" watch "$WORK/grow.pcap" --once --checkpoint "$WORK/c.tdckpt" \
+  --window 5 --output "$WORK/live_w.tdagg" --format agg --quiet-stats \
+  2> "$WORK/config.err"
+rc=$?
+[ "$rc" -eq 0 ] || fail "config mismatch: watch exited $rc (want 0)"
+grep -q "falling back to full replay" "$WORK/config.err" \
+  || fail "config mismatch: no fallback diagnostic on stderr"
+grep -q "configuration changed" "$WORK/config.err" \
+  || fail "config mismatch: diagnostic does not name the config change"
+
+# --- scenario 4: SIGHUP forces an out-of-cycle snapshot + checkpoint -------
+# With an hour-long interval nothing would be written; SIGHUP must produce
+# both files immediately, and the daemon keeps running until SIGTERM.
+rm -f "$WORK/c.tdckpt" "$WORK/live.tdagg"
+"$TDAT" watch "$WORK/grow.pcap" \
+  --checkpoint "$WORK/c.tdckpt" --output "$WORK/live.tdagg" --format agg \
+  --snapshot-interval 3600 --poll-ms 10 --quiet-stats 2>/dev/null &
+WATCH_PID=$!
+sleep 1
+[ ! -s "$WORK/live.tdagg" ] || fail "SIGHUP: snapshot appeared before signal"
+kill -HUP "$WATCH_PID"
+tries=0
+until [ -s "$WORK/live.tdagg" ] && [ -s "$WORK/c.tdckpt" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -gt 100 ] && fail "SIGHUP: no snapshot + checkpoint within 10s"
+  kill -0 "$WATCH_PID" 2>/dev/null || fail "watch died after SIGHUP"
+  sleep 0.1
+done
+kill -TERM "$WATCH_PID"
+wait "$WATCH_PID"
+rc=$?
+WATCH_PID=""
+[ "$rc" -eq 0 ] || fail "SIGHUP run: watch exited $rc after SIGTERM (want 0)"
+cmp -s "$WORK/live.tdagg" "$WORK/batch.tdagg" \
+  || fail "SIGHUP run: final snapshot differs from batch"
+
+echo "chaos_restore: PASS"

@@ -81,6 +81,35 @@ fleet_rc=$?
 cmp -s "$TMP/cfleet.tdagg" "$TMP/cwhole.tdagg" \
   || fail "corrupt capture: fleet archive differs from the whole-run archive"
 
+# --- remote worker reconnect: listener appears late, bytes unchanged --------
+# The worker dials before any coordinator is listening (exactly what a killed
+# and restarted listener looks like from the worker's side) and must retry
+# with backoff until the listener appears, then serve the job to completion
+# with zero lost shards and exit 0.
+PORT=$((20000 + RANDOM % 20000))
+TDAT_FLEET_RECONNECT_BASE_MS=20 TDAT_FLEET_RECONNECT_MAX_MS=200 \
+  TDAT_FLEET_RECONNECT_ATTEMPTS=100 \
+  "$TDAT" fleet --connect "127.0.0.1:$PORT" >/dev/null 2>&1 &
+WORKER_PID=$!
+sleep 0.4  # several dial attempts fail before the listener exists
+kill -0 "$WORKER_PID" 2>/dev/null \
+  || fail "worker gave up while the listener was down"
+"$TDAT" fleet "$TMP/base.pcap" --listen "127.0.0.1:$PORT" --quiet-stats \
+  >"$TMP/remote.tdagg" || fail "fleet --listen exited non-zero"
+cmp -s "$TMP/remote.tdagg" "$TMP/whole.tdagg" \
+  || fail "remote-worker fleet differs from the whole-run archive"
+wait "$WORKER_PID"
+worker_rc=$?
+[ "$worker_rc" -eq 0 ] \
+  || fail "reconnecting worker exited $worker_rc (want 0 after Shutdown)"
+
+# A worker whose coordinator never comes back must give up after the
+# configured attempts with exit 3 — not hang, not crash.
+TDAT_FLEET_RECONNECT_BASE_MS=10 TDAT_FLEET_RECONNECT_MAX_MS=20 \
+  TDAT_FLEET_RECONNECT_ATTEMPTS=3 \
+  "$TDAT" fleet --connect "127.0.0.1:$PORT" >/dev/null 2>&1
+[ $? -eq 3 ] || fail "worker should exit 3 after exhausting reconnects"
+
 # --- CLI contract edges -----------------------------------------------------
 "$TDAT" fleet "$TMP/base.pcap" --workers 0 >/dev/null 2>&1
 [ $? -eq 2 ] || fail "fleet --workers 0 should exit 2"

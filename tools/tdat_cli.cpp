@@ -56,6 +56,7 @@
 #include "agg/rollup.hpp"
 #include "agg/sink.hpp"
 #include "bgp/table_gen.hpp"
+#include "core/checkpoint.hpp"
 #include "core/export.hpp"
 #include "core/live.hpp"
 #include "core/live_source.hpp"
@@ -69,6 +70,8 @@
 #include "pcap/decode.hpp"
 #include "pcap/fault_injector.hpp"
 #include "sim/world.hpp"
+#include "util/atomic_file.hpp"
+#include "util/crash_point.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -173,12 +176,20 @@ int usage() {
                " [--location receiver|sender|middle]\n"
                "                [--strict] [--max-errors N] [--log-level L]"
                " [--stats|--quiet-stats] [--once]\n"
+               "                [--checkpoint FILE]  durable .tdckpt resume"
+               " state, rewritten with each\n"
+               "                 snapshot; on restart a valid checkpoint"
+               " resumes mid-capture (a torn,\n"
+               "                 corrupt, or mismatched one falls back to full"
+               " replay, never a crash)\n"
                "      tail a growing (and rotating) capture; emit a report"
                " snapshot every interval\n"
                "      (--output replaces FILE atomically; --snapshot-dir"
                " keeps one file per snapshot;\n"
                "       no sink flag prints to stdout). SIGINT/SIGTERM drain"
                " and write a final snapshot;\n"
+               "      SIGHUP forces an immediate out-of-cycle snapshot +"
+               " checkpoint;\n"
                "      --once drains what is on disk now and exits\n"
                "  tdat version  print version, git revision, build type\n"
                "exit codes: 0 clean, 1 completed with recoverable input"
@@ -1131,14 +1142,19 @@ int cmd_fleet(int argc, char** argv) {
 // Set by SIGINT/SIGTERM; the watch loop checks it between epochs, drains,
 // and writes a final snapshot — never a torn exit mid-analysis.
 volatile std::sig_atomic_t g_watch_stop = 0;
+// Set by SIGHUP; the watch loop forces an immediate out-of-cycle snapshot
+// (and checkpoint, when configured) at the next epoch boundary.
+volatile std::sig_atomic_t g_watch_flush = 0;
 
 extern "C" void watch_signal(int) { g_watch_stop = 1; }
+extern "C" void watch_flush_signal(int) { g_watch_flush = 1; }
 
 struct WatchCommand {
   AnalyzerOptions opts;
   std::string input;
   std::string output;        // atomic-replace target ("" = stdout)
   std::string snapshot_dir;  // one numbered file per snapshot ("" = off)
+  std::string checkpoint;    // durable .tdckpt resume state ("" = off)
   ReportFormat format = ReportFormat::kText;
   ReportRenderOptions render;
   double snapshot_interval_s = 10.0;
@@ -1179,6 +1195,9 @@ Result<WatchCommand> parse_watch_args(int argc, char** argv) {
     } else if (arg == "--snapshot-dir") {
       TDAT_TRY(v, value_of(i));
       cmd.snapshot_dir = std::move(v);
+    } else if (arg == "--checkpoint") {
+      TDAT_TRY(v, value_of(i));
+      cmd.checkpoint = std::move(v);
     } else if (arg == "--format") {
       TDAT_TRY(v, value_of(i));
       auto format = parse_report_format(v);
@@ -1276,33 +1295,21 @@ const char* snapshot_extension(ReportFormat format) {
   }
 }
 
-// Write-then-rename so readers of `path` always see a complete snapshot,
-// never a torn half-write.
-bool write_file_atomic(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return false;
-  const bool wrote =
-      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-  if (std::fclose(f) != 0 || !wrote) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
-}
-
+// Snapshot writes go through the durable atomic writer (temp + fsync +
+// rename): a failed write — ENOSPC, short write, crash mid-rename — leaves
+// the previous snapshot at `path` intact, and the next interval retries.
 bool emit_snapshot(LiveEngine& engine, const WatchCommand& cmd,
                    std::size_t seq) {
   const std::string body = engine.render_snapshot(cmd.format, cmd.render);
   bool ok = true;
   if (!cmd.output.empty()) {
-    if (!write_file_atomic(cmd.output, body)) {
-      std::fprintf(stderr, "tdat watch: cannot write %s\n",
-                   cmd.output.c_str());
+    auto wrote = write_file_atomic_durable(cmd.output, body);
+    if (!wrote.ok()) {
+      std::fprintf(stderr,
+                   "tdat watch: snapshot write failed (previous snapshot"
+                   " kept, retrying next interval): %s\n",
+                   wrote.error().c_str());
+      metrics().counter("live.snapshot.write_failures").inc();
       ok = false;
     }
   }
@@ -1310,9 +1317,11 @@ bool emit_snapshot(LiveEngine& engine, const WatchCommand& cmd,
     char name[64];
     std::snprintf(name, sizeof(name), "/snapshot-%06zu.%s", seq,
                   snapshot_extension(cmd.format));
-    if (!write_file_atomic(cmd.snapshot_dir + name, body)) {
-      std::fprintf(stderr, "tdat watch: cannot write %s%s\n",
-                   cmd.snapshot_dir.c_str(), name);
+    auto wrote = write_file_atomic_durable(cmd.snapshot_dir + name, body);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "tdat watch: snapshot write failed: %s\n",
+                   wrote.error().c_str());
+      metrics().counter("live.snapshot.write_failures").inc();
       ok = false;
     }
   }
@@ -1321,6 +1330,92 @@ bool emit_snapshot(LiveEngine& engine, const WatchCommand& cmd,
     std::fflush(stdout);
   }
   return ok;
+}
+
+// Rewrites the .tdckpt after a snapshot. Best-effort by design: a rotated
+// capture has no single resume offset (skipped, full replay on restart), and
+// a failed write keeps the previous checkpoint — the restart just replays a
+// little more.
+void write_watch_checkpoint(LiveEngine& engine, const FollowSource& source,
+                            const WatchCommand& cmd) {
+  if (cmd.checkpoint.empty()) return;
+  if (!source.checkpointable()) {
+    metrics().counter("live.checkpoint.skipped_rotation").inc();
+    TDAT_LOG_DEBUG("watch: checkpoint skipped (capture rotated)");
+    return;
+  }
+  LiveCheckpoint ckpt;
+  if (auto st = engine.checkpoint_state(ckpt); !st.ok()) {
+    metrics().counter("live.checkpoint.skipped_state").inc();
+    TDAT_LOG_WARN("watch: checkpoint skipped: %s", st.error().c_str());
+    return;
+  }
+  auto id = compute_capture_identity(cmd.input);
+  if (!id.ok()) {
+    metrics().counter("live.checkpoint.skipped_state").inc();
+    TDAT_LOG_WARN("watch: checkpoint skipped: %s", id.error().c_str());
+    return;
+  }
+  ckpt.capture = id.value();
+  const PcapStream::Resume resume = source.resume_state();
+  ckpt.resume_offset = resume.offset;
+  ckpt.records_seen = resume.records;
+  ckpt.stream_last_ts = resume.last_ts;
+  ckpt.diag = resume.diag;
+  if (auto wrote = write_checkpoint_file(cmd.checkpoint, ckpt); !wrote.ok()) {
+    std::fprintf(stderr,
+                 "tdat watch: checkpoint write failed (previous checkpoint"
+                 " kept, retrying next interval): %s\n",
+                 wrote.error().c_str());
+  }
+}
+
+// Loads, validates, and applies a checkpoint to a fresh engine; returns the
+// resume state for the FollowSource. Every failure path degrades to full
+// replay with a structured diagnostic — a damaged checkpoint must never take
+// the daemon down.
+std::optional<PcapStream::Resume> try_restore(
+    const WatchCommand& cmd, const LiveOptions& lopts, LiveCheckpoint& out) {
+  if (cmd.checkpoint.empty()) return std::nullopt;
+  std::error_code ec;
+  if (!std::filesystem::exists(cmd.checkpoint, ec)) {
+    TDAT_LOG_INFO("watch: no checkpoint at %s; cold start",
+                  cmd.checkpoint.c_str());
+    return std::nullopt;
+  }
+  const auto fallback = [&](const std::string& why) {
+    std::fprintf(stderr,
+                 "tdat watch: checkpoint %s unusable (%s); falling back to"
+                 " full replay\n",
+                 cmd.checkpoint.c_str(), why.c_str());
+    metrics().counter("live.restore.fallback_full_replay").inc();
+    return std::nullopt;
+  };
+  auto loaded = read_checkpoint_file(cmd.checkpoint);
+  if (!loaded.ok()) return fallback(loaded.error());
+  out = std::move(loaded).value();
+  if (auto id = validate_capture_identity(out.capture, cmd.input); !id.ok()) {
+    return fallback(id.error());
+  }
+  LiveCheckpoint echo;
+  echo.config.location = static_cast<std::uint8_t>(lopts.analyzer.location);
+  echo.config.verify_checksums = lopts.analyzer.verify_checksums;
+  echo.config.strict = lopts.analyzer.ingest.strict;
+  echo.config.enable_ack_shift = lopts.analyzer.enable_ack_shift;
+  echo.config.pass_bits = lopts.analyzer.passes.bits;
+  echo.config.max_errors =
+      static_cast<std::uint64_t>(lopts.analyzer.ingest.max_errors);
+  echo.config.window = lopts.window;
+  echo.config.idle_gc = lopts.idle_gc;
+  if (!(echo.config == out.config)) {
+    return fallback("engine configuration changed since the checkpoint");
+  }
+  PcapStream::Resume resume;
+  resume.offset = out.resume_offset;
+  resume.records = out.records_seen;
+  resume.last_ts = out.stream_last_ts;
+  resume.diag = out.diag;
+  return resume;
 }
 
 // `tdat watch`: the always-on daemon. Tails the capture through
@@ -1346,16 +1441,55 @@ int cmd_watch(int argc, char** argv) {
     std::filesystem::create_directories(cmd.snapshot_dir, ec);
   }
 
-  FollowSource source(cmd.input, cmd.opts.verify_checksums, cmd.opts.ingest);
   LiveOptions lopts;
   lopts.analyzer = cmd.opts;
   lopts.window = static_cast<Micros>(cmd.window_s * kMicrosPerSec);
   lopts.idle_gc = static_cast<Micros>(cmd.idle_gc_s * kMicrosPerSec);
-  LiveEngine engine(source, lopts);
+
+  // Restore-or-fallback: a valid checkpoint resumes the engine and the
+  // stream mid-capture; any failure (torn file, replaced capture, changed
+  // config, replay divergence) degrades to a fresh engine and full replay.
+  // The engine holds the source by reference, so both live in optionals
+  // that are rebuilt together on fallback.
+  std::optional<FollowSource> source_store;
+  std::optional<LiveEngine> engine_store;
+  LiveCheckpoint ckpt;
+  if (auto resume = try_restore(cmd, lopts, ckpt)) {
+    source_store.emplace(cmd.input, cmd.opts.verify_checksums,
+                         cmd.opts.ingest, *resume);
+    engine_store.emplace(*source_store, lopts);
+    if (auto restored = engine_store->restore_state(ckpt, cmd.input);
+        !restored.ok()) {
+      std::fprintf(stderr,
+                   "tdat watch: checkpoint %s unusable (%s); falling back to"
+                   " full replay\n",
+                   cmd.checkpoint.c_str(), restored.error().c_str());
+      metrics().counter("live.restore.fallback_full_replay").inc();
+      engine_store.reset();  // before the source it references
+      source_store.reset();
+    } else {
+      metrics().counter("live.restore.resumed").inc();
+      TDAT_LOG_INFO("watch: resumed from %s at offset %llu (%llu records)",
+                    cmd.checkpoint.c_str(),
+                    static_cast<unsigned long long>(ckpt.resume_offset),
+                    static_cast<unsigned long long>(ckpt.records_seen));
+    }
+  }
+  if (!engine_store.has_value()) {
+    source_store.emplace(cmd.input, cmd.opts.verify_checksums,
+                         cmd.opts.ingest);
+    engine_store.emplace(*source_store, lopts);
+  }
+  FollowSource& source = *source_store;
+  LiveEngine& engine = *engine_store;
 
   g_watch_stop = 0;
+  g_watch_flush = 0;
   std::signal(SIGINT, watch_signal);
   std::signal(SIGTERM, watch_signal);
+#ifdef SIGHUP
+  std::signal(SIGHUP, watch_flush_signal);
+#endif
 
   using Clock = std::chrono::steady_clock;
   const auto interval = std::chrono::duration_cast<Clock::duration>(
@@ -1365,9 +1499,15 @@ int cmd_watch(int argc, char** argv) {
   bool emit_ok = true;
   while (!cmd.once && g_watch_stop == 0) {
     const std::size_t records = engine.run_epoch();
+    maybe_crash_at("epoch");  // deterministic chaos seam (TDAT_CRASH_AT)
     if (source.failed()) break;
+    if (g_watch_flush != 0) {  // SIGHUP: out-of-cycle snapshot + checkpoint
+      g_watch_flush = 0;
+      next_snapshot = Clock::now();
+    }
     if (Clock::now() >= next_snapshot) {
       emit_ok = emit_snapshot(engine, cmd, seq++) && emit_ok;
+      write_watch_checkpoint(engine, source, cmd);
       next_snapshot = Clock::now() + interval;
     }
     if (records > 0) continue;  // backlog: keep ingesting at full speed
